@@ -1,0 +1,21 @@
+//! # pmu-baseline
+//!
+//! The comparison methodology of the paper's evaluation: **Multinomial
+//! Logistic Regression (MLR)** outage classification in the style of its
+//! refs. \[4\] (Garcia et al.) and \[14\] (Kim & Wright). One class per
+//! learned single-line outage scenario plus a normal-operation class;
+//! features are the raw phasor measurements of every node.
+//!
+//! Crucially — and this is exactly the weakness the paper exposes — the
+//! baseline has no notion of missing data: absent entries are *imputed*
+//! (training mean or zero) before classification, so spatially correlated
+//! missing patterns push samples across decision boundaries and the
+//! classifier degrades (Figs. 7–9).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod mlr;
+pub mod softmax;
+
+pub use mlr::{Imputation, MlrConfig, MlrDetector, MlrPrediction};

@@ -1,0 +1,274 @@
+//! The MLR outage detector: one softmax class per learned outage scenario
+//! plus a normal class, trained on complete data and forced to impute when
+//! measurements are missing at test time.
+
+use crate::softmax::{Softmax, SoftmaxConfig};
+use pmu_sim::dataset::Dataset;
+use pmu_sim::{MeasurementKind, PhasorSample};
+
+/// How missing test-time entries are filled before classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Imputation {
+    /// Replace by the feature's training mean (what a practitioner who
+    /// "ignores" missing data typically does).
+    TrainingMean,
+    /// Replace by zero.
+    Zero,
+}
+
+/// MLR training configuration.
+#[derive(Debug, Clone)]
+pub struct MlrConfig {
+    /// Which scalar feature per node to use.
+    pub kind: MeasurementKind,
+    /// Imputation policy for missing test entries.
+    pub imputation: Imputation,
+    /// Underlying optimizer settings.
+    pub softmax: SoftmaxConfig,
+}
+
+impl Default for MlrConfig {
+    fn default() -> Self {
+        MlrConfig {
+            kind: MeasurementKind::Angle,
+            imputation: Imputation::TrainingMean,
+            softmax: SoftmaxConfig::default(),
+        }
+    }
+}
+
+/// The classifier's verdict on one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlrPrediction {
+    /// `true` when the predicted class is an outage scenario.
+    pub outage: bool,
+    /// Branch index of the predicted outage (when `outage`).
+    pub line: Option<usize>,
+    /// Posterior probability of the predicted class.
+    pub confidence: f64,
+}
+
+/// A trained MLR outage detector.
+#[derive(Debug, Clone)]
+pub struct MlrDetector {
+    model: Softmax,
+    /// Class `c + 1` corresponds to `class_branch[c]`.
+    class_branch: Vec<usize>,
+    /// Per-feature training means (used for imputation and centering).
+    feature_means: Vec<f64>,
+    /// Per-feature training standard deviations (for standardization).
+    feature_stds: Vec<f64>,
+    kind: MeasurementKind,
+    imputation: Imputation,
+}
+
+impl MlrDetector {
+    /// Train on a dataset: class 0 = normal operation, classes 1..=E = the
+    /// dataset's outage cases in order.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset (no cases or empty windows).
+    pub fn train(data: &Dataset, cfg: &MlrConfig) -> MlrDetector {
+        assert!(!data.cases.is_empty(), "MLR training needs outage cases");
+        let n = data.n_nodes();
+
+        let mut samples: Vec<Vec<f64>> = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
+        let window_features = |w: &pmu_sim::PhasorWindow, out: &mut Vec<Vec<f64>>| {
+            let m = w.matrix(cfg.kind);
+            for t in 0..m.cols() {
+                out.push((0..n).map(|r| m[(r, t)]).collect());
+            }
+        };
+        window_features(&data.normal_train, &mut samples);
+        labels.resize(samples.len(), 0);
+        let mut class_branch = Vec::with_capacity(data.cases.len());
+        for (ci, case) in data.cases.iter().enumerate() {
+            let before = samples.len();
+            window_features(&case.train, &mut samples);
+            labels.extend(std::iter::repeat_n(ci + 1, samples.len() - before));
+            class_branch.push(case.branch);
+        }
+
+        // Standardize features for conditioning.
+        let m = samples.len() as f64;
+        let mut means = vec![0.0; n];
+        for s in &samples {
+            for (f, &v) in s.iter().enumerate() {
+                means[f] += v;
+            }
+        }
+        for mu in &mut means {
+            *mu /= m;
+        }
+        let mut stds = vec![0.0; n];
+        for s in &samples {
+            for (f, &v) in s.iter().enumerate() {
+                stds[f] += (v - means[f]) * (v - means[f]);
+            }
+        }
+        for sd in &mut stds {
+            *sd = (*sd / m).sqrt().max(1e-9);
+        }
+        for s in &mut samples {
+            for (f, v) in s.iter_mut().enumerate() {
+                *v = (*v - means[f]) / stds[f];
+            }
+        }
+
+        let model = Softmax::train(&samples, &labels, data.cases.len() + 1, &cfg.softmax);
+        MlrDetector {
+            model,
+            class_branch,
+            feature_means: means,
+            feature_stds: stds,
+            kind: cfg.kind,
+            imputation: cfg.imputation,
+        }
+    }
+
+    /// Number of classes (outage cases + 1).
+    pub fn n_classes(&self) -> usize {
+        self.model.n_classes()
+    }
+
+    /// Classify a sample; missing entries are imputed per the configured
+    /// policy — the baseline cannot do anything smarter, which is the
+    /// behaviour the paper's Figs. 7–9 expose.
+    ///
+    /// # Panics
+    /// Panics when the sample's node count differs from training.
+    pub fn predict(&self, sample: &PhasorSample) -> MlrPrediction {
+        let n = self.feature_means.len();
+        assert_eq!(sample.n_nodes(), n, "MLR: node count mismatch");
+        let mut x = Vec::with_capacity(n);
+        for node in 0..n {
+            let raw = match sample.value(node, self.kind) {
+                Some(v) => v,
+                None => match self.imputation {
+                    Imputation::TrainingMean => self.feature_means[node],
+                    Imputation::Zero => 0.0,
+                },
+            };
+            x.push((raw - self.feature_means[node]) / self.feature_stds[node]);
+        }
+        let probs = self.model.predict_proba(&x);
+        let (class, &confidence) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("at least one class");
+        if class == 0 {
+            MlrPrediction { outage: false, line: None, confidence }
+        } else {
+            MlrPrediction {
+                outage: true,
+                line: Some(self.class_branch[class - 1]),
+                confidence,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu_grid::cases::ieee14;
+    use pmu_sim::missing::outage_endpoints_mask;
+    use pmu_sim::{generate_dataset, GenConfig};
+
+    fn dataset() -> Dataset {
+        let net = ieee14().unwrap();
+        let cfg = GenConfig { train_len: 20, test_len: 6, ..GenConfig::default() };
+        generate_dataset(&net, &cfg).unwrap()
+    }
+
+    #[test]
+    fn complete_data_accuracy_is_high() {
+        let data = dataset();
+        let mlr = MlrDetector::train(&data, &MlrConfig::default());
+        assert_eq!(mlr.n_classes(), data.n_cases() + 1);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for case in &data.cases {
+            for t in 0..case.test.len() {
+                total += 1;
+                let p = mlr.predict(&case.test.sample(t));
+                if p.outage && p.line == Some(case.branch) {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(
+            correct * 10 >= total * 8,
+            "MLR complete-data accuracy {correct}/{total}"
+        );
+        // Most normal samples classify as normal (MLR confuses weak-line
+        // classes with normal operation occasionally — that is precisely
+        // the brittleness the paper contrasts against).
+        let mut normal_ok = 0usize;
+        for t in 0..data.normal_test.len() {
+            if !mlr.predict(&data.normal_test.sample(t)).outage {
+                normal_ok += 1;
+            }
+        }
+        assert!(
+            normal_ok * 2 >= data.normal_test.len(),
+            "normal accuracy {normal_ok}/{}",
+            data.normal_test.len()
+        );
+    }
+
+    #[test]
+    fn missing_outage_data_degrades_accuracy() {
+        let data = dataset();
+        let mlr = MlrDetector::train(&data, &MlrConfig::default());
+        let mut complete = 0usize;
+        let mut masked = 0usize;
+        let mut total = 0usize;
+        for case in &data.cases {
+            let mask = outage_endpoints_mask(14, case.endpoints);
+            for t in 0..case.test.len() {
+                total += 1;
+                let s = case.test.sample(t);
+                if mlr.predict(&s).line == Some(case.branch) {
+                    complete += 1;
+                }
+                if mlr.predict(&s.masked(&mask)).line == Some(case.branch) {
+                    masked += 1;
+                }
+            }
+        }
+        assert!(
+            masked < complete,
+            "masking endpoints must hurt MLR: complete {complete}, masked {masked} of {total}"
+        );
+    }
+
+    #[test]
+    fn confidence_is_a_probability() {
+        let data = dataset();
+        let mlr = MlrDetector::train(&data, &MlrConfig::default());
+        let p = mlr.predict(&data.cases[0].test.sample(0));
+        assert!((0.0..=1.0).contains(&p.confidence));
+    }
+
+    #[test]
+    fn zero_imputation_variant_runs() {
+        let data = dataset();
+        let cfg = MlrConfig { imputation: Imputation::Zero, ..MlrConfig::default() };
+        let mlr = MlrDetector::train(&data, &cfg);
+        let mask = outage_endpoints_mask(14, data.cases[0].endpoints);
+        let p = mlr.predict(&data.cases[0].test.sample(0).masked(&mask));
+        assert!(p.confidence.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn wrong_sample_size_panics() {
+        let data = dataset();
+        let mlr = MlrDetector::train(&data, &MlrConfig::default());
+        let bad = PhasorSample::complete(vec![pmu_numerics::Complex64::ONE; 3]);
+        let _ = mlr.predict(&bad);
+    }
+}

@@ -1,0 +1,229 @@
+//! A small multinomial (softmax) regression classifier trained by batch
+//! gradient descent with L2 regularization.
+//!
+//! Self-contained: features as `Vec<f64>` rows, one weight row per class
+//! (bias folded in as a constant feature). Sized for the workspace's
+//! problems (≲ 200 classes × 120 features × 10⁴ samples).
+
+// Indexed loops are the clearest expression of the dense numerical
+// kernels in this module.
+#![allow(clippy::needless_range_loop)]
+
+use pmu_numerics::Matrix;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SoftmaxConfig {
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for SoftmaxConfig {
+    fn default() -> Self {
+        SoftmaxConfig { epochs: 200, lr: 0.8, l2: 1e-4 }
+    }
+}
+
+/// A trained softmax classifier.
+#[derive(Debug, Clone)]
+pub struct Softmax {
+    /// Weights: `n_classes × (n_features + 1)`, last column is the bias.
+    w: Matrix,
+    n_features: usize,
+}
+
+impl Softmax {
+    /// Train on `(samples, labels)`; every sample must have the same
+    /// length and labels must be `< n_classes`.
+    ///
+    /// # Panics
+    /// Panics on empty or ragged input (programming errors, not runtime
+    /// conditions).
+    pub fn train(
+        samples: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        cfg: &SoftmaxConfig,
+    ) -> Softmax {
+        assert!(!samples.is_empty(), "softmax: no training samples");
+        assert_eq!(samples.len(), labels.len(), "softmax: label count mismatch");
+        let n_features = samples[0].len();
+        assert!(samples.iter().all(|s| s.len() == n_features), "softmax: ragged samples");
+        assert!(labels.iter().all(|&l| l < n_classes), "softmax: label out of range");
+
+        let m = samples.len();
+        let mut w = Matrix::zeros(n_classes, n_features + 1);
+        let mut probs = vec![0.0_f64; n_classes];
+        let mut grad = Matrix::zeros(n_classes, n_features + 1);
+
+        for _ in 0..cfg.epochs {
+            // Zero the gradient.
+            for c in 0..n_classes {
+                for f in 0..=n_features {
+                    grad[(c, f)] = 0.0;
+                }
+            }
+            for (x, &y) in samples.iter().zip(labels) {
+                softmax_probs(&w, x, &mut probs);
+                for c in 0..n_classes {
+                    let err = probs[c] - f64::from(u8::from(c == y));
+                    if err == 0.0 {
+                        continue;
+                    }
+                    let row = grad.row_mut(c);
+                    for (f, &xf) in x.iter().enumerate() {
+                        row[f] += err * xf;
+                    }
+                    row[n_features] += err; // bias
+                }
+            }
+            let scale = cfg.lr / m as f64;
+            for c in 0..n_classes {
+                for f in 0..=n_features {
+                    let reg = if f < n_features { cfg.l2 * w[(c, f)] } else { 0.0 };
+                    w[(c, f)] -= scale * grad[(c, f)] + cfg.lr * reg;
+                }
+            }
+        }
+        Softmax { w, n_features }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Class probabilities for one sample.
+    ///
+    /// # Panics
+    /// Panics when the feature count differs from training.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_features, "softmax: feature count mismatch");
+        let mut probs = vec![0.0; self.n_classes()];
+        softmax_probs(&self.w, x, &mut probs);
+        probs
+    }
+
+    /// Most likely class for one sample.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let probs = self.predict_proba(x);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+/// Numerically stable softmax of `W [x; 1]` into `out`.
+fn softmax_probs(w: &Matrix, x: &[f64], out: &mut [f64]) {
+    let n_features = x.len();
+    let mut max_logit = f64::MIN;
+    for c in 0..w.rows() {
+        let row = w.row(c);
+        let mut z = row[n_features];
+        for (f, &xf) in x.iter().enumerate() {
+            z += row[f] * xf;
+        }
+        out[c] = z;
+        max_logit = max_logit.max(z);
+    }
+    let mut sum = 0.0;
+    for z in out.iter_mut() {
+        *z = (*z - max_logit).exp();
+        sum += *z;
+    }
+    for z in out.iter_mut() {
+        *z /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable three-class blob data.
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let centers = [[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]];
+        for (cls, c) in centers.iter().enumerate() {
+            for k in 0..30 {
+                let dx = 0.3 * ((k * 7 % 11) as f64 / 11.0 - 0.5);
+                let dy = 0.3 * ((k * 13 % 17) as f64 / 17.0 - 0.5);
+                xs.push(vec![c[0] + dx, c[1] + dy]);
+                ys.push(cls);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn separable_data_is_learned() {
+        let (xs, ys) = blobs();
+        let model = Softmax::train(&xs, &ys, 3, &SoftmaxConfig::default());
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        assert_eq!(correct, xs.len(), "training accuracy {correct}/{}", xs.len());
+        // Held-out points near the centers classify correctly.
+        assert_eq!(model.predict(&[0.1, -0.1]), 0);
+        assert_eq!(model.predict(&[3.8, 0.2]), 1);
+        assert_eq!(model.predict(&[-0.2, 4.1]), 2);
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let (xs, ys) = blobs();
+        let model = Softmax::train(&xs, &ys, 3, &SoftmaxConfig::default());
+        let p = model.predict_proba(&[1.0, 1.0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn large_logits_are_stable() {
+        // Huge feature values must not overflow the softmax.
+        let xs = vec![vec![1e6, -1e6], vec![-1e6, 1e6]];
+        let ys = vec![0, 1];
+        let model = Softmax::train(&xs, &ys, 2, &SoftmaxConfig { epochs: 5, lr: 1e-7, l2: 0.0 });
+        let p = model.predict_proba(&[1e6, -1e6]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors() {
+        let (xs, ys) = blobs();
+        let model = Softmax::train(&xs, &ys, 3, &SoftmaxConfig { epochs: 1, ..Default::default() });
+        assert_eq!(model.n_classes(), 3);
+        assert_eq!(model.n_features(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training samples")]
+    fn empty_training_panics() {
+        let _ = Softmax::train(&[], &[], 2, &SoftmaxConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn wrong_feature_count_panics() {
+        let (xs, ys) = blobs();
+        let model = Softmax::train(&xs, &ys, 3, &SoftmaxConfig { epochs: 1, ..Default::default() });
+        let _ = model.predict(&[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Timing of the ablation variants for the design choices DESIGN.md calls
+//! out: Eq. (11) proximity scaling, ellipse fitting method, subspace
+//! dimension, naive vs capability detection groups, and the MLR
+//! imputation policy. The *quality* impact of the same switches is
+//! measured by `repro ablations` in `pmu-eval`; these benches track their
+//! runtime cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmu_baseline::{Imputation, MlrConfig, MlrDetector};
+use pmu_bench::{bench_config, bench_dataset};
+use pmu_detect::config::EllipseMethod;
+use pmu_detect::{Detector, DetectorConfig};
+use pmu_sim::missing::outage_endpoints_mask;
+use std::hint::black_box;
+
+fn bench_proximity_scaling(c: &mut Criterion) {
+    let data = bench_dataset();
+    let mut group = c.benchmark_group("ablation_scaling");
+    group.sample_size(10);
+    for (label, scale) in [("eq11_scaled", true), ("unscaled", false)] {
+        let cfg = DetectorConfig { scale_proximities: scale, ..bench_config(&data.network) };
+        let det = Detector::train(&data, &cfg).unwrap();
+        let sample = data.cases[0].test.sample(0);
+        group.bench_function(BenchmarkId::new("detect", label), |b| {
+            b.iter(|| black_box(det.detect(black_box(&sample)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ellipse_methods(c: &mut Criterion) {
+    let data = bench_dataset();
+    let mut group = c.benchmark_group("ablation_ellipse");
+    group.sample_size(10);
+    for (label, method) in [
+        ("scaled_covariance", EllipseMethod::ScaledCovariance),
+        ("min_volume", EllipseMethod::MinVolume),
+    ] {
+        let cfg = DetectorConfig { ellipse: method, ..bench_config(&data.network) };
+        group.bench_function(BenchmarkId::new("train", label), |b| {
+            b.iter(|| black_box(Detector::train(&data, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_subspace_dims(c: &mut Criterion) {
+    let data = bench_dataset();
+    let mut group = c.benchmark_group("ablation_subspace_dim");
+    group.sample_size(10);
+    for dim in [2usize, 3, 5] {
+        let cfg = DetectorConfig { subspace_dim: dim, ..bench_config(&data.network) };
+        let det = Detector::train(&data, &cfg).unwrap();
+        let mask = outage_endpoints_mask(14, data.cases[0].endpoints);
+        let sample = data.cases[0].test.sample(0).masked(&mask);
+        group.bench_function(BenchmarkId::new("detect_masked", dim), |b| {
+            b.iter(|| black_box(det.detect(black_box(&sample)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_formation(c: &mut Criterion) {
+    let data = bench_dataset();
+    let mut group = c.benchmark_group("ablation_groups");
+    group.sample_size(10);
+    for (label, fraction) in [("naive", 0.0), ("proposed", 1.0)] {
+        let cfg =
+            DetectorConfig { capability_fraction: fraction, ..bench_config(&data.network) };
+        group.bench_function(BenchmarkId::new("train", label), |b| {
+            b.iter(|| black_box(Detector::train(&data, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mlr_imputation(c: &mut Criterion) {
+    let data = bench_dataset();
+    let mut group = c.benchmark_group("ablation_mlr");
+    group.sample_size(10);
+    for (label, imp) in
+        [("mean_impute", Imputation::TrainingMean), ("zero_impute", Imputation::Zero)]
+    {
+        let cfg = MlrConfig { imputation: imp, ..MlrConfig::default() };
+        let mlr = MlrDetector::train(&data, &cfg);
+        let mask = outage_endpoints_mask(14, data.cases[0].endpoints);
+        let sample = data.cases[0].test.sample(0).masked(&mask);
+        group.bench_function(BenchmarkId::new("predict", label), |b| {
+            b.iter(|| black_box(mlr.predict(black_box(&sample))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_proximity_scaling,
+    bench_ellipse_methods,
+    bench_subspace_dims,
+    bench_group_formation,
+    bench_mlr_imputation
+);
+criterion_main!(benches);

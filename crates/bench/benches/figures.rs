@@ -1,0 +1,43 @@
+//! End-to-end timing of every figure-reproduction pipeline at CI scale
+//! (IEEE-14, fast evaluation). The printed *data* for each figure comes
+//! from `cargo run -p pmu-eval --bin repro`; these benches keep the cost
+//! of each pipeline visible so regressions in the detector or simulator
+//! show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmu_eval::figures;
+use pmu_eval::runner::{EvalScale, SystemSetup};
+use std::hint::black_box;
+
+fn setup() -> Vec<SystemSetup> {
+    vec![SystemSetup::build("ieee14", EvalScale::Fast, 0xBE7C)]
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let setups = setup();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig4_group_formation_sweep", |b| {
+        b.iter(|| black_box(figures::fig4(&setups, EvalScale::Fast)))
+    });
+    group.bench_function("fig5_complete_data", |b| {
+        b.iter(|| black_box(figures::fig5(&setups, EvalScale::Fast)))
+    });
+    group.bench_function("fig7_missing_outage_data", |b| {
+        b.iter(|| black_box(figures::fig7(&setups, EvalScale::Fast)))
+    });
+    group.bench_function("fig8_random_missing_normal", |b| {
+        b.iter(|| black_box(figures::fig8(&setups)))
+    });
+    group.bench_function("fig9_random_missing_outage", |b| {
+        b.iter(|| black_box(figures::fig9(&setups, EvalScale::Fast)))
+    });
+    group.bench_function("fig10_reliability_sweep", |b| {
+        b.iter(|| black_box(figures::fig10(&setups, EvalScale::Fast)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

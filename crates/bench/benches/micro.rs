@@ -1,0 +1,104 @@
+//! Microbenchmarks of the core primitives: dense numerics, power flow,
+//! dataset generation, detector training, and — the number the paper's
+//! "online application" claim rides on — single-sample detection latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmu_bench::{bench_dataset, bench_detector};
+use pmu_flow::{solve_ac, solve_dc, AcConfig};
+use pmu_grid::cases::{ieee118, ieee14};
+use pmu_numerics::lu::LuFactors;
+use pmu_numerics::qr::QrFactors;
+use pmu_numerics::{Matrix, Svd, Vector};
+use pmu_sim::missing::outage_endpoints_mask;
+use pmu_sim::{generate_dataset, GenConfig};
+use std::hint::black_box;
+
+fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+fn bench_numerics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numerics");
+    for &n in &[30usize, 60, 118] {
+        let square = deterministic_matrix(n, n, 42);
+        // Diagonally dominant variant for LU.
+        let mut dd = square.clone();
+        for i in 0..n {
+            let row_sum: f64 = dd.row(i).iter().map(|x| x.abs()).sum();
+            dd[(i, i)] += row_sum + 1.0;
+        }
+        let rhs = Vector::ones(n);
+        group.bench_with_input(BenchmarkId::new("lu_factorize_solve", n), &n, |b, _| {
+            b.iter(|| {
+                let lu = LuFactors::factorize(black_box(&dd)).unwrap();
+                black_box(lu.solve(&rhs).unwrap())
+            })
+        });
+        let tall = deterministic_matrix(n, 20, 7);
+        group.bench_with_input(BenchmarkId::new("svd_nx20", n), &n, |b, _| {
+            b.iter(|| black_box(Svd::compute(black_box(&tall)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("qr_nx20", n), &n, |b, _| {
+            b.iter(|| black_box(QrFactors::factorize(black_box(&tall)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_power_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_flow");
+    let n14 = ieee14().unwrap();
+    let n118 = ieee118().unwrap();
+    group.bench_function("ac_newton_ieee14", |b| {
+        b.iter(|| black_box(solve_ac(&n14, &AcConfig::default()).unwrap()))
+    });
+    group.bench_function("ac_newton_ieee118", |b| {
+        b.iter(|| black_box(solve_ac(&n118, &AcConfig::default()).unwrap()))
+    });
+    group.bench_function("dc_ieee118", |b| {
+        b.iter(|| black_box(solve_dc(&n118).unwrap()))
+    });
+    group.bench_function("fdpf_ieee118", |b| {
+        b.iter(|| {
+            black_box(
+                pmu_flow::solve_fdpf(&n118, &pmu_flow::FdpfConfig::default()).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    let net = ieee14().unwrap();
+    let gen = GenConfig { train_len: 10, test_len: 3, seed: 3, ..GenConfig::default() };
+    group.bench_function("dataset_generation_ieee14_small", |b| {
+        b.iter(|| black_box(generate_dataset(&net, &gen).unwrap()))
+    });
+
+    let data = bench_dataset();
+    group.bench_function("detector_training_ieee14", |b| {
+        b.iter(|| black_box(bench_detector(&data)))
+    });
+
+    let det = bench_detector(&data);
+    let complete = data.cases[0].test.sample(0);
+    group.bench_function("detect_complete_sample", |b| {
+        b.iter(|| black_box(det.detect(black_box(&complete)).unwrap()))
+    });
+    let mask = outage_endpoints_mask(14, data.cases[0].endpoints);
+    let masked = complete.masked(&mask);
+    group.bench_function("detect_masked_sample", |b| {
+        b.iter(|| black_box(det.detect(black_box(&masked)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_numerics, bench_power_flow, bench_pipeline);
+criterion_main!(benches);

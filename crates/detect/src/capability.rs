@@ -1,0 +1,276 @@
+//! Detection capabilities — Eq. (5)–(7) of the paper.
+//!
+//! For outage case `F = {e_ij}`, the capability of node `k` is the rate at
+//! which `k`'s measurements leave its normal-operation ellipse during the
+//! outage, normalized by how consistently its normal measurements stay
+//! inside (Eq. 5). Per target node `i`, the aggregate `p_{i,k}` is the
+//! probability that `k` detects *any* outage case involving `i`, computed
+//! by inclusion–exclusion over the case set `F_i` (Eq. 7) — which, under
+//! the independence assumption the paper makes, collapses to
+//! `1 − Π_F (1 − p_k(F))`. Both forms are implemented and tested against
+//! each other.
+
+// Indexed loops are the clearest expression of the dense numerical
+// kernels in this module.
+#![allow(clippy::needless_range_loop)]
+
+use crate::config::DetectorConfig;
+use crate::ellipse::Ellipse;
+use crate::error::DetectError;
+use crate::Result;
+use pmu_numerics::Matrix;
+use pmu_sim::dataset::Dataset;
+use pmu_sim::PhasorWindow;
+
+/// Fit one normal-operation ellipse per node from the normal training
+/// window.
+///
+/// # Errors
+/// Propagates ellipse fitting failures (degenerate clouds).
+pub fn fit_node_ellipses(normal: &PhasorWindow, cfg: &DetectorConfig) -> Result<Vec<Ellipse>> {
+    let n = normal.n_nodes();
+    let t = normal.len();
+    let mut out = Vec::with_capacity(n);
+    for node in 0..n {
+        let points: Vec<[f64; 2]> = (0..t).map(|ti| normal.point2(node, ti)).collect();
+        out.push(Ellipse::fit(&points, cfg.ellipse, cfg.ellipse_margin)?);
+    }
+    Ok(out)
+}
+
+/// Eq. (5): capability of node `k` to flag one outage case, given that
+/// case's window and the node's normal window.
+pub fn case_capability(
+    k: usize,
+    ellipse: &Ellipse,
+    outage: &PhasorWindow,
+    normal: &PhasorWindow,
+) -> f64 {
+    let outside = (0..outage.len())
+        .filter(|&t| !ellipse.contains(outage.point2(k, t)))
+        .count();
+    let inside_normal = (0..normal.len())
+        .filter(|&t| ellipse.contains(normal.point2(k, t)))
+        .count();
+    if inside_normal == 0 {
+        return 0.0; // The node's normal behaviour is not captured; unusable.
+    }
+    (outside as f64 / inside_normal as f64).clamp(0.0, 1.0)
+}
+
+/// Eq. (7) closed form under independence: `1 − Π (1 − p)`.
+pub fn union_probability(ps: &[f64]) -> f64 {
+    1.0 - ps.iter().fold(1.0, |acc, &p| acc * (1.0 - p.clamp(0.0, 1.0)))
+}
+
+/// Eq. (7) literal inclusion–exclusion (exponential in `|ps|`; used for
+/// validation and small case sets).
+///
+/// # Panics
+/// Panics for more than 20 cases (use [`union_probability`]).
+pub fn union_probability_inclusion_exclusion(ps: &[f64]) -> f64 {
+    let l = ps.len();
+    assert!(l <= 20, "inclusion-exclusion limited to 20 cases");
+    let mut total = 0.0;
+    for bits in 1u64..(1u64 << l) {
+        let mut prod = 1.0;
+        let mut count = 0u32;
+        for (i, &p) in ps.iter().enumerate() {
+            if bits >> i & 1 == 1 {
+                prod *= p;
+                count += 1;
+            }
+        }
+        let sign = if count % 2 == 1 { 1.0 } else { -1.0 };
+        total += sign * prod;
+    }
+    total
+}
+
+/// The full capability matrix: entry `(i, k)` is `p_{i,k}`, the aggregate
+/// capability of node `k` to detect any outage involving node `i`.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
+pub struct CapabilityMatrix {
+    /// N×N matrix, rows = target node `i`, columns = detecting node `k`.
+    pub p: Matrix,
+}
+
+impl CapabilityMatrix {
+    /// Capability of `k` detecting outages of `i`.
+    pub fn get(&self, i: usize, k: usize) -> f64 {
+        self.p[(i, k)]
+    }
+
+    /// Detecting nodes ranked (descending) by capability for target `i`.
+    pub fn ranked_detectors(&self, i: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.p.cols()).collect();
+        idx.sort_by(|&a, &b| self.p[(i, b)].partial_cmp(&self.p[(i, a)]).unwrap());
+        idx
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.p.rows()
+    }
+}
+
+/// Learn the capability matrix from a dataset (Eq. 5 per case, Eq. 7
+/// aggregation per node pair).
+///
+/// # Errors
+/// Propagates ellipse-fitting failures and rejects empty datasets.
+pub fn learn_capabilities(
+    data: &Dataset,
+    ellipses: &[Ellipse],
+    _cfg: &DetectorConfig,
+) -> Result<CapabilityMatrix> {
+    let n = data.n_nodes();
+    if data.cases.is_empty() {
+        return Err(DetectError::InvalidTrainingData("dataset has no outage cases".into()));
+    }
+    if ellipses.len() != n {
+        return Err(DetectError::InvalidTrainingData(format!(
+            "{} ellipses for {} nodes",
+            ellipses.len(),
+            n
+        )));
+    }
+
+    // Per-case capability of each node k.
+    // caps[ci][k] = p_k(F_ci)
+    let caps: Vec<Vec<f64>> = data
+        .cases
+        .iter()
+        .map(|case| {
+            (0..n)
+                .map(|k| case_capability(k, &ellipses[k], &case.train, &data.normal_train))
+                .collect()
+        })
+        .collect();
+
+    // Aggregate per target node via the union probability over F_i.
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, case) in data.cases.iter().enumerate() {
+        incident[case.endpoints.0].push(ci);
+        incident[case.endpoints.1].push(ci);
+    }
+    let p = Matrix::from_fn(n, n, |i, k| {
+        let ps: Vec<f64> = incident[i].iter().map(|&ci| caps[ci][k]).collect();
+        union_probability(&ps)
+    });
+    Ok(CapabilityMatrix { p })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu_grid::cases::ieee14;
+    use pmu_sim::{generate_dataset, GenConfig};
+
+    fn tiny_dataset() -> Dataset {
+        let net = ieee14().unwrap();
+        let cfg = GenConfig { train_len: 12, test_len: 3, ..GenConfig::default() };
+        generate_dataset(&net, &cfg).unwrap()
+    }
+
+    #[test]
+    fn union_probability_forms_agree() {
+        let cases = [
+            vec![0.5],
+            vec![0.2, 0.9],
+            vec![0.1, 0.1, 0.1],
+            vec![0.0, 1.0, 0.3],
+            vec![0.25, 0.5, 0.75, 0.33],
+        ];
+        for ps in &cases {
+            let closed = union_probability(ps);
+            let incl = union_probability_inclusion_exclusion(ps);
+            assert!((closed - incl).abs() < 1e-12, "{ps:?}: {closed} vs {incl}");
+        }
+    }
+
+    #[test]
+    fn union_probability_bounds() {
+        assert_eq!(union_probability(&[]), 0.0);
+        assert_eq!(union_probability(&[1.0, 0.0]), 1.0);
+        assert!(union_probability(&[0.3, 0.3]) > 0.3);
+        assert!(union_probability(&[0.3, 0.3]) <= 0.6);
+        // Clamps out-of-range inputs.
+        assert!(union_probability(&[1.7]) <= 1.0);
+    }
+
+    #[test]
+    fn ellipses_capture_normal_operation() {
+        let data = tiny_dataset();
+        let cfg = DetectorConfig::default();
+        let ellipses = fit_node_ellipses(&data.normal_train, &cfg).unwrap();
+        assert_eq!(ellipses.len(), 14);
+        // Every normal training point is inside its node's ellipse.
+        for node in 0..14 {
+            for t in 0..data.normal_train.len() {
+                assert!(ellipses[node].contains(data.normal_train.point2(node, t)));
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_have_high_capability() {
+        let data = tiny_dataset();
+        let cfg = DetectorConfig::default();
+        let ellipses = fit_node_ellipses(&data.normal_train, &cfg).unwrap();
+        // For each case, the endpoint nodes should sit in the upper half of
+        // capability ranking ("node i and its immediate neighbors should
+        // have the highest detection accuracy").
+        let mut endpoint_better = 0usize;
+        let mut total = 0usize;
+        for case in &data.cases {
+            let caps: Vec<f64> = (0..14)
+                .map(|k| case_capability(k, &ellipses[k], &case.train, &data.normal_train))
+                .collect();
+            let mean: f64 = caps.iter().sum::<f64>() / 14.0;
+            for &e in &[case.endpoints.0, case.endpoints.1] {
+                total += 1;
+                if caps[e] >= mean {
+                    endpoint_better += 1;
+                }
+            }
+        }
+        assert!(
+            endpoint_better * 10 >= total * 7,
+            "endpoints above-mean in only {endpoint_better}/{total} cases"
+        );
+    }
+
+    #[test]
+    fn capability_matrix_shape_and_range() {
+        let data = tiny_dataset();
+        let cfg = DetectorConfig::default();
+        let ellipses = fit_node_ellipses(&data.normal_train, &cfg).unwrap();
+        let cm = learn_capabilities(&data, &ellipses, &cfg).unwrap();
+        assert_eq!(cm.n_nodes(), 14);
+        for i in 0..14 {
+            for k in 0..14 {
+                let v = cm.get(i, k);
+                assert!((0.0..=1.0).contains(&v), "p[{i},{k}] = {v}");
+            }
+        }
+        // Ranked detectors are a permutation.
+        let r = cm.ranked_detectors(3);
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..14).collect::<Vec<_>>());
+        // And actually sorted by capability.
+        for w in r.windows(2) {
+            assert!(cm.get(3, w[0]) >= cm.get(3, w[1]));
+        }
+    }
+
+    #[test]
+    fn mismatched_ellipses_rejected() {
+        let data = tiny_dataset();
+        let cfg = DetectorConfig::default();
+        let ellipses = fit_node_ellipses(&data.normal_train, &cfg).unwrap();
+        assert!(learn_capabilities(&data, &ellipses[..5], &cfg).is_err());
+    }
+}

@@ -1,0 +1,788 @@
+//! The end-to-end detector — Sec. IV-C of the paper.
+//!
+//! Training learns, in order: PDC clusters, case/node subspaces (Eq. 3),
+//! per-node ellipses (Eq. 4), detection capabilities (Eq. 5–7), detection
+//! groups (Eq. 8), and a normal-operation decision threshold from training
+//! residuals. Detection on a (possibly incomplete) sample then:
+//!
+//! 1. evaluates the proximity of the observed data to `S⁰` and to the
+//!    best-matching outage subspace — a sample is *normal* when its `S⁰`
+//!    residual stays under the learned threshold and no outage subspace
+//!    explains the data decisively better (this is what lets the scheme
+//!    tell data problems apart from physical failures);
+//! 2. per node *i*, selects the detection group per Eq. (10) (in-cluster
+//!    when the node's cluster is fully observed, out-of-cluster
+//!    otherwise), computes proximities to `S_i^∪`, `S_i^∩` and `S⁰`
+//!    restricted to the group (Eq. 9), and scales them per Eq. (11).
+//!    The proximity to the union `S_i^∪ = ⋃_k S^{\e_ik}` is the minimum
+//!    of the per-member proximities — the distance to a union of sets is
+//!    the minimum of the member distances;
+//! 3. ranks nodes by scaled proximity, extends the best node into a
+//!    connected *proximity-rule* prefix, and emits the candidate line set
+//!    `F̂` by scoring each in-prefix line's own outage subspace.
+
+// Indexed loops are the clearest expression of the dense numerical
+// kernels in this module.
+#![allow(clippy::needless_range_loop)]
+
+use crate::capability::{fit_node_ellipses, learn_capabilities, CapabilityMatrix};
+use crate::config::DetectorConfig;
+use crate::error::DetectError;
+use crate::groups::{build_groups, DetectionGroups};
+use crate::proximity::proximity;
+use crate::subspaces::{learn_subspaces, LearnedSubspaces};
+use crate::Result;
+use pmu_grid::cluster::{partition_clusters, Clustering};
+use pmu_grid::Network;
+use pmu_numerics::stats::quantile;
+use pmu_numerics::Vector;
+use pmu_sim::dataset::Dataset;
+use pmu_sim::{PhasorSample, PhasorWindow};
+
+/// Floor protecting the Eq. (11) division.
+const PROX_EPS: f64 = 1e-18;
+
+/// The result of running the detector on one sample.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// `true` when the sample is classified as containing an outage.
+    pub outage: bool,
+    /// Branch indices of the identified outaged lines (`F̂`); empty for a
+    /// normal classification.
+    pub lines: Vec<usize>,
+    /// Nodes ranked by scaled proximity, ascending (most suspicious
+    /// first); only meaningful when `outage`.
+    pub node_ranking: Vec<(usize, f64)>,
+    /// The `S⁰` residual of the observed data (per residual dimension).
+    pub normal_residual: f64,
+    /// The best per-case outage-subspace residual of the observed data.
+    pub best_case_residual: f64,
+    /// The decision threshold the `S⁰` residual was compared against.
+    pub threshold: f64,
+}
+
+/// A trained outage detector.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug)]
+pub struct Detector {
+    cfg: DetectorConfig,
+    n: usize,
+    /// Branch index of each learned outage case (aligned with the learned
+    /// per-case subspaces).
+    case_branch: Vec<usize>,
+    /// Endpoints of each learned case.
+    case_endpoints: Vec<(usize, usize)>,
+    /// Cases incident to each node (the paper's `F_i`).
+    incident_cases: Vec<Vec<usize>>,
+    /// Bus adjacency over in-service lines.
+    adjacency: Vec<Vec<usize>>,
+    clustering: Clustering,
+    subspaces: LearnedSubspaces,
+    capabilities: CapabilityMatrix,
+    groups: DetectionGroups,
+    /// Hard threshold: `S⁰` residual above this is an outage outright.
+    threshold: f64,
+    /// Soft threshold (the largest calibration residual): the ratio test
+    /// against the best outage subspace only applies above this floor, so
+    /// noise-level residual fluctuations can never trip it.
+    threshold_soft: f64,
+    /// Calibrated ratio cut for the ratio test (≤ `cfg.decision_ratio`):
+    /// on held-out normal samples with *light* random masks, the best
+    /// outage subspace never undercut `S⁰` by more than this factor.
+    ratio_cut: f64,
+    /// As `ratio_cut`, calibrated against *heavy* masks (a dark PDC
+    /// cluster); applied when a large share of the sample is missing.
+    ratio_cut_heavy: f64,
+}
+
+impl Detector {
+    /// Train a detector on a dataset.
+    ///
+    /// # Errors
+    /// Returns configuration and training-data validation errors, and
+    /// propagates numerical failures from the learning stages.
+    pub fn train(data: &Dataset, cfg: &DetectorConfig) -> Result<Self> {
+        cfg.validate()?;
+        let net = &data.network;
+        let n = net.n_buses();
+        if data.normal_train.n_nodes() != n {
+            return Err(DetectError::InvalidTrainingData(
+                "normal window node count differs from network".into(),
+            ));
+        }
+        let n_clusters = cfg.n_clusters.min(n);
+        let clustering = partition_clusters(net, n_clusters)
+            .map_err(|e| DetectError::InvalidTrainingData(e.to_string()))?;
+        let mut subspaces = learn_subspaces(data, cfg)?;
+        // Hold out the tail of the normal window for threshold calibration
+        // and refit S⁰ on the head only, so calibration sees honest
+        // residuals (the OU load process drifts over the window).
+        let t_total = data.normal_train.len();
+        let holdout_start = (t_total * 2 / 3).clamp(1, t_total.saturating_sub(2));
+        if t_total >= 6 {
+            let head: Vec<usize> = (0..holdout_start).collect();
+            let head_m = data.normal_train.matrix(cfg.kind).select_columns(&head);
+            let t = head.len();
+            let normal_dim = cfg
+                .normal_dim
+                .unwrap_or_else(|| cfg.subspace_dim.max(n / 6))
+                .min((t / 2).max(cfg.subspace_dim));
+            subspaces.normal = crate::subspaces::case_subspace(&head_m, normal_dim)?;
+        }
+        let ellipses = fit_node_ellipses(&data.normal_train, cfg)?;
+        let capabilities = learn_capabilities(data, &ellipses, cfg)?;
+
+        // PCA loading matrix for the naive-group ablation: normal + all
+        // outage training windows concatenated.
+        let mut concat = data.normal_train.matrix(cfg.kind).clone();
+        for case in &data.cases {
+            concat = concat.hcat(case.train.matrix(cfg.kind))?;
+        }
+        let groups = build_groups(&clustering, &capabilities, &concat, cfg)?;
+
+        let calib = calibrate(&subspaces, &data.normal_train, holdout_start, cfg)?;
+        let (threshold, threshold_soft, ratio_cut, ratio_cut_heavy) =
+            (calib.hard, calib.soft, calib.ratio_cut, calib.ratio_cut_heavy);
+
+        let case_branch: Vec<usize> = data.cases.iter().map(|c| c.branch).collect();
+        let case_endpoints: Vec<(usize, usize)> =
+            data.cases.iter().map(|c| c.endpoints).collect();
+        let mut incident_cases: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, &(a, b)) in case_endpoints.iter().enumerate() {
+            incident_cases[a].push(ci);
+            incident_cases[b].push(ci);
+        }
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for br in net.branches().iter().filter(|b| b.status) {
+            adjacency[br.from].push(br.to);
+            adjacency[br.to].push(br.from);
+        }
+
+        Ok(Detector {
+            cfg: cfg.clone(),
+            n,
+            case_branch,
+            case_endpoints,
+            incident_cases,
+            adjacency,
+            clustering,
+            subspaces,
+            capabilities,
+            groups,
+            threshold,
+            threshold_soft,
+            ratio_cut,
+            ratio_cut_heavy,
+        })
+    }
+
+    /// Number of monitored nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The learned normal/outage decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The calibration floor: the largest `S⁰` residual observed on
+    /// held-out normal samples (complete and masked). `threshold()` is
+    /// this value times the configured margin.
+    pub fn threshold_soft(&self) -> f64 {
+        self.threshold_soft
+    }
+
+    /// The calibrated ratio cut used by the best-case/normal ratio test.
+    pub fn ratio_cut(&self) -> f64 {
+        self.ratio_cut
+    }
+
+    /// The learned capability matrix (exposed for analysis and benches).
+    pub fn capabilities(&self) -> &CapabilityMatrix {
+        &self.capabilities
+    }
+
+    /// The learned detection groups (exposed for analysis and benches).
+    pub fn groups(&self) -> &DetectionGroups {
+        &self.groups
+    }
+
+    /// The PDC clustering in effect.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// The learned subspaces (exposed for analysis and benches).
+    pub fn subspaces(&self) -> &LearnedSubspaces {
+        &self.subspaces
+    }
+
+    /// Serialize the trained model to JSON. Training is the expensive
+    /// step (many power-flow solves feed it); a control center trains in
+    /// the day-ahead planning stage and ships the serialized model to the
+    /// online application.
+    ///
+    /// # Errors
+    /// Returns [`DetectError::InvalidTrainingData`] when serialization
+    /// fails (cannot happen for a well-formed model).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| DetectError::InvalidTrainingData(format!("serialize: {e}")))
+    }
+
+    /// Deserialize a trained model from [`Detector::to_json`] output.
+    ///
+    /// # Errors
+    /// Returns [`DetectError::InvalidTrainingData`] for malformed input.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| DetectError::InvalidTrainingData(format!("deserialize: {e}")))
+    }
+
+    /// Classify one (possibly incomplete) sample.
+    ///
+    /// # Errors
+    /// Returns [`DetectError::SampleMismatch`] for a wrong-sized sample and
+    /// [`DetectError::InsufficientData`] when fewer than
+    /// `subspace_dim + 2` measurements are observed.
+    pub fn detect(&self, sample: &PhasorSample) -> Result<Detection> {
+        if sample.n_nodes() != self.n {
+            return Err(DetectError::SampleMismatch { expected: self.n, got: sample.n_nodes() });
+        }
+        let observed = sample.mask().observed();
+        let needed = self.cfg.subspace_dim + 2;
+        if observed.len() < needed {
+            return Err(DetectError::InsufficientData { observed: observed.len(), needed });
+        }
+
+        // --- 1. Normal / outage decision over all observed data. ---
+        let x_obs = Vector::from(
+            sample
+                .values_for(&observed, self.cfg.kind)
+                .expect("observed nodes are unmasked"),
+        );
+        let normal_residual = proximity(&self.subspaces.normal, &observed, &x_obs)?;
+        let mut best_case_residual = f64::INFINITY;
+        for s in &self.subspaces.per_case {
+            let r = proximity(s, &observed, &x_obs)?;
+            if r < best_case_residual {
+                best_case_residual = r;
+            }
+        }
+        let over_threshold = normal_residual > self.threshold;
+        // The ratio cuts are calibrated so that *no* held-out normal sample
+        // (complete or masked) fires them, so they need no residual floor.
+        // Heavy missing data gets its own (stricter) cut.
+        let cut = if sample.mask().n_missing() * 6 > self.n {
+            self.ratio_cut_heavy
+        } else {
+            self.ratio_cut
+        };
+        let ratio_hit = best_case_residual < cut * normal_residual;
+        if !(over_threshold || ratio_hit) {
+            return Ok(Detection {
+                outage: false,
+                lines: Vec::new(),
+                node_ranking: Vec::new(),
+                normal_residual,
+                best_case_residual,
+                threshold: self.threshold,
+            });
+        }
+
+        // --- 2. Per-node scaled proximities (Eq. 9–11). ---
+        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(self.n);
+        let mut groups_used: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for node in 0..self.n {
+            if self.incident_cases[node].is_empty() {
+                continue; // No learned outage behaviour for this node.
+            }
+            let d = self.group_for(node, sample);
+            if d.len() < 2 {
+                continue;
+            }
+            let x_d = Vector::from(
+                sample.values_for(&d, self.cfg.kind).expect("group members observed"),
+            );
+            // prox to S_i^∪ = min over the member case subspaces.
+            let mut ru = f64::INFINITY;
+            for &ci in &self.incident_cases[node] {
+                let r = proximity(&self.subspaces.per_case[ci], &d, &x_d)?;
+                if r < ru {
+                    ru = r;
+                }
+            }
+            let score = if self.cfg.scale_proximities {
+                let rn = proximity(&self.subspaces.intersection[node], &d, &x_d)?;
+                let r0 = proximity(&self.subspaces.normal, &d, &x_d)?;
+                ru * rn / r0.max(PROX_EPS)
+            } else {
+                ru
+            };
+            scored.push((node, score));
+            groups_used[node] = d;
+        }
+        if scored.is_empty() {
+            return Err(DetectError::InsufficientData { observed: observed.len(), needed });
+        }
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+        // --- 3. Proximity rule: connected prefix of the ranking. ---
+        // Line scoring restricted to the union of the top-ranked nodes'
+        // detection groups: group formation (Fig. 4) and the
+        // cluster-aware alternatives (Eq. 10) carry through to
+        // localization quality, while the union keeps enough coordinates
+        // to disambiguate neighbouring lines.
+        let mut loc_group: Vec<usize> = Vec::new();
+        for &(node, _) in scored.iter().take(3) {
+            for &k in &groups_used[node] {
+                if !loc_group.contains(&k) {
+                    loc_group.push(k);
+                }
+            }
+        }
+        // "Ideally all nodes with high detection capabilities in D_C
+        // should be included in the detection group" (Sec. V-B): add every
+        // observed node whose learned capability for the best candidate is
+        // above threshold. The naive ablation (fraction = 0) has no
+        // capability knowledge and honestly skips this.
+        if self.cfg.capability_fraction > 0.0 {
+            let best_node = scored[0].0;
+            for &k in &observed {
+                if self.capabilities.get(best_node, k) >= self.cfg.capability_threshold
+                    && !loc_group.contains(&k)
+                {
+                    loc_group.push(k);
+                }
+            }
+        }
+        loc_group.sort_unstable();
+        let lines = self.localize(&scored, &loc_group, sample)?;
+
+        Ok(Detection {
+            outage: true,
+            lines,
+            node_ranking: scored,
+            normal_residual,
+            best_case_residual,
+            threshold: self.threshold,
+        })
+    }
+
+    /// Eq. (10) group selection for `node` given the sample's mask, with
+    /// observed-only filtering and capability-ranked top-up to the minimum
+    /// size.
+    fn group_for(&self, node: usize, sample: &PhasorSample) -> Vec<usize> {
+        let c = self.clustering.cluster_of(node);
+        let cluster_dark = sample.mask().any_missing_of(self.clustering.members(c));
+        let base = self.groups.select(c, cluster_dark);
+        let mut d: Vec<usize> =
+            base.iter().copied().filter(|&k| !sample.mask().is_missing(k)).collect();
+        if d.len() < self.cfg.min_group_size {
+            // Top-up source honours the Fig. 4 ablation: the proposed
+            // scheme (fraction > 0) uses learned capabilities, the naive
+            // scheme falls back to plain node order.
+            let order: Vec<usize> = if self.cfg.capability_fraction > 0.0 {
+                self.capabilities.ranked_detectors(node)
+            } else {
+                (0..self.n).collect()
+            };
+            for &k in &order {
+                if d.len() >= self.cfg.min_group_size {
+                    break;
+                }
+                if !sample.mask().is_missing(k) && !d.contains(&k) {
+                    d.push(k);
+                }
+            }
+        }
+        d.sort_unstable();
+        d
+    }
+
+    /// Proximity-rule localization: grow a connected prefix from the
+    /// best-ranked node, then score each candidate line by its own outage
+    /// subspace and keep those within `edge_ratio` of the best.
+    fn localize(
+        &self,
+        scored: &[(usize, f64)],
+        best_group: &[usize],
+        sample: &PhasorSample,
+    ) -> Result<Vec<usize>> {
+        let (best, best_score) = scored[0];
+        let limit = (best_score.max(PROX_EPS)) * self.cfg.prefix_ratio;
+        let in_band: Vec<usize> = scored
+            .iter()
+            .filter(|&&(_, s)| s <= limit)
+            .map(|&(n, _)| n)
+            .collect();
+        // Connected component of `best` inside the band.
+        let mut component = vec![best];
+        let mut frontier = vec![best];
+        while let Some(u) = frontier.pop() {
+            for &v in &self.adjacency[u] {
+                if in_band.contains(&v) && !component.contains(&v) {
+                    component.push(v);
+                    frontier.push(v);
+                }
+            }
+        }
+
+        // Candidate cases, widening progressively: both endpoints inside
+        // the component; any endpoint inside the proximity band; incident
+        // to the best node. The final case-subspace scoring below is what
+        // separates true from spurious candidates, so a wider candidate
+        // set improves recall without inflating false alarms.
+        let mut cand: Vec<usize> = (0..self.case_branch.len())
+            .filter(|&ci| {
+                let (a, b) = self.case_endpoints[ci];
+                component.contains(&a) && component.contains(&b)
+            })
+            .collect();
+        if cand.is_empty() {
+            cand = (0..self.case_branch.len())
+                .filter(|&ci| {
+                    let (a, b) = self.case_endpoints[ci];
+                    in_band.contains(&a) || in_band.contains(&b)
+                })
+                .collect();
+        }
+        if cand.is_empty() {
+            cand = self.incident_cases[best].clone();
+        }
+        if cand.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Score candidates by their case subspace on the best node's group.
+        let x_d = Vector::from(
+            sample
+                .values_for(best_group, self.cfg.kind)
+                .expect("group members observed"),
+        );
+        let mut scored_cases: Vec<(usize, f64)> = Vec::with_capacity(cand.len());
+        for ci in cand {
+            let r = proximity(&self.subspaces.per_case[ci], best_group, &x_d)?;
+            scored_cases.push((ci, r));
+        }
+        scored_cases.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let best_edge = scored_cases[0].1.max(PROX_EPS);
+        Ok(scored_cases
+            .into_iter()
+            .filter(|&(_, s)| s <= best_edge * self.cfg.edge_ratio)
+            .map(|(ci, _)| self.case_branch[ci])
+            .collect())
+    }
+}
+
+/// Calibrated decision quantities.
+struct Calibration {
+    /// `S⁰` residual above this ⇒ outage outright.
+    hard: f64,
+    /// Ratio test applies only above this floor.
+    soft: f64,
+    /// Ratio cut for the best-case/normal comparison (light missing data).
+    ratio_cut: f64,
+    /// Ratio cut under heavy (cluster-scale) missing data.
+    ratio_cut_heavy: f64,
+}
+
+/// Calibrate the normal/outage decision on held-out normal samples
+/// (`t ≥ holdout_start`), each evaluated complete and under a few random
+/// missing-data masks so the statistics match what detection will see.
+fn calibrate(
+    subspaces: &LearnedSubspaces,
+    normal: &PhasorWindow,
+    holdout_start: usize,
+    cfg: &DetectorConfig,
+) -> Result<Calibration> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let n = normal.n_nodes();
+    let m = normal.matrix(cfg.kind);
+    let t_total = m.cols();
+    let start = holdout_start.min(t_total.saturating_sub(1));
+    let k_missing = (n / 15).max(2).min(n.saturating_sub(cfg.subspace_dim + 2));
+    let mut rng = StdRng::seed_from_u64(0xCA11B8);
+
+    let mut residuals: Vec<f64> = Vec::new();
+    let mut ratios_light: Vec<f64> = Vec::new();
+    let mut ratios_heavy: Vec<f64> = Vec::new();
+    // Cluster-scale missing data (a dark PDC) is a first-class scenario:
+    // calibrate against heavy masks too.
+    let k_heavy = (n / 2).max(k_missing).min(n.saturating_sub(cfg.subspace_dim + 2));
+    for t in start..t_total {
+        // Complete, light-mask, and heavy-mask variants per held-out sample.
+        for variant in 0..8 {
+            let observed: Vec<usize> = if variant == 0 {
+                (0..n).collect()
+            } else {
+                let k = if variant >= 5 { k_heavy } else { k_missing };
+                let mut obs: Vec<usize> = (0..n).collect();
+                for _ in 0..k {
+                    if obs.len() > cfg.subspace_dim + 2 {
+                        let pos = rng.gen_range(0..obs.len());
+                        obs.remove(pos);
+                    }
+                }
+                obs
+            };
+            let x = Vector::from_fn(observed.len(), |i| m[(observed[i], t)]);
+            let r0 = proximity(&subspaces.normal, &observed, &x)?;
+            residuals.push(r0);
+            let mut best = f64::INFINITY;
+            for s in &subspaces.per_case {
+                let r = proximity(s, &observed, &x)?;
+                if r < best {
+                    best = r;
+                }
+            }
+            if r0 > 1e-18 && best.is_finite() {
+                if variant >= 5 {
+                    ratios_heavy.push(best / r0);
+                } else {
+                    ratios_light.push(best / r0);
+                }
+            }
+        }
+    }
+    // The configured quantile is a lower bound on the soft threshold; the
+    // observed maximum dominates it for well-behaved calibration sets.
+    let q = quantile(&residuals, cfg.normal_quantile)?;
+    let max_resid = residuals.iter().fold(0.0_f64, |a, &b| a.max(b));
+    let soft = max_resid.max(q).max(1e-15);
+    let hard = (soft * cfg.threshold_margin).max(1e-15);
+    // The ratio tests must never have fired on held-out normal data: cut
+    // below the smallest observed normal ratio, capped by the config.
+    let cut_from = |ratios: &[f64]| {
+        let min_ratio = ratios.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        if min_ratio.is_finite() {
+            (0.9 * min_ratio).clamp(0.05, cfg.decision_ratio)
+        } else {
+            cfg.decision_ratio
+        }
+    };
+    let ratio_cut = cut_from(&ratios_light);
+    let ratio_cut_heavy = cut_from(&ratios_heavy).min(ratio_cut);
+    Ok(Calibration { hard, soft, ratio_cut, ratio_cut_heavy })
+}
+
+/// Convenience: train on a dataset with the default configuration and the
+/// network's own cluster count heuristic (≈ one PDC per 10 buses, min 2).
+///
+/// # Errors
+/// As [`Detector::train`].
+pub fn train_default(data: &Dataset) -> Result<Detector> {
+    Detector::train(data, &default_config_for(&data.network))
+}
+
+/// Size-aware default configuration: cluster count and detection-group
+/// size scale gently with the grid.
+pub fn default_config_for(net: &Network) -> DetectorConfig {
+    DetectorConfig {
+        n_clusters: cluster_heuristic(net),
+        min_group_size: (net.n_buses() / 4).max(8),
+        ..DetectorConfig::default()
+    }
+}
+
+/// ≈ one PDC per 10 buses, between 2 and 8 (Fig. 1 scale).
+pub fn cluster_heuristic(net: &Network) -> usize {
+    (net.n_buses() / 10).clamp(2, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu_grid::cases::ieee14;
+    use pmu_sim::missing::outage_endpoints_mask;
+    use pmu_sim::{generate_dataset, GenConfig};
+
+    fn dataset() -> Dataset {
+        let net = ieee14().unwrap();
+        let cfg = GenConfig { train_len: 20, test_len: 6, ..GenConfig::default() };
+        generate_dataset(&net, &cfg).unwrap()
+    }
+
+    fn detector(data: &Dataset) -> Detector {
+        train_default(data).unwrap()
+    }
+
+    #[test]
+    fn normal_samples_classified_normal() {
+        let data = dataset();
+        let det = detector(&data);
+        let mut normal_ok = 0usize;
+        for t in 0..data.normal_test.len() {
+            let d = det.detect(&data.normal_test.sample(t)).unwrap();
+            if !d.outage {
+                normal_ok += 1;
+                assert!(d.lines.is_empty());
+            }
+        }
+        assert!(
+            normal_ok >= data.normal_test.len() - 1,
+            "{normal_ok}/{} normal samples passed",
+            data.normal_test.len()
+        );
+    }
+
+    #[test]
+    fn outage_samples_flagged_and_localized() {
+        let data = dataset();
+        let det = detector(&data);
+        let mut flagged = 0usize;
+        let mut hit = 0usize;
+        for case in &data.cases {
+            let d = det.detect(&case.test.sample(0)).unwrap();
+            if d.outage {
+                flagged += 1;
+                if d.lines.contains(&case.branch) {
+                    hit += 1;
+                }
+            }
+        }
+        let e = data.n_cases();
+        assert!(flagged * 10 >= e * 9, "only {flagged}/{e} outages flagged");
+        assert!(hit * 10 >= e * 8, "only {hit}/{e} outages localized");
+    }
+
+    #[test]
+    fn robust_to_missing_outage_endpoints() {
+        let data = dataset();
+        let det = detector(&data);
+        let mut hit = 0usize;
+        for case in &data.cases {
+            let mask = outage_endpoints_mask(14, case.endpoints);
+            let sample = case.test.sample(0).masked(&mask);
+            let d = det.detect(&sample).unwrap();
+            if d.outage && d.lines.contains(&case.branch) {
+                hit += 1;
+            }
+        }
+        let e = data.n_cases();
+        assert!(hit * 10 >= e * 7, "only {hit}/{e} localized with endpoints dark");
+    }
+
+    #[test]
+    fn missing_data_on_normal_sample_not_an_outage() {
+        use pmu_sim::Mask;
+        let data = dataset();
+        let det = detector(&data);
+        let mut false_alarms = 0usize;
+        let trials = data.normal_test.len();
+        for t in 0..trials {
+            let mask = Mask::with_missing(14, &[t % 14, (t + 5) % 14]);
+            let d = det.detect(&data.normal_test.sample(t).masked(&mask)).unwrap();
+            if d.outage {
+                false_alarms += 1;
+            }
+        }
+        assert!(false_alarms <= 1, "{false_alarms}/{trials} false alarms");
+    }
+
+    #[test]
+    fn rejects_bad_samples() {
+        use pmu_sim::Mask;
+        let data = dataset();
+        let det = detector(&data);
+        // Wrong size.
+        let bad = PhasorSample::complete(vec![pmu_numerics::Complex64::ONE; 5]);
+        assert!(matches!(det.detect(&bad), Err(DetectError::SampleMismatch { .. })));
+        // Nearly everything missing.
+        let mask = Mask::with_missing(14, &(0..12).collect::<Vec<_>>());
+        let s = data.normal_test.sample(0).masked(&mask);
+        assert!(matches!(det.detect(&s), Err(DetectError::InsufficientData { .. })));
+    }
+
+    #[test]
+    fn detection_reports_diagnostics() {
+        let data = dataset();
+        let det = detector(&data);
+        let d = det.detect(&data.cases[0].test.sample(0)).unwrap();
+        assert!(d.outage);
+        assert!(d.best_case_residual.is_finite());
+        assert_eq!(d.threshold, det.threshold());
+        assert!(!d.node_ranking.is_empty());
+        // Ranking is ascending.
+        for w in d.node_ranking.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // Accessors exist and are consistent.
+        assert_eq!(det.n_nodes(), 14);
+        assert_eq!(det.capabilities().n_nodes(), 14);
+        assert!(!det.groups().in_cluster.is_empty());
+        assert!(det.clustering().n_clusters() >= 2);
+        assert_eq!(det.subspaces().per_case.len(), data.n_cases());
+    }
+
+    #[test]
+    fn best_ranked_node_is_near_outage() {
+        let data = dataset();
+        let det = detector(&data);
+        let mut near = 0usize;
+        for case in &data.cases {
+            let d = det.detect(&case.test.sample(1)).unwrap();
+            if !d.outage {
+                continue;
+            }
+            let best = d.node_ranking[0].0;
+            let (a, b) = case.endpoints;
+            let neighborhood: Vec<usize> = {
+                let net = ieee14().unwrap();
+                let mut v = vec![a, b];
+                v.extend(net.neighbors(a));
+                v.extend(net.neighbors(b));
+                v
+            };
+            if neighborhood.contains(&best) {
+                near += 1;
+            }
+        }
+        assert!(
+            near * 10 >= data.n_cases() * 8,
+            "best node near outage in only {near}/{} cases",
+            data.n_cases()
+        );
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use pmu_grid::cases::ieee14;
+    use pmu_sim::{generate_dataset, GenConfig};
+
+    #[test]
+    fn json_roundtrip_preserves_detections() {
+        let net = ieee14().unwrap();
+        let gen = GenConfig { train_len: 16, test_len: 5, ..GenConfig::default() };
+        let data = generate_dataset(&net, &gen).unwrap();
+        let det = train_default(&data).unwrap();
+
+        let json = det.to_json().unwrap();
+        assert!(json.len() > 1000, "model JSON suspiciously small");
+        let restored = Detector::from_json(&json).unwrap();
+
+        assert_eq!(restored.n_nodes(), det.n_nodes());
+        assert_eq!(restored.threshold(), det.threshold());
+        assert_eq!(restored.ratio_cut(), det.ratio_cut());
+        // Identical verdicts on every test sample.
+        for case in &data.cases {
+            let s = case.test.sample(0);
+            let a = det.detect(&s).unwrap();
+            let b = restored.detect(&s).unwrap();
+            assert_eq!(a.outage, b.outage);
+            assert_eq!(a.lines, b.lines);
+            assert_eq!(a.normal_residual, b.normal_residual);
+        }
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(Detector::from_json("{not json").is_err());
+        assert!(Detector::from_json("{}").is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the detector.
+
+use std::fmt;
+
+/// Errors produced while training or running the detector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectError {
+    /// The training dataset is unusable (no cases, empty windows…).
+    InvalidTrainingData(String),
+    /// The detector configuration is inconsistent.
+    InvalidConfig(String),
+    /// A test sample is incompatible with the trained model.
+    SampleMismatch {
+        /// Nodes the model was trained for.
+        expected: usize,
+        /// Nodes in the offending sample.
+        got: usize,
+    },
+    /// Too few observed measurements to evaluate any detection group.
+    InsufficientData {
+        /// Number of observed measurements in the sample.
+        observed: usize,
+        /// Minimum the detector needs.
+        needed: usize,
+    },
+    /// An underlying numerical routine failed.
+    Numerics(String),
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::InvalidTrainingData(m) => write!(f, "invalid training data: {m}"),
+            DetectError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            DetectError::SampleMismatch { expected, got } => {
+                write!(f, "sample has {got} nodes, model expects {expected}")
+            }
+            DetectError::InsufficientData { observed, needed } => {
+                write!(f, "only {observed} observed measurements, need at least {needed}")
+            }
+            DetectError::Numerics(m) => write!(f, "numerics failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+impl From<pmu_numerics::NumericsError> for DetectError {
+    fn from(e: pmu_numerics::NumericsError) -> Self {
+        DetectError::Numerics(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DetectError::InvalidTrainingData("x".into()).to_string().contains("x"));
+        assert!(DetectError::InvalidConfig("y".into()).to_string().contains("y"));
+        assert!(DetectError::SampleMismatch { expected: 14, got: 30 }
+            .to_string()
+            .contains("14"));
+        assert!(DetectError::InsufficientData { observed: 2, needed: 7 }
+            .to_string()
+            .contains("2"));
+        let e: DetectError = pmu_numerics::NumericsError::invalid("op", "m").into();
+        assert!(matches!(e, DetectError::Numerics(_)));
+    }
+}

@@ -1,0 +1,318 @@
+//! Detection groups — Sec. IV-B / Eq. (8) of the paper.
+//!
+//! A detection group is the set of nodes whose measurements stand in for a
+//! (possibly dark) region when computing proximities. Per PDC cluster `C`
+//! two groups are prepared: `D_C(C)` of in-cluster members, used when the
+//! cluster's data is present, and `D_C(C̄)` of out-of-cluster members,
+//! used when any in-cluster measurement is missing (Eq. 10).
+//!
+//! Members are chosen by learned capability (`p_{k,i} ≈ 1` for every
+//! `k ∈ C` — Eq. 8). The *naive* alternative the paper ablates in Fig. 4
+//! picks the most mutually orthogonal nodes in the PCA loading space; the
+//! `capability_fraction` knob blends between the two.
+
+use crate::capability::CapabilityMatrix;
+use crate::config::DetectorConfig;
+use crate::error::DetectError;
+use crate::Result;
+use pmu_grid::cluster::Clustering;
+use pmu_numerics::{Matrix, Svd};
+
+/// Per-cluster detection groups.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
+pub struct DetectionGroups {
+    /// `in_cluster[c]` = `D_C(C)`: members inside cluster `c`.
+    pub in_cluster: Vec<Vec<usize>>,
+    /// `out_cluster[c]` = `D_C(C̄)`: members outside cluster `c`.
+    pub out_cluster: Vec<Vec<usize>>,
+}
+
+impl DetectionGroups {
+    /// Eq. (10): the group to use for cluster `c` given whether any of the
+    /// cluster's measurements are missing from the current sample.
+    pub fn select(&self, c: usize, cluster_data_missing: bool) -> &[usize] {
+        if cluster_data_missing {
+            &self.out_cluster[c]
+        } else {
+            &self.in_cluster[c]
+        }
+    }
+}
+
+/// Greedy most-orthogonal-loadings selection (the naive group of Fig. 4's
+/// x = 0): nodes are rows of the top-`dim` PCA loading matrix; starting
+/// from the largest row, greedily add the candidate whose loading is most
+/// orthogonal to everything selected, stopping when only strongly
+/// correlated candidates remain.
+pub fn orthogonal_selection(
+    loadings: &Matrix,
+    candidates: &[usize],
+    max_cos: f64,
+    cap: usize,
+) -> Vec<usize> {
+    let mut rows: Vec<(usize, Vec<f64>)> = candidates
+        .iter()
+        .map(|&i| (i, loadings.row(i).to_vec()))
+        .filter(|(_, r)| r.iter().map(|x| x * x).sum::<f64>() > 1e-18)
+        .collect();
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let norm = |r: &[f64]| r.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let cosine = |a: &[f64], b: &[f64]| {
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        (dot / (norm(a) * norm(b))).abs()
+    };
+    // Seed: the candidate with the largest loading energy.
+    rows.sort_by(|a, b| norm(&b.1).partial_cmp(&norm(&a.1)).unwrap());
+    let mut selected: Vec<(usize, Vec<f64>)> = vec![rows.remove(0)];
+    while selected.len() < cap && !rows.is_empty() {
+        // Pick the candidate minimizing the worst-case |cos| to selection.
+        let (best_pos, best_cos) = rows
+            .iter()
+            .enumerate()
+            .map(|(pos, (_, r))| {
+                let worst = selected
+                    .iter()
+                    .map(|(_, s)| cosine(r, s))
+                    .fold(0.0_f64, f64::max);
+                (pos, worst)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("rows non-empty");
+        if best_cos > max_cos {
+            break; // Only strongly correlated candidates remain.
+        }
+        selected.push(rows.remove(best_pos));
+    }
+    let mut out: Vec<usize> = selected.into_iter().map(|(i, _)| i).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Capability-based candidate ranking for a cluster: candidates sorted
+/// descending by their *worst-case* capability over the cluster's nodes
+/// (`min_{k∈C} p_{k,i}` — the ∩ of Eq. 8), with the `≈ 1` membership rule
+/// realized as a threshold cut.
+fn capability_ranking(
+    cm: &CapabilityMatrix,
+    cluster_nodes: &[usize],
+    candidates: &[usize],
+) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> = candidates
+        .iter()
+        .map(|&i| {
+            let worst = cluster_nodes
+                .iter()
+                .map(|&k| cm.get(k, i))
+                .fold(f64::INFINITY, f64::min);
+            (i, worst)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    scored
+}
+
+/// Blend capability-ranked and orthogonal-ranked candidates at fraction
+/// `alpha` into one group of target size `m`.
+fn blend(
+    cap_ranked: &[(usize, f64)],
+    orth: &[usize],
+    alpha: f64,
+    m: usize,
+) -> Vec<usize> {
+    let n_cap = (alpha * m as f64).round() as usize;
+    let mut group: Vec<usize> = Vec::with_capacity(m);
+    for &(i, _) in cap_ranked.iter().take(n_cap) {
+        if !group.contains(&i) {
+            group.push(i);
+        }
+    }
+    for &i in orth {
+        if group.len() >= m {
+            break;
+        }
+        if !group.contains(&i) {
+            group.push(i);
+        }
+    }
+    // At alpha = 1 the orthogonal list is unused; at alpha = 0 the group is
+    // purely orthogonal (and possibly smaller than m — that is the naive
+    // scheme's weakness the Fig. 4 ablation measures).
+    if alpha > 0.0 {
+        for &(i, _) in cap_ranked.iter() {
+            if group.len() >= m {
+                break;
+            }
+            if !group.contains(&i) {
+                group.push(i);
+            }
+        }
+    }
+    group.sort_unstable();
+    group
+}
+
+/// Build the per-cluster detection groups.
+///
+/// `training_matrix` is the N×T matrix used for the naive PCA loadings
+/// (normal + outage windows concatenated).
+///
+/// # Errors
+/// Propagates SVD failures and rejects empty clusterings.
+pub fn build_groups(
+    clustering: &Clustering,
+    cm: &CapabilityMatrix,
+    training_matrix: &Matrix,
+    cfg: &DetectorConfig,
+) -> Result<DetectionGroups> {
+
+    if clustering.n_clusters() == 0 {
+        return Err(DetectError::InvalidTrainingData("empty clustering".into()));
+    }
+    // PCA loadings: top singular directions of the training matrix.
+    let svd = Svd::compute(training_matrix)?;
+    let loadings = svd.top_left_vectors(cfg.subspace_dim.min(svd.sigma.len()));
+
+    let mut in_cluster = Vec::with_capacity(clustering.n_clusters());
+    let mut out_cluster = Vec::with_capacity(clustering.n_clusters());
+
+    for c in 0..clustering.n_clusters() {
+        let members = clustering.members(c);
+        let outside: Vec<usize> = clustering.complement(c);
+
+        for (candidates, bucket) in
+            [(members, &mut in_cluster), (&outside[..], &mut out_cluster)]
+        {
+            let cap_ranked = capability_ranking(cm, members, candidates);
+            // Target size: enough members above threshold, at least the
+            // configured minimum, never more than the candidate pool.
+            let above_tau = cap_ranked
+                .iter()
+                .filter(|(_, s)| *s >= cfg.capability_threshold)
+                .count();
+            let m = above_tau.max(cfg.min_group_size).min(candidates.len().max(1));
+            let orth = orthogonal_selection(&loadings, candidates, 0.7, m);
+            bucket.push(blend(&cap_ranked, &orth, cfg.capability_fraction, m));
+        }
+    }
+
+    Ok(DetectionGroups { in_cluster, out_cluster })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::{fit_node_ellipses, learn_capabilities};
+    use pmu_grid::cases::ieee14;
+    use pmu_grid::cluster::partition_clusters;
+    use pmu_sim::{generate_dataset, GenConfig, MeasurementKind};
+
+    fn setup() -> (pmu_sim::Dataset, Clustering, CapabilityMatrix, Matrix) {
+        let net = ieee14().unwrap();
+        let gen = GenConfig { train_len: 12, test_len: 3, ..GenConfig::default() };
+        let data = generate_dataset(&net, &gen).unwrap();
+        let clustering = partition_clusters(&net, 3).unwrap();
+        let cfg = DetectorConfig::default();
+        let ellipses = fit_node_ellipses(&data.normal_train, &cfg).unwrap();
+        let cm = learn_capabilities(&data, &ellipses, &cfg).unwrap();
+        let mut concat = data.normal_train.matrix(MeasurementKind::Angle).clone();
+        for case in &data.cases {
+            concat = concat.hcat(case.train.matrix(MeasurementKind::Angle)).unwrap();
+        }
+        (data, clustering, cm, concat)
+    }
+
+    #[test]
+    fn groups_respect_cluster_membership() {
+        let (_, clustering, cm, concat) = setup();
+        let cfg = DetectorConfig::default();
+        let groups = build_groups(&clustering, &cm, &concat, &cfg).unwrap();
+        for c in 0..clustering.n_clusters() {
+            for &i in &groups.in_cluster[c] {
+                assert_eq!(clustering.cluster_of(i), c, "in-group member outside cluster");
+            }
+            for &i in &groups.out_cluster[c] {
+                assert_ne!(clustering.cluster_of(i), c, "out-group member inside cluster");
+            }
+            assert!(!groups.in_cluster[c].is_empty());
+            assert!(!groups.out_cluster[c].is_empty());
+        }
+    }
+
+    #[test]
+    fn select_implements_eq10() {
+        let (_, clustering, cm, concat) = setup();
+        let cfg = DetectorConfig::default();
+        let groups = build_groups(&clustering, &cm, &concat, &cfg).unwrap();
+        assert_eq!(groups.select(0, false), &groups.in_cluster[0][..]);
+        assert_eq!(groups.select(0, true), &groups.out_cluster[0][..]);
+    }
+
+    #[test]
+    fn out_groups_meet_min_size() {
+        let (_, clustering, cm, concat) = setup();
+        let cfg = DetectorConfig::default();
+        let groups = build_groups(&clustering, &cm, &concat, &cfg).unwrap();
+        for c in 0..clustering.n_clusters() {
+            // The complement always has >= min_group_size candidates on
+            // IEEE-14 with 3 clusters.
+            assert!(
+                groups.out_cluster[c].len() >= cfg.min_group_size,
+                "cluster {c}: out group {:?}",
+                groups.out_cluster[c]
+            );
+        }
+    }
+
+    #[test]
+    fn naive_groups_are_smaller_or_equal() {
+        let (_, clustering, cm, concat) = setup();
+        let proposed = build_groups(&clustering, &cm, &concat, &DetectorConfig::default())
+            .unwrap();
+        let naive = build_groups(
+            &clustering,
+            &cm,
+            &concat,
+            &DetectorConfig::default().naive_groups(),
+        )
+        .unwrap();
+        for c in 0..clustering.n_clusters() {
+            assert!(naive.out_cluster[c].len() <= proposed.out_cluster[c].len());
+        }
+    }
+
+    #[test]
+    fn orthogonal_selection_prefers_orthogonal_rows() {
+        // Rows 0 and 2 orthogonal; row 1 parallel to row 0.
+        let loadings = Matrix::from_rows(
+            3,
+            2,
+            vec![1.0, 0.0, 0.9, 0.0, 0.0, 1.0],
+        )
+        .unwrap();
+        let sel = orthogonal_selection(&loadings, &[0, 1, 2], 0.7, 3);
+        assert_eq!(sel, vec![0, 2]);
+        // Cap limits the size.
+        let sel = orthogonal_selection(&loadings, &[0, 1, 2], 0.99, 2);
+        assert_eq!(sel.len(), 2);
+        // Zero rows are skipped entirely.
+        let z = Matrix::zeros(2, 2);
+        assert!(orthogonal_selection(&z, &[0, 1], 0.7, 2).is_empty());
+    }
+
+    #[test]
+    fn blend_interpolates() {
+        let cap: Vec<(usize, f64)> = vec![(0, 0.9), (1, 0.8), (2, 0.7), (3, 0.6)];
+        let orth = vec![5, 6, 7];
+        let g0 = blend(&cap, &orth, 0.0, 3);
+        assert_eq!(g0, vec![5, 6, 7]);
+        let g1 = blend(&cap, &orth, 1.0, 3);
+        assert_eq!(g1, vec![0, 1, 2]);
+        let gh = blend(&cap, &orth, 0.5, 4);
+        // 2 capability + fill from orth.
+        assert!(gh.contains(&0) && gh.contains(&1));
+        assert!(gh.contains(&5) && gh.contains(&6));
+    }
+}

@@ -1,0 +1,225 @@
+//! Robust proximity of (possibly incomplete) samples to learned subspaces
+//! — Eq. (9)–(10) of the paper.
+//!
+//! For a subspace with basis `U` (N×k) and a detection group `D`, only the
+//! rows `U[D, :]` and the observed sub-vector `x_D` are needed: the
+//! proximity is the squared residual of `x_D` on the row-restricted,
+//! re-orthonormalized basis, normalized per observed dimension so values
+//! are comparable across group sizes. This realizes the paper's Eq. (9)
+//! via its source (\[12\]) — see DESIGN.md substitution #5 for why the
+//! printed regressor form is reinterpreted.
+//!
+//! The same row split also yields the regressor that *predicts* the
+//! unobserved entries from the observed ones (`x̂_R = U_R U_D⁺ x_D`),
+//! which this module exposes as a bonus missing-data estimator.
+
+use crate::error::DetectError;
+use crate::Result;
+use pmu_numerics::{Matrix, Subspace, Svd, Vector};
+
+/// Proximity of the observed sub-vector `x_d` (aligned with `nodes`) to
+/// subspace `s`, per Eq. (9): squared residual on the row-restricted
+/// basis, normalized by the residual **co-dimension** `|D| − k` so that
+/// scores are comparable between subspaces of different dimension (a
+/// high-degree node's union subspace must not win the ranking merely by
+/// being big).
+///
+/// The restricted basis is clamped to at most `|D| − 1` directions so the
+/// residual cannot trivially vanish when the group is small.
+///
+/// # Errors
+/// Returns [`DetectError::InsufficientData`] for fewer than 2 observed
+/// nodes and propagates numerical failures.
+pub fn proximity(s: &Subspace, nodes: &[usize], x_d: &Vector) -> Result<f64> {
+    if nodes.len() < 2 {
+        return Err(DetectError::InsufficientData { observed: nodes.len(), needed: 2 });
+    }
+    if x_d.len() != nodes.len() {
+        return Err(DetectError::SampleMismatch { expected: nodes.len(), got: x_d.len() });
+    }
+    let restricted = s.restrict_rows(nodes)?;
+    // Guarantee a meaningful residual co-dimension: a basis that nearly
+    // fills the observed coordinates would make every residual noise.
+    let max_dim = nodes.len() - (nodes.len() / 3).max(2).min(nodes.len() - 1);
+    let capped = clamp_dim(restricted, max_dim.max(1));
+    let codim = (nodes.len() - capped.dim()).max(1);
+    Ok(capped.residual_sqr(x_d)? / codim as f64)
+}
+
+/// Keep at most `max_dim` basis directions (the leading ones).
+fn clamp_dim(s: Subspace, max_dim: usize) -> Subspace {
+    if s.dim() <= max_dim {
+        return s;
+    }
+    let idx: Vec<usize> = (0..max_dim).collect();
+    Subspace::from_orthonormal(s.basis().select_columns(&idx))
+}
+
+/// The paper's regressor form: given a subspace basis split into observed
+/// rows `D` and the rest `R`, returns the matrix `Φ = U_R U_D⁺` such that
+/// `x̂_R = Φ x_D` reconstructs the unobserved entries of any sample lying
+/// in the subspace.
+///
+/// # Errors
+/// Propagates numerical failures; rejects empty splits.
+pub fn missing_regressor(s: &Subspace, observed: &[usize]) -> Result<Matrix> {
+    let n = s.ambient_dim();
+    if observed.is_empty() || observed.len() >= n {
+        return Err(DetectError::InvalidTrainingData(
+            "regressor needs a proper observed/unobserved split".into(),
+        ));
+    }
+    let rest: Vec<usize> = (0..n).filter(|i| !observed.contains(i)).collect();
+    let u_d = s.basis().select_rows(observed);
+    let u_r = s.basis().select_rows(&rest);
+    let pinv = Svd::compute(&u_d)?.pseudo_inverse(1e-10)?;
+    Ok(u_r.matmul(&pinv)?)
+}
+
+/// Reconstruct the full sample from observed entries, assuming it lies in
+/// `s`: observed entries are kept verbatim, unobserved ones predicted by
+/// the regressor.
+///
+/// # Errors
+/// As [`missing_regressor`].
+pub fn reconstruct_sample(
+    s: &Subspace,
+    observed: &[usize],
+    x_d: &Vector,
+) -> Result<Vector> {
+    let n = s.ambient_dim();
+    let phi = missing_regressor(s, observed)?;
+    let x_r = phi.matvec(x_d)?;
+    let rest: Vec<usize> = (0..n).filter(|i| !observed.contains(i)).collect();
+    let mut full = Vector::zeros(n);
+    for (pos, &i) in observed.iter().enumerate() {
+        full[i] = x_d[pos];
+    }
+    for (pos, &i) in rest.iter().enumerate() {
+        full[i] = x_r[pos];
+    }
+    Ok(full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-D subspace of R^5 with non-trivial structure.
+    fn test_subspace() -> Subspace {
+        let span = Matrix::from_rows(
+            5,
+            2,
+            vec![
+                1.0, 0.0, //
+                1.0, 1.0, //
+                0.0, 1.0, //
+                -1.0, 1.0, //
+                0.5, -0.5,
+            ],
+        )
+        .unwrap();
+        Subspace::from_span(&span).unwrap()
+    }
+
+    #[test]
+    fn member_has_zero_proximity_on_any_group() {
+        let s = test_subspace();
+        // x = first basis column (certainly in the subspace).
+        let x = s.basis().column(0);
+        for nodes in [vec![0, 1, 2, 3, 4], vec![0, 2, 4], vec![1, 3, 4]] {
+            let x_d = Vector::from_fn(nodes.len(), |k| x[nodes[k]]);
+            let p = proximity(&s, &nodes, &x_d).unwrap();
+            assert!(p < 1e-18, "nodes {nodes:?}: proximity {p}");
+        }
+    }
+
+    #[test]
+    fn outsider_has_positive_proximity() {
+        let s = test_subspace();
+        // A vector orthogonal to the subspace (residual of a random one).
+        let y = Vector::from(vec![1.0, -2.0, 0.5, 3.0, 1.0]);
+        let proj = s.project(&y).unwrap();
+        let orth = &y - &proj;
+        let nodes = vec![0, 1, 2, 3, 4];
+        let p = proximity(&s, &nodes, &orth).unwrap();
+        assert!(p > 1e-6, "orthogonal vector proximity {p}");
+    }
+
+    #[test]
+    fn proximity_discriminates_between_subspaces() {
+        let s1 = test_subspace();
+        let span2 = Matrix::from_rows(
+            5,
+            2,
+            vec![0.0, 1.0, 0.0, -1.0, 1.0, 0.0, 1.0, 1.0, -1.0, 0.3],
+        )
+        .unwrap();
+        let s2 = Subspace::from_span(&span2).unwrap();
+        let x = s1.basis().column(1);
+        let nodes = vec![0, 1, 3, 4];
+        let x_d = Vector::from_fn(4, |k| x[nodes[k]]);
+        let p_own = proximity(&s1, &nodes, &x_d).unwrap();
+        let p_other = proximity(&s2, &nodes, &x_d).unwrap();
+        assert!(p_own < p_other, "own {p_own} vs other {p_other}");
+    }
+
+    #[test]
+    fn small_groups_rejected_and_clamped() {
+        let s = test_subspace();
+        let x = Vector::from(vec![1.0]);
+        assert!(matches!(
+            proximity(&s, &[0], &x),
+            Err(DetectError::InsufficientData { .. })
+        ));
+        // Mismatched lengths error.
+        assert!(matches!(
+            proximity(&s, &[0, 1], &Vector::zeros(3)),
+            Err(DetectError::SampleMismatch { .. })
+        ));
+        // A 2-node group against a 2-dim subspace clamps the basis to one
+        // direction, so the residual is still meaningful (not always 0).
+        let y = Vector::from(vec![5.0, -3.0]);
+        let p = proximity(&s, &[0, 2], &y).unwrap();
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn regressor_reconstructs_members_exactly() {
+        let s = test_subspace();
+        // Random member: combination of basis columns.
+        let b0 = s.basis().column(0);
+        let b1 = s.basis().column(1);
+        let mut x = b0.scaled(2.0);
+        x.axpy(-1.5, &b1).unwrap();
+        let observed = vec![0, 2, 4];
+        let x_d = Vector::from_fn(3, |k| x[observed[k]]);
+        let full = reconstruct_sample(&s, &observed, &x_d).unwrap();
+        for i in 0..5 {
+            assert!((full[i] - x[i]).abs() < 1e-10, "entry {i}: {} vs {}", full[i], x[i]);
+        }
+    }
+
+    #[test]
+    fn regressor_rejects_degenerate_splits() {
+        let s = test_subspace();
+        assert!(missing_regressor(&s, &[]).is_err());
+        assert!(missing_regressor(&s, &[0, 1, 2, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn proximity_is_normalized_per_dimension() {
+        // The same geometric configuration at two group sizes should give
+        // comparable magnitudes thanks to the 1/|D| normalization.
+        let s = test_subspace();
+        let y = Vector::from(vec![1.0, -2.0, 0.5, 3.0, 1.0]);
+        let proj = s.project(&y).unwrap();
+        let orth = &y - &proj;
+        let p_full = proximity(&s, &[0, 1, 2, 3, 4], &orth).unwrap();
+        let nodes = vec![0, 1, 2, 3];
+        let x_d = Vector::from_fn(4, |k| orth[nodes[k]]);
+        let p_sub = proximity(&s, &nodes, &x_d).unwrap();
+        // Same order of magnitude (within 100x), not |D|-scaled apart.
+        assert!(p_sub < p_full * 100.0 + 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Case and node subspace learning — Sec. IV-A of the paper.
+//!
+//! Each training window `X` (N sensors × T instants) yields a *signature
+//! subspace*. Following ref. \[12\] of the paper, the left singular vectors
+//! of `X` split into a high-energy block (the operating manifold of that
+//! case) and a low-energy block (the constraint/null space encoding the
+//! line statuses). We retain the top `dim` directions as the case basis;
+//! the proximity of a sample to the case is its squared residual on that
+//! basis — numerically identical to the squared projection onto the
+//! complementary *lowest* directions, which is exactly the quantity
+//! Sec. IV-A attributes to the low singular vectors.
+//!
+//! Per node *i*, Eq. (3) aggregates the per-line subspaces:
+//! `S_i^∪ = ⋃_{k ∈ N_i} S^{\e_ik}` (union: smallest subspace containing
+//! each) and `S_i^∩ = ⋂` (intersection: directions shared by every outage
+//! of *i*).
+
+// Indexed loops are the clearest expression of the dense numerical
+// kernels in this module.
+#![allow(clippy::needless_range_loop)]
+
+use crate::config::DetectorConfig;
+use crate::error::DetectError;
+use crate::Result;
+use pmu_numerics::{Matrix, Subspace, Svd};
+use pmu_sim::dataset::Dataset;
+
+/// All learned subspaces for one grid.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
+pub struct LearnedSubspaces {
+    /// Normal-operation subspace `S⁰`.
+    pub normal: Subspace,
+    /// Per-case subspaces, aligned with `Dataset::cases`.
+    pub per_case: Vec<Subspace>,
+    /// Per-node union subspaces `S_i^∪` (empty `Subspace::zero` for nodes
+    /// with no valid outage case).
+    pub union: Vec<Subspace>,
+    /// Per-node intersection subspaces `S_i^∩`.
+    pub intersection: Vec<Subspace>,
+}
+
+/// Learn the signature subspace of one window: top-`dim` left singular
+/// vectors of the raw N×T matrix.
+///
+/// # Errors
+/// Returns [`DetectError::InvalidTrainingData`] for an empty window and
+/// propagates SVD failures.
+pub fn case_subspace(window: &Matrix, dim: usize) -> Result<Subspace> {
+    if window.rows() == 0 || window.cols() == 0 {
+        return Err(DetectError::InvalidTrainingData("empty training window".into()));
+    }
+    let svd = Svd::compute(window)?;
+    let dim = dim.min(svd.sigma.len());
+    Ok(Subspace::from_orthonormal(svd.top_left_vectors(dim)))
+}
+
+/// Learn every subspace the detector needs from a dataset.
+///
+/// # Errors
+/// Returns [`DetectError::InvalidTrainingData`] when the dataset has no
+/// outage cases.
+pub fn learn_subspaces(data: &Dataset, cfg: &DetectorConfig) -> Result<LearnedSubspaces> {
+    if data.cases.is_empty() {
+        return Err(DetectError::InvalidTrainingData("dataset has no outage cases".into()));
+    }
+    let n = data.n_nodes();
+    let t = data.normal_train.len();
+    let normal_dim = cfg
+        .normal_dim
+        .unwrap_or_else(|| cfg.subspace_dim.max(n / 6))
+        .min((t / 2).max(cfg.subspace_dim));
+    let normal = case_subspace(data.normal_train.matrix(cfg.kind), normal_dim)?;
+
+    let per_case: Vec<Subspace> = data
+        .cases
+        .iter()
+        .map(|c| case_subspace(c.train.matrix(cfg.kind), cfg.subspace_dim))
+        .collect::<Result<_>>()?;
+
+    // Group case indices by incident node.
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, case) in data.cases.iter().enumerate() {
+        incident[case.endpoints.0].push(ci);
+        incident[case.endpoints.1].push(ci);
+    }
+
+    let mut union = Vec::with_capacity(n);
+    let mut intersection = Vec::with_capacity(n);
+    for node in 0..n {
+        if incident[node].is_empty() {
+            union.push(Subspace::zero(n));
+            intersection.push(Subspace::zero(n));
+            continue;
+        }
+        let spaces: Vec<&Subspace> = incident[node].iter().map(|&ci| &per_case[ci]).collect();
+        union.push(Subspace::union(&spaces)?);
+        intersection.push(Subspace::intersection(&spaces)?);
+    }
+
+    Ok(LearnedSubspaces { normal, per_case, union, intersection })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu_grid::cases::ieee14;
+    use pmu_sim::{generate_dataset, GenConfig, MeasurementKind};
+
+    fn tiny_dataset() -> Dataset {
+        let net = ieee14().unwrap();
+        let cfg = GenConfig { train_len: 10, test_len: 3, ..GenConfig::default() };
+        generate_dataset(&net, &cfg).unwrap()
+    }
+
+    #[test]
+    fn case_subspace_shape_and_orthonormality() {
+        let data = tiny_dataset();
+        let s = case_subspace(data.normal_train.matrix(MeasurementKind::Angle), 4).unwrap();
+        assert_eq!(s.ambient_dim(), 14);
+        assert_eq!(s.dim(), 4);
+        let g = s.basis().transpose().matmul(s.basis()).unwrap();
+        assert!(g.max_abs_diff(&Matrix::identity(4)) < 1e-10);
+        // dim clamps to the window rank budget.
+        let s = case_subspace(data.normal_train.matrix(MeasurementKind::Angle), 99).unwrap();
+        assert_eq!(s.dim(), 10); // T = 10 columns
+    }
+
+    #[test]
+    fn training_samples_are_near_their_subspace() {
+        let data = tiny_dataset();
+        let m = data.normal_train.matrix(MeasurementKind::Angle);
+        let s = case_subspace(m, 5).unwrap();
+        for t in 0..m.cols() {
+            let x = m.column(t);
+            let resid = s.residual_sqr(&x).unwrap();
+            // Residual is tiny relative to the sample energy.
+            assert!(resid < 1e-3 * x.norm_sqr(), "t={t}: resid {resid}");
+        }
+    }
+
+    #[test]
+    fn normal_vs_outage_discrimination() {
+        let data = tiny_dataset();
+        let s0 = case_subspace(data.normal_train.matrix(MeasurementKind::Angle), 5).unwrap();
+        // For each outage case, test columns are closer (smaller residual)
+        // to their own case subspace than normal columns are.
+        let mut wins = 0usize;
+        for case in &data.cases {
+            let sc = case_subspace(case.train.matrix(MeasurementKind::Angle), 5).unwrap();
+            let xt = case.test.matrix(MeasurementKind::Angle).column(0);
+            let own = sc.residual_sqr(&xt).unwrap();
+            let other = s0.residual_sqr(&xt).unwrap();
+            if own < other {
+                wins += 1;
+            }
+        }
+        // The overwhelming majority of cases must discriminate.
+        assert!(
+            wins * 10 >= data.cases.len() * 9,
+            "only {wins}/{} cases discriminate",
+            data.cases.len()
+        );
+    }
+
+    #[test]
+    fn learned_subspaces_cover_all_nodes() {
+        let data = tiny_dataset();
+        let cfg = DetectorConfig::default();
+        let learned = learn_subspaces(&data, &cfg).unwrap();
+        assert_eq!(learned.per_case.len(), data.n_cases());
+        assert_eq!(learned.union.len(), 14);
+        assert_eq!(learned.intersection.len(), 14);
+        // Bus 8 (internal index 7) hangs off the 7-8 bridge whose removal
+        // islands it, so it has no valid outage case and stays empty.
+        let mut covered: Vec<usize> = Vec::new();
+        for case in &data.cases {
+            covered.push(case.endpoints.0);
+            covered.push(case.endpoints.1);
+        }
+        for node in 0..14 {
+            if covered.contains(&node) {
+                assert!(learned.union[node].dim() > 0, "node {node} union empty");
+            } else {
+                assert_eq!(learned.union[node].dim(), 0);
+            }
+            // Intersection ⊆ union (dimension-wise).
+            assert!(learned.intersection[node].dim() <= learned.union[node].dim());
+        }
+    }
+
+    #[test]
+    fn union_contains_each_member_case() {
+        let data = tiny_dataset();
+        let cfg = DetectorConfig::default();
+        let learned = learn_subspaces(&data, &cfg).unwrap();
+        // For node i and an incident case, a vector in the case subspace
+        // lies in the union.
+        let case = &data.cases[0];
+        let node = case.endpoints.0;
+        let b = learned.per_case[0].basis().column(0);
+        let resid = learned.union[node].residual_sqr(&b).unwrap();
+        assert!(resid < 1e-10, "case basis escapes union: {resid}");
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let data = tiny_dataset();
+        let empty = Dataset {
+            network: data.network.clone(),
+            normal_train: data.normal_train.clone(),
+            normal_test: data.normal_test.clone(),
+            cases: vec![],
+        };
+        assert!(learn_subspaces(&empty, &DetectorConfig::default()).is_err());
+        assert!(case_subspace(&Matrix::zeros(0, 0), 3).is_err());
+    }
+}

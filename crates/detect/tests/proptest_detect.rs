@@ -1,0 +1,139 @@
+//! Property-based tests for the detector's building blocks: ellipses,
+//! capability aggregation, and the robust proximity of Eq. (9).
+
+use pmu_detect::capability::{union_probability, union_probability_inclusion_exclusion};
+use pmu_detect::config::EllipseMethod;
+use pmu_detect::ellipse::Ellipse;
+use pmu_detect::proximity::{proximity, reconstruct_sample};
+use pmu_numerics::{Matrix, Subspace, Vector};
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<[f64; 2]>> {
+    proptest::collection::vec(((0.9f64..1.1), (-0.5f64..0.5)), 5..40)
+        .prop_map(|v| v.into_iter().map(|(a, b)| [a, b]).collect())
+}
+
+fn span_strategy(n: usize, k: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f64..2.0, n * k)
+        .prop_map(move |data| Matrix::from_rows(n, k, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fitted_ellipses_cover_their_points(points in points_strategy()) {
+        // Degenerate (collinear) clouds may legitimately fail; only
+        // check coverage when the fit succeeds.
+        if let Ok(e) = Ellipse::fit(&points, EllipseMethod::ScaledCovariance, 1.0) {
+            for p in &points {
+                prop_assert!(e.quad_form(*p) <= 1.0 + 1e-6);
+            }
+        }
+        if let Ok(e) = Ellipse::fit(&points, EllipseMethod::MinVolume, 1.0) {
+            for p in &points {
+                prop_assert!(e.quad_form(*p) <= 1.0 + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn ellipse_margin_only_grows_membership(points in points_strategy(), margin in 1.0f64..3.0) {
+        if let (Ok(tight), Ok(loose)) = (
+            Ellipse::fit(&points, EllipseMethod::ScaledCovariance, 1.0),
+            Ellipse::fit(&points, EllipseMethod::ScaledCovariance, margin),
+        ) {
+            // Any point inside the tight ellipse is inside the loose one.
+            for dx in [-0.05f64, 0.0, 0.05] {
+                for dy in [-0.2f64, 0.0, 0.2] {
+                    let p = [tight.center[0] + dx, tight.center[1] + dy];
+                    if tight.contains(p) {
+                        prop_assert!(loose.contains(p));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_probability_matches_inclusion_exclusion(
+        ps in proptest::collection::vec(0.0f64..1.0, 1..8)
+    ) {
+        let closed = union_probability(&ps);
+        let literal = union_probability_inclusion_exclusion(&ps);
+        prop_assert!((closed - literal).abs() < 1e-9, "{} vs {}", closed, literal);
+        // Bounds: at least the max input, at most the sum (capped at 1).
+        let max = ps.iter().cloned().fold(0.0f64, f64::max);
+        let sum: f64 = ps.iter().sum();
+        prop_assert!(closed >= max - 1e-12);
+        prop_assert!(closed <= sum.min(1.0) + 1e-12);
+    }
+
+    #[test]
+    fn union_probability_is_monotone(
+        ps in proptest::collection::vec(0.0f64..1.0, 1..6),
+        extra in 0.0f64..1.0,
+    ) {
+        let base = union_probability(&ps);
+        let mut bigger = ps.clone();
+        bigger.push(extra);
+        prop_assert!(union_probability(&bigger) >= base - 1e-12);
+    }
+
+    #[test]
+    fn proximity_zero_for_members_any_group(span in span_strategy(8, 3), coeff in proptest::collection::vec(-2.0f64..2.0, 3)) {
+        let s = Subspace::from_span(&span).unwrap();
+        if s.dim() == 0 {
+            return Ok(());
+        }
+        // x = basis * coeff lies in the subspace.
+        let mut x = Vector::zeros(8);
+        for (c, &w) in coeff.iter().enumerate().take(s.dim()) {
+            let col = s.basis().column(c);
+            x.axpy(w, &col).unwrap();
+        }
+        // Groups must be large enough that the co-dimension clamp in
+        // `proximity` (keeping at least max(2, |D|/3) residual dimensions)
+        // still leaves room for the full 3-dim basis: |D| >= 6 here.
+        for nodes in [vec![0, 1, 2, 3, 4, 5, 6, 7], vec![0, 2, 3, 4, 6, 7], vec![1, 2, 3, 5, 6, 7]] {
+            let x_d = Vector::from_fn(nodes.len(), |k| x[nodes[k]]);
+            let p = proximity(&s, &nodes, &x_d).unwrap();
+            prop_assert!(p < 1e-12 * x.norm_sqr().max(1.0), "nodes {:?}: {}", nodes, p);
+        }
+    }
+
+    #[test]
+    fn proximity_nonnegative_and_finite(span in span_strategy(8, 3), raw in proptest::collection::vec(-5.0f64..5.0, 8)) {
+        let s = Subspace::from_span(&span).unwrap();
+        let x = Vector::from(raw);
+        let nodes: Vec<usize> = (0..8).collect();
+        let p = proximity(&s, &nodes, &x).unwrap();
+        prop_assert!(p.is_finite());
+        prop_assert!(p >= 0.0);
+    }
+
+    #[test]
+    fn reconstruction_exact_for_members(span in span_strategy(9, 2), coeff in proptest::collection::vec(-2.0f64..2.0, 2)) {
+        let s = Subspace::from_span(&span).unwrap();
+        if s.dim() < 2 {
+            return Ok(());
+        }
+        let mut x = Vector::zeros(9);
+        for (c, &w) in coeff.iter().enumerate() {
+            x.axpy(w, &s.basis().column(c)).unwrap();
+        }
+        // Observe 5 of 9 coordinates, reconstruct the rest.
+        let observed = vec![0usize, 2, 4, 6, 8];
+        let x_d = Vector::from_fn(5, |k| x[observed[k]]);
+        let full = reconstruct_sample(&s, &observed, &x_d).unwrap();
+        for i in 0..9 {
+            prop_assert!(
+                (full[i] - x[i]).abs() < 1e-7 * x.norm().max(1.0),
+                "entry {}: {} vs {}",
+                i,
+                full[i],
+                x[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Quality ablations for the design choices DESIGN.md calls out — run via
+//! `repro ablations`. Each ablation retrains the detector with one switch
+//! flipped and reports IA/FA on the missing-outage-data scenario (Fig. 7
+//! conditions, where the design choices matter most).
+
+use crate::metrics::Metrics;
+use crate::runner::{EvalScale, SystemSetup};
+use pmu_detect::config::EllipseMethod;
+use pmu_detect::{Detector, DetectorConfig};
+use pmu_sim::missing::outage_endpoints_mask;
+use serde::Serialize;
+
+/// One ablation measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationPoint {
+    /// System name.
+    pub system: String,
+    /// Which switch was flipped.
+    pub variant: String,
+    /// Mean identification accuracy under Fig. 7 conditions.
+    pub ia: f64,
+    /// Mean false-alarm rate under Fig. 7 conditions.
+    pub fa: f64,
+}
+
+/// Evaluate a detector variant under Fig. 7 conditions (outage endpoints
+/// dark).
+fn eval_variant(setup: &SystemSetup, det: &Detector, scale: EvalScale) -> Metrics {
+    let n = setup.network.n_buses();
+    let mut m = Metrics::new();
+    let per_case = scale.test_samples();
+    for case in &setup.dataset.cases {
+        let mask = outage_endpoints_mask(n, case.endpoints);
+        for t in 0..per_case.min(case.test.len()) {
+            let sample = case.test.sample(t).masked(&mask);
+            let lines = det.detect(&sample).map(|d| d.lines).unwrap_or_default();
+            m.add(&[case.branch], &lines);
+        }
+    }
+    m
+}
+
+/// Run every ablation over the given systems.
+pub fn run_ablations(setups: &[SystemSetup], scale: EvalScale) -> Vec<AblationPoint> {
+    let mut out = Vec::new();
+    for s in setups {
+        let variants: Vec<(&str, DetectorConfig)> = vec![
+            ("proposed (default)", s.detector_cfg.clone()),
+            (
+                "no Eq.(11) scaling",
+                DetectorConfig { scale_proximities: false, ..s.detector_cfg.clone() },
+            ),
+            (
+                "naive groups",
+                DetectorConfig { capability_fraction: 0.0, ..s.detector_cfg.clone() },
+            ),
+            (
+                "MVEE ellipses",
+                DetectorConfig { ellipse: EllipseMethod::MinVolume, ..s.detector_cfg.clone() },
+            ),
+            (
+                "subspace dim 1",
+                DetectorConfig { subspace_dim: 1, ..s.detector_cfg.clone() },
+            ),
+            (
+                "subspace dim 6",
+                DetectorConfig { subspace_dim: 6, ..s.detector_cfg.clone() },
+            ),
+            (
+                "magnitude features",
+                DetectorConfig {
+                    kind: pmu_sim::MeasurementKind::Magnitude,
+                    ..s.detector_cfg.clone()
+                },
+            ),
+        ];
+        for (name, cfg) in variants {
+            let det = s.retrain_detector(&cfg);
+            let m = eval_variant(s, &det, scale);
+            out.push(AblationPoint {
+                system: s.name.clone(),
+                variant: name.to_string(),
+                ia: m.ia(),
+                fa: m.fa(),
+            });
+        }
+    }
+    out
+}
+
+/// Render ablation points as an aligned text table.
+pub fn ablation_table(points: &[AblationPoint]) -> String {
+    let mut s = format!(
+        "== Ablations (Fig. 7 conditions: outage endpoints dark) ==\n{:<10} {:<22} {:>6} {:>6}\n",
+        "system", "variant", "IA", "FA"
+    );
+    for p in points {
+        s.push_str(&format!(
+            "{:<10} {:<22} {:>6.3} {:>6.3}\n",
+            p.system, p.variant, p.ia, p.fa
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_run_on_small_system() {
+        let setups = vec![SystemSetup::build("ieee14", EvalScale::Fast, 0xAB)];
+        let pts = run_ablations(&setups, EvalScale::Fast);
+        assert_eq!(pts.len(), 7);
+        // Every variant produced sane metrics.
+        for p in &pts {
+            assert!((0.0..=1.0).contains(&p.ia), "{}: IA {}", p.variant, p.ia);
+            assert!((0.0..=1.0).contains(&p.fa), "{}: FA {}", p.variant, p.fa);
+        }
+        // The proposed configuration performs at least as well as the
+        // naive-group ablation.
+        let proposed = pts.iter().find(|p| p.variant.starts_with("proposed")).unwrap();
+        let naive = pts.iter().find(|p| p.variant == "naive groups").unwrap();
+        assert!(proposed.ia >= naive.ia - 0.15, "proposed {} vs naive {}", proposed.ia, naive.ia);
+        let table = ablation_table(&pts);
+        assert!(table.contains("proposed"));
+    }
+}

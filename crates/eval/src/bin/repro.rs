@@ -1,0 +1,137 @@
+//! `repro` — regenerate every figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [FIGURES] [--systems a,b,c] [--scale fast|standard|paper] [--json PATH]
+//!
+//! FIGURES   comma-separated subset of fig4,fig5,fig7,fig8,fig9,fig10
+//!           (default: all)
+//! --systems which IEEE systems to run (default: ieee14,ieee30,ieee57,ieee118)
+//! --scale   evaluation effort (default: standard)
+//! --json    also dump all series as JSON to PATH
+//! ```
+
+use pmu_eval::ablations::{ablation_table, run_ablations};
+use pmu_eval::extensions::{extension_table, run_extensions};
+use pmu_eval::figures::{
+    fig10, fig10_table, fig4, fig4_table, fig5, fig7, fig8, fig9, method_table,
+};
+use pmu_eval::runner::{paper_systems, EvalScale, SystemSetup};
+use serde::Serialize;
+
+#[derive(Serialize, Default)]
+struct AllResults {
+    fig4: Vec<pmu_eval::figures::Fig4Point>,
+    fig5: Vec<pmu_eval::figures::MethodPoint>,
+    fig7: Vec<pmu_eval::figures::MethodPoint>,
+    fig8: Vec<pmu_eval::figures::MethodPoint>,
+    fig9: Vec<pmu_eval::figures::MethodPoint>,
+    fig10: Vec<pmu_eval::figures::Fig10Point>,
+    extensions: Vec<pmu_eval::extensions::ExtensionPoint>,
+    ablations: Vec<pmu_eval::ablations::AblationPoint>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figures: Vec<String> = Vec::new();
+    let mut systems: Vec<String> = paper_systems().iter().map(|s| s.to_string()).collect();
+    let mut scale = EvalScale::Standard;
+    let mut json_path: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--systems" => {
+                let v = it.next().expect("--systems needs a value");
+                systems = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                scale = match v.as_str() {
+                    "fast" => EvalScale::Fast,
+                    "standard" => EvalScale::Standard,
+                    "paper" => EvalScale::Paper,
+                    other => panic!("unknown scale {other}"),
+                };
+            }
+            "--json" => json_path = Some(it.next().expect("--json needs a path")),
+            other if other.starts_with("fig") || other.starts_with("abl") || other.starts_with("ext") => {
+                figures.extend(other.split(',').map(|s| s.trim().to_string()));
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if figures.is_empty() {
+        figures = ["fig4", "fig5", "fig7", "fig8", "fig9", "fig10"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    eprintln!("building systems {systems:?} at {scale:?} scale...");
+    let setups: Vec<SystemSetup> = systems
+        .iter()
+        .map(|name| {
+            eprintln!("  generating + training {name}...");
+            SystemSetup::build(name, scale, 0xC0FFEE)
+        })
+        .collect();
+
+    let mut all = AllResults::default();
+    for fig in &figures {
+        match fig.as_str() {
+            "fig4" => {
+                eprintln!("running fig4 (group-formation sweep)...");
+                all.fig4 = fig4(&setups, scale);
+                println!("{}", fig4_table(&all.fig4));
+            }
+            "fig5" => {
+                eprintln!("running fig5 (complete data)...");
+                all.fig5 = fig5(&setups, scale);
+                println!("{}", method_table("Fig 5: complete data", &all.fig5));
+            }
+            "fig7" => {
+                eprintln!("running fig7 (missing outage data)...");
+                all.fig7 = fig7(&setups, scale);
+                println!("{}", method_table("Fig 7: missing outage data", &all.fig7));
+            }
+            "fig8" => {
+                eprintln!("running fig8 (random missing, normal operation)...");
+                all.fig8 = fig8(&setups);
+                println!(
+                    "{}",
+                    method_table("Fig 8: random missing data, normal operation", &all.fig8)
+                );
+            }
+            "fig9" => {
+                eprintln!("running fig9 (random missing, outage elsewhere)...");
+                all.fig9 = fig9(&setups, scale);
+                println!(
+                    "{}",
+                    method_table("Fig 9: random missing data, outage samples", &all.fig9)
+                );
+            }
+            "fig10" => {
+                eprintln!("running fig10 (reliability sweep)...");
+                all.fig10 = fig10(&setups, scale);
+                println!("{}", fig10_table(&all.fig10));
+            }
+            "extensions" => {
+                eprintln!("running extension experiments...");
+                all.extensions = run_extensions(&setups, scale);
+                println!("{}", extension_table(&all.extensions));
+            }
+            "ablations" => {
+                eprintln!("running ablations (Fig. 7 conditions)...");
+                all.ablations = run_ablations(&setups, scale);
+                println!("{}", ablation_table(&all.ablations));
+            }
+            other => panic!("unknown figure {other}"),
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&all).expect("serialize results");
+        std::fs::write(&path, json).expect("write JSON results");
+        eprintln!("wrote {path}");
+    }
+}

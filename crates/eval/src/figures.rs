@@ -1,0 +1,363 @@
+//! One runner per figure of the paper's evaluation (Sec. V).
+//!
+//! Every runner consumes pre-built [`SystemSetup`]s so the expensive data
+//! generation and training are shared across figures, and returns typed,
+//! serializable series for the `repro` binary and EXPERIMENTS.md.
+
+use crate::metrics::Metrics;
+use crate::runner::{EvalScale, SystemSetup};
+use pmu_detect::{Detector, DetectorConfig};
+use pmu_sim::dataset::OutageCase;
+use pmu_sim::missing::outage_endpoints_mask;
+use pmu_sim::reliability::{per_device_working_prob, reliability_sweep};
+use pmu_sim::{Mask, MissingPattern, PhasorSample};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// An (IA, FA) measurement for one system and method.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodPoint {
+    /// System name.
+    pub system: String,
+    /// `"subspace"` or `"mlr"`.
+    pub method: String,
+    /// Mean identification accuracy.
+    pub ia: f64,
+    /// Mean false-alarm rate.
+    pub fa: f64,
+}
+
+/// A point of the Fig. 4 group-formation sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Point {
+    /// System name.
+    pub system: String,
+    /// Fraction of group members chosen by capability learning.
+    pub fraction: f64,
+    /// Mean identification accuracy.
+    pub ia: f64,
+    /// Mean false-alarm rate.
+    pub fa: f64,
+}
+
+/// A point of the Fig. 10 reliability sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Point {
+    /// System name.
+    pub system: String,
+    /// System-wide PMU-network reliability `r`.
+    pub reliability: f64,
+    /// Effective FA of the subspace method.
+    pub fa_subspace: f64,
+    /// Effective FA of the MLR baseline.
+    pub fa_mlr: f64,
+}
+
+/// Run the detector, treating "not enough observed data" as an empty
+/// report (a dark network cannot raise an alarm).
+fn detect_lines(det: &Detector, sample: &PhasorSample) -> Vec<usize> {
+    match det.detect(sample) {
+        Ok(d) => d.lines,
+        Err(_) => Vec::new(),
+    }
+}
+
+/// MLR's report as a line list.
+fn mlr_lines(setup: &SystemSetup, sample: &PhasorSample) -> Vec<usize> {
+    let p = setup.mlr.predict(sample);
+    match p.line {
+        Some(l) if p.outage => vec![l],
+        _ => Vec::new(),
+    }
+}
+
+/// Evaluate a method over every outage case, applying `mask_for` to each
+/// test sample.
+fn eval_outages(
+    setup: &SystemSetup,
+    det: Option<&Detector>,
+    scale: EvalScale,
+    rng: &mut StdRng,
+    mut mask_for: impl FnMut(&OutageCase, &mut StdRng) -> Mask,
+) -> Metrics {
+    let mut m = Metrics::new();
+    let per_case = scale.test_samples();
+    for case in &setup.dataset.cases {
+        let n_t = per_case.min(case.test.len());
+        for t in 0..n_t {
+            let mask = mask_for(case, rng);
+            let sample = case.test.sample(t).masked(&mask);
+            let truth = [case.branch];
+            let lines = match det {
+                Some(d) => detect_lines(d, &sample),
+                None => mlr_lines(setup, &sample),
+            };
+            m.add(&truth, &lines);
+        }
+    }
+    m
+}
+
+/// Evaluate a method over normal-operation samples (truth is empty).
+fn eval_normals(
+    setup: &SystemSetup,
+    det: Option<&Detector>,
+    rng: &mut StdRng,
+    mut mask_for: impl FnMut(&mut StdRng) -> Mask,
+) -> Metrics {
+    let mut m = Metrics::new();
+    for t in 0..setup.dataset.normal_test.len() {
+        let mask = mask_for(rng);
+        let sample = setup.dataset.normal_test.sample(t).masked(&mask);
+        let lines = match det {
+            Some(d) => detect_lines(d, &sample),
+            None => mlr_lines(setup, &sample),
+        };
+        m.add(&[], &lines);
+    }
+    m
+}
+
+/// Number of randomly dropped nodes for the Fig. 8/9 scenarios: a
+/// "relatively small number" scaled gently with system size.
+pub fn random_missing_count(n_buses: usize) -> usize {
+    (n_buses / 15).max(2)
+}
+
+/// **Fig. 5** — complete data: subspace vs MLR on every system.
+pub fn fig5(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
+    let mut out = Vec::new();
+    for s in setups {
+        let mut rng = StdRng::seed_from_u64(0x0501);
+        let none = |_: &OutageCase, _: &mut StdRng| Mask::all_present(s.network.n_buses());
+        let sub = eval_outages(s, Some(&s.detector), scale, &mut rng, none);
+        let mlr = eval_outages(s, None, scale, &mut rng, none);
+        out.push(MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() });
+        out.push(MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() });
+    }
+    out
+}
+
+/// **Fig. 4** — effect of detection-group formation: sweep the fraction of
+/// members chosen by capability learning (0 = naive orthogonal groups,
+/// 1 = proposed) with complete data.
+pub fn fig4(setups: &[SystemSetup], scale: EvalScale) -> Vec<Fig4Point> {
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut out = Vec::new();
+    for s in setups {
+        for &frac in &fractions {
+            let cfg = DetectorConfig { capability_fraction: frac, ..s.detector_cfg.clone() };
+            let det = s.retrain_detector(&cfg);
+            let mut rng = StdRng::seed_from_u64(0x0401);
+            let none = |_: &OutageCase, _: &mut StdRng| Mask::all_present(s.network.n_buses());
+            let m = eval_outages(s, Some(&det), scale, &mut rng, none);
+            out.push(Fig4Point { system: s.name.clone(), fraction: frac, ia: m.ia(), fa: m.fa() });
+        }
+    }
+    out
+}
+
+/// **Fig. 7** — missing outage data: the PMUs at both endpoints of the
+/// outaged line are dark (top row of Fig. 6).
+pub fn fig7(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
+    let mut out = Vec::new();
+    for s in setups {
+        let n = s.network.n_buses();
+        let mut rng = StdRng::seed_from_u64(0x0701);
+        let mask = |case: &OutageCase, _: &mut StdRng| outage_endpoints_mask(n, case.endpoints);
+        let sub = eval_outages(s, Some(&s.detector), scale, &mut rng, mask);
+        let mlr = eval_outages(s, None, scale, &mut rng, mask);
+        out.push(MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() });
+        out.push(MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() });
+    }
+    out
+}
+
+/// **Fig. 8** — random missing data during *normal operation*: can the
+/// method tell a data problem from a physical failure? (middle row of
+/// Fig. 6; `|F| = 0` conventions of Sec. V-C2).
+pub fn fig8(setups: &[SystemSetup]) -> Vec<MethodPoint> {
+    let mut out = Vec::new();
+    for s in setups {
+        let n = s.network.n_buses();
+        let k = random_missing_count(n);
+        let pattern = MissingPattern::RandomK { k, exclude: vec![] };
+        let mut rng = StdRng::seed_from_u64(0x0801);
+        let sub = eval_normals(s, Some(&s.detector), &mut rng, |r| pattern.draw(n, r));
+        let mlr = eval_normals(s, None, &mut rng, |r| pattern.draw(n, r));
+        out.push(MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() });
+        out.push(MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() });
+    }
+    out
+}
+
+/// **Fig. 9** — outage samples with random missing data *away from* the
+/// outage location (bottom row of Fig. 6).
+pub fn fig9(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
+    let mut out = Vec::new();
+    for s in setups {
+        let n = s.network.n_buses();
+        let k = random_missing_count(n);
+        let mut rng = StdRng::seed_from_u64(0x0901);
+        let mask = |case: &OutageCase, r: &mut StdRng| {
+            MissingPattern::RandomK { k, exclude: vec![case.endpoints.0, case.endpoints.1] }
+                .draw(n, r)
+        };
+        let sub = eval_outages(s, Some(&s.detector), scale, &mut rng, mask);
+        let mlr = eval_outages(s, None, scale, &mut rng, mask);
+        out.push(MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() });
+        out.push(MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() });
+    }
+    out
+}
+
+/// **Fig. 10** — effective false-alarm rate versus system-wide PMU-network
+/// reliability `r` (Eq. 13–15), estimated by Monte-Carlo over missing
+/// patterns with per-device working probability `q = r^{1/L}`.
+pub fn fig10(setups: &[SystemSetup], scale: EvalScale) -> Vec<Fig10Point> {
+    let mut out = Vec::new();
+    for s in setups {
+        let n = s.network.n_buses();
+        let patterns = scale.reliability_patterns();
+        for &r in &reliability_sweep() {
+            let q = per_device_working_prob(r, n);
+            let pattern = MissingPattern::Bernoulli { p: 1.0 - q };
+            let mut rng = StdRng::seed_from_u64((r * 1e6) as u64 ^ 0x1001);
+            let mut sub = Metrics::new();
+            let mut mlr = Metrics::new();
+            // Round-robin over outage cases and their test samples.
+            let cases = &s.dataset.cases;
+            for p in 0..patterns {
+                let case = &cases[p % cases.len()];
+                let t = (p / cases.len()) % case.test.len();
+                let mask = pattern.draw(n, &mut rng);
+                let sample = case.test.sample(t).masked(&mask);
+                let truth = [case.branch];
+                sub.add(&truth, &detect_lines(&s.detector, &sample));
+                mlr.add(&truth, &mlr_lines(s, &sample));
+            }
+            out.push(Fig10Point {
+                system: s.name.clone(),
+                reliability: r,
+                fa_subspace: sub.fa(),
+                fa_mlr: mlr.fa(),
+            });
+        }
+    }
+    out
+}
+
+/// Render `MethodPoint`s as an aligned text table.
+pub fn method_table(title: &str, points: &[MethodPoint]) -> String {
+    let mut s = format!("== {title} ==\n{:<10} {:<10} {:>6} {:>6}\n", "system", "method", "IA", "FA");
+    for p in points {
+        s.push_str(&format!(
+            "{:<10} {:<10} {:>6.3} {:>6.3}\n",
+            p.system, p.method, p.ia, p.fa
+        ));
+    }
+    s
+}
+
+/// Render `Fig4Point`s as an aligned text table.
+pub fn fig4_table(points: &[Fig4Point]) -> String {
+    let mut s = format!(
+        "== Fig 4: detection-group formation sweep ==\n{:<10} {:>9} {:>6} {:>6}\n",
+        "system", "fraction", "IA", "FA"
+    );
+    for p in points {
+        s.push_str(&format!(
+            "{:<10} {:>9.2} {:>6.3} {:>6.3}\n",
+            p.system, p.fraction, p.ia, p.fa
+        ));
+    }
+    s
+}
+
+/// Render `Fig10Point`s as an aligned text table.
+pub fn fig10_table(points: &[Fig10Point]) -> String {
+    let mut s = format!(
+        "== Fig 10: PMU network reliability ==\n{:<10} {:>6} {:>12} {:>8}\n",
+        "system", "r", "FA(subspace)", "FA(mlr)"
+    );
+    for p in points {
+        s.push_str(&format!(
+            "{:<10} {:>6.3} {:>12.3} {:>8.3}\n",
+            p.system, p.reliability, p.fa_subspace, p.fa_mlr
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_setup() -> Vec<SystemSetup> {
+        vec![SystemSetup::build("ieee14", EvalScale::Fast, 0xEE)]
+    }
+
+    #[test]
+    fn fig5_shape_holds_on_ieee14() {
+        let setups = fast_setup();
+        let pts = fig5(&setups, EvalScale::Fast);
+        assert_eq!(pts.len(), 2);
+        let sub = pts.iter().find(|p| p.method == "subspace").unwrap();
+        let mlr = pts.iter().find(|p| p.method == "mlr").unwrap();
+        // Both methods are competent on complete data (Fig. 5's message).
+        assert!(sub.ia > 0.8, "subspace IA {}", sub.ia);
+        assert!(mlr.ia > 0.7, "mlr IA {}", mlr.ia);
+        assert!(sub.fa < 0.3, "subspace FA {}", sub.fa);
+    }
+
+    #[test]
+    fn fig7_shape_subspace_beats_mlr() {
+        let setups = fast_setup();
+        let pts = fig7(&setups, EvalScale::Fast);
+        let sub = pts.iter().find(|p| p.method == "subspace").unwrap();
+        let mlr = pts.iter().find(|p| p.method == "mlr").unwrap();
+        // With the outage endpoints dark, the subspace method holds up and
+        // MLR degrades (Fig. 7's message).
+        assert!(sub.ia > 0.6, "subspace IA {}", sub.ia);
+        assert!(sub.ia > mlr.ia, "subspace {} vs mlr {}", sub.ia, mlr.ia);
+    }
+
+    #[test]
+    fn fig8_shape_subspace_low_false_alarm() {
+        let setups = fast_setup();
+        let pts = fig8(&setups);
+        let sub = pts.iter().find(|p| p.method == "subspace").unwrap();
+        // "the false alarm of the subspace method is negligible".
+        assert!(sub.fa < 0.2, "subspace FA {}", sub.fa);
+    }
+
+    #[test]
+    fn tables_render() {
+        let pts = vec![MethodPoint {
+            system: "ieee14".into(),
+            method: "subspace".into(),
+            ia: 0.95,
+            fa: 0.05,
+        }];
+        let t = method_table("Fig 5", &pts);
+        assert!(t.contains("ieee14") && t.contains("0.950"));
+        let f4 = vec![Fig4Point { system: "x".into(), fraction: 0.5, ia: 1.0, fa: 0.0 }];
+        assert!(fig4_table(&f4).contains("0.50"));
+        let f10 = vec![Fig10Point {
+            system: "x".into(),
+            reliability: 0.9,
+            fa_subspace: 0.1,
+            fa_mlr: 0.5,
+        }];
+        assert!(fig10_table(&f10).contains("0.900"));
+    }
+
+    #[test]
+    fn random_missing_count_scales() {
+        assert_eq!(random_missing_count(14), 2);
+        assert_eq!(random_missing_count(30), 2);
+        assert_eq!(random_missing_count(57), 3);
+        assert_eq!(random_missing_count(118), 7);
+    }
+}

@@ -1,0 +1,27 @@
+//! # pmu-eval
+//!
+//! The experiment harness that regenerates every figure of the paper's
+//! evaluation (Sec. V). Each figure has a dedicated runner returning typed
+//! series; the `repro` binary prints them as tables and can dump JSON for
+//! EXPERIMENTS.md.
+//!
+//! | Runner | Paper figure | Scenario |
+//! |---|---|---|
+//! | [`figures::fig4`] | Fig. 4a/4b | detection-group formation sweep |
+//! | [`figures::fig5`] | Fig. 5a/5b | complete data, subspace vs MLR |
+//! | [`figures::fig7`] | Fig. 7a/7b | missing data at the outage location |
+//! | [`figures::fig8`] | Fig. 8a/8b | random missing data, no outage |
+//! | [`figures::fig9`] | Fig. 9a/9b | random missing data away from outage |
+//! | [`figures::fig10`] | Fig. 10 | reliability-weighted FA(r) sweep |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ablations;
+pub mod extensions;
+pub mod figures;
+pub mod metrics;
+pub mod runner;
+
+pub use metrics::Metrics;
+pub use runner::{SystemSetup, EvalScale};

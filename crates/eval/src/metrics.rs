@@ -1,0 +1,146 @@
+//! Identification accuracy and false-alarm rate — Eq. (12) of the paper,
+//! with the normal-operation conventions of Sec. V-C2: when no outage
+//! exists (`|F| = 0`), a sample scores `IA = 1` iff nothing is reported
+//! and `FA = 1` iff anything is.
+
+use serde::Serialize;
+
+/// Per-sample identification accuracy `|F̂ ∩ F| / |F|`.
+pub fn sample_ia(truth: &[usize], detected: &[usize]) -> f64 {
+    if truth.is_empty() {
+        return if detected.is_empty() { 1.0 } else { 0.0 };
+    }
+    let hit = detected.iter().filter(|d| truth.contains(d)).count();
+    hit as f64 / truth.len() as f64
+}
+
+/// Per-sample false-alarm rate `1 − |F̂ ∩ F| / |F̂|`.
+pub fn sample_fa(truth: &[usize], detected: &[usize]) -> f64 {
+    if detected.is_empty() {
+        return 0.0; // Nothing claimed, nothing falsely alarmed.
+    }
+    if truth.is_empty() {
+        return 1.0; // Sec. V-C2: any report during normal operation.
+    }
+    let hit = detected.iter().filter(|d| truth.contains(d)).count();
+    1.0 - hit as f64 / detected.len() as f64
+}
+
+/// A running IA/FA aggregate over test samples.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Metrics {
+    ia_sum: f64,
+    fa_sum: f64,
+    n: usize,
+}
+
+impl Metrics {
+    /// Empty aggregate.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Record one sample's outcome.
+    pub fn add(&mut self, truth: &[usize], detected: &[usize]) {
+        self.ia_sum += sample_ia(truth, detected);
+        self.fa_sum += sample_fa(truth, detected);
+        self.n += 1;
+    }
+
+    /// Record a precomputed (ia, fa) pair (used by the reliability sweep).
+    pub fn add_raw(&mut self, ia: f64, fa: f64) {
+        self.ia_sum += ia;
+        self.fa_sum += fa;
+        self.n += 1;
+    }
+
+    /// Merge another aggregate into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.ia_sum += other.ia_sum;
+        self.fa_sum += other.fa_sum;
+        self.n += other.n;
+    }
+
+    /// Mean identification accuracy (`0.0` when empty).
+    pub fn ia(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.ia_sum / self.n as f64
+        }
+    }
+
+    /// Mean false-alarm rate (`0.0` when empty).
+    pub fn fa(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.fa_sum / self.n as f64
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_hit() {
+        assert_eq!(sample_ia(&[5], &[5]), 1.0);
+        assert_eq!(sample_fa(&[5], &[5]), 0.0);
+    }
+
+    #[test]
+    fn miss() {
+        assert_eq!(sample_ia(&[5], &[7]), 0.0);
+        assert_eq!(sample_fa(&[5], &[7]), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // Truth {1,2}, detected {2,3}: IA = 1/2, FA = 1/2.
+        assert_eq!(sample_ia(&[1, 2], &[2, 3]), 0.5);
+        assert_eq!(sample_fa(&[1, 2], &[2, 3]), 0.5);
+        // Superset detection: full IA but positive FA.
+        assert_eq!(sample_ia(&[1], &[1, 2, 3]), 1.0);
+        assert!((sample_fa(&[1], &[1, 2, 3]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_detection_is_a_miss_not_alarm() {
+        assert_eq!(sample_ia(&[4], &[]), 0.0);
+        assert_eq!(sample_fa(&[4], &[]), 0.0);
+    }
+
+    #[test]
+    fn normal_operation_convention() {
+        // Sec. V-C2: |F| = 0.
+        assert_eq!(sample_ia(&[], &[]), 1.0);
+        assert_eq!(sample_fa(&[], &[]), 0.0);
+        assert_eq!(sample_ia(&[], &[3]), 0.0);
+        assert_eq!(sample_fa(&[], &[3]), 1.0);
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let mut m = Metrics::new();
+        m.add(&[1], &[1]); // ia 1, fa 0
+        m.add(&[1], &[2]); // ia 0, fa 1
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.ia(), 0.5);
+        assert_eq!(m.fa(), 0.5);
+        let mut other = Metrics::new();
+        other.add_raw(1.0, 0.0);
+        m.merge(&other);
+        assert_eq!(m.count(), 3);
+        assert!((m.ia() - 2.0 / 3.0).abs() < 1e-12);
+        // Empty metrics are zero.
+        assert_eq!(Metrics::new().ia(), 0.0);
+        assert_eq!(Metrics::new().fa(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Shared experiment infrastructure: dataset generation, detector/MLR
+//! training, and per-system setup reused by every figure runner.
+
+use pmu_baseline::{MlrConfig, MlrDetector};
+ 
+use pmu_detect::{Detector, DetectorConfig};
+#[allow(unused_imports)]
+use pmu_detect::detector::cluster_heuristic;
+use pmu_grid::cases::by_name;
+use pmu_grid::Network;
+use pmu_sim::{generate_dataset, Dataset, GenConfig};
+
+/// How much work an evaluation run does. `Fast` keeps CI and unit tests
+/// quick; `Paper` matches the paper's 100 test samples per outage case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalScale {
+    /// Small windows, a few test samples per case.
+    Fast,
+    /// Default: moderate windows — the shape of every figure reproduces.
+    Standard,
+    /// Paper-scale test windows (100 samples per case).
+    Paper,
+}
+
+impl EvalScale {
+    /// Generation config for this scale.
+    pub fn gen_config(self, seed: u64) -> GenConfig {
+        match self {
+            EvalScale::Fast => GenConfig { train_len: 16, test_len: 5, seed, ..GenConfig::default() },
+            EvalScale::Standard => GenConfig { train_len: 40, test_len: 25, seed, ..GenConfig::default() },
+            EvalScale::Paper => {
+                GenConfig { train_len: 60, test_len: 100, seed, ..GenConfig::default() }
+            }
+        }
+    }
+
+    /// Test samples per outage case to actually evaluate.
+    pub fn test_samples(self) -> usize {
+        match self {
+            EvalScale::Fast => 3,
+            EvalScale::Standard => 10,
+            EvalScale::Paper => 100,
+        }
+    }
+
+    /// Missing-data patterns per reliability level (Fig. 10).
+    pub fn reliability_patterns(self) -> usize {
+        match self {
+            EvalScale::Fast => 20,
+            EvalScale::Standard => 80,
+            EvalScale::Paper => 200,
+        }
+    }
+}
+
+/// Everything needed to evaluate one IEEE system: the generated dataset
+/// and both trained methods.
+pub struct SystemSetup {
+    /// Case name (`"ieee14"`…).
+    pub name: String,
+    /// The grid.
+    pub network: Network,
+    /// Generated train/test data.
+    pub dataset: Dataset,
+    /// The proposed subspace detector (default configuration).
+    pub detector: Detector,
+    /// The MLR baseline.
+    pub mlr: MlrDetector,
+    /// The detector configuration used (for retraining variants).
+    pub detector_cfg: DetectorConfig,
+}
+
+impl SystemSetup {
+    /// Build the setup for one named IEEE system.
+    ///
+    /// # Panics
+    /// Panics on unknown system names or generation/training failures —
+    /// these are programming errors in experiment definitions, not runtime
+    /// conditions.
+    pub fn build(name: &str, scale: EvalScale, seed: u64) -> SystemSetup {
+        let network = by_name(name)
+            .unwrap_or_else(|| panic!("unknown system {name}"))
+            .expect("embedded cases are valid");
+        let gen = scale.gen_config(seed);
+        let dataset = generate_dataset(&network, &gen).expect("dataset generation");
+        let detector_cfg = pmu_detect::detector::default_config_for(&network);
+        let detector = Detector::train(&dataset, &detector_cfg).expect("detector training");
+        let mlr = MlrDetector::train(&dataset, &MlrConfig::default());
+        SystemSetup {
+            name: name.to_string(),
+            network,
+            dataset,
+            detector,
+            mlr,
+            detector_cfg,
+        }
+    }
+
+    /// Retrain the subspace detector with a modified configuration
+    /// (used by the Fig. 4 group-formation sweep and the ablations).
+    ///
+    /// # Panics
+    /// Panics on training failure (programming error in the sweep).
+    pub fn retrain_detector(&self, cfg: &DetectorConfig) -> Detector {
+        Detector::train(&self.dataset, cfg).expect("detector retraining")
+    }
+}
+
+/// The paper's four evaluation systems.
+pub fn paper_systems() -> Vec<&'static str> {
+    vec!["ieee14", "ieee30", "ieee57", "ieee118"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_setup_builds() {
+        let s = SystemSetup::build("ieee14", EvalScale::Fast, 7);
+        assert_eq!(s.name, "ieee14");
+        assert_eq!(s.network.n_buses(), 14);
+        assert!(s.dataset.n_cases() > 10);
+        assert_eq!(s.detector.n_nodes(), 14);
+        assert_eq!(s.mlr.n_classes(), s.dataset.n_cases() + 1);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(EvalScale::Fast.test_samples() < EvalScale::Standard.test_samples());
+        assert!(EvalScale::Standard.test_samples() < EvalScale::Paper.test_samples());
+        assert_eq!(EvalScale::Paper.gen_config(1).test_len, 100);
+        assert!(EvalScale::Fast.reliability_patterns() < EvalScale::Paper.reliability_patterns());
+    }
+
+    #[test]
+    fn paper_systems_list() {
+        assert_eq!(paper_systems(), vec!["ieee14", "ieee30", "ieee57", "ieee118"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown system")]
+    fn unknown_system_panics() {
+        let _ = SystemSetup::build("ieee9999", EvalScale::Fast, 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Cascading-failure simulation and N-1 security screening.
+//!
+//! The paper's introduction motivates timely outage detection with exactly
+//! this failure mode: "The incurred topology change, due to even a few
+//! line failures, may lead the power grid to reach an unplanned
+//! operational state that develops into a cascade failure" (its refs. \[2\],
+//! \[3\]). This module provides the standard overload-tripping cascade
+//! model: remove the triggering line(s), re-solve the (DC) power flow,
+//! trip every branch loaded beyond its thermal rating, and repeat until
+//! the grid quiets down or falls apart — producing the multi-stage outage
+//! sequences the streaming detector is drilled against.
+//!
+//! Because the embedded IEEE case files carry no thermal ratings
+//! (`rate = 0` means unlimited), [`assign_ratings`] synthesizes a
+//! consistent set: each line is rated at `margin ×` its base-case loading
+//! (with a floor), the standard construction in the cascading-failure
+//! literature.
+
+use crate::dc::solve_dc;
+use crate::error::FlowError;
+use crate::Result;
+use pmu_grid::Network;
+
+/// Result of one cascade simulation.
+#[derive(Debug, Clone)]
+pub struct CascadeReport {
+    /// Branches tripped at each stage; stage 0 is the trigger set.
+    pub stages: Vec<Vec<usize>>,
+    /// `true` when the cascade ended by islanding the grid (the power flow
+    /// could no longer be solved on the connected remainder).
+    pub islanded: bool,
+    /// The last *connected* network state. When `islanded` is false this
+    /// has every tripped branch out of service; when `islanded` is true
+    /// the final stage's branches are still in service here — removing
+    /// them is what split the grid.
+    pub final_state: Network,
+}
+
+impl CascadeReport {
+    /// Total number of branches lost (including the triggers).
+    pub fn total_tripped(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// All lost branches in trip order.
+    pub fn all_tripped(&self) -> Vec<usize> {
+        self.stages.iter().flatten().copied().collect()
+    }
+}
+
+/// Configuration of the cascade model.
+#[derive(Debug, Clone)]
+pub struct CascadeConfig {
+    /// A branch trips when `|flow| > overload_factor × rate`. `1.0` trips
+    /// exactly at the rating; values slightly above model relay tolerance.
+    pub overload_factor: f64,
+    /// Stage budget (a cascade longer than this is reported as-is).
+    pub max_stages: usize,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig { overload_factor: 1.0, max_stages: 20 }
+    }
+}
+
+/// Copy `net` with every in-service branch rated at `margin ×` its
+/// base-case DC loading, floored at `floor_mva`. Transformers and lines
+/// that carry (almost) nothing get the floor.
+///
+/// # Errors
+/// Propagates DC solve failures on the base case.
+pub fn assign_ratings(net: &Network, margin: f64, floor_mva: f64) -> Result<Network> {
+    let dc = solve_dc(net)?;
+    let buses = net.buses().to_vec();
+    let mut branches = net.branches().to_vec();
+    let gens = net.gens().to_vec();
+    for (i, br) in branches.iter_mut().enumerate() {
+        let loading_mva = dc.branch_flow[i].abs() * net.base_mva;
+        br.rate = (margin * loading_mva).max(floor_mva);
+    }
+    Network::new(net.name.clone(), net.base_mva, buses, branches, gens)
+        .map_err(|e| FlowError::Grid(e.to_string()))
+}
+
+/// Simulate an overload cascade triggered by removing `triggers`.
+///
+/// # Errors
+/// Returns [`FlowError::Grid`] when a trigger index is invalid. Islanding
+/// mid-cascade is *not* an error — it ends the cascade with
+/// `islanded = true`.
+pub fn simulate_cascade(
+    net: &Network,
+    triggers: &[usize],
+    cfg: &CascadeConfig,
+) -> Result<CascadeReport> {
+    let mut state = net
+        .with_branch_outages(triggers)
+        .map_err(|e| FlowError::Grid(e.to_string()))?;
+    let mut stages = vec![triggers.to_vec()];
+    let mut islanded = false;
+
+    for _ in 0..cfg.max_stages {
+        let dc = match solve_dc(&state) {
+            Ok(d) => d,
+            Err(_) => {
+                islanded = true;
+                break;
+            }
+        };
+        // Find overloaded branches.
+        let tripped: Vec<usize> = state
+            .branches()
+            .iter()
+            .enumerate()
+            .filter(|(i, br)| {
+                br.status
+                    && br.rate > 0.0
+                    && dc.branch_flow[*i].abs() * state.base_mva
+                        > cfg.overload_factor * br.rate
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if tripped.is_empty() {
+            break;
+        }
+        match state.with_branch_outages(&tripped) {
+            Ok(next) => state = next,
+            Err(_) => {
+                // The combined trip islands the grid.
+                islanded = true;
+                stages.push(tripped);
+                return Ok(CascadeReport { stages, islanded, final_state: state });
+            }
+        }
+        stages.push(tripped);
+    }
+    Ok(CascadeReport { stages, islanded, final_state: state })
+}
+
+/// N-1 security screen: for every valid single-line outage, report the
+/// branches the DC flow would overload. An empty result means the system
+/// is N-1 secure at the given ratings.
+///
+/// # Errors
+/// Propagates DC solve failures.
+pub fn n1_screen(net: &Network, overload_factor: f64) -> Result<Vec<(usize, Vec<usize>)>> {
+    let mut findings = Vec::new();
+    for idx in net.valid_outage_branches() {
+        let out = match net.with_branch_outage(idx) {
+            Ok(o) => o,
+            Err(_) => continue,
+        };
+        let dc = solve_dc(&out)?;
+        let overloads: Vec<usize> = out
+            .branches()
+            .iter()
+            .enumerate()
+            .filter(|(i, br)| {
+                br.status
+                    && br.rate > 0.0
+                    && dc.branch_flow[*i].abs() * out.base_mva > overload_factor * br.rate
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !overloads.is_empty() {
+            findings.push((idx, overloads));
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu_grid::cases::{ieee14, ieee30};
+
+    #[test]
+    fn ratings_cover_base_case() {
+        let net = ieee14().unwrap();
+        let rated = assign_ratings(&net, 1.5, 10.0).unwrap();
+        let dc = solve_dc(&rated).unwrap();
+        for (i, br) in rated.branches().iter().enumerate() {
+            assert!(br.rate >= 10.0, "floor respected");
+            let loading = dc.branch_flow[i].abs() * rated.base_mva;
+            assert!(
+                loading <= br.rate + 1e-9,
+                "branch {i}: base loading {loading} exceeds rating {}",
+                br.rate
+            );
+        }
+    }
+
+    #[test]
+    fn generous_ratings_mean_no_cascade() {
+        let net = assign_ratings(&ieee14().unwrap(), 5.0, 50.0).unwrap();
+        let trigger = net.valid_outage_branches()[0];
+        let rep = simulate_cascade(&net, &[trigger], &CascadeConfig::default()).unwrap();
+        assert_eq!(rep.total_tripped(), 1, "only the trigger trips");
+        assert!(!rep.islanded);
+        assert_eq!(rep.stages.len(), 1);
+        assert_eq!(rep.all_tripped(), vec![trigger]);
+    }
+
+    #[test]
+    fn tight_ratings_produce_a_cascade() {
+        // Margin 1.05 on IEEE-30: removing the most loaded line overloads
+        // its parallel paths, which trip in turn.
+        let net = assign_ratings(&ieee30().unwrap(), 1.05, 1.0).unwrap();
+        let dc = solve_dc(&net).unwrap();
+        let trigger = (0..net.n_branches())
+            .filter(|&i| net.valid_outage_branches().contains(&i))
+            .max_by(|&a, &b| {
+                dc.branch_flow[a].abs().partial_cmp(&dc.branch_flow[b].abs()).unwrap()
+            })
+            .unwrap();
+        let rep = simulate_cascade(&net, &[trigger], &CascadeConfig::default()).unwrap();
+        assert!(
+            rep.total_tripped() > 1,
+            "tight ratings must propagate beyond the trigger"
+        );
+        // Stage 0 is exactly the trigger.
+        assert_eq!(rep.stages[0], vec![trigger]);
+        // Final (connected) state has every applied stage out of service;
+        // when the cascade ended in islanding, the last stage was never
+        // applied.
+        let applied_stages =
+            if rep.islanded { &rep.stages[..rep.stages.len() - 1] } else { &rep.stages[..] };
+        for idx in applied_stages.iter().flatten() {
+            assert!(!rep.final_state.branches()[*idx].status);
+        }
+        assert!(rep.final_state.is_connected());
+    }
+
+    #[test]
+    fn n1_screen_flags_tight_systems_only() {
+        let loose = assign_ratings(&ieee14().unwrap(), 5.0, 50.0).unwrap();
+        assert!(n1_screen(&loose, 1.0).unwrap().is_empty(), "loose ratings are N-1 secure");
+        let tight = assign_ratings(&ieee14().unwrap(), 1.02, 1.0).unwrap();
+        let findings = n1_screen(&tight, 1.0).unwrap();
+        assert!(!findings.is_empty(), "2% margins cannot be N-1 secure");
+        // Findings reference real branches.
+        for (outage, overloads) in &findings {
+            assert!(tight.valid_outage_branches().contains(outage));
+            assert!(!overloads.is_empty());
+        }
+    }
+
+    #[test]
+    fn invalid_trigger_rejected() {
+        let net = ieee14().unwrap();
+        assert!(simulate_cascade(&net, &[999], &CascadeConfig::default()).is_err());
+    }
+}

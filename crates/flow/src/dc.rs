@@ -1,0 +1,144 @@
+//! DC (linearized) power flow.
+//!
+//! The DC approximation drops losses and voltage variation and solves
+//! `B' θ = P` on the non-slack buses — exactly the paper's Eq. (1)
+//! (`X = Y⁺ P`) with `Y` the susceptance Laplacian. It is used for the
+//! Eq.-(1) linear-model view, for fast baselines, and as a sanity check on
+//! the AC solver.
+
+use crate::Result;
+use pmu_grid::ybus::dc_b_matrix;
+use pmu_grid::Network;
+use pmu_numerics::lu::LuFactors;
+use pmu_numerics::Vector;
+
+/// A DC power-flow state: angles only; magnitudes are 1 p.u. by definition.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    /// Voltage angles in radians (slack angle = 0).
+    pub va: Vec<f64>,
+    /// Per-branch active flows (p.u.), aligned with `net.branches()`;
+    /// out-of-service branches carry `0.0`.
+    pub branch_flow: Vec<f64>,
+}
+
+/// Solve the DC power flow.
+///
+/// # Errors
+/// Returns [`FlowError::SingularJacobian`](crate::FlowError::SingularJacobian) when the reduced susceptance
+/// matrix is singular (disconnected grid).
+pub fn solve_dc(net: &Network) -> Result<DcSolution> {
+    let n = net.n_buses();
+    let base = net.base_mva;
+
+    // Net injections (p.u.) excluding the slack.
+    let mut p = vec![0.0; n];
+    for (i, bus) in net.buses().iter().enumerate() {
+        p[i] -= bus.pd / base;
+    }
+    for g in net.gens().iter().filter(|g| g.status) {
+        p[g.bus] += g.pg / base;
+    }
+
+    let (b_mat, keep) = dc_b_matrix(net);
+    let rhs = Vector::from_fn(keep.len(), |k| p[keep[k]]);
+    let lu = LuFactors::factorize(&b_mat)?;
+    let theta_red = lu.solve(&rhs)?;
+
+    let mut va = vec![0.0; n];
+    for (k, &bus) in keep.iter().enumerate() {
+        va[bus] = theta_red[k];
+    }
+
+    let branch_flow = net
+        .branches()
+        .iter()
+        .map(|br| {
+            if br.status {
+                let tap = if br.tap == 0.0 { 1.0 } else { br.tap };
+                (va[br.from] - va[br.to]) / (br.x * tap)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    Ok(DcSolution { va, branch_flow })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::{solve_ac, AcConfig};
+    use pmu_grid::cases::{ieee14, ieee30};
+
+    #[test]
+    fn flow_balance_at_every_bus() {
+        let net = ieee14().unwrap();
+        let sol = solve_dc(&net).unwrap();
+        // At every non-slack bus, net branch flow equals net injection.
+        let base = net.base_mva;
+        for bus in 0..net.n_buses() {
+            if bus == net.slack() {
+                continue;
+            }
+            let mut inj = -net.buses()[bus].pd / base;
+            for g in net.gens().iter().filter(|g| g.status && g.bus == bus) {
+                inj += g.pg / base;
+            }
+            let mut out_flow = 0.0;
+            for (i, br) in net.branches().iter().enumerate() {
+                if !br.status {
+                    continue;
+                }
+                if br.from == bus {
+                    out_flow += sol.branch_flow[i];
+                } else if br.to == bus {
+                    out_flow -= sol.branch_flow[i];
+                }
+            }
+            assert!(
+                (out_flow - inj).abs() < 1e-9,
+                "bus {bus}: out {out_flow} vs inj {inj}"
+            );
+        }
+    }
+
+    #[test]
+    fn slack_angle_is_zero() {
+        let net = ieee30().unwrap();
+        let sol = solve_dc(&net).unwrap();
+        assert_eq!(sol.va[net.slack()], 0.0);
+    }
+
+    #[test]
+    fn dc_approximates_ac_angles() {
+        let net = ieee14().unwrap();
+        let dc = solve_dc(&net).unwrap();
+        let ac = solve_ac(&net, &AcConfig::default()).unwrap();
+        // DC and AC angles agree to within a few degrees on a lightly
+        // loaded system.
+        for b in 0..net.n_buses() {
+            let diff = (dc.va[b] - ac.va[b]).abs().to_degrees();
+            assert!(diff < 4.0, "bus {b}: DC-AC angle gap {diff} deg");
+        }
+    }
+
+    #[test]
+    fn outage_reroutes_flow() {
+        let net = ieee14().unwrap();
+        let base = solve_dc(&net).unwrap();
+        let idx = net.valid_outage_branches()[0];
+        let out = solve_dc(&net.with_branch_outage(idx).unwrap()).unwrap();
+        assert_eq!(out.branch_flow[idx], 0.0);
+        // Power that used to flow on `idx` must appear elsewhere.
+        let shifted: f64 = net
+            .branches()
+            .iter()
+            .enumerate()
+            .filter(|(i, br)| *i != idx && br.status)
+            .map(|(i, _)| (out.branch_flow[i] - base.branch_flow[i]).abs())
+            .sum();
+        assert!(shifted > base.branch_flow[idx].abs() * 0.5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for power-flow solvers.
+
+use std::fmt;
+
+/// Errors produced by the power-flow solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Newton–Raphson did not reach the mismatch tolerance.
+    Diverged {
+        /// Iterations performed.
+        iters: usize,
+        /// Largest power mismatch (p.u.) at the last iteration.
+        mismatch: f64,
+    },
+    /// The Jacobian (or DC B' matrix) was singular — typically an islanded
+    /// or otherwise degenerate network.
+    SingularJacobian(String),
+    /// The underlying network model was invalid.
+    Grid(String),
+    /// A numerical routine failed.
+    Numerics(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Diverged { iters, mismatch } => {
+                write!(f, "power flow diverged after {iters} iterations (mismatch {mismatch:.3e} p.u.)")
+            }
+            FlowError::SingularJacobian(msg) => write!(f, "singular Jacobian: {msg}"),
+            FlowError::Grid(msg) => write!(f, "grid error: {msg}"),
+            FlowError::Numerics(msg) => write!(f, "numerics failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<pmu_grid::GridError> for FlowError {
+    fn from(e: pmu_grid::GridError) -> Self {
+        FlowError::Grid(e.to_string())
+    }
+}
+
+impl From<pmu_numerics::NumericsError> for FlowError {
+    fn from(e: pmu_numerics::NumericsError) -> Self {
+        match e {
+            pmu_numerics::NumericsError::Singular { .. } => {
+                FlowError::SingularJacobian(e.to_string())
+            }
+            other => FlowError::Numerics(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = FlowError::Diverged { iters: 30, mismatch: 0.5 };
+        assert!(e.to_string().contains("diverged"));
+        assert!(FlowError::SingularJacobian("x".into()).to_string().contains("singular"));
+        assert!(FlowError::Grid("g".into()).to_string().contains("g"));
+        assert!(FlowError::Numerics("n".into()).to_string().contains("n"));
+    }
+
+    #[test]
+    fn conversion_maps_singular() {
+        let e: FlowError =
+            pmu_numerics::NumericsError::Singular { op: "lu", pivot: 0.0 }.into();
+        assert!(matches!(e, FlowError::SingularJacobian(_)));
+        let e: FlowError = pmu_numerics::NumericsError::invalid("op", "msg").into();
+        assert!(matches!(e, FlowError::Numerics(_)));
+    }
+}

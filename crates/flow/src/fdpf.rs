@@ -1,0 +1,247 @@
+//! Fast-decoupled power flow (Stott & Alsac, XB scheme).
+//!
+//! The workhorse of real-time control centers: the P–θ and Q–V halves of
+//! the power-flow equations are decoupled and solved alternately against
+//! *constant* susceptance matrices `B'` and `B''`, factorized once. Each
+//! iteration is dramatically cheaper than a Newton step (two triangular
+//! solves instead of a fresh Jacobian + LU), at the cost of more, linearly
+//! converging iterations — the classic trade the `pmu-bench` suite
+//! measures against [`crate::ac`].
+
+use crate::error::FlowError;
+use crate::Result;
+use pmu_grid::ybus::build_ybus;
+use pmu_grid::{BusType, Network};
+use pmu_numerics::lu::LuFactors;
+use pmu_numerics::{Complex64, Matrix, Vector};
+
+/// Configuration of the fast-decoupled solver.
+#[derive(Debug, Clone)]
+pub struct FdpfConfig {
+    /// Convergence tolerance on the power mismatch (p.u.).
+    pub tol: f64,
+    /// Maximum half-iteration sweeps (one sweep = P–θ then Q–V).
+    pub max_sweeps: usize,
+}
+
+impl Default for FdpfConfig {
+    fn default() -> Self {
+        FdpfConfig { tol: 1e-8, max_sweeps: 60 }
+    }
+}
+
+/// A converged fast-decoupled state (same contents as an AC solution).
+#[derive(Debug, Clone)]
+pub struct FdpfSolution {
+    /// Voltage magnitudes (p.u.).
+    pub vm: Vec<f64>,
+    /// Voltage angles (radians).
+    pub va: Vec<f64>,
+    /// Sweeps used.
+    pub sweeps: usize,
+    /// Final infinity-norm mismatch (p.u.).
+    pub max_mismatch: f64,
+}
+
+/// `B'`: the P–θ matrix over PV+PQ buses — series susceptances only
+/// (XB scheme: resistances ignored in `B'`).
+fn b_prime(net: &Network, pvpq: &[usize]) -> Matrix {
+    let n = net.n_buses();
+    let mut full = Matrix::zeros(n, n);
+    for br in net.branches().iter().filter(|b| b.status) {
+        let w = 1.0 / br.x;
+        full[(br.from, br.from)] += w;
+        full[(br.to, br.to)] += w;
+        full[(br.from, br.to)] -= w;
+        full[(br.to, br.from)] -= w;
+    }
+    full.select_rows(pvpq).select_columns(pvpq)
+}
+
+/// `B''`: the Q–V matrix over PQ buses — the imaginary part of the Y-bus
+/// (shunts and taps included), negated.
+fn b_double_prime(net: &Network, pq: &[usize]) -> Matrix {
+    let ybus = build_ybus(net);
+    let neg_imag = Matrix::from_fn(net.n_buses(), net.n_buses(), |r, c| -ybus[(r, c)].im);
+    neg_imag.select_rows(pq).select_columns(pq)
+}
+
+/// Specified net injections in per-unit (shared with the Newton solver's
+/// conventions).
+fn specified(net: &Network) -> (Vec<f64>, Vec<f64>) {
+    let n = net.n_buses();
+    let base = net.base_mva;
+    let mut p = vec![0.0; n];
+    let mut q = vec![0.0; n];
+    for (i, bus) in net.buses().iter().enumerate() {
+        p[i] -= bus.pd / base;
+        q[i] -= bus.qd / base;
+    }
+    for g in net.gens().iter().filter(|g| g.status) {
+        p[g.bus] += g.pg / base;
+        q[g.bus] += g.qg / base;
+    }
+    (p, q)
+}
+
+/// Computed injections at the current state.
+fn injections(
+    ybus: &pmu_numerics::CMatrix,
+    vm: &[f64],
+    va: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    let n = vm.len();
+    let mut p = vec![0.0; n];
+    let mut q = vec![0.0; n];
+    for i in 0..n {
+        let mut pi = 0.0;
+        let mut qi = 0.0;
+        for j in 0..n {
+            let y = ybus[(i, j)];
+            if y == Complex64::ZERO {
+                continue;
+            }
+            let (s, c) = (va[i] - va[j]).sin_cos();
+            pi += vm[i] * vm[j] * (y.re * c + y.im * s);
+            qi += vm[i] * vm[j] * (y.re * s - y.im * c);
+        }
+        p[i] = pi;
+        q[i] = qi;
+    }
+    (p, q)
+}
+
+/// Solve the power flow with the fast-decoupled XB scheme.
+///
+/// # Errors
+/// Returns [`FlowError::Diverged`] when the sweep budget is exhausted and
+/// [`FlowError::SingularJacobian`] when `B'`/`B''` cannot be factorized.
+pub fn solve_fdpf(net: &Network, cfg: &FdpfConfig) -> Result<FdpfSolution> {
+    let n = net.n_buses();
+    let slack = net.slack();
+    let pvpq: Vec<usize> = (0..n).filter(|&i| i != slack).collect();
+    let pq: Vec<usize> =
+        (0..n).filter(|&i| net.buses()[i].bus_type == BusType::Pq).collect();
+
+    let ybus = build_ybus(net);
+    let lu_bp = LuFactors::factorize(&b_prime(net, &pvpq))?;
+    let lu_bpp = if pq.is_empty() {
+        None
+    } else {
+        Some(LuFactors::factorize(&b_double_prime(net, &pq))?)
+    };
+
+    let mut vm: Vec<f64> = net.buses().iter().map(|b| b.vm).collect();
+    let mut va: Vec<f64> = net.buses().iter().map(|b| b.va.to_radians()).collect();
+    let (p_spec, q_spec) = specified(net);
+
+    let mut mismatch = f64::INFINITY;
+    for sweep in 0..=cfg.max_sweeps {
+        let (p_calc, q_calc) = injections(&ybus, &vm, &va);
+        // Normalized mismatches ΔP/V (pvpq) and ΔQ/V (pq).
+        let dp = Vector::from_fn(pvpq.len(), |k| {
+            let b = pvpq[k];
+            (p_spec[b] - p_calc[b]) / vm[b]
+        });
+        // Raw mismatch for the convergence check.
+        let raw = pvpq
+            .iter()
+            .map(|&b| (p_spec[b] - p_calc[b]).abs())
+            .chain(pq.iter().map(|&b| (q_spec[b] - q_calc[b]).abs()))
+            .fold(0.0_f64, f64::max);
+        mismatch = raw;
+        if mismatch < cfg.tol {
+            return Ok(FdpfSolution { vm, va, sweeps: sweep, max_mismatch: mismatch });
+        }
+        if sweep == cfg.max_sweeps {
+            break;
+        }
+
+        // P–θ half step.
+        let dtheta = lu_bp.solve(&dp)?;
+        for (k, &b) in pvpq.iter().enumerate() {
+            va[b] += dtheta[k];
+        }
+        // Q–V half step.
+        if let Some(lu) = &lu_bpp {
+            let (_, q_calc) = injections(&ybus, &vm, &va);
+            let dq2 = Vector::from_fn(pq.len(), |k| {
+                let b = pq[k];
+                (q_spec[b] - q_calc[b]) / vm[b]
+            });
+            let dv = lu.solve(&dq2)?;
+            for (k, &b) in pq.iter().enumerate() {
+                vm[b] = (vm[b] + dv[k]).max(0.1);
+            }
+        }
+    }
+    Err(FlowError::Diverged { iters: cfg.max_sweeps, mismatch })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::{solve_ac, AcConfig};
+    use pmu_grid::cases::{ieee118, ieee14, ieee30};
+
+    #[test]
+    fn agrees_with_newton_on_every_system() {
+        for net in [ieee14().unwrap(), ieee30().unwrap(), ieee118().unwrap()] {
+            let nr = solve_ac(&net, &AcConfig::default()).unwrap();
+            let fd = solve_fdpf(&net, &FdpfConfig::default()).unwrap();
+            assert!(fd.max_mismatch < 1e-8, "{}", net.name);
+            for b in 0..net.n_buses() {
+                assert!(
+                    (nr.vm[b] - fd.vm[b]).abs() < 1e-6,
+                    "{}: bus {b} Vm {} vs {}",
+                    net.name,
+                    nr.vm[b],
+                    fd.vm[b]
+                );
+                assert!(
+                    (nr.va[b] - fd.va[b]).abs() < 1e-6,
+                    "{}: bus {b} Va {} vs {}",
+                    net.name,
+                    nr.va[b],
+                    fd.va[b]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn takes_more_but_cheaper_iterations() {
+        let net = ieee30().unwrap();
+        let nr = solve_ac(&net, &AcConfig::default()).unwrap();
+        let fd = solve_fdpf(&net, &FdpfConfig::default()).unwrap();
+        assert!(
+            fd.sweeps >= nr.iterations,
+            "fast-decoupled should take at least as many sweeps ({} vs {})",
+            fd.sweeps,
+            nr.iterations
+        );
+        assert!(fd.sweeps < 40, "but still converge briskly ({} sweeps)", fd.sweeps);
+    }
+
+    #[test]
+    fn divergence_reported_on_absurd_load() {
+        let mut net = ieee14().unwrap();
+        net.set_load(13, 80_000.0, 30_000.0).unwrap();
+        match solve_fdpf(&net, &FdpfConfig { max_sweeps: 15, ..FdpfConfig::default() }) {
+            Err(FlowError::Diverged { .. }) | Err(FlowError::SingularJacobian(_)) => {}
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outage_state_matches_newton_too() {
+        let net = ieee14().unwrap();
+        let idx = net.valid_outage_branches()[2];
+        let out = net.with_branch_outage(idx).unwrap();
+        let nr = solve_ac(&out, &AcConfig::default()).unwrap();
+        let fd = solve_fdpf(&out, &FdpfConfig::default()).unwrap();
+        for b in 0..14 {
+            assert!((nr.va[b] - fd.va[b]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-branch complex power flows from a solved AC state.
+//!
+//! Useful for diagnostics, for the examples, and for validating the solver
+//! (sending-end minus receiving-end flow equals line losses, which must be
+//! non-negative for real line parameters).
+
+use crate::ac::AcSolution;
+use pmu_grid::Network;
+use pmu_numerics::Complex64;
+
+/// Complex power flow on one branch, in per-unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchFlow {
+    /// Complex power injected at the from-bus into the branch.
+    pub s_from: Complex64,
+    /// Complex power injected at the to-bus into the branch.
+    pub s_to: Complex64,
+}
+
+impl BranchFlow {
+    /// Active losses on the branch (p.u.): `Re(S_from + S_to)`.
+    pub fn p_loss(&self) -> f64 {
+        self.s_from.re + self.s_to.re
+    }
+}
+
+/// Compute flows on every branch. Out-of-service branches yield zero flow.
+pub fn branch_flows(net: &Network, sol: &AcSolution) -> Vec<BranchFlow> {
+    net.branches()
+        .iter()
+        .map(|br| {
+            if !br.status {
+                return BranchFlow { s_from: Complex64::ZERO, s_to: Complex64::ZERO };
+            }
+            let ys = Complex64::ONE / Complex64::new(br.r, br.x);
+            let bc_half = Complex64::new(0.0, br.b / 2.0);
+            let tap = if br.tap == 0.0 { 1.0 } else { br.tap };
+            let t = Complex64::from_polar(tap, br.shift.to_radians());
+
+            let vf = sol.phasor(br.from);
+            let vt = sol.phasor(br.to);
+
+            // Branch admittance stamps (π-model with transformer on from side).
+            let yff = (ys + bc_half) / (tap * tap);
+            let yft = -(ys / t.conj());
+            let ytf = -(ys / t);
+            let ytt = ys + bc_half;
+
+            let if_ = yff * vf + yft * vt;
+            let it = ytf * vf + ytt * vt;
+            BranchFlow { s_from: vf * if_.conj(), s_to: vt * it.conj() }
+        })
+        .collect()
+}
+
+/// Total active losses over all in-service branches (p.u.).
+pub fn total_losses(net: &Network, sol: &AcSolution) -> f64 {
+    branch_flows(net, sol).iter().map(BranchFlow::p_loss).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::{solve_ac, AcConfig};
+    use pmu_grid::cases::ieee14;
+
+    #[test]
+    fn losses_are_nonnegative_per_branch() {
+        let net = ieee14().unwrap();
+        let sol = solve_ac(&net, &AcConfig::default()).unwrap();
+        for (i, f) in branch_flows(&net, &sol).iter().enumerate() {
+            assert!(f.p_loss() > -1e-9, "branch {i} has negative loss {}", f.p_loss());
+        }
+    }
+
+    #[test]
+    fn total_losses_match_slack_balance() {
+        // Generation − load = losses.
+        let net = ieee14().unwrap();
+        let sol = solve_ac(&net, &AcConfig::default()).unwrap();
+        let base = net.base_mva;
+        let mut gen_p: f64 =
+            net.gens().iter().filter(|g| g.status).map(|g| g.pg / base).sum();
+        // The slack generator's actual output replaces its scheduled one.
+        let slack_sched: f64 = net
+            .gens()
+            .iter()
+            .filter(|g| g.status && g.bus == net.slack())
+            .map(|g| g.pg / base)
+            .sum();
+        gen_p = gen_p - slack_sched + sol.slack_p;
+        let load_p: f64 = net.buses().iter().map(|b| b.pd / base).sum();
+        let losses = total_losses(&net, &sol);
+        assert!(
+            (gen_p - load_p - losses).abs() < 1e-6,
+            "gen {gen_p} - load {load_p} != losses {losses}"
+        );
+    }
+
+    #[test]
+    fn out_of_service_branch_has_zero_flow() {
+        let net = ieee14().unwrap();
+        let idx = net.valid_outage_branches()[0];
+        let out_net = net.with_branch_outage(idx).unwrap();
+        let sol = solve_ac(&out_net, &AcConfig::default()).unwrap();
+        let flows = branch_flows(&out_net, &sol);
+        assert_eq!(flows[idx].s_from, Complex64::ZERO);
+        assert_eq!(flows[idx].s_to, Complex64::ZERO);
+    }
+
+    #[test]
+    fn ieee14_loss_magnitude_is_realistic() {
+        // Canonical IEEE-14 losses are ≈ 13.4 MW (0.134 p.u.).
+        let net = ieee14().unwrap();
+        let sol = solve_ac(&net, &AcConfig::default()).unwrap();
+        let losses = total_losses(&net, &sol);
+        assert!(losses > 0.10 && losses < 0.16, "losses {losses} p.u.");
+    }
+}

@@ -1,0 +1,136 @@
+//! The IEEE test systems used in the paper's evaluation (Sec. V):
+//! 14, 30, 57 and 118 buses with 20, 41, 80 and 186 branches respectively.
+//!
+//! `ieee14` and `ieee30` carry the canonical PSTCA electrical parameters,
+//! embedded as MATPOWER-style case files and parsed by [`crate::parser`].
+//! `ieee57` and `ieee118` are deterministic structure-faithful
+//! reconstructions built by [`crate::synthetic`] (see DESIGN.md,
+//! substitution #2).
+
+use crate::network::Network;
+use crate::parser::parse_case;
+use crate::synthetic::{synthetic_network, SyntheticConfig};
+use crate::Result;
+
+/// Embedded MATPOWER text for the IEEE 14-bus system.
+pub const CASE14_M: &str = include_str!("../data/case14.m");
+/// Embedded MATPOWER text for the IEEE 30-bus system.
+pub const CASE30_M: &str = include_str!("../data/case30.m");
+
+/// The IEEE 14-bus test system (canonical parameters).
+///
+/// # Errors
+/// Never fails in practice; the embedded case text is validated by tests.
+pub fn ieee14() -> Result<Network> {
+    parse_case("ieee14", CASE14_M)
+}
+
+/// The IEEE 30-bus test system (canonical parameters).
+///
+/// # Errors
+/// Never fails in practice; the embedded case text is validated by tests.
+pub fn ieee30() -> Result<Network> {
+    parse_case("ieee30", CASE30_M)
+}
+
+/// Structure-faithful reconstruction of the IEEE 57-bus system
+/// (57 buses / 80 branches).
+///
+/// # Errors
+/// Never fails in practice; construction is validated by tests.
+pub fn ieee57() -> Result<Network> {
+    synthetic_network("ieee57", &SyntheticConfig::ieee57_like())
+}
+
+/// Structure-faithful reconstruction of the IEEE 118-bus system
+/// (118 buses / 186 branches).
+///
+/// # Errors
+/// Never fails in practice; construction is validated by tests.
+pub fn ieee118() -> Result<Network> {
+    synthetic_network("ieee118", &SyntheticConfig::ieee118_like())
+}
+
+/// Look a case up by name (`"ieee14" | "ieee30" | "ieee57" | "ieee118"`).
+/// Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Result<Network>> {
+    match name {
+        "ieee14" => Some(ieee14()),
+        "ieee30" => Some(ieee30()),
+        "ieee57" => Some(ieee57()),
+        "ieee118" => Some(ieee118()),
+        _ => None,
+    }
+}
+
+/// The four evaluation systems in the order the paper plots them.
+///
+/// # Errors
+/// Propagates any case construction failure (none occur in practice).
+pub fn evaluation_suite() -> Result<Vec<Network>> {
+    Ok(vec![ieee14()?, ieee30()?, ieee57()?, ieee118()?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::BusType;
+
+    #[test]
+    fn ieee14_matches_paper_counts() {
+        let net = ieee14().unwrap();
+        assert_eq!(net.n_buses(), 14);
+        assert_eq!(net.n_branches(), 20); // "20 power lines available"
+        assert!(net.is_connected());
+        assert_eq!(net.slack(), 0);
+        assert_eq!(net.gens().len(), 5);
+        // Spot-check canonical values.
+        assert!((net.buses()[2].pd - 94.2).abs() < 1e-9); // bus 3 load
+        assert!((net.branches()[0].x - 0.05917).abs() < 1e-9); // line 1-2
+        assert!((net.branches()[7].tap - 0.978).abs() < 1e-9); // 4-7 xfmr
+        assert!((net.buses()[8].bs - 19.0).abs() < 1e-9); // bus 9 shunt
+    }
+
+    #[test]
+    fn ieee30_matches_paper_counts() {
+        let net = ieee30().unwrap();
+        assert_eq!(net.n_buses(), 30);
+        assert_eq!(net.n_branches(), 41); // "41 power lines available"
+        assert!(net.is_connected());
+        let pv = net.buses().iter().filter(|b| b.bus_type == BusType::Pv).count();
+        assert_eq!(pv, 5); // gens at 2,5,8,11,13 (1 is slack)
+        assert!((net.total_load() - 283.4).abs() < 0.5);
+    }
+
+    #[test]
+    fn ieee57_and_118_match_paper_counts() {
+        let n57 = ieee57().unwrap();
+        assert_eq!((n57.n_buses(), n57.n_branches()), (57, 80));
+        let n118 = ieee118().unwrap();
+        assert_eq!((n118.n_buses(), n118.n_branches()), (118, 186));
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("ieee14").unwrap().is_ok());
+        assert!(by_name("ieee118").unwrap().is_ok());
+        assert!(by_name("ieee9000").is_none());
+    }
+
+    #[test]
+    fn evaluation_suite_is_ordered() {
+        let suite = evaluation_suite().unwrap();
+        let sizes: Vec<usize> = suite.iter().map(|n| n.n_buses()).collect();
+        assert_eq!(sizes, vec![14, 30, 57, 118]);
+    }
+
+    #[test]
+    fn ieee14_has_expected_valid_outages() {
+        // Lines 7-8 (branch 13) islands bus 8 if removed: bus 8 hangs off
+        // bus 7 only. Every other line is part of a mesh.
+        let net = ieee14().unwrap();
+        let valid = net.valid_outage_branches();
+        assert!(!valid.contains(&13), "7-8 is a bridge to bus 8");
+        assert!(valid.len() >= 18, "most lines are valid: {valid:?}");
+    }
+}

@@ -1,0 +1,203 @@
+//! PDC cluster partitioning.
+//!
+//! The paper's PMU network (Fig. 1) is hierarchical: groups of PMUs
+//! covering a geographic region share a Phasor Data Concentrator. When a
+//! PDC fails, *all* measurements of its cluster go missing at once — the
+//! spatially-correlated missing-data pattern the detector must survive.
+//! This module partitions the grid graph into `k` connected, roughly
+//! balanced regions via greedy farthest-point seeding plus multi-source
+//! BFS growth, producing the cluster structure detection groups are built
+//! against (Eq. 8).
+
+use crate::error::GridError;
+use crate::network::Network;
+use crate::Result;
+use std::collections::VecDeque;
+
+/// A partition of the grid's buses into PDC clusters.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// `members[c]` lists the buses of cluster `c`, ascending.
+    members: Vec<Vec<usize>>,
+    /// `assignment[bus]` is the cluster index of `bus`.
+    assignment: Vec<usize>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Buses of cluster `c`.
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.members[c]
+    }
+
+    /// Cluster index of `bus`.
+    pub fn cluster_of(&self, bus: usize) -> usize {
+        self.assignment[bus]
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[Vec<usize>] {
+        &self.members
+    }
+
+    /// Buses *outside* cluster `c`, ascending.
+    pub fn complement(&self, c: usize) -> Vec<usize> {
+        (0..self.assignment.len()).filter(|&b| self.assignment[b] != c).collect()
+    }
+}
+
+/// Partition the in-service grid into `k` connected clusters.
+///
+/// Seeds are chosen by greedy farthest-point sampling (bus 0 first, then
+/// repeatedly the bus maximizing the hop distance to all chosen seeds);
+/// clusters then grow by synchronized BFS, which keeps them connected and
+/// roughly balanced. Deterministic for a given network.
+///
+/// # Errors
+/// Returns [`GridError::InvalidNetwork`] when `k` is zero or exceeds the
+/// bus count, or when the grid is disconnected.
+pub fn partition_clusters(net: &Network, k: usize) -> Result<Clustering> {
+    let n = net.n_buses();
+    if k == 0 || k > n {
+        return Err(GridError::InvalidNetwork(format!(
+            "cluster count {k} invalid for {n} buses"
+        )));
+    }
+    if !net.is_connected() {
+        return Err(GridError::InvalidNetwork("cannot cluster a disconnected grid".into()));
+    }
+
+    // Greedy farthest-point seeding.
+    let mut seeds = vec![0usize];
+    let mut min_dist = net.bfs_distances(0);
+    while seeds.len() < k {
+        let far = (0..n)
+            .max_by_key(|&b| min_dist[b])
+            .expect("non-empty network");
+        seeds.push(far);
+        let d = net.bfs_distances(far);
+        for b in 0..n {
+            min_dist[b] = min_dist[b].min(d[b]);
+        }
+    }
+
+    // Synchronized multi-source BFS growth.
+    let mut assignment = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for (c, &s) in seeds.iter().enumerate() {
+        assignment[s] = c;
+        queue.push_back(s);
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for br in net.branches().iter().filter(|b| b.status) {
+        adj[br.from].push(br.to);
+        adj[br.to].push(br.from);
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if assignment[v] == usize::MAX {
+                assignment[v] = assignment[u];
+                queue.push_back(v);
+            }
+        }
+    }
+
+    let mut members = vec![Vec::new(); k];
+    for (bus, &c) in assignment.iter().enumerate() {
+        debug_assert_ne!(c, usize::MAX, "connected grid fully assigned");
+        members[c].push(bus);
+    }
+    Ok(Clustering { members, assignment })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::{ieee14, ieee30};
+
+    #[test]
+    fn covers_every_bus_exactly_once() {
+        let net = ieee14().unwrap();
+        let cl = partition_clusters(&net, 3).unwrap();
+        let mut seen = vec![false; net.n_buses()];
+        for c in 0..cl.n_clusters() {
+            for &b in cl.members(c) {
+                assert!(!seen[b], "bus {b} in two clusters");
+                seen[b] = true;
+                assert_eq!(cl.cluster_of(b), c);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn clusters_are_connected_subgraphs() {
+        let net = ieee30().unwrap();
+        let cl = partition_clusters(&net, 4).unwrap();
+        for c in 0..cl.n_clusters() {
+            let members = cl.members(c);
+            assert!(!members.is_empty());
+            // BFS inside the cluster must reach every member.
+            let inside = |b: usize| members.contains(&b);
+            let mut seen = vec![members[0]];
+            let mut queue = VecDeque::from([members[0]]);
+            while let Some(u) = queue.pop_front() {
+                for v in net.neighbors(u) {
+                    if inside(v) && !seen.contains(&v) {
+                        seen.push(v);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            assert_eq!(seen.len(), members.len(), "cluster {c} disconnected");
+        }
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let net = ieee30().unwrap();
+        let cl = partition_clusters(&net, 3).unwrap();
+        let sizes: Vec<usize> = (0..3).map(|c| cl.members(c).len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max <= 4 * min.max(1), "unbalanced clusters: {sizes:?}");
+    }
+
+    #[test]
+    fn complement_is_exact() {
+        let net = ieee14().unwrap();
+        let cl = partition_clusters(&net, 3).unwrap();
+        for c in 0..3 {
+            let comp = cl.complement(c);
+            assert_eq!(comp.len() + cl.members(c).len(), net.n_buses());
+            assert!(comp.iter().all(|&b| cl.cluster_of(b) != c));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = ieee14().unwrap();
+        let a = partition_clusters(&net, 3).unwrap();
+        let b = partition_clusters(&net, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_cluster_counts() {
+        let net = ieee14().unwrap();
+        // k = 1: everything in one cluster.
+        let cl = partition_clusters(&net, 1).unwrap();
+        assert_eq!(cl.members(0).len(), 14);
+        // k = n: singleton clusters.
+        let cl = partition_clusters(&net, 14).unwrap();
+        assert!((0..14).all(|c| cl.members(c).len() == 1));
+        // invalid k.
+        assert!(partition_clusters(&net, 0).is_err());
+        assert!(partition_clusters(&net, 15).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for grid modelling operations.
+
+use std::fmt;
+
+/// Errors produced while building or manipulating grid models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// A case file could not be parsed.
+    Parse {
+        /// Line number (1-based) where the problem was found, if known.
+        line: Option<usize>,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// The network definition is inconsistent (dangling branch, missing
+    /// slack bus, duplicate bus id…).
+    InvalidNetwork(String),
+    /// A bus or branch index was out of range.
+    IndexOutOfRange {
+        /// What kind of element was addressed.
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of available elements.
+        len: usize,
+    },
+    /// An operation would disconnect the network (islanding).
+    WouldIsland {
+        /// Branch index whose removal islands the grid.
+        branch: usize,
+    },
+    /// A numerical routine failed.
+    Numerics(String),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::Parse { line: Some(l), msg } => write!(f, "parse error at line {l}: {msg}"),
+            GridError::Parse { line: None, msg } => write!(f, "parse error: {msg}"),
+            GridError::InvalidNetwork(msg) => write!(f, "invalid network: {msg}"),
+            GridError::IndexOutOfRange { kind, index, len } => {
+                write!(f, "{kind} index {index} out of range (len {len})")
+            }
+            GridError::WouldIsland { branch } => {
+                write!(f, "removing branch {branch} would island the grid")
+            }
+            GridError::Numerics(msg) => write!(f, "numerics failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl From<pmu_numerics::NumericsError> for GridError {
+    fn from(e: pmu_numerics::NumericsError) -> Self {
+        GridError::Numerics(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GridError::Parse { line: Some(3), msg: "bad".into() }
+            .to_string()
+            .contains("line 3"));
+        assert!(GridError::Parse { line: None, msg: "bad".into() }.to_string().contains("bad"));
+        assert!(GridError::InvalidNetwork("no slack".into()).to_string().contains("no slack"));
+        assert!(GridError::IndexOutOfRange { kind: "bus", index: 9, len: 3 }
+            .to_string()
+            .contains("bus"));
+        assert!(GridError::WouldIsland { branch: 7 }.to_string().contains("7"));
+    }
+}

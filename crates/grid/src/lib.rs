@@ -1,0 +1,32 @@
+//! # pmu-grid
+//!
+//! Transmission-grid modelling for the `pmu-outage` workspace: buses,
+//! branches and generators; admittance matrices and weighted Laplacians;
+//! connectivity analysis (islanding detection after line outages); a
+//! MATPOWER-style case parser with the IEEE test systems used by the paper
+//! (14, 30, 57 and 118 buses); and PDC cluster partitioning matching the
+//! hierarchical PMU network of the paper's Fig. 1.
+//!
+//! The paper models the transmission grid as a graph `P(N, E)` whose edge
+//! set is the physical power lines; a line outage removes an edge. This
+//! crate is the concrete realization of that graph, together with the
+//! electrical parameters the power-flow solver (`pmu-flow`) needs to turn
+//! topology into voltage phasors.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cases;
+pub mod cluster;
+pub mod error;
+pub mod network;
+pub mod observability;
+pub mod parser;
+pub mod synthetic;
+pub mod ybus;
+
+pub use error::GridError;
+pub use network::{Branch, Bus, BusType, Gen, Network};
+
+/// Convenience result alias for grid operations.
+pub type Result<T> = std::result::Result<T, GridError>;

@@ -1,0 +1,430 @@
+//! MATPOWER-style case-file parser.
+//!
+//! The IEEE test systems the paper evaluates on are distributed as
+//! MATPOWER `.m` case files (`mpc.baseMVA`, `mpc.bus`, `mpc.gen`,
+//! `mpc.branch` matrices). This parser understands that subset of MATLAB
+//! syntax — enough to load the embedded cases in [`crate::cases`] and any
+//! user-supplied file in the same format.
+
+use crate::error::GridError;
+use crate::network::{Branch, Bus, BusType, Gen, Network};
+use crate::Result;
+use std::collections::HashMap;
+
+/// Minimum column counts per MATPOWER table.
+const BUS_COLS: usize = 13;
+const GEN_COLS: usize = 10;
+const BRANCH_COLS: usize = 11;
+
+/// Parse a MATPOWER-style case file into a [`Network`].
+///
+/// Supported syntax: `mpc.baseMVA = <number>;` and matrix assignments
+/// `mpc.<table> = [ rows ];` with rows separated by `;` or newlines and
+/// `%` line comments. Bus numbers may be arbitrary (they are mapped to
+/// dense internal indices); the generator's voltage setpoint overrides the
+/// bus voltage for PV/slack buses, as MATPOWER does.
+///
+/// # Errors
+/// Returns [`GridError::Parse`] for malformed input and
+/// [`GridError::InvalidNetwork`] when the parsed tables do not form a
+/// consistent network.
+pub fn parse_case(name: &str, text: &str) -> Result<Network> {
+    let cleaned = strip_comments(text);
+    let base_mva = parse_scalar(&cleaned, "baseMVA")?;
+    let bus_rows = parse_table(&cleaned, "bus", BUS_COLS)?;
+    let gen_rows = parse_table(&cleaned, "gen", GEN_COLS)?;
+    let branch_rows = parse_table(&cleaned, "branch", BRANCH_COLS)?;
+
+    // Map external bus numbers to dense internal indices, in file order.
+    let mut ext_to_int: HashMap<usize, usize> = HashMap::new();
+    let mut buses = Vec::with_capacity(bus_rows.len());
+    for (i, row) in bus_rows.iter().enumerate() {
+        let ext = row[0] as usize;
+        if ext_to_int.insert(ext, i).is_some() {
+            return Err(GridError::Parse {
+                line: None,
+                msg: format!("duplicate bus number {ext}"),
+            });
+        }
+        let bus_type = match row[1] as i64 {
+            1 => BusType::Pq,
+            2 => BusType::Pv,
+            3 => BusType::Slack,
+            4 => BusType::Pq, // isolated buses are treated as PQ; validation
+            // will reject them if actually disconnected.
+            other => {
+                return Err(GridError::Parse {
+                    line: None,
+                    msg: format!("bus {ext}: unknown bus type {other}"),
+                })
+            }
+        };
+        buses.push(Bus {
+            ext_id: ext,
+            bus_type,
+            pd: row[2],
+            qd: row[3],
+            gs: row[4],
+            bs: row[5],
+            base_kv: row[9],
+            vm: row[7],
+            va: row[8],
+        });
+    }
+
+    let lookup = |ext: f64, what: &str| -> Result<usize> {
+        ext_to_int.get(&(ext as usize)).copied().ok_or_else(|| GridError::Parse {
+            line: None,
+            msg: format!("{what} references unknown bus {ext}"),
+        })
+    };
+
+    let mut gens = Vec::with_capacity(gen_rows.len());
+    for row in &gen_rows {
+        let bus = lookup(row[0], "generator")?;
+        let status = row[7] > 0.0;
+        let g = Gen {
+            bus,
+            pg: row[1],
+            qg: row[2],
+            vg: row[5],
+            qmax: row[3],
+            qmin: row[4],
+            status,
+        };
+        // MATPOWER semantics: the (in-service) generator's setpoint defines
+        // the regulated voltage at its bus.
+        if status && buses[bus].bus_type != BusType::Pq {
+            buses[bus].vm = g.vg;
+        }
+        gens.push(g);
+    }
+
+    let mut branches = Vec::with_capacity(branch_rows.len());
+    for row in &branch_rows {
+        let from = lookup(row[0], "branch")?;
+        let to = lookup(row[1], "branch")?;
+        branches.push(Branch {
+            from,
+            to,
+            r: row[2],
+            x: row[3],
+            b: row[4],
+            tap: if row[8] == 0.0 { 1.0 } else { row[8] },
+            shift: row[9],
+            rate: row[5],
+            status: row[10] > 0.0,
+        });
+    }
+
+    Network::new(name, base_mva, buses, branches, gens)
+}
+
+/// Remove `%` comments (to end of line).
+fn strip_comments(text: &str) -> String {
+    text.lines()
+        .map(|l| match l.find('%') {
+            Some(p) => &l[..p],
+            None => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Parse `mpc.<key> = <number>;`.
+fn parse_scalar(text: &str, key: &str) -> Result<f64> {
+    let pat = format!("mpc.{key}");
+    let start = text.find(&pat).ok_or_else(|| GridError::Parse {
+        line: None,
+        msg: format!("missing mpc.{key}"),
+    })?;
+    let rest = &text[start + pat.len()..];
+    let eq = rest.find('=').ok_or_else(|| GridError::Parse {
+        line: None,
+        msg: format!("mpc.{key}: missing '='"),
+    })?;
+    let val: String = rest[eq + 1..]
+        .chars()
+        .take_while(|&c| c != ';' && c != '\n')
+        .collect();
+    val.trim().parse().map_err(|_| GridError::Parse {
+        line: None,
+        msg: format!("mpc.{key}: cannot parse number from {val:?}"),
+    })
+}
+
+/// Parse `mpc.<key> = [ rows ];` into rows of floats, each with at least
+/// `min_cols` columns.
+fn parse_table(text: &str, key: &str, min_cols: usize) -> Result<Vec<Vec<f64>>> {
+    let pat = format!("mpc.{key}");
+    let start = text.find(&pat).ok_or_else(|| GridError::Parse {
+        line: None,
+        msg: format!("missing mpc.{key} table"),
+    })?;
+    let rest = &text[start..];
+    let open = rest.find('[').ok_or_else(|| GridError::Parse {
+        line: None,
+        msg: format!("mpc.{key}: missing '['"),
+    })?;
+    let close = rest.find(']').ok_or_else(|| GridError::Parse {
+        line: None,
+        msg: format!("mpc.{key}: missing ']'"),
+    })?;
+    if close < open {
+        return Err(GridError::Parse { line: None, msg: format!("mpc.{key}: ']' before '['") });
+    }
+    let body = &rest[open + 1..close];
+    let mut rows = Vec::new();
+    for raw_row in body.split([';', '\n']) {
+        let trimmed = raw_row.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut row = Vec::new();
+        for tok in trimmed.split_whitespace() {
+            let v: f64 = tok.parse().map_err(|_| GridError::Parse {
+                line: None,
+                msg: format!("mpc.{key}: bad number {tok:?}"),
+            })?;
+            row.push(v);
+        }
+        if row.len() < min_cols {
+            return Err(GridError::Parse {
+                line: None,
+                msg: format!(
+                    "mpc.{key}: row has {} columns, expected at least {min_cols}",
+                    row.len()
+                ),
+            });
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(GridError::Parse { line: None, msg: format!("mpc.{key}: empty table") });
+    }
+    Ok(rows)
+}
+
+/// Serialize a [`Network`] back to MATPOWER-style case text that
+/// [`parse_case`] round-trips (external bus numbers, generator setpoints
+/// and branch taps preserved).
+pub fn write_case(net: &Network) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "function mpc = {}", net.name.replace(['\\', ' '], "_"));
+    let _ = writeln!(s, "% exported by pmu-grid");
+    let _ = writeln!(s, "mpc.version = '2';");
+    let _ = writeln!(s, "mpc.baseMVA = {};", net.base_mva);
+
+    let _ = writeln!(s, "\n% bus_i type Pd Qd Gs Bs area Vm Va baseKV zone Vmax Vmin");
+    let _ = writeln!(s, "mpc.bus = [");
+    for bus in net.buses() {
+        let t = match bus.bus_type {
+            BusType::Pq => 1,
+            BusType::Pv => 2,
+            BusType::Slack => 3,
+        };
+        let _ = writeln!(
+            s,
+            "  {} {} {} {} {} {} 1 {} {} {} 1 1.1 0.9;",
+            bus.ext_id, t, bus.pd, bus.qd, bus.gs, bus.bs, bus.vm, bus.va, bus.base_kv
+        );
+    }
+    let _ = writeln!(s, "];");
+
+    let _ = writeln!(s, "\n% bus Pg Qg Qmax Qmin Vg mBase status Pmax Pmin");
+    let _ = writeln!(s, "mpc.gen = [");
+    for g in net.gens() {
+        let _ = writeln!(
+            s,
+            "  {} {} {} {} {} {} {} {} 0 0;",
+            net.buses()[g.bus].ext_id,
+            g.pg,
+            g.qg,
+            g.qmax,
+            g.qmin,
+            g.vg,
+            net.base_mva,
+            i32::from(g.status)
+        );
+    }
+    let _ = writeln!(s, "];");
+
+    let _ = writeln!(s, "\n% fbus tbus r x b rateA rateB rateC ratio angle status");
+    let _ = writeln!(s, "mpc.branch = [");
+    for br in net.branches() {
+        let _ = writeln!(
+            s,
+            "  {} {} {} {} {} {} 0 0 {} {} {};",
+            net.buses()[br.from].ext_id,
+            net.buses()[br.to].ext_id,
+            br.r,
+            br.x,
+            br.b,
+            br.rate,
+            br.tap,
+            br.shift,
+            i32::from(br.status)
+        );
+    }
+    let _ = writeln!(s, "];");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"
+function mpc = tiny
+mpc.version = '2';
+mpc.baseMVA = 100;
+% bus_i type Pd Qd Gs Bs area Vm Va baseKV zone Vmax Vmin
+mpc.bus = [
+  1 3 0   0  0 0 1 1.05 0 135 1 1.06 0.94;
+  2 1 50 10  0 0 1 1.00 0 135 1 1.06 0.94;
+  3 2 20  5  0 0 1 1.02 0 135 1 1.06 0.94;
+];
+mpc.gen = [
+  1 60 0 99 -99 1.05 100 1 200 0;
+  3 15 0 50 -50 1.03 100 1 100 0;
+];
+mpc.branch = [
+  1 2 0.02 0.2 0.04 0 0 0 0    0 1;
+  2 3 0.01 0.1 0.02 0 0 0 0.98 0 1;
+  1 3 0.03 0.3 0.00 0 0 0 0    0 1;
+];
+"#;
+
+    #[test]
+    fn parses_tiny_case() {
+        let net = parse_case("tiny", TINY).unwrap();
+        assert_eq!(net.n_buses(), 3);
+        assert_eq!(net.n_branches(), 3);
+        assert_eq!(net.base_mva, 100.0);
+        assert_eq!(net.buses()[0].bus_type, BusType::Slack);
+        assert_eq!(net.buses()[1].pd, 50.0);
+        // Generator setpoint overrides bus Vm for PV bus 3.
+        assert_eq!(net.buses()[2].vm, 1.03);
+        // Tap 0 normalized to 1.
+        assert_eq!(net.branches()[0].tap, 1.0);
+        assert_eq!(net.branches()[1].tap, 0.98);
+        assert_eq!(net.gens().len(), 2);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let with_comment = TINY.replace("mpc.baseMVA = 100;", "mpc.baseMVA = 100; % base");
+        assert!(parse_case("tiny", &with_comment).is_ok());
+    }
+
+    #[test]
+    fn missing_tables_error() {
+        assert!(parse_case("x", "mpc.baseMVA = 100;").is_err());
+        let no_base = TINY.replace("mpc.baseMVA = 100;", "");
+        assert!(parse_case("x", &no_base).is_err());
+    }
+
+    #[test]
+    fn malformed_numbers_error() {
+        let bad = TINY.replace("0.02", "zero.zero2");
+        match parse_case("x", &bad) {
+            Err(GridError::Parse { msg, .. }) => assert!(msg.contains("bad number")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_rows_error() {
+        let bad = TINY.replace("1 2 0.02 0.2 0.04 0 0 0 0    0 1;", "1 2 0.02;");
+        assert!(parse_case("x", &bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_bus_numbers_error() {
+        let bad = TINY.replace("2 1 50 10", "1 1 50 10");
+        assert!(parse_case("x", &bad).is_err());
+    }
+
+    #[test]
+    fn unknown_bus_reference_errors() {
+        let bad = TINY.replace("1 3 0.03 0.3", "1 9 0.03 0.3");
+        assert!(parse_case("x", &bad).is_err());
+    }
+
+    #[test]
+    fn non_contiguous_bus_numbers_are_remapped() {
+        // Branch rows first: the bus-row pattern "  1 3 0" would otherwise
+        // also match the prefix of branch row "  1 3 0.03".
+        let renumbered = TINY
+            .replace("  1 2 0.02", "  10 20 0.02")
+            .replace("  2 3 0.01", "  20 30 0.01")
+            .replace("  1 3 0.03", "  10 30 0.03")
+            .replace("  1 60 0", "  10 60 0")
+            .replace("  3 15 0", "  30 15 0")
+            .replace("  1 3 0", "  10 3 0")
+            .replace("  2 1 50", "  20 1 50")
+            .replace("  3 2 20", "  30 2 20");
+        let net = parse_case("renum", &renumbered).unwrap();
+        assert_eq!(net.n_buses(), 3);
+        assert_eq!(net.ext_to_internal(10), Some(0));
+        assert_eq!(net.ext_to_internal(30), Some(2));
+        assert_eq!(net.branches()[2].from, 0);
+        assert_eq!(net.branches()[2].to, 2);
+    }
+}
+
+#[cfg(test)]
+mod write_tests {
+    use super::*;
+    use crate::cases::{ieee14, ieee30};
+
+    #[test]
+    fn roundtrip_preserves_network() {
+        for net in [ieee14().unwrap(), ieee30().unwrap()] {
+            let text = write_case(&net);
+            let back = parse_case(&net.name, &text).unwrap();
+            assert_eq!(back.n_buses(), net.n_buses());
+            assert_eq!(back.n_branches(), net.n_branches());
+            assert_eq!(back.base_mva, net.base_mva);
+            for (a, b) in net.buses().iter().zip(back.buses()) {
+                assert_eq!(a.ext_id, b.ext_id);
+                assert_eq!(a.bus_type, b.bus_type);
+                assert!((a.pd - b.pd).abs() < 1e-12);
+                assert!((a.qd - b.qd).abs() < 1e-12);
+                assert!((a.bs - b.bs).abs() < 1e-12);
+            }
+            for (a, b) in net.branches().iter().zip(back.branches()) {
+                assert_eq!(a.from, b.from);
+                assert_eq!(a.to, b.to);
+                assert!((a.r - b.r).abs() < 1e-12);
+                assert!((a.x - b.x).abs() < 1e-12);
+                assert!((a.tap - b.tap).abs() < 1e-12);
+                assert_eq!(a.status, b.status);
+            }
+            assert_eq!(net.gens().len(), back.gens().len());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_power_flow_solution() {
+        use pmu_numerics::Matrix;
+        let net = ieee14().unwrap();
+        let back = parse_case("ieee14", &write_case(&net)).unwrap();
+        // Identical Y-bus means identical physics.
+        let y0 = crate::ybus::build_ybus(&net);
+        let y1 = crate::ybus::build_ybus(&back);
+        let d0 = Matrix::from_fn(14, 14, |r, c| (y0[(r, c)] - y1[(r, c)]).abs());
+        assert!(d0.norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn outaged_branch_survives_roundtrip() {
+        let net = ieee14().unwrap();
+        let idx = net.valid_outage_branches()[0];
+        let out = net.with_branch_outage(idx).unwrap();
+        let back = parse_case("out", &write_case(&out)).unwrap();
+        assert!(!back.branches()[idx].status);
+        assert!(back.is_connected());
+    }
+}

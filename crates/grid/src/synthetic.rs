@@ -1,0 +1,315 @@
+//! Deterministic synthetic grid construction.
+//!
+//! The exact PSTCA tables for the IEEE 57- and 118-bus systems are not
+//! redistributable inside this repository, so (per DESIGN.md substitution
+//! #2) those cases are *structure-faithful reconstructions*: the correct
+//! bus and branch counts, a connected meshed topology, impedances in the
+//! same per-unit ranges as the canonical 14/30-bus cases, and a realistic
+//! generator/load placement. All randomness is a seeded xorshift generator
+//! so a given `(buses, branches, seed)` triple always produces the same
+//! network.
+
+// Indexed loops are the clearest expression of the dense numerical
+// kernels in this module.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::GridError;
+use crate::network::{Branch, Bus, BusType, Gen, Network};
+use crate::Result;
+
+/// Deterministic xorshift64* generator (self-contained; the grid crate has
+/// no dependency on `rand`).
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Create a generator from a nonzero seed (zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform usize in `[0, n)` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Configuration for [`synthetic_network`].
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of buses.
+    pub buses: usize,
+    /// Total number of branches (must be ≥ `buses` for the ring backbone).
+    pub branches: usize,
+    /// Number of generator (PV) buses in addition to the slack.
+    pub generators: usize,
+    /// Mean active load per load bus (MW).
+    pub mean_load_mw: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// Reconstruction of the IEEE 57-bus system's scale: 57 buses, 80
+    /// branches, 8 PV generators (the real case has 7 generator buses; one
+    /// extra keeps the lightly-meshed synthetic topology voltage-stable).
+    pub fn ieee57_like() -> Self {
+        SyntheticConfig { buses: 57, branches: 80, generators: 8, mean_load_mw: 14.0, seed: 57 }
+    }
+
+    /// Reconstruction of the IEEE 118-bus system's scale: 118 buses, 186
+    /// branches. The real case has 54 generator buses; we keep a similarly
+    /// generation-rich placement with 18 PV buses, which preserves the
+    /// voltage-stiffness character while keeping the synthetic case easy to
+    /// converge.
+    pub fn ieee118_like() -> Self {
+        SyntheticConfig { buses: 118, branches: 186, generators: 18, mean_load_mw: 20.0, seed: 118 }
+    }
+}
+
+/// Build a deterministic synthetic meshed network.
+///
+/// Topology: a ring over all buses (guaranteeing 2-edge-connectivity, so
+/// every single-line outage is a valid non-islanding case) plus
+/// pseudo-random chords up to the requested branch count. Electrical
+/// parameters are sampled from the empirical ranges of the canonical
+/// 14/30-bus cases.
+///
+/// # Errors
+/// Returns [`GridError::InvalidNetwork`] for inconsistent configuration
+/// (fewer than 3 buses, or `branches < buses`).
+pub fn synthetic_network(name: &str, cfg: &SyntheticConfig) -> Result<Network> {
+    let n = cfg.buses;
+    if n < 3 {
+        return Err(GridError::InvalidNetwork("synthetic network needs >= 3 buses".into()));
+    }
+    if cfg.branches < n {
+        return Err(GridError::InvalidNetwork(format!(
+            "branch count {} below ring size {n}",
+            cfg.branches
+        )));
+    }
+    let mut rng = XorShift64::new(cfg.seed);
+
+    // --- generator placement: slack at 0, PV buses spread evenly. ---
+    let mut is_gen = vec![false; n];
+    is_gen[0] = true;
+    let spacing = (n as f64 / (cfg.generators.max(1) + 1) as f64).max(1.0);
+    for g in 1..=cfg.generators {
+        let pos = ((g as f64 * spacing) as usize).min(n - 1);
+        is_gen[pos] = true;
+    }
+
+    // --- buses with loads. ---
+    let mut buses = Vec::with_capacity(n);
+    let mut total_load = 0.0;
+    for i in 0..n {
+        let bus_type = if i == 0 {
+            BusType::Slack
+        } else if is_gen[i] {
+            BusType::Pv
+        } else {
+            BusType::Pq
+        };
+        // ~15% of load buses carry no load (substations), like real cases.
+        let (pd, qd) = if bus_type == BusType::Pq && rng.next_f64() > 0.15 {
+            let pd = rng.range(0.4 * cfg.mean_load_mw, 1.6 * cfg.mean_load_mw);
+            (pd, pd * rng.range(0.15, 0.45))
+        } else {
+            (0.0, 0.0)
+        };
+        total_load += pd;
+        buses.push(Bus {
+            ext_id: i + 1,
+            bus_type,
+            pd,
+            qd,
+            gs: 0.0,
+            bs: 0.0,
+            base_kv: 135.0,
+            vm: 1.0,
+            va: 0.0,
+        });
+    }
+
+    // --- ring backbone + chords. ---
+    let mut edge_set: Vec<(usize, usize)> = Vec::with_capacity(cfg.branches);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        edge_set.push((i.min(j), i.max(j)));
+    }
+    let max_edges = n * (n - 1) / 2;
+    if cfg.branches > max_edges {
+        return Err(GridError::InvalidNetwork(format!(
+            "branch count {} exceeds the {} distinct pairs of {n} buses",
+            cfg.branches, max_edges
+        )));
+    }
+    let mut guard = 0usize;
+    while edge_set.len() < cfg.branches {
+        guard += 1;
+        if guard > 50 * cfg.branches {
+            // Local chords exhausted (small or dense grids): fall back to
+            // deterministic enumeration of any remaining pair.
+            'outer: for a in 0..n {
+                for b in (a + 1)..n {
+                    if edge_set.len() >= cfg.branches {
+                        break 'outer;
+                    }
+                    if !edge_set.contains(&(a, b)) {
+                        edge_set.push((a, b));
+                    }
+                }
+            }
+            break;
+        }
+        let a = rng.below(n);
+        // Prefer chords of moderate graph distance (2..n/3 hops along the
+        // ring), mimicking the locality of real transmission layouts.
+        let span = 2 + rng.below((n / 3).max(1));
+        let b = (a + span) % n;
+        let e = (a.min(b), a.max(b));
+        if e.0 == e.1 || edge_set.contains(&e) {
+            continue;
+        }
+        edge_set.push(e);
+    }
+
+    let mut branches = Vec::with_capacity(cfg.branches);
+    for (f, t) in edge_set {
+        let x = rng.range(0.04, 0.16);
+        let r = x * rng.range(0.2, 0.4);
+        let b = if rng.next_f64() < 0.4 { rng.range(0.0, 0.05) } else { 0.0 };
+        branches.push(Branch { from: f, to: t, r, x, b, tap: 1.0, shift: 0.0, rate: 0.0, status: true });
+    }
+
+    // --- generators share the load evenly; slack absorbs losses. ---
+    let gen_buses: Vec<usize> = (0..n).filter(|&i| is_gen[i]).collect();
+    let share = total_load / gen_buses.len() as f64;
+    let gens: Vec<Gen> = gen_buses
+        .iter()
+        .map(|&bus| Gen {
+            bus,
+            pg: if bus == 0 { 0.0 } else { share },
+            qg: 0.0,
+            vg: 1.0 + 0.01 * (1 + bus % 4) as f64, // 1.01 .. 1.04 p.u.
+            qmax: 300.0,
+            qmin: -300.0,
+            status: true,
+        })
+        .collect();
+    // PV bus voltage setpoints follow the generator.
+    for g in &gens {
+        buses[g.bus].vm = g.vg;
+    }
+
+    Network::new(name, 100.0, buses, branches, gens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ieee57_like_shape() {
+        let net = synthetic_network("ieee57", &SyntheticConfig::ieee57_like()).unwrap();
+        assert_eq!(net.n_buses(), 57);
+        assert_eq!(net.n_branches(), 80);
+        assert!(net.is_connected());
+        // Ring backbone ⇒ every single outage is valid.
+        assert_eq!(net.valid_outage_branches().len(), 80);
+    }
+
+    #[test]
+    fn ieee118_like_shape() {
+        let net = synthetic_network("ieee118", &SyntheticConfig::ieee118_like()).unwrap();
+        assert_eq!(net.n_buses(), 118);
+        assert_eq!(net.n_branches(), 186);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = SyntheticConfig::ieee57_like();
+        let a = synthetic_network("a", &cfg).unwrap();
+        let b = synthetic_network("a", &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = SyntheticConfig::ieee57_like();
+        let a = synthetic_network("a", &cfg).unwrap();
+        cfg.seed = 1234;
+        let b = synthetic_network("a", &cfg).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generation_covers_load() {
+        let net = synthetic_network("g", &SyntheticConfig::ieee57_like()).unwrap();
+        let pg: f64 = net.gens().iter().map(|g| g.pg).sum();
+        let load = net.total_load();
+        // Non-slack generation covers most of the load (slack tops up).
+        assert!(pg > 0.5 * load && pg <= load + 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let cfg = SyntheticConfig { buses: 2, branches: 5, generators: 1, mean_load_mw: 10.0, seed: 1 };
+        assert!(synthetic_network("x", &cfg).is_err());
+        let cfg = SyntheticConfig { buses: 10, branches: 5, generators: 1, mean_load_mw: 10.0, seed: 1 };
+        assert!(synthetic_network("x", &cfg).is_err());
+    }
+
+    #[test]
+    fn impedances_in_realistic_ranges() {
+        let net = synthetic_network("r", &SyntheticConfig::ieee118_like()).unwrap();
+        for br in net.branches() {
+            assert!(br.x >= 0.04 && br.x < 0.16);
+            assert!(br.r >= 0.2 * 0.04 * 0.2 && br.r < 0.4 * 0.16);
+            assert!(br.b >= 0.0 && br.b < 0.05);
+        }
+    }
+
+    #[test]
+    fn xorshift_is_uniformish() {
+        let mut rng = XorShift64::new(7);
+        let mut mean = 0.0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            mean += rng.next_f64();
+        }
+        mean /= N as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        // below() stays in range.
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+        // Zero seed is remapped, not degenerate.
+        let mut z = XorShift64::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Admittance matrices and graph Laplacians.
+//!
+//! The paper's Eq. (1) writes the linearized grid response as
+//! `X = Y⁺ P`, with `Y` a weighted Laplacian of the grid graph carrying the
+//! line statuses. This module builds both the full complex bus admittance
+//! matrix (for AC power flow) and the real susceptance Laplacian (for DC
+//! power flow and Eq. (1) itself).
+
+use crate::network::Network;
+use pmu_numerics::{CMatrix, Complex64, Matrix};
+
+/// Build the complex bus admittance matrix (Y-bus) from in-service
+/// branches and bus shunts, honouring off-nominal taps and phase shifts
+/// (standard MATPOWER π-model).
+pub fn build_ybus(net: &Network) -> CMatrix {
+    let n = net.n_buses();
+    let mut y = CMatrix::zeros(n, n);
+    for br in net.branches().iter().filter(|b| b.status) {
+        let ys = Complex64::ONE / Complex64::new(br.r, br.x);
+        let bc_half = Complex64::new(0.0, br.b / 2.0);
+        let tap = if br.tap == 0.0 { 1.0 } else { br.tap };
+        let shift_rad = br.shift.to_radians();
+        let t = Complex64::from_polar(tap, shift_rad);
+
+        // π-model stamps. From-side sees the transformer.
+        let yff = (ys + bc_half) / (tap * tap);
+        let ytt = ys + bc_half;
+        let yft = -(ys / t.conj());
+        let ytf = -(ys / t);
+
+        y[(br.from, br.from)] += yff;
+        y[(br.to, br.to)] += ytt;
+        y[(br.from, br.to)] += yft;
+        y[(br.to, br.from)] += ytf;
+    }
+    for (i, bus) in net.buses().iter().enumerate() {
+        y[(i, i)] += Complex64::new(bus.gs, bus.bs) / net.base_mva;
+    }
+    y
+}
+
+/// The weighted graph Laplacian with weights `1/x` over in-service
+/// branches — the `Y` of the paper's Eq. (1) in its DC approximation.
+///
+/// Row sums are zero by construction; the matrix is singular with the
+/// all-ones nullvector for a connected grid.
+pub fn susceptance_laplacian(net: &Network) -> Matrix {
+    let n = net.n_buses();
+    let mut l = Matrix::zeros(n, n);
+    for br in net.branches().iter().filter(|b| b.status) {
+        let tap = if br.tap == 0.0 { 1.0 } else { br.tap };
+        let w = 1.0 / (br.x * tap);
+        l[(br.from, br.from)] += w;
+        l[(br.to, br.to)] += w;
+        l[(br.from, br.to)] -= w;
+        l[(br.to, br.from)] -= w;
+    }
+    l
+}
+
+/// The DC power-flow B' matrix: the susceptance Laplacian with the slack
+/// bus row/column deleted (non-singular for a connected grid). Returns the
+/// matrix together with the list of non-slack bus indices in order.
+pub fn dc_b_matrix(net: &Network) -> (Matrix, Vec<usize>) {
+    let slack = net.slack();
+    let keep: Vec<usize> = (0..net.n_buses()).filter(|&i| i != slack).collect();
+    let l = susceptance_laplacian(net);
+    let b = l.select_rows(&keep).select_columns(&keep);
+    (b, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Branch, Bus, BusType, Network};
+
+    fn two_bus() -> Network {
+        Network::new(
+            "two",
+            100.0,
+            vec![
+                Bus {
+                    ext_id: 1,
+                    bus_type: BusType::Slack,
+                    pd: 0.0,
+                    qd: 0.0,
+                    gs: 0.0,
+                    bs: 0.0,
+                    base_kv: 135.0,
+                    vm: 1.0,
+                    va: 0.0,
+                },
+                Bus {
+                    ext_id: 2,
+                    bus_type: BusType::Pq,
+                    pd: 50.0,
+                    qd: 10.0,
+                    gs: 0.0,
+                    bs: 0.0,
+                    base_kv: 135.0,
+                    vm: 1.0,
+                    va: 0.0,
+                },
+            ],
+            vec![Branch {
+                from: 0,
+                to: 1,
+                r: 0.02,
+                x: 0.2,
+                b: 0.04,
+                tap: 1.0,
+                shift: 0.0,
+                rate: 0.0,
+                status: true,
+            }],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ybus_two_bus_line() {
+        let net = two_bus();
+        let y = build_ybus(&net);
+        let ys = Complex64::ONE / Complex64::new(0.02, 0.2);
+        // Diagonal = series + half charging.
+        let expected_diag = ys + Complex64::new(0.0, 0.02);
+        assert!((y[(0, 0)] - expected_diag).abs() < 1e-12);
+        assert!((y[(1, 1)] - expected_diag).abs() < 1e-12);
+        // Off-diagonal = -series.
+        assert!((y[(0, 1)] + ys).abs() < 1e-12);
+        assert!((y[(0, 1)] - y[(1, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ybus_includes_bus_shunt() {
+        let mut net = two_bus();
+        {
+            // Rebuild with a shunt at bus 1 (19 MVAr like IEEE-14 bus 9).
+            let mut buses = net.buses().to_vec();
+            buses[1].bs = 19.0;
+            net = Network::new("two", 100.0, buses, net.branches().to_vec(), vec![]).unwrap();
+        }
+        let y = build_ybus(&net);
+        let y0 = build_ybus(&two_bus());
+        let delta = y[(1, 1)] - y0[(1, 1)];
+        assert!((delta - Complex64::new(0.0, 0.19)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ybus_tap_asymmetry() {
+        let mut net = two_bus();
+        {
+            let mut branches = net.branches().to_vec();
+            branches[0].tap = 0.95;
+            net = Network::new("two", 100.0, net.buses().to_vec(), branches, vec![]).unwrap();
+        }
+        let y = build_ybus(&net);
+        // With a tap but no shift, yft == ytf but yff != ytt.
+        assert!((y[(0, 1)] - y[(1, 0)]).abs() < 1e-12);
+        assert!((y[(0, 0)] - y[(1, 1)]).abs() > 1e-6);
+    }
+
+    #[test]
+    fn ybus_phase_shift_breaks_symmetry() {
+        let mut net = two_bus();
+        {
+            let mut branches = net.branches().to_vec();
+            branches[0].shift = 10.0;
+            net = Network::new("two", 100.0, net.buses().to_vec(), branches, vec![]).unwrap();
+        }
+        let y = build_ybus(&net);
+        assert!((y[(0, 1)] - y[(1, 0)]).abs() > 1e-6);
+    }
+
+    #[test]
+    fn laplacian_row_sums_zero() {
+        let net = crate::cases::ieee14().unwrap();
+        let l = susceptance_laplacian(&net);
+        for r in 0..net.n_buses() {
+            let sum: f64 = (0..net.n_buses()).map(|c| l[(r, c)]).sum();
+            assert!(sum.abs() < 1e-9, "row {r} sums to {sum}");
+        }
+        // Symmetric.
+        assert!(l.max_abs_diff(&l.transpose()) < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_reflects_outage() {
+        let net = crate::cases::ieee14().unwrap();
+        let l0 = susceptance_laplacian(&net);
+        let idx = net.valid_outage_branches()[0];
+        let out = net.with_branch_outage(idx).unwrap();
+        let l1 = susceptance_laplacian(&out);
+        let br = &net.branches()[idx];
+        let w = 1.0 / br.x;
+        assert!(((l0[(br.from, br.from)] - l1[(br.from, br.from)]) - w).abs() < 1e-9);
+        assert!((l0[(br.from, br.to)] - l1[(br.from, br.to)] + w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dc_b_matrix_is_invertible() {
+        use pmu_numerics::lu::LuFactors;
+        let net = two_bus();
+        let (b, keep) = dc_b_matrix(&net);
+        assert_eq!(b.shape(), (1, 1));
+        assert_eq!(keep, vec![1]);
+        assert!(LuFactors::factorize(&b).is_ok());
+        let net14 = crate::cases::ieee14().unwrap();
+        let (b14, keep14) = dc_b_matrix(&net14);
+        assert_eq!(b14.rows(), 13);
+        assert_eq!(keep14.len(), 13);
+        assert!(LuFactors::factorize(&b14).is_ok());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the grid model: graph invariants that must
+//! hold for any synthetic network and any sequence of line outages.
+
+use pmu_grid::observability::{coverage, greedy_placement, is_fully_observable};
+use pmu_grid::synthetic::{synthetic_network, SyntheticConfig};
+use pmu_grid::ybus::{build_ybus, susceptance_laplacian};
+use pmu_grid::Network;
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (5usize..40, 0usize..20, 1usize..5, 5.0f64..25.0, 0u64..10_000).prop_map(
+        |(buses, extra, gens, load, seed)| {
+            let max_edges = buses * (buses - 1) / 2;
+            SyntheticConfig {
+                buses,
+                branches: (buses + extra).min(max_edges),
+                generators: gens.min(buses - 1),
+                mean_load_mw: load,
+                seed,
+            }
+        },
+    )
+}
+
+fn build(cfg: &SyntheticConfig) -> Network {
+    synthetic_network("prop", cfg).expect("synthetic networks are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn synthetic_networks_are_connected_with_exact_counts(cfg in config_strategy()) {
+        let net = build(&cfg);
+        prop_assert_eq!(net.n_buses(), cfg.buses);
+        prop_assert_eq!(net.n_branches(), cfg.branches);
+        prop_assert!(net.is_connected());
+        prop_assert_eq!(net.connected_components().len(), 1);
+        // Exactly one slack.
+        prop_assert_eq!(net.slack(), 0);
+    }
+
+    #[test]
+    fn degree_sum_equals_twice_edges(cfg in config_strategy()) {
+        let net = build(&cfg);
+        let degree_sum: usize = (0..net.n_buses()).map(|b| net.degree(b)).sum();
+        prop_assert_eq!(degree_sum, 2 * net.active_branches().len());
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero_and_symmetric(cfg in config_strategy()) {
+        let net = build(&cfg);
+        let l = susceptance_laplacian(&net);
+        for r in 0..net.n_buses() {
+            let sum: f64 = (0..net.n_buses()).map(|c| l[(r, c)]).sum();
+            prop_assert!(sum.abs() < 1e-9, "row {} sums to {}", r, sum);
+        }
+        prop_assert!(l.max_abs_diff(&l.transpose()) < 1e-12);
+        // Diagonal dominance (all weights positive).
+        for r in 0..net.n_buses() {
+            prop_assert!(l[(r, r)] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ybus_row_sums_equal_shunt_terms(cfg in config_strategy()) {
+        // With no bus shunts, each Y-bus row sums to the line-charging
+        // contribution only (series parts cancel for tap = 1).
+        let net = build(&cfg);
+        let y = build_ybus(&net);
+        for r in 0..net.n_buses() {
+            let mut sum = pmu_numerics::Complex64::ZERO;
+            for c in 0..net.n_buses() {
+                sum += y[(r, c)];
+            }
+            // Row sum = j * (sum of b/2 over incident branches).
+            let b_half: f64 = net
+                .branches()
+                .iter()
+                .filter(|br| br.status && (br.from == r || br.to == r))
+                .map(|br| br.b / 2.0)
+                .sum();
+            prop_assert!((sum.re).abs() < 1e-9, "row {} re {}", r, sum.re);
+            prop_assert!((sum.im - b_half).abs() < 1e-9, "row {} im {}", r, sum.im);
+        }
+    }
+
+    #[test]
+    fn valid_outages_never_island(cfg in config_strategy()) {
+        let net = build(&cfg);
+        for idx in net.valid_outage_branches() {
+            let out = net.with_branch_outage(idx).expect("valid outage applies");
+            prop_assert!(out.is_connected());
+            // Reverse check: branches NOT in the valid list island the grid.
+        }
+        let valid = net.valid_outage_branches();
+        for idx in net.active_branches() {
+            if !valid.contains(&idx) {
+                prop_assert!(net.with_branch_outage(idx).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_step(cfg in config_strategy()) {
+        let net = build(&cfg);
+        let d = net.bfs_distances(0);
+        // Every bus reachable; adjacent buses differ by at most 1 hop.
+        for (b, &dist) in d.iter().enumerate() {
+            prop_assert!(dist != usize::MAX, "bus {} unreachable", b);
+            for nb in net.neighbors(b) {
+                prop_assert!(d[nb] + 1 >= dist && dist + 1 >= d[nb]);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_placement_dominates(cfg in config_strategy()) {
+        let net = build(&cfg);
+        let placement = greedy_placement(&net);
+        prop_assert!(is_fully_observable(&net, &placement));
+        prop_assert_eq!(coverage(&net, &placement), 1.0);
+        // Removing the last-placed PMU breaks the greedy cover's
+        // guarantee only if it contributed; coverage stays <= 1.
+        prop_assert!(coverage(&net, &placement[..placement.len() - 1]) <= 1.0);
+    }
+
+    #[test]
+    fn clustering_partitions_for_any_k(cfg in config_strategy(), k in 1usize..6) {
+        let net = build(&cfg);
+        let k = k.min(net.n_buses());
+        let cl = pmu_grid::cluster::partition_clusters(&net, k).unwrap();
+        let mut seen = vec![false; net.n_buses()];
+        for c in 0..cl.n_clusters() {
+            for &b in cl.members(c) {
+                prop_assert!(!seen[b], "bus {} assigned twice", b);
+                seen[b] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

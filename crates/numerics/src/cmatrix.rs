@@ -1,0 +1,248 @@
+//! Dense complex matrices.
+//!
+//! Admittance matrices are complex; the power-flow crate also occasionally
+//! solves complex linear systems (e.g. for current-injection diagnostics).
+
+use crate::complex::Complex64;
+use crate::error::NumericsError;
+use crate::matrix::Matrix;
+use crate::Result;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense row-major matrix of [`Complex64`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Create an `rows x cols` matrix of complex zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+    }
+
+    /// Create the `n x n` complex identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Create a matrix from a closure over `(row, col)`.
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> Complex64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        CMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Real parts as a real matrix.
+    pub fn real(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| self[(r, c)].re)
+    }
+
+    /// Imaginary parts as a real matrix.
+    pub fn imag(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| self[(r, c)].im)
+    }
+
+    /// Conjugate transpose `A^H`.
+    pub fn hermitian(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] on incompatible shapes.
+    pub fn matvec(&self, v: &[Complex64]) -> Result<Vec<Complex64>> {
+        if self.cols != v.len() {
+            return Err(NumericsError::ShapeMismatch {
+                op: "cmatvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![Complex64::ZERO; self.rows];
+        for r in 0..self.rows {
+            let mut acc = Complex64::ZERO;
+            for c in 0..self.cols {
+                acc += self[(r, c)] * v[c];
+            }
+            out[r] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Matrix-matrix product.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] on incompatible shapes.
+    pub fn matmul(&self, rhs: &CMatrix) -> Result<CMatrix> {
+        if self.cols != rhs.rows {
+            return Err(NumericsError::ShapeMismatch {
+                op: "cmatmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += aik * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum |entry|.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, z| m.max(z.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&CMatrix> for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "CMatrix add: shape mismatch");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+        }
+    }
+}
+
+impl Sub<&CMatrix> for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "CMatrix sub: shape mismatch");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+        }
+    }
+}
+
+impl Mul<&CMatrix> for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        self.matmul(rhs).expect("CMatrix mul: shape mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = CMatrix::from_fn(2, 2, |r, cc| c((r + cc) as f64, (r as f64) - 1.0));
+        let i = CMatrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn hermitian_conjugates() {
+        let a = CMatrix::from_fn(2, 3, |r, cc| c(r as f64, cc as f64));
+        let h = a.hermitian();
+        assert_eq!(h.shape(), (3, 2));
+        assert_eq!(h[(2, 1)], c(1.0, -2.0));
+        // (A^H)^H == A
+        assert_eq!(h.hermitian(), a);
+    }
+
+    #[test]
+    fn matvec_complex() {
+        // [i 0; 0 -i] * [1+i, 2] = [i-1, -2i]
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = Complex64::I;
+        a[(1, 1)] = -Complex64::I;
+        let v = vec![c(1.0, 1.0), c(2.0, 0.0)];
+        let out = a.matvec(&v).unwrap();
+        assert!((out[0] - c(-1.0, 1.0)).abs() < 1e-15);
+        assert!((out[1] - c(0.0, -2.0)).abs() < 1e-15);
+        assert!(a.matvec(&[Complex64::ZERO; 3]).is_err());
+    }
+
+    #[test]
+    fn real_imag_split() {
+        let a = CMatrix::from_fn(2, 2, |r, cc| c((r * 2 + cc) as f64, -((r * 2 + cc) as f64)));
+        assert_eq!(a.real()[(1, 1)], 3.0);
+        assert_eq!(a.imag()[(1, 1)], -3.0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = CMatrix::from_fn(2, 2, |r, cc| c(r as f64, cc as f64));
+        let b = CMatrix::from_fn(2, 2, |r, cc| c(cc as f64, r as f64));
+        let s = &a + &b;
+        let back = &s - &b;
+        assert!(back.data.iter().zip(&a.data).all(|(x, y)| (*x - *y).abs() < 1e-15));
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! A minimal but complete `f64` complex number.
+//!
+//! Power-system admittance matrices and phasors are complex-valued; this
+//! type provides the arithmetic needed by the grid and power-flow crates
+//! without pulling in an external crate.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Create a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Create a complex number from polar coordinates (magnitude, angle in radians).
+    #[inline]
+    pub fn from_polar(mag: f64, angle: f64) -> Self {
+        Complex64 { re: mag * angle.cos(), im: mag * angle.sin() }
+    }
+
+    /// Magnitude `|z|`, computed with `hypot` for robustness against overflow.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Principal argument in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Multiplicative inverse `1/z`. Returns an infinite value for `z == 0`,
+    /// mirroring `f64` division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64 { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        Complex64::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        // Smith's algorithm: avoids overflow for large components.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex64 { re: (self.re + self.im * r) / d, im: (self.im - self.re * r) / d }
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex64 { re: (self.re * r + self.im) / d, im: (self.im * r - self.re) / d }
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Complex64 { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < EPS
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert!(close(z + Complex64::ZERO, z));
+        assert!(close(z * Complex64::ONE, z));
+        assert!(close(z - z, Complex64::ZERO));
+        assert!(close(z * z.recip(), Complex64::ONE));
+        assert!(close(z / z, Complex64::ONE));
+        assert!(close(-(-z), z));
+    }
+
+    #[test]
+    fn abs_and_arg() {
+        let z = Complex64::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < EPS);
+        assert!((z.norm_sqr() - 25.0).abs() < EPS);
+        let w = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+        assert!((w.re).abs() < EPS);
+        assert!((w.im - 2.0).abs() < EPS);
+        assert!((w.arg() - std::f64::consts::FRAC_PI_2).abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Complex64::new(1.5, 2.5);
+        let w = Complex64::new(-0.5, 3.0);
+        assert!(close((z * w).conj(), z.conj() * w.conj()));
+        assert!(((z * z.conj()).re - z.norm_sqr()).abs() < EPS);
+        assert!((z * z.conj()).im.abs() < EPS);
+    }
+
+    #[test]
+    fn division_is_robust_for_small_and_large() {
+        let big = Complex64::new(1e150, 1e150);
+        let q = big / big;
+        assert!(close(q, Complex64::ONE));
+        let z = Complex64::new(1.0, 2.0);
+        let w = Complex64::new(0.0, 4.0); // exercise the |im| > |re| branch
+        assert!(close(z / w * w, z));
+    }
+
+    #[test]
+    fn exp_and_sqrt() {
+        // Euler: e^{i*pi} = -1
+        let e = (Complex64::I * std::f64::consts::PI).exp();
+        assert!((e.re + 1.0).abs() < 1e-12 && e.im.abs() < 1e-12);
+        let z = Complex64::new(-4.0, 0.0);
+        let r = z.sqrt();
+        assert!(close(r * r, z));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn sum_folds() {
+        let s: Complex64 =
+            (0..4).map(|k| Complex64::new(k as f64, -(k as f64))).sum();
+        assert!(close(s, Complex64::new(6.0, -6.0)));
+    }
+
+    #[test]
+    fn nan_and_finite_flags() {
+        assert!(Complex64::new(f64::NAN, 0.0).is_nan());
+        assert!(!Complex64::ONE.is_nan());
+        assert!(Complex64::ONE.is_finite());
+        assert!(!Complex64::new(f64::INFINITY, 0.0).is_finite());
+    }
+}

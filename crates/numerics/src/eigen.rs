@@ -1,0 +1,211 @@
+//! Jacobi eigendecomposition for symmetric matrices.
+//!
+//! Subspace intersection (Eq. 3) is implemented through eigenvectors of
+//! averaged orthogonal projectors, and the normal-operation ellipse (Eq. 4)
+//! needs the eigen-structure of 2×2 covariance matrices. The classic cyclic
+//! Jacobi method handles both with excellent accuracy.
+
+use crate::error::NumericsError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Maximum number of Jacobi sweeps.
+const MAX_SWEEPS: usize = 64;
+
+/// An eigendecomposition `A = Q Λ Q^T` of a symmetric matrix.
+///
+/// Eigenvalues are sorted in **descending** order; `vectors` holds the
+/// corresponding orthonormal eigenvectors as columns.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as columns (same order as `values`).
+    pub vectors: Matrix,
+}
+
+/// Compute the eigendecomposition of a symmetric matrix.
+///
+/// The input is symmetrized as `(A + A^T)/2` first, so slightly asymmetric
+/// inputs (from floating-point accumulation) are accepted.
+///
+/// # Errors
+/// Returns [`NumericsError::InvalidArgument`] for non-square or empty input
+/// and [`NumericsError::NoConvergence`] if Jacobi sweeps fail to converge.
+pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
+    let n = a.rows();
+    if n == 0 || a.cols() != n {
+        return Err(NumericsError::invalid(
+            "sym_eigen",
+            format!("matrix must be square and non-empty, got {}x{}", a.rows(), a.cols()),
+        ));
+    }
+    // Symmetrize defensively.
+    let mut m = Matrix::from_fn(n, n, |r, c| 0.5 * (a[(r, c)] + a[(c, r)]));
+    let mut q = Matrix::identity(n);
+    let scale = m.norm_max().max(1.0);
+
+    for _sweep in 0..MAX_SWEEPS {
+        // Sum of squared off-diagonal entries.
+        let mut off = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += m[(r, c)] * m[(r, c)];
+            }
+        }
+        if off.sqrt() < 1e-14 * scale {
+            return Ok(finish(m, q));
+        }
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let apq = m[(p, r)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(r, r)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Apply rotation on both sides: M <- J^T M J.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, r)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, r)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(r, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(r, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let qkp = q[(k, p)];
+                    let qkq = q[(k, r)];
+                    q[(k, p)] = c * qkp - s * qkq;
+                    q[(k, r)] = s * qkp + c * qkq;
+                }
+            }
+        }
+    }
+    // Final convergence check.
+    let mut off = 0.0;
+    for r in 0..n {
+        for c in (r + 1)..n {
+            off += m[(r, c)] * m[(r, c)];
+        }
+    }
+    if off.sqrt() < 1e-10 * scale {
+        Ok(finish(m, q))
+    } else {
+        Err(NumericsError::NoConvergence {
+            op: "sym_eigen",
+            iters: MAX_SWEEPS,
+            residual: off.sqrt(),
+        })
+    }
+}
+
+fn finish(m: Matrix, q: Matrix) -> SymEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = q.select_columns(&order);
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::diag(&[1.0, 5.0, 3.0]);
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 5.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.column(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_rows(
+            3,
+            3,
+            vec![4.0, 1.0, 0.5, 1.0, 3.0, -1.0, 0.5, -1.0, 2.0],
+        )
+        .unwrap();
+        let e = sym_eigen(&a).unwrap();
+        // Q Λ Q^T == A
+        let lam = Matrix::diag(&e.values);
+        let back = e
+            .vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-10);
+        // Q^T Q == I
+        let qtq = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = Matrix::from_rows(4, 4, {
+            let mut v = vec![0.0; 16];
+            for i in 0..4 {
+                for j in 0..4 {
+                    v[i * 4 + j] = ((i * j) as f64).cos();
+                }
+            }
+            // symmetrize
+            for i in 0..4 {
+                for j in 0..i {
+                    let avg = (v[i * 4 + j] + v[j * 4 + i]) / 2.0;
+                    v[i * 4 + j] = avg;
+                    v[j * 4 + i] = avg;
+                }
+            }
+            v
+        })
+        .unwrap();
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let e = sym_eigen(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn projector_eigenvalues_are_zero_or_one() {
+        // P = u u^T for unit u is a rank-1 projector.
+        let u = [0.6, 0.8];
+        let p = Matrix::from_fn(2, 2, |r, c| u[r] * u[c]);
+        let e = sym_eigen(&p).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!(e.values[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(sym_eigen(&Matrix::zeros(0, 0)).is_err());
+        assert!(sym_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+}

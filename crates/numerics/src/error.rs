@@ -1,0 +1,90 @@
+//! Error type shared by every numerical routine in the crate.
+
+use std::fmt;
+
+/// Errors produced by the numerical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// A matrix/vector operation was attempted with incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A factorization encountered an (numerically) singular matrix.
+    Singular {
+        /// Which factorization failed.
+        op: &'static str,
+        /// Pivot magnitude observed when the failure was detected.
+        pivot: f64,
+    },
+    /// An iterative routine did not converge within its iteration budget.
+    NoConvergence {
+        /// Which routine failed to converge.
+        op: &'static str,
+        /// Number of iterations performed.
+        iters: usize,
+        /// Residual when iteration stopped.
+        residual: f64,
+    },
+    /// An argument was out of the routine's domain (empty input, bad size…).
+    InvalidArgument {
+        /// Which routine rejected the argument.
+        op: &'static str,
+        /// Explanation of the rejection.
+        msg: String,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: shape mismatch {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            NumericsError::Singular { op, pivot } => {
+                write!(f, "{op}: matrix is singular (pivot magnitude {pivot:.3e})")
+            }
+            NumericsError::NoConvergence { op, iters, residual } => write!(
+                f,
+                "{op}: no convergence after {iters} iterations (residual {residual:.3e})"
+            ),
+            NumericsError::InvalidArgument { op, msg } => write!(f, "{op}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+impl NumericsError {
+    /// Construct an [`NumericsError::InvalidArgument`] with a formatted message.
+    pub fn invalid(op: &'static str, msg: impl Into<String>) -> Self {
+        NumericsError::InvalidArgument { op, msg: msg.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NumericsError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        let s = e.to_string();
+        assert!(s.contains("matmul") && s.contains("2x3") && s.contains("4x5"));
+
+        let e = NumericsError::Singular { op: "lu", pivot: 1e-18 };
+        assert!(e.to_string().contains("singular"));
+
+        let e = NumericsError::NoConvergence { op: "svd", iters: 30, residual: 1e-3 };
+        assert!(e.to_string().contains("30"));
+
+        let e = NumericsError::invalid("qr", "empty matrix");
+        assert!(e.to_string().contains("empty matrix"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Householder QR factorization.
+//!
+//! Used to orthonormalize subspace bases (union subspaces concatenate
+//! several bases and must be re-orthonormalized) and to solve least-squares
+//! problems for the proximity regressor of Eq. (9).
+
+use crate::error::NumericsError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// A thin QR factorization `A = Q R` with `Q` (m×k) having orthonormal
+/// columns and `R` (k×k) upper triangular, where `k = min(m, n)`.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// Orthonormal factor (thin).
+    pub q: Matrix,
+    /// Upper-triangular factor (thin).
+    pub r: Matrix,
+}
+
+impl QrFactors {
+    /// Compute the thin QR factorization of `a` via Householder reflections.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::InvalidArgument`] for an empty matrix.
+    pub fn factorize(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(NumericsError::invalid("qr", "empty matrix"));
+        }
+        let k = m.min(n);
+        let mut r = a.clone();
+        // Accumulate Q by applying the reflectors to the identity.
+        let mut q_full = Matrix::identity(m);
+
+        for j in 0..k {
+            // Build the Householder vector for column j below the diagonal.
+            let mut norm = 0.0;
+            for i in j..m {
+                norm += r[(i, j)] * r[(i, j)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                continue; // Column already zero below the diagonal.
+            }
+            let alpha = if r[(j, j)] >= 0.0 { -norm } else { norm };
+            let mut v = Vector::zeros(m - j);
+            v[0] = r[(j, j)] - alpha;
+            for i in (j + 1)..m {
+                v[i - j] = r[(i, j)];
+            }
+            let vnorm_sqr = v.norm_sqr();
+            if vnorm_sqr == 0.0 {
+                continue;
+            }
+            let beta = 2.0 / vnorm_sqr;
+
+            // Apply H = I - beta v v^T to R (columns j..n).
+            for c in j..n {
+                let mut dot = 0.0;
+                for i in j..m {
+                    dot += v[i - j] * r[(i, c)];
+                }
+                let f = beta * dot;
+                for i in j..m {
+                    r[(i, c)] -= f * v[i - j];
+                }
+            }
+            // Apply H to Q^T accumulation: q_full = q_full * H (right-multiply
+            // because Q = H_0 H_1 ... H_{k-1}).
+            for row in 0..m {
+                let mut dot = 0.0;
+                for i in j..m {
+                    dot += v[i - j] * q_full[(row, i)];
+                }
+                let f = beta * dot;
+                for i in j..m {
+                    q_full[(row, i)] -= f * v[i - j];
+                }
+            }
+        }
+
+        // Extract thin factors.
+        let q = Matrix::from_fn(m, k, |i, j| q_full[(i, j)]);
+        let r_thin = Matrix::from_fn(k, n, |i, j| if i <= j { r[(i, j)] } else { 0.0 });
+        Ok(QrFactors { q, r: r_thin })
+    }
+
+    /// Solve the least-squares problem `min ||A x - b||` using this
+    /// factorization of `A` (requires `A` to have full column rank and
+    /// `m >= n`).
+    ///
+    /// # Errors
+    /// Returns a shape error for a mismatched `b` and a singular error when
+    /// `R` has a (near-)zero diagonal entry.
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector> {
+        let m = self.q.rows();
+        let k = self.q.cols();
+        if b.len() != m {
+            return Err(NumericsError::ShapeMismatch {
+                op: "qr_lstsq",
+                lhs: (m, k),
+                rhs: (b.len(), 1),
+            });
+        }
+        if self.r.cols() != k {
+            return Err(NumericsError::invalid(
+                "qr_lstsq",
+                "least squares requires m >= n (thin R must be square)",
+            ));
+        }
+        // x = R^{-1} Q^T b
+        let qtb = self.q.tr_matvec(b)?;
+        let mut x = qtb;
+        let scale = self.r.norm_max().max(1.0);
+        for i in (0..k).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..k {
+                acc -= self.r[(i, j)] * x[j];
+            }
+            let d = self.r[(i, i)];
+            if d.abs() < 1e-13 * scale {
+                return Err(NumericsError::Singular { op: "qr_lstsq", pivot: d.abs() });
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+}
+
+/// Orthonormalize the columns of `a`, dropping columns that are linearly
+/// dependent (relative tolerance `tol` against the largest R diagonal).
+///
+/// Returns a matrix with orthonormal columns spanning the column space of
+/// `a`. An all-zero input yields a matrix with zero columns.
+///
+/// # Errors
+/// Propagates QR errors for empty input.
+pub fn orthonormal_columns(a: &Matrix, tol: f64) -> Result<Matrix> {
+    let qr = QrFactors::factorize(a)?;
+    let k = qr.r.rows();
+    let scale = (0..k).map(|i| qr.r[(i, i)].abs()).fold(0.0_f64, f64::max);
+    if scale == 0.0 {
+        return Ok(Matrix::zeros(a.rows(), 0));
+    }
+    let keep: Vec<usize> =
+        (0..k).filter(|&i| qr.r[(i, i)].abs() > tol * scale).collect();
+    Ok(qr.q.select_columns(&keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_like(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Small deterministic pseudo-random fill (LCG) — tests only.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = random_like(6, 4, 42);
+        let qr = QrFactors::factorize(&a).unwrap();
+        let back = qr.q.matmul(&qr.r).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = random_like(8, 5, 7);
+        let qr = QrFactors::factorize(&a).unwrap();
+        let qtq = qr.q.transpose().matmul(&qr.q).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(5)) < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = random_like(5, 5, 3);
+        let qr = QrFactors::factorize(&a).unwrap();
+        for i in 0..5 {
+            for j in 0..i {
+                assert_eq!(qr.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_on_overdetermined() {
+        // Fit y = 2x + 1 exactly from 4 points.
+        let a = Matrix::from_rows(4, 2, vec![0.0, 1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0])
+            .unwrap();
+        let b = Vector::from(vec![1.0, 3.0, 5.0, 7.0]);
+        let qr = QrFactors::factorize(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        assert!(qr.solve_least_squares(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        let a = random_like(10, 3, 11);
+        let b = Vector::from_fn(10, |i| (i as f64).sin());
+        let qr = QrFactors::factorize(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        let r0 = (&a.matvec(&x).unwrap() - &b).norm_sqr();
+        // Perturbing the solution should not decrease the residual.
+        for k in 0..3 {
+            let mut xp = x.clone();
+            xp[k] += 1e-3;
+            let r1 = (&a.matvec(&xp).unwrap() - &b).norm_sqr();
+            assert!(r1 >= r0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn orthonormal_columns_drops_dependent() {
+        // Third column = first + second.
+        let a = Matrix::from_rows(
+            4,
+            3,
+            vec![
+                1.0, 0.0, 1.0, //
+                0.0, 1.0, 1.0, //
+                1.0, 1.0, 2.0, //
+                2.0, 0.0, 2.0,
+            ],
+        )
+        .unwrap();
+        let q = orthonormal_columns(&a, 1e-10).unwrap();
+        assert_eq!(q.cols(), 2);
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn orthonormal_columns_zero_matrix() {
+        let q = orthonormal_columns(&Matrix::zeros(3, 2), 1e-10).unwrap();
+        assert_eq!(q.cols(), 0);
+    }
+
+    #[test]
+    fn empty_errors() {
+        assert!(QrFactors::factorize(&Matrix::zeros(0, 0)).is_err());
+    }
+}

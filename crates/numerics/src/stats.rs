@@ -1,0 +1,157 @@
+//! Small statistics helpers shared across the workspace: sample moments,
+//! quantiles, and 2×2 covariance for the phasor-plane ellipses of Eq. (4).
+
+use crate::error::NumericsError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Arithmetic mean of a slice (`0.0` for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (`0.0` for fewer than two samples).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Empirical quantile using linear interpolation between order statistics.
+/// `q` is clamped to `[0, 1]`.
+///
+/// # Errors
+/// Returns an error for empty input or non-finite entries.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(NumericsError::invalid("quantile", "empty input"));
+    }
+    if xs.iter().any(|x| !x.is_finite()) {
+        return Err(NumericsError::invalid("quantile", "non-finite input"));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Mean of each column of a samples-as-rows matrix.
+pub fn column_means(samples: &Matrix) -> Vec<f64> {
+    let (rows, cols) = samples.shape();
+    let mut means = vec![0.0; cols];
+    if rows == 0 {
+        return means;
+    }
+    for r in 0..rows {
+        for (c, m) in means.iter_mut().enumerate() {
+            *m += samples[(r, c)];
+        }
+    }
+    for m in &mut means {
+        *m /= rows as f64;
+    }
+    means
+}
+
+/// Sample covariance matrix (unbiased) of a samples-as-rows matrix.
+///
+/// # Errors
+/// Returns an error when fewer than two samples are provided.
+pub fn covariance(samples: &Matrix) -> Result<Matrix> {
+    let (rows, cols) = samples.shape();
+    if rows < 2 {
+        return Err(NumericsError::invalid(
+            "covariance",
+            format!("need at least 2 samples, got {rows}"),
+        ));
+    }
+    let means = column_means(samples);
+    let mut cov = Matrix::zeros(cols, cols);
+    for r in 0..rows {
+        for i in 0..cols {
+            let di = samples[(r, i)] - means[i];
+            if di == 0.0 {
+                continue;
+            }
+            for j in i..cols {
+                cov[(i, j)] += di * (samples[(r, j)] - means[j]);
+            }
+        }
+    }
+    let denom = (rows - 1) as f64;
+    for i in 0..cols {
+        for j in i..cols {
+            cov[(i, j)] /= denom;
+            cov[(j, i)] = cov[(i, j)];
+        }
+    }
+    Ok(cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic example is 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[f64::NAN], 0.5).is_err());
+        // Clamps out-of-range q.
+        assert_eq!(quantile(&xs, 2.0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn covariance_of_correlated_columns() {
+        // y = 2x exactly → cov = [[var, 2var],[2var, 4var]].
+        let samples = Matrix::from_rows(
+            4,
+            2,
+            vec![0.0, 0.0, 1.0, 2.0, 2.0, 4.0, 3.0, 6.0],
+        )
+        .unwrap();
+        let cov = covariance(&samples).unwrap();
+        let vx = cov[(0, 0)];
+        assert!((cov[(0, 1)] - 2.0 * vx).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 4.0 * vx).abs() < 1e-12);
+        assert_eq!(cov[(0, 1)], cov[(1, 0)]);
+        assert!(covariance(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn column_means_match() {
+        let samples =
+            Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(column_means(&samples), vec![2.0, 3.0, 4.0]);
+        assert_eq!(column_means(&Matrix::zeros(0, 2)), vec![0.0, 0.0]);
+    }
+}

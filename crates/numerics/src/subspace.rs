@@ -1,0 +1,384 @@
+//! Orthonormal subspaces of R^n and the operations the detector needs:
+//! projections and residual distances, restriction to index subsets (the
+//! missing-data mechanism of Eq. 9–10), unions and intersections (Eq. 3),
+//! and principal angles between subspaces.
+
+use crate::eigen::sym_eigen;
+use crate::error::NumericsError;
+use crate::matrix::Matrix;
+use crate::qr::orthonormal_columns;
+use crate::svd::Svd;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Relative tolerance used when orthonormalizing bases.
+const BASIS_TOL: f64 = 1e-10;
+/// Eigenvalue threshold above which a projector direction counts as shared
+/// by every member of an intersection.
+const INTERSECT_EIG_TOL: f64 = 1e-6;
+
+/// A linear subspace of R^n represented by an orthonormal basis.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
+pub struct Subspace {
+    /// n×k matrix with orthonormal columns spanning the subspace.
+    basis: Matrix,
+}
+
+impl Subspace {
+    /// Build a subspace from an arbitrary spanning set (columns of `span`).
+    /// The basis is orthonormalized and linearly dependent columns dropped.
+    ///
+    /// # Errors
+    /// Returns an error for an empty `span` matrix.
+    pub fn from_span(span: &Matrix) -> Result<Self> {
+        let basis = orthonormal_columns(span, BASIS_TOL)?;
+        Ok(Subspace { basis })
+    }
+
+    /// Build a subspace directly from a matrix that is already known to have
+    /// orthonormal columns (e.g. a block of singular vectors). Debug builds
+    /// verify the orthonormality claim.
+    pub fn from_orthonormal(basis: Matrix) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            if basis.cols() > 0 {
+                let g = basis.transpose().matmul(&basis).expect("shape");
+                debug_assert!(
+                    g.max_abs_diff(&Matrix::identity(basis.cols())) < 1e-8,
+                    "from_orthonormal: basis is not orthonormal"
+                );
+            }
+        }
+        Subspace { basis }
+    }
+
+    /// The trivial (zero-dimensional) subspace of R^n.
+    pub fn zero(ambient: usize) -> Self {
+        Subspace { basis: Matrix::zeros(ambient, 0) }
+    }
+
+    /// Ambient dimension n.
+    pub fn ambient_dim(&self) -> usize {
+        self.basis.rows()
+    }
+
+    /// Subspace dimension k.
+    pub fn dim(&self) -> usize {
+        self.basis.cols()
+    }
+
+    /// Borrow the orthonormal basis (n×k).
+    pub fn basis(&self) -> &Matrix {
+        &self.basis
+    }
+
+    /// Orthogonal projection of `x` onto the subspace.
+    ///
+    /// # Errors
+    /// Returns a shape error when `x` has the wrong length.
+    pub fn project(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.ambient_dim() {
+            return Err(NumericsError::ShapeMismatch {
+                op: "subspace_project",
+                lhs: (self.ambient_dim(), self.dim()),
+                rhs: (x.len(), 1),
+            });
+        }
+        let coeff = self.basis.tr_matvec(x)?;
+        self.basis.matvec(&coeff)
+    }
+
+    /// Squared distance from `x` to the subspace: `||x - P x||²`.
+    ///
+    /// # Errors
+    /// Returns a shape error when `x` has the wrong length.
+    pub fn residual_sqr(&self, x: &Vector) -> Result<f64> {
+        let p = self.project(x)?;
+        Ok((x - &p).norm_sqr())
+    }
+
+    /// The orthogonal projector matrix `B B^T` (n×n).
+    pub fn projector(&self) -> Matrix {
+        if self.dim() == 0 {
+            return Matrix::zeros(self.ambient_dim(), self.ambient_dim());
+        }
+        self.basis.matmul(&self.basis.transpose()).expect("shape")
+    }
+
+    /// Restrict the subspace basis to the given row indices. The result is a
+    /// subspace of R^{|rows|} spanning the projections of the basis vectors
+    /// onto those coordinates (re-orthonormalized). This realizes the
+    /// "S(D)" row split of Sec. IV-C: proximity can be evaluated with only
+    /// the detection group's measurements.
+    ///
+    /// # Errors
+    /// Returns an error when `rows` is empty or out of range.
+    pub fn restrict_rows(&self, rows: &[usize]) -> Result<Subspace> {
+        if rows.is_empty() {
+            return Err(NumericsError::invalid("restrict_rows", "empty index set"));
+        }
+        if let Some(&bad) = rows.iter().find(|&&r| r >= self.ambient_dim()) {
+            return Err(NumericsError::invalid(
+                "restrict_rows",
+                format!("row {} out of range (ambient {})", bad, self.ambient_dim()),
+            ));
+        }
+        if self.dim() == 0 {
+            return Ok(Subspace::zero(rows.len()));
+        }
+        let sub = self.basis.select_rows(rows);
+        Subspace::from_span(&sub)
+    }
+
+    /// Union of subspaces: the smallest subspace containing every input
+    /// (the span of all bases). Matches the `S_i^∪` construction of Eq. (3).
+    ///
+    /// # Errors
+    /// Returns an error when the list is empty or ambient dims differ.
+    pub fn union(spaces: &[&Subspace]) -> Result<Subspace> {
+        let first = spaces
+            .first()
+            .ok_or_else(|| NumericsError::invalid("subspace_union", "no subspaces"))?;
+        let n = first.ambient_dim();
+        let mut concat: Option<Matrix> = None;
+        for s in spaces {
+            if s.ambient_dim() != n {
+                return Err(NumericsError::invalid(
+                    "subspace_union",
+                    "ambient dimension mismatch",
+                ));
+            }
+            if s.dim() == 0 {
+                continue;
+            }
+            concat = Some(match concat {
+                None => s.basis.clone(),
+                Some(c) => c.hcat(&s.basis)?,
+            });
+        }
+        match concat {
+            None => Ok(Subspace::zero(n)),
+            Some(c) => Subspace::from_span(&c),
+        }
+    }
+
+    /// Intersection of subspaces via the averaged-projector method: the
+    /// intersection is spanned by eigenvectors of `(P_1 + … + P_m)/m` with
+    /// eigenvalue 1. Matches the `S_i^∩` construction of Eq. (3).
+    ///
+    /// # Errors
+    /// Returns an error when the list is empty or ambient dims differ.
+    pub fn intersection(spaces: &[&Subspace]) -> Result<Subspace> {
+        let first = spaces
+            .first()
+            .ok_or_else(|| NumericsError::invalid("subspace_intersection", "no subspaces"))?;
+        let n = first.ambient_dim();
+        if spaces.len() == 1 {
+            return Ok((*first).clone());
+        }
+        let mut avg = Matrix::zeros(n, n);
+        for s in spaces {
+            if s.ambient_dim() != n {
+                return Err(NumericsError::invalid(
+                    "subspace_intersection",
+                    "ambient dimension mismatch",
+                ));
+            }
+            let p = s.projector();
+            avg = &avg + &p;
+        }
+        avg.scale_mut(1.0 / spaces.len() as f64);
+        let eig = sym_eigen(&avg)?;
+        let keep: Vec<usize> = eig
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 1.0 - INTERSECT_EIG_TOL)
+            .map(|(i, _)| i)
+            .collect();
+        if keep.is_empty() {
+            return Ok(Subspace::zero(n));
+        }
+        let basis = eig.vectors.select_columns(&keep);
+        Ok(Subspace::from_orthonormal(basis))
+    }
+
+    /// Principal angles (in radians, ascending) between two subspaces,
+    /// computed from the singular values of `B_a^T B_b`.
+    ///
+    /// # Errors
+    /// Returns an error on ambient-dimension mismatch.
+    pub fn principal_angles(&self, other: &Subspace) -> Result<Vec<f64>> {
+        if self.ambient_dim() != other.ambient_dim() {
+            return Err(NumericsError::invalid(
+                "principal_angles",
+                "ambient dimension mismatch",
+            ));
+        }
+        if self.dim() == 0 || other.dim() == 0 {
+            return Ok(Vec::new());
+        }
+        let m = self.basis.transpose().matmul(&other.basis)?;
+        let svd = Svd::compute(&m)?;
+        Ok(svd
+            .sigma
+            .iter()
+            .map(|&s| s.clamp(-1.0, 1.0).acos())
+            .rev() // sigma descending → angles ascending
+            .collect())
+    }
+
+    /// `true` when `other` spans (numerically) the same subspace.
+    pub fn approx_eq(&self, other: &Subspace, tol: f64) -> bool {
+        if self.ambient_dim() != other.ambient_dim() || self.dim() != other.dim() {
+            return false;
+        }
+        let pa = self.projector();
+        let pb = other.projector();
+        pa.max_abs_diff(&pb) < tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axis_subspace(n: usize, axes: &[usize]) -> Subspace {
+        let mut m = Matrix::zeros(n, axes.len());
+        for (c, &a) in axes.iter().enumerate() {
+            m[(a, c)] = 1.0;
+        }
+        Subspace::from_orthonormal(m)
+    }
+
+    #[test]
+    fn projection_onto_axis_plane() {
+        let s = axis_subspace(3, &[0, 1]);
+        let x = Vector::from(vec![1.0, 2.0, 3.0]);
+        let p = s.project(&x).unwrap();
+        assert_eq!(p.as_slice(), &[1.0, 2.0, 0.0]);
+        assert!((s.residual_sqr(&x).unwrap() - 9.0).abs() < 1e-12);
+        assert!(s.project(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn from_span_orthonormalizes() {
+        // Two dependent columns plus one independent → dim 2.
+        let span = Matrix::from_rows(
+            3,
+            3,
+            vec![1.0, 2.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 1.0],
+        )
+        .unwrap();
+        let s = Subspace::from_span(&span).unwrap();
+        assert_eq!(s.dim(), 2);
+        let g = s.basis().transpose().matmul(s.basis()).unwrap();
+        assert!(g.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn union_of_axis_planes() {
+        let a = axis_subspace(4, &[0]);
+        let b = axis_subspace(4, &[1, 2]);
+        let u = Subspace::union(&[&a, &b]).unwrap();
+        assert_eq!(u.dim(), 3);
+        // e3 is not in the union.
+        let e3 = Vector::from(vec![0.0, 0.0, 0.0, 1.0]);
+        assert!((u.residual_sqr(&e3).unwrap() - 1.0).abs() < 1e-12);
+        // Union with zero subspace is identity.
+        let z = Subspace::zero(4);
+        let u2 = Subspace::union(&[&a, &z]).unwrap();
+        assert!(u2.approx_eq(&a, 1e-10));
+        assert!(Subspace::union(&[]).is_err());
+    }
+
+    #[test]
+    fn intersection_of_axis_planes() {
+        let a = axis_subspace(3, &[0, 1]);
+        let b = axis_subspace(3, &[1, 2]);
+        let i = Subspace::intersection(&[&a, &b]).unwrap();
+        assert_eq!(i.dim(), 1);
+        // Intersection is the e1 axis.
+        let e1 = Vector::from(vec![0.0, 1.0, 0.0]);
+        assert!(i.residual_sqr(&e1).unwrap() < 1e-10);
+        // Disjoint planes intersect trivially.
+        let c = axis_subspace(3, &[2]);
+        let d = axis_subspace(3, &[0]);
+        let j = Subspace::intersection(&[&c, &d]).unwrap();
+        assert_eq!(j.dim(), 0);
+    }
+
+    #[test]
+    fn intersection_of_slanted_planes() {
+        // span{e0, e1+e2} ∩ span{e1+e2, e3} = span{e1+e2}.
+        let s1 = Subspace::from_span(
+            &Matrix::from_rows(4, 2, vec![1., 0., 0., 1., 0., 1., 0., 0.]).unwrap(),
+        )
+        .unwrap();
+        let s2 = Subspace::from_span(
+            &Matrix::from_rows(4, 2, vec![0., 0., 1., 0., 1., 0., 0., 1.]).unwrap(),
+        )
+        .unwrap();
+        let i = Subspace::intersection(&[&s1, &s2]).unwrap();
+        assert_eq!(i.dim(), 1);
+        let diag = Vector::from(vec![0.0, 1.0, 1.0, 0.0]);
+        let resid = i.residual_sqr(&diag).unwrap();
+        assert!(resid < 1e-8, "residual {resid}");
+    }
+
+    #[test]
+    fn restrict_rows_keeps_projection_geometry() {
+        let s = axis_subspace(4, &[0, 2]);
+        let r = s.restrict_rows(&[0, 1]).unwrap();
+        // Restriction of span{e0,e2} to rows {0,1} spans e0 of R^2.
+        assert_eq!(r.ambient_dim(), 2);
+        assert_eq!(r.dim(), 1);
+        let x = Vector::from(vec![3.0, 4.0]);
+        assert!((r.residual_sqr(&x).unwrap() - 16.0).abs() < 1e-10);
+        assert!(s.restrict_rows(&[]).is_err());
+        assert!(s.restrict_rows(&[9]).is_err());
+    }
+
+    #[test]
+    fn principal_angles_known() {
+        let a = axis_subspace(3, &[0]);
+        let b = axis_subspace(3, &[1]);
+        let angles = a.principal_angles(&b).unwrap();
+        assert_eq!(angles.len(), 1);
+        assert!((angles[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-10);
+        let same = a.principal_angles(&a).unwrap();
+        assert!(same[0].abs() < 1e-10);
+        // 45-degree line vs x-axis.
+        let diag = Subspace::from_span(
+            &Matrix::from_rows(2, 1, vec![1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
+        let x_axis = axis_subspace(2, &[0]);
+        let angles = diag.principal_angles(&x_axis).unwrap();
+        assert!((angles[0] - std::f64::consts::FRAC_PI_4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn projector_is_idempotent() {
+        let s = Subspace::from_span(
+            &Matrix::from_rows(3, 2, vec![1., 1., 0., 1., 1., 0.]).unwrap(),
+        )
+        .unwrap();
+        let p = s.projector();
+        let pp = p.matmul(&p).unwrap();
+        assert!(pp.max_abs_diff(&p) < 1e-12);
+        // Symmetric too.
+        assert!(p.max_abs_diff(&p.transpose()) < 1e-12);
+    }
+
+    #[test]
+    fn zero_subspace_behaviour() {
+        let z = Subspace::zero(3);
+        assert_eq!(z.dim(), 0);
+        let x = Vector::from(vec![1.0, 2.0, 2.0]);
+        assert!((z.residual_sqr(&x).unwrap() - 9.0).abs() < 1e-12);
+        assert_eq!(z.projector().norm_max(), 0.0);
+        assert!(z.principal_angles(&z).unwrap().is_empty());
+    }
+}

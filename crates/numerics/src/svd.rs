@@ -1,0 +1,361 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The detector's subspace learning (Sec. IV-A of the paper) is built on the
+//! SVD of measurement windows, and Eq. (9)'s regressor needs pseudo-inverses.
+//! One-sided Jacobi is simple, numerically robust, and — for the matrix sizes
+//! in this workspace (≤ a few hundred on a side) — fast enough.
+
+use crate::error::NumericsError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 60;
+/// Off-diagonal convergence threshold relative to column norms.
+const JACOBI_TOL: f64 = 1e-12;
+
+/// A thin singular value decomposition `A = U Σ V^T`.
+///
+/// `u` is m×k, `v` is n×k with orthonormal columns, and `sigma` holds the
+/// `k = min(m, n)` singular values sorted in **descending** order.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (m×k).
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (n×k).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Compute the thin SVD of `a`.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::InvalidArgument`] for an empty matrix and
+    /// [`NumericsError::NoConvergence`] if the Jacobi sweeps fail to converge
+    /// (not observed in practice at these sizes).
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(NumericsError::invalid("svd", "empty matrix"));
+        }
+        // One-sided Jacobi works on the tall orientation; transpose if wide.
+        if m < n {
+            let t = Svd::compute(&a.transpose())?;
+            return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
+        }
+
+        let mut w = a.clone(); // Working copy; columns will be rotated.
+        let mut v = Matrix::identity(n);
+
+        let mut converged = false;
+        let mut sweeps = 0;
+        let mut max_off = 0.0_f64;
+        while sweeps < MAX_SWEEPS && !converged {
+            converged = true;
+            max_off = 0.0;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Gram entries over columns p and q.
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for i in 0..m {
+                        let xp = w[(i, p)];
+                        let xq = w[(i, q)];
+                        app += xp * xp;
+                        aqq += xq * xq;
+                        apq += xp * xq;
+                    }
+                    let denom = (app * aqq).sqrt();
+                    if denom == 0.0 {
+                        continue;
+                    }
+                    let off = apq.abs() / denom;
+                    max_off = max_off.max(off);
+                    if off <= JACOBI_TOL {
+                        continue;
+                    }
+                    converged = false;
+                    // Jacobi rotation that annihilates the (p,q) Gram entry.
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..m {
+                        let xp = w[(i, p)];
+                        let xq = w[(i, q)];
+                        w[(i, p)] = c * xp - s * xq;
+                        w[(i, q)] = s * xp + c * xq;
+                    }
+                    for i in 0..n {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            sweeps += 1;
+        }
+        if !converged {
+            return Err(NumericsError::NoConvergence {
+                op: "svd",
+                iters: sweeps,
+                residual: max_off,
+            });
+        }
+
+        // Column norms are the singular values; normalize to get U.
+        let mut order: Vec<usize> = (0..n).collect();
+        let norms: Vec<f64> = (0..n).map(|c| w.column(c).norm()).collect();
+        order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+        let mut u = Matrix::zeros(m, n);
+        let mut sigma = Vec::with_capacity(n);
+        let mut v_sorted = Matrix::zeros(n, n);
+        for (out_c, &src_c) in order.iter().enumerate() {
+            let s = norms[src_c];
+            sigma.push(s);
+            if s > 0.0 {
+                for i in 0..m {
+                    u[(i, out_c)] = w[(i, src_c)] / s;
+                }
+            } else {
+                // Zero singular value: leave the column zero; callers relying
+                // on a full orthonormal U should use `complete_u`.
+                u[(i_zero(m, out_c), out_c)] = 1.0;
+            }
+            for i in 0..n {
+                v_sorted[(i, out_c)] = v[(i, src_c)];
+            }
+        }
+        // Re-orthonormalize any placeholder columns introduced for zero
+        // singular values against the others (Gram-Schmidt pass).
+        gram_schmidt_fixup(&mut u, &sigma);
+
+        Ok(Svd { u, sigma, v: v_sorted })
+    }
+
+    /// Numerical rank with relative tolerance `tol` (e.g. `1e-10`).
+    pub fn rank(&self, tol: f64) -> usize {
+        let smax = self.sigma.first().copied().unwrap_or(0.0);
+        if smax == 0.0 {
+            return 0;
+        }
+        self.sigma.iter().filter(|&&s| s > tol * smax).count()
+    }
+
+    /// Moore–Penrose pseudo-inverse `A^+ = V Σ^+ U^T` with relative
+    /// tolerance `tol` for truncating small singular values.
+    ///
+    /// # Errors
+    /// Propagates shape errors from internal products (cannot occur for a
+    /// well-formed factorization).
+    pub fn pseudo_inverse(&self, tol: f64) -> Result<Matrix> {
+        let smax = self.sigma.first().copied().unwrap_or(0.0);
+        let k = self.sigma.len();
+        let inv: Vec<f64> = self
+            .sigma
+            .iter()
+            .map(|&s| if smax > 0.0 && s > tol * smax { 1.0 / s } else { 0.0 })
+            .collect();
+        // V * diag(inv) * U^T
+        let mut vs = self.v.clone();
+        for c in 0..k {
+            for r in 0..vs.rows() {
+                vs[(r, c)] *= inv[c];
+            }
+        }
+        vs.matmul(&self.u.transpose())
+    }
+
+    /// Reconstruct the original matrix `U Σ V^T` (useful in tests).
+    ///
+    /// # Errors
+    /// Propagates shape errors from internal products.
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let mut us = self.u.clone();
+        for c in 0..self.sigma.len() {
+            for r in 0..us.rows() {
+                us[(r, c)] *= self.sigma[c];
+            }
+        }
+        us.matmul(&self.v.transpose())
+    }
+
+    /// The left singular vectors associated with the `dim` **smallest**
+    /// singular values — the "line status" subspace basis of Sec. IV-A.
+    pub fn lowest_left_vectors(&self, dim: usize) -> Matrix {
+        let k = self.sigma.len();
+        let dim = dim.min(k);
+        let idx: Vec<usize> = ((k - dim)..k).collect();
+        self.u.select_columns(&idx)
+    }
+
+    /// The left singular vectors associated with the `dim` **largest**
+    /// singular values (the classic PCA loading directions).
+    pub fn top_left_vectors(&self, dim: usize) -> Matrix {
+        let dim = dim.min(self.sigma.len());
+        let idx: Vec<usize> = (0..dim).collect();
+        self.u.select_columns(&idx)
+    }
+}
+
+/// Row index used to seed a placeholder column for a zero singular value.
+fn i_zero(m: usize, c: usize) -> usize {
+    c % m
+}
+
+/// Re-orthonormalize placeholder U columns (those with `sigma == 0`).
+fn gram_schmidt_fixup(u: &mut Matrix, sigma: &[f64]) {
+    let m = u.rows();
+    for c in 0..sigma.len() {
+        if sigma[c] > 0.0 {
+            continue;
+        }
+        let mut col = u.column(c);
+        for prev in 0..sigma.len() {
+            if prev == c {
+                continue;
+            }
+            let pc = u.column(prev);
+            let d = col.dot(&pc).unwrap_or(0.0);
+            col.axpy(-d, &pc).ok();
+        }
+        if col.normalize_mut() == 0.0 {
+            // Degenerate; pick the first axis not already spanned.
+            for axis in 0..m {
+                let mut e = Vector::zeros(m);
+                e[axis] = 1.0;
+                for prev in 0..sigma.len() {
+                    if prev == c {
+                        continue;
+                    }
+                    let pc = u.column(prev);
+                    let d = e.dot(&pc).unwrap_or(0.0);
+                    e.axpy(-d, &pc).ok();
+                }
+                if e.normalize_mut() > 1e-8 {
+                    col = e;
+                    break;
+                }
+            }
+        }
+        u.set_column(c, &col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_like(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn reconstructs_tall_matrix() {
+        let a = random_like(7, 4, 1);
+        let svd = Svd::compute(&a).unwrap();
+        assert!(svd.reconstruct().unwrap().max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn reconstructs_wide_matrix() {
+        let a = random_like(3, 6, 2);
+        let svd = Svd::compute(&a).unwrap();
+        assert!(svd.reconstruct().unwrap().max_abs_diff(&a) < 1e-10);
+        assert_eq!(svd.u.shape(), (3, 3));
+        assert_eq!(svd.v.shape(), (6, 3));
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let a = random_like(6, 4, 3);
+        let svd = Svd::compute(&a).unwrap();
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        assert!(utu.max_abs_diff(&Matrix::identity(4)) < 1e-10);
+        assert!(vtv.max_abs_diff(&Matrix::identity(4)) < 1e-10);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_match_known() {
+        // diag(3, 1, 2) has singular values {3, 2, 1}.
+        let a = Matrix::diag(&[3.0, 1.0, 2.0]);
+        let svd = Svd::compute(&a).unwrap();
+        let s = &svd.sigma;
+        assert!((s[0] - 3.0).abs() < 1e-12);
+        assert!((s[1] - 2.0).abs() < 1e-12);
+        assert!((s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_of_deficient_matrix() {
+        // Rank-1 outer product.
+        let u = Vector::from(vec![1.0, 2.0, 3.0]);
+        let v = Vector::from(vec![4.0, 5.0]);
+        let a = Matrix::from_fn(3, 2, |r, c| u[r] * v[c]);
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        // The zero singular value still yields orthonormal U.
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        assert!(utu.max_abs_diff(&Matrix::identity(2)) < 1e-10);
+    }
+
+    #[test]
+    fn pseudo_inverse_properties() {
+        let a = random_like(5, 3, 9);
+        let pinv = Svd::compute(&a).unwrap().pseudo_inverse(1e-12).unwrap();
+        // A A+ A = A
+        let back = a.matmul(&pinv).unwrap().matmul(&a).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-9);
+        // A+ A A+ = A+
+        let back2 = pinv.matmul(&a).unwrap().matmul(&pinv).unwrap();
+        assert!(back2.max_abs_diff(&pinv) < 1e-9);
+    }
+
+    #[test]
+    fn pseudo_inverse_of_rank_deficient() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap(); // rank 1
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        let pinv = svd.pseudo_inverse(1e-10).unwrap();
+        let back = a.matmul(&pinv).unwrap().matmul(&a).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn lowest_and_top_vectors_partition_u() {
+        let a = random_like(6, 4, 17);
+        let svd = Svd::compute(&a).unwrap();
+        let low = svd.lowest_left_vectors(2);
+        let top = svd.top_left_vectors(2);
+        assert_eq!(low.shape(), (6, 2));
+        assert_eq!(top.shape(), (6, 2));
+        // They are mutually orthogonal blocks of U.
+        let cross = top.transpose().matmul(&low).unwrap();
+        assert!(cross.norm_max() < 1e-10);
+        // Requesting more than available clamps.
+        assert_eq!(svd.lowest_left_vectors(10).cols(), 4);
+    }
+
+    #[test]
+    fn zero_matrix_rank_zero() {
+        let svd = Svd::compute(&Matrix::zeros(4, 3)).unwrap();
+        assert_eq!(svd.rank(1e-10), 0);
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn empty_matrix_errors() {
+        assert!(Svd::compute(&Matrix::zeros(0, 3)).is_err());
+    }
+}

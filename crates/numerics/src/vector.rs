@@ -1,0 +1,299 @@
+//! Dense real vectors.
+//!
+//! A thin, owned wrapper around `Vec<f64>` with the handful of numerical
+//! operations the workspace needs (dot products, norms, axpy-style updates).
+
+use crate::error::NumericsError;
+use crate::Result;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense column vector of `f64`.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Create a vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Create a vector of `n` ones.
+    pub fn ones(n: usize) -> Self {
+        Vector { data: vec![1.0; n] }
+    }
+
+    /// Create a vector from a closure over indices.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+        Vector { data: (0..n).map(&mut f).collect() }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the vector, returning the underlying `Vec`.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Dot product with `other`.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] when lengths differ.
+    pub fn dot(&self, other: &Vector) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(NumericsError::ShapeMismatch {
+                op: "dot",
+                lhs: (self.len(), 1),
+                rhs: (other.len(), 1),
+            });
+        }
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>()
+    }
+
+    /// Maximum absolute entry (`0.0` for an empty vector).
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] when lengths differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Vector) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(NumericsError::ShapeMismatch {
+                op: "axpy",
+                lhs: (self.len(), 1),
+                rhs: (other.len(), 1),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scale every entry in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returned scaled copy.
+    pub fn scaled(&self, s: f64) -> Vector {
+        Vector { data: self.data.iter().map(|x| x * s).collect() }
+    }
+
+    /// Arithmetic mean (`0.0` for an empty vector).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// Normalize to unit Euclidean norm in place; returns the previous norm.
+    /// A zero vector is left untouched and `0.0` is returned.
+    pub fn normalize_mut(&mut self) -> f64 {
+        let n = self.norm();
+        if n > 0.0 {
+            self.scale_mut(1.0 / n);
+        }
+        n
+    }
+
+    /// Iterator over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(data: &[f64]) -> Self {
+        Vector { data: data.to_vec() }
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add<&Vector> for &Vector {
+    type Output = Vector;
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "Vector add: length mismatch");
+        Vector { data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect() }
+    }
+}
+
+impl Sub<&Vector> for &Vector {
+    type Output = Vector;
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "Vector sub: length mismatch");
+        Vector { data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect() }
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        Vector { data: self.data.iter().map(|x| -x).collect() }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, s: f64) -> Vector {
+        self.scaled(s)
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "Vector +=: length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "Vector -=: length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Vector { data: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Vector::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(Vector::ones(2).as_slice(), &[1.0, 1.0]);
+        assert_eq!(Vector::from_fn(3, |i| i as f64).as_slice(), &[0.0, 1.0, 2.0]);
+        assert!(Vector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = Vector::from(vec![3.0, 4.0]);
+        let b = Vector::from(vec![1.0, 2.0]);
+        assert_eq!(a.dot(&b).unwrap(), 11.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.norm_inf(), 4.0);
+        assert!(a.dot(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let mut a = Vector::from(vec![1.0, 1.0]);
+        let b = Vector::from(vec![2.0, -2.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 0.0]);
+        assert!(a.axpy(1.0, &Vector::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn normalize() {
+        let mut a = Vector::from(vec![3.0, 4.0]);
+        let old = a.normalize_mut();
+        assert_eq!(old, 5.0);
+        assert!((a.norm() - 1.0).abs() < 1e-15);
+        let mut z = Vector::zeros(2);
+        assert_eq!(z.normalize_mut(), 0.0);
+        assert_eq!(z.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn operators() {
+        let a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+        c -= &b;
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(Vector::zeros(0).mean(), 0.0);
+        assert_eq!(Vector::from(vec![1.0, 3.0]).mean(), 2.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the numerical core.
+//!
+//! These check the algebraic invariants that every downstream crate relies
+//! on: factorizations reconstruct their input, orthonormal factors stay
+//! orthonormal, pseudo-inverses satisfy the Moore–Penrose identities, and
+//! subspace operations respect the lattice laws.
+
+use pmu_numerics::eigen::sym_eigen;
+use pmu_numerics::lu::LuFactors;
+use pmu_numerics::qr::QrFactors;
+use pmu_numerics::{Complex64, Matrix, Subspace, Svd, Vector};
+use proptest::prelude::*;
+
+/// Strategy: a rows×cols matrix with entries in [-10, 10].
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0_f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_rows(rows, cols, data).unwrap())
+}
+
+/// Strategy: a diagonally dominant n×n matrix (guaranteed invertible).
+fn dominant_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0_f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_rows(n, n, data).unwrap();
+        for i in 0..n {
+            let row_sum: f64 = m.row(i).iter().map(|x| x.abs()).sum();
+            m[(i, i)] += row_sum + 1.0;
+        }
+        m
+    })
+}
+
+fn vector_strategy(n: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-10.0_f64..10.0, n).prop_map(Vector::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_satisfies_system(a in dominant_strategy(6), b in vector_strategy(6)) {
+        let lu = LuFactors::factorize(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        let err = (&back - &b).norm_inf();
+        prop_assert!(err < 1e-8, "residual {err}");
+    }
+
+    #[test]
+    fn lu_inverse_roundtrips(a in dominant_strategy(5)) {
+        let inv = LuFactors::factorize(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(5)) < 1e-8);
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthonormal(a in matrix_strategy(7, 4)) {
+        let qr = QrFactors::factorize(&a).unwrap();
+        let back = qr.q.matmul(&qr.r).unwrap();
+        prop_assert!(back.max_abs_diff(&a) < 1e-9);
+        let qtq = qr.q.transpose().matmul(&qr.q).unwrap();
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(4)) < 1e-9);
+    }
+
+    #[test]
+    fn svd_reconstructs(a in matrix_strategy(6, 4)) {
+        let svd = Svd::compute(&a).unwrap();
+        prop_assert!(svd.reconstruct().unwrap().max_abs_diff(&a) < 1e-8);
+        // Singular values are nonnegative and descending.
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_frobenius_identity(a in matrix_strategy(5, 5)) {
+        // ||A||_F^2 == sum of squared singular values.
+        let svd = Svd::compute(&a).unwrap();
+        let fro2: f64 = a.norm_fro().powi(2);
+        let sum2: f64 = svd.sigma.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - sum2).abs() < 1e-7 * fro2.max(1.0));
+    }
+
+    #[test]
+    fn pseudo_inverse_moore_penrose(a in matrix_strategy(6, 3)) {
+        let pinv = Svd::compute(&a).unwrap().pseudo_inverse(1e-12).unwrap();
+        let apa = a.matmul(&pinv).unwrap().matmul(&a).unwrap();
+        prop_assert!(apa.max_abs_diff(&a) < 1e-6);
+        let pap = pinv.matmul(&a).unwrap().matmul(&pinv).unwrap();
+        prop_assert!(pap.max_abs_diff(&pinv) < 1e-6);
+        // A A+ and A+ A are symmetric.
+        let aap = a.matmul(&pinv).unwrap();
+        prop_assert!(aap.max_abs_diff(&aap.transpose()) < 1e-6);
+        let paa = pinv.matmul(&a).unwrap();
+        prop_assert!(paa.max_abs_diff(&paa.transpose()) < 1e-6);
+    }
+
+    #[test]
+    fn sym_eigen_reconstructs(a in matrix_strategy(5, 5)) {
+        // Symmetrize, then verify Q Λ Q^T == A and trace preservation.
+        let s = Matrix::from_fn(5, 5, |r, c| 0.5 * (a[(r, c)] + a[(c, r)]));
+        let e = sym_eigen(&s).unwrap();
+        let lam = Matrix::diag(&e.values);
+        let back = e.vectors.matmul(&lam).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        prop_assert!(back.max_abs_diff(&s) < 1e-8);
+        let trace: f64 = (0..5).map(|i| s[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn subspace_projection_is_contraction(span in matrix_strategy(6, 3), x in vector_strategy(6)) {
+        let s = Subspace::from_span(&span).unwrap();
+        let p = s.project(&x).unwrap();
+        // ||Px|| <= ||x|| and residual via Pythagoras.
+        prop_assert!(p.norm() <= x.norm() + 1e-9);
+        let resid = s.residual_sqr(&x).unwrap();
+        let pyth = x.norm_sqr() - p.norm_sqr();
+        prop_assert!((resid - pyth).abs() < 1e-6 * x.norm_sqr().max(1.0));
+        // Projection is idempotent.
+        let pp = s.project(&p).unwrap();
+        prop_assert!((&pp - &p).norm_inf() < 1e-8);
+    }
+
+    #[test]
+    fn subspace_union_contains_members(a in matrix_strategy(5, 2), b in matrix_strategy(5, 2), x in vector_strategy(5)) {
+        let sa = Subspace::from_span(&a).unwrap();
+        let sb = Subspace::from_span(&b).unwrap();
+        let u = Subspace::union(&[&sa, &sb]).unwrap();
+        // Any projection onto a member lies in the union.
+        let pa = sa.project(&x).unwrap();
+        prop_assert!(u.residual_sqr(&pa).unwrap() < 1e-6 * pa.norm_sqr().max(1.0));
+        let pb = sb.project(&x).unwrap();
+        prop_assert!(u.residual_sqr(&pb).unwrap() < 1e-6 * pb.norm_sqr().max(1.0));
+        // dim(U) <= dim(A) + dim(B)
+        prop_assert!(u.dim() <= sa.dim() + sb.dim());
+    }
+
+    #[test]
+    fn subspace_intersection_contained_in_members(a in matrix_strategy(5, 3), b in matrix_strategy(5, 3), x in vector_strategy(5)) {
+        let sa = Subspace::from_span(&a).unwrap();
+        let sb = Subspace::from_span(&b).unwrap();
+        let i = Subspace::intersection(&[&sa, &sb]).unwrap();
+        if i.dim() > 0 {
+            let pi = i.project(&x).unwrap();
+            prop_assert!(sa.residual_sqr(&pi).unwrap() < 1e-5 * pi.norm_sqr().max(1.0));
+            prop_assert!(sb.residual_sqr(&pi).unwrap() < 1e-5 * pi.norm_sqr().max(1.0));
+        }
+        prop_assert!(i.dim() <= sa.dim().min(sb.dim()));
+    }
+
+    #[test]
+    fn complex_field_axioms(re1 in -5.0_f64..5.0, im1 in -5.0_f64..5.0, re2 in -5.0_f64..5.0, im2 in -5.0_f64..5.0) {
+        let z = Complex64::new(re1, im1);
+        let w = Complex64::new(re2, im2);
+        // Commutativity and |zw| = |z||w|.
+        prop_assert!(((z * w) - (w * z)).abs() < 1e-12);
+        prop_assert!(((z * w).abs() - z.abs() * w.abs()).abs() < 1e-9);
+        // Conjugate distributes over multiplication.
+        prop_assert!(((z * w).conj() - z.conj() * w.conj()).abs() < 1e-9);
+        // Division inverts multiplication when w != 0.
+        if w.abs() > 1e-6 {
+            prop_assert!(((z * w) / w - z).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(a in matrix_strategy(4, 3), b in matrix_strategy(3, 5), c in matrix_strategy(5, 2)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right) < 1e-8);
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in matrix_strategy(4, 3), b in matrix_strategy(3, 4)) {
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+}

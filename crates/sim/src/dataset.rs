@@ -1,0 +1,62 @@
+//! Dataset containers: per-outage training/test windows plus the normal
+//! operation windows, as described in Sec. V-A of the paper.
+
+use crate::sample::PhasorWindow;
+use pmu_grid::Network;
+
+/// Training and test data for one valid single-line outage case.
+#[derive(Debug, Clone)]
+pub struct OutageCase {
+    /// Index of the outaged branch in `network.branches()`.
+    pub branch: usize,
+    /// Internal bus indices of the branch endpoints `(i, j)`.
+    pub endpoints: (usize, usize),
+    /// Training window (used for subspace/capability learning).
+    pub train: PhasorWindow,
+    /// Test window (used for evaluation).
+    pub test: PhasorWindow,
+}
+
+/// A complete synthetic dataset for one grid: normal-operation windows and
+/// one [`OutageCase`] per valid line outage (the paper's `E` cases).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The grid the data was generated from.
+    pub network: Network,
+    /// Normal-operation training window (`X⁰`).
+    pub normal_train: PhasorWindow,
+    /// Normal-operation test window.
+    pub normal_test: PhasorWindow,
+    /// Valid single-line outage cases.
+    pub cases: Vec<OutageCase>,
+}
+
+/// Test data for a simultaneous multi-line outage (the paper's "severe
+/// outage" scenario: several lines down at once). These are *test-only*
+/// cases — the detector trains on single-line windows and must generalize.
+#[derive(Debug, Clone)]
+pub struct MultiOutageCase {
+    /// Indices of the outaged branches.
+    pub branches: Vec<usize>,
+    /// Internal bus indices touched by the outage (deduplicated).
+    pub affected_nodes: Vec<usize>,
+    /// Test window with all listed branches out of service.
+    pub test: PhasorWindow,
+}
+
+impl Dataset {
+    /// Number of valid outage cases `E`.
+    pub fn n_cases(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Find the case for a given branch index.
+    pub fn case_for_branch(&self, branch: usize) -> Option<&OutageCase> {
+        self.cases.iter().find(|c| c.branch == branch)
+    }
+
+    /// Number of monitored nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.network.n_buses()
+    }
+}

@@ -1,0 +1,38 @@
+//! # pmu-sim
+//!
+//! Synthetic PMU measurement generation — the workspace's substitute for
+//! the paper's MATLAB/MATPOWER data pipeline (Sec. V-A) and for the PMU
+//! reliability data of its ref. \[18\].
+//!
+//! The pipeline mirrors the paper exactly:
+//!
+//! 1. Per-bus load variations follow an **Ornstein–Uhlenbeck** process
+//!    ([`ou`]), modelling stochastic demand over a 24-hour window.
+//! 2. For every load realization, the **AC power flow** is solved
+//!    (`pmu-flow`) and the resulting voltage phasors are the PMU
+//!    measurements; **Gaussian noise** ([`noise`]) is added so the data
+//!    resemble real synchrophasors.
+//! 3. Outage windows are produced by removing each line and re-solving;
+//!    non-converging or islanding removals are excluded, giving the
+//!    paper's `E ≤ |ℰ|` valid cases ([`scenario`]).
+//! 4. Missing data is an explicit per-sample **mask** ([`sample`]),
+//!    produced by the paper's three patterns of Fig. 6 plus the
+//!    reliability-weighted generalization of Eq. (13)–(15)
+//!    ([`missing`], [`reliability`]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dataset;
+pub mod missing;
+pub mod noise;
+pub mod ou;
+pub mod pmunet;
+pub mod reliability;
+pub mod sample;
+pub mod scenario;
+
+pub use dataset::{Dataset, OutageCase};
+pub use missing::MissingPattern;
+pub use sample::{Mask, MeasurementKind, PhasorSample, PhasorWindow};
+pub use scenario::{generate_dataset, GenConfig};

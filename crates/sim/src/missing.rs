@@ -1,0 +1,167 @@
+//! Missing-data pattern generators — the three rows of the paper's Fig. 6
+//! plus arbitrary node sets and the Bernoulli (reliability-driven) pattern
+//! of Sec. V-C3.
+
+use crate::sample::Mask;
+use pmu_grid::cluster::Clustering;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A missing-data pattern to impose on test samples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MissingPattern {
+    /// Complete data (no missing entries).
+    None,
+    /// An explicit set of missing nodes.
+    Nodes(Vec<usize>),
+    /// `k` nodes missing uniformly at random, never drawn from `exclude`
+    /// (used by Fig. 9: random missing *away from* the outage location).
+    RandomK {
+        /// How many nodes go missing.
+        k: usize,
+        /// Nodes protected from going missing.
+        exclude: Vec<usize>,
+    },
+    /// Every node independently missing with probability `p` — the
+    /// PMU-network reliability pattern of Eq. (13)–(15).
+    Bernoulli {
+        /// Per-node missing probability (1 − r_PMU·r_link).
+        p: f64,
+    },
+}
+
+impl MissingPattern {
+    /// Draw a concrete mask over `n` nodes.
+    pub fn draw(&self, n: usize, rng: &mut StdRng) -> Mask {
+        match self {
+            MissingPattern::None => Mask::all_present(n),
+            MissingPattern::Nodes(nodes) => Mask::with_missing(n, nodes),
+            MissingPattern::RandomK { k, exclude } => {
+                let pool: Vec<usize> =
+                    (0..n).filter(|i| !exclude.contains(i)).collect();
+                let k = (*k).min(pool.len());
+                // Partial Fisher–Yates over the candidate pool.
+                let mut pool = pool;
+                for i in 0..k {
+                    let j = i + rng.gen_range(0..pool.len() - i);
+                    pool.swap(i, j);
+                }
+                Mask::with_missing(n, &pool[..k])
+            }
+            MissingPattern::Bernoulli { p } => {
+                let nodes: Vec<usize> =
+                    (0..n).filter(|_| rng.gen::<f64>() < *p).collect();
+                Mask::with_missing(n, &nodes)
+            }
+        }
+    }
+}
+
+/// The Fig. 6 top-row pattern: the PMUs at both endpoints of the outaged
+/// line are dark ("missing data originated precisely at the outage
+/// location").
+pub fn outage_endpoints_mask(n: usize, endpoints: (usize, usize)) -> Mask {
+    Mask::with_missing(n, &[endpoints.0, endpoints.1])
+}
+
+/// The endpoints *plus their 1-hop neighbourhood* — the harder variant
+/// discussed in Sec. III-B ("neither … the devices at the failure location
+/// nor … its immediate neighborhood").
+pub fn outage_neighborhood_mask(
+    net: &pmu_grid::Network,
+    endpoints: (usize, usize),
+) -> Mask {
+    let mut nodes = vec![endpoints.0, endpoints.1];
+    nodes.extend(net.neighbors(endpoints.0));
+    nodes.extend(net.neighbors(endpoints.1));
+    nodes.sort_unstable();
+    nodes.dedup();
+    Mask::with_missing(net.n_buses(), &nodes)
+}
+
+/// A whole PDC cluster goes dark (Fig. 2's grey cluster).
+pub fn cluster_mask(n: usize, clustering: &Clustering, cluster: usize) -> Mask {
+    Mask::with_missing(n, clustering.members(cluster))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu_grid::cases::ieee14;
+    use pmu_grid::cluster::partition_clusters;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_and_nodes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = MissingPattern::None.draw(5, &mut rng);
+        assert_eq!(m.n_missing(), 0);
+        let m = MissingPattern::Nodes(vec![1, 4]).draw(5, &mut rng);
+        assert_eq!(m.missing_nodes(), vec![1, 4]);
+    }
+
+    #[test]
+    fn random_k_respects_exclusions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let m = MissingPattern::RandomK { k: 3, exclude: vec![0, 1] }.draw(8, &mut rng);
+            assert_eq!(m.n_missing(), 3);
+            assert!(!m.is_missing(0) && !m.is_missing(1));
+        }
+        // k larger than the pool clamps.
+        let m = MissingPattern::RandomK { k: 10, exclude: vec![0] }.draw(4, &mut rng);
+        assert_eq!(m.n_missing(), 3);
+    }
+
+    #[test]
+    fn random_k_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hits = [0usize; 6];
+        const ROUNDS: usize = 6000;
+        for _ in 0..ROUNDS {
+            let m = MissingPattern::RandomK { k: 2, exclude: vec![] }.draw(6, &mut rng);
+            for i in m.missing_nodes() {
+                hits[i] += 1;
+            }
+        }
+        // Each node expected in 1/3 of draws.
+        for (i, &h) in hits.iter().enumerate() {
+            let frac = h as f64 / ROUNDS as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.05, "node {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_matches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0usize;
+        const ROUNDS: usize = 2000;
+        for _ in 0..ROUNDS {
+            total += MissingPattern::Bernoulli { p: 0.2 }.draw(10, &mut rng).n_missing();
+        }
+        let rate = total as f64 / (ROUNDS * 10) as f64;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn endpoint_masks() {
+        let m = outage_endpoints_mask(14, (3, 7));
+        assert_eq!(m.missing_nodes(), vec![3, 7]);
+        let net = ieee14().unwrap();
+        let m = outage_neighborhood_mask(&net, (0, 1));
+        // Endpoints plus neighbours of bus 0 (1,4) wait—internal indices:
+        // bus0 neighbors {1,4}, bus1 neighbors {0,2,3,4}.
+        assert!(m.is_missing(0) && m.is_missing(1));
+        assert!(m.is_missing(4));
+        assert!(m.n_missing() >= 4);
+        assert!(m.n_missing() < 14, "far nodes stay observed");
+    }
+
+    #[test]
+    fn cluster_mask_matches_partition() {
+        let net = ieee14().unwrap();
+        let cl = partition_clusters(&net, 3).unwrap();
+        let m = cluster_mask(14, &cl, 1);
+        assert_eq!(m.missing_nodes(), cl.members(1).to_vec());
+    }
+}

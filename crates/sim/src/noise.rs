@@ -1,0 +1,96 @@
+//! Gaussian measurement noise.
+//!
+//! The paper adds "Gaussian noise ... to the voltage phasors \[16\] so that
+//! the obtained data can represent real PMU measurements". Standard normal
+//! variates are produced with the Box–Muller transform over `rand`
+//! uniforms (we deliberately avoid an extra `rand_distr` dependency; see
+//! DESIGN.md).
+
+use pmu_numerics::Complex64;
+use rand::Rng;
+
+/// One standard-normal draw via Box–Muller.
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to keep ln(u1) finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Noise levels applied to polar phasor components.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseParams {
+    /// Standard deviation of magnitude noise (p.u.).
+    pub sigma_mag: f64,
+    /// Standard deviation of angle noise (radians).
+    pub sigma_ang: f64,
+}
+
+impl Default for NoiseParams {
+    /// ≈0.1% magnitude / 0.1 crad angle noise: comfortably inside the IEEE
+    /// C37.118 1% total-vector-error envelope.
+    fn default() -> Self {
+        NoiseParams { sigma_mag: 1e-3, sigma_ang: 1e-3 }
+    }
+}
+
+/// Apply polar Gaussian noise to a phasor.
+pub fn noisy_phasor<R: Rng>(z: Complex64, params: &NoiseParams, rng: &mut R) -> Complex64 {
+    let mag = (z.abs() + params.sigma_mag * gaussian(rng)).max(0.0);
+    let ang = z.arg() + params.sigma_ang * gaussian(rng);
+    Complex64::from_polar(mag, ang)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        const N: usize = 50_000;
+        let draws: Vec<f64> = (0..N).map(|_| gaussian(&mut rng)).collect();
+        let mean: f64 = draws.iter().sum::<f64>() / N as f64;
+        let var: f64 = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / N as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+        // Roughly symmetric tails.
+        let pos = draws.iter().filter(|&&x| x > 0.0).count() as f64 / N as f64;
+        assert!((pos - 0.5).abs() < 0.02);
+        // All draws finite.
+        assert!(draws.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn noisy_phasor_stays_close() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let z = Complex64::from_polar(1.02, -0.3);
+        let params = NoiseParams::default();
+        for _ in 0..1000 {
+            let w = noisy_phasor(z, &params, &mut rng);
+            assert!((w.abs() - 1.02).abs() < 6.0 * params.sigma_mag);
+            assert!((w.arg() + 0.3).abs() < 6.0 * params.sigma_ang);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let z = Complex64::from_polar(1.0, 0.5);
+        let params = NoiseParams { sigma_mag: 0.0, sigma_ang: 0.0 };
+        let w = noisy_phasor(z, &params, &mut rng);
+        assert!((w - z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_never_negative() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let z = Complex64::from_polar(1e-6, 0.0);
+        let params = NoiseParams { sigma_mag: 1.0, sigma_ang: 0.0 };
+        for _ in 0..100 {
+            assert!(noisy_phasor(z, &params, &mut rng).abs() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Ornstein–Uhlenbeck load processes.
+//!
+//! The paper generates load variations "according to an Ornstein-Uhlenbeck
+//! process \[16\] to account for the dynamic and stochastic behavior of power
+//! demand". We use the exact discretization of the OU SDE
+//! `dX = θ (μ − X) dt + σ dW`:
+//!
+//! `X_{t+Δ} = μ + (X_t − μ) e^{−θΔ} + σ √((1 − e^{−2θΔ}) / (2θ)) · ξ`,
+//!
+//! with `ξ ~ N(0, 1)` — free of discretization bias at any step size.
+
+use crate::noise::gaussian;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters of an OU process.
+#[derive(Debug, Clone, Copy)]
+pub struct OuParams {
+    /// Long-run mean (load multiplier, typically `1.0`).
+    pub mean: f64,
+    /// Mean-reversion rate `θ` (> 0).
+    pub theta: f64,
+    /// Volatility `σ` (≥ 0).
+    pub sigma: f64,
+    /// Time step `Δt` between samples.
+    pub dt: f64,
+}
+
+impl Default for OuParams {
+    /// Defaults tuned so a 24-hour window of demand stays within ±10% of
+    /// nominal with realistic autocorrelation.
+    fn default() -> Self {
+        OuParams { mean: 1.0, theta: 0.08, sigma: 0.03, dt: 1.0 }
+    }
+}
+
+impl OuParams {
+    /// Stationary standard deviation `σ / √(2θ)`.
+    pub fn stationary_std(&self) -> f64 {
+        self.sigma / (2.0 * self.theta).sqrt()
+    }
+}
+
+/// A single OU path sampler.
+#[derive(Debug, Clone)]
+pub struct OuProcess {
+    params: OuParams,
+    state: f64,
+}
+
+impl OuProcess {
+    /// Start a process at its long-run mean.
+    pub fn new(params: OuParams) -> Self {
+        OuProcess { state: params.mean, params }
+    }
+
+    /// Start a process from an explicit initial state.
+    pub fn with_state(params: OuParams, state: f64) -> Self {
+        OuProcess { params, state }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Advance one step and return the new state.
+    pub fn step<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        let p = &self.params;
+        let decay = (-p.theta * p.dt).exp();
+        let diffusion = p.sigma * ((1.0 - decay * decay) / (2.0 * p.theta)).sqrt();
+        self.state = p.mean + (self.state - p.mean) * decay + diffusion * gaussian(rng);
+        self.state
+    }
+
+    /// Sample a path of `len` steps (not including the initial state).
+    pub fn path(&mut self, len: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..len).map(|_| self.step(rng)).collect()
+    }
+}
+
+/// Independent OU multipliers for every bus of a grid; buses without load
+/// still get a path (harmlessly unused).
+#[derive(Debug, Clone)]
+pub struct LoadProcess {
+    processes: Vec<OuProcess>,
+}
+
+impl LoadProcess {
+    /// One OU process per bus.
+    pub fn new(n_buses: usize, params: OuParams) -> Self {
+        LoadProcess { processes: vec![OuProcess::new(params); n_buses] }
+    }
+
+    /// Advance all processes one step; returns the multiplier vector.
+    pub fn step<R: Rng>(&mut self, rng: &mut R) -> Vec<f64> {
+        self.processes.iter_mut().map(|p| p.step(rng)).collect()
+    }
+
+    /// Number of buses covered.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// `true` when covering zero buses.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn starts_at_mean() {
+        let p = OuProcess::new(OuParams::default());
+        assert_eq!(p.state(), 1.0);
+        let p = OuProcess::with_state(OuParams::default(), 0.5);
+        assert_eq!(p.state(), 0.5);
+    }
+
+    #[test]
+    fn mean_reversion_pulls_back() {
+        // With zero volatility the process decays exponentially to the mean.
+        let params = OuParams { mean: 1.0, theta: 0.5, sigma: 0.0, dt: 1.0 };
+        let mut p = OuProcess::with_state(params, 2.0);
+        let mut r = rng(1);
+        let x1 = p.step(&mut r);
+        let expected = 1.0 + (2.0 - 1.0) * (-0.5_f64).exp();
+        assert!((x1 - expected).abs() < 1e-12);
+        for _ in 0..100 {
+            p.step(&mut r);
+        }
+        assert!((p.state() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn stationary_moments_match_theory() {
+        let params = OuParams { mean: 1.0, theta: 0.2, sigma: 0.05, dt: 1.0 };
+        let mut p = OuProcess::new(params);
+        let mut r = rng(42);
+        // Burn in, then measure.
+        for _ in 0..500 {
+            p.step(&mut r);
+        }
+        let path = p.path(20_000, &mut r);
+        let mean: f64 = path.iter().sum::<f64>() / path.len() as f64;
+        let var: f64 =
+            path.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / path.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        let sd = params.stationary_std();
+        assert!((var - sd * sd).abs() < 0.3 * sd * sd, "var {var} vs {}", sd * sd);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = OuProcess::new(OuParams::default());
+        let mut b = OuProcess::new(OuParams::default());
+        let pa = a.path(50, &mut rng(7));
+        let pb = b.path(50, &mut rng(7));
+        assert_eq!(pa, pb);
+        let pc = OuProcess::new(OuParams::default()).path(50, &mut rng(8));
+        assert_ne!(pa, pc);
+    }
+
+    #[test]
+    fn load_process_covers_all_buses() {
+        let mut lp = LoadProcess::new(14, OuParams::default());
+        assert_eq!(lp.len(), 14);
+        assert!(!lp.is_empty());
+        let m = lp.step(&mut rng(3));
+        assert_eq!(m.len(), 14);
+        // Multipliers hover near 1.
+        assert!(m.iter().all(|&x| (x - 1.0).abs() < 0.5));
+        // Independent buses get different draws.
+        assert!(m.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-12));
+    }
+}

@@ -1,0 +1,211 @@
+//! Device-level PMU network model — the hierarchy of the paper's Fig. 1.
+//!
+//! A monitored grid has one PMU per bus; PMUs in the same geographic
+//! region report to a shared Phasor Data Concentrator (PDC), and PDCs
+//! feed the Control Center. Measurements go missing when the PMU itself
+//! fails, its PMU→PDC link drops, or — the spatially correlated case the
+//! paper highlights — the *PDC* fails and its entire cluster goes dark at
+//! once.
+//!
+//! This refines the i.i.d. Bernoulli pattern of Eq. (13)–(15) with the
+//! correlated-loss structure that motivates the detection-group design in
+//! the first place; the plain Bernoulli model is recovered by setting the
+//! PDC reliability to 1.
+
+use crate::sample::Mask;
+use pmu_grid::cluster::Clustering;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Reliability parameters of one PMU network (per reporting interval).
+#[derive(Debug, Clone, Copy)]
+pub struct PmuNetConfig {
+    /// Probability a PMU device delivers its measurement.
+    pub r_pmu: f64,
+    /// Probability the PMU→PDC link delivers.
+    pub r_link: f64,
+    /// Probability a PDC (and its PDC→CC link) delivers its cluster.
+    pub r_pdc: f64,
+}
+
+impl Default for PmuNetConfig {
+    /// Values in the range reported for commercial devices (paper
+    /// ref. \[18\]): devices and links in the high-nineties per interval.
+    fn default() -> Self {
+        PmuNetConfig { r_pmu: 0.999, r_link: 0.998, r_pdc: 0.9995 }
+    }
+}
+
+impl PmuNetConfig {
+    /// Validate all probabilities are in `[0, 1]`.
+    pub fn is_valid(&self) -> bool {
+        [self.r_pmu, self.r_link, self.r_pdc]
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p))
+    }
+}
+
+/// A PMU network instance: one PMU per bus, one PDC per cluster.
+#[derive(Debug, Clone)]
+pub struct PmuNetwork {
+    clustering: Clustering,
+    config: PmuNetConfig,
+    n_nodes: usize,
+}
+
+impl PmuNetwork {
+    /// Build a network over an existing PDC clustering.
+    pub fn new(n_nodes: usize, clustering: Clustering, config: PmuNetConfig) -> Self {
+        assert!(config.is_valid(), "PmuNetConfig probabilities must be in [0, 1]");
+        PmuNetwork { clustering, config, n_nodes }
+    }
+
+    /// Number of monitored nodes (= PMUs).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of PDCs.
+    pub fn n_pdcs(&self) -> usize {
+        self.clustering.n_clusters()
+    }
+
+    /// The configured reliability parameters.
+    pub fn config(&self) -> &PmuNetConfig {
+        &self.config
+    }
+
+    /// Probability that a given *single* measurement arrives at the
+    /// control center: PMU, its link, and its PDC must all work.
+    pub fn delivery_probability(&self) -> f64 {
+        self.config.r_pmu * self.config.r_link * self.config.r_pdc
+    }
+
+    /// Eq. (14) generalized to the hierarchy: probability that *every*
+    /// measurement arrives.
+    pub fn system_reliability(&self) -> f64 {
+        let per_pmu = self.config.r_pmu * self.config.r_link;
+        per_pmu.powi(self.n_nodes as i32)
+            * self.config.r_pdc.powi(self.n_pdcs() as i32)
+    }
+
+    /// Draw one reporting interval's missing-data mask: each PDC fails
+    /// independently (taking its whole cluster with it), then each
+    /// surviving PMU+link pair fails independently.
+    pub fn draw_mask(&self, rng: &mut StdRng) -> Mask {
+        let mut missing: Vec<usize> = Vec::new();
+        let mut pdc_dark = vec![false; self.n_pdcs()];
+        for (c, dark) in pdc_dark.iter_mut().enumerate() {
+            if rng.gen::<f64>() >= self.config.r_pdc {
+                *dark = true;
+                missing.extend_from_slice(self.clustering.members(c));
+            }
+        }
+        let p_pmu = self.config.r_pmu * self.config.r_link;
+        for node in 0..self.n_nodes {
+            if pdc_dark[self.clustering.cluster_of(node)] {
+                continue; // already dark
+            }
+            if rng.gen::<f64>() >= p_pmu {
+                missing.push(node);
+            }
+        }
+        Mask::with_missing(self.n_nodes, &missing)
+    }
+
+    /// Expected number of missing measurements per interval.
+    pub fn expected_missing(&self) -> f64 {
+        self.n_nodes as f64 * (1.0 - self.delivery_probability())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu_grid::cases::ieee30;
+    use pmu_grid::cluster::partition_clusters;
+    use rand::SeedableRng;
+
+    fn network(cfg: PmuNetConfig) -> PmuNetwork {
+        let net = ieee30().unwrap();
+        let cl = partition_clusters(&net, 3).unwrap();
+        PmuNetwork::new(30, cl, cfg)
+    }
+
+    #[test]
+    fn perfect_network_never_drops() {
+        let pn = network(PmuNetConfig { r_pmu: 1.0, r_link: 1.0, r_pdc: 1.0 });
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(pn.draw_mask(&mut rng).n_missing(), 0);
+        }
+        assert_eq!(pn.system_reliability(), 1.0);
+        assert_eq!(pn.expected_missing(), 0.0);
+    }
+
+    #[test]
+    fn pdc_failure_takes_out_whole_cluster() {
+        // PDCs always fail, PMUs never: every interval the mask is exactly
+        // a union of clusters (here: everything).
+        let pn = network(PmuNetConfig { r_pmu: 1.0, r_link: 1.0, r_pdc: 0.0 });
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = pn.draw_mask(&mut rng);
+        assert_eq!(m.n_missing(), 30);
+    }
+
+    #[test]
+    fn per_pmu_rate_matches_configuration() {
+        let pn = network(PmuNetConfig { r_pmu: 0.9, r_link: 1.0, r_pdc: 1.0 });
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0usize;
+        const ROUNDS: usize = 4000;
+        for _ in 0..ROUNDS {
+            total += pn.draw_mask(&mut rng).n_missing();
+        }
+        let rate = total as f64 / (ROUNDS * 30) as f64;
+        assert!((rate - 0.1).abs() < 0.01, "per-PMU missing rate {rate}");
+    }
+
+    #[test]
+    fn pdc_losses_are_spatially_correlated() {
+        // With only PDC failures possible, missing nodes always form whole
+        // clusters — never partial ones.
+        let net = ieee30().unwrap();
+        let cl = partition_clusters(&net, 3).unwrap();
+        let pn = PmuNetwork::new(30, cl.clone(), PmuNetConfig {
+            r_pmu: 1.0,
+            r_link: 1.0,
+            r_pdc: 0.5,
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let m = pn.draw_mask(&mut rng);
+            for c in 0..cl.n_clusters() {
+                let members = cl.members(c);
+                let dark = members.iter().filter(|&&b| m.is_missing(b)).count();
+                assert!(
+                    dark == 0 || dark == members.len(),
+                    "cluster {c} partially dark: {dark}/{}",
+                    members.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn system_reliability_composes() {
+        let pn = network(PmuNetConfig { r_pmu: 0.999, r_link: 0.998, r_pdc: 0.9995 });
+        let expected = (0.999_f64 * 0.998).powi(30) * 0.9995_f64.powi(3);
+        assert!((pn.system_reliability() - expected).abs() < 1e-12);
+        assert!((pn.delivery_probability() - 0.999 * 0.998 * 0.9995).abs() < 1e-12);
+        assert!(pn.expected_missing() > 0.0);
+        assert_eq!(pn.n_nodes(), 30);
+        assert_eq!(pn.n_pdcs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must be in")]
+    fn invalid_config_panics() {
+        network(PmuNetConfig { r_pmu: 1.5, r_link: 1.0, r_pdc: 1.0 });
+    }
+}

@@ -1,0 +1,154 @@
+//! The PMU-network reliability model of Sec. V-C3 (Eq. 13–15).
+//!
+//! Every PMU (and its PMU→PDC link) works independently with probability
+//! `q = r_PMU · r_link`; the system-wide reliability of an `L`-device
+//! network is `r = q^L` (Eq. 14). The *effective* false-alarm rate at
+//! reliability `r` is the probability-weighted average of the per-pattern
+//! rates over all `2^L` missing-data patterns (Eq. 13) with pattern
+//! weights from Eq. (15).
+//!
+//! Exact enumeration is exponential in `L`; we enumerate when `L ≤
+//! EXACT_LIMIT` and otherwise estimate by Monte-Carlo sampling of patterns
+//! (an unbiased estimator of the same weighted sum — DESIGN.md
+//! substitution #4). The equivalence is unit-tested on small networks.
+
+use crate::sample::Mask;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Largest `L` for which exact enumeration of `2^L` patterns is attempted.
+pub const EXACT_LIMIT: usize = 16;
+
+/// Eq. (14): system-wide reliability of `l` independent PMU+link pairs.
+pub fn system_reliability(r_pmu: f64, r_link: f64, l: usize) -> f64 {
+    (r_pmu * r_link).powi(l as i32)
+}
+
+/// Invert Eq. (14): the per-device working probability that yields
+/// system-wide reliability `r` over `l` devices.
+pub fn per_device_working_prob(r: f64, l: usize) -> f64 {
+    if l == 0 {
+        return 1.0;
+    }
+    r.clamp(0.0, 1.0).powf(1.0 / l as f64)
+}
+
+/// Eq. (15): probability of a specific missing pattern when each device
+/// works independently with probability `q`.
+pub fn pattern_probability(mask: &Mask, q: f64) -> f64 {
+    let mut p = 1.0;
+    for i in 0..mask.len() {
+        p *= if mask.is_missing(i) { 1.0 - q } else { q };
+    }
+    p
+}
+
+/// Eq. (13), exact: weighted average of `metric(mask)` over all `2^l`
+/// patterns.
+///
+/// # Panics
+/// Panics when `l > EXACT_LIMIT` (use [`effective_metric_mc`] instead).
+pub fn effective_metric_exact(l: usize, q: f64, mut metric: impl FnMut(&Mask) -> f64) -> f64 {
+    assert!(l <= EXACT_LIMIT, "exact enumeration limited to L <= {EXACT_LIMIT}");
+    let mut acc = 0.0;
+    for bits in 0u64..(1u64 << l) {
+        let nodes: Vec<usize> = (0..l).filter(|&i| bits >> i & 1 == 1).collect();
+        let mask = Mask::with_missing(l, &nodes);
+        let w = pattern_probability(&mask, q);
+        if w > 0.0 {
+            acc += w * metric(&mask);
+        }
+    }
+    acc
+}
+
+/// Eq. (13), Monte-Carlo: sample `samples` patterns i.i.d. with per-device
+/// working probability `q` and average `metric`. Unbiased for the exact
+/// weighted sum.
+pub fn effective_metric_mc(
+    l: usize,
+    q: f64,
+    samples: usize,
+    rng: &mut StdRng,
+    mut metric: impl FnMut(&Mask) -> f64,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let mut acc = 0.0;
+    for _ in 0..samples {
+        let nodes: Vec<usize> = (0..l).filter(|_| rng.gen::<f64>() >= q).collect();
+        let mask = Mask::with_missing(l, &nodes);
+        acc += metric(&mask);
+    }
+    acc / samples as f64
+}
+
+/// A sweep grid of system-wide reliability levels covering the reported
+/// PMU-device range (ref. \[18\] of the paper): from "every device flaky" to
+/// "essentially perfect".
+pub fn reliability_sweep() -> Vec<f64> {
+    vec![0.70, 0.80, 0.90, 0.95, 0.98, 0.99, 0.999]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eq14_roundtrip() {
+        let r = system_reliability(0.999, 0.998, 30);
+        let q = per_device_working_prob(r, 30);
+        assert!((q - 0.999 * 0.998).abs() < 1e-12);
+        assert_eq!(per_device_working_prob(0.5, 0), 1.0);
+    }
+
+    #[test]
+    fn pattern_probabilities_sum_to_one() {
+        let l = 6;
+        let q = 0.9;
+        let total = effective_metric_exact(l, q, |_| 1.0);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_matches_closed_form_for_counting_metric() {
+        // metric = number of missing nodes → expectation = l (1-q).
+        let l = 8;
+        let q = 0.85;
+        let e = effective_metric_exact(l, q, |m| m.n_missing() as f64);
+        assert!((e - l as f64 * (1.0 - q)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mc_agrees_with_exact() {
+        let l = 10;
+        let q = 0.92;
+        // An arbitrary nonlinear metric of the pattern.
+        let metric = |m: &Mask| (m.n_missing() as f64).powi(2) + f64::from(m.is_missing(3));
+        let exact = effective_metric_exact(l, q, metric);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mc = effective_metric_mc(l, q, 40_000, &mut rng, metric);
+        assert!((mc - exact).abs() < 0.05 * exact.max(0.1), "mc {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn all_working_pattern_dominates_at_high_reliability() {
+        let mask_empty = Mask::all_present(5);
+        assert!((pattern_probability(&mask_empty, 0.999) - 0.999_f64.powi(5)).abs() < 1e-12);
+        let mask_full = Mask::with_missing(5, &[0, 1, 2, 3, 4]);
+        assert!(pattern_probability(&mask_full, 0.999) < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_in_range() {
+        let s = reliability_sweep();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&r| r > 0.0 && r < 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exact enumeration")]
+    fn exact_guard_panics_for_large_l() {
+        effective_metric_exact(40, 0.9, |_| 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Measurement samples, windows, and missing-data masks.
+//!
+//! The paper's data matrix `X` has sensors as rows and time as columns;
+//! an online application consumes one column `X_{:,t}` at a time, possibly
+//! with missing entries. [`PhasorWindow`] is the matrix, [`PhasorSample`]
+//! the column, and [`Mask`] the explicit missing-entry record (never NaN).
+
+use pmu_numerics::{Complex64, Matrix};
+
+/// Which scalar is extracted from a complex voltage phasor.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasurementKind {
+    /// Voltage magnitude (p.u.).
+    Magnitude,
+    /// Voltage angle (radians).
+    Angle,
+}
+
+/// A per-node missing-data mask: `true` means the node's measurement is
+/// missing from the sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    missing: Vec<bool>,
+}
+
+impl Mask {
+    /// A mask with every measurement present.
+    pub fn all_present(n: usize) -> Self {
+        Mask { missing: vec![false; n] }
+    }
+
+    /// A mask with the given nodes missing.
+    pub fn with_missing(n: usize, nodes: &[usize]) -> Self {
+        let mut missing = vec![false; n];
+        for &i in nodes {
+            if i < n {
+                missing[i] = true;
+            }
+        }
+        Mask { missing }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.missing.len()
+    }
+
+    /// `true` when covering zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// Is node `i`'s measurement missing?
+    pub fn is_missing(&self, i: usize) -> bool {
+        self.missing.get(i).copied().unwrap_or(true)
+    }
+
+    /// Indices with measurements present, ascending.
+    pub fn observed(&self) -> Vec<usize> {
+        (0..self.missing.len()).filter(|&i| !self.missing[i]).collect()
+    }
+
+    /// Indices with measurements missing, ascending.
+    pub fn missing_nodes(&self) -> Vec<usize> {
+        (0..self.missing.len()).filter(|&i| self.missing[i]).collect()
+    }
+
+    /// Number of missing measurements.
+    pub fn n_missing(&self) -> usize {
+        self.missing.iter().filter(|&&m| m).count()
+    }
+
+    /// `true` when any of `nodes` is missing.
+    pub fn any_missing_of(&self, nodes: &[usize]) -> bool {
+        nodes.iter().any(|&i| self.is_missing(i))
+    }
+
+    /// Union of two masks (missing in either).
+    ///
+    /// # Panics
+    /// Panics when lengths differ.
+    pub fn union(&self, other: &Mask) -> Mask {
+        assert_eq!(self.len(), other.len(), "Mask union: length mismatch");
+        Mask {
+            missing: self
+                .missing
+                .iter()
+                .zip(&other.missing)
+                .map(|(a, b)| *a || *b)
+                .collect(),
+        }
+    }
+}
+
+/// One time instant of PMU data: the complex phasor per node plus the mask
+/// saying which entries actually arrived at the control center.
+#[derive(Debug, Clone)]
+pub struct PhasorSample {
+    phasors: Vec<Complex64>,
+    mask: Mask,
+}
+
+impl PhasorSample {
+    /// A complete sample (everything observed).
+    pub fn complete(phasors: Vec<Complex64>) -> Self {
+        let n = phasors.len();
+        PhasorSample { phasors, mask: Mask::all_present(n) }
+    }
+
+    /// A sample with an explicit mask.
+    ///
+    /// # Panics
+    /// Panics when the mask length differs from the phasor count.
+    pub fn with_mask(phasors: Vec<Complex64>, mask: Mask) -> Self {
+        assert_eq!(phasors.len(), mask.len(), "PhasorSample: mask length mismatch");
+        PhasorSample { phasors, mask }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.phasors.len()
+    }
+
+    /// The missing-data mask.
+    pub fn mask(&self) -> &Mask {
+        &self.mask
+    }
+
+    /// The scalar measurement of `node`, or `None` when missing.
+    pub fn value(&self, node: usize, kind: MeasurementKind) -> Option<f64> {
+        if self.mask.is_missing(node) {
+            return None;
+        }
+        let z = self.phasors[node];
+        Some(match kind {
+            MeasurementKind::Magnitude => z.abs(),
+            MeasurementKind::Angle => z.arg(),
+        })
+    }
+
+    /// The raw phasor of `node`, or `None` when missing.
+    pub fn phasor(&self, node: usize) -> Option<Complex64> {
+        if self.mask.is_missing(node) {
+            None
+        } else {
+            Some(self.phasors[node])
+        }
+    }
+
+    /// The underlying phasor regardless of the mask (ground truth; intended
+    /// for evaluation code, not detectors).
+    pub fn phasor_unchecked(&self, node: usize) -> Complex64 {
+        self.phasors[node]
+    }
+
+    /// Return a copy with additional nodes masked out.
+    pub fn masked(&self, extra: &Mask) -> PhasorSample {
+        PhasorSample {
+            phasors: self.phasors.clone(),
+            mask: self.mask.union(extra),
+        }
+    }
+
+    /// Extract observed values for the given nodes, failing with `None` if
+    /// any of them is missing — this is the detection-group access path of
+    /// Eq. (9) ("the only requirement ... is that there are no missing data
+    /// in the measurements taken by nodes in D").
+    pub fn values_for(&self, nodes: &[usize], kind: MeasurementKind) -> Option<Vec<f64>> {
+        nodes.iter().map(|&n| self.value(n, kind)).collect()
+    }
+}
+
+/// A window of complete PMU data: N nodes × T time steps (the training
+/// matrices `X⁰` and `X^{\e_ij}` of the paper).
+#[derive(Debug, Clone)]
+pub struct PhasorWindow {
+    /// N×T magnitudes.
+    mag: Matrix,
+    /// N×T angles (radians).
+    ang: Matrix,
+}
+
+impl PhasorWindow {
+    /// Build a window from per-instant phasor vectors (each of length N).
+    ///
+    /// # Panics
+    /// Panics for an empty column list or inconsistent lengths.
+    pub fn from_columns(columns: &[Vec<Complex64>]) -> Self {
+        assert!(!columns.is_empty(), "PhasorWindow: no columns");
+        let n = columns[0].len();
+        assert!(columns.iter().all(|c| c.len() == n), "PhasorWindow: ragged columns");
+        let t = columns.len();
+        let mag = Matrix::from_fn(n, t, |r, c| columns[c][r].abs());
+        let ang = Matrix::from_fn(n, t, |r, c| columns[c][r].arg());
+        PhasorWindow { mag, ang }
+    }
+
+    /// An empty window over `n` nodes (zero time steps).
+    pub fn empty(n: usize) -> Self {
+        PhasorWindow { mag: Matrix::zeros(n, 0), ang: Matrix::zeros(n, 0) }
+    }
+
+    /// Number of nodes N.
+    pub fn n_nodes(&self) -> usize {
+        self.mag.rows()
+    }
+
+    /// Number of time steps T.
+    pub fn len(&self) -> usize {
+        self.mag.cols()
+    }
+
+    /// `true` when the window has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the N×T matrix of the chosen quantity.
+    pub fn matrix(&self, kind: MeasurementKind) -> &Matrix {
+        match kind {
+            MeasurementKind::Magnitude => &self.mag,
+            MeasurementKind::Angle => &self.ang,
+        }
+    }
+
+    /// The (complete) sample at time `t`.
+    ///
+    /// # Panics
+    /// Panics when `t` is out of range.
+    pub fn sample(&self, t: usize) -> PhasorSample {
+        assert!(t < self.len(), "PhasorWindow: sample {t} out of range");
+        let phasors: Vec<Complex64> = (0..self.n_nodes())
+            .map(|n| Complex64::from_polar(self.mag[(n, t)], self.ang[(n, t)]))
+            .collect();
+        PhasorSample::complete(phasors)
+    }
+
+    /// The 2-D phasor-plane point `(magnitude, angle)` of `node` at `t` —
+    /// the `x_{i,t} ∈ R²` of the paper's ellipse Eq. (4).
+    pub fn point2(&self, node: usize, t: usize) -> [f64; 2] {
+        [self.mag[(node, t)], self.ang[(node, t)]]
+    }
+
+    /// Concatenate two windows in time.
+    ///
+    /// # Panics
+    /// Panics when node counts differ.
+    pub fn concat(&self, other: &PhasorWindow) -> PhasorWindow {
+        PhasorWindow {
+            mag: self.mag.hcat(&other.mag).expect("node count mismatch"),
+            ang: self.ang.hcat(&other.ang).expect("node count mismatch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phasor(m: f64, a: f64) -> Complex64 {
+        Complex64::from_polar(m, a)
+    }
+
+    #[test]
+    fn mask_basics() {
+        let m = Mask::with_missing(5, &[1, 3]);
+        assert_eq!(m.len(), 5);
+        assert!(m.is_missing(1) && m.is_missing(3));
+        assert!(!m.is_missing(0));
+        assert_eq!(m.observed(), vec![0, 2, 4]);
+        assert_eq!(m.missing_nodes(), vec![1, 3]);
+        assert_eq!(m.n_missing(), 2);
+        assert!(m.any_missing_of(&[0, 3]));
+        assert!(!m.any_missing_of(&[0, 2]));
+        // Out-of-range nodes are ignored at construction, missing at query.
+        let m2 = Mask::with_missing(3, &[9]);
+        assert_eq!(m2.n_missing(), 0);
+        assert!(m2.is_missing(9));
+    }
+
+    #[test]
+    fn mask_union() {
+        let a = Mask::with_missing(4, &[0]);
+        let b = Mask::with_missing(4, &[2]);
+        let u = a.union(&b);
+        assert_eq!(u.missing_nodes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn sample_value_extraction() {
+        let s = PhasorSample::complete(vec![phasor(1.02, 0.1), phasor(0.98, -0.2)]);
+        assert!((s.value(0, MeasurementKind::Magnitude).unwrap() - 1.02).abs() < 1e-12);
+        assert!((s.value(1, MeasurementKind::Angle).unwrap() + 0.2).abs() < 1e-12);
+        assert!(s.phasor(0).is_some());
+
+        let masked = s.masked(&Mask::with_missing(2, &[1]));
+        assert!(masked.value(1, MeasurementKind::Magnitude).is_none());
+        assert!(masked.phasor(1).is_none());
+        // Ground-truth access bypasses the mask.
+        assert!((masked.phasor_unchecked(1).abs() - 0.98).abs() < 1e-12);
+        // Original untouched.
+        assert!(s.value(1, MeasurementKind::Magnitude).is_some());
+    }
+
+    #[test]
+    fn values_for_requires_full_group() {
+        let s = PhasorSample::complete(vec![phasor(1.0, 0.0); 4])
+            .masked(&Mask::with_missing(4, &[2]));
+        assert!(s.values_for(&[0, 1], MeasurementKind::Magnitude).is_some());
+        assert!(s.values_for(&[1, 2], MeasurementKind::Magnitude).is_none());
+        assert_eq!(
+            s.values_for(&[0, 3], MeasurementKind::Magnitude).unwrap(),
+            vec![1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn window_roundtrip() {
+        let cols = vec![
+            vec![phasor(1.0, 0.0), phasor(1.1, -0.1)],
+            vec![phasor(0.9, 0.2), phasor(1.0, 0.3)],
+            vec![phasor(1.05, -0.3), phasor(0.95, 0.15)],
+        ];
+        let w = PhasorWindow::from_columns(&cols);
+        assert_eq!(w.n_nodes(), 2);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        let s1 = w.sample(1);
+        assert!((s1.phasor(0).unwrap() - cols[1][0]).abs() < 1e-12);
+        assert!((s1.phasor(1).unwrap() - cols[1][1]).abs() < 1e-12);
+        let p = w.point2(1, 2);
+        assert!((p[0] - 0.95).abs() < 1e-12);
+        assert!((p[1] - 0.15).abs() < 1e-12);
+        // Matrix views have the right orientation.
+        assert_eq!(w.matrix(MeasurementKind::Magnitude).shape(), (2, 3));
+        assert!((w.matrix(MeasurementKind::Angle)[(0, 2)] + 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_concat() {
+        let a = PhasorWindow::from_columns(&[vec![phasor(1.0, 0.0)]]);
+        let b = PhasorWindow::from_columns(&[vec![phasor(2.0, 0.5)], vec![phasor(3.0, 1.0)]]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert!((c.sample(2).phasor(0).unwrap().abs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn window_sample_bounds_checked() {
+        let w = PhasorWindow::from_columns(&[vec![phasor(1.0, 0.0)]]);
+        let _ = w.sample(5);
+    }
+}

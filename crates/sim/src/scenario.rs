@@ -1,0 +1,447 @@
+//! Scenario generation: turning a grid model into PMU measurement windows.
+//!
+//! Mirrors Sec. V-A of the paper: per-bus Ornstein–Uhlenbeck load
+//! variations over a daily window, proportional generator redispatch, an
+//! AC power-flow solve per time step, and Gaussian phasor noise. Outage
+//! windows repeat the procedure with one line removed; removals that
+//! island the grid or whose power flow diverges are excluded (the paper's
+//! `E ≤ |ℰ|` valid cases).
+
+// Indexed loops are the clearest expression of the dense numerical
+// kernels in this module.
+#![allow(clippy::needless_range_loop)]
+
+use crate::dataset::{Dataset, OutageCase};
+use crate::noise::{noisy_phasor, NoiseParams};
+use crate::ou::{LoadProcess, OuParams};
+use crate::sample::PhasorWindow;
+use pmu_flow::{solve_ac, AcConfig, FlowError};
+use pmu_grid::Network;
+use pmu_numerics::Complex64;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the dataset generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Training samples per case.
+    pub train_len: usize,
+    /// Test samples per case.
+    pub test_len: usize,
+    /// Load-process parameters.
+    pub ou: OuParams,
+    /// Measurement-noise parameters.
+    pub noise: NoiseParams,
+    /// AC solver settings.
+    pub ac: AcConfig,
+    /// Master seed; every case derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            train_len: 40,
+            test_len: 25,
+            ou: OuParams::default(),
+            noise: NoiseParams::default(),
+            ac: AcConfig::default(),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Paper-scale test windows (100 test samples per outage case, as in
+    /// Sec. V-B). Slower; the default is a lighter load for CI.
+    pub fn paper_scale(mut self) -> Self {
+        self.test_len = 100;
+        self
+    }
+}
+
+/// Error type for generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenError {
+    /// The base (no-outage) power flow itself failed — the case is unusable.
+    BaseCaseFailed(String),
+    /// Too many sample solves failed for a window.
+    TooManyFailures {
+        /// Number of failed solves.
+        failures: usize,
+        /// Number requested.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::BaseCaseFailed(m) => write!(f, "base power flow failed: {m}"),
+            GenError::TooManyFailures { failures, requested } => {
+                write!(f, "{failures} of {requested} sample solves failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// Simulate a window of `len` noisy phasor samples on `net`.
+///
+/// Each step draws OU load multipliers, redispatches the non-slack
+/// generators proportionally to total demand, solves the AC power flow,
+/// and perturbs the resulting phasors with measurement noise. Steps whose
+/// solve diverges are retried with a fresh load draw; the window fails if
+/// more than half of the attempts diverge.
+///
+/// # Errors
+/// Returns [`GenError::TooManyFailures`] when the divergence budget is
+/// exhausted.
+pub fn simulate_window(
+    net: &Network,
+    len: usize,
+    ou: &OuParams,
+    noise: &NoiseParams,
+    ac: &AcConfig,
+    rng: &mut StdRng,
+) -> Result<PhasorWindow, GenError> {
+    let n = net.n_buses();
+    let base_load = net.total_load().max(1e-9);
+    let base_pd: Vec<f64> = net.buses().iter().map(|b| b.pd).collect();
+    let base_qd: Vec<f64> = net.buses().iter().map(|b| b.qd).collect();
+    let base_pg: Vec<f64> = net.gens().iter().map(|g| g.pg).collect();
+    let slack = net.slack();
+
+    let mut loads = LoadProcess::new(n, *ou);
+    let mut columns: Vec<Vec<Complex64>> = Vec::with_capacity(len);
+    let mut failures = 0usize;
+    let budget = len.max(4); // allow up to ~50% divergent draws
+
+    while columns.len() < len {
+        let mult = loads.step(rng);
+        let mut case = net.clone();
+        let mut total = 0.0;
+        for b in 0..n {
+            let pd = base_pd[b] * mult[b];
+            let qd = base_qd[b] * mult[b];
+            total += pd;
+            case.set_load(b, pd, qd).expect("bus index in range");
+        }
+        let scale = total / base_load;
+        for (gi, &pg0) in base_pg.iter().enumerate() {
+            if case.gens()[gi].bus != slack {
+                case.set_gen_p(gi, pg0 * scale).expect("gen index in range");
+            }
+        }
+        match solve_ac(&case, ac) {
+            Ok(sol) => {
+                let col: Vec<Complex64> =
+                    sol.phasors().into_iter().map(|z| noisy_phasor(z, noise, rng)).collect();
+                columns.push(col);
+            }
+            Err(FlowError::Diverged { .. }) | Err(FlowError::SingularJacobian(_)) => {
+                failures += 1;
+                if failures > budget {
+                    return Err(GenError::TooManyFailures { failures, requested: len });
+                }
+            }
+            Err(other) => {
+                return Err(GenError::BaseCaseFailed(other.to_string()));
+            }
+        }
+    }
+    Ok(PhasorWindow::from_columns(&columns))
+}
+
+/// Generate the full dataset for a grid: normal windows plus one
+/// [`OutageCase`] per valid single-line outage.
+///
+/// # Errors
+/// Returns [`GenError::BaseCaseFailed`] when the intact grid's power flow
+/// cannot be solved at nominal load (nothing can be generated then).
+/// Individual outage cases that island the grid or fail to converge are
+/// silently excluded, as in the paper.
+pub fn generate_dataset(net: &Network, cfg: &GenConfig) -> Result<Dataset, GenError> {
+    // Base-case sanity check.
+    solve_ac(net, &cfg.ac).map_err(|e| GenError::BaseCaseFailed(e.to_string()))?;
+
+    let total = cfg.train_len + cfg.test_len;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let normal = simulate_window(net, total, &cfg.ou, &cfg.noise, &cfg.ac, &mut rng)?;
+    let (normal_train, normal_test) = split_window(&normal, cfg.train_len);
+
+    let mut cases = Vec::new();
+    for branch in net.valid_outage_branches() {
+        let out_net = match net.with_branch_outage(branch) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        // Independent per-case stream: reproducible regardless of which
+        // other cases succeed.
+        let mut case_rng =
+            StdRng::seed_from_u64(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(branch as u64 + 1)));
+        match simulate_window(&out_net, total, &cfg.ou, &cfg.noise, &cfg.ac, &mut case_rng) {
+            Ok(window) => {
+                let (train, test) = split_window(&window, cfg.train_len);
+                let br = &net.branches()[branch];
+                cases.push(OutageCase {
+                    branch,
+                    endpoints: (br.from, br.to),
+                    train,
+                    test,
+                });
+            }
+            Err(_) => continue, // excluded: "cases that do not converge … are not considered"
+        }
+    }
+
+    Ok(Dataset { network: net.clone(), normal_train, normal_test, cases })
+}
+
+/// Generate test windows for simultaneous double-line outages.
+///
+/// Pairs are drawn deterministically from the valid single-outage
+/// branches: first pairs *sharing a node* (the paper's "severe outage
+/// around node i"), then disjoint pairs, until `max_pairs` pairs whose
+/// combined removal keeps the grid connected and whose power flow
+/// converges have been produced.
+///
+/// # Errors
+/// Returns [`GenError::BaseCaseFailed`] when the intact grid cannot be
+/// solved; pairs that island or diverge are skipped.
+pub fn generate_double_outages(
+    net: &Network,
+    cfg: &GenConfig,
+    max_pairs: usize,
+) -> Result<Vec<crate::dataset::MultiOutageCase>, GenError> {
+    solve_ac(net, &cfg.ac).map_err(|e| GenError::BaseCaseFailed(e.to_string()))?;
+    let valid = net.valid_outage_branches();
+
+    // Candidate pairs: shared-node pairs first, then the rest.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let endpoint = |i: usize| (net.branches()[i].from, net.branches()[i].to);
+    for (ai, &a) in valid.iter().enumerate() {
+        for &b in &valid[ai + 1..] {
+            let (af, at) = endpoint(a);
+            let (bf, bt) = endpoint(b);
+            if af == bf || af == bt || at == bf || at == bt {
+                pairs.push((a, b));
+            }
+        }
+    }
+    for (ai, &a) in valid.iter().enumerate() {
+        for &b in &valid[ai + 1..] {
+            if !pairs.contains(&(a, b)) {
+                pairs.push((a, b));
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (a, b) in pairs {
+        if out.len() >= max_pairs {
+            break;
+        }
+        let double = match net.with_branch_outages(&[a, b]) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        let mut rng = StdRng::seed_from_u64(
+            cfg.seed ^ (a as u64).wrapping_mul(0x517C_C1B7_2722_0A95) ^ (b as u64) << 17,
+        );
+        match simulate_window(&double, cfg.test_len, &cfg.ou, &cfg.noise, &cfg.ac, &mut rng) {
+            Ok(test) => {
+                let (af, at) = endpoint(a);
+                let (bf, bt) = endpoint(b);
+                let mut nodes = vec![af, at, bf, bt];
+                nodes.sort_unstable();
+                nodes.dedup();
+                out.push(crate::dataset::MultiOutageCase {
+                    branches: vec![a, b],
+                    affected_nodes: nodes,
+                    test,
+                });
+            }
+            Err(_) => continue,
+        }
+    }
+    Ok(out)
+}
+
+/// Split a window into `(train_len samples, rest)` by even interleaving:
+/// test samples are drawn at evenly spaced positions across the whole
+/// window, mirroring the random train/test split of the paper's ref. \[14\]
+/// (a temporal head/tail split would leak the load process's drift into
+/// the test distribution).
+fn split_window(w: &PhasorWindow, train_len: usize) -> (PhasorWindow, PhasorWindow) {
+    let n = w.n_nodes();
+    let t = w.len();
+    let train_len = train_len.min(t);
+    let test_len = t - train_len;
+    // Mark test positions: evenly spaced across [0, t).
+    let mut is_test = vec![false; t];
+    for j in 0..test_len {
+        let pos = ((2 * j + 1) * t) / (2 * test_len);
+        is_test[pos.min(t - 1)] = true;
+    }
+    // Collisions (possible when test_len ~ t) are resolved by filling the
+    // first unmarked slots.
+    let mut marked = is_test.iter().filter(|&&b| b).count();
+    let mut i = 0;
+    while marked < test_len && i < t {
+        if !is_test[i] {
+            is_test[i] = true;
+            marked += 1;
+        }
+        i += 1;
+    }
+    let mut train_cols = Vec::with_capacity(train_len);
+    let mut test_cols = Vec::with_capacity(test_len);
+    for c in 0..t {
+        let col: Vec<Complex64> =
+            (0..n).map(|r| w.sample(c).phasor_unchecked(r)).collect();
+        if is_test[c] {
+            test_cols.push(col);
+        } else {
+            train_cols.push(col);
+        }
+    }
+    let build = |cols: Vec<Vec<Complex64>>| {
+        if cols.is_empty() {
+            PhasorWindow::empty(n)
+        } else {
+            PhasorWindow::from_columns(&cols)
+        }
+    };
+    (build(train_cols), build(test_cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::MeasurementKind;
+    use pmu_grid::cases::ieee14;
+
+    fn small_cfg() -> GenConfig {
+        GenConfig { train_len: 8, test_len: 4, ..GenConfig::default() }
+    }
+
+    #[test]
+    fn window_has_requested_shape() {
+        let net = ieee14().unwrap();
+        let cfg = small_cfg();
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = simulate_window(&net, 6, &cfg.ou, &cfg.noise, &cfg.ac, &mut rng).unwrap();
+        assert_eq!(w.n_nodes(), 14);
+        assert_eq!(w.len(), 6);
+        // Values look like voltages.
+        let m = w.matrix(MeasurementKind::Magnitude);
+        for r in 0..14 {
+            for c in 0..6 {
+                assert!(m[(r, c)] > 0.8 && m[(r, c)] < 1.2);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let net = ieee14().unwrap();
+        let cfg = small_cfg();
+        let a = generate_dataset(&net, &cfg).unwrap();
+        let b = generate_dataset(&net, &cfg).unwrap();
+        assert_eq!(a.n_cases(), b.n_cases());
+        let wa = a.normal_train.matrix(MeasurementKind::Angle);
+        let wb = b.normal_train.matrix(MeasurementKind::Angle);
+        assert!(wa.max_abs_diff(wb) < 1e-15);
+        let ca = a.cases[3].train.matrix(MeasurementKind::Angle);
+        let cb = b.cases[3].train.matrix(MeasurementKind::Angle);
+        assert!(ca.max_abs_diff(cb) < 1e-15);
+    }
+
+    #[test]
+    fn dataset_covers_valid_outages() {
+        let net = ieee14().unwrap();
+        let data = generate_dataset(&net, &small_cfg()).unwrap();
+        // IEEE-14 has 19 non-islanding single-line outages (7-8 islands).
+        assert_eq!(data.n_cases(), net.valid_outage_branches().len());
+        for case in &data.cases {
+            assert_eq!(case.train.len(), 8);
+            assert_eq!(case.test.len(), 4);
+            let br = &net.branches()[case.branch];
+            assert_eq!(case.endpoints, (br.from, br.to));
+        }
+        assert!(data.case_for_branch(13).is_none(), "islanding case excluded");
+        assert!(data.case_for_branch(data.cases[0].branch).is_some());
+    }
+
+    #[test]
+    fn outage_windows_differ_from_normal() {
+        let net = ieee14().unwrap();
+        let data = generate_dataset(&net, &small_cfg()).unwrap();
+        let normal_ang = data.normal_train.matrix(MeasurementKind::Angle);
+        let case = &data.cases[0];
+        let out_ang = case.train.matrix(MeasurementKind::Angle);
+        // Mean angle at an endpoint shifts visibly under the outage.
+        let node = case.endpoints.1;
+        let mean_n: f64 =
+            (0..8).map(|t| normal_ang[(node, t)]).sum::<f64>() / 8.0;
+        let mean_o: f64 = (0..8).map(|t| out_ang[(node, t)]).sum::<f64>() / 8.0;
+        assert!((mean_n - mean_o).abs() > 1e-4, "outage must move the operating point");
+    }
+
+    #[test]
+    fn split_window_partitions() {
+        let net = ieee14().unwrap();
+        let cfg = small_cfg();
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = simulate_window(&net, 10, &cfg.ou, &cfg.noise, &cfg.ac, &mut rng).unwrap();
+        let (train, test) = split_window(&w, 7);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        // Test positions are evenly interleaved: {1, 5, 8} for 3 of 10.
+        assert!(
+            (test.sample(0).phasor_unchecked(3) - w.sample(1).phasor_unchecked(3)).abs()
+                < 1e-15
+        );
+        assert!(
+            (test.sample(2).phasor_unchecked(3) - w.sample(8).phasor_unchecked(3)).abs()
+                < 1e-15
+        );
+        assert!(
+            (train.sample(0).phasor_unchecked(3) - w.sample(0).phasor_unchecked(3)).abs()
+                < 1e-15
+        );
+        // Degenerate splits behave.
+        let (all_train, no_test) = split_window(&w, 10);
+        assert_eq!(all_train.len(), 10);
+        assert_eq!(no_test.len(), 0);
+    }
+
+    #[test]
+    fn paper_scale_bumps_test_len() {
+        let cfg = GenConfig::default().paper_scale();
+        assert_eq!(cfg.test_len, 100);
+    }
+
+    #[test]
+    fn double_outages_generate_and_prefer_shared_nodes() {
+        let net = ieee14().unwrap();
+        let cfg = GenConfig { train_len: 4, test_len: 3, ..GenConfig::default() };
+        let cases = generate_double_outages(&net, &cfg, 5).unwrap();
+        assert_eq!(cases.len(), 5);
+        for case in &cases {
+            assert_eq!(case.branches.len(), 2);
+            assert_eq!(case.test.len(), 3);
+            // Shared-node pairs come first: 3 affected nodes, not 4.
+            assert!(case.affected_nodes.len() <= 4);
+            // The pair is simultaneously removable.
+            assert!(net.with_branch_outages(&case.branches).is_ok());
+        }
+        assert_eq!(cases[0].affected_nodes.len(), 3, "first pair shares a node");
+        // Deterministic.
+        let again = generate_double_outages(&net, &cfg, 5).unwrap();
+        assert_eq!(again[0].branches, cases[0].branches);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the simulation layer: masks, OU processes,
+//! missing patterns, and the reliability model.
+
+use pmu_sim::missing::MissingPattern;
+use pmu_sim::ou::{OuParams, OuProcess};
+use pmu_sim::reliability::{
+    effective_metric_exact, pattern_probability, per_device_working_prob,
+    system_reliability,
+};
+use pmu_sim::Mask;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mask_observed_and_missing_partition(n in 1usize..60, nodes in proptest::collection::vec(0usize..60, 0..20)) {
+        let m = Mask::with_missing(n, &nodes);
+        let observed = m.observed();
+        let missing = m.missing_nodes();
+        prop_assert_eq!(observed.len() + missing.len(), n);
+        for &i in &observed {
+            prop_assert!(!m.is_missing(i));
+        }
+        for &i in &missing {
+            prop_assert!(m.is_missing(i));
+        }
+        // Union with itself is idempotent.
+        let u = m.union(&m);
+        prop_assert_eq!(u.missing_nodes(), missing);
+    }
+
+    #[test]
+    fn mask_union_is_commutative_and_monotone(
+        n in 1usize..40,
+        a in proptest::collection::vec(0usize..40, 0..12),
+        b in proptest::collection::vec(0usize..40, 0..12),
+    ) {
+        let ma = Mask::with_missing(n, &a);
+        let mb = Mask::with_missing(n, &b);
+        let ab = ma.union(&mb);
+        let ba = mb.union(&ma);
+        prop_assert_eq!(ab.missing_nodes(), ba.missing_nodes());
+        prop_assert!(ab.n_missing() >= ma.n_missing().max(mb.n_missing()));
+    }
+
+    #[test]
+    fn random_k_draws_exactly_k_outside_exclusions(
+        n in 4usize..50,
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let exclude = vec![0, 1];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = MissingPattern::RandomK { k, exclude: exclude.clone() }.draw(n, &mut rng);
+        let expected = k.min(n - exclude.len());
+        prop_assert_eq!(m.n_missing(), expected);
+        prop_assert!(!m.is_missing(0) && !m.is_missing(1));
+    }
+
+    #[test]
+    fn ou_with_zero_noise_converges_monotonically(x0 in 0.5f64..2.0, theta in 0.05f64..1.0) {
+        let params = OuParams { mean: 1.0, theta, sigma: 0.0, dt: 1.0 };
+        let mut p = OuProcess::with_state(params, x0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut prev_gap = (x0 - 1.0).abs();
+        for _ in 0..50 {
+            let x = p.step(&mut rng);
+            let gap = (x - 1.0).abs();
+            prop_assert!(gap <= prev_gap + 1e-12, "gap grew: {} -> {}", prev_gap, gap);
+            prev_gap = gap;
+        }
+    }
+
+    #[test]
+    fn ou_stays_finite_and_near_mean(sigma in 0.0f64..0.1, theta in 0.05f64..0.5, seed in 0u64..500) {
+        let params = OuParams { mean: 1.0, theta, sigma, dt: 1.0 };
+        let mut p = OuProcess::new(params);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let x = p.step(&mut rng);
+            prop_assert!(x.is_finite());
+            // 8 stationary standard deviations is a generous envelope.
+            let bound = 1.0 + 8.0 * params.stationary_std().max(1e-9);
+            prop_assert!((x - 1.0).abs() < bound, "x = {}", x);
+        }
+    }
+
+    #[test]
+    fn pattern_probabilities_normalize(l in 1usize..10, q in 0.0f64..1.0) {
+        let total = effective_metric_exact(l, q, |_| 1.0);
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_missing_count_matches_closed_form(l in 1usize..10, q in 0.0f64..1.0) {
+        let e = effective_metric_exact(l, q, |m: &Mask| m.n_missing() as f64);
+        prop_assert!((e - l as f64 * (1.0 - q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reliability_roundtrip(r_pmu in 0.5f64..1.0, r_link in 0.5f64..1.0, l in 1usize..200) {
+        let r = system_reliability(r_pmu, r_link, l);
+        prop_assert!((0.0..=1.0).contains(&r));
+        let q = per_device_working_prob(r, l);
+        prop_assert!((q - r_pmu * r_link).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_present_pattern_probability_is_q_to_the_l(l in 1usize..12, q in 0.0f64..1.0) {
+        let mask = Mask::all_present(l);
+        prop_assert!((pattern_probability(&mask, q) - q.powi(l as i32)).abs() < 1e-12);
+    }
+}

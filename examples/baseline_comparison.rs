@@ -1,0 +1,76 @@
+//! Head-to-head: the paper's subspace detector vs the MLR baseline under
+//! the three missing-data regimes of Fig. 6, on one system.
+//!
+//! Run with: `cargo run --release --example baseline_comparison`
+
+use pmu_outage::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let net = ieee14().expect("embedded case");
+    let n = net.n_buses();
+    let gen = GenConfig { train_len: 40, test_len: 10, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).expect("dataset generation");
+    let detector = train_default(&data).expect("training");
+    let mlr = MlrDetector::train(&data, &MlrConfig::default());
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+
+    println!("{} | {} outage cases x {} test samples", net.name, data.n_cases(), 10);
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>12} {:>12}",
+        "scenario", "sub IA", "sub FA", "mlr IA", "mlr FA"
+    );
+
+    // Scenario masks per (case, draw).
+    type MaskFn<'a> = Box<dyn FnMut(&pmu_outage::sim::dataset::OutageCase, &mut StdRng) -> Mask + 'a>;
+    let scenarios: Vec<(&str, MaskFn)> = vec![
+        ("complete data", Box::new(move |_, _| Mask::all_present(n))),
+        (
+            "outage endpoints dark",
+            Box::new(move |c: &pmu_outage::sim::dataset::OutageCase, _: &mut StdRng| {
+                outage_endpoints_mask(n, c.endpoints)
+            }),
+        ),
+        (
+            "random missing elsewhere",
+            Box::new(move |c: &pmu_outage::sim::dataset::OutageCase, r: &mut StdRng| {
+                MissingPattern::RandomK { k: 2, exclude: vec![c.endpoints.0, c.endpoints.1] }
+                    .draw(n, r)
+            }),
+        ),
+    ];
+
+    for (name, mut mask_fn) in scenarios {
+        let mut sub = Metrics::new();
+        let mut base = Metrics::new();
+        for case in &data.cases {
+            for t in 0..case.test.len() {
+                let mask = mask_fn(case, &mut rng);
+                let sample = case.test.sample(t).masked(&mask);
+                let truth = [case.branch];
+
+                let lines = detector.detect(&sample).map(|d| d.lines).unwrap_or_default();
+                sub.add(&truth, &lines);
+
+                let pred = mlr.predict(&sample);
+                let lines: Vec<usize> = pred.line.into_iter().collect();
+                base.add(&truth, &lines);
+            }
+        }
+        println!(
+            "{:<28} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            name,
+            sub.ia(),
+            sub.fa(),
+            base.ia(),
+            base.fa()
+        );
+    }
+
+    println!(
+        "\nOn complete data the two methods are comparable; once measurements go \
+         missing the baseline (which imputes) degrades while the subspace method \
+         switches detection groups and holds its accuracy."
+    );
+}

@@ -1,0 +1,110 @@
+//! Cascade drill: the failure mode the paper's introduction warns about.
+//!
+//! A line trips on a tightly rated grid; overloads propagate and more
+//! lines trip stage by stage. The control-center monitor (subspace
+//! detector + k-of-m voting) watches the PMU stream as the cascade
+//! unfolds — the point of timely outage detection is that an operator who
+//! sees stage 0 can shed load before stage 1 arrives.
+//!
+//! Run with: `cargo run --release --example cascade_drill`
+
+use pmu_outage::detect::stream::{StreamConfig, StreamEvent, StreamingDetector};
+use pmu_outage::flow::cascade::{assign_ratings, simulate_cascade, CascadeConfig};
+use pmu_outage::flow::{solve_ac, solve_dc, AcConfig};
+use pmu_outage::prelude::*;
+use pmu_outage::sim::noise::{noisy_phasor, NoiseParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- Grid with tight thermal ratings (5% margin over base loading). --
+    let net = assign_ratings(&ieee30().expect("embedded case"), 1.05, 1.0)
+        .expect("rating assignment");
+    let dc = solve_dc(&net).expect("base DC flow");
+    let trigger = net
+        .valid_outage_branches()
+        .into_iter()
+        .max_by(|&a, &b| {
+            dc.branch_flow[a].abs().partial_cmp(&dc.branch_flow[b].abs()).unwrap()
+        })
+        .expect("a most-loaded line exists");
+    let report = simulate_cascade(&net, &[trigger], &CascadeConfig::default())
+        .expect("cascade simulation");
+    println!(
+        "cascade from line {trigger}: {} stages, {} lines lost, islanded: {}",
+        report.stages.len(),
+        report.total_tripped(),
+        report.islanded
+    );
+    for (k, stage) in report.stages.iter().enumerate() {
+        println!("  stage {k}: lines {stage:?} trip");
+    }
+
+    // --- Train the monitor on the healthy grid. --------------------------
+    let gen = GenConfig { train_len: 40, test_len: 8, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).expect("dataset generation");
+    let detector = train_default(&data).expect("training");
+    let mut monitor = StreamingDetector::new(detector, StreamConfig::default());
+
+    // --- Replay: 3 healthy samples, then 3 samples per cascade stage. ----
+    println!("\nstreaming replay:");
+    let mut rng = StdRng::seed_from_u64(0xCA5CADE);
+    let noise = NoiseParams::default();
+    let mut stream: Vec<(String, PhasorSample)> = Vec::new();
+    for t in 0..3 {
+        stream.push(("healthy".into(), data.normal_test.sample(t)));
+    }
+    let mut state = net.clone();
+    for (k, stage) in report.stages.iter().enumerate() {
+        match state.with_branch_outages(stage) {
+            Ok(next) => state = next,
+            Err(_) => {
+                println!("  (stage {k} islands the grid; replay stops there)");
+                break;
+            }
+        }
+        match solve_ac(&state, &AcConfig::default()) {
+            Ok(sol) => {
+                for _ in 0..3 {
+                    let phasors = sol
+                        .phasors()
+                        .into_iter()
+                        .map(|z| noisy_phasor(z, &noise, &mut rng))
+                        .collect();
+                    stream.push((format!("after stage {k}"), PhasorSample::complete(phasors)));
+                }
+            }
+            Err(_) => {
+                println!("  (AC diverges after stage {k}; replay stops there)");
+                break;
+            }
+        }
+    }
+
+    let mut first_alarm: Option<usize> = None;
+    for (t, (phase, sample)) in stream.iter().enumerate() {
+        match monitor.push(sample).expect("stream push") {
+            StreamEvent::Raised { lines } => {
+                first_alarm.get_or_insert(t);
+                println!("t={t:>2} [{phase:<13}] >>> ALARM lines {lines:?}");
+            }
+            StreamEvent::Cleared => println!("t={t:>2} [{phase:<13}] (cleared)"),
+            StreamEvent::None => {
+                let s = match monitor.state() {
+                    pmu_outage::detect::stream::StreamState::Quiet => "quiet".into(),
+                    pmu_outage::detect::stream::StreamState::Outage { lines } => {
+                        format!("outage {lines:?}")
+                    }
+                };
+                println!("t={t:>2} [{phase:<13}] {s}");
+            }
+        }
+    }
+    match first_alarm {
+        Some(t) => println!(
+            "\nfirst alarm at sample {t} — within the voting window of the first \
+             post-trigger samples; truth stage 0 was line {trigger}"
+        ),
+        None => println!("\nno alarm raised — check ratings/config"),
+    }
+}

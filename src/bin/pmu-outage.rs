@@ -1,0 +1,175 @@
+//! `pmu-outage` — command-line front end for the library.
+//!
+//! ```text
+//! pmu-outage info <case>                       grid summary + valid outages
+//! pmu-outage solve <case> [--fdpf]             power-flow state
+//! pmu-outage placement <case>                  greedy PMU placement
+//! pmu-outage train <case> --model out.json     train + persist a detector
+//! pmu-outage detect <case> --model m.json --outage K [--dark]
+//!                                              detect a simulated outage
+//! ```
+//!
+//! `<case>` is one of `ieee14 | ieee30 | ieee57 | ieee118` or a path to a
+//! MATPOWER-style `.m` file.
+
+use pmu_outage::detect::Detector;
+use pmu_outage::flow::{solve_ac, solve_fdpf, AcConfig, FdpfConfig};
+use pmu_outage::grid::observability::{coverage, greedy_placement};
+use pmu_outage::grid::parser::parse_case;
+use pmu_outage::prelude::*;
+use pmu_outage::sim::scenario::simulate_window;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn load_network(spec: &str) -> Result<Network, String> {
+    if let Some(result) = by_name(spec) {
+        return result.map_err(|e| e.to_string());
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("cannot read case file {spec}: {e}"))?;
+    parse_case(spec, &text).map_err(|e| e.to_string())
+}
+
+fn usage() -> String {
+    "usage: pmu-outage <info|solve|placement|train|detect> <case> [options]\n\
+     see `src/bin/pmu-outage.rs` docs for details"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, case_spec) = match (args.first(), args.get(1)) {
+        (Some(c), Some(s)) => (c.as_str(), s.as_str()),
+        _ => return Err(usage()),
+    };
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|p| args.get(p + 1))
+            .cloned()
+    };
+
+    let net = load_network(case_spec)?;
+    match cmd {
+        "info" => {
+            println!("case:            {}", net.name);
+            println!("buses:           {}", net.n_buses());
+            println!("branches:        {}", net.n_branches());
+            println!("generators:      {}", net.gens().len());
+            println!("total load:      {:.1} MW", net.total_load());
+            let valid = net.valid_outage_branches();
+            println!("valid outages:   {} of {}", valid.len(), net.n_branches());
+            let degrees: Vec<usize> = (0..net.n_buses()).map(|b| net.degree(b)).collect();
+            println!(
+                "degree:          min {} / max {}",
+                degrees.iter().min().unwrap(),
+                degrees.iter().max().unwrap()
+            );
+            Ok(())
+        }
+        "solve" => {
+            if flag("--fdpf") {
+                let sol = solve_fdpf(&net, &FdpfConfig::default()).map_err(|e| e.to_string())?;
+                println!("fast-decoupled converged in {} sweeps", sol.sweeps);
+                print_state(&net, &sol.vm, &sol.va);
+            } else {
+                let sol = solve_ac(&net, &AcConfig::default()).map_err(|e| e.to_string())?;
+                println!(
+                    "Newton-Raphson converged in {} iterations (slack P = {:.4} p.u.)",
+                    sol.iterations, sol.slack_p
+                );
+                print_state(&net, &sol.vm, &sol.va);
+            }
+            Ok(())
+        }
+        "placement" => {
+            let placement = greedy_placement(&net);
+            let ext: Vec<usize> =
+                placement.iter().map(|&b| net.buses()[b].ext_id).collect();
+            println!(
+                "greedy placement: {} PMUs for {} buses (coverage {:.0}%)",
+                placement.len(),
+                net.n_buses(),
+                100.0 * coverage(&net, &placement)
+            );
+            println!("PMU buses (external numbering): {ext:?}");
+            Ok(())
+        }
+        "train" => {
+            let model_path = opt("--model").ok_or("train needs --model <path>")?;
+            let gen = GenConfig::default();
+            eprintln!("generating dataset ({} + {} samples per case)...", gen.train_len, gen.test_len);
+            let data = generate_dataset(&net, &gen).map_err(|e| e.to_string())?;
+            eprintln!("training on {} outage cases...", data.n_cases());
+            let det = train_default(&data).map_err(|e| e.to_string())?;
+            let json = det.to_json().map_err(|e| e.to_string())?;
+            std::fs::write(&model_path, &json).map_err(|e| e.to_string())?;
+            println!(
+                "trained detector for {} written to {model_path} ({} KiB)",
+                net.name,
+                json.len() / 1024
+            );
+            Ok(())
+        }
+        "detect" => {
+            let model_path = opt("--model").ok_or("detect needs --model <path>")?;
+            let branch: usize = opt("--outage")
+                .ok_or("detect needs --outage <branch index>")?
+                .parse()
+                .map_err(|e| format!("bad branch index: {e}"))?;
+            let json = std::fs::read_to_string(&model_path).map_err(|e| e.to_string())?;
+            let det = Detector::from_json(&json).map_err(|e| e.to_string())?;
+            if det.n_nodes() != net.n_buses() {
+                return Err(format!(
+                    "model covers {} nodes, case has {}",
+                    det.n_nodes(),
+                    net.n_buses()
+                ));
+            }
+            // Simulate one noisy sample of the outage state.
+            let out_net = net.with_branch_outage(branch).map_err(|e| e.to_string())?;
+            let gen = GenConfig::default();
+            let mut rng = StdRng::seed_from_u64(0xD57EC7);
+            let window = simulate_window(&out_net, 1, &gen.ou, &gen.noise, &gen.ac, &mut rng)
+                .map_err(|e| e.to_string())?;
+            let mut sample = window.sample(0);
+            if flag("--dark") {
+                let br = &net.branches()[branch];
+                sample = sample
+                    .masked(&outage_endpoints_mask(net.n_buses(), (br.from, br.to)));
+                println!("(outage-endpoint PMUs masked)");
+            }
+            let verdict = det.detect(&sample).map_err(|e| e.to_string())?;
+            println!("truth: line [{branch}]");
+            let explanation =
+                pmu_outage::detect::explain::explain(&det, &sample, &verdict);
+            print!("{}", pmu_outage::detect::explain::render(&explanation));
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}
+
+fn print_state(net: &Network, vm: &[f64], va: &[f64]) {
+    println!("{:>5} {:>8} {:>9}", "bus", "Vm(pu)", "Va(deg)");
+    for b in 0..net.n_buses() {
+        println!(
+            "{:>5} {:>8.4} {:>9.3}",
+            net.buses()[b].ext_id,
+            vm[b],
+            va[b].to_degrees()
+        );
+    }
+}

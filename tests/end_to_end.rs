@@ -1,0 +1,153 @@
+//! End-to-end integration: the complete paper pipeline on IEEE-14 —
+//! data generation → training (both methods) → evaluation under the
+//! paper's scenarios — asserting the *shape* of the headline results.
+
+use pmu_outage::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pipeline() -> (Network, Dataset, Detector, MlrDetector) {
+    let net = ieee14().unwrap();
+    let gen = GenConfig { train_len: 30, test_len: 8, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).unwrap();
+    let det = train_default(&data).unwrap();
+    let mlr = MlrDetector::train(&data, &MlrConfig::default());
+    (net, data, det, mlr)
+}
+
+fn eval_subspace(
+    data: &Dataset,
+    det: &Detector,
+    mask_for: impl Fn(&pmu_outage::sim::dataset::OutageCase, &mut StdRng) -> Mask,
+) -> Metrics {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut m = Metrics::new();
+    for case in &data.cases {
+        for t in 0..4 {
+            let mask = mask_for(case, &mut rng);
+            let sample = case.test.sample(t).masked(&mask);
+            let lines = det.detect(&sample).map(|d| d.lines).unwrap_or_default();
+            m.add(&[case.branch], &lines);
+        }
+    }
+    m
+}
+
+fn eval_mlr(
+    data: &Dataset,
+    mlr: &MlrDetector,
+    mask_for: impl Fn(&pmu_outage::sim::dataset::OutageCase, &mut StdRng) -> Mask,
+) -> Metrics {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut m = Metrics::new();
+    for case in &data.cases {
+        for t in 0..4 {
+            let mask = mask_for(case, &mut rng);
+            let sample = case.test.sample(t).masked(&mask);
+            let pred = mlr.predict(&sample);
+            let lines: Vec<usize> = pred.line.into_iter().collect();
+            m.add(&[case.branch], &lines);
+        }
+    }
+    m
+}
+
+#[test]
+fn complete_data_both_methods_competent() {
+    let (net, data, det, mlr) = pipeline();
+    let none = |_: &pmu_outage::sim::dataset::OutageCase, _: &mut StdRng| {
+        Mask::all_present(net.n_buses())
+    };
+    let sub = eval_subspace(&data, &det, none);
+    let base = eval_mlr(&data, &mlr, none);
+    assert!(sub.ia() > 0.85, "subspace IA {}", sub.ia());
+    assert!(sub.fa() < 0.15, "subspace FA {}", sub.fa());
+    assert!(base.ia() > 0.7, "mlr IA {}", base.ia());
+}
+
+#[test]
+fn missing_outage_data_subspace_wins() {
+    let (net, data, det, mlr) = pipeline();
+    let n = net.n_buses();
+    let mask = move |c: &pmu_outage::sim::dataset::OutageCase, _: &mut StdRng| {
+        outage_endpoints_mask(n, c.endpoints)
+    };
+    let sub = eval_subspace(&data, &det, mask);
+    let base = eval_mlr(&data, &mlr, mask);
+    // The paper's headline: the subspace method is "only slightly
+    // impacted" while MLR is "greatly degraded".
+    assert!(sub.ia() > 0.7, "subspace IA {}", sub.ia());
+    assert!(base.ia() < sub.ia(), "mlr {} must trail subspace {}", base.ia(), sub.ia());
+    assert!(sub.ia() - base.ia() > 0.15, "gap too small: {} vs {}", sub.ia(), base.ia());
+}
+
+#[test]
+fn data_problems_are_not_outages() {
+    let (net, data, det, mlr) = pipeline();
+    let n = net.n_buses();
+    let mut rng = StdRng::seed_from_u64(2);
+    let pattern = MissingPattern::RandomK { k: 2, exclude: vec![] };
+    let mut sub_fa = 0usize;
+    let mut mlr_fa = 0usize;
+    let total = data.normal_test.len();
+    for t in 0..total {
+        let mask = pattern.draw(n, &mut rng);
+        let sample = data.normal_test.sample(t).masked(&mask);
+        if det.detect(&sample).map(|d| d.outage).unwrap_or(false) {
+            sub_fa += 1;
+        }
+        if mlr.predict(&sample).outage {
+            mlr_fa += 1;
+        }
+    }
+    // Subspace: negligible false alarms. MLR: confuses data loss with
+    // outages most of the time.
+    assert!(sub_fa <= total / 4, "subspace false alarms {sub_fa}/{total}");
+    assert!(mlr_fa > sub_fa, "mlr {mlr_fa} should false-alarm more than subspace {sub_fa}");
+}
+
+#[test]
+fn double_outage_is_flagged() {
+    // Train on single-line cases, then present a double outage: the
+    // detector must at least flag it and localize near one failed line.
+    use pmu_outage::flow::{solve_ac, AcConfig};
+    use pmu_outage::numerics::Complex64;
+    let (net, data, det, _) = pipeline();
+    let valid = net.valid_outage_branches();
+    // Find a pair of simultaneously removable lines.
+    let (b1, b2) = valid
+        .iter()
+        .flat_map(|&a| valid.iter().map(move |&b| (a, b)))
+        .find(|&(a, b)| a < b && net.with_branch_outages(&[a, b]).is_ok())
+        .expect("a removable pair exists");
+    let double = net.with_branch_outages(&[b1, b2]).unwrap();
+    let sol = solve_ac(&double, &AcConfig::default()).unwrap();
+    let phasors: Vec<Complex64> = sol.phasors();
+    let sample = PhasorSample::complete(phasors);
+    let verdict = det.detect(&sample).unwrap();
+    assert!(verdict.outage, "double outage must be flagged");
+    assert!(!verdict.lines.is_empty());
+    let _ = data;
+}
+
+#[test]
+fn detection_latency_is_online() {
+    // The paper positions the scheme as an online application; a detection
+    // must complete well within one PMU reporting interval (1/30 s).
+    let (_, data, det, _) = pipeline();
+    let sample = data.cases[0].test.sample(0);
+    let start = std::time::Instant::now();
+    const ROUNDS: u32 = 20;
+    for _ in 0..ROUNDS {
+        let _ = det.detect(&sample).unwrap();
+    }
+    let per_detect = start.elapsed() / ROUNDS;
+    // One PMU reporting interval in release builds; debug builds are
+    // unoptimized, so only a loose sanity bound applies there.
+    let budget = if cfg!(debug_assertions) {
+        std::time::Duration::from_millis(500)
+    } else {
+        std::time::Duration::from_millis(33)
+    };
+    assert!(per_detect < budget, "detection took {per_detect:?} per sample");
+}

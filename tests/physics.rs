@@ -1,0 +1,131 @@
+//! Cross-crate physical consistency: the grid model, the power-flow
+//! solvers, and the paper's Eq. (1) linear view must agree with each
+//! other on every embedded test system.
+
+use pmu_outage::flow::{solve_ac, solve_dc, AcConfig};
+use pmu_outage::grid::cases::evaluation_suite;
+use pmu_outage::grid::ybus::{build_ybus, susceptance_laplacian};
+use pmu_outage::numerics::{Svd, Vector};
+
+#[test]
+fn ac_power_flow_converges_on_every_system() {
+    for net in evaluation_suite().unwrap() {
+        let sol = solve_ac(&net, &AcConfig::default()).unwrap();
+        assert!(sol.max_mismatch < 1e-8, "{}: mismatch {}", net.name, sol.max_mismatch);
+        assert!(sol.iterations <= 8, "{}: {} iterations", net.name, sol.iterations);
+        // Voltages stay within a sane operating band.
+        for (b, &v) in sol.vm.iter().enumerate() {
+            assert!((0.85..1.15).contains(&v), "{}: bus {b} at {v} p.u.", net.name);
+        }
+    }
+}
+
+#[test]
+fn dc_flow_matches_eq1_pseudo_inverse_view() {
+    // Eq. (1): X = Y^+ P with Y the susceptance Laplacian. The DC solver
+    // computes the same angles by reduced elimination; verify both agree.
+    for net in evaluation_suite().unwrap() {
+        let base = net.base_mva;
+        let n = net.n_buses();
+        let mut p = vec![0.0; n];
+        for (i, bus) in net.buses().iter().enumerate() {
+            p[i] -= bus.pd / base;
+        }
+        for g in net.gens().iter().filter(|g| g.status) {
+            p[g.bus] += g.pg / base;
+        }
+        // In the DC model the slack absorbs the imbalance.
+        let imbalance: f64 = p.iter().sum();
+        p[net.slack()] -= imbalance;
+
+        let lap = susceptance_laplacian(&net);
+        let pinv = Svd::compute(&lap).unwrap().pseudo_inverse(1e-9).unwrap();
+        let theta_pinv = pinv.matvec(&Vector::from(p.clone())).unwrap();
+
+        let dc = solve_dc(&net).unwrap();
+        // Both angle vectors agree up to a constant shift (the Laplacian
+        // nullspace); compare slack-referenced angles.
+        let shift = theta_pinv[net.slack()];
+        for b in 0..n {
+            let a = theta_pinv[b] - shift;
+            let diff = (a - dc.va[b]).abs();
+            assert!(diff < 1e-7, "{}: bus {b} Eq.(1) {a} vs DC {}", net.name, dc.va[b]);
+        }
+    }
+}
+
+#[test]
+fn ybus_and_laplacian_track_line_status() {
+    for net in evaluation_suite().unwrap() {
+        let idx = net.valid_outage_branches()[0];
+        let out = net.with_branch_outage(idx).unwrap();
+        let y0 = build_ybus(&net);
+        let y1 = build_ybus(&out);
+        let br = &net.branches()[idx];
+        // Off-diagonal entries for the removed line become zero.
+        assert!(y1[(br.from, br.to)].abs() < 1e-12, "{}", net.name);
+        assert!(y0[(br.from, br.to)].abs() > 1e-9, "{}", net.name);
+        // The Laplacian stays symmetric positive semidefinite (row sums 0).
+        let l1 = susceptance_laplacian(&out);
+        for r in 0..out.n_buses() {
+            let sum: f64 = (0..out.n_buses()).map(|c| l1[(r, c)]).sum();
+            assert!(sum.abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn laplacian_nullspace_is_all_ones() {
+    // A connected grid's susceptance Laplacian has exactly one zero
+    // eigenvalue with the constant eigenvector.
+    for net in evaluation_suite().unwrap() {
+        let n = net.n_buses();
+        let lap = susceptance_laplacian(&net);
+        let svd = Svd::compute(&lap).unwrap();
+        assert_eq!(svd.rank(1e-8), n - 1, "{}: unexpected Laplacian rank", net.name);
+        let ones = Vector::ones(n);
+        let img = lap.matvec(&ones).unwrap();
+        assert!(img.norm_inf() < 1e-9);
+    }
+}
+
+#[test]
+fn outage_signature_strength_correlates_with_line_flow() {
+    // Removing a heavily loaded line must perturb the AC state more than
+    // removing a lightly loaded one — the physics behind "weak lines are
+    // hard to detect".
+    use pmu_outage::flow::flows::branch_flows;
+    let net = pmu_outage::grid::cases::ieee14().unwrap();
+    let base = solve_ac(&net, &AcConfig::default()).unwrap();
+    let flows = branch_flows(&net, &base);
+    let valid = net.valid_outage_branches();
+
+    let mut shift_and_flow: Vec<(f64, f64)> = Vec::new();
+    for &idx in &valid {
+        let out = net.with_branch_outage(idx).unwrap();
+        if let Ok(sol) = solve_ac(&out, &AcConfig::default()) {
+            let shift = (0..net.n_buses())
+                .map(|b| (sol.va[b] - base.va[b]).abs())
+                .fold(0.0_f64, f64::max);
+            shift_and_flow.push((shift, flows[idx].s_from.abs()));
+        }
+    }
+    // Rank correlation check: the most-loaded line's removal shifts more
+    // than the least-loaded one's.
+    let max_flow = shift_and_flow
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    let min_flow = shift_and_flow
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    assert!(
+        max_flow.0 > min_flow.0,
+        "heavy-line outage ({:.4} rad) should shift more than light-line ({:.4} rad)",
+        max_flow.0,
+        min_flow.0
+    );
+}

@@ -1,0 +1,71 @@
+//! The Eq. (13)–(15) reliability machinery wired to the real detector:
+//! Monte-Carlo estimates agree with exact enumeration on a small grid,
+//! and FA(r) behaves monotonically sensibly at the extremes.
+
+use pmu_outage::prelude::*;
+use pmu_outage::sim::reliability::{
+    effective_metric_exact, effective_metric_mc, per_device_working_prob,
+    system_reliability,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn exact_and_mc_agree_with_real_detector_metric() {
+    // Use the detector's FA on a fixed outage sample as the pattern metric
+    // of Eq. (13); exact enumeration over 2^14 patterns is feasible.
+    let net = ieee14().unwrap();
+    let gen = GenConfig { train_len: 18, test_len: 4, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).unwrap();
+    let det = train_default(&data).unwrap();
+    let case = &data.cases[2];
+    let sample = case.test.sample(0);
+    let truth = [case.branch];
+
+    let metric = |mask: &Mask| {
+        let lines = det.detect(&sample.masked(mask)).map(|d| d.lines).unwrap_or_default();
+        pmu_outage::eval::metrics::sample_fa(&truth, &lines)
+    };
+
+    let q = per_device_working_prob(0.9, 14);
+    let exact = effective_metric_exact(14, q, metric);
+    let mut rng = StdRng::seed_from_u64(77);
+    let mc = effective_metric_mc(14, q, 3000, &mut rng, metric);
+    assert!(
+        (exact - mc).abs() < 0.05,
+        "exact {exact} vs Monte-Carlo {mc}"
+    );
+    // The subspace detector's effective FA is small at this reliability.
+    assert!(exact < 0.25, "effective FA {exact}");
+}
+
+#[test]
+fn effective_fa_vanishes_at_perfect_reliability() {
+    let net = ieee14().unwrap();
+    let gen = GenConfig { train_len: 18, test_len: 4, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).unwrap();
+    let det = train_default(&data).unwrap();
+    let case = &data.cases[0];
+    let sample = case.test.sample(0);
+    let truth = [case.branch];
+    let metric = |mask: &Mask| {
+        let lines = det.detect(&sample.masked(mask)).map(|d| d.lines).unwrap_or_default();
+        pmu_outage::eval::metrics::sample_fa(&truth, &lines)
+    };
+    // r = 1 ⇒ only the all-working pattern has weight.
+    let fa_perfect = effective_metric_exact(14, 1.0, metric);
+    let complete_lines = det.detect(&sample).unwrap().lines;
+    let complete_fa = pmu_outage::eval::metrics::sample_fa(&truth, &complete_lines);
+    assert_eq!(fa_perfect, complete_fa);
+}
+
+#[test]
+fn eq14_scaling_is_steep() {
+    // 118 devices at 99.9% each: the system-wide reliability drops to ~89%.
+    let r = system_reliability(0.999, 1.0, 118);
+    assert!((r - 0.999_f64.powi(118)).abs() < 1e-12);
+    assert!(r < 0.9 && r > 0.85);
+    // And inverting recovers the per-device figure.
+    let q = per_device_working_prob(r, 118);
+    assert!((q - 0.999).abs() < 1e-9);
+}
