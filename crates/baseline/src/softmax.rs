@@ -1,5 +1,5 @@
 //! A small multinomial (softmax) regression classifier trained by batch
-//! gradient descent with L2 regularization.
+//! gradient descent with heavy-ball momentum and L2 regularization.
 //!
 //! Self-contained: features as `Vec<f64>` rows, one weight row per class
 //! (bias folded in as a constant feature). Sized for the workspace's
@@ -20,11 +20,13 @@ pub struct SoftmaxConfig {
     pub lr: f64,
     /// L2 regularization strength.
     pub l2: f64,
+    /// Heavy-ball momentum coefficient (0 disables momentum).
+    pub momentum: f64,
 }
 
 impl Default for SoftmaxConfig {
     fn default() -> Self {
-        SoftmaxConfig { epochs: 200, lr: 0.8, l2: 1e-4 }
+        SoftmaxConfig { epochs: 300, lr: 0.8, l2: 1e-4, momentum: 0.9 }
     }
 }
 
@@ -59,6 +61,7 @@ impl Softmax {
         let mut w = Matrix::zeros(n_classes, n_features + 1);
         let mut probs = vec![0.0_f64; n_classes];
         let mut grad = Matrix::zeros(n_classes, n_features + 1);
+        let mut vel = Matrix::zeros(n_classes, n_features + 1);
 
         for _ in 0..cfg.epochs {
             // Zero the gradient.
@@ -85,7 +88,9 @@ impl Softmax {
             for c in 0..n_classes {
                 for f in 0..=n_features {
                     let reg = if f < n_features { cfg.l2 * w[(c, f)] } else { 0.0 };
-                    w[(c, f)] -= scale * grad[(c, f)] + cfg.lr * reg;
+                    let step = scale * grad[(c, f)] + cfg.lr * reg;
+                    vel[(c, f)] = cfg.momentum * vel[(c, f)] + step;
+                    w[(c, f)] -= vel[(c, f)];
                 }
             }
         }
@@ -199,7 +204,7 @@ mod tests {
         // Huge feature values must not overflow the softmax.
         let xs = vec![vec![1e6, -1e6], vec![-1e6, 1e6]];
         let ys = vec![0, 1];
-        let model = Softmax::train(&xs, &ys, 2, &SoftmaxConfig { epochs: 5, lr: 1e-7, l2: 0.0 });
+        let model = Softmax::train(&xs, &ys, 2, &SoftmaxConfig { epochs: 5, lr: 1e-7, l2: 0.0, momentum: 0.0 });
         let p = model.predict_proba(&[1e6, -1e6]);
         assert!(p.iter().all(|v| v.is_finite()));
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);

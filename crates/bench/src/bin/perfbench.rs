@@ -1,0 +1,216 @@
+//! `perfbench` — lightweight wall-clock timing harness.
+//!
+//! Unlike the criterion benches (which need `cargo bench` and an opt-in
+//! env var), this is a plain binary with zero benchmarking dependencies:
+//! `std::time::Instant` plus serde for the report. It times the three
+//! things future PRs care about for the perf trajectory and writes
+//! `BENCH_repro.json` at the repo root:
+//!
+//!   1. `Matrix::matmul` (cache-blocked) vs. the retained naive
+//!      `matmul_reference` at representative sizes,
+//!   2. `SystemSetup::build` per IEEE system (dataset generation +
+//!      detector/MLR training — the bulk of a `repro` run),
+//!   3. the fig5 evaluation pipeline with 1 worker vs. all workers,
+//!      recording the measured speedup honestly (on a single-core
+//!      machine this is ~1.0 by construction).
+//!
+//! ```text
+//! perfbench [--systems a,b,c] [--scale fast|standard|paper] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use pmu_eval::figures::fig5;
+use pmu_eval::runner::{EvalScale, SystemSetup};
+use pmu_numerics::{par, Matrix};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MatmulTiming {
+    m: usize,
+    k: usize,
+    n: usize,
+    blocked_ms: f64,
+    reference_ms: f64,
+    /// reference / blocked — > 1.0 means the blocked kernel is faster.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BuildTiming {
+    system: String,
+    seconds: f64,
+}
+
+#[derive(Serialize)]
+struct PipelineTiming {
+    systems: Vec<String>,
+    scale: String,
+    /// `SystemSetup::build_all` + fig5 with the worker pool pinned to 1.
+    serial_seconds: f64,
+    /// Same work with the full worker pool.
+    parallel_seconds: f64,
+    /// serial / parallel.
+    speedup: f64,
+    workers: usize,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    generated_by: String,
+    workers: usize,
+    available_parallelism: usize,
+    matmul: Vec<MatmulTiming>,
+    system_build: Vec<BuildTiming>,
+    fig5_pipeline: PipelineTiming,
+}
+
+/// Median of `reps` timed runs, in seconds.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Deterministic dense test matrix (no RNG needed for timing).
+fn fill(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let x = (i as u64)
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(j as u64)
+            .wrapping_add(salt);
+        (x % 2048) as f64 / 1024.0 - 1.0
+    })
+}
+
+fn bench_matmul() -> Vec<MatmulTiming> {
+    // Square sizes around the bus counts plus one rectangular shape like
+    // the observation-window products (n_buses x window).
+    let shapes: &[(usize, usize, usize)] =
+        &[(64, 64, 64), (118, 118, 118), (256, 256, 256), (118, 60, 118)];
+    shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            let a = fill(m, k, 1);
+            let b = fill(k, n, 2);
+            let blocked = time_median(5, || {
+                std::hint::black_box(a.matmul(&b).expect("dims agree"));
+            });
+            let reference = time_median(5, || {
+                std::hint::black_box(a.matmul_reference(&b).expect("dims agree"));
+            });
+            eprintln!(
+                "matmul {m}x{k}x{n}: blocked {:.3} ms, reference {:.3} ms",
+                blocked * 1e3,
+                reference * 1e3
+            );
+            MatmulTiming {
+                m,
+                k,
+                n,
+                blocked_ms: blocked * 1e3,
+                reference_ms: reference * 1e3,
+                speedup: reference / blocked,
+            }
+        })
+        .collect()
+}
+
+fn bench_builds(systems: &[String], scale: EvalScale) -> Vec<BuildTiming> {
+    systems
+        .iter()
+        .map(|name| {
+            let t = Instant::now();
+            let setup = SystemSetup::build(name, scale, 0xC0FFEE);
+            let seconds = t.elapsed().as_secs_f64();
+            std::hint::black_box(&setup);
+            eprintln!("build {name}: {seconds:.2} s");
+            BuildTiming { system: name.clone(), seconds }
+        })
+        .collect()
+}
+
+fn bench_pipeline(systems: &[String], scale: EvalScale) -> PipelineTiming {
+    let names: Vec<&str> = systems.iter().map(String::as_str).collect();
+    let run = || {
+        let setups = SystemSetup::build_all(&names, scale, 0xC0FFEE);
+        std::hint::black_box(fig5(&setups, scale));
+    };
+
+    par::set_threads(1);
+    let t = Instant::now();
+    run();
+    let serial = t.elapsed().as_secs_f64();
+    eprintln!("fig5 pipeline, 1 worker: {serial:.2} s");
+
+    par::set_threads(0); // back to PMU_THREADS / detected parallelism
+    let workers = par::num_threads();
+    let t = Instant::now();
+    run();
+    let parallel = t.elapsed().as_secs_f64();
+    eprintln!("fig5 pipeline, {workers} worker(s): {parallel:.2} s");
+
+    PipelineTiming {
+        systems: systems.to_vec(),
+        scale: format!("{scale:?}").to_lowercase(),
+        serial_seconds: serial,
+        parallel_seconds: parallel,
+        speedup: serial / parallel,
+        workers,
+    }
+}
+
+fn main() {
+    let mut systems: Vec<String> = vec!["ieee14".into(), "ieee30".into(), "ieee57".into()];
+    let mut scale = EvalScale::Standard;
+    let mut out = "BENCH_repro.json".to_string();
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--systems" => {
+                let v = it.next().expect("--systems needs a value");
+                systems = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--scale" => {
+                scale = match it.next().expect("--scale needs a value").as_str() {
+                    "fast" => EvalScale::Fast,
+                    "standard" => EvalScale::Standard,
+                    "paper" => EvalScale::Paper,
+                    other => panic!("unknown scale {other}"),
+                };
+            }
+            "--out" => out = it.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "perfbench: {} worker thread(s), {} core(s) available",
+        par::num_threads(),
+        available
+    );
+
+    let matmul = bench_matmul();
+    let system_build = bench_builds(&systems, scale);
+    let fig5_pipeline = bench_pipeline(&systems, scale);
+
+    let report = BenchReport {
+        generated_by: "perfbench (crates/bench/src/bin/perfbench.rs)".to_string(),
+        workers: par::num_threads(),
+        available_parallelism: available,
+        matmul,
+        system_build,
+        fig5_pipeline,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write report");
+    eprintln!("wrote {out}");
+}

@@ -18,7 +18,7 @@ use crate::config::DetectorConfig;
 use crate::ellipse::Ellipse;
 use crate::error::DetectError;
 use crate::Result;
-use pmu_numerics::Matrix;
+use pmu_numerics::{par, Matrix};
 use pmu_sim::dataset::Dataset;
 use pmu_sim::PhasorWindow;
 
@@ -30,12 +30,13 @@ use pmu_sim::PhasorWindow;
 pub fn fit_node_ellipses(normal: &PhasorWindow, cfg: &DetectorConfig) -> Result<Vec<Ellipse>> {
     let n = normal.n_nodes();
     let t = normal.len();
-    let mut out = Vec::with_capacity(n);
-    for node in 0..n {
+    // One independent fit per node, fanned out over the worker pool.
+    par::par_map_indexed(n, |node| {
         let points: Vec<[f64; 2]> = (0..t).map(|ti| normal.point2(node, ti)).collect();
-        out.push(Ellipse::fit(&points, cfg.ellipse, cfg.ellipse_margin)?);
-    }
-    Ok(out)
+        Ellipse::fit(&points, cfg.ellipse, cfg.ellipse_margin)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Eq. (5): capability of node `k` to flag one outage case, given that
@@ -137,17 +138,13 @@ pub fn learn_capabilities(
         )));
     }
 
-    // Per-case capability of each node k.
+    // Per-case capability of each node k, one work unit per outage case.
     // caps[ci][k] = p_k(F_ci)
-    let caps: Vec<Vec<f64>> = data
-        .cases
-        .iter()
-        .map(|case| {
-            (0..n)
-                .map(|k| case_capability(k, &ellipses[k], &case.train, &data.normal_train))
-                .collect()
-        })
-        .collect();
+    let caps: Vec<Vec<f64>> = par::par_map(&data.cases, |case| {
+        (0..n)
+            .map(|k| case_capability(k, &ellipses[k], &case.train, &data.normal_train))
+            .collect()
+    });
 
     // Aggregate per target node via the union probability over F_i.
     let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];

@@ -35,7 +35,7 @@ use crate::Result;
 use pmu_grid::cluster::{partition_clusters, Clustering};
 use pmu_grid::Network;
 use pmu_numerics::stats::quantile;
-use pmu_numerics::Vector;
+use pmu_numerics::{Matrix, Vector};
 use pmu_sim::dataset::Dataset;
 use pmu_sim::{PhasorSample, PhasorWindow};
 
@@ -133,11 +133,14 @@ impl Detector {
         let capabilities = learn_capabilities(data, &ellipses, cfg)?;
 
         // PCA loading matrix for the naive-group ablation: normal + all
-        // outage training windows concatenated.
-        let mut concat = data.normal_train.matrix(cfg.kind).clone();
+        // outage training windows concatenated. hcat_all preallocates the
+        // full width once; folding pairwise hcat here is O(cases²) copies.
+        let mut parts: Vec<&Matrix> = Vec::with_capacity(1 + data.cases.len());
+        parts.push(data.normal_train.matrix(cfg.kind));
         for case in &data.cases {
-            concat = concat.hcat(case.train.matrix(cfg.kind))?;
+            parts.push(case.train.matrix(cfg.kind));
         }
+        let concat = Matrix::hcat_all(&parts)?;
         let groups = build_groups(&clustering, &capabilities, &concat, cfg)?;
 
         let calib = calibrate(&subspaces, &data.normal_train, holdout_start, cfg)?;

@@ -22,7 +22,7 @@
 use crate::config::DetectorConfig;
 use crate::error::DetectError;
 use crate::Result;
-use pmu_numerics::{Matrix, Subspace, Svd};
+use pmu_numerics::{par, Matrix, Subspace, Svd};
 use pmu_sim::dataset::Dataset;
 
 /// All learned subspaces for one grid.
@@ -72,11 +72,11 @@ pub fn learn_subspaces(data: &Dataset, cfg: &DetectorConfig) -> Result<LearnedSu
         .min((t / 2).max(cfg.subspace_dim));
     let normal = case_subspace(data.normal_train.matrix(cfg.kind), normal_dim)?;
 
-    let per_case: Vec<Subspace> = data
-        .cases
-        .iter()
-        .map(|c| case_subspace(c.train.matrix(cfg.kind), cfg.subspace_dim))
-        .collect::<Result<_>>()?;
+    // One SVD per outage case, fanned out over the worker pool.
+    let per_case: Vec<Subspace> =
+        par::par_map(&data.cases, |c| case_subspace(c.train.matrix(cfg.kind), cfg.subspace_dim))
+            .into_iter()
+            .collect::<Result<_>>()?;
 
     // Group case indices by incident node.
     let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -85,17 +85,21 @@ pub fn learn_subspaces(data: &Dataset, cfg: &DetectorConfig) -> Result<LearnedSu
         incident[case.endpoints.1].push(ci);
     }
 
-    let mut union = Vec::with_capacity(n);
-    let mut intersection = Vec::with_capacity(n);
-    for node in 0..n {
+    // Per-node aggregation (Eq. (3)) is independent across nodes: each
+    // union/intersection reads only the shared per-case bases.
+    let per_node: Vec<Result<(Subspace, Subspace)>> = par::par_map_indexed(n, |node| {
         if incident[node].is_empty() {
-            union.push(Subspace::zero(n));
-            intersection.push(Subspace::zero(n));
-            continue;
+            return Ok((Subspace::zero(n), Subspace::zero(n)));
         }
         let spaces: Vec<&Subspace> = incident[node].iter().map(|&ci| &per_case[ci]).collect();
-        union.push(Subspace::union(&spaces)?);
-        intersection.push(Subspace::intersection(&spaces)?);
+        Ok((Subspace::union(&spaces)?, Subspace::intersection(&spaces)?))
+    });
+    let mut union = Vec::with_capacity(n);
+    let mut intersection = Vec::with_capacity(n);
+    for r in per_node {
+        let (u, i) = r?;
+        union.push(u);
+        intersection.push(i);
     }
 
     Ok(LearnedSubspaces { normal, per_case, union, intersection })

@@ -1,12 +1,16 @@
 //! `repro` — regenerate every figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [FIGURES] [--systems a,b,c] [--scale fast|standard|paper] [--json PATH]
+//! repro [FIGURES] [--systems a,b,c] [--scale fast|standard|paper]
+//!       [--threads N] [--json PATH]
 //!
 //! FIGURES   comma-separated subset of fig4,fig5,fig7,fig8,fig9,fig10
 //!           (default: all)
 //! --systems which IEEE systems to run (default: ieee14,ieee30,ieee57,ieee118)
 //! --scale   evaluation effort (default: standard)
+//! --threads worker threads for generation/training/evaluation
+//!           (default: PMU_THREADS env, then the detected parallelism;
+//!           results are identical for any thread count)
 //! --json    also dump all series as JSON to PATH
 //! ```
 
@@ -16,6 +20,7 @@ use pmu_eval::figures::{
     fig10, fig10_table, fig4, fig4_table, fig5, fig7, fig8, fig9, method_table,
 };
 use pmu_eval::runner::{paper_systems, EvalScale, SystemSetup};
+use pmu_numerics::par;
 use serde::Serialize;
 
 #[derive(Serialize, Default)]
@@ -53,6 +58,12 @@ fn main() {
                     other => panic!("unknown scale {other}"),
                 };
             }
+            "--threads" => {
+                let v = it.next().expect("--threads needs a value");
+                let n: usize = v.parse().expect("--threads needs a positive integer");
+                assert!(n > 0, "--threads needs a positive integer");
+                par::set_threads(n);
+            }
             "--json" => json_path = Some(it.next().expect("--json needs a path")),
             other if other.starts_with("fig") || other.starts_with("abl") || other.starts_with("ext") => {
                 figures.extend(other.split(',').map(|s| s.trim().to_string()));
@@ -67,14 +78,13 @@ fn main() {
             .collect();
     }
 
-    eprintln!("building systems {systems:?} at {scale:?} scale...");
-    let setups: Vec<SystemSetup> = systems
-        .iter()
-        .map(|name| {
-            eprintln!("  generating + training {name}...");
-            SystemSetup::build(name, scale, 0xC0FFEE)
-        })
-        .collect();
+    eprintln!(
+        "building systems {systems:?} at {scale:?} scale ({} worker thread{})...",
+        par::num_threads(),
+        if par::num_threads() == 1 { "" } else { "s" }
+    );
+    let names: Vec<&str> = systems.iter().map(String::as_str).collect();
+    let setups: Vec<SystemSetup> = SystemSetup::build_all(&names, scale, 0xC0FFEE);
 
     let mut all = AllResults::default();
     for fig in &figures {

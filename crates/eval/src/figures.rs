@@ -7,6 +7,7 @@
 use crate::metrics::Metrics;
 use crate::runner::{EvalScale, SystemSetup};
 use pmu_detect::{Detector, DetectorConfig};
+use pmu_numerics::par;
 use pmu_sim::dataset::OutageCase;
 use pmu_sim::missing::outage_endpoints_mask;
 use pmu_sim::reliability::{per_device_working_prob, reliability_sweep};
@@ -126,17 +127,23 @@ pub fn random_missing_count(n_buses: usize) -> usize {
 }
 
 /// **Fig. 5** — complete data: subspace vs MLR on every system.
+///
+/// Systems are evaluated in parallel; each system seeds its own RNG, so
+/// the output is identical for any worker count.
 pub fn fig5(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
-    let mut out = Vec::new();
-    for s in setups {
+    par::par_map(setups, |s| {
         let mut rng = StdRng::seed_from_u64(0x0501);
         let none = |_: &OutageCase, _: &mut StdRng| Mask::all_present(s.network.n_buses());
         let sub = eval_outages(s, Some(&s.detector), scale, &mut rng, none);
         let mlr = eval_outages(s, None, scale, &mut rng, none);
-        out.push(MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() });
-        out.push(MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() });
-    }
-    out
+        [
+            MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() },
+            MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() },
+        ]
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// **Fig. 4** — effect of detection-group formation: sweep the fraction of
@@ -144,59 +151,65 @@ pub fn fig5(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
 /// 1 = proposed) with complete data.
 pub fn fig4(setups: &[SystemSetup], scale: EvalScale) -> Vec<Fig4Point> {
     let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
-    let mut out = Vec::new();
-    for s in setups {
-        for &frac in &fractions {
-            let cfg = DetectorConfig { capability_fraction: frac, ..s.detector_cfg.clone() };
-            let det = s.retrain_detector(&cfg);
-            let mut rng = StdRng::seed_from_u64(0x0401);
-            let none = |_: &OutageCase, _: &mut StdRng| Mask::all_present(s.network.n_buses());
-            let m = eval_outages(s, Some(&det), scale, &mut rng, none);
-            out.push(Fig4Point { system: s.name.clone(), fraction: frac, ia: m.ia(), fa: m.fa() });
-        }
-    }
-    out
+    // One retrain + evaluation per (system, fraction) point — the finest
+    // independent grain, so the sweep fills the worker pool even for a
+    // single system.
+    let jobs: Vec<(&SystemSetup, f64)> =
+        setups.iter().flat_map(|s| fractions.iter().map(move |&f| (s, f))).collect();
+    par::par_map(&jobs, |&(s, frac)| {
+        let cfg = DetectorConfig { capability_fraction: frac, ..s.detector_cfg.clone() };
+        let det = s.retrain_detector(&cfg);
+        let mut rng = StdRng::seed_from_u64(0x0401);
+        let none = |_: &OutageCase, _: &mut StdRng| Mask::all_present(s.network.n_buses());
+        let m = eval_outages(s, Some(&det), scale, &mut rng, none);
+        Fig4Point { system: s.name.clone(), fraction: frac, ia: m.ia(), fa: m.fa() }
+    })
 }
 
 /// **Fig. 7** — missing outage data: the PMUs at both endpoints of the
 /// outaged line are dark (top row of Fig. 6).
 pub fn fig7(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
-    let mut out = Vec::new();
-    for s in setups {
+    par::par_map(setups, |s| {
         let n = s.network.n_buses();
         let mut rng = StdRng::seed_from_u64(0x0701);
         let mask = |case: &OutageCase, _: &mut StdRng| outage_endpoints_mask(n, case.endpoints);
         let sub = eval_outages(s, Some(&s.detector), scale, &mut rng, mask);
         let mlr = eval_outages(s, None, scale, &mut rng, mask);
-        out.push(MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() });
-        out.push(MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() });
-    }
-    out
+        [
+            MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() },
+            MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() },
+        ]
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// **Fig. 8** — random missing data during *normal operation*: can the
 /// method tell a data problem from a physical failure? (middle row of
 /// Fig. 6; `|F| = 0` conventions of Sec. V-C2).
 pub fn fig8(setups: &[SystemSetup]) -> Vec<MethodPoint> {
-    let mut out = Vec::new();
-    for s in setups {
+    par::par_map(setups, |s| {
         let n = s.network.n_buses();
         let k = random_missing_count(n);
         let pattern = MissingPattern::RandomK { k, exclude: vec![] };
         let mut rng = StdRng::seed_from_u64(0x0801);
         let sub = eval_normals(s, Some(&s.detector), &mut rng, |r| pattern.draw(n, r));
         let mlr = eval_normals(s, None, &mut rng, |r| pattern.draw(n, r));
-        out.push(MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() });
-        out.push(MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() });
-    }
-    out
+        [
+            MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() },
+            MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() },
+        ]
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// **Fig. 9** — outage samples with random missing data *away from* the
 /// outage location (bottom row of Fig. 6).
 pub fn fig9(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
-    let mut out = Vec::new();
-    for s in setups {
+    par::par_map(setups, |s| {
         let n = s.network.n_buses();
         let k = random_missing_count(n);
         let mut rng = StdRng::seed_from_u64(0x0901);
@@ -206,46 +219,52 @@ pub fn fig9(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
         };
         let sub = eval_outages(s, Some(&s.detector), scale, &mut rng, mask);
         let mlr = eval_outages(s, None, scale, &mut rng, mask);
-        out.push(MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() });
-        out.push(MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() });
-    }
-    out
+        [
+            MethodPoint { system: s.name.clone(), method: "subspace".into(), ia: sub.ia(), fa: sub.fa() },
+            MethodPoint { system: s.name.clone(), method: "mlr".into(), ia: mlr.ia(), fa: mlr.fa() },
+        ]
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// **Fig. 10** — effective false-alarm rate versus system-wide PMU-network
 /// reliability `r` (Eq. 13–15), estimated by Monte-Carlo over missing
 /// patterns with per-device working probability `q = r^{1/L}`.
 pub fn fig10(setups: &[SystemSetup], scale: EvalScale) -> Vec<Fig10Point> {
-    let mut out = Vec::new();
-    for s in setups {
+    // One Monte-Carlo run per (system, reliability) point; each point
+    // seeds its RNG from `r` alone, so the fan-out changes nothing.
+    let jobs: Vec<(&SystemSetup, f64)> = setups
+        .iter()
+        .flat_map(|s| reliability_sweep().into_iter().map(move |r| (s, r)))
+        .collect();
+    par::par_map(&jobs, |&(s, r)| {
         let n = s.network.n_buses();
         let patterns = scale.reliability_patterns();
-        for &r in &reliability_sweep() {
-            let q = per_device_working_prob(r, n);
-            let pattern = MissingPattern::Bernoulli { p: 1.0 - q };
-            let mut rng = StdRng::seed_from_u64((r * 1e6) as u64 ^ 0x1001);
-            let mut sub = Metrics::new();
-            let mut mlr = Metrics::new();
-            // Round-robin over outage cases and their test samples.
-            let cases = &s.dataset.cases;
-            for p in 0..patterns {
-                let case = &cases[p % cases.len()];
-                let t = (p / cases.len()) % case.test.len();
-                let mask = pattern.draw(n, &mut rng);
-                let sample = case.test.sample(t).masked(&mask);
-                let truth = [case.branch];
-                sub.add(&truth, &detect_lines(&s.detector, &sample));
-                mlr.add(&truth, &mlr_lines(s, &sample));
-            }
-            out.push(Fig10Point {
-                system: s.name.clone(),
-                reliability: r,
-                fa_subspace: sub.fa(),
-                fa_mlr: mlr.fa(),
-            });
+        let q = per_device_working_prob(r, n);
+        let pattern = MissingPattern::Bernoulli { p: 1.0 - q };
+        let mut rng = StdRng::seed_from_u64((r * 1e6) as u64 ^ 0x1001);
+        let mut sub = Metrics::new();
+        let mut mlr = Metrics::new();
+        // Round-robin over outage cases and their test samples.
+        let cases = &s.dataset.cases;
+        for p in 0..patterns {
+            let case = &cases[p % cases.len()];
+            let t = (p / cases.len()) % case.test.len();
+            let mask = pattern.draw(n, &mut rng);
+            let sample = case.test.sample(t).masked(&mask);
+            let truth = [case.branch];
+            sub.add(&truth, &detect_lines(&s.detector, &sample));
+            mlr.add(&truth, &mlr_lines(s, &sample));
         }
-    }
-    out
+        Fig10Point {
+            system: s.name.clone(),
+            reliability: r,
+            fa_subspace: sub.fa(),
+            fa_mlr: mlr.fa(),
+        }
+    })
 }
 
 /// Render `MethodPoint`s as an aligned text table.

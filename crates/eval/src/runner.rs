@@ -8,6 +8,7 @@ use pmu_detect::{Detector, DetectorConfig};
 use pmu_detect::detector::cluster_heuristic;
 use pmu_grid::cases::by_name;
 use pmu_grid::Network;
+use pmu_numerics::par;
 use pmu_sim::{generate_dataset, Dataset, GenConfig};
 
 /// How much work an evaluation run does. `Fast` keeps CI and unit tests
@@ -103,6 +104,17 @@ impl SystemSetup {
     /// Panics on training failure (programming error in the sweep).
     pub fn retrain_detector(&self, cfg: &DetectorConfig) -> Detector {
         Detector::train(&self.dataset, cfg).expect("detector retraining")
+    }
+
+    /// Build several systems, one work unit per system, fanned out over
+    /// the worker pool. Ordering follows `names`; each system derives its
+    /// generation streams from `seed` alone, so the result is identical
+    /// to sequential [`SystemSetup::build`] calls.
+    ///
+    /// # Panics
+    /// As [`SystemSetup::build`] (the panic surfaces on the caller).
+    pub fn build_all(names: &[&str], scale: EvalScale, seed: u64) -> Vec<SystemSetup> {
+        par::par_map(names, |name| SystemSetup::build(name, scale, seed))
     }
 }
 

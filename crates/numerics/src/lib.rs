@@ -24,6 +24,8 @@
 //! - [`subspace`] — orthonormal subspaces: projection, residuals, unions,
 //!   intersections, principal angles.
 //! - [`stats`] — small statistics helpers (means, quantiles, covariance).
+//! - [`par`] — zero-dependency data-parallel executor (`par_map`) used by
+//!   the scenario-generation and training pipelines.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -34,6 +36,7 @@ pub mod eigen;
 pub mod error;
 pub mod lu;
 pub mod matrix;
+pub mod par;
 pub mod qr;
 pub mod stats;
 pub mod subspace;

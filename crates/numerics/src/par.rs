@@ -1,0 +1,191 @@
+//! Zero-dependency data-parallel executor.
+//!
+//! The train/eval pipeline is embarrassingly parallel along several axes —
+//! one independent unit of work per outaged line, per node, or per IEEE
+//! system — but the build environment has no crates.io access, so rayon is
+//! not an option. This module provides the two primitives the pipeline
+//! needs, built directly on [`std::thread::scope`]:
+//!
+//! - [`par_map`] — map a closure over a slice, preserving order;
+//! - [`par_map_indexed`] — map a closure over `0..n`, preserving order.
+//!
+//! Work is distributed dynamically: workers pull the next index from a
+//! shared atomic counter, so uneven per-item cost (an IEEE-118 AC solve
+//! next to an IEEE-14 one) balances automatically. Results are returned in
+//! input order regardless of completion order, and a panic in any worker
+//! is re-raised on the caller with its original payload.
+//!
+//! ## Worker count
+//!
+//! [`num_threads`] resolves, in priority order:
+//!
+//! 1. a process-wide override installed with [`set_threads`] (used by the
+//!    `repro --threads N` flag);
+//! 2. the `PMU_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With one worker every `par_*` call degrades to a plain sequential map
+//! on the calling thread — no threads are spawned, so single-threaded runs
+//! carry zero overhead and remain easy to profile.
+//!
+//! ## Determinism
+//!
+//! The executor itself introduces no nondeterminism: outputs are placed by
+//! input index. Callers stay bit-deterministic across thread counts as
+//! long as each work item is self-contained — in particular, each scenario
+//! derives an independent RNG stream from `(seed, branch_index)` instead
+//! of drawing sequentially from one generator (see `pmu-sim`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override; `0` means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Install a process-wide worker-count override (`0` clears it).
+///
+/// Takes precedence over `PMU_THREADS` and the detected parallelism.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The effective worker count used by [`par_map`] / [`par_map_indexed`].
+pub fn num_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(s) = std::env::var("PMU_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Map `f` over `0..n` on the worker pool, returning results in index
+/// order.
+///
+/// # Panics
+/// Re-raises (with the original payload) any panic raised by `f` on a
+/// worker thread.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = num_threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, U)>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => buckets.push(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (i, v) in buckets.into_iter().flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter().map(|o| o.expect("every index produced")).collect()
+}
+
+/// Map `f` over a slice on the worker pool, returning results in input
+/// order.
+///
+/// # Panics
+/// Re-raises (with the original payload) any panic raised by `f` on a
+/// worker thread.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_indexed_covers_range() {
+        let out = par_map_indexed(100, |i| i as f64 + 0.5);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f64 + 0.5);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map_indexed(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn override_wins_and_clears() {
+        set_threads(3);
+        assert_eq!(num_threads(), 3);
+        // Work still completes (and in order) under the override.
+        let out = par_map_indexed(10, |i| i * i);
+        assert_eq!(out[9], 81);
+        set_threads(0);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let serial: Vec<f64> = (0..64).map(|i| (i as f64).sqrt()).collect();
+        for workers in [1usize, 2, 4, 7] {
+            set_threads(workers);
+            let par = par_map_indexed(64, |i| (i as f64).sqrt());
+            assert_eq!(par, serial, "workers={workers}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner panic payload")]
+    fn worker_panic_propagates_payload() {
+        set_threads(2);
+        let _ = par_map_indexed(8, |i| {
+            if i == 5 {
+                panic!("inner panic payload");
+            }
+            i
+        });
+    }
+}

@@ -165,6 +165,31 @@ proptest! {
     }
 
     #[test]
+    fn blocked_matmul_matches_reference(
+        (m, k, n) in (1usize..80, 1usize..140, 1usize..80),
+        seed in any::<u64>(),
+    ) {
+        // Random rectangular shapes straddling the 64-wide tile edge. The
+        // blocked kernel accumulates over k in the same ascending order as
+        // the reference, so the comparison is exact, not within-epsilon.
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64*: cheap deterministic fill, entries in [-8, 8).
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+                / (1u64 << 53) as f64 * 16.0 - 8.0
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(k, n, |_, _| next());
+        let blocked = a.matmul(&b).unwrap();
+        let reference = a.matmul_reference(&b).unwrap();
+        prop_assert_eq!(blocked.shape(), (m, n));
+        prop_assert_eq!(blocked.max_abs_diff(&reference), 0.0);
+    }
+
+    #[test]
     fn matmul_is_associative(a in matrix_strategy(4, 3), b in matrix_strategy(3, 5), c in matrix_strategy(5, 2)) {
         let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();

@@ -17,7 +17,7 @@ use crate::ou::{LoadProcess, OuParams};
 use crate::sample::PhasorWindow;
 use pmu_flow::{solve_ac, AcConfig, FlowError};
 use pmu_grid::Network;
-use pmu_numerics::Complex64;
+use pmu_numerics::{par, Complex64};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -172,30 +172,27 @@ pub fn generate_dataset(net: &Network, cfg: &GenConfig) -> Result<Dataset, GenEr
     let normal = simulate_window(net, total, &cfg.ou, &cfg.noise, &cfg.ac, &mut rng)?;
     let (normal_train, normal_test) = split_window(&normal, cfg.train_len);
 
-    let mut cases = Vec::new();
-    for branch in net.valid_outage_branches() {
-        let out_net = match net.with_branch_outage(branch) {
-            Ok(n) => n,
-            Err(_) => continue,
-        };
-        // Independent per-case stream: reproducible regardless of which
-        // other cases succeed.
-        let mut case_rng =
-            StdRng::seed_from_u64(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(branch as u64 + 1)));
-        match simulate_window(&out_net, total, &cfg.ou, &cfg.noise, &cfg.ac, &mut case_rng) {
-            Ok(window) => {
-                let (train, test) = split_window(&window, cfg.train_len);
-                let br = &net.branches()[branch];
-                cases.push(OutageCase {
-                    branch,
-                    endpoints: (br.from, br.to),
-                    train,
-                    test,
-                });
-            }
-            Err(_) => continue, // excluded: "cases that do not converge … are not considered"
-        }
-    }
+    // One unit of work per outaged line, fanned out over the worker pool.
+    // Each case derives an independent RNG stream from (seed, branch), so
+    // the result is bit-identical for any thread count, and reproducible
+    // regardless of which other cases succeed.
+    let branches = net.valid_outage_branches();
+    let cases: Vec<OutageCase> = par::par_map(&branches, |&branch| {
+        let out_net = net.with_branch_outage(branch).ok()?;
+        let mut case_rng = StdRng::seed_from_u64(
+            cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(branch as u64 + 1)),
+        );
+        // Excluded on error: "cases that do not converge … are not
+        // considered".
+        let window =
+            simulate_window(&out_net, total, &cfg.ou, &cfg.noise, &cfg.ac, &mut case_rng).ok()?;
+        let (train, test) = split_window(&window, cfg.train_len);
+        let br = &net.branches()[branch];
+        Some(OutageCase { branch, endpoints: (br.from, br.to), train, test })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     Ok(Dataset { network: net.clone(), normal_train, normal_test, cases })
 }
@@ -239,32 +236,40 @@ pub fn generate_double_outages(
         }
     }
 
+    // Fan candidate pairs out in batches. The serial loop stopped at the
+    // first `max_pairs` successes in pair order; batching preserves that
+    // exactly (successes are collected in pair order, and generation is
+    // per-pair seeded) while bounding wasted work to one batch.
     let mut out = Vec::new();
-    for (a, b) in pairs {
+    let batch = (4 * par::num_threads()).max(max_pairs.min(8));
+    for chunk in pairs.chunks(batch) {
         if out.len() >= max_pairs {
             break;
         }
-        let double = match net.with_branch_outages(&[a, b]) {
-            Ok(n) => n,
-            Err(_) => continue,
-        };
-        let mut rng = StdRng::seed_from_u64(
-            cfg.seed ^ (a as u64).wrapping_mul(0x517C_C1B7_2722_0A95) ^ (b as u64) << 17,
-        );
-        match simulate_window(&double, cfg.test_len, &cfg.ou, &cfg.noise, &cfg.ac, &mut rng) {
-            Ok(test) => {
-                let (af, at) = endpoint(a);
-                let (bf, bt) = endpoint(b);
-                let mut nodes = vec![af, at, bf, bt];
-                nodes.sort_unstable();
-                nodes.dedup();
-                out.push(crate::dataset::MultiOutageCase {
-                    branches: vec![a, b],
-                    affected_nodes: nodes,
-                    test,
-                });
+        let produced = par::par_map(chunk, |&(a, b)| {
+            let double = net.with_branch_outages(&[a, b]).ok()?;
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed ^ (a as u64).wrapping_mul(0x517C_C1B7_2722_0A95) ^ (b as u64) << 17,
+            );
+            let test =
+                simulate_window(&double, cfg.test_len, &cfg.ou, &cfg.noise, &cfg.ac, &mut rng)
+                    .ok()?;
+            let (af, at) = endpoint(a);
+            let (bf, bt) = endpoint(b);
+            let mut nodes = vec![af, at, bf, bt];
+            nodes.sort_unstable();
+            nodes.dedup();
+            Some(crate::dataset::MultiOutageCase {
+                branches: vec![a, b],
+                affected_nodes: nodes,
+                test,
+            })
+        });
+        for case in produced.into_iter().flatten() {
+            if out.len() >= max_pairs {
+                break;
             }
-            Err(_) => continue,
+            out.push(case);
         }
     }
     Ok(out)

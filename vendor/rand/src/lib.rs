@@ -1,0 +1,247 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! the real `rand` cannot be resolved. This crate implements exactly the
+//! subset of the rand 0.8 API the workspace uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range` — on top of
+//! a xoshiro256** core seeded through splitmix64. The stream is fixed and
+//! platform-independent, which is all the pipeline needs: every consumer
+//! seeds explicitly and depends only on determinism, not on matching the
+//! upstream crate's stream bit-for-bit.
+
+#![deny(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a generator's raw bits.
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that `Rng::gen_range` can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Unbiased integer sampling in `[0, span)` by rejection on the top bits.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + uniform_u64(rng, span) as usize
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + uniform_u64(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// High-level sampling interface, blanket-implemented for every core.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the generator's raw bits.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// splitmix64. Fast, 256-bit state, passes BigCrush — more than
+    /// adequate for Monte-Carlo scenario generation (it is *not* a CSPRNG,
+    /// matching upstream `StdRng`'s contract of "reproducible, not
+    /// cryptographic" as used here).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_all_buckets() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hits = [0usize; 5];
+        for _ in 0..5_000 {
+            hits[rng.gen_range(0..5usize)] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 700), "{hits:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(3..3usize);
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! two shapes the workspace uses — structs with named fields and enums
+//! with unit variants — by parsing the raw [`proc_macro::TokenStream`]
+//! directly (no `syn`/`quote`, which are equally unavailable offline).
+//! Anything outside that subset (tuple structs, generics, data-carrying
+//! variants, `#[serde(...)]` attributes) produces a compile error naming
+//! the limitation rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What shape the derive input turned out to be.
+enum Input {
+    /// Struct name + named field identifiers, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant identifiers, in declaration order.
+    Enum(String, Vec<String>),
+}
+
+/// Derive `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = match parse(input) {
+        Ok(Input::Struct(name, fields)) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Obj(::std::vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Input::Enum(name, variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Err(msg) => format!("compile_error!(\"derive(Serialize): {msg}\");"),
+    };
+    src.parse().expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize` (value-tree rebuilding).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let src = match parse(input) {
+        Ok(Input::Struct(name, fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(v, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Input::Enum(name, variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::DeError::new(::std::format!(\
+                                         \"unknown {name} variant {{other}}\"))),\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::new(\
+                                 \"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Err(msg) => format!("compile_error!(\"derive(Deserialize): {msg}\");"),
+    };
+    src.parse().expect("generated impl parses")
+}
+
+/// Parse the derive input into its name and field/variant lists.
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&toks, &mut i)?;
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum keyword, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type {name} is not supported by the offline stub"));
+    }
+
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!("tuple struct {name} is not supported by the offline stub"));
+        }
+        other => return Err(format!("expected {{...}} body for {name}, got {other:?}")),
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Input::Struct(name, parse_named_fields(body)?)),
+        "enum" => Ok(Input::Enum(name, parse_unit_variants(body)?)),
+        other => Err(format!("expected struct or enum, got `{other}`")),
+    }
+}
+
+/// Advance past leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]` (also covers `#![...]`, which cannot
+                // appear here anyway).
+                *i += 1;
+                match toks.get(*i) {
+                    Some(TokenTree::Group(_)) => *i += 1,
+                    other => return Err(format!("malformed attribute: {other:?}")),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Field identifiers of a named-field struct body, in order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i)?;
+        if i >= toks.len() {
+            break;
+        }
+        let field = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{field}`, got {other:?}")),
+        }
+        // Consume the type: everything up to the next comma that is not
+        // nested inside `<...>` generic arguments. Grouped tokens
+        // (`[f64; 2]`, `(usize, usize)`) arrive as single trees, so only
+        // angle brackets need explicit depth tracking.
+        let mut angle_depth = 0usize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Variant identifiers of a unit-variant enum body, in order.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i)?;
+        if i >= toks.len() {
+            break;
+        }
+        let variant = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant {variant} carries data; only unit variants are \
+                     supported by the offline stub"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "variant {variant} has a discriminant; not supported by \
+                     the offline stub"
+                ));
+            }
+            other => return Err(format!("unexpected token after {variant}: {other:?}")),
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
