@@ -71,6 +71,10 @@ impl MlrDetector {
     pub fn train(data: &Dataset, cfg: &MlrConfig) -> MlrDetector {
         assert!(!data.cases.is_empty(), "MLR training needs outage cases");
         let n = data.n_nodes();
+        let mut trace_span = pmu_obs::span("baseline.mlr_train")
+            .with("system", data.network.name.as_str())
+            .with("nodes", n)
+            .with("classes", data.cases.len() + 1);
 
         let mut samples: Vec<Vec<f64>> = Vec::new();
         let mut labels: Vec<usize> = Vec::new();
@@ -116,6 +120,7 @@ impl MlrDetector {
             }
         }
 
+        trace_span.record("train_samples", samples.len());
         let model = Softmax::train(&samples, &labels, data.cases.len() + 1, &cfg.softmax);
         MlrDetector {
             model,

@@ -2,8 +2,8 @@
 //!
 //! Unlike the criterion benches (which need `cargo bench` and an opt-in
 //! env var), this is a plain binary with zero benchmarking dependencies:
-//! `std::time::Instant` plus serde for the report. It times the three
-//! things future PRs care about for the perf trajectory and writes
+//! `std::time::Instant` plus serde for the report. It times the things
+//! future PRs care about for the perf trajectory and writes
 //! `BENCH_repro.json` at the repo root:
 //!
 //!   1. `Matrix::matmul` (cache-blocked) vs. the retained naive
@@ -12,10 +12,18 @@
 //!      detector/MLR training — the bulk of a `repro` run),
 //!   3. the fig5 evaluation pipeline with 1 worker vs. all workers,
 //!      recording the measured speedup honestly (on a single-core
-//!      machine this is ~1.0 by construction).
+//!      machine this is ~1.0 by construction),
+//!   4. the cost of the `pmu-obs` instrumentation, disabled (the
+//!      default) and fully enabled — the disabled probes must stay
+//!      under 2% of kernel time.
+//!
+//! The report embeds run metadata (worker count, scale, seed, git
+//! revision) so two reports can be compared apples-to-apples with the
+//! `benchdiff` subcommand:
 //!
 //! ```text
 //! perfbench [--systems a,b,c] [--scale fast|standard|paper] [--out PATH]
+//! perfbench benchdiff OLD.json NEW.json   # flags >10% time regressions
 //! ```
 
 use std::time::Instant;
@@ -23,7 +31,10 @@ use std::time::Instant;
 use pmu_eval::figures::fig5;
 use pmu_eval::runner::{EvalScale, SystemSetup};
 use pmu_numerics::{par, Matrix};
-use serde::Serialize;
+use serde::{Serialize, Value};
+
+/// Seed shared with `repro` so build timings measure the same work.
+const SEED: u64 = 0xC0FFEE;
 
 #[derive(Serialize)]
 struct MatmulTiming {
@@ -56,13 +67,36 @@ struct PipelineTiming {
 }
 
 #[derive(Serialize)]
+struct ObsOverheadTiming {
+    /// ns per disabled metric probe (one relaxed load + branch).
+    probe_disabled_ns: f64,
+    /// ns per enabled counter increment.
+    probe_enabled_ns: f64,
+    /// Matmul workload with instrumentation disabled (the default).
+    workload_disabled_ms: f64,
+    /// Same workload fully traced to an in-memory sink.
+    workload_enabled_ms: f64,
+    /// Estimated share of the disabled workload spent in probes
+    /// (probe count × disabled probe cost / kernel time). Must stay
+    /// well under 2.0.
+    disabled_overhead_pct: f64,
+    /// Full-tracing overhead relative to the disabled workload.
+    enabled_overhead_pct: f64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     generated_by: String,
     workers: usize,
     available_parallelism: usize,
+    scale: String,
+    seed: u64,
+    /// `git rev-parse --short HEAD`, when available.
+    git_revision: Option<String>,
     matmul: Vec<MatmulTiming>,
     system_build: Vec<BuildTiming>,
     fig5_pipeline: PipelineTiming,
+    obs_overhead: ObsOverheadTiming,
 }
 
 /// Median of `reps` timed runs, in seconds.
@@ -105,11 +139,11 @@ fn bench_matmul() -> Vec<MatmulTiming> {
             let reference = time_median(5, || {
                 std::hint::black_box(a.matmul_reference(&b).expect("dims agree"));
             });
-            eprintln!(
+            pmu_obs::info(&format!(
                 "matmul {m}x{k}x{n}: blocked {:.3} ms, reference {:.3} ms",
                 blocked * 1e3,
                 reference * 1e3
-            );
+            ));
             MatmulTiming {
                 m,
                 k,
@@ -127,10 +161,10 @@ fn bench_builds(systems: &[String], scale: EvalScale) -> Vec<BuildTiming> {
         .iter()
         .map(|name| {
             let t = Instant::now();
-            let setup = SystemSetup::build(name, scale, 0xC0FFEE);
+            let setup = SystemSetup::build(name, scale, SEED);
             let seconds = t.elapsed().as_secs_f64();
             std::hint::black_box(&setup);
-            eprintln!("build {name}: {seconds:.2} s");
+            pmu_obs::info(&format!("build {name}: {seconds:.2} s"));
             BuildTiming { system: name.clone(), seconds }
         })
         .collect()
@@ -139,7 +173,7 @@ fn bench_builds(systems: &[String], scale: EvalScale) -> Vec<BuildTiming> {
 fn bench_pipeline(systems: &[String], scale: EvalScale) -> PipelineTiming {
     let names: Vec<&str> = systems.iter().map(String::as_str).collect();
     let run = || {
-        let setups = SystemSetup::build_all(&names, scale, 0xC0FFEE);
+        let setups = SystemSetup::build_all(&names, scale, SEED);
         std::hint::black_box(fig5(&setups, scale));
     };
 
@@ -147,18 +181,18 @@ fn bench_pipeline(systems: &[String], scale: EvalScale) -> PipelineTiming {
     let t = Instant::now();
     run();
     let serial = t.elapsed().as_secs_f64();
-    eprintln!("fig5 pipeline, 1 worker: {serial:.2} s");
+    pmu_obs::info(&format!("fig5 pipeline, 1 worker: {serial:.2} s"));
 
     par::set_threads(0); // back to PMU_THREADS / detected parallelism
     let workers = par::num_threads();
     let t = Instant::now();
     run();
     let parallel = t.elapsed().as_secs_f64();
-    eprintln!("fig5 pipeline, {workers} worker(s): {parallel:.2} s");
+    pmu_obs::info(&format!("fig5 pipeline, {workers} worker(s): {parallel:.2} s"));
 
     PipelineTiming {
         systems: systems.to_vec(),
-        scale: format!("{scale:?}").to_lowercase(),
+        scale: scale.label().to_string(),
         serial_seconds: serial,
         parallel_seconds: parallel,
         speedup: serial / parallel,
@@ -166,12 +200,191 @@ fn bench_pipeline(systems: &[String], scale: EvalScale) -> PipelineTiming {
     }
 }
 
+/// Measure what the instrumentation costs: per-probe, and on a
+/// matmul-heavy workload, with the probes disabled (default) and with
+/// full tracing to an in-memory sink.
+///
+/// Must run after the other benches — it toggles the global obs state
+/// and restores "disabled" on exit.
+fn bench_obs_overhead() -> ObsOverheadTiming {
+    const PROBES: usize = 1_000_000;
+    // Per-probe cost, disabled: one relaxed load + branch.
+    let disabled_s = time_median(3, || {
+        for _ in 0..PROBES {
+            pmu_obs::counter!("bench.probe").inc();
+        }
+    });
+    pmu_obs::set_metrics_enabled(true);
+    let enabled_s = time_median(3, || {
+        for _ in 0..PROBES {
+            pmu_obs::counter!("bench.probe").inc();
+        }
+    });
+    pmu_obs::set_metrics_enabled(false);
+
+    // Workload: instrumented matmuls, small enough that probe cost
+    // would show if it were material.
+    let a = fill(64, 64, 3);
+    let b = fill(64, 64, 4);
+    let workload = |a: &Matrix, b: &Matrix| {
+        for _ in 0..50 {
+            std::hint::black_box(a.matmul(b).expect("dims agree"));
+        }
+    };
+    let disabled_ms = time_median(5, || workload(&a, &b)) * 1e3;
+    pmu_obs::install_trace_writer(Box::new(std::io::sink()));
+    let enabled_ms = time_median(5, || workload(&a, &b)) * 1e3;
+    pmu_obs::uninstall_trace();
+    pmu_obs::set_metrics_enabled(false);
+
+    // The disabled matmul path takes 1 probe per call (the enabled
+    // check); bound its share of kernel time from the measured
+    // per-probe cost.
+    let probe_disabled_ns = disabled_s / PROBES as f64 * 1e9;
+    let probe_enabled_ns = enabled_s / PROBES as f64 * 1e9;
+    let disabled_overhead_pct =
+        100.0 * (50.0 * probe_disabled_ns * 1e-6) / disabled_ms;
+    let timing = ObsOverheadTiming {
+        probe_disabled_ns,
+        probe_enabled_ns,
+        workload_disabled_ms: disabled_ms,
+        workload_enabled_ms: enabled_ms,
+        disabled_overhead_pct,
+        enabled_overhead_pct: 100.0 * (enabled_ms - disabled_ms) / disabled_ms,
+    };
+    pmu_obs::info(&format!(
+        "obs overhead: probe {:.2} ns disabled / {:.2} ns enabled; \
+         workload {:.3} ms disabled / {:.3} ms traced ({:+.2}%)",
+        timing.probe_disabled_ns,
+        timing.probe_enabled_ns,
+        timing.workload_disabled_ms,
+        timing.workload_enabled_ms,
+        timing.enabled_overhead_pct,
+    ));
+    timing
+}
+
+fn git_revision() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if rev.is_empty() { None } else { Some(rev) }
+}
+
+// ---------------------------------------------------------------------
+// benchdiff
+// ---------------------------------------------------------------------
+
+/// Flatten the time-valued leaves (`*_ms`, `*_seconds`, `seconds`) of a
+/// report into `path -> value` pairs. Arrays index by position; the
+/// benchmark set is fixed per report version, so positions align.
+fn time_leaves(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
+    match v {
+        Value::Obj(pairs) => {
+            for (k, val) in pairs {
+                let path =
+                    if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                match val {
+                    Value::Float(x)
+                        if k.ends_with("_ms") || k.ends_with("seconds") =>
+                    {
+                        out.push((path, *x));
+                    }
+                    Value::Int(x) if k.ends_with("_ms") || k.ends_with("seconds") => {
+                        out.push((path, *x as f64));
+                    }
+                    other => time_leaves(&path, other, out),
+                }
+            }
+        }
+        Value::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                time_leaves(&format!("{prefix}[{i}]"), item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compare two BENCH_*.json reports and flag >10% time regressions.
+/// Returns the number of regressions found.
+fn benchdiff(old_path: &str, new_path: &str) -> usize {
+    let load = |path: &str| -> Value {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {path}: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+
+    let meta = |v: &Value, key: &str| -> String {
+        if let Value::Obj(pairs) = v {
+            if let Some((_, val)) = pairs.iter().find(|(k, _)| k == key) {
+                return match val {
+                    Value::Str(s) => s.clone(),
+                    Value::Int(i) => i.to_string(),
+                    other => format!("{other:?}"),
+                };
+            }
+        }
+        "?".to_string()
+    };
+    for key in ["workers", "scale", "git_revision"] {
+        let (o, n) = (meta(&old, key), meta(&new, key));
+        if o != n {
+            println!("note: {key} differs: {o} -> {n}");
+        }
+    }
+
+    let mut old_leaves = Vec::new();
+    let mut new_leaves = Vec::new();
+    time_leaves("", &old, &mut old_leaves);
+    time_leaves("", &new, &mut new_leaves);
+
+    let mut regressions = 0usize;
+    println!("{:<44} {:>10} {:>10} {:>8}", "metric", "old", "new", "delta");
+    for (path, new_v) in &new_leaves {
+        let Some((_, old_v)) = old_leaves.iter().find(|(p, _)| p == path) else {
+            println!("{path:<44} {:>10} {new_v:>10.3} {:>8}", "-", "new");
+            continue;
+        };
+        let pct = if *old_v > 0.0 { 100.0 * (new_v - old_v) / old_v } else { 0.0 };
+        let flag = if pct > 10.0 {
+            regressions += 1;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        println!("{path:<44} {old_v:>10.3} {new_v:>10.3} {pct:>+7.1}%{flag}");
+    }
+    if regressions == 0 {
+        println!("no regressions (>10%) found");
+    } else {
+        println!("{regressions} regression(s) exceed the 10% threshold");
+    }
+    regressions
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("benchdiff") {
+        let [old_path, new_path] = &args[1..] else {
+            panic!("usage: perfbench benchdiff OLD.json NEW.json");
+        };
+        let regressions = benchdiff(old_path, new_path);
+        std::process::exit(if regressions == 0 { 0 } else { 1 });
+    }
+
     let mut systems: Vec<String> = vec!["ieee14".into(), "ieee30".into(), "ieee57".into()];
     let mut scale = EvalScale::Standard;
     let mut out = "BENCH_repro.json".to_string();
 
-    let mut it = std::env::args().skip(1);
+    let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--systems" => {
@@ -191,26 +404,32 @@ fn main() {
         }
     }
 
+    pmu_obs::init_from_env();
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
-    eprintln!(
+    pmu_obs::info(&format!(
         "perfbench: {} worker thread(s), {} core(s) available",
         par::num_threads(),
         available
-    );
+    ));
 
     let matmul = bench_matmul();
     let system_build = bench_builds(&systems, scale);
     let fig5_pipeline = bench_pipeline(&systems, scale);
+    let obs_overhead = bench_obs_overhead();
 
     let report = BenchReport {
         generated_by: "perfbench (crates/bench/src/bin/perfbench.rs)".to_string(),
         workers: par::num_threads(),
         available_parallelism: available,
+        scale: scale.label().to_string(),
+        seed: SEED,
+        git_revision: git_revision(),
         matmul,
         system_build,
         fig5_pipeline,
+        obs_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json).expect("write report");
-    eprintln!("wrote {out}");
+    pmu_obs::info(&format!("wrote {out}"));
 }

@@ -105,6 +105,10 @@ impl Detector {
         cfg.validate()?;
         let net = &data.network;
         let n = net.n_buses();
+        let mut trace_span = pmu_obs::span("detect.train")
+            .with("system", net.name.as_str())
+            .with("buses", n)
+            .with("cases", data.cases.len());
         if data.normal_train.n_nodes() != n {
             return Err(DetectError::InvalidTrainingData(
                 "normal window node count differs from network".into(),
@@ -161,6 +165,7 @@ impl Detector {
             adjacency[br.to].push(br.from);
         }
 
+        trace_span.record("threshold", threshold);
         Ok(Detector {
             cfg: cfg.clone(),
             n,

@@ -57,6 +57,29 @@ pub enum StreamEvent {
     Cleared,
 }
 
+/// A point-in-time health summary of a [`StreamingDetector`].
+///
+/// Cheap to take (a handful of integer reads) and safe to poll from a
+/// supervision loop at every sample. All counters are cumulative since
+/// construction; `alarm_streak` is the only instantaneous field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSnapshot {
+    /// Samples processed so far.
+    pub samples_seen: usize,
+    /// Samples the detector could not score (absorbed as quiet votes).
+    pub missing_samples: usize,
+    /// `missing_samples / samples_seen` (0.0 before the first sample).
+    pub missing_ratio: f64,
+    /// Outage events raised so far.
+    pub events_raised: usize,
+    /// Outage events cleared so far.
+    pub events_cleared: usize,
+    /// Length of the current run of consecutive outage-voting samples.
+    pub alarm_streak: usize,
+    /// Whether an outage event is currently active.
+    pub active: bool,
+}
+
 /// A k-of-m voting wrapper around a trained [`Detector`].
 #[derive(Debug)]
 pub struct StreamingDetector {
@@ -67,6 +90,13 @@ pub struct StreamingDetector {
     state: StreamState,
     /// Samples processed so far.
     samples_seen: usize,
+    /// Samples absorbed as quiet because the detector could not score them.
+    missing_samples: usize,
+    /// Events raised / cleared since construction.
+    events_raised: usize,
+    events_cleared: usize,
+    /// Current run of consecutive outage-voting samples.
+    alarm_streak: usize,
 }
 
 impl StreamingDetector {
@@ -86,6 +116,10 @@ impl StreamingDetector {
             history: VecDeque::with_capacity(cfg.window),
             state: StreamState::Quiet,
             samples_seen: 0,
+            missing_samples: 0,
+            events_raised: 0,
+            events_cleared: 0,
+            alarm_streak: 0,
         }
     }
 
@@ -104,6 +138,23 @@ impl StreamingDetector {
         self.samples_seen
     }
 
+    /// A point-in-time health summary (cumulative counters + streak).
+    pub fn health(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            samples_seen: self.samples_seen,
+            missing_samples: self.missing_samples,
+            missing_ratio: if self.samples_seen == 0 {
+                0.0
+            } else {
+                self.missing_samples as f64 / self.samples_seen as f64
+            },
+            events_raised: self.events_raised,
+            events_cleared: self.events_cleared,
+            alarm_streak: self.alarm_streak,
+            active: matches!(self.state, StreamState::Outage { .. }),
+        }
+    }
+
     /// Feed one sample; returns the state transition (if any).
     ///
     /// Samples the underlying detector cannot process (e.g. almost
@@ -115,18 +166,24 @@ impl StreamingDetector {
     /// insufficiency is absorbed as described.
     pub fn push(&mut self, sample: &PhasorSample) -> Result<StreamEvent> {
         self.samples_seen += 1;
+        pmu_obs::counter!("detect.stream_samples").inc();
         let detection = match self.detector.detect(sample) {
             Ok(d) => d,
-            Err(crate::DetectError::InsufficientData { .. }) => Detection {
-                outage: false,
-                lines: Vec::new(),
-                node_ranking: Vec::new(),
-                normal_residual: 0.0,
-                best_case_residual: f64::INFINITY,
-                threshold: self.detector.threshold(),
-            },
+            Err(crate::DetectError::InsufficientData { .. }) => {
+                self.missing_samples += 1;
+                pmu_obs::counter!("detect.stream_missing").inc();
+                Detection {
+                    outage: false,
+                    lines: Vec::new(),
+                    node_ranking: Vec::new(),
+                    normal_residual: 0.0,
+                    best_case_residual: f64::INFINITY,
+                    threshold: self.detector.threshold(),
+                }
+            }
             Err(e) => return Err(e),
         };
+        self.alarm_streak = if detection.outage { self.alarm_streak + 1 } else { 0 };
         if self.history.len() == self.cfg.window {
             self.history.pop_front();
         }
@@ -138,10 +195,19 @@ impl StreamingDetector {
         match &self.state {
             StreamState::Quiet if outage_votes >= self.cfg.votes => {
                 let lines = self.majority_lines();
+                self.events_raised += 1;
+                pmu_obs::events::StreamRaised {
+                    lines: lines.clone(),
+                    samples_seen: self.samples_seen,
+                }
+                .emit();
                 self.state = StreamState::Outage { lines: lines.clone() };
                 Ok(StreamEvent::Raised { lines })
             }
             StreamState::Outage { .. } if quiet_votes >= self.cfg.votes => {
+                self.events_cleared += 1;
+                pmu_obs::events::StreamCleared { samples_seen: self.samples_seen }
+                    .emit();
                 self.state = StreamState::Quiet;
                 Ok(StreamEvent::Cleared)
             }
@@ -288,6 +354,52 @@ mod tests {
         }
         let lines = raised_lines.expect("event raised despite dark endpoints");
         assert!(lines.contains(&case.branch));
+    }
+
+    #[test]
+    fn health_snapshot_tracks_counters() {
+        use pmu_sim::Mask;
+        let (data, mut mon) = monitor();
+        assert_eq!(mon.health(), HealthSnapshot {
+            samples_seen: 0,
+            missing_samples: 0,
+            missing_ratio: 0.0,
+            events_raised: 0,
+            events_cleared: 0,
+            alarm_streak: 0,
+            active: false,
+        });
+        // Two unscorable (near-dark) samples absorbed as quiet votes.
+        let dark = Mask::with_missing(14, &(0..12).collect::<Vec<_>>());
+        for t in 0..2 {
+            let s = data.normal_test.sample(t).masked(&dark);
+            mon.push(&s).unwrap();
+        }
+        let h = mon.health();
+        assert_eq!(h.samples_seen, 2);
+        assert_eq!(h.missing_samples, 2);
+        assert!((h.missing_ratio - 1.0).abs() < 1e-12);
+        assert!(!h.active);
+        // Sustained outage: raises once, streak grows.
+        let case = &data.cases[2];
+        for t in 0..4 {
+            let _ = mon.push(&case.test.sample(t % case.test.len())).unwrap();
+        }
+        let h = mon.health();
+        assert_eq!(h.events_raised, 1);
+        assert_eq!(h.events_cleared, 0);
+        assert!(h.active);
+        assert!(h.alarm_streak >= 3, "streak={}", h.alarm_streak);
+        // Restoration clears the event and resets the streak.
+        for t in 0..6 {
+            let _ = mon.push(&data.normal_test.sample(t % data.normal_test.len())).unwrap();
+        }
+        let h = mon.health();
+        assert_eq!(h.events_cleared, 1);
+        assert!(!h.active);
+        assert_eq!(h.alarm_streak, 0);
+        assert_eq!(h.samples_seen, 12);
+        assert!((h.missing_ratio - 2.0 / 12.0).abs() < 1e-12);
     }
 
     #[test]

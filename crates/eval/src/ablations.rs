@@ -42,6 +42,7 @@ fn eval_variant(setup: &SystemSetup, det: &Detector, scale: EvalScale) -> Metric
 
 /// Run every ablation over the given systems.
 pub fn run_ablations(setups: &[SystemSetup], scale: EvalScale) -> Vec<AblationPoint> {
+    let _span = pmu_obs::span("eval.ablations").with("systems", setups.len());
     let mut out = Vec::new();
     for s in setups {
         let variants: Vec<(&str, DetectorConfig)> = vec![

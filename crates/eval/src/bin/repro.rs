@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [FIGURES] [--systems a,b,c] [--scale fast|standard|paper]
-//!       [--threads N] [--json PATH]
+//!       [--threads N] [--json PATH] [--trace PATH]
 //!
 //! FIGURES   comma-separated subset of fig4,fig5,fig7,fig8,fig9,fig10
 //!           (default: all)
@@ -12,6 +12,9 @@
 //!           (default: PMU_THREADS env, then the detected parallelism;
 //!           results are identical for any thread count)
 //! --json    also dump all series as JSON to PATH
+//! --trace   write a structured JSONL trace (spans, events, metrics) to
+//!           PATH; equivalent to setting PMU_TRACE=PATH. Enables the
+//!           end-of-run metrics summary on stderr.
 //! ```
 
 use pmu_eval::ablations::{ablation_table, run_ablations};
@@ -41,6 +44,7 @@ fn main() {
     let mut systems: Vec<String> = paper_systems().iter().map(|s| s.to_string()).collect();
     let mut scale = EvalScale::Standard;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -65,6 +69,7 @@ fn main() {
                 par::set_threads(n);
             }
             "--json" => json_path = Some(it.next().expect("--json needs a path")),
+            "--trace" => trace_path = Some(it.next().expect("--trace needs a path")),
             other if other.starts_with("fig") || other.starts_with("abl") || other.starts_with("ext") => {
                 figures.extend(other.split(',').map(|s| s.trim().to_string()));
             }
@@ -78,34 +83,51 @@ fn main() {
             .collect();
     }
 
-    eprintln!(
+    // --trace wins over the environment; PMU_TRACE / PMU_METRICS still
+    // work when the flag is absent.
+    match &trace_path {
+        Some(path) => pmu_obs::install_trace_path(path).expect("open trace file"),
+        None => pmu_obs::init_from_env(),
+    }
+    const SEED: u64 = 0xC0FFEE;
+    if pmu_obs::trace_enabled() {
+        pmu_obs::write_header(&[
+            ("program", "repro".into()),
+            ("seed", SEED.into()),
+            ("threads", par::num_threads().into()),
+            ("scale", scale.label().into()),
+            ("systems", systems.join(",").as_str().into()),
+        ]);
+    }
+
+    pmu_obs::info(&format!(
         "building systems {systems:?} at {scale:?} scale ({} worker thread{})...",
         par::num_threads(),
         if par::num_threads() == 1 { "" } else { "s" }
-    );
+    ));
     let names: Vec<&str> = systems.iter().map(String::as_str).collect();
-    let setups: Vec<SystemSetup> = SystemSetup::build_all(&names, scale, 0xC0FFEE);
+    let setups: Vec<SystemSetup> = SystemSetup::build_all(&names, scale, SEED);
 
     let mut all = AllResults::default();
     for fig in &figures {
         match fig.as_str() {
             "fig4" => {
-                eprintln!("running fig4 (group-formation sweep)...");
+                pmu_obs::info("running fig4 (group-formation sweep)...");
                 all.fig4 = fig4(&setups, scale);
                 println!("{}", fig4_table(&all.fig4));
             }
             "fig5" => {
-                eprintln!("running fig5 (complete data)...");
+                pmu_obs::info("running fig5 (complete data)...");
                 all.fig5 = fig5(&setups, scale);
                 println!("{}", method_table("Fig 5: complete data", &all.fig5));
             }
             "fig7" => {
-                eprintln!("running fig7 (missing outage data)...");
+                pmu_obs::info("running fig7 (missing outage data)...");
                 all.fig7 = fig7(&setups, scale);
                 println!("{}", method_table("Fig 7: missing outage data", &all.fig7));
             }
             "fig8" => {
-                eprintln!("running fig8 (random missing, normal operation)...");
+                pmu_obs::info("running fig8 (random missing, normal operation)...");
                 all.fig8 = fig8(&setups);
                 println!(
                     "{}",
@@ -113,7 +135,7 @@ fn main() {
                 );
             }
             "fig9" => {
-                eprintln!("running fig9 (random missing, outage elsewhere)...");
+                pmu_obs::info("running fig9 (random missing, outage elsewhere)...");
                 all.fig9 = fig9(&setups, scale);
                 println!(
                     "{}",
@@ -121,17 +143,17 @@ fn main() {
                 );
             }
             "fig10" => {
-                eprintln!("running fig10 (reliability sweep)...");
+                pmu_obs::info("running fig10 (reliability sweep)...");
                 all.fig10 = fig10(&setups, scale);
                 println!("{}", fig10_table(&all.fig10));
             }
             "extensions" => {
-                eprintln!("running extension experiments...");
+                pmu_obs::info("running extension experiments...");
                 all.extensions = run_extensions(&setups, scale);
                 println!("{}", extension_table(&all.extensions));
             }
             "ablations" => {
-                eprintln!("running ablations (Fig. 7 conditions)...");
+                pmu_obs::info("running ablations (Fig. 7 conditions)...");
                 all.ablations = run_ablations(&setups, scale);
                 println!("{}", ablation_table(&all.ablations));
             }
@@ -142,6 +164,14 @@ fn main() {
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&all).expect("serialize results");
         std::fs::write(&path, json).expect("write JSON results");
-        eprintln!("wrote {path}");
+        pmu_obs::info(&format!("wrote {path}"));
+    }
+
+    if pmu_obs::metrics_enabled() {
+        eprintln!("{}", pmu_obs::metrics_summary());
+    }
+    pmu_obs::flush_trace();
+    if let Some(path) = trace_path {
+        eprintln!("trace written to {path}");
     }
 }

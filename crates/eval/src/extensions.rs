@@ -16,7 +16,7 @@
 use crate::metrics::Metrics;
 use crate::runner::{EvalScale, SystemSetup};
 use pmu_detect::recovery::SubspaceRecovery;
-use pmu_grid::observability::greedy_placement;
+use pmu_grid::pmu_coverage::greedy_placement;
 use pmu_numerics::Complex64;
 use pmu_sim::missing::outage_endpoints_mask;
 use pmu_sim::scenario::generate_double_outages;
@@ -168,6 +168,7 @@ pub fn partial_deployment(setups: &[SystemSetup], scale: EvalScale) -> Vec<Exten
 
 /// Run all extension experiments.
 pub fn run_extensions(setups: &[SystemSetup], scale: EvalScale) -> Vec<ExtensionPoint> {
+    let _span = pmu_obs::span("eval.extensions").with("systems", setups.len());
     let mut out = multi_outage(setups, scale);
     out.extend(recovery_assisted_mlr(setups, scale));
     out.extend(partial_deployment(setups, scale));

@@ -131,6 +131,7 @@ pub fn random_missing_count(n_buses: usize) -> usize {
 /// Systems are evaluated in parallel; each system seeds its own RNG, so
 /// the output is identical for any worker count.
 pub fn fig5(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
+    let _span = pmu_obs::span("eval.fig5").with("systems", setups.len());
     par::par_map(setups, |s| {
         let mut rng = StdRng::seed_from_u64(0x0501);
         let none = |_: &OutageCase, _: &mut StdRng| Mask::all_present(s.network.n_buses());
@@ -150,6 +151,7 @@ pub fn fig5(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
 /// members chosen by capability learning (0 = naive orthogonal groups,
 /// 1 = proposed) with complete data.
 pub fn fig4(setups: &[SystemSetup], scale: EvalScale) -> Vec<Fig4Point> {
+    let _span = pmu_obs::span("eval.fig4").with("systems", setups.len());
     let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
     // One retrain + evaluation per (system, fraction) point — the finest
     // independent grain, so the sweep fills the worker pool even for a
@@ -169,6 +171,7 @@ pub fn fig4(setups: &[SystemSetup], scale: EvalScale) -> Vec<Fig4Point> {
 /// **Fig. 7** — missing outage data: the PMUs at both endpoints of the
 /// outaged line are dark (top row of Fig. 6).
 pub fn fig7(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
+    let _span = pmu_obs::span("eval.fig7").with("systems", setups.len());
     par::par_map(setups, |s| {
         let n = s.network.n_buses();
         let mut rng = StdRng::seed_from_u64(0x0701);
@@ -189,6 +192,7 @@ pub fn fig7(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
 /// method tell a data problem from a physical failure? (middle row of
 /// Fig. 6; `|F| = 0` conventions of Sec. V-C2).
 pub fn fig8(setups: &[SystemSetup]) -> Vec<MethodPoint> {
+    let _span = pmu_obs::span("eval.fig8").with("systems", setups.len());
     par::par_map(setups, |s| {
         let n = s.network.n_buses();
         let k = random_missing_count(n);
@@ -209,6 +213,7 @@ pub fn fig8(setups: &[SystemSetup]) -> Vec<MethodPoint> {
 /// **Fig. 9** — outage samples with random missing data *away from* the
 /// outage location (bottom row of Fig. 6).
 pub fn fig9(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
+    let _span = pmu_obs::span("eval.fig9").with("systems", setups.len());
     par::par_map(setups, |s| {
         let n = s.network.n_buses();
         let k = random_missing_count(n);
@@ -233,6 +238,7 @@ pub fn fig9(setups: &[SystemSetup], scale: EvalScale) -> Vec<MethodPoint> {
 /// reliability `r` (Eq. 13–15), estimated by Monte-Carlo over missing
 /// patterns with per-device working probability `q = r^{1/L}`.
 pub fn fig10(setups: &[SystemSetup], scale: EvalScale) -> Vec<Fig10Point> {
+    let _span = pmu_obs::span("eval.fig10").with("systems", setups.len());
     // One Monte-Carlo run per (system, reliability) point; each point
     // seeds its RNG from `r` alone, so the fan-out changes nothing.
     let jobs: Vec<(&SystemSetup, f64)> = setups

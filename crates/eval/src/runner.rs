@@ -44,6 +44,15 @@ impl EvalScale {
         }
     }
 
+    /// Stable lowercase name (trace fields, bench metadata, CLI echo).
+    pub fn label(self) -> &'static str {
+        match self {
+            EvalScale::Fast => "fast",
+            EvalScale::Standard => "standard",
+            EvalScale::Paper => "paper",
+        }
+    }
+
     /// Missing-data patterns per reliability level (Fig. 10).
     pub fn reliability_patterns(self) -> usize {
         match self {
@@ -79,6 +88,9 @@ impl SystemSetup {
     /// these are programming errors in experiment definitions, not runtime
     /// conditions.
     pub fn build(name: &str, scale: EvalScale, seed: u64) -> SystemSetup {
+        let mut trace_span = pmu_obs::span("eval.system_setup")
+            .with("system", name)
+            .with("scale", scale.label());
         let network = by_name(name)
             .unwrap_or_else(|| panic!("unknown system {name}"))
             .expect("embedded cases are valid");
@@ -87,6 +99,7 @@ impl SystemSetup {
         let detector_cfg = pmu_detect::detector::default_config_for(&network);
         let detector = Detector::train(&dataset, &detector_cfg).expect("detector training");
         let mlr = MlrDetector::train(&dataset, &MlrConfig::default());
+        trace_span.record("cases", dataset.n_cases());
         SystemSetup {
             name: name.to_string(),
             network,

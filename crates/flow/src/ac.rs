@@ -121,6 +121,7 @@ fn computed_injections(
 /// within the iteration budget, and [`FlowError::SingularJacobian`] when a
 /// Newton step cannot be computed.
 pub fn solve_ac(net: &Network, cfg: &AcConfig) -> Result<AcSolution> {
+    let _span = pmu_obs::span("flow.solve_ac").with("buses", net.n_buses());
     if !cfg.enforce_q_limits {
         return solve_ac_unconstrained(net, cfg);
     }
@@ -134,6 +135,7 @@ pub fn solve_ac(net: &Network, cfg: &AcConfig) -> Result<AcSolution> {
         match worst_q_violation(&work, &sol) {
             None => return Ok(sol),
             Some((bus, pinned_q)) => {
+                pmu_obs::events::QLimitPin { bus, q_mvar: pinned_q }.emit();
                 // Pin every in-service generator at the bus so their
                 // aggregate reactive output equals the violated limit.
                 let gen_idx: Vec<usize> = work
@@ -241,6 +243,13 @@ fn solve_ac_unconstrained(net: &Network, cfg: &AcConfig) -> Result<AcSolution> {
         mismatch_norm = f.norm_inf();
         if mismatch_norm < cfg.tol {
             let slack_p = p_calc[slack];
+            pmu_obs::events::NrSolve {
+                buses: n,
+                iterations: iter,
+                mismatch: mismatch_norm,
+                converged: true,
+            }
+            .emit();
             return Ok(AcSolution {
                 vm,
                 va,
@@ -315,6 +324,13 @@ fn solve_ac_unconstrained(net: &Network, cfg: &AcConfig) -> Result<AcSolution> {
             }
         }
     }
+    pmu_obs::events::NrSolve {
+        buses: n,
+        iterations: cfg.max_iter,
+        mismatch: mismatch_norm,
+        converged: false,
+    }
+    .emit();
     Err(FlowError::Diverged { iters: cfg.max_iter, mismatch: mismatch_norm })
 }
 

@@ -1,4 +1,4 @@
-//! PMU placement and observability.
+//! PMU sensor placement and network observability (coverage).
 //!
 //! The paper assumes "a proper deployment of PMUs in the grid in order to
 //! provide complete observability" and cites its ref. \[13\] for placement.
@@ -7,6 +7,12 @@
 //! its bus voltage and, via branch currents, the voltages across every
 //! incident line), and a greedy dominating-set heuristic chooses placements
 //! that achieve full observability with few devices.
+//!
+//! Not to be confused with *software* observability: runtime tracing and
+//! metrics for this codebase live in the `pmu-obs` crate. This module is
+//! about the electrical-engineering property of the sensor network —
+//! which buses a given PMU deployment can see. (It was previously named
+//! `observability`; that path remains as a deprecated alias.)
 
 use crate::network::Network;
 

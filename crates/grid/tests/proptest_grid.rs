@@ -1,7 +1,7 @@
 //! Property-based tests for the grid model: graph invariants that must
 //! hold for any synthetic network and any sequence of line outages.
 
-use pmu_grid::observability::{coverage, greedy_placement, is_fully_observable};
+use pmu_grid::pmu_coverage::{coverage, greedy_placement, is_fully_observable};
 use pmu_grid::synthetic::{synthetic_network, SyntheticConfig};
 use pmu_grid::ybus::{build_ybus, susceptance_laplacian};
 use pmu_grid::Network;

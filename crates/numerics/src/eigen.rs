@@ -44,8 +44,16 @@ pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
     let mut m = Matrix::from_fn(n, n, |r, c| 0.5 * (a[(r, c)] + a[(c, r)]));
     let mut q = Matrix::identity(n);
     let scale = m.norm_max().max(1.0);
+    // Large projector eigenproblems (subspace intersections at IEEE-118
+    // size) get a trace span; the ubiquitous 2×2 ellipse solves only
+    // feed the sweep-count metrics.
+    let mut trace_span = if n * n >= 512 {
+        pmu_obs::span("numerics.eigen").with("n", n)
+    } else {
+        pmu_obs::Span::disabled("numerics.eigen")
+    };
 
-    for _sweep in 0..MAX_SWEEPS {
+    for sweep in 0..MAX_SWEEPS {
         // Sum of squared off-diagonal entries.
         let mut off = 0.0;
         for r in 0..n {
@@ -54,6 +62,8 @@ pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
             }
         }
         if off.sqrt() < 1e-14 * scale {
+            trace_span.record("sweeps", sweep);
+            pmu_obs::events::EigenComputed { n, sweeps: sweep }.emit();
             return Ok(finish(m, q));
         }
         for p in 0..n {
@@ -97,6 +107,8 @@ pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
             off += m[(r, c)] * m[(r, c)];
         }
     }
+    trace_span.record("sweeps", MAX_SWEEPS);
+    pmu_obs::events::EigenComputed { n, sweeps: MAX_SWEEPS }.emit();
     if off.sqrt() < 1e-10 * scale {
         Ok(finish(m, q))
     } else {

@@ -177,6 +177,25 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
+        if !pmu_obs::enabled() {
+            return Ok(self.matmul_blocked(rhs));
+        }
+        // Shape/time stats for the hottest dense kernel; only reached when
+        // instrumentation is on, so disabled runs never read the clock.
+        let t = std::time::Instant::now();
+        let out = self.matmul_blocked(rhs);
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        pmu_obs::counter!("numerics.matmul_calls").inc();
+        pmu_obs::histogram!("numerics.matmul_us", &[1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6])
+            .observe(us);
+        pmu_obs::histogram!("numerics.matmul_flops", &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9])
+            .observe((2 * self.rows * self.cols * rhs.cols) as f64);
+        Ok(out)
+    }
+
+    /// The cache-blocked kernel behind [`Matrix::matmul`] (shapes already
+    /// checked).
+    fn matmul_blocked(&self, rhs: &Matrix) -> Matrix {
         let b = Self::MATMUL_BLOCK;
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let mut kk = 0;
@@ -202,7 +221,7 @@ impl Matrix {
             }
             kk = kend;
         }
-        Ok(out)
+        out
     }
 
     /// Reference matrix product: the naive i-j-k triple loop with a scalar

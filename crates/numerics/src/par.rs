@@ -80,19 +80,46 @@ where
         return (0..n).map(f).collect();
     }
 
+    // Pool-utilization accounting (per-worker task counts and idle
+    // time) is only measured while instrumentation is on, so disabled
+    // runs never read the clock inside the work loop.
+    let traced = pmu_obs::enabled();
+    if traced {
+        pmu_obs::gauge!("par.workers").set(workers as f64);
+    }
     let next = AtomicUsize::new(0);
     let mut buckets: Vec<Vec<(usize, U)>> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                let f = &f;
+                let next = &next;
+                s.spawn(move || {
+                    let wall = std::time::Instant::now();
+                    let mut busy_us = 0u64;
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        if traced {
+                            let t = std::time::Instant::now();
+                            local.push((i, f(i)));
+                            busy_us += t.elapsed().as_micros() as u64;
+                        } else {
+                            local.push((i, f(i)));
+                        }
+                    }
+                    if traced {
+                        let total_us = wall.elapsed().as_micros() as u64;
+                        pmu_obs::events::WorkerStats {
+                            worker: w,
+                            tasks: local.len(),
+                            busy_us,
+                            idle_us: total_us.saturating_sub(busy_us),
+                        }
+                        .emit();
                     }
                     local
                 })

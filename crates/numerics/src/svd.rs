@@ -14,6 +14,11 @@ use crate::Result;
 const MAX_SWEEPS: usize = 60;
 /// Off-diagonal convergence threshold relative to column norms.
 const JACOBI_TOL: f64 = 1e-12;
+/// Inputs with at least this many elements get a `numerics.svd` trace
+/// span; smaller decompositions (per-node residual solves, 2×2 ellipse
+/// work) are far too numerous to trace individually and are covered by
+/// the sweep-count metrics instead.
+const TRACE_MIN_ELEMS: usize = 512;
 
 /// A thin singular value decomposition `A = U Σ V^T`.
 ///
@@ -42,10 +47,17 @@ impl Svd {
             return Err(NumericsError::invalid("svd", "empty matrix"));
         }
         // One-sided Jacobi works on the tall orientation; transpose if wide.
+        // The recursive call carries the instrumentation, so each logical
+        // decomposition is counted exactly once.
         if m < n {
             let t = Svd::compute(&a.transpose())?;
             return Ok(Svd { u: t.v, sigma: t.sigma, v: t.u });
         }
+        let mut trace_span = if m * n >= TRACE_MIN_ELEMS {
+            pmu_obs::span("numerics.svd").with("rows", m).with("cols", n)
+        } else {
+            pmu_obs::Span::disabled("numerics.svd")
+        };
 
         let mut w = a.clone(); // Working copy; columns will be rotated.
         let mut v = Matrix::identity(n);
@@ -100,6 +112,8 @@ impl Svd {
             }
             sweeps += 1;
         }
+        trace_span.record("sweeps", sweeps);
+        pmu_obs::events::SvdComputed { rows: m, cols: n, sweeps }.emit();
         if !converged {
             return Err(NumericsError::NoConvergence {
                 op: "svd",

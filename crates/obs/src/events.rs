@@ -1,0 +1,227 @@
+//! Typed event records for domain signals.
+//!
+//! Each type documents one line of the JSONL schema and knows how to
+//! emit itself: the trace record (when a sink is installed) *and* its
+//! companion metrics (when metrics are enabled), so call sites stay a
+//! single `Event { .. }.emit()` line and the schema has one home.
+//!
+//! | type | trace name | companion metrics |
+//! |---|---|---|
+//! | [`NrSolve`] | `flow.nr_solve` | `flow.nr_solves`, `flow.nr_diverged`, `flow.nr_iterations`, `flow.nr_mismatch` |
+//! | [`QLimitPin`] | `flow.q_limit_pin` | `flow.q_limit_pins` |
+//! | [`SvdComputed`] | — (span `numerics.svd` for large inputs) | `numerics.svd_calls`, `numerics.svd_sweeps` |
+//! | [`EigenComputed`] | — | `numerics.eigen_calls`, `numerics.eigen_sweeps` |
+//! | [`WorkerStats`] | `par.worker` | `par.tasks`, `par.worker_busy_us`, `par.worker_idle_us` |
+//! | [`StreamRaised`] | `detect.stream_raised` | `detect.stream_raised` |
+//! | [`StreamCleared`] | `detect.stream_cleared` | `detect.stream_cleared` |
+
+use crate::trace::{event, Value};
+use crate::{counter, histogram};
+
+/// Newton iteration-count buckets: warm starts converge in 2–4, flat
+/// starts and stressed cases take more.
+const NR_ITER_BOUNDS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 20.0, 30.0];
+/// Jacobi sweep-count buckets (SVD and symmetric eigen).
+const SWEEP_BOUNDS: &[f64] = &[2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 40.0, 60.0];
+/// Microsecond-scale duration buckets (1 µs – 10 s).
+pub(crate) const US_BOUNDS: &[f64] =
+    &[1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7];
+
+/// One Newton–Raphson AC power-flow solve completed (or gave up).
+#[derive(Debug, Clone)]
+pub struct NrSolve {
+    /// Bus count of the solved network.
+    pub buses: usize,
+    /// Newton iterations used (the budget, when diverged).
+    pub iterations: usize,
+    /// Final infinity-norm power mismatch (p.u.).
+    pub mismatch: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+impl NrSolve {
+    /// Record the trace event and companion metrics.
+    pub fn emit(&self) {
+        counter!("flow.nr_solves").inc();
+        if !self.converged {
+            counter!("flow.nr_diverged").inc();
+        }
+        histogram!("flow.nr_iterations", NR_ITER_BOUNDS).observe(self.iterations as f64);
+        histogram!("flow.nr_mismatch", &[1e-12, 1e-10, 1e-8, 1e-6, 1e-3, 1.0])
+            .observe(self.mismatch);
+        event(
+            "flow.nr_solve",
+            &[
+                ("buses", self.buses.into()),
+                ("iterations", self.iterations.into()),
+                ("mismatch", self.mismatch.into()),
+                ("converged", self.converged.into()),
+            ],
+        );
+    }
+}
+
+/// A PV bus was pinned at a violated reactive limit and demoted to PQ
+/// (MATPOWER-style `ENFORCE_Q_LIMS` outer round).
+#[derive(Debug, Clone)]
+pub struct QLimitPin {
+    /// Internal bus index that was demoted.
+    pub bus: usize,
+    /// The aggregate limit (MVAr) the bus generators were pinned at.
+    pub q_mvar: f64,
+}
+
+impl QLimitPin {
+    /// Record the trace event and companion metrics.
+    pub fn emit(&self) {
+        counter!("flow.q_limit_pins").inc();
+        event(
+            "flow.q_limit_pin",
+            &[("bus", self.bus.into()), ("q_mvar", self.q_mvar.into())],
+        );
+    }
+}
+
+/// One Jacobi SVD completed. High call volume — metrics only (the
+/// caller opens a `numerics.svd` span for large inputs).
+#[derive(Debug, Clone)]
+pub struct SvdComputed {
+    /// Input rows.
+    pub rows: usize,
+    /// Input columns.
+    pub cols: usize,
+    /// Jacobi sweeps used.
+    pub sweeps: usize,
+}
+
+impl SvdComputed {
+    /// Record companion metrics.
+    pub fn emit(&self) {
+        counter!("numerics.svd_calls").inc();
+        histogram!("numerics.svd_sweeps", SWEEP_BOUNDS).observe(self.sweeps as f64);
+        histogram!("numerics.svd_elems", &[64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0])
+            .observe((self.rows * self.cols) as f64);
+    }
+}
+
+/// One symmetric Jacobi eigendecomposition completed. Metrics only.
+#[derive(Debug, Clone)]
+pub struct EigenComputed {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Jacobi sweeps used.
+    pub sweeps: usize,
+}
+
+impl EigenComputed {
+    /// Record companion metrics.
+    pub fn emit(&self) {
+        counter!("numerics.eigen_calls").inc();
+        histogram!("numerics.eigen_sweeps", SWEEP_BOUNDS).observe(self.sweeps as f64);
+    }
+}
+
+/// Per-worker accounting of one `par_map` fan-out: how many items the
+/// worker pulled and how its wall time split into busy vs. idle.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker index within this fan-out (0-based).
+    pub worker: usize,
+    /// Items this worker executed.
+    pub tasks: usize,
+    /// Time spent inside the mapped closure (µs).
+    pub busy_us: u64,
+    /// Wall time minus busy time: startup, scheduling, tail wait (µs).
+    pub idle_us: u64,
+}
+
+impl WorkerStats {
+    /// Record the trace event and companion metrics.
+    pub fn emit(&self) {
+        counter!("par.tasks").add(self.tasks as u64);
+        histogram!("par.worker_busy_us", US_BOUNDS).observe(self.busy_us as f64);
+        histogram!("par.worker_idle_us", US_BOUNDS).observe(self.idle_us as f64);
+        event(
+            "par.worker",
+            &[
+                ("worker", self.worker.into()),
+                ("tasks", self.tasks.into()),
+                ("busy_us", self.busy_us.into()),
+                ("idle_us", self.idle_us.into()),
+            ],
+        );
+    }
+}
+
+/// The streaming detector confirmed an outage event.
+#[derive(Debug, Clone)]
+pub struct StreamRaised {
+    /// Majority-voted outaged lines.
+    pub lines: Vec<usize>,
+    /// Samples processed when the event fired.
+    pub samples_seen: usize,
+}
+
+impl StreamRaised {
+    /// Record the trace event and companion metrics.
+    pub fn emit(&self) {
+        counter!("detect.stream_raised").inc();
+        event(
+            "detect.stream_raised",
+            &[
+                ("lines", Value::from(&self.lines[..])),
+                ("samples_seen", self.samples_seen.into()),
+            ],
+        );
+    }
+}
+
+/// The streaming detector cleared its active outage event.
+#[derive(Debug, Clone)]
+pub struct StreamCleared {
+    /// Samples processed when the event cleared.
+    pub samples_seen: usize,
+}
+
+impl StreamCleared {
+    /// Record the trace event and companion metrics.
+    pub fn emit(&self) {
+        counter!("detect.stream_cleared").inc();
+        event("detect.stream_cleared", &[("samples_seen", self.samples_seen.into())]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{metrics_summary, reset_metrics, set_metrics_enabled};
+
+    #[test]
+    fn typed_events_drive_companion_metrics() {
+        let _guard = crate::testutil::lock();
+        reset_metrics();
+        set_metrics_enabled(true);
+        NrSolve { buses: 14, iterations: 3, mismatch: 1e-9, converged: true }.emit();
+        NrSolve { buses: 14, iterations: 30, mismatch: 0.5, converged: false }.emit();
+        SvdComputed { rows: 14, cols: 16, sweeps: 7 }.emit();
+        EigenComputed { n: 2, sweeps: 2 }.emit();
+        WorkerStats { worker: 0, tasks: 5, busy_us: 100, idle_us: 10 }.emit();
+        StreamRaised { lines: vec![3, 7], samples_seen: 42 }.emit();
+        StreamCleared { samples_seen: 50 }.emit();
+        set_metrics_enabled(false);
+
+        assert_eq!(crate::counter("flow.nr_solves").get(), 2);
+        assert_eq!(crate::counter("flow.nr_diverged").get(), 1);
+        assert_eq!(crate::counter("numerics.svd_calls").get(), 1);
+        assert_eq!(crate::counter("numerics.eigen_calls").get(), 1);
+        assert_eq!(crate::counter("par.tasks").get(), 5);
+        assert_eq!(crate::counter("detect.stream_raised").get(), 1);
+        assert_eq!(crate::counter("detect.stream_cleared").get(), 1);
+
+        let s = metrics_summary();
+        assert!(s.contains("flow.nr_iterations"));
+        assert!(s.contains("numerics.svd_sweeps"));
+        reset_metrics();
+    }
+}

@@ -1,0 +1,539 @@
+//! Global metrics registry: counters, gauges and fixed-bucket
+//! histograms, all updated with relaxed atomics and guarded by a single
+//! enabled flag so disabled runs pay one load and a branch per call.
+//!
+//! Handles are `&'static` — registered entries are leaked once per
+//! distinct metric name (bounded by the instrumentation vocabulary) so
+//! hot paths never re-lock the registry; cache the handle in a
+//! `OnceLock` via the [`counter!`](crate::counter!) /
+//! [`gauge!`](crate::gauge!) / [`histogram!`](crate::histogram!)
+//! macros.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// `true` when metric updates are being recorded.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn metric recording on or off process-wide.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0) }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add one (no-op while metrics are disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` (no-op while metrics are disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if metrics_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    fn new(name: &'static str) -> Self {
+        Gauge { name, bits: AtomicU64::new(0f64.to_bits()) }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Set the gauge (no-op while metrics are disabled).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if metrics_enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Atomically `current op v` on an `AtomicU64` holding `f64` bits.
+fn atomic_f64_update(bits: &AtomicU64, v: f64, op: impl Fn(f64, f64) -> f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let new = op(f64::from_bits(cur), v).to_bits();
+        match bits.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A fixed-bucket histogram.
+///
+/// `bounds` are ascending inclusive upper edges; an implicit `+inf`
+/// bucket catches everything above the last edge. Also tracks count,
+/// sum, min and max for the summary table.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    fn new(name: &'static str, bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name}: bucket bounds must be strictly ascending"
+        );
+        Histogram {
+            name,
+            bounds: bounds.to_vec(),
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one observation (no-op while metrics are disabled).
+    pub fn observe(&self, v: f64) {
+        if !metrics_enabled() {
+            return;
+        }
+        let idx = self.bucket_index(v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, v, |a, b| a + b);
+        atomic_f64_update(&self.min_bits, v, f64::min);
+        atomic_f64_update(&self.max_bits, v, f64::max);
+    }
+
+    /// Index of the bucket `v` falls into (last = overflow).
+    pub fn bucket_index(&self, v: f64) -> usize {
+        self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len())
+    }
+
+    /// Upper bucket edges (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts (`bounds().len() + 1` entries).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.total.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits.store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+struct Registry {
+    counters: Vec<&'static Counter>,
+    gauges: Vec<&'static Gauge>,
+    histograms: Vec<&'static Histogram>,
+}
+
+static REGISTRY: Mutex<Registry> =
+    Mutex::new(Registry { counters: Vec::new(), gauges: Vec::new(), histograms: Vec::new() });
+
+fn registry() -> std::sync::MutexGuard<'static, Registry> {
+    match REGISTRY.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Get or register the counter named `name`.
+///
+/// Each distinct name is registered (and leaked) once; hot call sites
+/// should cache the handle via the [`counter!`](crate::counter!) macro.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry();
+    if let Some(c) = reg.counters.iter().find(|c| c.name == name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::new(name)));
+    reg.counters.push(c);
+    c
+}
+
+/// Get or register the gauge named `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry();
+    if let Some(g) = reg.gauges.iter().find(|g| g.name == name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::new(name)));
+    reg.gauges.push(g);
+    g
+}
+
+/// Get or register the histogram named `name` with the given bucket
+/// edges. If the name is already registered, the existing histogram is
+/// returned and `bounds` is ignored (first registration wins).
+pub fn histogram(name: &'static str, bounds: &[f64]) -> &'static Histogram {
+    let mut reg = registry();
+    if let Some(h) = reg.histograms.iter().find(|h| h.name == name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new(name, bounds)));
+    reg.histograms.push(h);
+    h
+}
+
+/// Cached-handle form of [`counter()`](counter): resolves the registry
+/// lookup once per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Counter> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// Cached-handle form of [`gauge()`](gauge).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Gauge> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// Cached-handle form of [`histogram()`](histogram).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $bounds:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Histogram> =
+            std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::histogram($name, $bounds))
+    }};
+}
+
+/// Zero every registered metric (registrations persist). For tests and
+/// for perfbench runs that measure several configurations in sequence.
+pub fn reset_metrics() {
+    let reg = registry();
+    for c in &reg.counters {
+        c.reset();
+    }
+    for g in &reg.gauges {
+        g.reset();
+    }
+    for h in &reg.histograms {
+        h.reset();
+    }
+}
+
+/// Format a compact numeric cell for the summary table.
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        "-".to_string()
+    } else if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() < 0.001 {
+        // Sub-millesimal values (mismatch norms, tolerances) would all
+        // round to 0.000; scientific keeps them distinguishable.
+        format!("{v:.2e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// The formatted end-of-run metrics summary table.
+///
+/// Rows are sorted by metric name so output is deterministic. Metrics
+/// with zero activity are omitted; returns a one-line note when nothing
+/// was recorded.
+pub fn metrics_summary() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    let rule = "=".repeat(72);
+    let _ = writeln!(out, "{rule}");
+    let _ = writeln!(out, "pmu-obs metrics summary");
+    let _ = writeln!(out, "{rule}");
+
+    let mut counters: Vec<_> = reg.counters.iter().filter(|c| c.get() > 0).collect();
+    counters.sort_by_key(|c| c.name);
+    let mut gauges: Vec<_> = reg.gauges.iter().filter(|g| g.get() != 0.0).collect();
+    gauges.sort_by_key(|g| g.name);
+    let mut histograms: Vec<_> = reg.histograms.iter().filter(|h| h.count() > 0).collect();
+    histograms.sort_by_key(|h| h.name);
+
+    if counters.is_empty() && gauges.is_empty() && histograms.is_empty() {
+        let _ = writeln!(out, "(no metrics recorded)");
+        return out;
+    }
+
+    if !counters.is_empty() {
+        let _ = writeln!(out, "counters");
+        for c in counters {
+            let _ = writeln!(out, "  {:<44} {:>12}", c.name(), c.get());
+        }
+    }
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "gauges");
+        for g in gauges {
+            let _ = writeln!(out, "  {:<44} {:>12}", g.name(), fmt_num(g.get()));
+        }
+    }
+    if !histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "histograms {:>40} {:>10} {:>10} {:>10}",
+            "count", "min", "mean", "max"
+        );
+        for h in histograms {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>10} {:>10} {:>10}",
+                h.name(),
+                h.count(),
+                fmt_num(h.min()),
+                fmt_num(h.mean()),
+                fmt_num(h.max())
+            );
+            let counts = h.bucket_counts();
+            let mut parts: Vec<String> = Vec::new();
+            for (i, &n) in counts.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let label = if i < h.bounds().len() {
+                    format!("<={}", fmt_num(h.bounds()[i]))
+                } else {
+                    "+inf".to_string()
+                };
+                parts.push(format!("{label}:{n}"));
+            }
+            if !parts.is_empty() {
+                let _ = writeln!(out, "      buckets  {}", parts.join("  "));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Metrics state is process-global and shared across tests in this
+    // binary; each test uses uniquely named metrics and toggles the
+    // enabled flag around its own assertions.
+
+    #[test]
+    fn histogram_bucketing_edges_and_overflow() {
+        let _guard = crate::testutil::lock();
+        let h = histogram("test.hist_edges", &[1.0, 2.0, 4.0]);
+        // Inclusive upper edges.
+        assert_eq!(h.bucket_index(0.5), 0);
+        assert_eq!(h.bucket_index(1.0), 0);
+        assert_eq!(h.bucket_index(1.0000001), 1);
+        assert_eq!(h.bucket_index(2.0), 1);
+        assert_eq!(h.bucket_index(3.0), 2);
+        assert_eq!(h.bucket_index(4.0), 2);
+        assert_eq!(h.bucket_index(100.0), 3); // overflow bucket
+
+        set_metrics_enabled(true);
+        for v in [0.5, 1.0, 2.0, 3.0, 9.0, 9.0] {
+            h.observe(v);
+        }
+        set_metrics_enabled(false);
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 2]);
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - 24.5).abs() < 1e-12);
+        assert!((h.mean() - 24.5 / 6.0).abs() < 1e-12);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 9.0);
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let _guard = crate::testutil::lock();
+        set_metrics_enabled(false);
+        let c = counter("test.disabled_counter");
+        let h = histogram("test.disabled_hist", &[1.0]);
+        let g = gauge("test.disabled_gauge");
+        c.inc();
+        c.add(10);
+        h.observe(0.5);
+        g.set(3.0);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let a = counter("test.idem");
+        let b = counter("test.idem");
+        assert!(std::ptr::eq(a, b));
+        let h1 = histogram("test.idem_h", &[1.0, 2.0]);
+        let h2 = histogram("test.idem_h", &[9.0]); // bounds ignored on re-get
+        assert!(std::ptr::eq(h1, h2));
+        assert_eq!(h2.bounds(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn macros_cache_handles() {
+        let a = counter!("test.macro_counter");
+        let b = counter!("test.macro_counter");
+        assert!(std::ptr::eq(a, b));
+        let h = histogram!("test.macro_hist", &[1.0, 10.0]);
+        assert_eq!(h.bounds().len(), 2);
+        let g = gauge!("test.macro_gauge");
+        assert_eq!(g.name(), "test.macro_gauge");
+    }
+
+    #[test]
+    fn summary_contains_active_metrics_only() {
+        let _guard = crate::testutil::lock();
+        set_metrics_enabled(true);
+        counter("test.summary_active").add(3);
+        let _ = counter("test.summary_inactive");
+        gauge("test.summary_gauge").set(2.5);
+        let h = histogram("test.summary_hist", &[10.0, 20.0]);
+        h.observe(5.0);
+        h.observe(15.0);
+        set_metrics_enabled(false);
+
+        let s = metrics_summary();
+        assert!(s.contains("test.summary_active"));
+        assert!(s.contains("3"));
+        assert!(!s.contains("test.summary_inactive"));
+        assert!(s.contains("test.summary_gauge"));
+        assert!(s.contains("2.5"));
+        assert!(s.contains("test.summary_hist"));
+        assert!(s.contains("<=10:1"));
+        assert!(s.contains("<=20:1"));
+
+        // Reset zeroes values but keeps registrations.
+        reset_metrics();
+        assert_eq!(counter("test.summary_active").get(), 0);
+        assert_eq!(histogram("test.summary_hist", &[]).count(), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_accounted() {
+        let _guard = crate::testutil::lock();
+        set_metrics_enabled(true);
+        let c = counter("test.concurrent");
+        let h = histogram("test.concurrent_h", &[100.0]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(i as f64 % 7.0);
+                    }
+                });
+            }
+        });
+        set_metrics_enabled(false);
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn bad_bounds_panic() {
+        let _ = histogram("test.bad_bounds", &[2.0, 1.0]);
+    }
+}

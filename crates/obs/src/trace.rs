@@ -1,0 +1,506 @@
+//! Span-based structured tracing with a thread-safe JSONL sink.
+//!
+//! All state is process-global: one sink, one enabled flag, per-thread
+//! sequence numbers and span depth. When no sink is installed every call
+//! is a relaxed atomic load and a branch.
+
+use crate::metrics::set_metrics_enabled;
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Whether a trace sink is installed.
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+/// The installed sink (JSONL writer). `None` when tracing is off.
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+/// Next worker label to hand out (thread labels are assigned lazily in
+/// first-emission order, so their numeric values are arbitrary; ordering
+/// is only meaningful *within* one worker).
+static NEXT_WORKER: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static WORKER: Cell<usize> = const { Cell::new(usize::MAX) };
+    static SEQ: Cell<u64> = const { Cell::new(0) };
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// `true` when a trace sink is installed.
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// `true` when any instrumentation (tracing or metrics) is active.
+#[inline]
+pub fn enabled() -> bool {
+    trace_enabled() || crate::metrics::metrics_enabled()
+}
+
+/// A field value attached to a span, event or header record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite serializes as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// Array of values.
+    Arr(Vec<Value>),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<&[usize]> for Value {
+    fn from(v: &[usize]) -> Self {
+        Value::Arr(v.iter().map(|&x| Value::U64(x as u64)).collect())
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => write_json_string(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_value(out, item);
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn write_fields(out: &mut String, fields: &[(&'static str, Value)]) {
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, k);
+        out.push(':');
+        write_json_value(out, v);
+    }
+    out.push('}');
+}
+
+/// The worker label of the calling thread (assigned on first emission).
+fn worker_id() -> usize {
+    WORKER.with(|w| {
+        let v = w.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let id = NEXT_WORKER.fetch_add(1, Ordering::Relaxed);
+            w.set(id);
+            id
+        }
+    })
+}
+
+fn next_seq() -> u64 {
+    SEQ.with(|s| {
+        let v = s.get();
+        s.set(v + 1);
+        v
+    })
+}
+
+/// Write one record line to the sink (no-op when tracing is off).
+fn emit_line(line: &str) {
+    let mut guard = match SINK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(sink) = guard.as_mut() {
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.write_all(b"\n");
+    }
+}
+
+fn emit_record(
+    kind: &str,
+    name: Option<&str>,
+    depth: usize,
+    dur_us: Option<u64>,
+    fields: &[(&'static str, Value)],
+    msg: Option<&str>,
+) {
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"t\":\"");
+    line.push_str(kind);
+    line.push('"');
+    if let Some(n) = name {
+        line.push_str(",\"name\":");
+        write_json_string(&mut line, n);
+    }
+    let _ = write!(line, ",\"w\":{},\"seq\":{},\"depth\":{}", worker_id(), next_seq(), depth);
+    if let Some(d) = dur_us {
+        let _ = write!(line, ",\"dur_us\":{d}");
+    }
+    if let Some(m) = msg {
+        line.push_str(",\"msg\":");
+        write_json_string(&mut line, m);
+    }
+    if !fields.is_empty() {
+        write_fields(&mut line, fields);
+    }
+    line.push('}');
+    emit_line(&line);
+}
+
+/// A drop guard measuring the wall clock of a region of code.
+///
+/// Created with [`span`]; writes one `{"t":"span",...}` line when
+/// dropped. Inert (no clock read, no allocation) while tracing is off.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl Span {
+    /// An inert span that records nothing (useful for conditional
+    /// instrumentation of hot paths).
+    pub fn disabled(name: &'static str) -> Span {
+        Span { name, start: None, fields: Vec::new() }
+    }
+
+    /// `true` when this span will emit a record on drop.
+    pub fn active(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Attach a field (builder form). No-op on an inert span.
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.record(key, value);
+        self
+    }
+
+    /// Attach a field after creation. No-op on an inert span.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.start.is_some() {
+            self.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_us = start.elapsed().as_micros() as u64;
+        // Depth was incremented when the span opened; report the open
+        // depth, then restore.
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v.saturating_sub(1));
+            v
+        });
+        emit_record("span", Some(self.name), depth, Some(dur_us), &self.fields, None);
+    }
+}
+
+/// Open a named span. The returned guard writes one JSONL record with
+/// the measured duration when dropped. Use stable, call-site-fixed
+/// names (`"layer.operation"`) so traces stay diffable across runs.
+pub fn span(name: &'static str) -> Span {
+    if !trace_enabled() {
+        return Span::disabled(name);
+    }
+    DEPTH.with(|d| d.set(d.get() + 1));
+    Span { name, start: Some(Instant::now()), fields: Vec::new() }
+}
+
+/// Emit a named event record with structured fields.
+///
+/// Prefer the typed wrappers in [`crate::events`] for domain signals;
+/// this is the escape hatch for one-off instrumentation.
+pub fn event(name: &'static str, fields: &[(&'static str, Value)]) {
+    if !trace_enabled() {
+        return;
+    }
+    let depth = DEPTH.with(|d| d.get());
+    emit_record("event", Some(name), depth, None, fields, None);
+}
+
+/// Human-facing progress line: always printed to stderr, and also
+/// recorded as a `{"t":"log"}` record when tracing is on. This replaces
+/// the ad-hoc `eprintln!` progress output in the binaries.
+pub fn info(msg: &str) {
+    eprintln!("{msg}");
+    if trace_enabled() {
+        let depth = DEPTH.with(|d| d.get());
+        emit_record("log", None, depth, None, &[], Some(msg));
+    }
+}
+
+/// Write the run header record (`{"t":"header","fields":{...}}`).
+///
+/// Call right after installing a sink, recording at least the run seed
+/// and worker count so traces are attributable and diffable.
+pub fn write_header(fields: &[(&'static str, Value)]) {
+    if !trace_enabled() {
+        return;
+    }
+    let mut line = String::from("{\"t\":\"header\"");
+    if !fields.is_empty() {
+        write_fields(&mut line, fields);
+    }
+    line.push('}');
+    emit_line(&line);
+}
+
+/// Install a JSONL sink writing to the file at `path` (truncating it),
+/// and enable tracing and metrics.
+///
+/// # Errors
+/// Returns the I/O error when the file cannot be created.
+pub fn install_trace_path(path: &str) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    install_trace_writer(Box::new(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Install an arbitrary sink (used by tests). Enables tracing and
+/// metrics.
+pub fn install_trace_writer(sink: Box<dyn Write + Send>) {
+    let mut guard = match SINK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard = Some(sink);
+    drop(guard);
+    TRACE_ENABLED.store(true, Ordering::SeqCst);
+    set_metrics_enabled(true);
+}
+
+/// Flush the sink (if any).
+pub fn flush_trace() {
+    let mut guard = match SINK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(sink) = guard.as_mut() {
+        let _ = sink.flush();
+    }
+}
+
+/// Disable tracing and drop the sink (flushing it first). Metrics stay
+/// enabled; clear them separately with
+/// [`crate::metrics::set_metrics_enabled`].
+pub fn uninstall_trace() {
+    TRACE_ENABLED.store(false, Ordering::SeqCst);
+    let mut guard = match SINK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(mut sink) = guard.take() {
+        let _ = sink.flush();
+    }
+}
+
+/// Initialise from the environment: `PMU_TRACE=path` installs a JSONL
+/// sink (and enables metrics); `PMU_METRICS=1` enables metrics alone.
+pub fn init_from_env() {
+    if let Ok(path) = std::env::var("PMU_TRACE") {
+        if !path.is_empty() {
+            if let Err(e) = install_trace_path(&path) {
+                eprintln!("pmu-obs: cannot open PMU_TRACE={path}: {e}");
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("PMU_METRICS") {
+        if v == "1" || v.eq_ignore_ascii_case("true") {
+            set_metrics_enabled(true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A sink capturing lines into shared memory.
+    #[derive(Clone)]
+    struct Capture(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn capture_trace(f: impl FnOnce()) -> String {
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        install_trace_writer(Box::new(Capture(buf.clone())));
+        f();
+        uninstall_trace();
+        set_metrics_enabled(false);
+        let bytes = buf.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    // The trace sink is process-global, so all sink-touching assertions
+    // live in this single test (Rust runs tests in one process).
+    #[test]
+    fn spans_events_and_header_roundtrip() {
+        let _guard = crate::testutil::lock();
+        let out = capture_trace(|| {
+            write_header(&[("seed", Value::U64(7)), ("threads", Value::U64(2))]);
+            {
+                let _outer = span("test.outer").with("system", "ieee14");
+                {
+                    let mut inner = span("test.inner");
+                    inner.record("k", 3usize);
+                    assert!(inner.active());
+                }
+                event("test.event", &[("x", Value::F64(1.5)), ("ok", Value::Bool(true))]);
+            }
+            info("progress line");
+        });
+
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 2 spans + event + log: {out}");
+        assert!(lines[0].starts_with("{\"t\":\"header\""));
+        assert!(lines[0].contains("\"seed\":7"));
+        // Inner span closes before outer: it appears first, at depth 2.
+        assert!(lines[1].contains("\"name\":\"test.inner\""));
+        assert!(lines[1].contains("\"depth\":2"));
+        assert!(lines[1].contains("\"fields\":{\"k\":3}"));
+        assert!(lines[2].contains("\"name\":\"test.event\""));
+        assert!(lines[2].contains("\"x\":1.5"));
+        assert!(lines[2].contains("\"ok\":true"));
+        assert!(lines[3].contains("\"name\":\"test.outer\""));
+        assert!(lines[3].contains("\"depth\":1"));
+        assert!(lines[3].contains("\"system\":\"ieee14\""));
+        assert!(lines[3].contains("\"dur_us\":"));
+        assert!(lines[4].contains("\"t\":\"log\""));
+        assert!(lines[4].contains("\"msg\":\"progress line\""));
+
+        // Per-thread sequence numbers are strictly increasing.
+        let seqs: Vec<u64> = lines[1..]
+            .iter()
+            .map(|l| {
+                let i = l.find("\"seq\":").unwrap() + 6;
+                l[i..].chars().take_while(|c| c.is_ascii_digit()).collect::<String>().parse().unwrap()
+            })
+            .collect();
+        for pair in seqs.windows(2) {
+            assert!(pair[1] > pair[0], "seqs not increasing: {seqs:?}");
+        }
+
+        // After uninstall, everything is inert again.
+        assert!(!trace_enabled());
+        let s = span("test.after");
+        assert!(!s.active());
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn json_value_forms() {
+        let mut out = String::new();
+        write_json_value(
+            &mut out,
+            &Value::Arr(vec![Value::U64(1), Value::F64(2.0), Value::F64(f64::NAN)]),
+        );
+        assert_eq!(out, "[1,2.0,null]");
+        let v: Value = (&[3usize, 5][..]).into();
+        let mut out2 = String::new();
+        write_json_value(&mut out2, &v);
+        assert_eq!(out2, "[3,5]");
+    }
+}

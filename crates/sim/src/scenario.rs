@@ -163,6 +163,11 @@ pub fn simulate_window(
 /// Individual outage cases that island the grid or fail to converge are
 /// silently excluded, as in the paper.
 pub fn generate_dataset(net: &Network, cfg: &GenConfig) -> Result<Dataset, GenError> {
+    let mut trace_span = pmu_obs::span("sim.generate_dataset")
+        .with("system", net.name.as_str())
+        .with("train_len", cfg.train_len)
+        .with("test_len", cfg.test_len);
+
     // Base-case sanity check.
     solve_ac(net, &cfg.ac).map_err(|e| GenError::BaseCaseFailed(e.to_string()))?;
 
@@ -194,6 +199,8 @@ pub fn generate_dataset(net: &Network, cfg: &GenConfig) -> Result<Dataset, GenEr
     .flatten()
     .collect();
 
+    trace_span.record("branches", branches.len());
+    trace_span.record("cases", cases.len());
     Ok(Dataset { network: net.clone(), normal_train, normal_test, cases })
 }
 

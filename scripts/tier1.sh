@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and the tracing
+# integration test exercised through the PMU_TRACE environment path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "== trace integration via PMU_TRACE =="
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+PMU_TRACE="$trace_dir/tier1_trace.jsonl" cargo test -q --test trace_integration
+test -s "$trace_dir/tier1_trace.jsonl"
+echo "trace written: $(wc -l < "$trace_dir/tier1_trace.jsonl") records"
+
+echo "tier1 OK"

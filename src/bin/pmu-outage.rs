@@ -14,7 +14,7 @@
 
 use pmu_outage::detect::Detector;
 use pmu_outage::flow::{solve_ac, solve_fdpf, AcConfig, FdpfConfig};
-use pmu_outage::grid::observability::{coverage, greedy_placement};
+use pmu_outage::grid::pmu_coverage::{coverage, greedy_placement};
 use pmu_outage::grid::parser::parse_case;
 use pmu_outage::prelude::*;
 use pmu_outage::sim::scenario::simulate_window;

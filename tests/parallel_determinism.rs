@@ -25,8 +25,12 @@ fn run_once(workers: usize) -> (String, Vec<MethodPoint>) {
 
 #[test]
 fn one_worker_and_many_workers_agree_bitwise() {
+    // Tracing on for the whole comparison: instrumentation must never
+    // perturb results (spans and per-worker events are timing-only).
+    pmu_obs::install_trace_writer(Box::new(std::io::sink()));
     let (serial_model, serial_fig5) = run_once(1);
     let (parallel_model, parallel_fig5) = run_once(4);
+    pmu_obs::uninstall_trace();
 
     // The serialized model covers the learned subspaces, ellipses,
     // capability matrix, detection groups, and all four calibrated

@@ -1,0 +1,146 @@
+//! End-to-end check of the `pmu-obs` tracing layer: run a Fast-scale
+//! setup plus a streaming-detector session with tracing enabled, then
+//! parse the JSONL trace and verify that every layer reported in.
+//!
+//! Everything lives in one `#[test]` because the trace sink and the
+//! metrics registry are process-wide and the libtest harness runs tests
+//! concurrently.
+
+use pmu_detect::stream::{StreamConfig, StreamEvent, StreamingDetector};
+use pmu_eval::runner::{EvalScale, SystemSetup};
+use serde::Value;
+
+fn obj_get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_str<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match obj_get(v, key) {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn as_i64(v: &Value, key: &str) -> Option<i64> {
+    match obj_get(v, key) {
+        Some(Value::Int(i)) => Some(*i),
+        Some(Value::Float(x)) => Some(*x as i64),
+        _ => None,
+    }
+}
+
+#[test]
+fn fast_eval_trace_covers_every_layer() {
+    // tier1.sh points PMU_TRACE at its scratch dir; standalone runs get
+    // a temp path.
+    let trace_path = std::env::var("PMU_TRACE").unwrap_or_else(|_| {
+        std::env::temp_dir()
+            .join(format!("pmu_trace_{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    pmu_obs::reset_metrics();
+    pmu_obs::install_trace_path(&trace_path).expect("open trace file");
+    pmu_obs::write_header(&[("program", "trace_integration".into()), ("seed", 7u64.into())]);
+
+    let setup = SystemSetup::build("ieee14", EvalScale::Fast, 7);
+
+    // Hand-computed streaming session under 3-of-5 voting: six sustained
+    // outage samples raise exactly once, six normal samples clear exactly
+    // once, and no sample is unscorable (all complete).
+    let det = setup.retrain_detector(&setup.detector_cfg);
+    let mut mon = StreamingDetector::new(det, StreamConfig::default());
+    let case = &setup.dataset.cases[2];
+    let mut raises = 0usize;
+    let mut clears = 0usize;
+    for t in 0..6 {
+        match mon.push(&case.test.sample(t % case.test.len())).unwrap() {
+            StreamEvent::Raised { .. } => raises += 1,
+            StreamEvent::Cleared => clears += 1,
+            StreamEvent::None => {}
+        }
+    }
+    assert_eq!(raises, 1, "sustained outage raises exactly once");
+    for t in 0..6 {
+        match mon.push(&setup.dataset.normal_test.sample(t % setup.dataset.normal_test.len())).unwrap()
+        {
+            StreamEvent::Raised { .. } => raises += 1,
+            StreamEvent::Cleared => clears += 1,
+            StreamEvent::None => {}
+        }
+    }
+    assert_eq!(clears, 1, "restoration clears exactly once");
+    assert_eq!(raises, 1, "no re-raise during restoration");
+    let h = mon.health();
+    assert_eq!(h.samples_seen, 12);
+    assert_eq!(h.missing_samples, 0);
+    assert_eq!(h.missing_ratio, 0.0);
+    assert_eq!(h.events_raised, 1);
+    assert_eq!(h.events_cleared, 1);
+    assert!(!h.active);
+    assert_eq!(h.alarm_streak, 0, "normal tail resets the streak");
+
+    let summary = pmu_obs::metrics_summary();
+    pmu_obs::uninstall_trace();
+
+    // Parse the JSONL and check each layer reported in.
+    let text = std::fs::read_to_string(&trace_path).expect("read trace");
+    let mut span_names = Vec::new();
+    let mut event_names = Vec::new();
+    let mut header_seen = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let rec: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {} is not JSON: {e}", lineno + 1));
+        match as_str(&rec, "t") {
+            Some("header") => header_seen = true,
+            Some("span") => span_names.push(as_str(&rec, "name").expect("span name").to_string()),
+            Some("event") => {
+                let name = as_str(&rec, "name").expect("event name").to_string();
+                if name == "flow.nr_solve" {
+                    let fields = obj_get(&rec, "fields").expect("nr_solve fields");
+                    let iters = as_i64(fields, "iterations").expect("iterations field");
+                    assert!(iters >= 1, "NR solve with zero iterations: {line}");
+                }
+                event_names.push(name);
+            }
+            Some("log") => {}
+            other => panic!("unknown record kind {other:?}: {line}"),
+        }
+    }
+    assert!(header_seen, "trace must start with a header record");
+
+    // One span per instrumented layer: numerics, flow, sim, detect
+    // (training), baseline, eval.
+    for expected in [
+        "numerics.svd",
+        "flow.solve_ac",
+        "sim.generate_dataset",
+        "detect.train",
+        "baseline.mlr_train",
+        "eval.system_setup",
+    ] {
+        assert!(
+            span_names.iter().any(|n| n == expected),
+            "missing span {expected}; got {span_names:?}"
+        );
+    }
+    // Domain events from the flow and detect layers.
+    for expected in ["flow.nr_solve", "detect.stream_raised", "detect.stream_cleared"] {
+        assert!(
+            event_names.iter().any(|n| n == expected),
+            "missing event {expected}; got {event_names:?}"
+        );
+    }
+
+    // The metrics side saw the same activity.
+    assert!(summary.contains("flow.nr_solves"), "summary:\n{summary}");
+    assert!(summary.contains("detect.stream_samples"), "summary:\n{summary}");
+    assert!(summary.contains("numerics.svd_sweeps"), "summary:\n{summary}");
+
+    if std::env::var("PMU_TRACE").is_err() {
+        let _ = std::fs::remove_file(&trace_path);
+    }
+}

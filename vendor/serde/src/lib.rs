@@ -237,6 +237,20 @@ impl Deserialize for f32 {
     }
 }
 
+// Identity impls so callers can round-trip untyped trees (e.g. parse
+// arbitrary JSON with `serde_json::from_str::<Value>` and inspect it).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
@@ -306,7 +320,7 @@ mod tests {
     fn primitives_roundtrip() {
         assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"hi".to_string().to_value()).unwrap(),
             "hi"
