@@ -8,12 +8,16 @@
 //!
 //!   1. `Matrix::matmul` (cache-blocked) vs. the retained naive
 //!      `matmul_reference` at representative sizes,
-//!   2. `SystemSetup::build` per IEEE system (dataset generation +
-//!      detector/MLR training — the bulk of a `repro` run),
-//!   3. the fig5 evaluation pipeline with 1 worker vs. all workers,
+//!   2. one AC Newton–Raphson solve per IEEE system, sparse fast path
+//!      vs. the dense reference linear solver,
+//!   3. `Svd::compute` at the shapes the detector produces,
+//!   4. `SystemSetup::build` per IEEE system (dataset generation +
+//!      detector/MLR training — the bulk of a `repro` run), including
+//!      ieee118 now that the sparse power flow makes it tractable,
+//!   5. the fig5 evaluation pipeline with 1 worker vs. all workers,
 //!      recording the measured speedup honestly (on a single-core
 //!      machine this is ~1.0 by construction),
-//!   4. the cost of the `pmu-obs` instrumentation, disabled (the
+//!   6. the cost of the `pmu-obs` instrumentation, disabled (the
 //!      default) and fully enabled — the disabled probes must stay
 //!      under 2% of kernel time.
 //!
@@ -23,14 +27,16 @@
 //!
 //! ```text
 //! perfbench [--systems a,b,c] [--scale fast|standard|paper] [--out PATH]
-//! perfbench benchdiff OLD.json NEW.json   # flags >10% time regressions
+//! perfbench benchdiff OLD.json NEW.json [--tol PCT]
+//!     # flags time regressions beyond PCT% (default 10)
 //! ```
 
 use std::time::Instant;
 
 use pmu_eval::figures::fig5;
 use pmu_eval::runner::{EvalScale, SystemSetup};
-use pmu_numerics::{par, Matrix};
+use pmu_flow::{solve_ac, AcConfig, LinearSolver};
+use pmu_numerics::{par, Matrix, Svd};
 use serde::{Serialize, Value};
 
 /// Seed shared with `repro` so build timings measure the same work.
@@ -51,6 +57,26 @@ struct MatmulTiming {
 struct BuildTiming {
     system: String,
     seconds: f64,
+}
+
+#[derive(Serialize)]
+struct NrTiming {
+    system: String,
+    buses: usize,
+    /// One full Newton–Raphson solve, sparse fast path (CSR Jacobian,
+    /// RCM-ordered LU with symbolic reuse).
+    sparse_ms: f64,
+    /// Same solve through the dense reference linear solver.
+    dense_ms: f64,
+    /// dense / sparse — > 1.0 means the sparse path is faster.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SvdTiming {
+    m: usize,
+    n: usize,
+    compute_ms: f64,
 }
 
 #[derive(Serialize)]
@@ -94,6 +120,8 @@ struct BenchReport {
     /// `git rev-parse --short HEAD`, when available.
     git_revision: Option<String>,
     matmul: Vec<MatmulTiming>,
+    nr_solve: Vec<NrTiming>,
+    svd: Vec<SvdTiming>,
     system_build: Vec<BuildTiming>,
     fig5_pipeline: PipelineTiming,
     obs_overhead: ObsOverheadTiming,
@@ -156,6 +184,49 @@ fn bench_matmul() -> Vec<MatmulTiming> {
         .collect()
 }
 
+fn bench_nr_solve(systems: &[String]) -> Vec<NrTiming> {
+    systems
+        .iter()
+        .filter_map(|name| {
+            let net = pmu_grid::cases::by_name(name)?.ok()?;
+            let time_path = |solver: LinearSolver| {
+                let cfg = AcConfig { linear_solver: solver, ..AcConfig::default() };
+                time_median(9, || {
+                    std::hint::black_box(solve_ac(&net, &cfg).expect("converges"));
+                }) * 1e3
+            };
+            let sparse_ms = time_path(LinearSolver::Sparse);
+            let dense_ms = time_path(LinearSolver::Dense);
+            pmu_obs::info(&format!(
+                "nr_solve {name}: sparse {sparse_ms:.3} ms, dense {dense_ms:.3} ms"
+            ));
+            Some(NrTiming {
+                system: name.clone(),
+                buses: net.n_buses(),
+                sparse_ms,
+                dense_ms,
+                speedup: dense_ms / sparse_ms,
+            })
+        })
+        .collect()
+}
+
+fn bench_svd() -> Vec<SvdTiming> {
+    // Observation-window shapes (n_buses x window) plus a square case.
+    let shapes: &[(usize, usize)] = &[(118, 60), (118, 118), (256, 64)];
+    shapes
+        .iter()
+        .map(|&(m, n)| {
+            let a = fill(m, n, 5);
+            let compute_ms = time_median(5, || {
+                std::hint::black_box(Svd::compute(&a).expect("converges"));
+            }) * 1e3;
+            pmu_obs::info(&format!("svd {m}x{n}: {compute_ms:.3} ms"));
+            SvdTiming { m, n, compute_ms }
+        })
+        .collect()
+}
+
 fn bench_builds(systems: &[String], scale: EvalScale) -> Vec<BuildTiming> {
     systems
         .iter()
@@ -185,10 +256,19 @@ fn bench_pipeline(systems: &[String], scale: EvalScale) -> PipelineTiming {
 
     par::set_threads(0); // back to PMU_THREADS / detected parallelism
     let workers = par::num_threads();
-    let t = Instant::now();
-    run();
-    let parallel = t.elapsed().as_secs_f64();
-    pmu_obs::info(&format!("fig5 pipeline, {workers} worker(s): {parallel:.2} s"));
+    // `par_map` degrades to the same sequential loop at one worker, so a
+    // second timed run would measure an identical code path and report
+    // its noise as a bogus speedup/regression. Reuse the measurement.
+    let parallel = if workers <= 1 {
+        pmu_obs::info("fig5 pipeline: 1 effective worker, parallel == serial");
+        serial
+    } else {
+        let t = Instant::now();
+        run();
+        let parallel = t.elapsed().as_secs_f64();
+        pmu_obs::info(&format!("fig5 pipeline, {workers} worker(s): {parallel:.2} s"));
+        parallel
+    };
 
     PipelineTiming {
         systems: systems.to_vec(),
@@ -311,9 +391,9 @@ fn time_leaves(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
     }
 }
 
-/// Compare two BENCH_*.json reports and flag >10% time regressions.
-/// Returns the number of regressions found.
-fn benchdiff(old_path: &str, new_path: &str) -> usize {
+/// Compare two BENCH_*.json reports and flag time regressions beyond
+/// `tol_pct` percent. Returns the number of regressions found.
+fn benchdiff(old_path: &str, new_path: &str, tol_pct: f64) -> usize {
     let load = |path: &str| -> Value {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("read {path}: {e}"));
@@ -354,7 +434,7 @@ fn benchdiff(old_path: &str, new_path: &str) -> usize {
             continue;
         };
         let pct = if *old_v > 0.0 { 100.0 * (new_v - old_v) / old_v } else { 0.0 };
-        let flag = if pct > 10.0 {
+        let flag = if pct > tol_pct {
             regressions += 1;
             "  REGRESSION"
         } else {
@@ -363,9 +443,9 @@ fn benchdiff(old_path: &str, new_path: &str) -> usize {
         println!("{path:<44} {old_v:>10.3} {new_v:>10.3} {pct:>+7.1}%{flag}");
     }
     if regressions == 0 {
-        println!("no regressions (>10%) found");
+        println!("no regressions (>{tol_pct:.0}%) found");
     } else {
-        println!("{regressions} regression(s) exceed the 10% threshold");
+        println!("{regressions} regression(s) exceed the {tol_pct:.0}% threshold");
     }
     regressions
 }
@@ -373,14 +453,28 @@ fn benchdiff(old_path: &str, new_path: &str) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("benchdiff") {
-        let [old_path, new_path] = &args[1..] else {
-            panic!("usage: perfbench benchdiff OLD.json NEW.json");
+        let mut paths: Vec<&String> = Vec::new();
+        let mut tol_pct = 10.0;
+        let mut it = args[1..].iter();
+        while let Some(arg) = it.next() {
+            if arg == "--tol" {
+                tol_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tol needs a percentage");
+            } else {
+                paths.push(arg);
+            }
+        }
+        let [old_path, new_path] = paths[..] else {
+            panic!("usage: perfbench benchdiff OLD.json NEW.json [--tol PCT]");
         };
-        let regressions = benchdiff(old_path, new_path);
+        let regressions = benchdiff(old_path, new_path, tol_pct);
         std::process::exit(if regressions == 0 { 0 } else { 1 });
     }
 
-    let mut systems: Vec<String> = vec!["ieee14".into(), "ieee30".into(), "ieee57".into()];
+    let mut systems: Vec<String> =
+        vec!["ieee14".into(), "ieee30".into(), "ieee57".into(), "ieee118".into()];
     let mut scale = EvalScale::Standard;
     let mut out = "BENCH_repro.json".to_string();
 
@@ -413,8 +507,16 @@ fn main() {
     ));
 
     let matmul = bench_matmul();
+    let nr_solve = bench_nr_solve(&systems);
+    let svd = bench_svd();
     let system_build = bench_builds(&systems, scale);
-    let fig5_pipeline = bench_pipeline(&systems, scale);
+    // The end-to-end pipeline timing stays on the ieee14/30/57 trio: an
+    // ieee118 fig5 run times the detector over ~170 outage cases and
+    // would dominate the harness without adding signal beyond its
+    // system_build entry above.
+    let pipeline_systems: Vec<String> =
+        systems.iter().filter(|s| s.as_str() != "ieee118").cloned().collect();
+    let fig5_pipeline = bench_pipeline(&pipeline_systems, scale);
     let obs_overhead = bench_obs_overhead();
 
     let report = BenchReport {
@@ -425,6 +527,8 @@ fn main() {
         seed: SEED,
         git_revision: git_revision(),
         matmul,
+        nr_solve,
+        svd,
         system_build,
         fig5_pipeline,
         obs_overhead,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [FIGURES] [--systems a,b,c] [--scale fast|standard|paper]
-//!       [--threads N] [--json PATH] [--trace PATH]
+//!       [--threads N] [--json PATH] [--trace PATH] [--dense-flow]
 //!
 //! FIGURES   comma-separated subset of fig4,fig5,fig7,fig8,fig9,fig10
 //!           (default: all)
@@ -15,6 +15,10 @@
 //! --trace   write a structured JSONL trace (spans, events, metrics) to
 //!           PATH; equivalent to setting PMU_TRACE=PATH. Enables the
 //!           end-of-run metrics summary on stderr.
+//! --dense-flow
+//!           use the dense reference linear solver for the AC power flow
+//!           instead of the sparse fast path (equivalent to setting
+//!           PMU_DENSE_FLOW=1); for parity and perf comparison.
 //! ```
 
 use pmu_eval::ablations::{ablation_table, run_ablations};
@@ -70,6 +74,9 @@ fn main() {
             }
             "--json" => json_path = Some(it.next().expect("--json needs a path")),
             "--trace" => trace_path = Some(it.next().expect("--trace needs a path")),
+            "--dense-flow" => {
+                pmu_flow::set_default_linear_solver(Some(pmu_flow::LinearSolver::Dense));
+            }
             other if other.starts_with("fig") || other.starts_with("abl") || other.starts_with("ext") => {
                 figures.extend(other.split(',').map(|s| s.trim().to_string()));
             }

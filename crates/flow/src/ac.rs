@@ -4,17 +4,82 @@
 //! instead of the DC approximation, when calculating synchrophasors").
 //! This module mirrors MATPOWER's `runpf` with the standard polar
 //! formulation: mismatch equations for P at every PV/PQ bus and Q at every
-//! PQ bus, the full Jacobian, and a dense LU solve per iteration.
+//! PQ bus, and the full Jacobian solved per iteration.
+//!
+//! Two linear-algebra paths back the Newton step:
+//!
+//! - **Sparse (default).** The Jacobian inherits the grid graph's
+//!   sparsity (~99% zero at IEEE-118), and its *pattern* is fixed across
+//!   Newton iterations and across load realizations of one topology.
+//!   [`AcSolver`] builds the CSR Y-bus, the Jacobian skeleton, and the
+//!   symbolic LU (RCM ordering) once per (system, outage) topology, then
+//!   refactors numerics only — the inner loop is allocation-free after
+//!   warm-up. If a static pivot ever underflows (no row exchanges are
+//!   possible on a fixed pattern), the step falls back to the dense
+//!   pivoted LU for that iteration.
+//! - **Dense.** The original dense-Jacobian + partial-pivoting path,
+//!   retained behind [`LinearSolver::Dense`] for parity testing exactly
+//!   like `matmul_reference` backs the blocked matmul.
 
 // Indexed loops are the clearest expression of the dense numerical
 // kernels in this module.
 #![allow(clippy::needless_range_loop)]
 
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
 use crate::error::FlowError;
 use crate::Result;
 use pmu_grid::{BusType, Network};
 use pmu_numerics::lu::LuFactors;
-use pmu_numerics::{CMatrix, Complex64, Matrix, Vector};
+use pmu_numerics::sparse_lu::{SparseLu, SymbolicLu};
+use pmu_numerics::{CMatrix, Complex64, CsrCMatrix, CsrMatrix, Matrix, Vector};
+
+/// Which linear-algebra path the Newton step uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinearSolver {
+    /// CSR Jacobian, RCM-ordered sparse LU with symbolic pattern reuse.
+    Sparse,
+    /// Dense Jacobian and dense LU with partial pivoting (the reference
+    /// path, kept for parity testing).
+    Dense,
+}
+
+/// Process-wide default for [`AcConfig::default`]'s `linear_solver`:
+/// `0` = unset (env / sparse), `1` = sparse, `2` = dense.
+static DEFAULT_SOLVER: AtomicU8 = AtomicU8::new(0);
+
+/// Override the linear solver that [`AcConfig::default`] selects
+/// (`None` clears the override). Used by `repro --dense-flow` and parity
+/// harnesses; explicit `AcConfig { linear_solver, .. }` always wins.
+pub fn set_default_linear_solver(solver: Option<LinearSolver>) {
+    let code = match solver {
+        None => 0,
+        Some(LinearSolver::Sparse) => 1,
+        Some(LinearSolver::Dense) => 2,
+    };
+    DEFAULT_SOLVER.store(code, Ordering::SeqCst);
+}
+
+/// The solver [`AcConfig::default`] resolves to: the
+/// [`set_default_linear_solver`] override, then the `PMU_DENSE_FLOW`
+/// environment variable (any value but `0`/empty selects dense), then
+/// sparse.
+pub fn default_linear_solver() -> LinearSolver {
+    match DEFAULT_SOLVER.load(Ordering::SeqCst) {
+        1 => LinearSolver::Sparse,
+        2 => LinearSolver::Dense,
+        _ => {
+            static ENV_DENSE: OnceLock<bool> = OnceLock::new();
+            let dense = *ENV_DENSE.get_or_init(|| {
+                std::env::var("PMU_DENSE_FLOW")
+                    .map(|v| !v.trim().is_empty() && v.trim() != "0")
+                    .unwrap_or(false)
+            });
+            if dense { LinearSolver::Dense } else { LinearSolver::Sparse }
+        }
+    }
+}
 
 /// Configuration of the Newton–Raphson solver.
 #[derive(Debug, Clone)]
@@ -33,11 +98,20 @@ pub struct AcConfig {
     /// switched to PQ at the violated limit and the flow is re-solved
     /// (up to a few outer rounds), as MATPOWER's `ENFORCE_Q_LIMS` does.
     pub enforce_q_limits: bool,
+    /// Linear-algebra path for the Newton step. Defaults to
+    /// [`default_linear_solver`] (sparse unless overridden).
+    pub linear_solver: LinearSolver,
 }
 
 impl Default for AcConfig {
     fn default() -> Self {
-        AcConfig { tol: 1e-8, max_iter: 30, flat_start: false, enforce_q_limits: false }
+        AcConfig {
+            tol: 1e-8,
+            max_iter: 30,
+            flat_start: false,
+            enforce_q_limits: false,
+            linear_solver: default_linear_solver(),
+        }
     }
 }
 
@@ -70,20 +144,16 @@ impl AcSolution {
 
 /// Net specified injections in per-unit: `(P_spec, Q_spec)` per bus, where
 /// `P = (ΣPg - Pd)/base` and `Q = (ΣQg - Qd)/base`.
-fn specified_injections(net: &Network) -> (Vec<f64>, Vec<f64>) {
-    let n = net.n_buses();
+fn specified_injections_into(net: &Network, p: &mut [f64], q: &mut [f64]) {
     let base = net.base_mva;
-    let mut p = vec![0.0; n];
-    let mut q = vec![0.0; n];
     for (i, bus) in net.buses().iter().enumerate() {
-        p[i] -= bus.pd / base;
-        q[i] -= bus.qd / base;
+        p[i] = -bus.pd / base;
+        q[i] = -bus.qd / base;
     }
     for g in net.gens().iter().filter(|g| g.status) {
         p[g.bus] += g.pg / base;
         q[g.bus] += g.qg / base;
     }
-    (p, q)
 }
 
 /// Computed injections `(P, Q)` at every bus for the current state.
@@ -193,145 +263,401 @@ fn worst_q_violation(net: &Network, sol: &AcSolution) -> Option<(usize, f64)> {
 
 /// Solve the AC power flow without reactive-limit enforcement.
 fn solve_ac_unconstrained(net: &Network, cfg: &AcConfig) -> Result<AcSolution> {
-    let n = net.n_buses();
-    let ybus = pmu_grid::ybus::build_ybus(net);
-    let slack = net.slack();
+    AcSolver::new(net, cfg).solve(net)
+}
 
-    // Index sets: angles unknown at PV+PQ, magnitudes unknown at PQ.
-    let pvpq: Vec<usize> = (0..n).filter(|&i| i != slack).collect();
-    let pq: Vec<usize> =
-        (0..n).filter(|&i| net.buses()[i].bus_type == BusType::Pq).collect();
-    let n_ang = pvpq.len();
-    let n_mag = pq.len();
+/// A reusable Newton–Raphson solver bound to one network *topology*.
+///
+/// Construction caches everything that depends only on the topology and
+/// bus-type assignment: the sparse Y-bus, the unknown index sets, the
+/// Jacobian's CSR skeleton with precomputed stamp slots, and the
+/// symbolic LU (fill pattern + RCM ordering). [`AcSolver::solve`] then
+/// accepts any network with the **same topology** — in practice the same
+/// grid with different loads/dispatch, e.g. consecutive OU draws of one
+/// (system, outage) scenario window — and only refactors numerics, so
+/// the Newton inner loop performs no allocations after warm-up.
+///
+/// For one-shot solves use [`solve_ac`], which builds a throwaway
+/// `AcSolver` internally.
+pub struct AcSolver {
+    cfg: AcConfig,
+    n: usize,
+    slack: usize,
+    ybus: CsrCMatrix,
+    pvpq: Vec<usize>,
+    pq: Vec<usize>,
+    n_ang: usize,
+    dim: usize,
+    /// Jacobian CSR skeleton (fixed pattern; values rewritten per
+    /// iteration). `None` on the dense path.
+    jac: Option<CsrMatrix>,
+    /// Per Y-bus nonzero, the flat value slots of its four Jacobian
+    /// stamps `[H, N, K, L]` (`usize::MAX` = block absent for this bus
+    /// pair), in Y-bus CSR order.
+    stamps: Vec<[usize; 4]>,
+    /// Symbolic factorization of the Jacobian pattern (sparse path).
+    symbolic: Option<SymbolicLu>,
+    /// Numeric factors, allocated on first use and refactored in place.
+    lu: Option<SparseLu>,
+    // Preallocated per-iteration scratch.
+    p_calc: Vec<f64>,
+    q_calc: Vec<f64>,
+    p_spec: Vec<f64>,
+    q_spec: Vec<f64>,
+    f: Vec<f64>,
+    dx: Vec<f64>,
+    scratch: Vec<f64>,
+    vm: Vec<f64>,
+    va: Vec<f64>,
+}
 
-    // Position of each bus inside the unknown vectors.
-    let mut ang_pos = vec![usize::MAX; n];
-    for (k, &b) in pvpq.iter().enumerate() {
-        ang_pos[b] = k;
-    }
-    let mut mag_pos = vec![usize::MAX; n];
-    for (k, &b) in pq.iter().enumerate() {
-        mag_pos[b] = k;
-    }
+impl AcSolver {
+    /// Build a solver for `net`'s topology under `cfg`.
+    pub fn new(net: &Network, cfg: &AcConfig) -> AcSolver {
+        let n = net.n_buses();
+        let ybus = pmu_grid::ybus::build_ybus_sparse(net);
+        let slack = net.slack();
 
-    // Initial state.
-    let mut vm: Vec<f64> = net
-        .buses()
-        .iter()
-        .map(|b| if cfg.flat_start && b.bus_type == BusType::Pq { 1.0 } else { b.vm })
-        .collect();
-    let mut va: Vec<f64> = net
-        .buses()
-        .iter()
-        .map(|b| if cfg.flat_start { 0.0 } else { b.va.to_radians() })
-        .collect();
+        // Index sets: angles unknown at PV+PQ, magnitudes unknown at PQ.
+        let pvpq: Vec<usize> = (0..n).filter(|&i| i != slack).collect();
+        let pq: Vec<usize> =
+            (0..n).filter(|&i| net.buses()[i].bus_type == BusType::Pq).collect();
+        let n_ang = pvpq.len();
+        let dim = n_ang + pq.len();
 
-    let (p_spec, q_spec) = specified_injections(net);
-
-    let mut mismatch_norm = f64::INFINITY;
-    for iter in 0..=cfg.max_iter {
-        let (p_calc, q_calc) = computed_injections(&ybus, &vm, &va);
-
-        // Mismatch vector [ΔP_pvpq; ΔQ_pq].
-        let mut f = Vector::zeros(n_ang + n_mag);
+        let mut ang_pos = vec![usize::MAX; n];
         for (k, &b) in pvpq.iter().enumerate() {
-            f[k] = p_spec[b] - p_calc[b];
+            ang_pos[b] = k;
         }
+        let mut mag_pos = vec![usize::MAX; n];
         for (k, &b) in pq.iter().enumerate() {
-            f[n_ang + k] = q_spec[b] - q_calc[b];
-        }
-        mismatch_norm = f.norm_inf();
-        if mismatch_norm < cfg.tol {
-            let slack_p = p_calc[slack];
-            pmu_obs::events::NrSolve {
-                buses: n,
-                iterations: iter,
-                mismatch: mismatch_norm,
-                converged: true,
-            }
-            .emit();
-            return Ok(AcSolution {
-                vm,
-                va,
-                iterations: iter,
-                max_mismatch: mismatch_norm,
-                slack_p,
-            });
-        }
-        if iter == cfg.max_iter {
-            break;
+            mag_pos[b] = k;
         }
 
-        // Jacobian blocks: [H N; K L] with
-        //   H = dP/dθ (pvpq × pvpq), N = dP/dV (pvpq × pq),
-        //   K = dQ/dθ (pq × pvpq),   L = dQ/dV (pq × pq).
-        let dim = n_ang + n_mag;
-        let mut jac = Matrix::zeros(dim, dim);
-        for i in 0..n {
-            let gii = ybus[(i, i)].re;
-            let bii = ybus[(i, i)].im;
-            let api = ang_pos[i];
-            let mpi = mag_pos[i];
-            for j in 0..n {
-                let y = ybus[(i, j)];
-                if y == Complex64::ZERO && i != j {
-                    continue;
-                }
-                let apj = ang_pos[j];
-                let mpj = mag_pos[j];
-                if i == j {
-                    if api != usize::MAX {
-                        jac[(api, api)] = -q_calc[i] - bii * vm[i] * vm[i];
-                        if mpi != usize::MAX {
-                            jac[(api, n_ang + mpi)] = p_calc[i] / vm[i] + gii * vm[i];
-                        }
+        let (jac, stamps, symbolic) = if cfg.linear_solver == LinearSolver::Sparse {
+            // Jacobian skeleton: every Y-bus nonzero (i, j) contributes
+            // up to four entries, one per block [H N; K L], present when
+            // the respective unknowns exist.
+            let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(4 * ybus.nnz());
+            for i in 0..n {
+                let (cols, _) = ybus.row(i);
+                for &j in cols {
+                    let (api, mpi) = (ang_pos[i], mag_pos[i]);
+                    let (apj, mpj) = (ang_pos[j], mag_pos[j]);
+                    if api != usize::MAX && apj != usize::MAX {
+                        triplets.push((api, apj, 0.0));
                     }
-                    if mpi != usize::MAX {
-                        jac[(n_ang + mpi, api)] = p_calc[i] - gii * vm[i] * vm[i];
-                        jac[(n_ang + mpi, n_ang + mpi)] = q_calc[i] / vm[i] - bii * vm[i];
+                    if api != usize::MAX && mpj != usize::MAX {
+                        triplets.push((api, n_ang + mpj, 0.0));
+                    }
+                    if mpi != usize::MAX && apj != usize::MAX {
+                        triplets.push((n_ang + mpi, apj, 0.0));
+                    }
+                    if mpi != usize::MAX && mpj != usize::MAX {
+                        triplets.push((n_ang + mpi, n_ang + mpj, 0.0));
+                    }
+                }
+            }
+            let jac = CsrMatrix::from_triplets(dim, dim, triplets)
+                .expect("stamp indices are within the Jacobian dimension");
+            let mut stamps = Vec::with_capacity(ybus.nnz());
+            for i in 0..n {
+                let (cols, _) = ybus.row(i);
+                for &j in cols {
+                    let (api, mpi) = (ang_pos[i], mag_pos[i]);
+                    let (apj, mpj) = (ang_pos[j], mag_pos[j]);
+                    let slot = |r: usize, c: usize| -> usize {
+                        if r == usize::MAX || c == usize::MAX {
+                            return usize::MAX;
+                        }
+                        jac.position(r, c).expect("stamp was inserted above")
+                    };
+                    stamps.push([
+                        slot(api, apj),
+                        slot(api, if mpj == usize::MAX { usize::MAX } else { n_ang + mpj }),
+                        slot(if mpi == usize::MAX { usize::MAX } else { n_ang + mpi }, apj),
+                        slot(
+                            if mpi == usize::MAX { usize::MAX } else { n_ang + mpi },
+                            if mpj == usize::MAX { usize::MAX } else { n_ang + mpj },
+                        ),
+                    ]);
+                }
+            }
+            let symbolic =
+                SymbolicLu::analyze(&jac).expect("Jacobian skeleton is square");
+            (Some(jac), stamps, Some(symbolic))
+        } else {
+            (None, Vec::new(), None)
+        };
+
+        AcSolver {
+            cfg: cfg.clone(),
+            n,
+            slack,
+            ybus,
+            pvpq,
+            pq,
+            n_ang,
+            dim,
+            jac,
+            stamps,
+            symbolic,
+            lu: None,
+            p_calc: vec![0.0; n],
+            q_calc: vec![0.0; n],
+            p_spec: vec![0.0; n],
+            q_spec: vec![0.0; n],
+            f: vec![0.0; dim],
+            dx: vec![0.0; dim],
+            scratch: vec![0.0; dim],
+            vm: vec![0.0; n],
+            va: vec![0.0; n],
+        }
+    }
+
+    /// Injections `(P, Q)` for the current state, over the Y-bus
+    /// nonzeros only. Visits the same nonzero contributions in the same
+    /// ascending-column order as the dense `computed_injections`, so the
+    /// sums are bit-identical.
+    fn injections(&mut self) {
+        for i in 0..self.n {
+            let (cols, yvals) = self.ybus.row(i);
+            let mut pi = 0.0;
+            let mut qi = 0.0;
+            for (&j, &y) in cols.iter().zip(yvals) {
+                let theta = self.va[i] - self.va[j];
+                let (s, c) = theta.sin_cos();
+                pi += self.vm[i] * self.vm[j] * (y.re * c + y.im * s);
+                qi += self.vm[i] * self.vm[j] * (y.re * s - y.im * c);
+            }
+            self.p_calc[i] = pi;
+            self.q_calc[i] = qi;
+        }
+    }
+
+    /// Rewrite the sparse Jacobian's values for the current state.
+    fn assemble_sparse(&mut self) {
+        let jac = self.jac.as_mut().expect("sparse path");
+        let vals = jac.values_mut();
+        let mut flat = 0usize;
+        for i in 0..self.n {
+            let (cols, yvals) = self.ybus.row(i);
+            for (&j, &y) in cols.iter().zip(yvals) {
+                let st = self.stamps[flat];
+                flat += 1;
+                if i == j {
+                    let (gii, bii) = (y.re, y.im);
+                    if st[0] != usize::MAX {
+                        vals[st[0]] = -self.q_calc[i] - bii * self.vm[i] * self.vm[i];
+                    }
+                    if st[1] != usize::MAX {
+                        vals[st[1]] = self.p_calc[i] / self.vm[i] + gii * self.vm[i];
+                    }
+                    if st[2] != usize::MAX {
+                        vals[st[2]] = self.p_calc[i] - gii * self.vm[i] * self.vm[i];
+                    }
+                    if st[3] != usize::MAX {
+                        vals[st[3]] = self.q_calc[i] / self.vm[i] - bii * self.vm[i];
                     }
                 } else {
-                    let theta = va[i] - va[j];
+                    let theta = self.va[i] - self.va[j];
                     let (s, c) = theta.sin_cos();
                     let gc_bs = y.re * c + y.im * s; // G cosθ + B sinθ
                     let gs_bc = y.re * s - y.im * c; // G sinθ - B cosθ
-                    if api != usize::MAX && apj != usize::MAX {
-                        jac[(api, apj)] = vm[i] * vm[j] * gs_bc;
+                    if st[0] != usize::MAX {
+                        vals[st[0]] = self.vm[i] * self.vm[j] * gs_bc;
                     }
-                    if api != usize::MAX && mpj != usize::MAX {
-                        jac[(api, n_ang + mpj)] = vm[i] * gc_bs;
+                    if st[1] != usize::MAX {
+                        vals[st[1]] = self.vm[i] * gc_bs;
                     }
-                    if mpi != usize::MAX && apj != usize::MAX {
-                        jac[(n_ang + mpi, apj)] = -vm[i] * vm[j] * gc_bs;
+                    if st[2] != usize::MAX {
+                        vals[st[2]] = -self.vm[i] * self.vm[j] * gc_bs;
                     }
-                    if mpi != usize::MAX && mpj != usize::MAX {
-                        jac[(n_ang + mpi, n_ang + mpj)] = vm[i] * gs_bc;
+                    if st[3] != usize::MAX {
+                        vals[st[3]] = self.vm[i] * gs_bc;
                     }
                 }
             }
         }
+    }
 
-        let lu = LuFactors::factorize(&jac)?;
-        let dx = lu.solve(&f)?;
-        for (k, &b) in pvpq.iter().enumerate() {
-            va[b] += dx[k];
+    /// Assemble the dense Jacobian (reference path; allocates).
+    fn assemble_dense(&self) -> Matrix {
+        let mut jac = Matrix::zeros(self.dim, self.dim);
+        let mut ang_pos = vec![usize::MAX; self.n];
+        for (k, &b) in self.pvpq.iter().enumerate() {
+            ang_pos[b] = k;
         }
-        for (k, &b) in pq.iter().enumerate() {
-            vm[b] += dx[n_ang + k];
-            // Guard against pathological steps through zero voltage.
-            if vm[b] < 0.1 {
-                vm[b] = 0.1;
+        let mut mag_pos = vec![usize::MAX; self.n];
+        for (k, &b) in self.pq.iter().enumerate() {
+            mag_pos[b] = k;
+        }
+        let n_ang = self.n_ang;
+        for i in 0..self.n {
+            let (cols, yvals) = self.ybus.row(i);
+            let (api, mpi) = (ang_pos[i], mag_pos[i]);
+            for (&j, &y) in cols.iter().zip(yvals) {
+                let (apj, mpj) = (ang_pos[j], mag_pos[j]);
+                if i == j {
+                    let (gii, bii) = (y.re, y.im);
+                    if api != usize::MAX {
+                        jac[(api, api)] = -self.q_calc[i] - bii * self.vm[i] * self.vm[i];
+                        if mpi != usize::MAX {
+                            jac[(api, n_ang + mpi)] =
+                                self.p_calc[i] / self.vm[i] + gii * self.vm[i];
+                        }
+                    }
+                    if mpi != usize::MAX {
+                        jac[(n_ang + mpi, api)] =
+                            self.p_calc[i] - gii * self.vm[i] * self.vm[i];
+                        jac[(n_ang + mpi, n_ang + mpi)] =
+                            self.q_calc[i] / self.vm[i] - bii * self.vm[i];
+                    }
+                } else {
+                    let theta = self.va[i] - self.va[j];
+                    let (s, c) = theta.sin_cos();
+                    let gc_bs = y.re * c + y.im * s;
+                    let gs_bc = y.re * s - y.im * c;
+                    if api != usize::MAX && apj != usize::MAX {
+                        jac[(api, apj)] = self.vm[i] * self.vm[j] * gs_bc;
+                    }
+                    if api != usize::MAX && mpj != usize::MAX {
+                        jac[(api, n_ang + mpj)] = self.vm[i] * gc_bs;
+                    }
+                    if mpi != usize::MAX && apj != usize::MAX {
+                        jac[(n_ang + mpi, apj)] = -self.vm[i] * self.vm[j] * gc_bs;
+                    }
+                    if mpi != usize::MAX && mpj != usize::MAX {
+                        jac[(n_ang + mpi, n_ang + mpj)] = self.vm[i] * gs_bc;
+                    }
+                }
             }
         }
+        jac
     }
-    pmu_obs::events::NrSolve {
-        buses: n,
-        iterations: cfg.max_iter,
-        mismatch: mismatch_norm,
-        converged: false,
+
+    /// Compute the Newton step `J dx = f` into `self.dx`.
+    fn newton_step(&mut self) -> Result<()> {
+        if self.cfg.linear_solver == LinearSolver::Dense {
+            let jac = self.assemble_dense();
+            let lu = LuFactors::factorize(&jac)?;
+            let f = Vector::from(self.f.clone());
+            let dx = lu.solve(&f)?;
+            self.dx.copy_from_slice(dx.as_slice());
+            return Ok(());
+        }
+        self.assemble_sparse();
+        let jac = self.jac.as_ref().expect("sparse path");
+        let refactored = match self.lu.as_mut() {
+            Some(lu) => lu.refactor(jac),
+            None => match self.symbolic.as_ref().expect("sparse path").factorize(jac) {
+                Ok(lu) => {
+                    self.lu = Some(lu);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            },
+        };
+        match refactored {
+            Ok(()) => {
+                let lu = self.lu.as_ref().expect("factorized above");
+                lu.solve_with_scratch(&self.f, &mut self.dx, &mut self.scratch)?;
+                Ok(())
+            }
+            Err(pmu_numerics::NumericsError::Singular { .. }) => {
+                // No static pivot on the fixed pattern — fall back to
+                // the dense pivoted LU for this iteration. Rare (near
+                // voltage collapse); the next iteration retries sparse.
+                pmu_obs::counter!("flow.sparse_pivot_fallback").inc();
+                let jac = self.assemble_dense();
+                let lu = LuFactors::factorize(&jac)?;
+                let f = Vector::from(self.f.clone());
+                let dx = lu.solve(&f)?;
+                self.dx.copy_from_slice(dx.as_slice());
+                Ok(())
+            }
+            Err(other) => Err(other.into()),
+        }
     }
-    .emit();
-    Err(FlowError::Diverged { iters: cfg.max_iter, mismatch: mismatch_norm })
+
+    /// Solve the power flow for `net`, which must share the topology and
+    /// bus-type assignment this solver was built from (same buses,
+    /// branches, and statuses; loads and dispatch are free to differ).
+    ///
+    /// # Errors
+    /// As [`solve_ac`]; additionally [`FlowError::Grid`] when `net`'s
+    /// size does not match the cached topology.
+    pub fn solve(&mut self, net: &Network) -> Result<AcSolution> {
+        if net.n_buses() != self.n {
+            return Err(FlowError::Grid(format!(
+                "AcSolver built for {} buses, got {}",
+                self.n,
+                net.n_buses()
+            )));
+        }
+        let (tol, max_iter, flat_start) =
+            (self.cfg.tol, self.cfg.max_iter, self.cfg.flat_start);
+        for (i, b) in net.buses().iter().enumerate() {
+            self.vm[i] =
+                if flat_start && b.bus_type == BusType::Pq { 1.0 } else { b.vm };
+            self.va[i] = if flat_start { 0.0 } else { b.va.to_radians() };
+        }
+        specified_injections_into(net, &mut self.p_spec, &mut self.q_spec);
+
+        let mut mismatch_norm = f64::INFINITY;
+        for iter in 0..=max_iter {
+            self.injections();
+
+            // Mismatch vector [ΔP_pvpq; ΔQ_pq].
+            for (k, &b) in self.pvpq.iter().enumerate() {
+                self.f[k] = self.p_spec[b] - self.p_calc[b];
+            }
+            for (k, &b) in self.pq.iter().enumerate() {
+                self.f[self.n_ang + k] = self.q_spec[b] - self.q_calc[b];
+            }
+            mismatch_norm = self.f.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            if mismatch_norm < tol {
+                let slack_p = self.p_calc[self.slack];
+                pmu_obs::events::NrSolve {
+                    buses: self.n,
+                    iterations: iter,
+                    mismatch: mismatch_norm,
+                    converged: true,
+                }
+                .emit();
+                return Ok(AcSolution {
+                    vm: self.vm.clone(),
+                    va: self.va.clone(),
+                    iterations: iter,
+                    max_mismatch: mismatch_norm,
+                    slack_p,
+                });
+            }
+            if iter == max_iter {
+                break;
+            }
+
+            self.newton_step()?;
+            for (k, &b) in self.pvpq.iter().enumerate() {
+                self.va[b] += self.dx[k];
+            }
+            for (k, &b) in self.pq.iter().enumerate() {
+                self.vm[b] += self.dx[self.n_ang + k];
+                // Guard against pathological steps through zero voltage.
+                if self.vm[b] < 0.1 {
+                    self.vm[b] = 0.1;
+                }
+            }
+        }
+        pmu_obs::events::NrSolve {
+            buses: self.n,
+            iterations: self.cfg.max_iter,
+            mismatch: mismatch_norm,
+            converged: false,
+        }
+        .emit();
+        Err(FlowError::Diverged { iters: self.cfg.max_iter, mismatch: mismatch_norm })
+    }
 }
 
 #[cfg(test)]
@@ -452,6 +778,78 @@ mod tests {
             assert!((ph[b].abs() - sol.vm[b]).abs() < 1e-12);
             assert!((ph[b].arg() - sol.va[b]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_agree() {
+        for net in [ieee14().unwrap(), ieee30().unwrap(), ieee57().unwrap()] {
+            let sparse = solve_ac(
+                &net,
+                &AcConfig { linear_solver: LinearSolver::Sparse, ..AcConfig::default() },
+            )
+            .unwrap();
+            let dense = solve_ac(
+                &net,
+                &AcConfig { linear_solver: LinearSolver::Dense, ..AcConfig::default() },
+            )
+            .unwrap();
+            for b in 0..net.n_buses() {
+                assert!(
+                    (sparse.vm[b] - dense.vm[b]).abs() < 1e-10,
+                    "{}: vm[{b}] sparse={} dense={}",
+                    net.name,
+                    sparse.vm[b],
+                    dense.vm[b]
+                );
+                assert!((sparse.va[b] - dense.va[b]).abs() < 1e-10);
+            }
+            assert!((sparse.slack_p - dense.slack_p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solver_reuse_across_load_changes_matches_fresh_solves() {
+        // One AcSolver reused over perturbed loads of a fixed topology —
+        // the scenario-simulation access pattern — must match per-step
+        // fresh solver construction exactly.
+        let base = ieee14().unwrap();
+        // Pin the path: tests run concurrently and another test exercises
+        // the process-wide default override.
+        let cfg =
+            AcConfig { linear_solver: LinearSolver::Sparse, ..AcConfig::default() };
+        let mut solver = AcSolver::new(&base, &cfg);
+        for step in 0..5 {
+            let mut net = base.clone();
+            let scale = 1.0 + 0.03 * step as f64;
+            net.set_load(8, 29.5 * scale, 16.6 * scale).unwrap();
+            let reused = solver.solve(&net).unwrap();
+            let fresh = solve_ac(&net, &cfg).unwrap();
+            for b in 0..net.n_buses() {
+                assert_eq!(reused.vm[b], fresh.vm[b], "step {step} bus {b}");
+                assert_eq!(reused.va[b], fresh.va[b]);
+            }
+        }
+    }
+
+    #[test]
+    fn solver_rejects_mismatched_network_size() {
+        let cfg = AcConfig::default();
+        let mut solver = AcSolver::new(&ieee14().unwrap(), &cfg);
+        match solver.solve(&ieee30().unwrap()) {
+            Err(FlowError::Grid(_)) => {}
+            other => panic!("expected Grid error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_solver_override_roundtrip() {
+        // Explicit configs are unaffected by the process-wide default.
+        set_default_linear_solver(Some(LinearSolver::Dense));
+        assert_eq!(default_linear_solver(), LinearSolver::Dense);
+        assert_eq!(AcConfig::default().linear_solver, LinearSolver::Dense);
+        set_default_linear_solver(Some(LinearSolver::Sparse));
+        assert_eq!(default_linear_solver(), LinearSolver::Sparse);
+        set_default_linear_solver(None);
     }
 }
 

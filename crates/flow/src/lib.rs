@@ -24,7 +24,10 @@ pub mod error;
 pub mod fdpf;
 pub mod flows;
 
-pub use ac::{solve_ac, AcConfig, AcSolution};
+pub use ac::{
+    default_linear_solver, set_default_linear_solver, solve_ac, AcConfig, AcSolution,
+    AcSolver, LinearSolver,
+};
 pub use dc::{solve_dc, DcSolution};
 pub use fdpf::{solve_fdpf, FdpfConfig, FdpfSolution};
 pub use error::FlowError;

@@ -7,7 +7,7 @@
 //! power flow and Eq. (1) itself).
 
 use crate::network::Network;
-use pmu_numerics::{CMatrix, Complex64, Matrix};
+use pmu_numerics::{CMatrix, Complex64, CsrCMatrix, Matrix};
 
 /// Build the complex bus admittance matrix (Y-bus) from in-service
 /// branches and bus shunts, honouring off-nominal taps and phase shifts
@@ -37,6 +37,38 @@ pub fn build_ybus(net: &Network) -> CMatrix {
         y[(i, i)] += Complex64::new(bus.gs, bus.bs) / net.base_mva;
     }
     y
+}
+
+/// Build the bus admittance matrix in compressed sparse row form — same
+/// stamps as [`build_ybus`], stored sparsely. At IEEE-118 size the Y-bus
+/// is ~97% zero, and the AC power-flow fast path (`pmu_flow::AcSolver`)
+/// iterates injections and Jacobian entries over exactly these nonzeros.
+///
+/// Stamps are pushed in the same branch-then-shunt order as the dense
+/// builder and duplicate stamps are summed in insertion order, so every
+/// entry is bit-identical to its dense counterpart.
+pub fn build_ybus_sparse(net: &Network) -> CsrCMatrix {
+    let n = net.n_buses();
+    let branches_in = net.branches().iter().filter(|b| b.status).count();
+    let mut triplets = Vec::with_capacity(4 * branches_in + n);
+    for br in net.branches().iter().filter(|b| b.status) {
+        let ys = Complex64::ONE / Complex64::new(br.r, br.x);
+        let bc_half = Complex64::new(0.0, br.b / 2.0);
+        let tap = if br.tap == 0.0 { 1.0 } else { br.tap };
+        let shift_rad = br.shift.to_radians();
+        let t = Complex64::from_polar(tap, shift_rad);
+
+        triplets.push((br.from, br.from, (ys + bc_half) / (tap * tap)));
+        triplets.push((br.to, br.to, ys + bc_half));
+        triplets.push((br.from, br.to, -(ys / t.conj())));
+        triplets.push((br.to, br.from, -(ys / t)));
+    }
+    for (i, bus) in net.buses().iter().enumerate() {
+        if bus.gs != 0.0 || bus.bs != 0.0 {
+            triplets.push((i, i, Complex64::new(bus.gs, bus.bs) / net.base_mva));
+        }
+    }
+    CsrCMatrix::from_triplets(n, n, triplets).expect("bus indices are validated")
 }
 
 /// The weighted graph Laplacian with weights `1/x` over in-service
@@ -171,6 +203,40 @@ mod tests {
         }
         let y = build_ybus(&net);
         assert!((y[(0, 1)] - y[(1, 0)]).abs() > 1e-6);
+    }
+
+    #[test]
+    fn sparse_ybus_matches_dense_bitwise() {
+        for net in [
+            crate::cases::ieee14().unwrap(),
+            crate::cases::ieee57().unwrap(),
+            two_bus(),
+        ] {
+            let dense = build_ybus(&net);
+            let sparse = build_ybus_sparse(&net);
+            assert_eq!(sparse.shape(), (net.n_buses(), net.n_buses()));
+            let back = sparse.to_dense();
+            for r in 0..net.n_buses() {
+                for c in 0..net.n_buses() {
+                    assert_eq!(
+                        back[(r, c)].re,
+                        dense[(r, c)].re,
+                        "({r},{c}) re differs on {}",
+                        net.name
+                    );
+                    assert_eq!(back[(r, c)].im, dense[(r, c)].im);
+                }
+            }
+            // Genuinely sparse on real systems.
+            if net.n_buses() > 10 {
+                assert!(sparse.nnz() < net.n_buses() * net.n_buses() / 2);
+            }
+        }
+        // An outage drops the branch's stamps from the pattern.
+        let net = crate::cases::ieee14().unwrap();
+        let idx = net.valid_outage_branches()[0];
+        let out = net.with_branch_outage(idx).unwrap();
+        assert!(build_ybus_sparse(&out).nnz() < build_ybus_sparse(&net).nnz());
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! - [`eigen`] — Jacobi eigensolver for symmetric matrices.
 //! - [`subspace`] — orthonormal subspaces: projection, residuals, unions,
 //!   intersections, principal angles.
+//! - [`sparse`] — compressed sparse row matrices, real and complex
+//!   (admittance matrices and NR Jacobians are ~99% zero at scale).
+//! - [`sparse_lu`] — sparse LU with RCM ordering and symbolic pattern
+//!   reuse (the power-flow fast path).
 //! - [`stats`] — small statistics helpers (means, quantiles, covariance).
 //! - [`par`] — zero-dependency data-parallel executor (`par_map`) used by
 //!   the scenario-generation and training pipelines.
@@ -38,6 +42,8 @@ pub mod lu;
 pub mod matrix;
 pub mod par;
 pub mod qr;
+pub mod sparse;
+pub mod sparse_lu;
 pub mod stats;
 pub mod subspace;
 pub mod svd;
@@ -49,6 +55,8 @@ pub use error::NumericsError;
 pub use lu::{CluFactors, LuFactors};
 pub use matrix::Matrix;
 pub use qr::QrFactors;
+pub use sparse::{CsrCMatrix, CsrMatrix};
+pub use sparse_lu::{SparseLu, SymbolicLu};
 pub use subspace::Subspace;
 pub use svd::Svd;
 pub use vector::Vector;

@@ -224,6 +224,47 @@ impl Matrix {
         out
     }
 
+    /// `selfᵀ · rhs` without materializing the transpose.
+    ///
+    /// Both operands are walked row-by-row, accumulating the rank-1
+    /// update `self_row(r)ᵀ · rhs_row(r)` into the output, so every
+    /// inner loop is a contiguous axpy and the accumulator (cols ×
+    /// rhs.cols) stays cache-resident while the tall operands stream
+    /// past once. For tall-skinny shapes like softmax gradients
+    /// (`Eᵀ X` with thousands of rows and ~100 columns) this beats
+    /// `transpose().matmul()` by skipping the transpose copy entirely.
+    /// The accumulation order over the shared row index matches the
+    /// blocked kernel's k-order, so the result is bit-identical to
+    /// `self.transpose().matmul(rhs)`.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] when the row counts
+    /// (the contracted dimension) differ.
+    pub fn tr_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(NumericsError::ShapeMismatch {
+                op: "tr_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = rhs.row(r);
+            for (c, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(c);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Reference matrix product: the naive i-j-k triple loop with a scalar
     /// accumulator. Bit-exact ground truth for property tests of the
     /// blocked [`Matrix::matmul`] kernel; not used on any hot path.

@@ -1,0 +1,453 @@
+//! Compressed sparse row (CSR) matrices, real and complex.
+//!
+//! Power-system operators are graph-local: the bus admittance matrix and
+//! the Newton–Raphson Jacobian have a handful of nonzeros per row no
+//! matter how large the grid gets (~99% zero at IEEE-118 size). This
+//! module provides the storage and the two operations the power-flow
+//! layer needs — construction from coordinate triplets and sparse
+//! matrix–vector products — plus transposition and dense conversion for
+//! tests. Factorization lives in [`crate::sparse_lu`].
+//!
+//! Duplicate triplets are **summed in insertion order** (a stable sort
+//! groups them without reordering equal keys), so a caller that stamps
+//! element contributions in a fixed order gets bit-reproducible sums.
+
+use crate::cmatrix::CMatrix;
+use crate::complex::Complex64;
+use crate::error::NumericsError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// A real matrix in compressed sparse row form.
+///
+/// Invariants: `row_ptr.len() == rows + 1`, column indices within each
+/// row are strictly increasing, and `col_idx.len() == values.len()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Sort triplets by (row, col) with a stable sort and sum duplicates,
+/// returning the CSR arrays. Shared by the real and complex builders.
+fn compress<T: Copy + std::ops::AddAssign>(
+    rows: usize,
+    mut triplets: Vec<(usize, usize, T)>,
+) -> (Vec<usize>, Vec<usize>, Vec<T>) {
+    triplets.sort_by_key(|&(r, c, _)| (r, c));
+    let mut row_ptr = vec![0usize; rows + 1];
+    let mut col_idx: Vec<usize> = Vec::with_capacity(triplets.len());
+    let mut values: Vec<T> = Vec::with_capacity(triplets.len());
+    // Duplicates are adjacent after the stable sort; fold them into the
+    // previously emitted entry. row_ptr holds per-row counts first and is
+    // prefix-summed into offsets below.
+    let mut last: Option<(usize, usize)> = None;
+    for (r, c, v) in triplets {
+        if last == Some((r, c)) {
+            *values.last_mut().expect("entry exists for duplicate") += v;
+            continue;
+        }
+        last = Some((r, c));
+        row_ptr[r + 1] += 1;
+        col_idx.push(c);
+        values.push(v);
+    }
+    for r in 0..rows {
+        row_ptr[r + 1] += row_ptr[r];
+    }
+    (row_ptr, col_idx, values)
+}
+
+/// Validate triplet indices against the matrix shape.
+fn check_triplets<T>(
+    op: &'static str,
+    rows: usize,
+    cols: usize,
+    triplets: &[(usize, usize, T)],
+) -> Result<()> {
+    for &(r, c, _) in triplets {
+        if r >= rows || c >= cols {
+            return Err(NumericsError::invalid(
+                op,
+                format!("triplet ({r}, {c}) out of bounds for {rows}x{cols}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+impl CsrMatrix {
+    /// Build from coordinate triplets `(row, col, value)`. Duplicates are
+    /// summed in insertion order; explicit zeros are kept (they are part
+    /// of the sparsity *pattern*, which the LU symbolic analysis reuses).
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::InvalidArgument`] for out-of-range indices.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: Vec<(usize, usize, f64)>,
+    ) -> Result<Self> {
+        check_triplets("csr_from_triplets", rows, cols, &triplets)?;
+        let (row_ptr, col_idx, values) = compress(rows, triplets);
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Convert a dense matrix, keeping entries with `|a_ij| > drop_tol`.
+    pub fn from_dense(a: &Matrix, drop_tol: f64) -> Self {
+        let mut triplets = Vec::new();
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                if a[(r, c)].abs() > drop_tol {
+                    triplets.push((r, c, a[(r, c)]));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(a.rows(), a.cols(), triplets)
+            .expect("indices from a dense matrix are in range")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of stored entries over the dense size.
+    pub fn density(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// Column indices and values of row `r`.
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// The stored values, mutably — for rewriting the numerics of a
+    /// fixed-pattern matrix (Jacobian reassembly) without reallocating.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The stored values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Flat index of the stored entry at `(r, c)`, if present in the
+    /// pattern (binary search within the row).
+    pub fn position(&self, r: usize, c: usize) -> Option<usize> {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        let cols = &self.col_idx[span.clone()];
+        cols.binary_search(&c).ok().map(|k| span.start + k)
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] when `x` has the wrong length.
+    pub fn matvec(&self, x: &Vector) -> Result<Vector> {
+        let mut y = Vector::zeros(self.rows);
+        self.matvec_into(x.as_slice(), y.as_mut_slice())?;
+        Ok(y)
+    }
+
+    /// `y = A x` into a caller-provided buffer (allocation-free).
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] when `x` or `y` has the
+    /// wrong length.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(NumericsError::ShapeMismatch {
+                op: "csr_matvec",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), 1),
+            });
+        }
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *out = acc;
+        }
+        Ok(())
+    }
+
+    /// The transposed matrix (CSC of the original, re-expressed as CSR).
+    pub fn transpose(&self) -> CsrMatrix {
+        // Counting sort by column: one pass to size the rows of Aᵀ, one
+        // pass to scatter.
+        let mut row_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for c in 0..self.cols {
+            row_ptr[c + 1] += row_ptr[c];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = row_ptr.clone();
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let dst = next[c];
+                next[c] += 1;
+                col_idx[dst] = r;
+                values[dst] = self.values[k];
+            }
+        }
+        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+    }
+
+    /// Dense copy (tests and the dense fallback path).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                m[(r, self.col_idx[k])] = self.values[k];
+            }
+        }
+        m
+    }
+}
+
+/// A complex matrix in compressed sparse row form (sparse Y-bus).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrCMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<Complex64>,
+}
+
+impl CsrCMatrix {
+    /// Build from coordinate triplets; duplicates are summed in insertion
+    /// order (see module docs).
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::InvalidArgument`] for out-of-range indices.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: Vec<(usize, usize, Complex64)>,
+    ) -> Result<Self> {
+        check_triplets("csr_c_from_triplets", rows, cols, &triplets)?;
+        let (row_ptr, col_idx, values) = compress(rows, triplets);
+        Ok(CsrCMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices and values of row `r`.
+    pub fn row(&self, r: usize) -> (&[usize], &[Complex64]) {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] when `x` has the wrong length.
+    pub fn matvec(&self, x: &[Complex64]) -> Result<Vec<Complex64>> {
+        if x.len() != self.cols {
+            return Err(NumericsError::ShapeMismatch {
+                op: "csr_c_matvec",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![Complex64::ZERO; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *out = acc;
+        }
+        Ok(y)
+    }
+
+    /// The transposed matrix (no conjugation).
+    pub fn transpose(&self) -> CsrCMatrix {
+        let mut row_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for c in 0..self.cols {
+            row_ptr[c + 1] += row_ptr[c];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![Complex64::ZERO; self.nnz()];
+        let mut next = row_ptr.clone();
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let dst = next[c];
+                next[c] += 1;
+                col_idx[dst] = r;
+                values[dst] = self.values[k];
+            }
+        }
+        CsrCMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+    }
+
+    /// Dense copy (tests).
+    pub fn to_dense(&self) -> CMatrix {
+        let mut m = CMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                m[(r, self.col_idx[k])] = self.values[k];
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn triplets_build_and_duplicates_sum() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, -1.0), (0, 1, 0.5)],
+        )
+        .unwrap();
+        assert_eq!(a.nnz(), 3);
+        let d = a.to_dense();
+        assert_eq!(d[(0, 0)], 3.0);
+        assert_eq!(d[(0, 1)], 0.5);
+        assert_eq!(d[(1, 1)], -1.0);
+        assert!(CsrMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn rows_are_sorted_and_accessible() {
+        let a = sample();
+        let (cols, vals) = a.row(2);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[4.0, 5.0]);
+        assert_eq!(a.position(0, 2), Some(1));
+        assert_eq!(a.position(0, 1), None);
+        assert!((a.density() - 5.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let x = Vector::from(vec![1.0, -1.0, 2.0]);
+        let y = a.matvec(&x).unwrap();
+        let yd = a.to_dense().matvec(&x).unwrap();
+        for i in 0..3 {
+            assert_eq!(y[i], yd[i]);
+        }
+        assert!(a.matvec(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = sample();
+        let t = a.transpose();
+        assert_eq!(t.to_dense().max_abs_diff(&a.to_dense().transpose()), 0.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let d = Matrix::from_rows(2, 3, vec![0.0, 1.5, 0.0, -2.0, 0.0, 1e-14]).unwrap();
+        let s = CsrMatrix::from_dense(&d, 1e-12);
+        assert_eq!(s.nnz(), 2);
+        assert!((s.to_dense().max_abs_diff(&d)) <= 1e-14);
+    }
+
+    #[test]
+    fn complex_matvec_and_transpose() {
+        let a = CsrCMatrix::from_triplets(
+            2,
+            2,
+            vec![
+                (0, 0, Complex64::new(1.0, 1.0)),
+                (0, 1, Complex64::new(0.0, -2.0)),
+                (1, 0, Complex64::new(3.0, 0.0)),
+            ],
+        )
+        .unwrap();
+        let x = vec![Complex64::new(1.0, 0.0), Complex64::new(0.0, 1.0)];
+        let y = a.matvec(&x).unwrap();
+        let yd = a.to_dense().matvec(&x).unwrap();
+        for i in 0..2 {
+            assert!((y[i] - yd[i]).abs() < 1e-15);
+        }
+        let t = a.transpose();
+        assert!((t.to_dense()[(1, 0)] - Complex64::new(0.0, -2.0)).abs() < 1e-15);
+        assert_eq!(t.nnz(), 3);
+        assert!(a.matvec(&x[..1]).is_err());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let a = CsrMatrix::from_triplets(3, 3, vec![(2, 2, 1.0)]).unwrap();
+        let (cols, _) = a.row(0);
+        assert!(cols.is_empty());
+        let y = a.matvec(&Vector::from(vec![1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+}

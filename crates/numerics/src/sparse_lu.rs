@@ -1,0 +1,521 @@
+//! Sparse LU factorization with a fill-reducing ordering and symbolic
+//! pattern reuse.
+//!
+//! The Newton–Raphson power-flow Jacobian has a **fixed sparsity
+//! pattern**: it inherits the grid graph, which does not change across
+//! Newton iterations, across the time steps of one measurement window,
+//! or across OU load draws of the same (system, outage) topology. This
+//! module splits the factorization accordingly:
+//!
+//! 1. [`SymbolicLu::analyze`] — once per topology: symmetrize the
+//!    pattern, compute a reverse Cuthill–McKee (RCM) ordering to keep
+//!    fill near the diagonal, and run a symbolic elimination that
+//!    records the full fill pattern of `L + U`.
+//! 2. [`SymbolicLu::factorize`] / [`SparseLu::refactor`] — once per
+//!    Newton iteration: rewrite the numeric values on the precomputed
+//!    pattern. `refactor` is allocation-free.
+//! 3. [`SparseLu::solve_with_scratch`] — forward/backward substitution
+//!    over the stored pattern, allocation-free with caller scratch.
+//!
+//! Pivoting is **static**: rows are eliminated in RCM order with no
+//! numerical row exchanges, which is what makes the pattern reusable.
+//! Power-flow Jacobians are far from the pathological cases that demand
+//! partial pivoting; when a pivot does underflow the tolerance the
+//! factorization reports [`NumericsError::Singular`] and the caller
+//! (e.g. `pmu-flow`'s `AcSolver`) falls back to the dense pivoted LU
+//! for that step.
+
+use crate::error::NumericsError;
+use crate::sparse::CsrMatrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Pivot magnitudes below `PIVOT_TOL * max|A|` are treated as singular
+/// (same threshold as the dense LU).
+const PIVOT_TOL: f64 = 1e-13;
+
+/// Reverse Cuthill–McKee ordering of a symmetric adjacency structure.
+///
+/// `adj[i]` lists the neighbours of node `i` (self-loops are ignored).
+/// Returns `perm` with `perm[k]` = the original index eliminated at
+/// position `k`. Each connected component is traversed breadth-first
+/// from a minimum-degree start node, visiting neighbours in increasing
+/// degree order; the final order is reversed (the "R" in RCM), which
+/// turns the bandwidth-reducing CM profile into a fill-reducing one for
+/// elimination.
+pub fn rcm_ordering(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut neighbours: Vec<usize> = Vec::new();
+
+    // Stable component starts: lowest degree, ties by index.
+    let mut starts: Vec<usize> = (0..n).collect();
+    starts.sort_by_key(|&i| (degree[i], i));
+
+    for &start in &starts {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            neighbours.clear();
+            neighbours.extend(adj[u].iter().copied().filter(|&v| v != u && !visited[v]));
+            neighbours.sort_by_key(|&v| (degree[v], v));
+            for &v in &neighbours {
+                visited[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// The reusable symbolic part of a sparse LU: ordering plus the fill
+/// pattern of `L + U` on the permuted matrix.
+#[derive(Debug, Clone)]
+pub struct SymbolicLu {
+    n: usize,
+    /// `perm[k]` = original index eliminated at position `k`.
+    perm: Vec<usize>,
+    /// `perm_inv[orig]` = elimination position of original index `orig`.
+    perm_inv: Vec<usize>,
+    /// Row pointers into `col_idx` for the `L + U` pattern (permuted
+    /// indices, strictly increasing within each row, diagonal included).
+    row_ptr: Vec<usize>,
+    /// Column indices of the fill pattern.
+    col_idx: Vec<usize>,
+    /// Flat index of each row's diagonal entry.
+    diag: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Analyze the pattern of a square sparse matrix: choose the RCM
+    /// ordering and compute the fill pattern of the factors.
+    ///
+    /// Only the *pattern* of `a` matters here; the values are ignored.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::InvalidArgument`] for non-square input.
+    pub fn analyze(a: &CsrMatrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(NumericsError::invalid(
+                "sparse_lu_analyze",
+                format!("matrix must be square, got {}x{}", a.rows(), a.cols()),
+            ));
+        }
+        // Symmetrized adjacency (the NR Jacobian is structurally
+        // symmetric already; symmetrizing makes RCM safe regardless).
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for r in 0..n {
+            let (cols, _) = a.row(r);
+            for &c in cols {
+                if c != r {
+                    adj[r].push(c);
+                    adj[c].push(r);
+                }
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        let perm = rcm_ordering(&adj);
+        let mut perm_inv = vec![0usize; n];
+        for (k, &orig) in perm.iter().enumerate() {
+            perm_inv[orig] = k;
+        }
+
+        // Symbolic elimination on the permuted pattern. The pattern of
+        // row i of L+U is the transitive closure: the permuted A row,
+        // plus — for every j < i already in the pattern — the U-part
+        // (columns > j) of row j. The union is a fixed point, so the
+        // worklist can process pending columns in any order.
+        let mut rows_pat: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut diag_pos_of: Vec<usize> = vec![0; n]; // index of diag within row pattern
+        let mut marker = vec![usize::MAX; n];
+        let mut stack: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let mut pat: Vec<usize> = Vec::new();
+            let orig_row = perm[i];
+            let (cols, _) = a.row(orig_row);
+            for &c in cols {
+                let pc = perm_inv[c];
+                if marker[pc] != i {
+                    marker[pc] = i;
+                    pat.push(pc);
+                    if pc < i {
+                        stack.push(pc);
+                    }
+                }
+            }
+            if marker[i] != i {
+                // Structurally missing diagonal still gets a slot (its
+                // value may be filled in by elimination).
+                marker[i] = i;
+                pat.push(i);
+            }
+            while let Some(j) = stack.pop() {
+                let jpat = &rows_pat[j];
+                for &c in &jpat[diag_pos_of[j] + 1..] {
+                    if marker[c] != i {
+                        marker[c] = i;
+                        pat.push(c);
+                        if c < i {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+            pat.sort_unstable();
+            diag_pos_of[i] =
+                pat.binary_search(&i).expect("diagonal inserted above");
+            rows_pat.push(pat);
+        }
+
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut diag = Vec::with_capacity(n);
+        row_ptr.push(0);
+        for (i, pat) in rows_pat.iter().enumerate() {
+            diag.push(col_idx.len() + diag_pos_of[i]);
+            col_idx.extend_from_slice(pat);
+            row_ptr.push(col_idx.len());
+        }
+        Ok(SymbolicLu { n, perm, perm_inv, row_ptr, col_idx, diag })
+    }
+
+    /// Dimension of the analyzed matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries in `L + U` (fill included).
+    pub fn factor_nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Numeric factorization of `a` on this pattern.
+    ///
+    /// `a` must have the same dimension and a pattern that is a subset of
+    /// the analyzed one (in practice: the same matrix the pattern came
+    /// from, with different values).
+    ///
+    /// # Errors
+    /// As [`SparseLu::refactor`].
+    pub fn factorize(&self, a: &CsrMatrix) -> Result<SparseLu> {
+        let mut lu = SparseLu {
+            sym: self.clone(),
+            values: vec![0.0; self.factor_nnz()],
+            work: vec![0.0; self.n],
+        };
+        lu.refactor(a)?;
+        Ok(lu)
+    }
+}
+
+/// Numeric sparse LU factors on a reusable [`SymbolicLu`] pattern.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    sym: SymbolicLu,
+    /// Values aligned with the symbolic `col_idx` (L strictly below the
+    /// diagonal with implicit unit diagonal, U on and above).
+    values: Vec<f64>,
+    /// Dense scatter workspace, `n` long.
+    work: Vec<f64>,
+}
+
+impl SparseLu {
+    /// The symbolic pattern these factors live on.
+    pub fn symbolic(&self) -> &SymbolicLu {
+        &self.sym
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.sym.n
+    }
+
+    /// Recompute the numeric factors for a matrix with the analyzed
+    /// pattern. Allocation-free: reuses the stored value and scratch
+    /// buffers.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] on a dimension mismatch,
+    /// [`NumericsError::InvalidArgument`] when `a` has an entry outside
+    /// the analyzed pattern, and [`NumericsError::Singular`] when a
+    /// pivot underflows the tolerance (no static pivot exists — the
+    /// caller should fall back to a pivoted factorization).
+    pub fn refactor(&mut self, a: &CsrMatrix) -> Result<()> {
+        let n = self.sym.n;
+        if a.rows() != n || a.cols() != n {
+            return Err(NumericsError::ShapeMismatch {
+                op: "sparse_lu_refactor",
+                lhs: (n, n),
+                rhs: a.shape(),
+            });
+        }
+        let scale = a.values().iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1.0);
+        let sym = &self.sym;
+        let w = &mut self.work;
+        for i in 0..n {
+            let row = sym.row_ptr[i]..sym.row_ptr[i + 1];
+            // Scatter: clear this row's pattern slots, then add the
+            // permuted A row (updates below only touch pattern slots).
+            for &c in &sym.col_idx[row.clone()] {
+                w[c] = 0.0;
+            }
+            let (acols, avals) = a.row(sym.perm[i]);
+            for (&c, &v) in acols.iter().zip(avals) {
+                let pc = sym.perm_inv[c];
+                // Defensive: entries outside the analyzed pattern would
+                // silently corrupt neighbouring rows.
+                if sym.col_idx[row.clone()].binary_search(&pc).is_err() {
+                    return Err(NumericsError::invalid(
+                        "sparse_lu_refactor",
+                        format!("entry ({}, {c}) outside the analyzed pattern", sym.perm[i]),
+                    ));
+                }
+                w[pc] += v;
+            }
+            // Up-looking elimination: apply pivot rows j < i in
+            // ascending order (col_idx is sorted, so iteration order is
+            // already ascending).
+            for k in row.clone() {
+                let j = sym.col_idx[k];
+                if j >= i {
+                    break;
+                }
+                let m = w[j] / self.values[sym.diag[j]];
+                w[j] = m;
+                if m != 0.0 {
+                    for uk in (sym.diag[j] + 1)..sym.row_ptr[j + 1] {
+                        w[sym.col_idx[uk]] -= m * self.values[uk];
+                    }
+                }
+            }
+            if w[i].abs() < PIVOT_TOL * scale {
+                return Err(NumericsError::Singular { op: "sparse_lu", pivot: w[i].abs() });
+            }
+            // Gather the row back into the factor storage.
+            for k in row {
+                self.values[k] = w[sym.col_idx[k]];
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve `A x = b` (allocating convenience wrapper).
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] when `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let mut x = Vector::zeros(self.dim());
+        let mut scratch = vec![0.0; self.dim()];
+        self.solve_with_scratch(b.as_slice(), x.as_mut_slice(), &mut scratch)?;
+        Ok(x)
+    }
+
+    /// Solve `A x = b` into caller-provided buffers (allocation-free).
+    /// `scratch` holds the permuted intermediate solution.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] when any buffer has the
+    /// wrong length.
+    pub fn solve_with_scratch(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        scratch: &mut [f64],
+    ) -> Result<()> {
+        let n = self.dim();
+        if b.len() != n || x.len() != n || scratch.len() != n {
+            return Err(NumericsError::ShapeMismatch {
+                op: "sparse_lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let sym = &self.sym;
+        // Factors are of B = P A Pᵀ, so solve B y = P b, then x = Pᵀ y.
+        for i in 0..n {
+            scratch[i] = b[sym.perm[i]];
+        }
+        // Forward substitution with the unit-diagonal L.
+        for i in 0..n {
+            let mut acc = scratch[i];
+            for k in sym.row_ptr[i]..sym.diag[i] {
+                acc -= self.values[k] * scratch[sym.col_idx[k]];
+            }
+            scratch[i] = acc;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = scratch[i];
+            for k in (sym.diag[i] + 1)..sym.row_ptr[i + 1] {
+                acc -= self.values[k] * scratch[sym.col_idx[k]];
+            }
+            scratch[i] = acc / self.values[sym.diag[i]];
+        }
+        for i in 0..n {
+            x[sym.perm[i]] = scratch[i];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::LuFactors;
+    use crate::matrix::Matrix;
+
+    /// Deterministic sparse diagonally-dominant test matrix: a ring plus
+    /// a few chords, like a small power grid.
+    fn grid_like(n: usize, seed: u64) -> CsrMatrix {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut triplets = Vec::new();
+        let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        for i in (0..n).step_by(3) {
+            edges.push((i, (i + n / 2) % n));
+        }
+        let mut diag = vec![0.0; n];
+        for (a, b) in edges {
+            if a == b {
+                continue;
+            }
+            let w = 1.0 + rng().abs();
+            triplets.push((a, b, -w));
+            triplets.push((b, a, -w));
+            diag[a] += w + 0.5;
+            diag[b] += w + 0.5;
+        }
+        for (i, d) in diag.iter().enumerate() {
+            triplets.push((i, i, *d));
+        }
+        CsrMatrix::from_triplets(n, n, triplets).unwrap()
+    }
+
+    #[test]
+    fn rcm_orders_a_path_contiguously() {
+        // Path graph 0-1-2-3: RCM yields an order where neighbours stay
+        // adjacent (bandwidth 1), in some direction.
+        let adj = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let perm = rcm_ordering(&adj);
+        let mut pos = [0; 4];
+        for (k, &p) in perm.iter().enumerate() {
+            pos[p] = k;
+        }
+        for (a, b) in [(0usize, 1usize), (1, 2), (2, 3)] {
+            assert_eq!(pos[a].abs_diff(pos[b]), 1, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn rcm_covers_disconnected_graphs() {
+        let adj = vec![vec![1], vec![0], vec![], vec![4], vec![3]];
+        let mut perm = rcm_ordering(&adj);
+        perm.sort_unstable();
+        assert_eq!(perm, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn solve_matches_dense_lu() {
+        for n in [5usize, 12, 30] {
+            let a = grid_like(n, n as u64);
+            let sym = SymbolicLu::analyze(&a).unwrap();
+            let lu = sym.factorize(&a).unwrap();
+            let b = Vector::from_fn(n, |i| (i as f64 * 0.37).sin());
+            let x = lu.solve(&b).unwrap();
+            let xd = LuFactors::factorize(&a.to_dense()).unwrap().solve(&b).unwrap();
+            for i in 0..n {
+                assert!((x[i] - xd[i]).abs() < 1e-10, "n={n} i={i}: {} vs {}", x[i], xd[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_the_pattern() {
+        let a = grid_like(20, 7);
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        let mut lu = sym.factorize(&a).unwrap();
+        // Same pattern, scaled values (a different "operating point").
+        let scaled = CsrMatrix::from_dense(&a.to_dense().scaled(2.5), 0.0);
+        lu.refactor(&scaled).unwrap();
+        let b = Vector::ones(20);
+        let x = lu.solve(&b).unwrap();
+        let xd = LuFactors::factorize(&scaled.to_dense()).unwrap().solve(&b).unwrap();
+        for i in 0..20 {
+            assert!((x[i] - xd[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fill_is_bounded_by_the_ordering() {
+        let a = grid_like(40, 3);
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        // RCM keeps fill well under dense: the factors must stay sparse.
+        assert!(sym.factor_nnz() < 40 * 40 / 4, "factor nnz {}", sym.factor_nnz());
+        assert!(sym.factor_nnz() >= a.nnz());
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        // Zero row ⇒ zero pivot with no static remedy.
+        let a = CsrMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (2, 2, 1.0)]).unwrap();
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        match sym.factorize(&a) {
+            Err(NumericsError::Singular { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let rect = CsrMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap();
+        assert!(SymbolicLu::analyze(&rect).is_err());
+        let a = grid_like(6, 1);
+        let lu = SymbolicLu::analyze(&a).unwrap().factorize(&a).unwrap();
+        assert!(lu.solve(&Vector::zeros(5)).is_err());
+        let other = grid_like(7, 1);
+        let mut lu2 = lu.clone();
+        assert!(lu2.refactor(&other).is_err());
+    }
+
+    #[test]
+    fn out_of_pattern_refactor_is_rejected() {
+        let a = grid_like(8, 2);
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        let mut lu = sym.factorize(&a).unwrap();
+        // A denser matrix has entries the symbolic pass never saw.
+        let dense = CsrMatrix::from_dense(
+            &Matrix::from_fn(8, 8, |r, c| if r == c { 4.0 } else { 0.3 }),
+            0.0,
+        );
+        assert!(lu.refactor(&dense).is_err());
+    }
+
+    #[test]
+    fn permuted_identity_works() {
+        let a = CsrMatrix::from_triplets(
+            4,
+            4,
+            vec![(0, 0, 2.0), (1, 1, 3.0), (2, 2, 4.0), (3, 3, 5.0)],
+        )
+        .unwrap();
+        let lu = SymbolicLu::analyze(&a).unwrap().factorize(&a).unwrap();
+        let x = lu.solve(&Vector::from(vec![2.0, 6.0, 12.0, 20.0])).unwrap();
+        assert_eq!(x.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+}

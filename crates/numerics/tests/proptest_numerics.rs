@@ -190,6 +190,35 @@ proptest! {
     }
 
     #[test]
+    fn tr_matmul_matches_explicit_transpose(
+        (m, k, n) in (1usize..140, 1usize..60, 1usize..60),
+        seed in any::<u64>(),
+    ) {
+        // The fused Aᵀ·B kernel accumulates over the shared row index in
+        // the same ascending order as the blocked kernel's k-loop, so it
+        // must be bit-identical to transposing first.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+                / (1u64 << 53) as f64 * 16.0 - 8.0
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(m, n, |_, _| next());
+        let fused = a.tr_matmul(&b).unwrap();
+        let explicit = a.transpose().matmul(&b).unwrap();
+        prop_assert_eq!(fused.shape(), (k, n));
+        prop_assert_eq!(fused.max_abs_diff(&explicit), 0.0);
+        // Shape mismatch on the contracted dimension is rejected.
+        if m > 1 {
+            let short = Matrix::zeros(m - 1, n);
+            prop_assert!(a.tr_matmul(&short).is_err());
+        }
+    }
+
+    #[test]
     fn matmul_is_associative(a in matrix_strategy(4, 3), b in matrix_strategy(3, 5), c in matrix_strategy(5, 2)) {
         let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();

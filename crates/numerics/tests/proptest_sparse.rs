@@ -1,0 +1,124 @@
+//! Property-based tests for the sparse linear-algebra subsystem.
+//!
+//! The sparse CSR matrices and the pattern-reusing LU are the power-flow
+//! fast path; these properties pin them to the dense implementations they
+//! replace: triplet compression agrees with dense accumulation, matvec
+//! agrees with `Matrix::matvec`, and the RCM-ordered sparse LU solves the
+//! same systems as the pivoted dense LU.
+
+use pmu_numerics::lu::LuFactors;
+use pmu_numerics::sparse_lu::SymbolicLu;
+use pmu_numerics::{CsrMatrix, Matrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy: a list of random triplets inside an `n`×`n` shape, with
+/// duplicate coordinates allowed (compression must sum them).
+fn triplet_strategy(n: usize, max_nnz: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec((0..n, 0..n, -10.0_f64..10.0), 0..max_nnz)
+}
+
+/// Strategy: a sparse diagonally dominant n×n system. Off-diagonal
+/// entries come from random triplets; the diagonal is then lifted above
+/// each row's absolute sum, so the matrix is invertible and the static
+/// (no-pivot) sparse elimination is stable.
+fn dominant_sparse_strategy(n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    triplet_strategy(n, max_nnz).prop_map(move |mut triplets| {
+        let mut row_abs = vec![1.0_f64; n];
+        for &(r, _, v) in &triplets {
+            row_abs[r] += v.abs();
+        }
+        for (i, &abs) in row_abs.iter().enumerate() {
+            triplets.push((i, i, abs + 1.0));
+        }
+        CsrMatrix::from_triplets(n, n, triplets).unwrap()
+    })
+}
+
+fn vector_strategy(n: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-10.0_f64..10.0, n).prop_map(Vector::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn triplet_compression_matches_dense_accumulation(
+        triplets in triplet_strategy(8, 40),
+    ) {
+        // Summing duplicates densely must give the same matrix as CSR
+        // compression (which folds duplicates during the sorted pass).
+        let mut dense = Matrix::zeros(8, 8);
+        for &(r, c, v) in &triplets {
+            dense[(r, c)] += v;
+        }
+        let sparse = CsrMatrix::from_triplets(8, 8, triplets).unwrap();
+        prop_assert!(sparse.to_dense().max_abs_diff(&dense) < 1e-12);
+    }
+
+    #[test]
+    fn sparse_matvec_matches_dense(
+        triplets in triplet_strategy(10, 50),
+        x in vector_strategy(10),
+    ) {
+        let sparse = CsrMatrix::from_triplets(10, 10, triplets).unwrap();
+        let dense = sparse.to_dense();
+        let ys = sparse.matvec(&x).unwrap();
+        let yd = dense.matvec(&x).unwrap();
+        prop_assert!((&ys - &yd).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn transpose_is_an_involution(triplets in triplet_strategy(9, 45)) {
+        let a = CsrMatrix::from_triplets(9, 9, triplets).unwrap();
+        let att = a.transpose().transpose();
+        prop_assert_eq!(a.nnz(), att.nnz());
+        prop_assert!(a.to_dense().max_abs_diff(&att.to_dense()) < 1e-15);
+        // And the transpose really is the dense transpose.
+        prop_assert!(
+            a.transpose().to_dense().max_abs_diff(&a.to_dense().transpose()) < 1e-15
+        );
+    }
+
+    #[test]
+    fn sparse_lu_matches_dense_lu(
+        a in dominant_sparse_strategy(12, 40),
+        b in vector_strategy(12),
+    ) {
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        let lu = sym.factorize(&a).unwrap();
+        let xs = lu.solve(&b).unwrap();
+        let xd = LuFactors::factorize(&a.to_dense()).unwrap().solve(&b).unwrap();
+        prop_assert!((&xs - &xd).norm_inf() < 1e-8);
+        // The solution satisfies the system itself.
+        let back = a.matvec(&xs).unwrap();
+        prop_assert!((&back - &b).norm_inf() < 1e-8);
+    }
+
+    #[test]
+    fn refactor_reproduces_fresh_factorization(
+        a in dominant_sparse_strategy(10, 30),
+        scale in 0.5_f64..2.0,
+        b in vector_strategy(10),
+    ) {
+        // Refactoring on new values over the same pattern must match a
+        // fresh factorization of the scaled matrix.
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        let mut lu = sym.factorize(&a).unwrap();
+        let mut scaled = a.clone();
+        for v in scaled.values_mut() {
+            *v *= scale;
+        }
+        lu.refactor(&scaled).unwrap();
+        let fresh = sym.factorize(&scaled).unwrap();
+        let xa = lu.solve(&b).unwrap();
+        let xb = fresh.solve(&b).unwrap();
+        prop_assert!((&xa - &xb).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn from_dense_roundtrips(m in proptest::collection::vec(-5.0_f64..5.0, 36)) {
+        let dense = Matrix::from_rows(6, 6, m).unwrap();
+        let sparse = CsrMatrix::from_dense(&dense, 0.0);
+        prop_assert!(sparse.to_dense().max_abs_diff(&dense) < 1e-15);
+    }
+}

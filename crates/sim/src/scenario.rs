@@ -15,7 +15,7 @@ use crate::dataset::{Dataset, OutageCase};
 use crate::noise::{noisy_phasor, NoiseParams};
 use crate::ou::{LoadProcess, OuParams};
 use crate::sample::PhasorWindow;
-use pmu_flow::{solve_ac, AcConfig, FlowError};
+use pmu_flow::{solve_ac, AcConfig, AcSolver, FlowError};
 use pmu_grid::Network;
 use pmu_numerics::{par, Complex64};
 use rand::rngs::StdRng;
@@ -118,9 +118,17 @@ pub fn simulate_window(
     let mut failures = 0usize;
     let budget = len.max(4); // allow up to ~50% divergent draws
 
+    // Every step shares this window's topology, so one AcSolver amortizes
+    // the Y-bus, Jacobian pattern, and symbolic LU across all `len`
+    // solves. Q-limit enforcement can flip bus types between solves
+    // (pattern changes), so it falls back to per-step `solve_ac`.
+    let mut solver = (!ac.enforce_q_limits).then(|| AcSolver::new(net, ac));
+    // Loads/dispatch are overwritten in full each step, so the work
+    // network is cloned once, not per step.
+    let mut case = net.clone();
+
     while columns.len() < len {
         let mult = loads.step(rng);
-        let mut case = net.clone();
         let mut total = 0.0;
         for b in 0..n {
             let pd = base_pd[b] * mult[b];
@@ -134,7 +142,11 @@ pub fn simulate_window(
                 case.set_gen_p(gi, pg0 * scale).expect("gen index in range");
             }
         }
-        match solve_ac(&case, ac) {
+        let solved = match solver.as_mut() {
+            Some(s) => s.solve(&case),
+            None => solve_ac(&case, ac),
+        };
+        match solved {
             Ok(sol) => {
                 let col: Vec<Complex64> =
                     sol.phasors().into_iter().map(|z| noisy_phasor(z, noise, rng)).collect();

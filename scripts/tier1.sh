@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 verification: release build, full test suite, and the tracing
-# integration test exercised through the PMU_TRACE environment path.
+# Tier-1 verification: release build, lint wall, full test suite, the
+# tracing integration test exercised through the PMU_TRACE environment
+# path, and a fast-scale perfbench smoke compared against the committed
+# standard-scale baseline (loose tolerance — it only catches order-of-
+# magnitude regressions, not noise).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release =="
 cargo build --release
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test =="
 cargo test -q
@@ -16,5 +22,14 @@ trap 'rm -rf "$trace_dir"' EXIT
 PMU_TRACE="$trace_dir/tier1_trace.jsonl" cargo test -q --test trace_integration
 test -s "$trace_dir/tier1_trace.jsonl"
 echo "trace written: $(wc -l < "$trace_dir/tier1_trace.jsonl") records"
+
+echo "== perfbench smoke (fast scale) =="
+./target/release/perfbench --scale fast --out "$trace_dir/BENCH_fast.json"
+# Fast scale is much lighter than the committed standard-scale baseline,
+# so only the scale-independent micro timings (matmul / NR solve / SVD)
+# are comparable; 75% tolerance absorbs shared-runner noise while still
+# catching order-of-magnitude regressions.
+./target/release/perfbench benchdiff BENCH_repro.json "$trace_dir/BENCH_fast.json" --tol 75 \
+  || { echo "perfbench smoke regression (>75% on micro timings)"; exit 1; }
 
 echo "tier1 OK"

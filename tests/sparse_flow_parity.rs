@@ -1,0 +1,107 @@
+//! Dense-vs-sparse AC power-flow parity across the evaluation suite.
+//!
+//! The sparse fast path (CSR Jacobian, RCM-ordered LU with symbolic
+//! reuse) must reproduce the dense reference solver's converged state on
+//! every embedded system and on outage topologies — the whole paper
+//! pipeline sits on top of these states, so any drift here propagates
+//! into detector training and the figures.
+
+use pmu_outage::flow::{solve_ac, AcConfig, AcSolver, LinearSolver};
+use pmu_outage::grid::cases::evaluation_suite;
+
+fn sparse_cfg() -> AcConfig {
+    AcConfig { linear_solver: LinearSolver::Sparse, ..AcConfig::default() }
+}
+
+fn dense_cfg() -> AcConfig {
+    AcConfig { linear_solver: LinearSolver::Dense, ..AcConfig::default() }
+}
+
+/// Infinity-norm distance between two solved states.
+fn state_gap(a: &pmu_outage::flow::AcSolution, b: &pmu_outage::flow::AcSolution) -> f64 {
+    a.vm.iter()
+        .zip(&b.vm)
+        .chain(a.va.iter().zip(&b.va))
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn base_case_states_agree_on_every_system() {
+    for net in evaluation_suite().unwrap() {
+        let sparse = solve_ac(&net, &sparse_cfg()).unwrap();
+        let dense = solve_ac(&net, &dense_cfg()).unwrap();
+        let gap = state_gap(&sparse, &dense);
+        assert!(gap < 1e-8, "{}: dense/sparse state gap {gap:.3e}", net.name);
+        assert_eq!(
+            sparse.iterations, dense.iterations,
+            "{}: iteration counts diverge",
+            net.name
+        );
+    }
+}
+
+#[test]
+fn outage_topologies_agree() {
+    // Outages change the Y-bus pattern, so each one exercises a fresh
+    // symbolic analysis. A handful per system keeps this fast.
+    for net in evaluation_suite().unwrap() {
+        for &branch in net.valid_outage_branches().iter().take(4) {
+            let out = net.with_branch_outage(branch).unwrap();
+            let (Ok(sparse), Ok(dense)) =
+                (solve_ac(&out, &sparse_cfg()), solve_ac(&out, &dense_cfg()))
+            else {
+                // Both paths must agree on solvability too.
+                assert_eq!(
+                    solve_ac(&out, &sparse_cfg()).is_ok(),
+                    solve_ac(&out, &dense_cfg()).is_ok(),
+                    "{}: branch {branch} solvable on one path only",
+                    net.name
+                );
+                continue;
+            };
+            let gap = state_gap(&sparse, &dense);
+            assert!(
+                gap < 1e-8,
+                "{}: branch {branch} dense/sparse gap {gap:.3e}",
+                net.name
+            );
+        }
+    }
+}
+
+#[test]
+fn reused_solver_matches_one_shot_path_on_ieee118() {
+    // The scenario generator holds one AcSolver per window; its repeated
+    // solves must match the one-shot API at the largest system.
+    let net = evaluation_suite()
+        .unwrap()
+        .into_iter()
+        .find(|n| n.name == "ieee118")
+        .expect("suite includes ieee118");
+    let cfg = sparse_cfg();
+    let mut solver = AcSolver::new(&net, &cfg);
+    for round in 0..3 {
+        let reused = solver.solve(&net).unwrap();
+        let fresh = solve_ac(&net, &cfg).unwrap();
+        let gap = state_gap(&reused, &fresh);
+        assert!(gap == 0.0, "round {round}: reuse gap {gap:.3e}");
+    }
+}
+
+#[test]
+fn q_limit_enforcement_agrees_across_paths() {
+    // PV→PQ switching rebuilds patterns between rounds; both linear
+    // solvers must land on the same constrained state.
+    for net in evaluation_suite().unwrap() {
+        let with_q = |solver| AcConfig {
+            enforce_q_limits: true,
+            linear_solver: solver,
+            ..AcConfig::default()
+        };
+        let sparse = solve_ac(&net, &with_q(LinearSolver::Sparse)).unwrap();
+        let dense = solve_ac(&net, &with_q(LinearSolver::Dense)).unwrap();
+        let gap = state_gap(&sparse, &dense);
+        assert!(gap < 1e-8, "{}: q-limit state gap {gap:.3e}", net.name);
+    }
+}
