@@ -7,6 +7,7 @@ use pmu_sim::dataset::Dataset;
 use pmu_sim::{MeasurementKind, PhasorSample};
 
 /// How missing test-time entries are filled before classification.
+#[derive(serde::Serialize, serde::Deserialize)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Imputation {
     /// Replace by the feature's training mean (what a practitioner who
@@ -17,7 +18,8 @@ pub enum Imputation {
 }
 
 /// MLR training configuration.
-#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MlrConfig {
     /// Which scalar feature per node to use.
     pub kind: MeasurementKind,
@@ -49,6 +51,7 @@ pub struct MlrPrediction {
 }
 
 /// A trained MLR outage detector.
+#[derive(serde::Serialize, serde::Deserialize)]
 #[derive(Debug, Clone)]
 pub struct MlrDetector {
     model: Softmax,

@@ -12,7 +12,8 @@
 use pmu_numerics::Matrix;
 
 /// Training hyper-parameters.
-#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SoftmaxConfig {
     /// Gradient-descent epochs (upper bound when `tol > 0`).
     pub epochs: usize,
@@ -37,6 +38,7 @@ impl Default for SoftmaxConfig {
 }
 
 /// A trained softmax classifier.
+#[derive(serde::Serialize, serde::Deserialize)]
 #[derive(Debug, Clone)]
 pub struct Softmax {
     /// Weights: `n_classes × (n_features + 1)`, last column is the bias.

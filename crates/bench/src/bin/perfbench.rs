@@ -19,7 +19,16 @@
 //!      machine this is ~1.0 by construction),
 //!   6. the cost of the `pmu-obs` instrumentation, disabled (the
 //!      default) and fully enabled — the disabled probes must stay
-//!      under 2% of kernel time.
+//!      under 2% of kernel time,
+//!   7. model-bundle save/load per IEEE system at fast scale, with a
+//!      reload-parity verification (the loaded bundle must reproduce
+//!      the in-memory detections bit for bit),
+//!   8. `Engine::detect_batch` throughput over one sample per outage
+//!      case.
+//!
+//! The artifact store is disabled for the whole run
+//! (`StorePolicy::Disabled`), so `system_build` always times real
+//! training, never a cache hit.
 //!
 //! The report embeds run metadata (worker count, scale, seed, git
 //! revision) so two reports can be compared apples-to-apples with the
@@ -33,10 +42,16 @@
 
 use std::time::Instant;
 
+use pmu_baseline::MlrConfig;
+use pmu_detect::detector::default_config_for;
 use pmu_eval::figures::fig5;
 use pmu_eval::runner::{EvalScale, SystemSetup};
 use pmu_flow::{solve_ac, AcConfig, LinearSolver};
+use pmu_model::{set_store_policy, ModelBundle, StorePolicy};
 use pmu_numerics::{par, Matrix, Svd};
+use pmu_serve::{Engine, EngineConfig};
+use pmu_sim::generate_dataset;
+use pmu_sim::missing::outage_endpoints_mask;
 use serde::{Serialize, Value};
 
 /// Seed shared with `repro` so build timings measure the same work.
@@ -111,6 +126,33 @@ struct ObsOverheadTiming {
 }
 
 #[derive(Serialize)]
+struct BundleIoTiming {
+    system: String,
+    /// Training both models at fast scale (the artifact a cold store pays
+    /// for exactly once).
+    train_ms: f64,
+    /// `ModelBundle::save` — serialize + checksum + atomic write.
+    save_ms: f64,
+    /// `ModelBundle::load` — read + checksum verify + deserialize.
+    load_ms: f64,
+    /// Bundle size on disk.
+    bytes: usize,
+    /// Whether the reloaded bundle reproduced every in-memory detection
+    /// bit for bit (plain and masked samples). Must always be `true`.
+    parity_ok: bool,
+}
+
+#[derive(Serialize)]
+struct EngineBatchTiming {
+    system: String,
+    /// Samples per batch (one test sample per outage case).
+    batch: usize,
+    /// One `Engine::detect_batch` call over the batch.
+    batch_ms: f64,
+    samples_per_sec: f64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     generated_by: String,
     workers: usize,
@@ -123,6 +165,8 @@ struct BenchReport {
     nr_solve: Vec<NrTiming>,
     svd: Vec<SvdTiming>,
     system_build: Vec<BuildTiming>,
+    bundle_io: Vec<BundleIoTiming>,
+    engine_batch: Vec<EngineBatchTiming>,
     fig5_pipeline: PipelineTiming,
     obs_overhead: ObsOverheadTiming,
 }
@@ -239,6 +283,91 @@ fn bench_builds(systems: &[String], scale: EvalScale) -> Vec<BuildTiming> {
             BuildTiming { system: name.clone(), seconds }
         })
         .collect()
+}
+
+/// Train one fast-scale bundle per system, then time bundle save/load
+/// (with a reload-parity verification) and `Engine::detect_batch`
+/// throughput. One training run feeds both benches.
+fn bench_model_serving(
+    systems: &[String],
+) -> (Vec<BundleIoTiming>, Vec<EngineBatchTiming>) {
+    let dir = std::env::temp_dir().join("pmu-perfbench-bundles");
+    let _ = std::fs::create_dir_all(&dir);
+    let mut bundle_io = Vec::new();
+    let mut engine_batch = Vec::new();
+    for name in systems {
+        let Some(Ok(net)) = pmu_grid::cases::by_name(name) else { continue };
+        let gen = EvalScale::Fast.gen_config(SEED);
+        let data = generate_dataset(&net, &gen).expect("dataset generation");
+        let detector_cfg = default_config_for(&net);
+        let mlr_cfg = MlrConfig::default();
+        let t = Instant::now();
+        let bundle = ModelBundle::train(&data, &gen, &detector_cfg, &mlr_cfg)
+            .expect("bundle training");
+        let train_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let path = dir.join(format!("bundle-{name}.json"));
+        let save_ms = time_median(5, || {
+            bundle.save(&path).expect("bundle save");
+        }) * 1e3;
+        let load_ms = time_median(5, || {
+            std::hint::black_box(ModelBundle::load(&path).expect("bundle load"));
+        }) * 1e3;
+        let bytes = std::fs::metadata(&path).map_or(0, |m| m.len() as usize);
+
+        // Reload parity: every detection — plain and masked — must come
+        // back bit-identical from the on-disk artifact.
+        let reloaded = ModelBundle::load(&path).expect("bundle load");
+        let mut parity_ok = true;
+        let mut batch = Vec::new();
+        for case in &data.cases {
+            let plain = case.test.sample(0);
+            let masked =
+                plain.masked(&outage_endpoints_mask(net.n_buses(), case.endpoints));
+            for sample in [plain, masked] {
+                let parity = match (
+                    bundle.detector.detect(&sample),
+                    reloaded.detector.detect(&sample),
+                ) {
+                    (Ok(a), Ok(b)) => a == b,
+                    (Err(_), Err(_)) => true,
+                    _ => false,
+                };
+                parity_ok &= parity;
+            }
+            batch.push(case.test.sample(0));
+        }
+        pmu_obs::info(&format!(
+            "bundle_io {name}: train {train_ms:.1} ms, save {save_ms:.2} ms, \
+             load {load_ms:.2} ms, {bytes} bytes, parity {}",
+            if parity_ok { "OK" } else { "VIOLATED" }
+        ));
+        bundle_io.push(BundleIoTiming {
+            system: name.clone(),
+            train_ms,
+            save_ms,
+            load_ms,
+            bytes,
+            parity_ok,
+        });
+
+        let engine = Engine::from_bundle(bundle, EngineConfig::default());
+        let batch_ms = time_median(5, || {
+            std::hint::black_box(engine.detect_batch(&batch));
+        }) * 1e3;
+        let samples_per_sec = batch.len() as f64 / (batch_ms / 1e3);
+        pmu_obs::info(&format!(
+            "engine_batch {name}: {} samples in {batch_ms:.2} ms ({samples_per_sec:.0}/s)",
+            batch.len()
+        ));
+        engine_batch.push(EngineBatchTiming {
+            system: name.clone(),
+            batch: batch.len(),
+            batch_ms,
+            samples_per_sec,
+        });
+    }
+    (bundle_io, engine_batch)
 }
 
 fn bench_pipeline(systems: &[String], scale: EvalScale) -> PipelineTiming {
@@ -499,6 +628,9 @@ fn main() {
     }
 
     pmu_obs::init_from_env();
+    // A configured PMU_ARTIFACTS store would turn system_build into a
+    // bundle-load benchmark; keep the timings honest.
+    set_store_policy(StorePolicy::Disabled);
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     pmu_obs::info(&format!(
         "perfbench: {} worker thread(s), {} core(s) available",
@@ -510,6 +642,7 @@ fn main() {
     let nr_solve = bench_nr_solve(&systems);
     let svd = bench_svd();
     let system_build = bench_builds(&systems, scale);
+    let (bundle_io, engine_batch) = bench_model_serving(&systems);
     // The end-to-end pipeline timing stays on the ieee14/30/57 trio: an
     // ieee118 fig5 run times the detector over ~170 outage cases and
     // would dominate the harness without adding signal beyond its
@@ -530,6 +663,8 @@ fn main() {
         nr_solve,
         svd,
         system_build,
+        bundle_io,
+        engine_batch,
         fig5_pipeline,
         obs_overhead,
     };

@@ -43,7 +43,8 @@ use pmu_sim::{PhasorSample, PhasorWindow};
 const PROX_EPS: f64 = 1e-18;
 
 /// The result of running the detector on one sample.
-#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Detection {
     /// `true` when the sample is classified as containing an outage.
     pub outage: bool,
@@ -63,7 +64,7 @@ pub struct Detection {
 
 /// A trained outage detector.
 #[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Detector {
     cfg: DetectorConfig,
     n: usize,

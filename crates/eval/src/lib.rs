@@ -21,7 +21,8 @@ pub mod ablations;
 pub mod extensions;
 pub mod figures;
 pub mod metrics;
+pub mod repro;
 pub mod runner;
 
 pub use metrics::Metrics;
-pub use runner::{SystemSetup, EvalScale};
+pub use runner::{EvalScale, SetupSource, SystemSetup};

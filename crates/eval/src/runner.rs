@@ -1,13 +1,20 @@
-//! Shared experiment infrastructure: dataset generation, detector/MLR
-//! training, and per-system setup reused by every figure runner.
+//! Shared experiment infrastructure: dataset generation, model-bundle
+//! acquisition (train or artifact-store reuse), and per-system setup
+//! consumed by every figure runner.
+//!
+//! Since the train/serve split, this module no longer trains models
+//! directly: [`SystemSetup::build`] generates the evaluation dataset and
+//! then *obtains a [`ModelBundle`]* — from the process-wide artifact
+//! store when one is configured (`repro --artifacts` / `PMU_ARTIFACTS`),
+//! by training otherwise — and [`SystemSetup::from_bundle`] consumes the
+//! bundle. A warm store turns a 34-second IEEE-118 setup into a
+//! bundle-load.
 
 use pmu_baseline::{MlrConfig, MlrDetector};
- 
 use pmu_detect::{Detector, DetectorConfig};
-#[allow(unused_imports)]
-use pmu_detect::detector::cluster_heuristic;
 use pmu_grid::cases::by_name;
 use pmu_grid::Network;
+use pmu_model::{default_store, ModelBundle};
 use pmu_numerics::par;
 use pmu_sim::{generate_dataset, Dataset, GenConfig};
 
@@ -53,6 +60,16 @@ impl EvalScale {
         }
     }
 
+    /// Parse a [`EvalScale::label`] back into a scale.
+    pub fn from_label(label: &str) -> Option<EvalScale> {
+        match label {
+            "fast" => Some(EvalScale::Fast),
+            "standard" => Some(EvalScale::Standard),
+            "paper" => Some(EvalScale::Paper),
+            _ => None,
+        }
+    }
+
     /// Missing-data patterns per reliability level (Fig. 10).
     pub fn reliability_patterns(self) -> usize {
         match self {
@@ -61,6 +78,15 @@ impl EvalScale {
             EvalScale::Paper => 200,
         }
     }
+}
+
+/// Where a setup's trained models came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetupSource {
+    /// Trained in-process during this build.
+    Trained,
+    /// Reused from the on-disk artifact store (training skipped).
+    ArtifactStore,
 }
 
 /// Everything needed to evaluate one IEEE system: the generated dataset
@@ -78,10 +104,17 @@ pub struct SystemSetup {
     pub mlr: MlrDetector,
     /// The detector configuration used (for retraining variants).
     pub detector_cfg: DetectorConfig,
+    /// Whether the models were trained now or reused from the store.
+    pub source: SetupSource,
 }
 
 impl SystemSetup {
     /// Build the setup for one named IEEE system.
+    ///
+    /// Generates the evaluation dataset, then obtains the trained models
+    /// as a [`ModelBundle`]: from the process-wide artifact store
+    /// ([`default_store`]) when one is configured — skipping training on a
+    /// warm hit — or by training in-process otherwise.
     ///
     /// # Panics
     /// Panics on unknown system names or generation/training failures —
@@ -97,17 +130,51 @@ impl SystemSetup {
         let gen = scale.gen_config(seed);
         let dataset = generate_dataset(&network, &gen).expect("dataset generation");
         let detector_cfg = pmu_detect::detector::default_config_for(&network);
-        let detector = Detector::train(&dataset, &detector_cfg).expect("detector training");
-        let mlr = MlrDetector::train(&dataset, &MlrConfig::default());
+        let mlr_cfg = MlrConfig::default();
+        let (bundle, cache_hit) = match default_store() {
+            Some(store) => store
+                .load_or_train(&dataset, &gen, &detector_cfg, &mlr_cfg)
+                .expect("artifact store lookup"),
+            None => (
+                ModelBundle::train(&dataset, &gen, &detector_cfg, &mlr_cfg)
+                    .expect("model training"),
+                false,
+            ),
+        };
         trace_span.record("cases", dataset.n_cases());
-        SystemSetup {
-            name: name.to_string(),
-            network,
-            dataset,
-            detector,
-            mlr,
-            detector_cfg,
+        trace_span.record("cache_hit", cache_hit);
+        let mut setup = Self::from_bundle(bundle, dataset)
+            .expect("bundle trained on this dataset must verify against it");
+        if cache_hit {
+            setup.source = SetupSource::ArtifactStore;
         }
+        setup
+    }
+
+    /// Consume a [`ModelBundle`] (plus the evaluation dataset it must have
+    /// been trained on) into a ready-to-evaluate setup. This is the only
+    /// constructor the figure runners rely on — training happens upstream,
+    /// in `pmu-model`. `source` starts as [`SetupSource::Trained`];
+    /// [`SystemSetup::build`] overrides it on a store hit.
+    ///
+    /// # Errors
+    /// [`pmu_model::ModelError::Incompatible`] when the bundle's network
+    /// or dataset fingerprint does not match `dataset` — a stale or
+    /// foreign artifact must not silently drive an evaluation.
+    pub fn from_bundle(
+        bundle: ModelBundle,
+        dataset: Dataset,
+    ) -> Result<SystemSetup, pmu_model::ModelError> {
+        bundle.verify_against(&dataset)?;
+        Ok(SystemSetup {
+            name: bundle.system,
+            network: dataset.network.clone(),
+            dataset,
+            detector: bundle.detector,
+            mlr: bundle.mlr,
+            detector_cfg: bundle.detector_cfg,
+            source: SetupSource::Trained,
+        })
     }
 
     /// Retrain the subspace detector with a modified configuration
@@ -159,8 +226,36 @@ mod tests {
     }
 
     #[test]
+    fn scale_labels_roundtrip() {
+        for scale in [EvalScale::Fast, EvalScale::Standard, EvalScale::Paper] {
+            assert_eq!(EvalScale::from_label(scale.label()), Some(scale));
+        }
+        assert_eq!(EvalScale::from_label("warp"), None);
+    }
+
+    #[test]
     fn paper_systems_list() {
         assert_eq!(paper_systems(), vec!["ieee14", "ieee30", "ieee57", "ieee118"]);
+    }
+
+    #[test]
+    fn from_bundle_rejects_foreign_data() {
+        let gen = EvalScale::Fast.gen_config(7);
+        let network = by_name("ieee14").unwrap().unwrap();
+        let dataset = generate_dataset(&network, &gen).expect("dataset generation");
+        let detector_cfg = pmu_detect::detector::default_config_for(&network);
+        let bundle =
+            ModelBundle::train(&dataset, &gen, &detector_cfg, &MlrConfig::default()).unwrap();
+        // The right dataset is accepted...
+        assert!(SystemSetup::from_bundle(bundle.clone(), dataset).is_ok());
+        // ...a different realization is refused with a typed error.
+        let other_gen = EvalScale::Fast.gen_config(8);
+        let other = generate_dataset(&network, &other_gen).expect("dataset generation");
+        match SystemSetup::from_bundle(bundle, other) {
+            Err(pmu_model::ModelError::Incompatible { what: "dataset", .. }) => {}
+            Err(e) => panic!("expected dataset incompatibility, got {e:?}"),
+            Ok(_) => panic!("expected dataset incompatibility, got Ok"),
+        }
     }
 
     #[test]

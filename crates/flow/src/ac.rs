@@ -36,6 +36,7 @@ use pmu_numerics::sparse_lu::{SparseLu, SymbolicLu};
 use pmu_numerics::{CMatrix, Complex64, CsrCMatrix, CsrMatrix, Matrix, Vector};
 
 /// Which linear-algebra path the Newton step uses.
+#[derive(serde::Serialize, serde::Deserialize)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinearSolver {
     /// CSR Jacobian, RCM-ordered sparse LU with symbolic pattern reuse.
@@ -82,7 +83,8 @@ pub fn default_linear_solver() -> LinearSolver {
 }
 
 /// Configuration of the Newton–Raphson solver.
-#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcConfig {
     /// Convergence tolerance on the infinity norm of the power mismatch
     /// (p.u.).

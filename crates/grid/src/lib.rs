@@ -25,17 +25,6 @@ pub mod pmu_coverage;
 pub mod synthetic;
 pub mod ybus;
 
-/// Deprecated alias for [`pmu_coverage`].
-///
-/// The module was renamed to avoid a name clash with the *telemetry*
-/// sense of "observability" (see the `pmu-obs` crate): this one is about
-/// the power-system property — which buses a PMU deployment can observe.
-#[deprecated(since = "0.1.0", note = "renamed to `pmu_coverage`; \
-    `observability` now means telemetry (see the `pmu-obs` crate)")]
-pub mod observability {
-    pub use super::pmu_coverage::*;
-}
-
 pub use error::GridError;
 pub use network::{Branch, Bus, BusType, Gen, Network};
 

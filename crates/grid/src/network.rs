@@ -447,6 +447,48 @@ impl Network {
     pub fn ext_to_internal(&self, ext: usize) -> Option<usize> {
         self.buses.iter().position(|b| b.ext_id == ext)
     }
+
+    /// Content fingerprint of the full electrical model (name, MVA base,
+    /// every bus/branch/generator parameter at raw `f64` bit level).
+    ///
+    /// Persisted model bundles carry this value so a trained detector is
+    /// never silently applied to a topology it was not trained on — any
+    /// parameter edit, added branch, or status flip changes the digest.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = pmu_numerics::hash::Fnv1a::new();
+        h.write_str(&self.name);
+        h.write_f64(self.base_mva);
+        h.write_usize(self.buses.len());
+        for b in &self.buses {
+            h.write_usize(b.ext_id);
+            h.write_u64(match b.bus_type {
+                BusType::Slack => 0,
+                BusType::Pv => 1,
+                BusType::Pq => 2,
+            });
+            for v in [b.pd, b.qd, b.gs, b.bs, b.base_kv, b.vm, b.va] {
+                h.write_f64(v);
+            }
+        }
+        h.write_usize(self.branches.len());
+        for br in &self.branches {
+            h.write_usize(br.from);
+            h.write_usize(br.to);
+            for v in [br.r, br.x, br.b, br.tap, br.shift, br.rate] {
+                h.write_f64(v);
+            }
+            h.write_u64(u64::from(br.status));
+        }
+        h.write_usize(self.gens.len());
+        for g in &self.gens {
+            h.write_usize(g.bus);
+            for v in [g.pg, g.qg, g.vg, g.qmax, g.qmin] {
+                h.write_f64(v);
+            }
+            h.write_u64(u64::from(g.status));
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -609,6 +651,25 @@ mod tests {
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0], vec![0, 1, 2]);
         assert_eq!(comps[1], vec![3]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let net = ring4();
+        let base = net.fingerprint();
+        assert_eq!(base, ring4().fingerprint(), "fingerprint must be deterministic");
+        // Any electrical edit changes the digest.
+        let mut edited = net.clone();
+        edited.set_load(2, 10.5, 2.0).unwrap();
+        assert_ne!(base, edited.fingerprint());
+        // A status flip (line outage) changes it too.
+        let mut outaged = net.clone();
+        outaged.branches[4].status = false;
+        assert_ne!(base, outaged.fingerprint());
+        // Renaming alone changes it (the name keys artifact lookup).
+        let mut renamed = net.clone();
+        renamed.name = "ring4b".into();
+        assert_ne!(base, renamed.fingerprint());
     }
 
     #[test]

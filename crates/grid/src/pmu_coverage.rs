@@ -11,8 +11,7 @@
 //! Not to be confused with *software* observability: runtime tracing and
 //! metrics for this codebase live in the `pmu-obs` crate. This module is
 //! about the electrical-engineering property of the sensor network —
-//! which buses a given PMU deployment can see. (It was previously named
-//! `observability`; that path remains as a deprecated alias.)
+//! which buses a given PMU deployment can see.
 
 use crate::network::Network;
 

@@ -1,0 +1,241 @@
+//! The content-addressed on-disk artifact store.
+//!
+//! Bundles are filed under their [`bundle_key`](crate::bundle::bundle_key)
+//! — a digest of the training inputs (system topology, scale, seed, every
+//! configuration knob) — so a lookup either finds a bundle trained on
+//! *exactly* the inputs at hand or finds nothing. There is no eviction,
+//! no manifest, and no locking beyond an atomic rename on write: each
+//! artifact is a self-verifying file whose name is its identity, which
+//! makes the store safe to share between concurrent `repro`/`perfbench`
+//! processes and trivially inspectable (`ls`, `jq`).
+//!
+//! ## Selecting a store
+//!
+//! Process-wide consumers ([`SystemSetup::build`] in `pmu-eval`, the
+//! examples) resolve a store through [`default_store`], governed by a
+//! [`StorePolicy`]: an explicit programmatic choice (`repro --artifacts
+//! DIR` calls [`set_store_policy`]), else the `PMU_ARTIFACTS` environment
+//! variable, else no store (train in memory every run, the pre-existing
+//! behavior). Tools that want a store regardless of policy construct
+//! [`ArtifactStore::new`] directly.
+//!
+//! [`SystemSetup::build`]: https://docs.rs/pmu-eval
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use pmu_baseline::MlrConfig;
+use pmu_detect::DetectorConfig;
+use pmu_sim::{Dataset, GenConfig};
+
+use crate::bundle::{bundle_key, fp_hex, ModelBundle, ModelError};
+use crate::Result;
+
+/// How process-wide consumers resolve their artifact store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorePolicy {
+    /// Use the `PMU_ARTIFACTS` environment variable when set, otherwise no
+    /// store. The starting policy of every process.
+    FromEnv,
+    /// No store, even if `PMU_ARTIFACTS` is set. Benchmarks measuring
+    /// training cost use this so a warm store cannot contaminate timings.
+    Disabled,
+    /// Use this directory.
+    Dir(PathBuf),
+}
+
+static POLICY: Mutex<StorePolicy> = Mutex::new(StorePolicy::FromEnv);
+
+/// Set the process-wide [`StorePolicy`] consulted by [`default_store`].
+pub fn set_store_policy(policy: StorePolicy) {
+    *POLICY.lock().unwrap_or_else(|p| p.into_inner()) = policy;
+}
+
+/// Resolve the process-wide artifact store per the current policy.
+///
+/// Returns `None` when no store is configured (callers then train in
+/// memory) and silently falls back to `None` when the configured
+/// directory cannot be created — a missing store is a performance
+/// degradation, not a correctness failure.
+pub fn default_store() -> Option<ArtifactStore> {
+    let policy = POLICY.lock().unwrap_or_else(|p| p.into_inner()).clone();
+    let dir = match policy {
+        StorePolicy::Disabled => return None,
+        StorePolicy::Dir(dir) => dir,
+        StorePolicy::FromEnv => {
+            let raw = std::env::var("PMU_ARTIFACTS").ok()?;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() {
+                return None;
+            }
+            PathBuf::from(trimmed)
+        }
+    };
+    ArtifactStore::new(&dir).ok()
+}
+
+/// A directory of content-addressed, self-verifying model bundles.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    /// [`ModelError::Io`] when the directory cannot be created.
+    pub fn new(dir: &Path) -> Result<Self> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ModelError::Io { path: dir.to_path_buf(), msg: e.to_string() })?;
+        Ok(ArtifactStore { dir: dir.to_path_buf() })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a bundle with this key lives at (whether or not it exists).
+    pub fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("bundle-{}.json", fp_hex(key)))
+    }
+
+    /// Look up a bundle by key. `Ok(None)` when no artifact exists.
+    ///
+    /// A *corrupt* artifact (checksum/schema/parse failure) also resolves
+    /// to `Ok(None)` — the caller retrains and overwrites it — after
+    /// counting `model.store_corrupt`. Only genuine I/O trouble on an
+    /// existing file surfaces as an error.
+    ///
+    /// # Errors
+    /// [`ModelError::Io`] when the file exists but cannot be read.
+    pub fn load(&self, key: u64) -> Result<Option<ModelBundle>> {
+        let path = self.path_for(key);
+        if !path.exists() {
+            return Ok(None);
+        }
+        match ModelBundle::load_tagged(&path, true) {
+            Ok(bundle) => Ok(Some(bundle)),
+            Err(ModelError::Io { path, msg }) => Err(ModelError::Io { path, msg }),
+            Err(err) => {
+                pmu_obs::counter!("model.store_corrupt").inc();
+                pmu_obs::info(&format!(
+                    "artifact store: discarding unusable bundle {}: {err}",
+                    path.display()
+                ));
+                Ok(None)
+            }
+        }
+    }
+
+    /// Persist a bundle under its content key, atomically (write to a
+    /// sibling temp file, then rename), and return the final path.
+    ///
+    /// # Errors
+    /// [`ModelError::Io`] on filesystem failure; serialization errors as
+    /// in [`ModelBundle::to_json`].
+    pub fn save(&self, bundle: &ModelBundle) -> Result<PathBuf> {
+        let key = bundle.key()?;
+        let path = self.path_for(key);
+        let tmp = self.dir.join(format!("bundle-{}.json.tmp-{}", fp_hex(key), std::process::id()));
+        bundle.save(&tmp)?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            ModelError::Io { path: path.clone(), msg: e.to_string() }
+        })?;
+        Ok(path)
+    }
+
+    /// The core train-once/serve-many primitive: return a bundle for these
+    /// training inputs, reusing a persisted one when it is present, intact
+    /// and fingerprint-compatible with `dataset`, training (and filing)
+    /// otherwise.
+    ///
+    /// The boolean is `true` on a warm hit — the caller skipped training.
+    /// Counted as `model.store_hit` / `model.store_miss`.
+    ///
+    /// # Errors
+    /// [`ModelError::Io`] on filesystem failure, [`ModelError::Train`]
+    /// when a miss's training fails.
+    pub fn load_or_train(
+        &self,
+        dataset: &Dataset,
+        gen: &GenConfig,
+        detector_cfg: &DetectorConfig,
+        mlr_cfg: &MlrConfig,
+    ) -> Result<(ModelBundle, bool)> {
+        let key = bundle_key(&dataset.network, gen, detector_cfg, mlr_cfg)?;
+        if let Some(bundle) = self.load(key)? {
+            if bundle.verify_against(dataset).is_ok() {
+                pmu_obs::counter!("model.store_hit").inc();
+                return Ok((bundle, true));
+            }
+            // Key collision or fingerprint recipe drift: the artifact is
+            // intact but not trained on these inputs. Retrain over it.
+            pmu_obs::counter!("model.store_stale").inc();
+        }
+        pmu_obs::counter!("model.store_miss").inc();
+        let bundle = ModelBundle::train(dataset, gen, detector_cfg, mlr_cfg)?;
+        self.save(&bundle)?;
+        Ok((bundle, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu_detect::detector::default_config_for;
+    use pmu_sim::generate_dataset;
+
+    fn tmp_store(tag: &str) -> ArtifactStore {
+        let dir = std::env::temp_dir().join(format!("pmu-model-store-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactStore::new(&dir).unwrap()
+    }
+
+    fn tiny() -> (Dataset, GenConfig, DetectorConfig, MlrConfig) {
+        let net = pmu_grid::cases::ieee14().unwrap();
+        let gen = GenConfig { train_len: 8, test_len: 4, ..GenConfig::default() };
+        let data = generate_dataset(&net, &gen).unwrap();
+        let det_cfg = default_config_for(&net);
+        (data, gen, det_cfg, MlrConfig::default())
+    }
+
+    #[test]
+    fn cold_then_warm() {
+        let store = tmp_store("cold-warm");
+        let (data, gen, det_cfg, mlr_cfg) = tiny();
+        let (first, hit1) = store.load_or_train(&data, &gen, &det_cfg, &mlr_cfg).unwrap();
+        assert!(!hit1, "first lookup must train");
+        let (second, hit2) = store.load_or_train(&data, &gen, &det_cfg, &mlr_cfg).unwrap();
+        assert!(hit2, "second lookup must reuse the artifact");
+        // The reused bundle is bit-identical to the one trained.
+        assert_eq!(second.to_json().unwrap(), first.to_json().unwrap());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_retrained_over() {
+        let store = tmp_store("corrupt");
+        let (data, gen, det_cfg, mlr_cfg) = tiny();
+        let (bundle, _) = store.load_or_train(&data, &gen, &det_cfg, &mlr_cfg).unwrap();
+        let path = store.path_for(bundle.key().unwrap());
+        // Vandalize the artifact.
+        std::fs::write(&path, "{\"format\":\"pmu-model-bundle\",\"oops\":true}").unwrap();
+        assert!(store.load(bundle.key().unwrap()).unwrap().is_none());
+        let (_, hit) = store.load_or_train(&data, &gen, &det_cfg, &mlr_cfg).unwrap();
+        assert!(!hit, "corrupt artifact must be retrained, not reused");
+        // And the overwrite healed the store.
+        let (_, hit) = store.load_or_train(&data, &gen, &det_cfg, &mlr_cfg).unwrap();
+        assert!(hit);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        let store = tmp_store("missing");
+        assert!(store.load(42).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,160 @@
+//! Content fingerprinting via streaming FNV-1a.
+//!
+//! The train/serve split needs stable, cheap content hashes in several
+//! places: network/dataset fingerprints baked into a persisted
+//! [`ModelBundle`](https://docs.rs/pmu-model) so a stale artifact is never
+//! silently reused, bundle integrity checksums, and the content-addressed
+//! keys of the on-disk artifact store. FNV-1a is a deliberate choice over a
+//! cryptographic hash: the threat model is *accidental* corruption and
+//! *configuration drift*, not adversaries, and FNV keeps this crate
+//! dependency-free while hashing a full IEEE-118 dataset in microseconds.
+//!
+//! All multi-byte writes are length- or tag-prefixed little-endian, so the
+//! digest is independent of platform endianness and two different write
+//! sequences cannot collide by concatenation (`"ab" + "c"` vs `"a" + "bc"`).
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming 64-bit FNV-1a hasher.
+///
+/// ```
+/// use pmu_numerics::hash::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.write_str("ieee14");
+/// h.write_u64(0xC0FFEE);
+/// let digest = h.finish();
+/// assert_ne!(digest, Fnv1a::new().finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a { state: OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorb a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb a `usize` (widened to `u64` so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorb an `f64` by raw IEEE-754 bits.
+    ///
+    /// Bit-level hashing is exactly what fingerprinting wants: two datasets
+    /// are interchangeable for the detector only if they are bit-identical,
+    /// so `-0.0` and `0.0` (or two NaN payloads) intentionally hash apart.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorb a slice of `f64` values, length-prefixed.
+    pub fn write_f64_slice(&mut self, vs: &[f64]) {
+        self.write_usize(vs.len());
+        for &v in vs {
+            self.write_f64(v);
+        }
+    }
+
+    /// Absorb a UTF-8 string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Current digest. The hasher can keep absorbing afterwards.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a digest of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"foo");
+        h.write_bytes(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_collisions() {
+        let mut a = Fnv1a::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_hashing_is_bit_level() {
+        let mut a = Fnv1a::new();
+        a.write_f64(0.0);
+        let mut b = Fnv1a::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Fnv1a::new();
+        c.write_f64_slice(&[1.0, 2.0]);
+        let mut d = Fnv1a::new();
+        d.write_f64_slice(&[1.0, 2.0]);
+        assert_eq!(c.finish(), d.finish());
+        let mut e = Fnv1a::new();
+        e.write_f64_slice(&[1.0, 2.0 + 1e-15]);
+        assert_ne!(c.finish(), e.finish());
+    }
+
+    #[test]
+    fn finish_is_non_destructive() {
+        let mut h = Fnv1a::new();
+        h.write_u64(7);
+        let first = h.finish();
+        assert_eq!(first, h.finish());
+        h.write_u64(8);
+        assert_ne!(first, h.finish());
+    }
+}

@@ -27,6 +27,8 @@
 //!   (admittance matrices and NR Jacobians are ~99% zero at scale).
 //! - [`sparse_lu`] — sparse LU with RCM ordering and symbolic pattern
 //!   reuse (the power-flow fast path).
+//! - [`hash`] — streaming FNV-1a content fingerprints (model bundles,
+//!   artifact-store keys).
 //! - [`stats`] — small statistics helpers (means, quantiles, covariance).
 //! - [`par`] — zero-dependency data-parallel executor (`par_map`) used by
 //!   the scenario-generation and training pipelines.
@@ -38,6 +40,7 @@ pub mod cmatrix;
 pub mod complex;
 pub mod eigen;
 pub mod error;
+pub mod hash;
 pub mod lu;
 pub mod matrix;
 pub mod par;

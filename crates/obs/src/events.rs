@@ -14,6 +14,8 @@
 //! | [`WorkerStats`] | `par.worker` | `par.tasks`, `par.worker_busy_us`, `par.worker_idle_us` |
 //! | [`StreamRaised`] | `detect.stream_raised` | `detect.stream_raised` |
 //! | [`StreamCleared`] | `detect.stream_cleared` | `detect.stream_cleared` |
+//! | [`BundleSaved`] | `model.bundle_saved` | `model.bundle_saved`, `model.bundle_save_ms`, `model.bundle_bytes` |
+//! | [`BundleLoaded`] | `model.bundle_loaded` | `model.bundle_loaded`, `model.bundle_load_ms` |
 
 use crate::trace::{event, Value};
 use crate::{counter, histogram};
@@ -189,6 +191,75 @@ impl StreamCleared {
     pub fn emit(&self) {
         counter!("detect.stream_cleared").inc();
         event("detect.stream_cleared", &[("samples_seen", self.samples_seen.into())]);
+    }
+}
+
+/// Millisecond-scale duration buckets (0.1 ms – 100 s): bundle I/O and
+/// training both land in this range.
+const MS_BOUNDS: &[f64] = &[0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5];
+
+/// A trained model bundle was serialized to the artifact store (or an
+/// explicit path).
+#[derive(Debug, Clone)]
+pub struct BundleSaved {
+    /// System the bundle was trained on (e.g. `"ieee14"`).
+    pub system: String,
+    /// Serialized size in bytes.
+    pub bytes: usize,
+    /// Wall-clock serialization + write time (milliseconds).
+    pub ms: f64,
+}
+
+impl BundleSaved {
+    /// Record the trace event and companion metrics.
+    pub fn emit(&self) {
+        counter!("model.bundle_saved").inc();
+        histogram!("model.bundle_save_ms", MS_BOUNDS).observe(self.ms);
+        histogram!("model.bundle_bytes", &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8])
+            .observe(self.bytes as f64);
+        event(
+            "model.bundle_saved",
+            &[
+                ("system", Value::from(self.system.as_str())),
+                ("bytes", self.bytes.into()),
+                ("ms", self.ms.into()),
+            ],
+        );
+    }
+}
+
+/// A model bundle was deserialized and verified — either straight from an
+/// explicit path or through an artifact-store lookup (`cache_hit` marks
+/// store lookups that let the caller skip training; the store's
+/// `model.store_hit`/`model.store_miss` counters track lookup outcomes
+/// separately).
+#[derive(Debug, Clone)]
+pub struct BundleLoaded {
+    /// System the bundle serves.
+    pub system: String,
+    /// Serialized size in bytes.
+    pub bytes: usize,
+    /// Wall-clock read + parse + verify time (milliseconds).
+    pub ms: f64,
+    /// `true` when this load came out of an artifact-store lookup
+    /// (training was skipped because of it).
+    pub cache_hit: bool,
+}
+
+impl BundleLoaded {
+    /// Record the trace event and companion metrics.
+    pub fn emit(&self) {
+        counter!("model.bundle_loaded").inc();
+        histogram!("model.bundle_load_ms", MS_BOUNDS).observe(self.ms);
+        event(
+            "model.bundle_loaded",
+            &[
+                ("system", Value::from(self.system.as_str())),
+                ("bytes", self.bytes.into()),
+                ("ms", self.ms.into()),
+                ("cache_hit", self.cache_hit.into()),
+            ],
+        );
     }
 }
 

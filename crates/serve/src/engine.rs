@@ -1,0 +1,400 @@
+//! The serving engine: one loaded bundle, many concurrent consumers.
+//!
+//! ## Concurrency model
+//!
+//! The trained [`Detector`] is immutable after load, so stateless batch
+//! detection shares one copy across the whole `par_map` fan-out. Sessions
+//! are stateful (voting history, health counters); each lives behind its
+//! own `Mutex` in a slot table, and [`Engine::push_batch`] groups a tick's
+//! samples by session and runs *one parallel task per session*, so every
+//! lock is uncontended and per-feed sample order is exactly the input
+//! order. The crate keeps the workspace's `#![deny(unsafe_code)]` — the
+//! slot-of-mutexes layout is what makes parallel mutation safe without it.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use pmu_detect::stream::{HealthSnapshot, StreamConfig, StreamEvent, StreamingDetector};
+use pmu_detect::{DetectError, Detection, Detector};
+use pmu_model::{ModelBundle, ModelError};
+use pmu_numerics::par;
+use pmu_sim::PhasorSample;
+
+/// Microsecond latency buckets: single-sample detection sits well under a
+/// 30 Hz reporting interval (33 ms), so the range centers on 10 µs – 10 ms.
+const LATENCY_US_BOUNDS: &[f64] = &[10.0, 50.0, 100.0, 500.0, 1e3, 5e3, 1e4, 1e5, 1e6];
+
+/// Typed serving failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The session id is not open (never opened, or already closed).
+    UnknownSession(usize),
+    /// The underlying detector rejected the sample.
+    Detect(DetectError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::Detect(e) => write!(f, "detect failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<DetectError> for ServeError {
+    fn from(e: DetectError) -> Self {
+        ServeError::Detect(e)
+    }
+}
+
+/// Engine construction knobs.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Voting configuration every new session starts with.
+    pub stream: StreamConfig,
+}
+
+/// A loaded bundle serving detection traffic.
+pub struct Engine {
+    system: String,
+    network_fingerprint: String,
+    detector: Detector,
+    stream_cfg: StreamConfig,
+    /// Session slot table; `None` slots are closed ids available for reuse.
+    sessions: Vec<Option<Mutex<StreamingDetector>>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("system", &self.system)
+            .field("sessions_active", &self.sessions_active())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Stand up an engine from an in-memory bundle.
+    pub fn from_bundle(bundle: ModelBundle, cfg: EngineConfig) -> Self {
+        pmu_obs::counter!("serve.engines_started").inc();
+        Engine {
+            system: bundle.system,
+            network_fingerprint: bundle.network_fingerprint,
+            detector: bundle.detector,
+            stream_cfg: cfg.stream,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Load, verify and stand up an engine from a bundle file.
+    ///
+    /// # Errors
+    /// Propagates every [`ModelError`] of
+    /// [`ModelBundle::load`](pmu_model::ModelBundle::load) — a serving
+    /// process must refuse to start on a corrupt or version-skewed
+    /// artifact rather than panic mid-traffic.
+    pub fn load(path: &std::path::Path, cfg: EngineConfig) -> Result<Self, ModelError> {
+        let started = Instant::now();
+        let bundle = ModelBundle::load(path)?;
+        pmu_obs::histogram!("serve.engine_load_ms", &[1.0, 10.0, 100.0, 1e3, 1e4])
+            .observe(started.elapsed().as_secs_f64() * 1e3);
+        Ok(Self::from_bundle(bundle, cfg))
+    }
+
+    /// System the loaded bundle was trained on (e.g. `"ieee14"`).
+    pub fn system(&self) -> &str {
+        &self.system
+    }
+
+    /// Hex fingerprint of the training topology (provenance display).
+    pub fn network_fingerprint(&self) -> &str {
+        &self.network_fingerprint
+    }
+
+    /// The voting configuration new sessions start with.
+    pub fn stream_config(&self) -> StreamConfig {
+        self.stream_cfg
+    }
+
+    /// Borrow the underlying trained detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Open a per-feed streaming session and return its id. Ids of closed
+    /// sessions are reused.
+    pub fn open_session(&mut self) -> usize {
+        let monitor = StreamingDetector::new(self.detector.clone(), self.stream_cfg);
+        let id = match self.sessions.iter().position(Option::is_none) {
+            Some(slot) => {
+                self.sessions[slot] = Some(Mutex::new(monitor));
+                slot
+            }
+            None => {
+                self.sessions.push(Some(Mutex::new(monitor)));
+                self.sessions.len() - 1
+            }
+        };
+        pmu_obs::counter!("serve.sessions_opened").inc();
+        pmu_obs::gauge!("serve.sessions_active").set(self.sessions_active() as f64);
+        id
+    }
+
+    /// Close a session; `false` when the id was not open.
+    pub fn close_session(&mut self, id: usize) -> bool {
+        match self.sessions.get_mut(id) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                pmu_obs::counter!("serve.sessions_closed").inc();
+                pmu_obs::gauge!("serve.sessions_active").set(self.sessions_active() as f64);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of open sessions.
+    pub fn sessions_active(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Ids of the currently open sessions, ascending.
+    pub fn session_ids(&self) -> Vec<usize> {
+        (0..self.sessions.len()).filter(|&i| self.sessions[i].is_some()).collect()
+    }
+
+    /// Health snapshot of one session, `None` when the id is not open.
+    pub fn health(&self, id: usize) -> Option<HealthSnapshot> {
+        self.sessions.get(id)?.as_ref().map(|m| {
+            m.lock().unwrap_or_else(|p| p.into_inner()).health()
+        })
+    }
+
+    /// Score one sample statelessly against the bundle's detector.
+    ///
+    /// # Errors
+    /// [`ServeError::Detect`] when the detector rejects the sample (e.g.
+    /// too little observed data to score).
+    pub fn detect(&self, sample: &PhasorSample) -> Result<Detection, ServeError> {
+        let started = Instant::now();
+        let out = self.detector.detect(sample).map_err(ServeError::from);
+        pmu_obs::counter!("serve.detect_calls").inc();
+        pmu_obs::histogram!("serve.detect_latency_us", LATENCY_US_BOUNDS)
+            .observe(started.elapsed().as_secs_f64() * 1e6);
+        out
+    }
+
+    /// Score a batch of independent samples, fanning out on the workspace
+    /// thread pool. Results come back in input order; per-sample failures
+    /// stay per-sample.
+    pub fn detect_batch(
+        &self,
+        samples: &[PhasorSample],
+    ) -> Vec<Result<Detection, ServeError>> {
+        pmu_obs::counter!("serve.batch_calls").inc();
+        pmu_obs::counter!("serve.batch_samples").add(samples.len() as u64);
+        let mut sp = pmu_obs::span("serve.detect_batch").with("samples", samples.len());
+        let started = Instant::now();
+        let out = par::par_map(samples, |sample| {
+            let t0 = Instant::now();
+            let verdict = self.detector.detect(sample).map_err(ServeError::from);
+            pmu_obs::histogram!("serve.detect_latency_us", LATENCY_US_BOUNDS)
+                .observe(t0.elapsed().as_secs_f64() * 1e6);
+            verdict
+        });
+        sp.record("ms", started.elapsed().as_secs_f64() * 1e3);
+        out
+    }
+
+    /// Advance many feeds by one tick: each `(session, sample)` pair is
+    /// pushed into its session's voting window. Pairs are grouped by
+    /// session and the groups run in parallel (one task per session), so
+    /// samples of one feed apply in their input order while distinct feeds
+    /// proceed concurrently. Results come back in input order.
+    ///
+    /// Unknown session ids fail their own entries with
+    /// [`ServeError::UnknownSession`] without disturbing the rest of the
+    /// batch.
+    pub fn push_batch(
+        &self,
+        batch: &[(usize, PhasorSample)],
+    ) -> Vec<Result<StreamEvent, ServeError>> {
+        pmu_obs::counter!("serve.push_batches").inc();
+        pmu_obs::counter!("serve.push_samples").add(batch.len() as u64);
+        let mut sp = pmu_obs::span("serve.push_batch").with("samples", batch.len());
+        let started = Instant::now();
+
+        // Group batch positions by session id, preserving input order
+        // within each group.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (pos, (sid, _)) in batch.iter().enumerate() {
+            match groups.iter_mut().find(|(gsid, _)| gsid == sid) {
+                Some((_, positions)) => positions.push(pos),
+                None => groups.push((*sid, vec![pos])),
+            }
+        }
+
+        let per_group: Vec<Vec<(usize, Result<StreamEvent, ServeError>)>> =
+            par::par_map(&groups, |(sid, positions)| {
+                let Some(slot) = self.sessions.get(*sid).and_then(Option::as_ref) else {
+                    return positions
+                        .iter()
+                        .map(|&pos| (pos, Err(ServeError::UnknownSession(*sid))))
+                        .collect();
+                };
+                let mut session = slot.lock().unwrap_or_else(|p| p.into_inner());
+                positions
+                    .iter()
+                    .map(|&pos| {
+                        let t0 = Instant::now();
+                        let event =
+                            session.push(&batch[pos].1).map_err(ServeError::from);
+                        pmu_obs::histogram!("serve.detect_latency_us", LATENCY_US_BOUNDS)
+                            .observe(t0.elapsed().as_secs_f64() * 1e6);
+                        (pos, event)
+                    })
+                    .collect()
+            });
+
+        // Scatter group results back to input order.
+        let mut out: Vec<Option<Result<StreamEvent, ServeError>>> = vec![None; batch.len()];
+        for group in per_group {
+            for (pos, event) in group {
+                out[pos] = Some(event);
+            }
+        }
+        sp.record("ms", started.elapsed().as_secs_f64() * 1e3);
+        out.into_iter().map(|o| o.expect("every batch position scattered")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu_baseline::MlrConfig;
+    use pmu_detect::detector::default_config_for;
+    use pmu_sim::{generate_dataset, Dataset, GenConfig, Mask};
+
+    fn tiny_dataset() -> Dataset {
+        let net = pmu_grid::cases::ieee14().unwrap();
+        let cfg = GenConfig { train_len: 10, test_len: 6, ..GenConfig::default() };
+        generate_dataset(&net, &cfg).unwrap()
+    }
+
+    fn engine_for(data: &Dataset) -> Engine {
+        let gen = GenConfig { train_len: 10, test_len: 6, ..GenConfig::default() };
+        let det_cfg = default_config_for(&data.network);
+        let bundle = pmu_model::ModelBundle::train(data, &gen, &det_cfg, &MlrConfig::default())
+            .unwrap();
+        Engine::from_bundle(bundle, EngineConfig::default())
+    }
+
+    #[test]
+    fn stateless_batch_matches_sequential() {
+        let data = tiny_dataset();
+        let engine = engine_for(&data);
+        let samples: Vec<_> = (0..data.normal_test.len())
+            .map(|t| data.normal_test.sample(t))
+            .chain((0..data.cases[0].test.len()).map(|t| data.cases[0].test.sample(t)))
+            .collect();
+        let batch = engine.detect_batch(&samples);
+        assert_eq!(batch.len(), samples.len());
+        for (sample, batched) in samples.iter().zip(&batch) {
+            let direct = engine.detect(sample);
+            assert_eq!(&direct, batched, "batch must agree with one-shot detection");
+        }
+    }
+
+    #[test]
+    fn session_lifecycle_and_id_reuse() {
+        let data = tiny_dataset();
+        let mut engine = engine_for(&data);
+        assert_eq!(engine.sessions_active(), 0);
+        let a = engine.open_session();
+        let b = engine.open_session();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(engine.session_ids(), vec![0, 1]);
+        assert!(engine.close_session(a));
+        assert!(!engine.close_session(a), "double close must report false");
+        assert_eq!(engine.sessions_active(), 1);
+        assert_eq!(engine.open_session(), a, "closed slot must be reused");
+        assert!(engine.health(b).is_some());
+        assert!(engine.health(99).is_none());
+    }
+
+    #[test]
+    fn push_batch_preserves_per_feed_order_and_state() {
+        let data = tiny_dataset();
+        let mut engine = engine_for(&data);
+        let s0 = engine.open_session();
+        let s1 = engine.open_session();
+
+        // Feed s0 outage samples and s1 normal samples, interleaved in one
+        // batch; compare against a sequential reference session.
+        let case = &data.cases[0];
+        let mut batch = Vec::new();
+        for t in 0..case.test.len().min(5) {
+            batch.push((s0, case.test.sample(t)));
+            batch.push((s1, data.normal_test.sample(t.min(data.normal_test.len() - 1))));
+        }
+        let events = engine.push_batch(&batch);
+        assert_eq!(events.len(), batch.len());
+
+        let mut reference = StreamingDetector::new(
+            engine.detector().clone(),
+            engine.stream_config(),
+        );
+        let mut expected = Vec::new();
+        for (sid, sample) in &batch {
+            if *sid == s0 {
+                expected.push(reference.push(sample).unwrap());
+            }
+        }
+        let got: Vec<_> = batch
+            .iter()
+            .zip(&events)
+            .filter(|((sid, _), _)| *sid == s0)
+            .map(|(_, ev)| ev.clone().unwrap())
+            .collect();
+        assert_eq!(got, expected, "batched feed must replay exactly like a lone session");
+
+        // Health reflects the traffic split.
+        let h0 = engine.health(s0).unwrap();
+        let h1 = engine.health(s1).unwrap();
+        assert_eq!(h0.samples_seen + h1.samples_seen, batch.len());
+    }
+
+    #[test]
+    fn unknown_sessions_fail_their_entries_only() {
+        let data = tiny_dataset();
+        let mut engine = engine_for(&data);
+        let ok = engine.open_session();
+        let sample = data.normal_test.sample(0);
+        let batch =
+            vec![(ok, sample.clone()), (7, sample.clone()), (ok, sample.clone())];
+        let events = engine.push_batch(&batch);
+        assert!(events[0].is_ok());
+        assert_eq!(events[1], Err(ServeError::UnknownSession(7)));
+        assert!(events[2].is_ok());
+        assert_eq!(engine.health(ok).unwrap().samples_seen, 2);
+    }
+
+    #[test]
+    fn masked_samples_flow_through_sessions() {
+        let data = tiny_dataset();
+        let mut engine = engine_for(&data);
+        let sid = engine.open_session();
+        let n = data.network.n_buses();
+        // Black out most of the grid: the detector cannot score, and the
+        // session absorbs the sample as a quiet vote instead of erroring.
+        let mask = Mask::with_missing(n, &(0..n - 1).collect::<Vec<_>>());
+        let dark = data.normal_test.sample(0).masked(&mask);
+        let events = engine.push_batch(&[(sid, dark)]);
+        assert!(events[0].is_ok());
+        let health = engine.health(sid).unwrap();
+        assert_eq!(health.missing_samples, 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # pmu-serve
+//!
+//! The online half of the train/serve split: a process-resident
+//! [`Engine`] that loads a trained [`ModelBundle`](pmu_model::ModelBundle)
+//! once and serves detection traffic from it — the paper's deployment
+//! picture, where a PDC-side monitor consumes streaming phasors against
+//! models learned offline (Sec. IV), at the scale the ROADMAP's
+//! production north star asks for.
+//!
+//! Two serving shapes:
+//!
+//! - **Stateless** — [`Engine::detect`] / [`Engine::detect_batch`] score
+//!   independent samples against the bundle's detector; batches fan out on
+//!   the workspace thread pool (`pmu_numerics::par`).
+//! - **Sessions** — [`Engine::open_session`] creates a per-feed
+//!   [`StreamingDetector`](pmu_detect::stream::StreamingDetector) (k-of-m
+//!   voting, raise/clear events, health snapshots); [`Engine::push_batch`]
+//!   dispatches one tick of samples for many feeds in parallel while
+//!   preserving per-feed sample order.
+//!
+//! Everything is observable: `serve.sessions_active`,
+//! `serve.detect_latency_us`, batch counters, and the bundle-load
+//! metrics emitted by `pmu-model`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+
+pub use engine::{Engine, EngineConfig, ServeError};
+
+/// Convenience result alias for serving operations.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -59,4 +59,29 @@ impl Dataset {
     pub fn n_nodes(&self) -> usize {
         self.network.n_buses()
     }
+
+    /// Content fingerprint of the entire dataset: the network's electrical
+    /// fingerprint plus the raw `f64` bits of every normal and per-case
+    /// training/test window.
+    ///
+    /// A [`ModelBundle`](https://docs.rs/pmu-model) persists this digest at
+    /// training time; on reload it is compared against the freshly
+    /// generated dataset, so a detector trained on different data (another
+    /// seed, scale, or simulator revision) is retrained instead of
+    /// silently reused.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = pmu_numerics::hash::Fnv1a::new();
+        h.write_u64(self.network.fingerprint());
+        self.normal_train.hash_into(&mut h);
+        self.normal_test.hash_into(&mut h);
+        h.write_usize(self.cases.len());
+        for case in &self.cases {
+            h.write_usize(case.branch);
+            h.write_usize(case.endpoints.0);
+            h.write_usize(case.endpoints.1);
+            case.train.hash_into(&mut h);
+            case.test.hash_into(&mut h);
+        }
+        h.finish()
+    }
 }

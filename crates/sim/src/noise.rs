@@ -18,7 +18,8 @@ pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
 }
 
 /// Noise levels applied to polar phasor components.
-#[derive(Debug, Clone, Copy)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseParams {
     /// Standard deviation of magnitude noise (p.u.).
     pub sigma_mag: f64,

@@ -14,7 +14,8 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Parameters of an OU process.
-#[derive(Debug, Clone, Copy)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OuParams {
     /// Long-run mean (load multiplier, typically `1.0`).
     pub mean: f64,

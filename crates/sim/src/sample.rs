@@ -252,6 +252,15 @@ impl PhasorWindow {
             ang: self.ang.hcat(&other.ang).expect("node count mismatch"),
         }
     }
+
+    /// Absorb the window's shape and raw element bits into a running
+    /// content hash (used by [`Dataset::fingerprint`](crate::Dataset::fingerprint)).
+    pub fn hash_into(&self, h: &mut pmu_numerics::hash::Fnv1a) {
+        h.write_usize(self.n_nodes());
+        h.write_usize(self.len());
+        h.write_f64_slice(self.mag.as_slice());
+        h.write_f64_slice(self.ang.as_slice());
+    }
 }
 
 #[cfg(test)]

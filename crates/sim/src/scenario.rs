@@ -22,7 +22,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Configuration of the dataset generator.
-#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenConfig {
     /// Training samples per case.
     pub train_len: usize,

@@ -1,35 +1,49 @@
-//! Production-style deployment: train once (day-ahead), persist the model
-//! to JSON, reload it in the "online" process, and run the k-of-m voting
-//! stream monitor over a day of PMU samples with glitches, a PDC dropout,
-//! an outage, and a restoration.
+//! Production-style deployment over the train/serve split: train once
+//! (day-ahead) into the **artifact store**, reload the bundle in the
+//! "online" process through a serving [`Engine`], and run the k-of-m
+//! voting stream monitor over a day of PMU samples with glitches, a PDC
+//! dropout, an outage, and a restoration. A second run of this example
+//! finds the bundle already in the store and skips training entirely.
 //!
 //! Run with: `cargo run --release --example streaming_monitor`
 
-use pmu_outage::detect::stream::{StreamConfig, StreamEvent, StreamingDetector};
-use pmu_outage::detect::Detector;
+use pmu_outage::detect::detector::default_config_for;
+use pmu_outage::detect::stream::StreamEvent;
 use pmu_outage::prelude::*;
 
 fn main() {
-    // --- Day-ahead: generate data, train, persist. -----------------------
+    // --- Day-ahead: generate data, train-or-reuse via the store. ---------
     let net = ieee14().expect("embedded case");
     let gen = GenConfig { train_len: 40, test_len: 12, ..GenConfig::default() };
     let data = generate_dataset(&net, &gen).expect("dataset generation");
-    let trained = train_default(&data).expect("training");
-    let model_json = trained.to_json().expect("serialize");
+
+    let store_dir = std::env::temp_dir().join("pmu-streaming-monitor-artifacts");
+    let store = ArtifactStore::new(&store_dir).expect("artifact store");
+    let (bundle, reused) = store
+        .load_or_train(&data, &gen, &default_config_for(&net), &MlrConfig::default())
+        .expect("train or reuse");
+    let path = store.path_for(bundle.key().expect("key"));
     println!(
-        "day-ahead training complete; model serialized ({} KiB)",
-        model_json.len() / 1024
+        "day-ahead models {}: {}",
+        if reused { "reused from the store (training skipped)" } else { "trained and stored" },
+        path.display()
     );
 
-    // --- Online process: reload the model, wrap it in the voter. ---------
-    let restored = Detector::from_json(&model_json).expect("deserialize");
-    let mut monitor = StreamingDetector::new(restored, StreamConfig::default());
+    // --- Online process: load the bundle into an engine, open a feed. ----
+    let mut engine = Engine::load(&path, EngineConfig::default()).expect("engine load");
+    let feed = engine.open_session();
+    println!(
+        "engine serving {} (k-of-m {}/{}), feed session {feed} open",
+        engine.system(),
+        engine.stream_config().votes,
+        engine.stream_config().window,
+    );
 
     // A scripted day: normal -> single-sample glitch -> PDC dropout ->
     // sustained outage -> restoration.
     let case = &data.cases[6];
     let pdc_dark = {
-        let clustering = monitor.detector().clustering();
+        let clustering = engine.detector().clustering();
         let c = clustering.cluster_of(case.endpoints.0);
         Mask::with_missing(net.n_buses(), clustering.members(c))
     };
@@ -45,12 +59,19 @@ fn main() {
             10..=16 => case.test.sample((t - 10) % case.test.len()).masked(&pdc_dark),
             _ => data.normal_test.sample(t % data.normal_test.len()),
         };
-        let event = monitor.push(&sample).expect("stream push");
-        let state = match monitor.state() {
-            pmu_outage::detect::stream::StreamState::Quiet => "quiet".to_string(),
-            pmu_outage::detect::stream::StreamState::Outage { lines } => {
-                format!("OUTAGE {lines:?}")
+        let event = engine
+            .push_batch(&[(feed, sample)])
+            .pop()
+            .expect("one result per entry")
+            .expect("stream push");
+        let health = engine.health(feed).expect("session is open");
+        let state = if health.active {
+            match &event {
+                StreamEvent::Raised { lines } => format!("OUTAGE {lines:?}"),
+                _ => "OUTAGE (active)".to_string(),
             }
+        } else {
+            "quiet".to_string()
         };
         match event {
             StreamEvent::Raised { lines } => {
@@ -61,8 +82,13 @@ fn main() {
         }
     }
 
+    let health = engine.health(feed).expect("session is open");
     println!(
-        "\nThe isolated glitch at t=3 and the pure PDC dropout never raised an \
+        "\nfeed health: {} samples, {} missing, {} raised / {} cleared",
+        health.samples_seen, health.missing_samples, health.events_raised, health.events_cleared
+    );
+    println!(
+        "The isolated glitch at t=3 and the pure PDC dropout never raised an \
          event; the sustained outage was confirmed within the voting window \
          (even with the outage-local PDC dark) and cleared after restoration."
     );

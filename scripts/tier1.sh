@@ -23,6 +23,22 @@ PMU_TRACE="$trace_dir/tier1_trace.jsonl" cargo test -q --test trace_integration
 test -s "$trace_dir/tier1_trace.jsonl"
 echo "trace written: $(wc -l < "$trace_dir/tier1_trace.jsonl") records"
 
+echo "== artifact store round-trip smoke =="
+art_dir="$trace_dir/artifacts"
+# Cold store: training must run, and the reload-parity check must pass.
+cold_out="$(./target/release/pmu-outage train ieee14 --scale fast --artifacts "$art_dir")"
+echo "$cold_out"
+grep -q "trained" <<<"$cold_out" || { echo "cold run did not train"; exit 1; }
+grep -q "reload parity: OK" <<<"$cold_out" || { echo "cold run parity check failed"; exit 1; }
+# Warm store: the bundle must be reused, training skipped.
+warm_out="$(./target/release/pmu-outage train ieee14 --scale fast --artifacts "$art_dir")"
+echo "$warm_out"
+grep -q "reused" <<<"$warm_out" || { echo "warm run retrained instead of reusing"; exit 1; }
+grep -q "reload parity: OK" <<<"$warm_out" || { echo "warm run parity check failed"; exit 1; }
+# And the stored bundle must serve detections.
+./target/release/pmu-outage detect ieee14 --outage 3 --scale fast --artifacts "$art_dir" \
+  | grep -q "OUTAGE DETECTED" || { echo "detect from stored bundle failed"; exit 1; }
+
 echo "== perfbench smoke (fast scale) =="
 ./target/release/perfbench --scale fast --out "$trace_dir/BENCH_fast.json"
 # Fast scale is much lighter than the committed standard-scale baseline,

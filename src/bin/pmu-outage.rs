@@ -4,23 +4,42 @@
 //! pmu-outage info <case>                       grid summary + valid outages
 //! pmu-outage solve <case> [--fdpf]             power-flow state
 //! pmu-outage placement <case>                  greedy PMU placement
-//! pmu-outage train <case> --model out.json     train + persist a detector
-//! pmu-outage detect <case> --model m.json --outage K [--dark]
+//! pmu-outage train <case> [--artifacts DIR] [--model PATH]
+//!                         [--scale S] [--seed N]
+//!                                              train + persist a model bundle
+//! pmu-outage detect <case> --outage K [--dark]
+//!                          [--artifacts DIR | --model PATH]
+//!                          [--scale S] [--seed N]
 //!                                              detect a simulated outage
+//! pmu-outage serve <case> [--artifacts DIR | --model PATH]
+//!                         [--feeds N] [--ticks N] [--outage K]
+//!                         [--scale S] [--seed N]
+//!                                              streaming-engine demo
+//! pmu-outage repro [...]                       full figure reproduction
 //! ```
 //!
 //! `<case>` is one of `ieee14 | ieee30 | ieee57 | ieee118` or a path to a
-//! MATPOWER-style `.m` file.
+//! MATPOWER-style `.m` file. `--scale` is `fast | standard | paper`
+//! (default `fast`); `--seed` defaults to the repro seed, so artifacts
+//! trained here are the same ones `repro --artifacts` reuses. When
+//! `--artifacts` is absent, `PMU_ARTIFACTS` names the store directory.
 
-use pmu_outage::detect::Detector;
+use pmu_outage::detect::stream::StreamEvent;
+use pmu_outage::eval::EvalScale;
 use pmu_outage::flow::{solve_ac, solve_fdpf, AcConfig, FdpfConfig};
-use pmu_outage::grid::pmu_coverage::{coverage, greedy_placement};
 use pmu_outage::grid::parser::parse_case;
+use pmu_outage::grid::pmu_coverage::{coverage, greedy_placement};
+use pmu_outage::model::{bundle_key, default_store, set_store_policy, ModelBundle, StorePolicy};
 use pmu_outage::prelude::*;
+use pmu_outage::serve::{Engine, EngineConfig};
 use pmu_outage::sim::scenario::simulate_window;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Shared with `repro`, so CLI-trained artifacts hit the same store keys.
+const SEED: u64 = 0xC0FFEE;
 
 fn load_network(spec: &str) -> Result<Network, String> {
     if let Some(result) = by_name(spec) {
@@ -32,7 +51,7 @@ fn load_network(spec: &str) -> Result<Network, String> {
 }
 
 fn usage() -> String {
-    "usage: pmu-outage <info|solve|placement|train|detect> <case> [options]\n\
+    "usage: pmu-outage <info|solve|placement|train|detect|serve|repro> <case> [options]\n\
      see `src/bin/pmu-outage.rs` docs for details"
         .to_string()
 }
@@ -47,12 +66,68 @@ fn main() -> ExitCode {
     }
 }
 
+/// The training inputs every bundle-touching subcommand shares.
+struct TrainInputs {
+    gen: GenConfig,
+    detector_cfg: DetectorConfig,
+    mlr_cfg: MlrConfig,
+}
+
+fn train_inputs(net: &Network, scale: EvalScale, seed: u64) -> TrainInputs {
+    TrainInputs {
+        gen: scale.gen_config(seed),
+        detector_cfg: pmu_outage::detect::detector::default_config_for(net),
+        mlr_cfg: MlrConfig::default(),
+    }
+}
+
+/// Load the bundle for `net` from `--model PATH` or the artifact store.
+fn load_bundle(
+    net: &Network,
+    inputs: &TrainInputs,
+    model_path: Option<&str>,
+) -> Result<ModelBundle, String> {
+    let bundle = match model_path {
+        Some(path) => ModelBundle::load(Path::new(path)).map_err(|e| e.to_string())?,
+        None => {
+            let store = default_store().ok_or(
+                "no model source: pass --model <path>, --artifacts <dir>, or set PMU_ARTIFACTS",
+            )?;
+            let key = bundle_key(net, &inputs.gen, &inputs.detector_cfg, &inputs.mlr_cfg)
+                .map_err(|e| e.to_string())?;
+            store
+                .load(key)
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| {
+                    format!(
+                        "no artifact for this case/scale/seed in {} — run `pmu-outage train` first",
+                        store.dir().display()
+                    )
+                })?
+        }
+    };
+    if bundle.detector.n_nodes() != net.n_buses() {
+        return Err(format!(
+            "model covers {} nodes, case has {}",
+            bundle.detector.n_nodes(),
+            net.n_buses()
+        ));
+    }
+    Ok(bundle)
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, case_spec) = match (args.first(), args.get(1)) {
-        (Some(c), Some(s)) => (c.as_str(), s.as_str()),
-        _ => return Err(usage()),
-    };
+    let cmd = args.first().map(String::as_str).ok_or_else(usage)?;
+
+    // `repro` owns its whole argument list (it has figure selectors, not a
+    // case positional) — hand over before the shared flag parsing.
+    if cmd == "repro" {
+        pmu_outage::eval::repro::run(args[1..].to_vec());
+        return Ok(());
+    }
+
+    let case_spec = args.get(1).map(String::as_str).ok_or_else(usage)?;
     let flag = |name: &str| args.iter().any(|a| a == name);
     let opt = |name: &str| {
         args.iter()
@@ -60,6 +135,19 @@ fn run() -> Result<(), String> {
             .and_then(|p| args.get(p + 1))
             .cloned()
     };
+
+    if let Some(dir) = opt("--artifacts") {
+        set_store_policy(StorePolicy::Dir(PathBuf::from(dir)));
+    }
+    let scale = match opt("--scale") {
+        Some(v) => EvalScale::from_label(&v).ok_or_else(|| format!("unknown scale {v}"))?,
+        None => EvalScale::Fast,
+    };
+    let seed: u64 = match opt("--seed") {
+        Some(v) => v.parse().map_err(|e| format!("bad seed: {e}"))?,
+        None => SEED,
+    };
+    pmu_outage::obs::init_from_env();
 
     let net = load_network(case_spec)?;
     match cmd {
@@ -96,8 +184,7 @@ fn run() -> Result<(), String> {
         }
         "placement" => {
             let placement = greedy_placement(&net);
-            let ext: Vec<usize> =
-                placement.iter().map(|&b| net.buses()[b].ext_id).collect();
+            let ext: Vec<usize> = placement.iter().map(|&b| net.buses()[b].ext_id).collect();
             println!(
                 "greedy placement: {} PMUs for {} buses (coverage {:.0}%)",
                 placement.len(),
@@ -107,59 +194,199 @@ fn run() -> Result<(), String> {
             println!("PMU buses (external numbering): {ext:?}");
             Ok(())
         }
-        "train" => {
-            let model_path = opt("--model").ok_or("train needs --model <path>")?;
-            let gen = GenConfig::default();
-            eprintln!("generating dataset ({} + {} samples per case)...", gen.train_len, gen.test_len);
-            let data = generate_dataset(&net, &gen).map_err(|e| e.to_string())?;
-            eprintln!("training on {} outage cases...", data.n_cases());
-            let det = train_default(&data).map_err(|e| e.to_string())?;
-            let json = det.to_json().map_err(|e| e.to_string())?;
-            std::fs::write(&model_path, &json).map_err(|e| e.to_string())?;
-            println!(
-                "trained detector for {} written to {model_path} ({} KiB)",
-                net.name,
-                json.len() / 1024
-            );
-            Ok(())
-        }
+        "train" => cmd_train(&net, scale, seed, opt("--model").as_deref()),
         "detect" => {
-            let model_path = opt("--model").ok_or("detect needs --model <path>")?;
             let branch: usize = opt("--outage")
                 .ok_or("detect needs --outage <branch index>")?
                 .parse()
                 .map_err(|e| format!("bad branch index: {e}"))?;
-            let json = std::fs::read_to_string(&model_path).map_err(|e| e.to_string())?;
-            let det = Detector::from_json(&json).map_err(|e| e.to_string())?;
-            if det.n_nodes() != net.n_buses() {
-                return Err(format!(
-                    "model covers {} nodes, case has {}",
-                    det.n_nodes(),
-                    net.n_buses()
-                ));
-            }
+            let inputs = train_inputs(&net, scale, seed);
+            let bundle = load_bundle(&net, &inputs, opt("--model").as_deref())?;
+            let det = &bundle.detector;
             // Simulate one noisy sample of the outage state.
             let out_net = net.with_branch_outage(branch).map_err(|e| e.to_string())?;
-            let gen = GenConfig::default();
+            let gen = &inputs.gen;
             let mut rng = StdRng::seed_from_u64(0xD57EC7);
             let window = simulate_window(&out_net, 1, &gen.ou, &gen.noise, &gen.ac, &mut rng)
                 .map_err(|e| e.to_string())?;
             let mut sample = window.sample(0);
             if flag("--dark") {
                 let br = &net.branches()[branch];
-                sample = sample
-                    .masked(&outage_endpoints_mask(net.n_buses(), (br.from, br.to)));
+                sample = sample.masked(&outage_endpoints_mask(net.n_buses(), (br.from, br.to)));
                 println!("(outage-endpoint PMUs masked)");
             }
             let verdict = det.detect(&sample).map_err(|e| e.to_string())?;
             println!("truth: line [{branch}]");
-            let explanation =
-                pmu_outage::detect::explain::explain(&det, &sample, &verdict);
+            let explanation = pmu_outage::detect::explain::explain(det, &sample, &verdict);
             print!("{}", pmu_outage::detect::explain::render(&explanation));
             Ok(())
         }
+        "serve" => {
+            let feeds: usize = match opt("--feeds") {
+                Some(v) => v.parse().map_err(|e| format!("bad feed count: {e}"))?,
+                None => 3,
+            };
+            let ticks: usize = match opt("--ticks") {
+                Some(v) => v.parse().map_err(|e| format!("bad tick count: {e}"))?,
+                None => 10,
+            };
+            let branch: usize = match opt("--outage") {
+                Some(v) => v.parse().map_err(|e| format!("bad branch index: {e}"))?,
+                None => *net
+                    .valid_outage_branches()
+                    .first()
+                    .ok_or("case has no valid outage branches")?,
+            };
+            cmd_serve(&net, scale, seed, opt("--model").as_deref(), feeds, ticks, branch)
+        }
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
+}
+
+/// `train`: obtain a bundle (store-first), persist it, and prove the
+/// persisted artifact reproduces the in-memory detections bit for bit.
+fn cmd_train(
+    net: &Network,
+    scale: EvalScale,
+    seed: u64,
+    model_path: Option<&str>,
+) -> Result<(), String> {
+    let inputs = train_inputs(net, scale, seed);
+    let store = default_store();
+    if store.is_none() && model_path.is_none() {
+        return Err(
+            "train needs a destination: --artifacts <dir>, PMU_ARTIFACTS, or --model <path>"
+                .into(),
+        );
+    }
+    eprintln!(
+        "generating dataset ({} + {} samples per case, {} scale)...",
+        inputs.gen.train_len,
+        inputs.gen.test_len,
+        scale.label()
+    );
+    let data = generate_dataset(net, &inputs.gen).map_err(|e| e.to_string())?;
+    let (bundle, artifact_path) = match &store {
+        Some(store) => {
+            let (bundle, hit) = store
+                .load_or_train(&data, &inputs.gen, &inputs.detector_cfg, &inputs.mlr_cfg)
+                .map_err(|e| e.to_string())?;
+            let path = store.path_for(bundle.key().map_err(|e| e.to_string())?);
+            let verb = if hit { "reused (cache hit, training skipped)" } else { "trained" };
+            println!("models for {}: {verb} — {}", net.name, path.display());
+            (bundle, path)
+        }
+        None => {
+            eprintln!("training on {} outage cases...", data.n_cases());
+            let bundle =
+                ModelBundle::train(&data, &inputs.gen, &inputs.detector_cfg, &inputs.mlr_cfg)
+                    .map_err(|e| e.to_string())?;
+            let path = PathBuf::from(model_path.expect("checked above"));
+            bundle.save(&path).map_err(|e| e.to_string())?;
+            println!("models for {}: trained — {}", net.name, path.display());
+            (bundle, path)
+        }
+    };
+    if let Some(path) = model_path {
+        // An explicit --model path gets a copy even when the store also
+        // holds one.
+        let path = PathBuf::from(path);
+        if path != artifact_path {
+            bundle.save(&path).map_err(|e| e.to_string())?;
+            println!("bundle copy written to {}", path.display());
+        }
+    }
+
+    // Reload-parity check: the artifact on disk must reproduce the
+    // in-memory detections bit for bit (masked samples included).
+    let reloaded = ModelBundle::load(&artifact_path).map_err(|e| e.to_string())?;
+    reloaded.verify_against(&data).map_err(|e| e.to_string())?;
+    let mut checked = 0usize;
+    for case in &data.cases {
+        let plain = case.test.sample(0);
+        let masked =
+            plain.masked(&outage_endpoints_mask(net.n_buses(), case.endpoints));
+        for sample in [plain, masked] {
+            let a = bundle.detector.detect(&sample).map_err(|e| e.to_string())?;
+            let b = reloaded.detector.detect(&sample).map_err(|e| e.to_string())?;
+            if a != b {
+                return Err(format!(
+                    "reload parity violation on case {}: {a:?} != {b:?}",
+                    case.branch
+                ));
+            }
+            checked += 1;
+        }
+    }
+    println!("reload parity: OK ({checked} detections bit-identical)");
+    Ok(())
+}
+
+/// `serve`: drive an [`Engine`] demo — per-feed sessions fed normal
+/// windows, then an injected outage, printing raise/clear events.
+fn cmd_serve(
+    net: &Network,
+    scale: EvalScale,
+    seed: u64,
+    model_path: Option<&str>,
+    feeds: usize,
+    ticks: usize,
+    branch: usize,
+) -> Result<(), String> {
+    if feeds == 0 || ticks == 0 {
+        return Err("serve needs --feeds and --ticks >= 1".into());
+    }
+    let inputs = train_inputs(net, scale, seed);
+    let bundle = load_bundle(net, &inputs, model_path)?;
+    let mut engine = Engine::from_bundle(bundle, EngineConfig::default());
+    let sessions: Vec<usize> = (0..feeds).map(|_| engine.open_session()).collect();
+    println!(
+        "engine up: system {}, {} feed sessions, k-of-m {}/{}",
+        engine.system(),
+        engine.sessions_active(),
+        engine.stream_config().votes,
+        engine.stream_config().window,
+    );
+
+    let gen = &inputs.gen;
+    let out_net = net.with_branch_outage(branch).map_err(|e| e.to_string())?;
+    let outage_from = ticks / 2;
+    println!(
+        "feeding {ticks} ticks x {feeds} feeds (outage on line [{branch}] from tick {outage_from})"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E17E);
+    for tick in 0..ticks {
+        let source = if tick >= outage_from { &out_net } else { net };
+        let window = simulate_window(source, feeds, &gen.ou, &gen.noise, &gen.ac, &mut rng)
+            .map_err(|e| e.to_string())?;
+        let batch: Vec<(usize, PhasorSample)> = sessions
+            .iter()
+            .enumerate()
+            .map(|(i, &sid)| (sid, window.sample(i)))
+            .collect();
+        for (i, event) in engine.push_batch(&batch).into_iter().enumerate() {
+            match event.map_err(|e| e.to_string())? {
+                StreamEvent::None => {}
+                StreamEvent::Raised { lines } => {
+                    println!("tick {tick:>3} feed {i}: OUTAGE RAISED, lines {lines:?}");
+                }
+                StreamEvent::Cleared => {
+                    println!("tick {tick:>3} feed {i}: event cleared");
+                }
+            }
+        }
+    }
+    for (i, &sid) in sessions.iter().enumerate() {
+        let h = engine.health(sid).expect("session is open");
+        println!(
+            "feed {i}: {} samples, {} missing, {} raised, {} cleared, active={}",
+            h.samples_seen, h.missing_samples, h.events_raised, h.events_cleared, h.active
+        );
+    }
+    if pmu_outage::obs::metrics_enabled() {
+        eprintln!("{}", pmu_outage::obs::metrics_summary());
+    }
+    Ok(())
 }
 
 fn print_state(net: &Network, vm: &[f64], va: &[f64]) {

@@ -41,7 +41,10 @@
 //! | [`sim`] | `pmu-sim` | OU loads, noise, scenarios, missing data, reliability |
 //! | [`detect`] | `pmu-detect` | the paper's subspace detector |
 //! | [`baseline`] | `pmu-baseline` | the MLR comparison methodology |
+//! | [`model`] | `pmu-model` | versioned model bundles + on-disk artifact store |
+//! | [`serve`] | `pmu-serve` | serving engine: sessions, batched detection |
 //! | [`eval`] | `pmu-eval` | IA/FA metrics and per-figure experiment runners |
+//! | [`obs`] | `pmu-obs` | tracing spans, counters, histograms |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -51,7 +54,10 @@ pub use pmu_detect as detect;
 pub use pmu_eval as eval;
 pub use pmu_flow as flow;
 pub use pmu_grid as grid;
+pub use pmu_model as model;
 pub use pmu_numerics as numerics;
+pub use pmu_obs as obs;
+pub use pmu_serve as serve;
 pub use pmu_sim as sim;
 
 /// The most common imports for using the library.
@@ -64,6 +70,8 @@ pub mod prelude {
     pub use pmu_grid::cases::{by_name, ieee118, ieee14, ieee30, ieee57};
     pub use pmu_grid::cluster::partition_clusters;
     pub use pmu_grid::Network;
+    pub use pmu_model::{ArtifactStore, ModelBundle};
+    pub use pmu_serve::{Engine, EngineConfig};
     pub use pmu_sim::missing::{cluster_mask, outage_endpoints_mask};
     pub use pmu_sim::{
         generate_dataset, Dataset, GenConfig, Mask, MeasurementKind, MissingPattern,

@@ -1,0 +1,164 @@
+//! Train/serve split guarantees, end to end:
+//!
+//! 1. A [`ModelBundle`] round-tripped through save/load reproduces
+//!    **bit-identical** [`Detection`]s — subspace detector and MLR
+//!    baseline, plain and masked samples alike. This is the contract the
+//!    whole artifact store rests on (the vendored `serde_json` renders
+//!    floats with shortest-roundtrip formatting, so reload is exact).
+//! 2. Corrupted, truncated, alien and version-skewed artifacts fail with
+//!    *typed* [`ModelError`]s, never a panic and never a silently wrong
+//!    detector.
+//! 3. A warm artifact store feeds `SystemSetup::build` without
+//!    retraining, and the resulting setup evaluates identically.
+//!
+//! ieee14/ieee30 are covered here at fast scale in debug builds;
+//! ieee57/ieee118 get the same parity check in release via
+//! `perfbench`'s `bundle_io` bench.
+
+use pmu_outage::baseline::MlrConfig;
+use pmu_outage::detect::detector::default_config_for;
+use pmu_outage::model::{ArtifactStore, ModelBundle, ModelError, StorePolicy};
+use pmu_outage::prelude::*;
+use pmu_outage::sim::missing::outage_endpoints_mask;
+
+const SEED: u64 = 0xC0FFEE;
+
+fn fast_bundle(system: &str) -> (Dataset, ModelBundle) {
+    let net = by_name(system).expect("known system").expect("valid case");
+    let gen = GenConfig { train_len: 16, test_len: 5, seed: SEED, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).expect("dataset generation");
+    let bundle =
+        ModelBundle::train(&data, &gen, &default_config_for(&net), &MlrConfig::default())
+            .expect("bundle training");
+    (data, bundle)
+}
+
+/// Every detection — plain and with the outage-endpoint PMUs masked —
+/// must be equal (`Detection` is `PartialEq` over all fields, so this is
+/// bit-level for the `f64` scores) between `a` and `b`.
+fn assert_detection_parity(data: &Dataset, a: &ModelBundle, b: &ModelBundle) {
+    let n = data.network.n_buses();
+    let mut checked = 0usize;
+    for case in &data.cases {
+        for t in 0..2.min(case.test.len()) {
+            let plain = case.test.sample(t);
+            let masked = plain.masked(&outage_endpoints_mask(n, case.endpoints));
+            for sample in [plain, masked] {
+                match (a.detector.detect(&sample), b.detector.detect(&sample)) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y, "subspace detection diverged"),
+                    (Err(_), Err(_)) => {}
+                    (x, y) => panic!("detect outcomes diverged: {x:?} vs {y:?}"),
+                }
+                assert_eq!(
+                    a.mlr.predict(&sample),
+                    b.mlr.predict(&sample),
+                    "MLR prediction diverged"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 2 * data.n_cases(), "parity loop must cover every case");
+}
+
+#[test]
+fn roundtrip_detections_are_bit_identical() {
+    for system in ["ieee14", "ieee30"] {
+        let (data, bundle) = fast_bundle(system);
+        let dir = std::env::temp_dir().join(format!("pmu-roundtrip-{system}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.json");
+        bundle.save(&path).expect("save");
+        let reloaded = ModelBundle::load(&path).expect("load");
+        reloaded.verify_against(&data).expect("provenance intact");
+        // The serialized form itself must be stable: saving the reloaded
+        // bundle reproduces the file byte for byte.
+        let again = dir.join("bundle2.json");
+        reloaded.save(&again).expect("re-save");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&again).unwrap(),
+            "{system}: save→load→save must be byte-stable"
+        );
+        assert_detection_parity(&data, &bundle, &reloaded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn damaged_artifacts_fail_typed() {
+    let (_, bundle) = fast_bundle("ieee14");
+    let json = bundle.to_json().expect("serialize");
+
+    // Flipped payload byte → checksum error.
+    let corrupted = json.replacen("0.0", "0.5", 1);
+    assert_ne!(corrupted, json, "corruption must change the payload");
+    assert!(matches!(
+        ModelBundle::from_json(&corrupted),
+        Err(ModelError::ChecksumMismatch { .. })
+    ));
+
+    // Truncation and non-bundle JSON → malformed.
+    assert!(matches!(
+        ModelBundle::from_json(&json[..json.len() / 2]),
+        Err(ModelError::Malformed(_))
+    ));
+    assert!(matches!(
+        ModelBundle::from_json("{\"answer\":42}"),
+        Err(ModelError::Malformed(_))
+    ));
+
+    // Version skew → schema error naming both versions.
+    let skewed = json.replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+    match ModelBundle::from_json(&skewed) {
+        Err(ModelError::SchemaMismatch { found: 999, expected }) => {
+            assert_eq!(expected, pmu_outage::model::SCHEMA_VERSION);
+        }
+        other => panic!("expected schema mismatch, got {other:?}"),
+    }
+
+    // A bundle for one grid must refuse another grid's dataset.
+    let other_net = by_name("ieee30").unwrap().unwrap();
+    let gen = GenConfig { train_len: 16, test_len: 5, seed: SEED, ..GenConfig::default() };
+    let other_data = generate_dataset(&other_net, &gen).unwrap();
+    assert!(matches!(
+        bundle.verify_against(&other_data),
+        Err(ModelError::Incompatible { what: "network", .. })
+    ));
+}
+
+/// The one test that touches the process-global store policy (the others
+/// stay policy-neutral so parallel test threads cannot race on it).
+#[test]
+fn warm_store_skips_training_in_system_setup() {
+    use pmu_outage::eval::{EvalScale, SetupSource, SystemSetup};
+
+    let dir = std::env::temp_dir().join("pmu-roundtrip-warm-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    pmu_outage::model::set_store_policy(StorePolicy::Dir(dir.clone()));
+
+    let cold = SystemSetup::build("ieee14", EvalScale::Fast, 7);
+    assert_eq!(cold.source, SetupSource::Trained, "cold store must train");
+    let store = ArtifactStore::new(&dir).unwrap();
+    assert!(
+        store.dir().read_dir().unwrap().next().is_some(),
+        "training must populate the store"
+    );
+
+    let warm = SystemSetup::build("ieee14", EvalScale::Fast, 7);
+    assert_eq!(
+        warm.source,
+        SetupSource::ArtifactStore,
+        "warm store must reuse the bundle"
+    );
+    // And the reused models evaluate identically.
+    let sample = cold.dataset.cases[0].test.sample(0);
+    assert_eq!(
+        cold.detector.detect(&sample).unwrap(),
+        warm.detector.detect(&sample).unwrap()
+    );
+
+    pmu_outage::model::set_store_policy(StorePolicy::FromEnv);
+    let _ = std::fs::remove_dir_all(&dir);
+}
