@@ -24,7 +24,12 @@
 //!      reload-parity verification (the loaded bundle must reproduce
 //!      the in-memory detections bit for bit),
 //!   8. `Engine::detect_batch` throughput over one sample per outage
-//!      case.
+//!      case,
+//!   9. a `chaos` replay per system (ieee118 excluded): a scripted
+//!      PDC-blackout + NaN-burst schedule (`pmu_sim::faults`) driven
+//!      through a serving session, verifying the raised event survives
+//!      the blackout (`reraise_after_blackout`) while timing the
+//!      replay.
 //!
 //! The artifact store is disabled for the whole run
 //! (`StorePolicy::Disabled`), so `system_build` always times real
@@ -50,8 +55,8 @@ use pmu_flow::{solve_ac, AcConfig, LinearSolver};
 use pmu_model::{set_store_policy, ModelBundle, StorePolicy};
 use pmu_numerics::{par, Matrix, Svd};
 use pmu_serve::{Engine, EngineConfig};
-use pmu_sim::generate_dataset;
 use pmu_sim::missing::outage_endpoints_mask;
+use pmu_sim::{generate_dataset, Dataset, FaultKind, FaultSchedule, PhasorSample};
 use serde::{Serialize, Value};
 
 /// Seed shared with `repro` so build timings measure the same work.
@@ -153,6 +158,23 @@ struct EngineBatchTiming {
 }
 
 #[derive(Serialize)]
+struct ChaosTiming {
+    system: String,
+    /// Ticks replayed through the fault schedule.
+    ticks: usize,
+    /// Wall-clock of the full replay (inject + one push_batch per tick).
+    replay_ms: f64,
+    /// Samples the ingestion guard rejected (the NaN-burst tick).
+    rejected: usize,
+    /// Unscorable blackout samples absorbed vote-neutrally.
+    missing: usize,
+    /// The event raised before the blackout was still standing at every
+    /// tick after the blackout lifted — the dark-window clearing bug
+    /// stays fixed. Must always be `true`.
+    reraise_after_blackout: bool,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     generated_by: String,
     workers: usize,
@@ -167,6 +189,7 @@ struct BenchReport {
     system_build: Vec<BuildTiming>,
     bundle_io: Vec<BundleIoTiming>,
     engine_batch: Vec<EngineBatchTiming>,
+    chaos: Vec<ChaosTiming>,
     fig5_pipeline: PipelineTiming,
     obs_overhead: ObsOverheadTiming,
 }
@@ -286,15 +309,17 @@ fn bench_builds(systems: &[String], scale: EvalScale) -> Vec<BuildTiming> {
 }
 
 /// Train one fast-scale bundle per system, then time bundle save/load
-/// (with a reload-parity verification) and `Engine::detect_batch`
-/// throughput. One training run feeds both benches.
+/// (with a reload-parity verification), `Engine::detect_batch`
+/// throughput, and a chaos replay through a scripted fault schedule.
+/// One training run feeds all three benches.
 fn bench_model_serving(
     systems: &[String],
-) -> (Vec<BundleIoTiming>, Vec<EngineBatchTiming>) {
+) -> (Vec<BundleIoTiming>, Vec<EngineBatchTiming>, Vec<ChaosTiming>) {
     let dir = std::env::temp_dir().join("pmu-perfbench-bundles");
     let _ = std::fs::create_dir_all(&dir);
     let mut bundle_io = Vec::new();
     let mut engine_batch = Vec::new();
+    let mut chaos = Vec::new();
     for name in systems {
         let Some(Ok(net)) = pmu_grid::cases::by_name(name) else { continue };
         let gen = EvalScale::Fast.gen_config(SEED);
@@ -351,7 +376,7 @@ fn bench_model_serving(
             parity_ok,
         });
 
-        let engine = Engine::from_bundle(bundle, EngineConfig::default());
+        let mut engine = Engine::from_bundle(bundle, EngineConfig::default());
         let batch_ms = time_median(5, || {
             std::hint::black_box(engine.detect_batch(&batch));
         }) * 1e3;
@@ -366,8 +391,80 @@ fn bench_model_serving(
             batch_ms,
             samples_per_sec,
         });
+
+        // The chaos replay exercises the streaming path (session state,
+        // degraded-mode tracking), which scales poorly on ieee118 at
+        // fast scale; the graceful-degradation contract is identical on
+        // the smaller systems.
+        if name != "ieee118" {
+            chaos.push(chaos_replay(name, &mut engine, &data));
+        }
     }
-    (bundle_io, engine_batch)
+    (bundle_io, engine_batch, chaos)
+}
+
+/// Drive one serving session through a scripted PDC blackout plus a NaN
+/// burst mid-outage and verify the raised event survives the dark
+/// window (the dark-window clearing regression), timing the replay.
+fn chaos_replay(
+    name: &str,
+    engine: &mut Engine,
+    data: &Dataset,
+) -> ChaosTiming {
+    let case = &data.cases[0];
+    // 16 outage ticks followed by 8 normal ticks (restoration).
+    let mut clean: Vec<PhasorSample> = (0..16)
+        .map(|t| case.test.sample(t % case.test.len()))
+        .collect();
+    clean.extend(
+        (16..24).map(|t| data.normal_test.sample(t % data.normal_test.len())),
+    );
+    // Total blackout while the outage event is standing, then a one-tick
+    // NaN burst that the ingestion guard must reject.
+    let injected = FaultSchedule::new(SEED)
+        .window(6, 11, FaultKind::Blackout { nodes: Vec::new() })
+        .window(12, 13, FaultKind::NanBurst { nodes: vec![0] })
+        .apply(&clean);
+
+    let feed = engine.open_session();
+    let mut rejected = 0usize;
+    let mut raised_before_blackout = false;
+    let mut standing_after_blackout = true;
+    let t0 = Instant::now();
+    for (t, inj) in injected.iter().enumerate() {
+        let pushed = engine
+            .push_batch(&[(feed, inj.sample.clone())])
+            .pop()
+            .expect("one result per entry");
+        if pushed.is_err() {
+            rejected += 1;
+        }
+        let active = engine.health(feed).is_some_and(|h| h.snapshot.active);
+        if t < 6 && active {
+            raised_before_blackout = true;
+        }
+        if (11..16).contains(&t) && !active {
+            standing_after_blackout = false;
+        }
+    }
+    let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let missing =
+        engine.health(feed).map_or(0, |h| h.snapshot.missing_samples);
+    engine.close_session(feed);
+    let reraise_after_blackout = raised_before_blackout && standing_after_blackout;
+    pmu_obs::info(&format!(
+        "chaos {name}: {} ticks in {replay_ms:.2} ms, {rejected} rejected, \
+         {missing} missing, reraise_after_blackout {reraise_after_blackout}",
+        injected.len()
+    ));
+    ChaosTiming {
+        system: name.to_string(),
+        ticks: injected.len(),
+        replay_ms,
+        rejected,
+        missing,
+        reraise_after_blackout,
+    }
 }
 
 fn bench_pipeline(systems: &[String], scale: EvalScale) -> PipelineTiming {
@@ -642,7 +739,7 @@ fn main() {
     let nr_solve = bench_nr_solve(&systems);
     let svd = bench_svd();
     let system_build = bench_builds(&systems, scale);
-    let (bundle_io, engine_batch) = bench_model_serving(&systems);
+    let (bundle_io, engine_batch, chaos) = bench_model_serving(&systems);
     // The end-to-end pipeline timing stays on the ieee14/30/57 trio: an
     // ieee118 fig5 run times the detector over ~170 outage cases and
     // would dominate the harness without adding signal beyond its
@@ -665,6 +762,7 @@ fn main() {
         system_build,
         bundle_io,
         engine_batch,
+        chaos,
         fig5_pipeline,
         obs_overhead,
     };

@@ -252,14 +252,23 @@ impl Detector {
     /// Classify one (possibly incomplete) sample.
     ///
     /// # Errors
-    /// Returns [`DetectError::SampleMismatch`] for a wrong-sized sample and
-    /// [`DetectError::InsufficientData`] when fewer than
+    /// Returns [`DetectError::SampleMismatch`] for a wrong-sized sample,
+    /// [`DetectError::NonFinite`] when any observed entry is NaN or
+    /// infinite, and [`DetectError::InsufficientData`] when fewer than
     /// `subspace_dim + 2` measurements are observed.
     pub fn detect(&self, sample: &PhasorSample) -> Result<Detection> {
         if sample.n_nodes() != self.n {
             return Err(DetectError::SampleMismatch { expected: self.n, got: sample.n_nodes() });
         }
         let observed = sample.mask().observed();
+        // The sample contract says missing data is masked, never NaN; a
+        // non-finite *observed* entry is corruption and would poison every
+        // residual downstream, so reject before any proximity math runs.
+        for &node in &observed {
+            if !sample.phasor_unchecked(node).is_finite() {
+                return Err(DetectError::NonFinite { node });
+            }
+        }
         let needed = self.cfg.subspace_dim + 2;
         if observed.len() < needed {
             return Err(DetectError::InsufficientData { observed: observed.len(), needed });
@@ -704,6 +713,31 @@ mod tests {
         let mask = Mask::with_missing(14, &(0..12).collect::<Vec<_>>());
         let s = data.normal_test.sample(0).masked(&mask);
         assert!(matches!(det.detect(&s), Err(DetectError::InsufficientData { .. })));
+    }
+
+    #[test]
+    fn non_finite_observed_entries_rejected() {
+        use pmu_numerics::Complex64;
+        use pmu_sim::Mask;
+        let data = dataset();
+        let det = detector(&data);
+        let clean = data.normal_test.sample(0);
+        let poison = |node: usize, z: Complex64| {
+            let phasors: Vec<Complex64> = (0..clean.n_nodes())
+                .map(|i| if i == node { z } else { clean.phasor_unchecked(i) })
+                .collect();
+            PhasorSample::complete(phasors)
+        };
+        // NaN and infinity are both rejected, naming the offending node.
+        let nan = poison(5, Complex64::new(f64::NAN, 0.0));
+        assert_eq!(det.detect(&nan).unwrap_err(), DetectError::NonFinite { node: 5 });
+        let inf = poison(2, Complex64::new(0.0, f64::INFINITY));
+        assert_eq!(det.detect(&inf).unwrap_err(), DetectError::NonFinite { node: 2 });
+        // A non-finite value behind the mask is invisible: masked entries
+        // are missing, not observed, and must not trigger the check.
+        let masked_nan = poison(5, Complex64::new(f64::NAN, f64::NAN))
+            .masked(&Mask::with_missing(14, &[5]));
+        assert!(det.detect(&masked_nan).is_ok());
     }
 
     #[test]

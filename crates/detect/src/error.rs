@@ -23,6 +23,14 @@ pub enum DetectError {
         /// Minimum the detector needs.
         needed: usize,
     },
+    /// An *observed* (unmasked) measurement is NaN or infinite. The data
+    /// contract of `pmu_sim::sample` is "missing entries are masked,
+    /// never NaN" — a non-finite value that reaches the detector is
+    /// corrupted input and must not leak into the proximity math.
+    NonFinite {
+        /// Node whose observed measurement is non-finite.
+        node: usize,
+    },
     /// An underlying numerical routine failed.
     Numerics(String),
 }
@@ -37,6 +45,9 @@ impl fmt::Display for DetectError {
             }
             DetectError::InsufficientData { observed, needed } => {
                 write!(f, "only {observed} observed measurements, need at least {needed}")
+            }
+            DetectError::NonFinite { node } => {
+                write!(f, "observed measurement at node {node} is NaN or infinite")
             }
             DetectError::Numerics(m) => write!(f, "numerics failure: {m}"),
         }
@@ -65,6 +76,7 @@ mod tests {
         assert!(DetectError::InsufficientData { observed: 2, needed: 7 }
             .to_string()
             .contains("2"));
+        assert!(DetectError::NonFinite { node: 9 }.to_string().contains("node 9"));
         let e: DetectError = pmu_numerics::NumericsError::invalid("op", "m").into();
         assert!(matches!(e, DetectError::Numerics(_)));
     }

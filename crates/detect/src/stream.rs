@@ -53,6 +53,12 @@ pub enum StreamEvent {
         /// Majority-voted outaged lines.
         lines: Vec<usize>,
     },
+    /// The active event's localization changed as evidence accumulated
+    /// (the event itself stays raised).
+    Relocalized {
+        /// The refreshed majority-voted line set.
+        lines: Vec<usize>,
+    },
     /// The active event cleared.
     Cleared,
 }
@@ -66,7 +72,10 @@ pub enum StreamEvent {
 pub struct HealthSnapshot {
     /// Samples processed so far.
     pub samples_seen: usize,
-    /// Samples the detector could not score (absorbed as quiet votes).
+    /// Samples the detector could not score. Unscorable samples are
+    /// *vote-neutral*: they never help confirm an event and — crucially —
+    /// never help clear one (a dark network is absence of evidence, not
+    /// evidence of restoration).
     pub missing_samples: usize,
     /// `missing_samples / samples_seen` (0.0 before the first sample).
     pub missing_ratio: f64,
@@ -85,8 +94,9 @@ pub struct HealthSnapshot {
 pub struct StreamingDetector {
     detector: Detector,
     cfg: StreamConfig,
-    /// Recent per-sample verdicts (newest at the back).
-    history: VecDeque<Detection>,
+    /// Recent per-sample verdicts (newest at the back); `None` marks a
+    /// sample the detector could not score — a vote-neutral window entry.
+    history: VecDeque<Option<Detection>>,
     state: StreamState,
     /// Samples processed so far.
     samples_seen: usize,
@@ -157,44 +167,46 @@ impl StreamingDetector {
 
     /// Feed one sample; returns the state transition (if any).
     ///
-    /// Samples the underlying detector cannot process (e.g. almost
-    /// everything missing) count as "no outage" votes — a dark network
-    /// cannot confirm an event.
+    /// Samples the underlying detector cannot score (e.g. almost
+    /// everything missing) are **vote-neutral**: they occupy a window slot
+    /// but count neither toward raising nor toward clearing. A dark
+    /// network cannot confirm an event — and, just as important, it cannot
+    /// *clear* one: only scorable quiet verdicts are evidence of
+    /// restoration, so a PDC blackout during a confirmed outage leaves the
+    /// event standing (the Sec. III-B failure mode).
     ///
     /// # Errors
-    /// Propagates only structural errors (wrong sample size); transient
-    /// insufficiency is absorbed as described.
+    /// Propagates only structural errors (wrong sample size, non-finite
+    /// observed values); transient insufficiency is absorbed as described.
     pub fn push(&mut self, sample: &PhasorSample) -> Result<StreamEvent> {
         self.samples_seen += 1;
         pmu_obs::counter!("detect.stream_samples").inc();
-        let detection = match self.detector.detect(sample) {
-            Ok(d) => d,
+        let verdict = match self.detector.detect(sample) {
+            Ok(d) => Some(d),
             Err(crate::DetectError::InsufficientData { .. }) => {
                 self.missing_samples += 1;
                 pmu_obs::counter!("detect.stream_missing").inc();
-                Detection {
-                    outage: false,
-                    lines: Vec::new(),
-                    node_ranking: Vec::new(),
-                    normal_residual: 0.0,
-                    best_case_residual: f64::INFINITY,
-                    threshold: self.detector.threshold(),
-                }
+                None
             }
             Err(e) => return Err(e),
         };
-        self.alarm_streak = if detection.outage { self.alarm_streak + 1 } else { 0 };
+        let voted_outage = verdict.as_ref().is_some_and(|d| d.outage);
+        self.alarm_streak = if voted_outage { self.alarm_streak + 1 } else { 0 };
         if self.history.len() == self.cfg.window {
             self.history.pop_front();
         }
-        self.history.push_back(detection);
+        self.history.push_back(verdict);
 
-        let outage_votes = self.history.iter().filter(|d| d.outage).count();
-        let quiet_votes = self.history.len() - outage_votes;
+        let outage_votes =
+            self.history.iter().flatten().filter(|d| d.outage).count();
+        // Only scorable quiet verdicts may clear: unscorable samples are
+        // excluded from the quorum entirely.
+        let quiet_votes =
+            self.history.iter().flatten().filter(|d| !d.outage).count();
 
         match &self.state {
             StreamState::Quiet if outage_votes >= self.cfg.votes => {
-                let lines = self.majority_lines();
+                let lines = self.voted_lines();
                 self.events_raised += 1;
                 pmu_obs::events::StreamRaised {
                     lines: lines.clone(),
@@ -213,9 +225,15 @@ impl StreamingDetector {
             }
             StreamState::Outage { lines } if outage_votes >= self.cfg.votes => {
                 // Refresh the localization as evidence accumulates.
-                let fresh = self.majority_lines();
+                let fresh = self.voted_lines();
                 if &fresh != lines {
-                    self.state = StreamState::Outage { lines: fresh };
+                    pmu_obs::events::StreamRelocalized {
+                        lines: fresh.clone(),
+                        samples_seen: self.samples_seen,
+                    }
+                    .emit();
+                    self.state = StreamState::Outage { lines: fresh.clone() };
+                    return Ok(StreamEvent::Relocalized { lines: fresh });
                 }
                 Ok(StreamEvent::None)
             }
@@ -223,32 +241,44 @@ impl StreamingDetector {
         }
     }
 
-    /// Majority vote over the lines reported by outage-voting samples in
-    /// the window: a line is confirmed when more than half of them name it.
-    fn majority_lines(&self) -> Vec<usize> {
-        let voters: Vec<&Detection> =
-            self.history.iter().filter(|d| d.outage).collect();
-        if voters.is_empty() {
-            return Vec::new();
-        }
-        let mut counts: Vec<(usize, usize)> = Vec::new();
-        for d in &voters {
-            for &l in &d.lines {
-                match counts.iter_mut().find(|(line, _)| *line == l) {
-                    Some((_, c)) => *c += 1,
-                    None => counts.push((l, 1)),
-                }
+    /// [`majority_lines`] over the outage-voting verdicts in the window.
+    fn voted_lines(&self) -> Vec<usize> {
+        let voters: Vec<&[usize]> = self
+            .history
+            .iter()
+            .flatten()
+            .filter(|d| d.outage)
+            .map(|d| d.lines.as_slice())
+            .collect();
+        majority_lines(&voters)
+    }
+}
+
+/// Majority vote over per-sample line reports: a line is confirmed when
+/// *more than half* of the voters name it (`⌊v/2⌋ + 1` of `v` voters), so
+/// a tie at exactly half never confirms. An empty voter set — or voters
+/// that all reported empty line sets — yields an empty result.
+pub fn majority_lines(voters: &[&[usize]]) -> Vec<usize> {
+    if voters.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: Vec<(usize, usize)> = Vec::new();
+    for lines in voters {
+        for &l in *lines {
+            match counts.iter_mut().find(|(line, _)| *line == l) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((l, 1)),
             }
         }
-        let quorum = voters.len() / 2 + 1;
-        let mut lines: Vec<usize> = counts
-            .into_iter()
-            .filter(|&(_, c)| c >= quorum)
-            .map(|(l, _)| l)
-            .collect();
-        lines.sort_unstable();
-        lines
     }
+    let quorum = voters.len() / 2 + 1;
+    let mut lines: Vec<usize> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= quorum)
+        .map(|(l, _)| l)
+        .collect();
+    lines.sort_unstable();
+    lines
 }
 
 #[cfg(test)]
@@ -280,7 +310,7 @@ mod tests {
                     assert!(lines.contains(&case.branch), "raised with {lines:?}");
                 }
                 StreamEvent::Cleared => panic!("spurious clear"),
-                StreamEvent::None => {}
+                StreamEvent::None | StreamEvent::Relocalized { .. } => {}
             }
         }
         assert_eq!(raised, 1, "exactly one raise for a sustained event");
@@ -327,7 +357,7 @@ mod tests {
     }
 
     #[test]
-    fn dark_network_counts_as_quiet() {
+    fn dark_network_cannot_confirm() {
         use pmu_sim::Mask;
         let (data, mut mon) = monitor();
         let mask = Mask::with_missing(14, &(0..12).collect::<Vec<_>>());
@@ -337,6 +367,111 @@ mod tests {
             assert_eq!(ev, StreamEvent::None);
         }
         assert_eq!(*mon.state(), StreamState::Quiet);
+    }
+
+    /// Regression for the dark-window clearing bug: a PDC blackout during
+    /// a confirmed outage used to count its unscorable samples as quiet
+    /// votes, clearing the event after `k` dark samples — the exact
+    /// failure mode Sec. III-B warns about. Unscorable samples are now
+    /// vote-neutral for clearing.
+    #[test]
+    fn blackout_does_not_clear_active_event() {
+        use pmu_sim::Mask;
+        let (data, mut mon) = monitor();
+        let case = &data.cases[2];
+        // Confirm the outage.
+        for t in 0..4 {
+            let _ = mon.push(&case.test.sample(t % case.test.len())).unwrap();
+        }
+        assert!(matches!(mon.state(), StreamState::Outage { .. }));
+        let raised_before = mon.health().events_raised;
+        // PDC blackout: far more than `votes` consecutive unscorable
+        // samples. The event must stand through all of them.
+        let dark = Mask::with_missing(14, &(0..12).collect::<Vec<_>>());
+        for t in 0..8 {
+            let s = case.test.sample(t % case.test.len()).masked(&dark);
+            let ev = mon.push(&s).unwrap();
+            assert_eq!(ev, StreamEvent::None, "dark sample must not transition");
+            assert!(
+                matches!(mon.state(), StreamState::Outage { .. }),
+                "blackout cleared the event after {} dark samples",
+                t + 1
+            );
+        }
+        let h = mon.health();
+        assert_eq!(h.events_cleared, 0, "no clear during the blackout");
+        assert_eq!(h.missing_samples, 8, "health counters stay truthful");
+        // Blackout lifts with the line still out: the event persists (no
+        // duplicate raise) and localization is intact.
+        for t in 0..4 {
+            let _ = mon.push(&case.test.sample(t % case.test.len())).unwrap();
+        }
+        assert!(matches!(mon.state(), StreamState::Outage { .. }));
+        assert_eq!(mon.health().events_raised, raised_before, "no duplicate raise");
+        // Only genuine restoration — scorable quiet verdicts — clears.
+        let mut cleared = false;
+        for t in 0..6 {
+            if mon.push(&data.normal_test.sample(t % data.normal_test.len())).unwrap()
+                == StreamEvent::Cleared
+            {
+                cleared = true;
+            }
+        }
+        assert!(cleared, "restoration must still clear the event");
+        assert_eq!(*mon.state(), StreamState::Quiet);
+    }
+
+    /// The relocalization branch: when the majority line set shifts while
+    /// an event is active, the monitor reports `Relocalized` instead of
+    /// silently mutating its state.
+    #[test]
+    fn localization_shift_emits_relocalized() {
+        let (data, mut mon) = monitor();
+        // Pick two cases on different lines.
+        let first = &data.cases[1];
+        let second = data
+            .cases
+            .iter()
+            .find(|c| c.branch != first.branch)
+            .expect("a second distinct outage case");
+        for t in 0..4 {
+            let _ = mon.push(&first.test.sample(t % first.test.len())).unwrap();
+        }
+        let StreamState::Outage { lines: initial } = mon.state().clone() else {
+            panic!("event not raised");
+        };
+        let mut relocalized = None;
+        for t in 0..8 {
+            match mon.push(&second.test.sample(t % second.test.len())).unwrap() {
+                StreamEvent::Relocalized { lines } => {
+                    relocalized = Some(lines);
+                }
+                StreamEvent::Raised { .. } => panic!("event was already active"),
+                _ => {}
+            }
+        }
+        let lines = relocalized.expect("line-set shift must emit Relocalized");
+        assert_ne!(lines, initial);
+        assert!(lines.contains(&second.branch), "refreshed to {lines:?}");
+        assert_eq!(*mon.state(), StreamState::Outage { lines });
+    }
+
+    #[test]
+    fn majority_lines_quorum_edges() {
+        // Empty voter set.
+        assert!(majority_lines(&[]).is_empty());
+        // Voters with empty line reports confirm nothing.
+        assert!(majority_lines(&[&[], &[], &[]]).is_empty());
+        // Tie at exactly half (1 of 2 voters) misses the quorum of 2.
+        assert!(majority_lines(&[&[3], &[7]]).is_empty());
+        // Strict majority confirms; order-independent, sorted output.
+        assert_eq!(majority_lines(&[&[7, 3], &[3, 7], &[5]]), vec![3, 7]);
+        // 2 of 4 is exactly half — still short of the quorum of 3.
+        assert!(majority_lines(&[&[1], &[1], &[2], &[2]]).is_empty());
+        // 3 of 4 clears it.
+        assert_eq!(majority_lines(&[&[1], &[1], &[1], &[2]]), vec![1]);
+        // A single voter is its own majority.
+        assert_eq!(majority_lines(&[&[9, 4]]), vec![4, 9]);
     }
 
     #[test]

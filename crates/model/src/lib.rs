@@ -24,15 +24,18 @@
 //!
 //! Corrupted, truncated, version-skewed or wrong-topology artifacts all
 //! surface as typed [`ModelError`]s — never a panic, and never a silently
-//! wrong detector.
+//! wrong detector. Transient filesystem failures are the one retryable
+//! class: [`retry`] bounds the re-reads with exponential backoff.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod bundle;
+pub mod retry;
 pub mod store;
 
 pub use bundle::{bundle_key, ModelBundle, ModelError, SCHEMA_VERSION};
+pub use retry::{with_retry, RetryPolicy};
 pub use store::{default_store, set_store_policy, ArtifactStore, StorePolicy};
 
 /// Convenience result alias for model-bundle operations.

@@ -1,0 +1,156 @@
+//! Bounded retry with backoff for transient artifact IO.
+//!
+//! Serving processes load bundles from shared storage, where reads can
+//! fail transiently (NFS hiccup, file mid-rotation). Only
+//! [`ModelError::Io`] is worth retrying — a malformed, checksum-broken or
+//! schema-skewed artifact will not heal on a second read, so every other
+//! error class fails fast.
+
+use crate::bundle::{ModelBundle, ModelError};
+use crate::Result;
+use std::path::Path;
+use std::time::Duration;
+
+/// How many times to attempt an IO-bound operation and how long to wait
+/// between attempts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retrying.
+    pub attempts: usize,
+    /// Sleep before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff multiplier per further retry (exponential backoff).
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms then 20 ms of backoff — bounded well under a
+    /// PMU reporting interval budget.
+    fn default() -> Self {
+        RetryPolicy { attempts: 3, base_backoff: Duration::from_millis(10), multiplier: 2.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> Self {
+        RetryPolicy { attempts: 1, base_backoff: Duration::ZERO, multiplier: 1.0 }
+    }
+
+    /// The sleep before retry number `retry` (0-based).
+    fn backoff(&self, retry: u32) -> Duration {
+        self.base_backoff.mul_f64(self.multiplier.powi(retry as i32).max(0.0))
+    }
+}
+
+/// Run `op`, retrying on [`ModelError::Io`] per `policy`. Non-IO errors
+/// and success return immediately; IO failures sleep the policy's backoff
+/// between attempts and surface the *last* error once attempts are
+/// exhausted. Every retry increments the `model.io_retries` counter.
+pub fn with_retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let attempts = policy.attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e @ ModelError::Io { .. }) => {
+                last_err = Some(e);
+                if attempt + 1 < attempts {
+                    pmu_obs::counter!("model.io_retries").inc();
+                    std::thread::sleep(policy.backoff(attempt as u32));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+impl ModelBundle {
+    /// [`ModelBundle::load`] wrapped in [`with_retry`]: transient
+    /// filesystem failures are retried per `policy`; verification failures
+    /// (checksum, schema, fingerprint) fail immediately.
+    pub fn load_with_retry(path: &Path, policy: &RetryPolicy) -> Result<Self> {
+        with_retry(policy, || Self::load(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn io_err() -> ModelError {
+        ModelError::Io { path: PathBuf::from("/nope"), msg: "transient".into() }
+    }
+
+    fn fast() -> RetryPolicy {
+        RetryPolicy { attempts: 3, base_backoff: Duration::ZERO, multiplier: 1.0 }
+    }
+
+    #[test]
+    fn succeeds_after_transient_io_failures() {
+        let mut calls = 0;
+        let out = with_retry(&fast(), || {
+            calls += 1;
+            if calls < 3 { Err(io_err()) } else { Ok(42) }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn exhaustion_surfaces_last_io_error() {
+        let mut calls = 0;
+        let out: Result<()> = with_retry(&fast(), || {
+            calls += 1;
+            Err(io_err())
+        });
+        assert!(matches!(out, Err(ModelError::Io { .. })));
+        assert_eq!(calls, 3, "exactly `attempts` tries");
+    }
+
+    #[test]
+    fn non_io_errors_fail_fast() {
+        let mut calls = 0;
+        let out: Result<()> = with_retry(&fast(), || {
+            calls += 1;
+            Err(ModelError::Malformed("corrupt".into()))
+        });
+        assert!(matches!(out, Err(ModelError::Malformed(_))));
+        assert_eq!(calls, 1, "a broken artifact must not be re-read");
+    }
+
+    #[test]
+    fn single_attempt_policy_never_retries() {
+        let mut calls = 0;
+        let out: Result<()> = with_retry(&RetryPolicy::none(), || {
+            calls += 1;
+            Err(io_err())
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_grows_with_multiplier() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            multiplier: 2.0,
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn load_with_retry_reads_real_bundles_and_rejects_missing() {
+        // A missing path exercises the retry loop end-to-end (all IO).
+        let out = ModelBundle::load_with_retry(
+            Path::new("/definitely/not/here.json"),
+            &fast(),
+        );
+        assert!(matches!(out, Err(ModelError::Io { .. })));
+    }
+}

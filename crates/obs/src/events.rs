@@ -13,7 +13,10 @@
 //! | [`EigenComputed`] | — | `numerics.eigen_calls`, `numerics.eigen_sweeps` |
 //! | [`WorkerStats`] | `par.worker` | `par.tasks`, `par.worker_busy_us`, `par.worker_idle_us` |
 //! | [`StreamRaised`] | `detect.stream_raised` | `detect.stream_raised` |
+//! | [`StreamRelocalized`] | `detect.stream_relocalized` | `detect.stream_relocalized` |
 //! | [`StreamCleared`] | `detect.stream_cleared` | `detect.stream_cleared` |
+//! | [`SampleRejected`] | `serve.sample_rejected` | `serve.samples_rejected`, `serve.rejected_<reason>` |
+//! | [`FeedModeChanged`] | `serve.feed_mode` | `serve.mode_transitions`, `serve.feeds_degraded`, `serve.feeds_dark`, `serve.feeds_recovered` |
 //! | [`BundleSaved`] | `model.bundle_saved` | `model.bundle_saved`, `model.bundle_save_ms`, `model.bundle_bytes` |
 //! | [`BundleLoaded`] | `model.bundle_loaded` | `model.bundle_loaded`, `model.bundle_load_ms` |
 
@@ -179,6 +182,86 @@ impl StreamRaised {
     }
 }
 
+/// The streaming detector refreshed the localization of its active event
+/// (the event stays raised; only the majority line set changed).
+#[derive(Debug, Clone)]
+pub struct StreamRelocalized {
+    /// The refreshed majority-voted line set.
+    pub lines: Vec<usize>,
+    /// Samples processed when the localization shifted.
+    pub samples_seen: usize,
+}
+
+impl StreamRelocalized {
+    /// Record the trace event and companion metrics.
+    pub fn emit(&self) {
+        counter!("detect.stream_relocalized").inc();
+        event(
+            "detect.stream_relocalized",
+            &[
+                ("lines", Value::from(&self.lines[..])),
+                ("samples_seen", self.samples_seen.into()),
+            ],
+        );
+    }
+}
+
+/// The serving ingestion guard rejected an inbound sample before it could
+/// reach the detector (non-finite values, wrong length, mask skew).
+#[derive(Debug, Clone)]
+pub struct SampleRejected {
+    /// Short machine-stable reason tag (`"non_finite"`, `"wrong_length"`,
+    /// `"mask_mismatch"`), doubling as the per-reason counter suffix.
+    pub reason: &'static str,
+}
+
+impl SampleRejected {
+    /// Record the trace event and companion metrics.
+    pub fn emit(&self) {
+        counter!("serve.samples_rejected").inc();
+        match self.reason {
+            "non_finite" => counter!("serve.rejected_non_finite").inc(),
+            "wrong_length" => counter!("serve.rejected_wrong_length").inc(),
+            _ => counter!("serve.rejected_other").inc(),
+        }
+        event("serve.sample_rejected", &[("reason", Value::from(self.reason))]);
+    }
+}
+
+/// A serving session's degraded-mode state machine transitioned.
+#[derive(Debug, Clone)]
+pub struct FeedModeChanged {
+    /// Session slot the feed lives in.
+    pub session: usize,
+    /// Mode label left (`"healthy"` / `"degraded"` / `"dark"`).
+    pub from: &'static str,
+    /// Mode label entered.
+    pub to: &'static str,
+    /// What drove the transition (e.g. `"missing_ratio"`).
+    pub reason: &'static str,
+}
+
+impl FeedModeChanged {
+    /// Record the trace event and companion metrics.
+    pub fn emit(&self) {
+        counter!("serve.mode_transitions").inc();
+        match self.to {
+            "degraded" => counter!("serve.feeds_degraded").inc(),
+            "dark" => counter!("serve.feeds_dark").inc(),
+            _ => counter!("serve.feeds_recovered").inc(),
+        }
+        event(
+            "serve.feed_mode",
+            &[
+                ("session", self.session.into()),
+                ("from", Value::from(self.from)),
+                ("to", Value::from(self.to)),
+                ("reason", Value::from(self.reason)),
+            ],
+        );
+    }
+}
+
 /// The streaming detector cleared its active outage event.
 #[derive(Debug, Clone)]
 pub struct StreamCleared {
@@ -279,7 +362,14 @@ mod tests {
         EigenComputed { n: 2, sweeps: 2 }.emit();
         WorkerStats { worker: 0, tasks: 5, busy_us: 100, idle_us: 10 }.emit();
         StreamRaised { lines: vec![3, 7], samples_seen: 42 }.emit();
+        StreamRelocalized { lines: vec![4], samples_seen: 45 }.emit();
         StreamCleared { samples_seen: 50 }.emit();
+        SampleRejected { reason: "non_finite" }.emit();
+        SampleRejected { reason: "wrong_length" }.emit();
+        FeedModeChanged { session: 0, from: "healthy", to: "dark", reason: "missing_ratio" }
+            .emit();
+        FeedModeChanged { session: 0, from: "dark", to: "healthy", reason: "recovered" }
+            .emit();
         set_metrics_enabled(false);
 
         assert_eq!(crate::counter("flow.nr_solves").get(), 2);
@@ -288,7 +378,14 @@ mod tests {
         assert_eq!(crate::counter("numerics.eigen_calls").get(), 1);
         assert_eq!(crate::counter("par.tasks").get(), 5);
         assert_eq!(crate::counter("detect.stream_raised").get(), 1);
+        assert_eq!(crate::counter("detect.stream_relocalized").get(), 1);
         assert_eq!(crate::counter("detect.stream_cleared").get(), 1);
+        assert_eq!(crate::counter("serve.samples_rejected").get(), 2);
+        assert_eq!(crate::counter("serve.rejected_non_finite").get(), 1);
+        assert_eq!(crate::counter("serve.rejected_wrong_length").get(), 1);
+        assert_eq!(crate::counter("serve.mode_transitions").get(), 2);
+        assert_eq!(crate::counter("serve.feeds_dark").get(), 1);
+        assert_eq!(crate::counter("serve.feeds_recovered").get(), 1);
 
         let s = metrics_summary();
         assert!(s.contains("flow.nr_iterations"));

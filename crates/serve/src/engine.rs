@@ -4,19 +4,34 @@
 //!
 //! The trained [`Detector`] is immutable after load, so stateless batch
 //! detection shares one copy across the whole `par_map` fan-out. Sessions
-//! are stateful (voting history, health counters); each lives behind its
-//! own `Mutex` in a slot table, and [`Engine::push_batch`] groups a tick's
-//! samples by session and runs *one parallel task per session*, so every
-//! lock is uncontended and per-feed sample order is exactly the input
-//! order. The crate keeps the workspace's `#![deny(unsafe_code)]` — the
-//! slot-of-mutexes layout is what makes parallel mutation safe without it.
+//! are stateful (voting history, health counters, degraded-mode machine);
+//! each lives behind its own `Mutex` in a slot table, and
+//! [`Engine::push_batch`] groups a tick's samples by session and runs *one
+//! parallel task per session*, so every lock is uncontended and per-feed
+//! sample order is exactly the input order. The crate keeps the
+//! workspace's `#![deny(unsafe_code)]` — the slot-of-mutexes layout is
+//! what makes parallel mutation safe without it.
+//!
+//! ## Robustness model
+//!
+//! The engine assumes the telemetry path is hostile (see
+//! `pmu_sim::faults`): every inbound sample passes an **ingestion guard**
+//! (finiteness, length, mask consistency) before it can reach a detector,
+//! failing with [`ServeError::BadSample`]; sessions run a per-feed
+//! **degraded-mode state machine** ([`FeedMode`]) driven by the recent
+//! missing and rejection ratios; and bundle loads retry transient IO per
+//! a bounded [`RetryPolicy`]. Session handles are **generation-tagged**
+//! ([`SessionId`]), so a handle to a closed-and-reused slot fails with
+//! [`ServeError::UnknownSession`] instead of silently reading a stranger's
+//! feed.
 
+use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use pmu_detect::stream::{HealthSnapshot, StreamConfig, StreamEvent, StreamingDetector};
 use pmu_detect::{DetectError, Detection, Detector};
-use pmu_model::{ModelBundle, ModelError};
+use pmu_model::{ModelBundle, ModelError, RetryPolicy};
 use pmu_numerics::par;
 use pmu_sim::PhasorSample;
 
@@ -24,11 +39,97 @@ use pmu_sim::PhasorSample;
 /// 30 Hz reporting interval (33 ms), so the range centers on 10 µs – 10 ms.
 const LATENCY_US_BOUNDS: &[f64] = &[10.0, 50.0, 100.0, 500.0, 1e3, 5e3, 1e4, 1e5, 1e6];
 
+/// A generation-tagged handle to an open session.
+///
+/// Slots are reused after [`Engine::close_session`], but each reuse bumps
+/// the slot's generation, so a stale handle held across a close/reopen
+/// can never address the new occupant (the classic ABA hazard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId {
+    slot: u32,
+    generation: u32,
+}
+
+impl SessionId {
+    /// The slot-table index (stable across the handle's lifetime).
+    pub fn slot(&self) -> usize {
+        self.slot as usize
+    }
+
+    /// The slot generation this handle was issued under.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}.g{}", self.slot, self.generation)
+    }
+}
+
+/// Why the ingestion guard refused a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BadSampleReason {
+    /// An *observed* (unmasked) phasor is NaN or infinite.
+    NonFinite {
+        /// Node with the non-finite measurement.
+        node: usize,
+    },
+    /// The phasor vector length does not match the serving topology
+    /// (e.g. a message truncated in flight).
+    WrongLength {
+        /// Node count the loaded model serves.
+        expected: usize,
+        /// Node count the sample carried.
+        got: usize,
+    },
+    /// The mask covers a different node count than the phasor vector.
+    /// Unreachable through `PhasorSample`'s constructors; kept as defense
+    /// in depth against future construction paths.
+    MaskMismatch {
+        /// Phasor vector length.
+        nodes: usize,
+        /// Mask length.
+        mask: usize,
+    },
+}
+
+impl BadSampleReason {
+    /// Machine-stable tag used by the `serve.sample_rejected` observation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BadSampleReason::NonFinite { .. } => "non_finite",
+            BadSampleReason::WrongLength { .. } => "wrong_length",
+            BadSampleReason::MaskMismatch { .. } => "mask_mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for BadSampleReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BadSampleReason::NonFinite { node } => {
+                write!(f, "observed phasor at node {node} is NaN or infinite")
+            }
+            BadSampleReason::WrongLength { expected, got } => {
+                write!(f, "sample has {got} nodes, model serves {expected}")
+            }
+            BadSampleReason::MaskMismatch { nodes, mask } => {
+                write!(f, "mask covers {mask} nodes, sample has {nodes}")
+            }
+        }
+    }
+}
+
 /// Typed serving failures.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
-    /// The session id is not open (never opened, or already closed).
-    UnknownSession(usize),
+    /// The session handle is not open: never issued, closed, or stale
+    /// (its slot was reused under a newer generation).
+    UnknownSession(SessionId),
+    /// The ingestion guard refused the sample before detection.
+    BadSample(BadSampleReason),
     /// The underlying detector rejected the sample.
     Detect(DetectError),
 }
@@ -37,6 +138,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::BadSample(reason) => write!(f, "bad sample: {reason}"),
             ServeError::Detect(e) => write!(f, "detect failed: {e}"),
         }
     }
@@ -50,11 +152,192 @@ impl From<DetectError> for ServeError {
     }
 }
 
+/// A serving session's degraded-mode state.
+///
+/// Driven by the ratios of unscorable and rejected samples over the last
+/// [`DegradeConfig::window`] pushes. `Dark` means the feed is effectively
+/// blind (almost nothing scorable arrives); `Degraded` means enough data
+/// still flows to detect, but the operator should distrust latency and
+/// localization quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedMode {
+    /// The feed delivers scorable data at a healthy rate.
+    Healthy,
+    /// A concerning fraction of recent samples was unscorable or rejected.
+    Degraded {
+        /// The dominant cause.
+        reason: DegradeReason,
+    },
+    /// Nearly nothing scorable arrives; detection is effectively blind.
+    Dark,
+}
+
+/// What pushed a feed out of [`FeedMode::Healthy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The detector could not score enough recent samples (masked data).
+    MissingData,
+    /// The ingestion guard rejected enough recent samples (invalid data).
+    RejectedSamples,
+}
+
+impl FeedMode {
+    /// Mode label used by the `serve.feed_mode` observation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FeedMode::Healthy => "healthy",
+            FeedMode::Degraded { .. } => "degraded",
+            FeedMode::Dark => "dark",
+        }
+    }
+}
+
+/// Thresholds of the per-session degraded-mode state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradeConfig {
+    /// How many recent pushes the ratios are computed over. The mode
+    /// never leaves `Healthy` before a full window has accumulated.
+    pub window: usize,
+    /// Bad-sample ratio (unscorable + rejected) at which the feed turns
+    /// [`FeedMode::Degraded`].
+    pub degraded_ratio: f64,
+    /// Bad-sample ratio at which the feed turns [`FeedMode::Dark`].
+    pub dark_ratio: f64,
+}
+
+impl Default for DegradeConfig {
+    /// An 8-push window; a quarter bad degrades, three quarters is dark.
+    fn default() -> Self {
+        DegradeConfig { window: 8, degraded_ratio: 0.25, dark_ratio: 0.75 }
+    }
+}
+
 /// Engine construction knobs.
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
     /// Voting configuration every new session starts with.
     pub stream: StreamConfig,
+    /// Degraded-mode thresholds every new session starts with.
+    pub degrade: DegradeConfig,
+    /// Retry policy for transient IO during [`Engine::load`].
+    pub retry: RetryPolicy,
+}
+
+/// Health of one serving session: the detector-level snapshot plus the
+/// serving-level degraded-mode state and ingestion counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionHealth {
+    /// The wrapped [`StreamingDetector`]'s counters.
+    pub snapshot: HealthSnapshot,
+    /// Current degraded-mode state.
+    pub mode: FeedMode,
+    /// Samples accepted into the voting window.
+    pub pushed: usize,
+    /// Samples refused by the ingestion guard.
+    pub rejected: usize,
+}
+
+/// What one push contributed to the degraded-mode window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Validated and scored.
+    Scored,
+    /// Validated but unscorable (vote-neutral for the detector).
+    Missing,
+    /// Refused by the ingestion guard.
+    Rejected,
+}
+
+/// Per-session mutable state: the voting monitor plus the serving-level
+/// degraded-mode machine.
+#[derive(Debug)]
+struct SessionState {
+    monitor: StreamingDetector,
+    mode: FeedMode,
+    recent: VecDeque<Outcome>,
+    pushed: usize,
+    rejected: usize,
+}
+
+impl SessionState {
+    fn new(monitor: StreamingDetector) -> Self {
+        SessionState {
+            monitor,
+            mode: FeedMode::Healthy,
+            recent: VecDeque::new(),
+            pushed: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Record one push outcome and advance the mode machine, emitting a
+    /// [`pmu_obs::events::FeedModeChanged`] observation on transitions.
+    fn record(&mut self, slot: usize, cfg: &DegradeConfig, outcome: Outcome) {
+        if self.recent.len() == cfg.window.max(1) {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(outcome);
+        let next = self.decide(cfg);
+        if next != self.mode {
+            let reason = match next {
+                FeedMode::Healthy => "recovered",
+                FeedMode::Degraded { reason: DegradeReason::MissingData } => "missing_ratio",
+                FeedMode::Degraded { reason: DegradeReason::RejectedSamples } => {
+                    "reject_ratio"
+                }
+                FeedMode::Dark => "blackout",
+            };
+            pmu_obs::events::FeedModeChanged {
+                session: slot,
+                from: self.mode.label(),
+                to: next.label(),
+                reason,
+            }
+            .emit();
+            self.mode = next;
+        }
+    }
+
+    fn decide(&self, cfg: &DegradeConfig) -> FeedMode {
+        if self.recent.len() < cfg.window.max(1) {
+            return FeedMode::Healthy;
+        }
+        let n = self.recent.len() as f64;
+        let missing =
+            self.recent.iter().filter(|o| **o == Outcome::Missing).count() as f64 / n;
+        let rejected =
+            self.recent.iter().filter(|o| **o == Outcome::Rejected).count() as f64 / n;
+        let bad = missing + rejected;
+        if bad >= cfg.dark_ratio {
+            FeedMode::Dark
+        } else if bad >= cfg.degraded_ratio {
+            let reason = if rejected > missing {
+                DegradeReason::RejectedSamples
+            } else {
+                DegradeReason::MissingData
+            };
+            FeedMode::Degraded { reason }
+        } else {
+            FeedMode::Healthy
+        }
+    }
+
+    fn health(&self) -> SessionHealth {
+        SessionHealth {
+            snapshot: self.monitor.health(),
+            mode: self.mode,
+            pushed: self.pushed,
+            rejected: self.rejected,
+        }
+    }
+}
+
+/// One slot of the session table. The generation survives the occupant:
+/// it is bumped on every close, which is what invalidates stale handles.
+#[derive(Debug)]
+struct Slot {
+    generation: u32,
+    state: Option<Mutex<SessionState>>,
 }
 
 /// A loaded bundle serving detection traffic.
@@ -63,8 +346,10 @@ pub struct Engine {
     network_fingerprint: String,
     detector: Detector,
     stream_cfg: StreamConfig,
-    /// Session slot table; `None` slots are closed ids available for reuse.
-    sessions: Vec<Option<Mutex<StreamingDetector>>>,
+    degrade_cfg: DegradeConfig,
+    /// Session slot table; slots with `state: None` are free for reuse
+    /// under a bumped generation.
+    slots: Vec<Slot>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -85,20 +370,23 @@ impl Engine {
             network_fingerprint: bundle.network_fingerprint,
             detector: bundle.detector,
             stream_cfg: cfg.stream,
-            sessions: Vec::new(),
+            degrade_cfg: cfg.degrade,
+            slots: Vec::new(),
         }
     }
 
-    /// Load, verify and stand up an engine from a bundle file.
+    /// Load, verify and stand up an engine from a bundle file, retrying
+    /// transient filesystem failures per the config's [`RetryPolicy`].
     ///
     /// # Errors
     /// Propagates every [`ModelError`] of
     /// [`ModelBundle::load`](pmu_model::ModelBundle::load) — a serving
     /// process must refuse to start on a corrupt or version-skewed
-    /// artifact rather than panic mid-traffic.
+    /// artifact rather than panic mid-traffic. Only
+    /// [`ModelError::Io`] is retried; verification failures are final.
     pub fn load(path: &std::path::Path, cfg: EngineConfig) -> Result<Self, ModelError> {
         let started = Instant::now();
-        let bundle = ModelBundle::load(path)?;
+        let bundle = ModelBundle::load_with_retry(path, &cfg.retry)?;
         pmu_obs::histogram!("serve.engine_load_ms", &[1.0, 10.0, 100.0, 1e3, 1e4])
             .observe(started.elapsed().as_secs_f64() * 1e3);
         Ok(Self::from_bundle(bundle, cfg))
@@ -119,35 +407,77 @@ impl Engine {
         self.stream_cfg
     }
 
+    /// The degraded-mode thresholds new sessions start with.
+    pub fn degrade_config(&self) -> &DegradeConfig {
+        &self.degrade_cfg
+    }
+
     /// Borrow the underlying trained detector.
     pub fn detector(&self) -> &Detector {
         &self.detector
     }
 
-    /// Open a per-feed streaming session and return its id. Ids of closed
-    /// sessions are reused.
-    pub fn open_session(&mut self) -> usize {
+    /// The ingestion guard: check an inbound sample against the serving
+    /// topology without consuming it. [`Engine::push_batch`],
+    /// [`Engine::detect`] and [`Engine::detect_batch`] all apply this
+    /// before any detector math runs.
+    ///
+    /// # Errors
+    /// [`ServeError::BadSample`] naming the violated invariant: wrong
+    /// vector length, mask/vector skew, or a non-finite *observed* value
+    /// (masked entries may hold anything — they are never read).
+    pub fn validate_sample(&self, sample: &PhasorSample) -> Result<(), ServeError> {
+        let expected = self.detector.n_nodes();
+        let got = sample.n_nodes();
+        if got != expected {
+            return Err(ServeError::BadSample(BadSampleReason::WrongLength {
+                expected,
+                got,
+            }));
+        }
+        if sample.mask().len() != got {
+            return Err(ServeError::BadSample(BadSampleReason::MaskMismatch {
+                nodes: got,
+                mask: sample.mask().len(),
+            }));
+        }
+        for node in sample.mask().observed() {
+            if !sample.phasor_unchecked(node).is_finite() {
+                return Err(ServeError::BadSample(BadSampleReason::NonFinite { node }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Open a per-feed streaming session and return its handle. Slots of
+    /// closed sessions are reused, but under a fresh generation — handles
+    /// to previous occupants stay invalid.
+    pub fn open_session(&mut self) -> SessionId {
         let monitor = StreamingDetector::new(self.detector.clone(), self.stream_cfg);
-        let id = match self.sessions.iter().position(Option::is_none) {
-            Some(slot) => {
-                self.sessions[slot] = Some(Mutex::new(monitor));
-                slot
+        let state = Mutex::new(SessionState::new(monitor));
+        let slot = match self.slots.iter().position(|s| s.state.is_none()) {
+            Some(i) => {
+                self.slots[i].state = Some(state);
+                i
             }
             None => {
-                self.sessions.push(Some(Mutex::new(monitor)));
-                self.sessions.len() - 1
+                self.slots.push(Slot { generation: 0, state: Some(state) });
+                self.slots.len() - 1
             }
         };
         pmu_obs::counter!("serve.sessions_opened").inc();
         pmu_obs::gauge!("serve.sessions_active").set(self.sessions_active() as f64);
-        id
+        SessionId { slot: slot as u32, generation: self.slots[slot].generation }
     }
 
-    /// Close a session; `false` when the id was not open.
-    pub fn close_session(&mut self, id: usize) -> bool {
-        match self.sessions.get_mut(id) {
-            Some(slot @ Some(_)) => {
-                *slot = None;
+    /// Close a session; `false` when the handle is not open (including
+    /// stale handles of an already-reused slot). Closing bumps the slot
+    /// generation, invalidating every outstanding handle to it.
+    pub fn close_session(&mut self, id: SessionId) -> bool {
+        match self.slots.get_mut(id.slot()) {
+            Some(slot) if slot.generation == id.generation && slot.state.is_some() => {
+                slot.state = None;
+                slot.generation = slot.generation.wrapping_add(1);
                 pmu_obs::counter!("serve.sessions_closed").inc();
                 pmu_obs::gauge!("serve.sessions_active").set(self.sessions_active() as f64);
                 true
@@ -158,33 +488,56 @@ impl Engine {
 
     /// Number of open sessions.
     pub fn sessions_active(&self) -> usize {
-        self.sessions.iter().filter(|s| s.is_some()).count()
+        self.slots.iter().filter(|s| s.state.is_some()).count()
     }
 
-    /// Ids of the currently open sessions, ascending.
-    pub fn session_ids(&self) -> Vec<usize> {
-        (0..self.sessions.len()).filter(|&i| self.sessions[i].is_some()).collect()
+    /// Handles of the currently open sessions, ascending by slot.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state.is_some())
+            .map(|(i, s)| SessionId { slot: i as u32, generation: s.generation })
+            .collect()
     }
 
-    /// Health snapshot of one session, `None` when the id is not open.
-    pub fn health(&self, id: usize) -> Option<HealthSnapshot> {
-        self.sessions.get(id)?.as_ref().map(|m| {
-            m.lock().unwrap_or_else(|p| p.into_inner()).health()
-        })
+    /// Resolve a handle to its live slot, or `None` when closed/stale.
+    fn resolve(&self, id: SessionId) -> Option<&Mutex<SessionState>> {
+        let slot = self.slots.get(id.slot())?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.state.as_ref()
+    }
+
+    /// Health of one session, `None` when the handle is not open.
+    pub fn health(&self, id: SessionId) -> Option<SessionHealth> {
+        self.resolve(id).map(|m| m.lock().unwrap_or_else(|p| p.into_inner()).health())
     }
 
     /// Score one sample statelessly against the bundle's detector.
     ///
     /// # Errors
-    /// [`ServeError::Detect`] when the detector rejects the sample (e.g.
+    /// [`ServeError::BadSample`] when the ingestion guard refuses the
+    /// sample; [`ServeError::Detect`] when the detector rejects it (e.g.
     /// too little observed data to score).
     pub fn detect(&self, sample: &PhasorSample) -> Result<Detection, ServeError> {
+        self.guard(sample)?;
         let started = Instant::now();
         let out = self.detector.detect(sample).map_err(ServeError::from);
         pmu_obs::counter!("serve.detect_calls").inc();
         pmu_obs::histogram!("serve.detect_latency_us", LATENCY_US_BOUNDS)
             .observe(started.elapsed().as_secs_f64() * 1e6);
         out
+    }
+
+    /// [`Engine::validate_sample`] plus the rejection observation.
+    fn guard(&self, sample: &PhasorSample) -> Result<(), ServeError> {
+        self.validate_sample(sample).inspect_err(|e| {
+            if let ServeError::BadSample(reason) = e {
+                pmu_obs::events::SampleRejected { reason: reason.label() }.emit();
+            }
+        })
     }
 
     /// Score a batch of independent samples, fanning out on the workspace
@@ -199,6 +552,7 @@ impl Engine {
         let mut sp = pmu_obs::span("serve.detect_batch").with("samples", samples.len());
         let started = Instant::now();
         let out = par::par_map(samples, |sample| {
+            self.guard(sample)?;
             let t0 = Instant::now();
             let verdict = self.detector.detect(sample).map_err(ServeError::from);
             pmu_obs::histogram!("serve.detect_latency_us", LATENCY_US_BOUNDS)
@@ -215,12 +569,14 @@ impl Engine {
     /// samples of one feed apply in their input order while distinct feeds
     /// proceed concurrently. Results come back in input order.
     ///
-    /// Unknown session ids fail their own entries with
-    /// [`ServeError::UnknownSession`] without disturbing the rest of the
-    /// batch.
+    /// Unknown or stale session handles fail their own entries with
+    /// [`ServeError::UnknownSession`]; samples the ingestion guard refuses
+    /// fail theirs with [`ServeError::BadSample`] (counted against the
+    /// session's degraded-mode window without reaching its voting
+    /// history). Neither disturbs the rest of the batch.
     pub fn push_batch(
         &self,
-        batch: &[(usize, PhasorSample)],
+        batch: &[(SessionId, PhasorSample)],
     ) -> Vec<Result<StreamEvent, ServeError>> {
         pmu_obs::counter!("serve.push_batches").inc();
         pmu_obs::counter!("serve.push_samples").add(batch.len() as u64);
@@ -229,7 +585,7 @@ impl Engine {
 
         // Group batch positions by session id, preserving input order
         // within each group.
-        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut groups: Vec<(SessionId, Vec<usize>)> = Vec::new();
         for (pos, (sid, _)) in batch.iter().enumerate() {
             match groups.iter_mut().find(|(gsid, _)| gsid == sid) {
                 Some((_, positions)) => positions.push(pos),
@@ -239,7 +595,7 @@ impl Engine {
 
         let per_group: Vec<Vec<(usize, Result<StreamEvent, ServeError>)>> =
             par::par_map(&groups, |(sid, positions)| {
-                let Some(slot) = self.sessions.get(*sid).and_then(Option::as_ref) else {
+                let Some(slot) = self.resolve(*sid) else {
                     return positions
                         .iter()
                         .map(|&pos| (pos, Err(ServeError::UnknownSession(*sid))))
@@ -249,11 +605,25 @@ impl Engine {
                 positions
                     .iter()
                     .map(|&pos| {
+                        let sample = &batch[pos].1;
+                        if let Err(e) = self.guard(sample) {
+                            session.rejected += 1;
+                            session.record(sid.slot(), &self.degrade_cfg, Outcome::Rejected);
+                            return (pos, Err(e));
+                        }
+                        let missing_before = session.monitor.health().missing_samples;
                         let t0 = Instant::now();
-                        let event =
-                            session.push(&batch[pos].1).map_err(ServeError::from);
+                        let event = session.monitor.push(sample).map_err(ServeError::from);
                         pmu_obs::histogram!("serve.detect_latency_us", LATENCY_US_BOUNDS)
                             .observe(t0.elapsed().as_secs_f64() * 1e6);
+                        session.pushed += 1;
+                        let outcome =
+                            if session.monitor.health().missing_samples > missing_before {
+                                Outcome::Missing
+                            } else {
+                                Outcome::Scored
+                            };
+                        session.record(sid.slot(), &self.degrade_cfg, outcome);
                         (pos, event)
                     })
                     .collect()
@@ -276,6 +646,7 @@ mod tests {
     use super::*;
     use pmu_baseline::MlrConfig;
     use pmu_detect::detector::default_config_for;
+    use pmu_numerics::Complex64;
     use pmu_sim::{generate_dataset, Dataset, GenConfig, Mask};
 
     fn tiny_dataset() -> Dataset {
@@ -309,20 +680,52 @@ mod tests {
     }
 
     #[test]
-    fn session_lifecycle_and_id_reuse() {
+    fn session_lifecycle_reuses_slots_under_fresh_generations() {
         let data = tiny_dataset();
         let mut engine = engine_for(&data);
         assert_eq!(engine.sessions_active(), 0);
         let a = engine.open_session();
         let b = engine.open_session();
-        assert_eq!((a, b), (0, 1));
-        assert_eq!(engine.session_ids(), vec![0, 1]);
+        assert_eq!((a.slot(), b.slot()), (0, 1));
+        assert_eq!(engine.session_ids(), vec![a, b]);
         assert!(engine.close_session(a));
         assert!(!engine.close_session(a), "double close must report false");
         assert_eq!(engine.sessions_active(), 1);
-        assert_eq!(engine.open_session(), a, "closed slot must be reused");
+        let c = engine.open_session();
+        assert_eq!(c.slot(), a.slot(), "closed slot must be reused");
+        assert_ne!(c, a, "reuse must issue a fresh generation");
         assert!(engine.health(b).is_some());
-        assert!(engine.health(99).is_none());
+        assert!(engine.health(c).is_some());
+        assert!(engine.health(a).is_none(), "stale handle resolves to nothing");
+        assert!(
+            engine.health(SessionId { slot: 99, generation: 0 }).is_none(),
+            "never-issued slots are unknown"
+        );
+    }
+
+    /// Regression for the session-id ABA bug: a handle held across its
+    /// slot's close-and-reopen used to silently address the *new*
+    /// occupant, cross-wiring two feeds' voting histories. Generation
+    /// tags make the stale handle fail instead.
+    #[test]
+    fn stale_handle_cannot_reach_reused_slot() {
+        let data = tiny_dataset();
+        let mut engine = engine_for(&data);
+        let stale = engine.open_session();
+        assert!(engine.close_session(stale));
+        let fresh = engine.open_session();
+        assert_eq!(fresh.slot(), stale.slot(), "the slot really was reused");
+
+        let sample = data.normal_test.sample(0);
+        let events = engine.push_batch(&[(stale, sample.clone())]);
+        assert_eq!(events[0], Err(ServeError::UnknownSession(stale)));
+        assert_eq!(
+            engine.health(fresh).unwrap().snapshot.samples_seen,
+            0,
+            "the new occupant must not receive the stale feed's traffic"
+        );
+        assert!(!engine.close_session(stale), "stale handle cannot close the new occupant");
+        assert_eq!(engine.sessions_active(), 1);
     }
 
     #[test]
@@ -364,7 +767,9 @@ mod tests {
         // Health reflects the traffic split.
         let h0 = engine.health(s0).unwrap();
         let h1 = engine.health(s1).unwrap();
-        assert_eq!(h0.samples_seen + h1.samples_seen, batch.len());
+        assert_eq!(h0.snapshot.samples_seen + h1.snapshot.samples_seen, batch.len());
+        assert_eq!(h0.pushed + h1.pushed, batch.len());
+        assert_eq!(h0.rejected + h1.rejected, 0);
     }
 
     #[test]
@@ -372,14 +777,15 @@ mod tests {
         let data = tiny_dataset();
         let mut engine = engine_for(&data);
         let ok = engine.open_session();
+        let bogus = SessionId { slot: 7, generation: 0 };
         let sample = data.normal_test.sample(0);
         let batch =
-            vec![(ok, sample.clone()), (7, sample.clone()), (ok, sample.clone())];
+            vec![(ok, sample.clone()), (bogus, sample.clone()), (ok, sample.clone())];
         let events = engine.push_batch(&batch);
         assert!(events[0].is_ok());
-        assert_eq!(events[1], Err(ServeError::UnknownSession(7)));
+        assert_eq!(events[1], Err(ServeError::UnknownSession(bogus)));
         assert!(events[2].is_ok());
-        assert_eq!(engine.health(ok).unwrap().samples_seen, 2);
+        assert_eq!(engine.health(ok).unwrap().snapshot.samples_seen, 2);
     }
 
     #[test]
@@ -389,12 +795,147 @@ mod tests {
         let sid = engine.open_session();
         let n = data.network.n_buses();
         // Black out most of the grid: the detector cannot score, and the
-        // session absorbs the sample as a quiet vote instead of erroring.
+        // session absorbs the sample as vote-neutral instead of erroring.
         let mask = Mask::with_missing(n, &(0..n - 1).collect::<Vec<_>>());
         let dark = data.normal_test.sample(0).masked(&mask);
         let events = engine.push_batch(&[(sid, dark)]);
         assert!(events[0].is_ok());
         let health = engine.health(sid).unwrap();
-        assert_eq!(health.missing_samples, 1);
+        assert_eq!(health.snapshot.missing_samples, 1);
+    }
+
+    #[test]
+    fn ingestion_guard_rejects_invalid_samples() {
+        let data = tiny_dataset();
+        let mut engine = engine_for(&data);
+        let sid = engine.open_session();
+        let n = engine.detector().n_nodes();
+
+        // NaN in an observed slot: typed rejection naming the node.
+        let mut phasors: Vec<Complex64> =
+            (0..n).map(|_| Complex64::new(1.0, 0.0)).collect();
+        phasors[3] = Complex64::new(f64::NAN, 0.0);
+        let nan_sample = PhasorSample::complete(phasors.clone());
+        assert_eq!(
+            engine.detect(&nan_sample),
+            Err(ServeError::BadSample(BadSampleReason::NonFinite { node: 3 }))
+        );
+        let events = engine.push_batch(&[(sid, nan_sample.clone())]);
+        assert_eq!(
+            events[0],
+            Err(ServeError::BadSample(BadSampleReason::NonFinite { node: 3 }))
+        );
+
+        // The same NaN behind a mask is legal: masked slots are never read.
+        phasors[3] = Complex64::new(f64::NAN, f64::NAN);
+        let masked = PhasorSample::complete(phasors).masked(&Mask::with_missing(n, &[3]));
+        assert!(engine.validate_sample(&masked).is_ok());
+
+        // A truncated vector: typed length rejection.
+        let short = PhasorSample::complete(vec![Complex64::new(1.0, 0.0); n - 2]);
+        assert_eq!(
+            engine.detect(&short),
+            Err(ServeError::BadSample(BadSampleReason::WrongLength {
+                expected: n,
+                got: n - 2
+            }))
+        );
+        let events = engine.push_batch(&[(sid, short)]);
+        assert!(matches!(
+            events[0],
+            Err(ServeError::BadSample(BadSampleReason::WrongLength { .. }))
+        ));
+
+        // Rejected samples never reach the voting window, but the session
+        // accounts for them.
+        let h = engine.health(sid).unwrap();
+        assert_eq!(h.snapshot.samples_seen, 0, "guard fires before the monitor");
+        assert_eq!(h.rejected, 2);
+        assert_eq!(h.pushed, 0);
+
+        // Batch detection rejects per-sample without failing the batch.
+        let good = data.normal_test.sample(0);
+        let out = engine.detect_batch(&[good, nan_sample]);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(ServeError::BadSample(_))));
+    }
+
+    #[test]
+    fn feed_mode_degrades_and_recovers() {
+        let data = tiny_dataset();
+        let mut engine = engine_for(&data);
+        let sid = engine.open_session();
+        let n = data.network.n_buses();
+        let cfg = engine.degrade_config().clone();
+        let dark_mask = Mask::with_missing(n, &(0..n - 1).collect::<Vec<_>>());
+
+        // A fresh feed is healthy and stays healthy below a full window.
+        assert_eq!(engine.health(sid).unwrap().mode, FeedMode::Healthy);
+
+        // Blackout: a full window of unscorable samples turns the feed
+        // Dark.
+        for t in 0..cfg.window {
+            let s = data.normal_test.sample(t % data.normal_test.len()).masked(&dark_mask);
+            engine.push_batch(&[(sid, s)]);
+        }
+        assert_eq!(engine.health(sid).unwrap().mode, FeedMode::Dark);
+
+        // Data returns: the bad ratio decays through Degraded back to
+        // Healthy, monotonically.
+        let mut seen_degraded = false;
+        let mut recovered_at = None;
+        for t in 0..2 * cfg.window {
+            let s = data.normal_test.sample(t % data.normal_test.len());
+            engine.push_batch(&[(sid, s)]);
+            match engine.health(sid).unwrap().mode {
+                FeedMode::Degraded { reason } => {
+                    assert_eq!(reason, DegradeReason::MissingData);
+                    assert!(recovered_at.is_none(), "no fallback after recovery");
+                    seen_degraded = true;
+                }
+                FeedMode::Healthy => {
+                    recovered_at.get_or_insert(t);
+                }
+                FeedMode::Dark => {
+                    assert!(
+                        !seen_degraded && recovered_at.is_none(),
+                        "mode must not regress while clean data flows"
+                    );
+                }
+            }
+        }
+        assert!(seen_degraded, "recovery passes through Degraded");
+        assert!(recovered_at.is_some(), "feed returns to Healthy");
+
+        // A short burst of invalid samples (above the degraded threshold,
+        // below dark) degrades with the rejection reason.
+        let nan =
+            PhasorSample::complete(vec![Complex64::new(f64::NAN, 0.0); n]);
+        let burst = (cfg.degraded_ratio * cfg.window as f64).ceil() as usize;
+        for _ in 0..burst {
+            let _ = engine.push_batch(&[(sid, nan.clone())]);
+        }
+        assert_eq!(
+            engine.health(sid).unwrap().mode,
+            FeedMode::Degraded { reason: DegradeReason::RejectedSamples },
+        );
+    }
+
+    #[test]
+    fn session_id_display_and_error_messages() {
+        let id = SessionId { slot: 4, generation: 2 };
+        assert_eq!(id.to_string(), "s4.g2");
+        assert_eq!(id.slot(), 4);
+        assert_eq!(id.generation(), 2);
+        let e = ServeError::UnknownSession(id);
+        assert!(e.to_string().contains("s4.g2"));
+        let e = ServeError::BadSample(BadSampleReason::NonFinite { node: 9 });
+        assert!(e.to_string().contains("node 9"));
+        let e = ServeError::BadSample(BadSampleReason::WrongLength { expected: 14, got: 3 });
+        assert!(e.to_string().contains("14"));
+        assert!(e.to_string().contains('3'));
+        let e = ServeError::BadSample(BadSampleReason::MaskMismatch { nodes: 5, mask: 4 });
+        assert!(e.to_string().contains("mask"));
+        assert_eq!(BadSampleReason::NonFinite { node: 0 }.label(), "non_finite");
     }
 }

@@ -18,8 +18,18 @@
 //!   dispatches one tick of samples for many feeds in parallel while
 //!   preserving per-feed sample order.
 //!
+//! The serving path assumes unreliable telemetry: an ingestion guard
+//! ([`Engine::validate_sample`]) refuses non-finite, truncated or
+//! mask-skewed samples with [`ServeError::BadSample`]; sessions carry a
+//! degraded-mode state machine ([`FeedMode`]) driven by recent missing
+//! and rejection ratios; session handles are generation-tagged
+//! ([`SessionId`]) so a handle outliving its slot fails instead of
+//! addressing a stranger's feed; and bundle loads retry transient IO
+//! per a bounded [`RetryPolicy`](pmu_model::RetryPolicy).
+//!
 //! Everything is observable: `serve.sessions_active`,
-//! `serve.detect_latency_us`, batch counters, and the bundle-load
+//! `serve.detect_latency_us`, `serve.samples_rejected`,
+//! `serve.feed_mode` transitions, batch counters, and the bundle-load
 //! metrics emitted by `pmu-model`.
 
 #![warn(missing_docs)]
@@ -27,7 +37,10 @@
 
 pub mod engine;
 
-pub use engine::{Engine, EngineConfig, ServeError};
+pub use engine::{
+    BadSampleReason, DegradeConfig, DegradeReason, Engine, EngineConfig, FeedMode,
+    ServeError, SessionHealth, SessionId,
+};
 
 /// Convenience result alias for serving operations.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,408 @@
+//! Deterministic fault injection over a phasor-sample stream.
+//!
+//! [`missing`](crate::missing) models the *benign* unreliability the paper
+//! analyzes (masked entries the detector knows about). This module models
+//! the *hostile* end of the telemetry path: a PDC going dark, a flaky link
+//! dropping measurements, firmware emitting NaN or wildly scaled values,
+//! buffers replaying duplicate or stale frames, and messages truncated in
+//! flight. Each fault is applied inside an explicit time window and every
+//! transformed sample carries [`FaultTag`]s, so chaos tests know exactly
+//! which ground-truth corruption a downstream layer was exposed to.
+//!
+//! Schedules are deterministic: the same [`FaultSchedule`] applied to the
+//! same clean stream yields bit-identical output (randomized faults draw
+//! from a seeded [`StdRng`]).
+
+use crate::sample::{Mask, PhasorSample};
+use pmu_numerics::Complex64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One class of telemetry fault to impose inside a window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// A PDC blackout: the listed nodes (all nodes when empty) are masked
+    /// out, exactly as a downstream concentrator outage would present.
+    Blackout {
+        /// Nodes that go dark; an empty list darkens the whole sample.
+        nodes: Vec<usize>,
+    },
+    /// Each node's measurement is independently dropped (masked) with
+    /// probability `p` — a lossy link rather than a dead one.
+    Drop {
+        /// Per-node drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// The listed nodes report NaN phasors *while still marked observed* —
+    /// a violation of the mask contract that ingestion must catch.
+    NanBurst {
+        /// Nodes whose phasors become NaN.
+        nodes: Vec<usize>,
+    },
+    /// The listed nodes report finite but wildly scaled phasors (a stuck
+    /// CT/VT gain or unit-conversion bug). Passes validity checks; the
+    /// detector sees it as signal.
+    Corrupt {
+        /// Nodes whose phasors are scaled.
+        nodes: Vec<usize>,
+        /// Multiplicative corruption factor.
+        scale: f64,
+    },
+    /// The previous tick's (already faulted) sample is delivered again in
+    /// place of this tick's — a replaying PDC buffer.
+    Duplicate,
+    /// The sample from `lag` ticks ago is delivered instead of the current
+    /// one — stale, out-of-order data (clamped at the stream start).
+    Stale {
+        /// How many ticks old the delivered sample is.
+        lag: usize,
+    },
+    /// The phasor vector is truncated to its first `keep` entries — a
+    /// message cut short in flight. Ingestion must reject the length.
+    Truncate {
+        /// How many leading entries survive.
+        keep: usize,
+    },
+}
+
+/// A half-open tick range `[start, end)` during which a fault is active.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWindow {
+    /// First tick (inclusive) the fault applies to.
+    pub start: usize,
+    /// First tick (exclusive) after the fault lifts.
+    pub end: usize,
+    /// The fault applied inside the window.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Does the window cover tick `t`?
+    pub fn covers(&self, t: usize) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Ground-truth record of what was done to one delivered sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultTag {
+    /// Nodes masked by a [`FaultKind::Blackout`].
+    Blackout {
+        /// Nodes darkened (resolved: never empty).
+        nodes: Vec<usize>,
+    },
+    /// Nodes masked by a [`FaultKind::Drop`] draw.
+    Dropped {
+        /// Nodes the Bernoulli draw removed (may be empty).
+        nodes: Vec<usize>,
+    },
+    /// Nodes whose phasors were overwritten with NaN.
+    NanInjected {
+        /// Affected nodes.
+        nodes: Vec<usize>,
+    },
+    /// Nodes whose phasors were scaled by `scale`.
+    Corrupted {
+        /// Affected nodes.
+        nodes: Vec<usize>,
+        /// The corruption factor used.
+        scale: f64,
+    },
+    /// The sample is a replay of the previous delivered tick.
+    Duplicated,
+    /// The sample is `lag` ticks stale.
+    Stale {
+        /// Effective staleness after clamping at the stream start.
+        lag: usize,
+    },
+    /// The phasor vector was cut to `kept` entries.
+    Truncated {
+        /// Surviving vector length.
+        kept: usize,
+    },
+}
+
+/// One delivered sample plus the ground truth of how it was produced.
+#[derive(Debug, Clone)]
+pub struct InjectedSample {
+    /// The sample as the control center receives it.
+    pub sample: PhasorSample,
+    /// Index into the clean stream the payload originated from (differs
+    /// from the delivery tick for duplicate/stale faults).
+    pub source_t: usize,
+    /// Every fault applied to this sample, in application order.
+    pub tags: Vec<FaultTag>,
+}
+
+impl InjectedSample {
+    /// `true` when no fault touched this sample.
+    pub fn is_clean(&self) -> bool {
+        self.tags.is_empty()
+    }
+}
+
+/// A deterministic, composable schedule of fault windows.
+///
+/// Windows are applied in insertion order at each tick, so overlapping
+/// windows compose (e.g. a drop window inside a longer corrupt window).
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    windows: Vec<FaultWindow>,
+    seed: u64,
+}
+
+impl FaultSchedule {
+    /// An empty schedule whose randomized faults draw from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule { windows: Vec::new(), seed }
+    }
+
+    /// Add a fault active on ticks `[start, end)`.
+    pub fn window(mut self, start: usize, end: usize, kind: FaultKind) -> Self {
+        self.windows.push(FaultWindow { start, end, kind });
+        self
+    }
+
+    /// The configured windows, in application order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Run the schedule over a clean stream, producing the stream as
+    /// delivered plus per-sample ground truth.
+    pub fn apply(&self, clean: &[PhasorSample]) -> Vec<InjectedSample> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out: Vec<InjectedSample> = Vec::with_capacity(clean.len());
+        for (t, orig) in clean.iter().enumerate() {
+            let mut sample = orig.clone();
+            let mut source_t = t;
+            let mut tags = Vec::new();
+            for w in &self.windows {
+                if !w.covers(t) {
+                    continue;
+                }
+                match &w.kind {
+                    FaultKind::Blackout { nodes } => {
+                        let nodes = if nodes.is_empty() {
+                            (0..sample.n_nodes()).collect()
+                        } else {
+                            nodes.clone()
+                        };
+                        sample = sample.masked(&Mask::with_missing(sample.n_nodes(), &nodes));
+                        tags.push(FaultTag::Blackout { nodes });
+                    }
+                    FaultKind::Drop { p } => {
+                        let nodes: Vec<usize> = (0..sample.n_nodes())
+                            .filter(|_| rng.gen::<f64>() < *p)
+                            .collect();
+                        sample = sample.masked(&Mask::with_missing(sample.n_nodes(), &nodes));
+                        tags.push(FaultTag::Dropped { nodes });
+                    }
+                    FaultKind::NanBurst { nodes } => {
+                        sample = overwrite(&sample, nodes, |_| {
+                            Complex64::new(f64::NAN, f64::NAN)
+                        });
+                        tags.push(FaultTag::NanInjected { nodes: nodes.clone() });
+                    }
+                    FaultKind::Corrupt { nodes, scale } => {
+                        let s = *scale;
+                        sample = overwrite(&sample, nodes, |z| z.scale(s));
+                        tags.push(FaultTag::Corrupted { nodes: nodes.clone(), scale: s });
+                    }
+                    FaultKind::Duplicate => {
+                        if let Some(prev) = out.last() {
+                            sample = prev.sample.clone();
+                            source_t = prev.source_t;
+                        }
+                        tags.push(FaultTag::Duplicated);
+                    }
+                    FaultKind::Stale { lag } => {
+                        let eff = (*lag).min(t);
+                        sample = clean[t - eff].clone();
+                        source_t = t - eff;
+                        tags.push(FaultTag::Stale { lag: eff });
+                    }
+                    FaultKind::Truncate { keep } => {
+                        let keep = (*keep).min(sample.n_nodes());
+                        let phasors: Vec<Complex64> =
+                            (0..keep).map(|i| sample.phasor_unchecked(i)).collect();
+                        let missing: Vec<usize> = (0..keep)
+                            .filter(|&i| sample.mask().is_missing(i))
+                            .collect();
+                        sample = PhasorSample::with_mask(
+                            phasors,
+                            Mask::with_missing(keep, &missing),
+                        );
+                        tags.push(FaultTag::Truncated { kept: keep });
+                    }
+                }
+            }
+            out.push(InjectedSample { sample, source_t, tags });
+        }
+        out
+    }
+}
+
+/// Rebuild a sample with the phasors of `nodes` replaced via `f`, keeping
+/// the mask unchanged (so injected garbage stays *observed*).
+fn overwrite(
+    sample: &PhasorSample,
+    nodes: &[usize],
+    f: impl Fn(Complex64) -> Complex64,
+) -> PhasorSample {
+    let n = sample.n_nodes();
+    let phasors: Vec<Complex64> = (0..n)
+        .map(|i| {
+            let z = sample.phasor_unchecked(i);
+            if nodes.contains(&i) { f(z) } else { z }
+        })
+        .collect();
+    let missing = sample.mask().missing_nodes();
+    PhasorSample::with_mask(phasors, Mask::with_missing(n, &missing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_stream(n_nodes: usize, len: usize) -> Vec<PhasorSample> {
+        (0..len)
+            .map(|t| {
+                PhasorSample::complete(
+                    (0..n_nodes)
+                        .map(|i| Complex64::from_polar(1.0 + 0.01 * t as f64, 0.001 * i as f64))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let clean = clean_stream(4, 5);
+        let out = FaultSchedule::new(0).apply(&clean);
+        assert_eq!(out.len(), 5);
+        for (t, s) in out.iter().enumerate() {
+            assert!(s.is_clean());
+            assert_eq!(s.source_t, t);
+            assert_eq!(s.sample.mask().n_missing(), 0);
+        }
+    }
+
+    #[test]
+    fn blackout_masks_window_only() {
+        let clean = clean_stream(4, 6);
+        let out = FaultSchedule::new(0)
+            .window(2, 4, FaultKind::Blackout { nodes: vec![] })
+            .apply(&clean);
+        for (t, s) in out.iter().enumerate() {
+            if (2..4).contains(&t) {
+                assert_eq!(s.sample.mask().n_missing(), 4, "tick {t} dark");
+                assert!(matches!(s.tags[0], FaultTag::Blackout { .. }));
+            } else {
+                assert!(s.is_clean(), "tick {t} untouched");
+            }
+        }
+        // Partial blackout darkens only the listed nodes.
+        let out = FaultSchedule::new(0)
+            .window(0, 1, FaultKind::Blackout { nodes: vec![1, 3] })
+            .apply(&clean);
+        assert_eq!(out[0].sample.mask().missing_nodes(), vec![1, 3]);
+    }
+
+    #[test]
+    fn drop_is_seeded_and_deterministic() {
+        let clean = clean_stream(10, 8);
+        let sched = FaultSchedule::new(42).window(0, 8, FaultKind::Drop { p: 0.5 });
+        let a = sched.apply(&clean);
+        let b = sched.apply(&clean);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sample.mask().missing_nodes(), y.sample.mask().missing_nodes());
+        }
+        let total: usize = a.iter().map(|s| s.sample.mask().n_missing()).sum();
+        assert!(total > 0, "p=0.5 over 80 draws drops something");
+        // Extremes behave.
+        let none = FaultSchedule::new(1).window(0, 8, FaultKind::Drop { p: 0.0 }).apply(&clean);
+        assert!(none.iter().all(|s| s.sample.mask().n_missing() == 0));
+        let all = FaultSchedule::new(1).window(0, 8, FaultKind::Drop { p: 1.0 }).apply(&clean);
+        assert!(all.iter().all(|s| s.sample.mask().n_missing() == 10));
+    }
+
+    #[test]
+    fn nan_burst_violates_mask_contract() {
+        let clean = clean_stream(4, 3);
+        let out = FaultSchedule::new(0)
+            .window(1, 2, FaultKind::NanBurst { nodes: vec![0, 2] })
+            .apply(&clean);
+        let s = &out[1].sample;
+        // Still *observed* — that's the contract violation under test.
+        assert!(!s.mask().is_missing(0));
+        assert!(!s.phasor_unchecked(0).is_finite());
+        assert!(s.phasor_unchecked(1).is_finite());
+        assert!(!s.phasor_unchecked(2).is_finite());
+        assert!(out[0].is_clean() && out[2].is_clean());
+    }
+
+    #[test]
+    fn corrupt_scales_but_stays_finite() {
+        let clean = clean_stream(3, 2);
+        let out = FaultSchedule::new(0)
+            .window(0, 2, FaultKind::Corrupt { nodes: vec![1], scale: 100.0 })
+            .apply(&clean);
+        for (t, s) in out.iter().enumerate() {
+            let z = s.sample.phasor_unchecked(1);
+            assert!(z.is_finite());
+            let orig = clean[t].phasor_unchecked(1);
+            assert!((z.abs() - 100.0 * orig.abs()).abs() < 1e-9);
+            let untouched = s.sample.phasor_unchecked(0);
+            assert!((untouched - clean[t].phasor_unchecked(0)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_stale_shift_source() {
+        let clean = clean_stream(2, 6);
+        let out = FaultSchedule::new(0)
+            .window(3, 4, FaultKind::Duplicate)
+            .window(5, 6, FaultKind::Stale { lag: 4 })
+            .apply(&clean);
+        assert_eq!(out[3].source_t, 2, "duplicate replays the previous tick");
+        assert!(
+            (out[3].sample.phasor_unchecked(0) - clean[2].phasor_unchecked(0)).abs() < 1e-15
+        );
+        assert_eq!(out[5].source_t, 1, "stale delivers t - lag");
+        // Stale at the stream start clamps instead of underflowing.
+        let out = FaultSchedule::new(0)
+            .window(0, 1, FaultKind::Stale { lag: 10 })
+            .apply(&clean);
+        assert_eq!(out[0].source_t, 0);
+        assert!(matches!(out[0].tags[0], FaultTag::Stale { lag: 0 }));
+    }
+
+    #[test]
+    fn truncate_shortens_vector() {
+        let clean = clean_stream(5, 2);
+        let out = FaultSchedule::new(0)
+            .window(1, 2, FaultKind::Truncate { keep: 2 })
+            .apply(&clean);
+        assert_eq!(out[0].sample.n_nodes(), 5);
+        assert_eq!(out[1].sample.n_nodes(), 2);
+        assert!(matches!(out[1].tags[0], FaultTag::Truncated { kept: 2 }));
+    }
+
+    #[test]
+    fn overlapping_windows_compose_in_order() {
+        let clean = clean_stream(6, 4);
+        let out = FaultSchedule::new(0)
+            .window(0, 4, FaultKind::Corrupt { nodes: vec![0], scale: 10.0 })
+            .window(2, 4, FaultKind::Blackout { nodes: vec![5] })
+            .apply(&clean);
+        assert_eq!(out[1].tags.len(), 1);
+        assert_eq!(out[3].tags.len(), 2);
+        assert!(out[3].sample.mask().is_missing(5));
+        assert!((out[3].sample.phasor_unchecked(0).abs()
+            - 10.0 * clean[3].phasor_unchecked(0).abs())
+        .abs()
+            < 1e-9);
+    }
+}

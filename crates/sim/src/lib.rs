@@ -19,11 +19,16 @@
 //!    produced by the paper's three patterns of Fig. 6 plus the
 //!    reliability-weighted generalization of Eq. (13)–(15)
 //!    ([`missing`], [`reliability`]).
+//! 5. Beyond benign masking, [`faults`] injects *hostile* telemetry —
+//!    PDC blackouts, NaN/corrupt bursts, stale and truncated frames —
+//!    with per-sample ground-truth tags for chaos testing the serving
+//!    path.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod dataset;
+pub mod faults;
 pub mod missing;
 pub mod noise;
 pub mod ou;
@@ -33,6 +38,7 @@ pub mod sample;
 pub mod scenario;
 
 pub use dataset::{Dataset, OutageCase};
+pub use faults::{FaultKind, FaultSchedule, FaultTag, FaultWindow, InjectedSample};
 pub use missing::MissingPattern;
 pub use sample::{Mask, MeasurementKind, PhasorSample, PhasorWindow};
 pub use scenario::{generate_dataset, GenConfig};

@@ -88,6 +88,9 @@ fn main() {
                 first_alarm.get_or_insert(t);
                 println!("t={t:>2} [{phase:<13}] >>> ALARM lines {lines:?}");
             }
+            StreamEvent::Relocalized { lines } => {
+                println!("t={t:>2} [{phase:<13}] >>> relocalized to {lines:?}");
+            }
             StreamEvent::Cleared => println!("t={t:>2} [{phase:<13}] (cleared)"),
             StreamEvent::None => {
                 let s = match monitor.state() {

@@ -65,7 +65,7 @@ fn main() {
             .expect("one result per entry")
             .expect("stream push");
         let health = engine.health(feed).expect("session is open");
-        let state = if health.active {
+        let state = if health.snapshot.active {
             match &event {
                 StreamEvent::Raised { lines } => format!("OUTAGE {lines:?}"),
                 _ => "OUTAGE (active)".to_string(),
@@ -78,14 +78,22 @@ fn main() {
                 println!("t={t:>2} >>> EVENT RAISED: lines {lines:?} (state: {state})")
             }
             StreamEvent::Cleared => println!("t={t:>2} >>> EVENT CLEARED (state: {state})"),
+            StreamEvent::Relocalized { lines } => {
+                println!("t={t:>2} >>> EVENT RELOCALIZED: lines {lines:?} (state: {state})")
+            }
             StreamEvent::None => println!("t={t:>2}     state: {state}"),
         }
     }
 
     let health = engine.health(feed).expect("session is open");
+    let snap = health.snapshot;
     println!(
-        "\nfeed health: {} samples, {} missing, {} raised / {} cleared",
-        health.samples_seen, health.missing_samples, health.events_raised, health.events_cleared
+        "\nfeed health: {} samples, {} missing, {} raised / {} cleared, mode {}",
+        snap.samples_seen,
+        snap.missing_samples,
+        snap.events_raised,
+        snap.events_cleared,
+        health.mode.label(),
     );
     println!(
         "The isolated glitch at t=3 and the pure PDC dropout never raised an \

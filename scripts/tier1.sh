@@ -48,4 +48,13 @@ echo "== perfbench smoke (fast scale) =="
 ./target/release/perfbench benchdiff BENCH_repro.json "$trace_dir/BENCH_fast.json" --tol 75 \
   || { echo "perfbench smoke regression (>75% on micro timings)"; exit 1; }
 
+echo "== chaos smoke: raised events must survive PDC blackouts =="
+# The fast-scale report carries one chaos replay per small system; every
+# one must report the event still standing after the blackout lifts.
+if grep -q '"reraise_after_blackout": false' "$trace_dir/BENCH_fast.json"; then
+  echo "chaos replay lost an event across a blackout window"; exit 1
+fi
+grep -q '"reraise_after_blackout": true' "$trace_dir/BENCH_fast.json" \
+  || { echo "chaos replay missing from perfbench report"; exit 1; }
+
 echo "tier1 OK"

@@ -31,7 +31,7 @@ use pmu_outage::grid::parser::parse_case;
 use pmu_outage::grid::pmu_coverage::{coverage, greedy_placement};
 use pmu_outage::model::{bundle_key, default_store, set_store_policy, ModelBundle, StorePolicy};
 use pmu_outage::prelude::*;
-use pmu_outage::serve::{Engine, EngineConfig};
+use pmu_outage::serve::{Engine, EngineConfig, SessionId};
 use pmu_outage::sim::scenario::simulate_window;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -339,7 +339,7 @@ fn cmd_serve(
     let inputs = train_inputs(net, scale, seed);
     let bundle = load_bundle(net, &inputs, model_path)?;
     let mut engine = Engine::from_bundle(bundle, EngineConfig::default());
-    let sessions: Vec<usize> = (0..feeds).map(|_| engine.open_session()).collect();
+    let sessions: Vec<SessionId> = (0..feeds).map(|_| engine.open_session()).collect();
     println!(
         "engine up: system {}, {} feed sessions, k-of-m {}/{}",
         engine.system(),
@@ -359,7 +359,7 @@ fn cmd_serve(
         let source = if tick >= outage_from { &out_net } else { net };
         let window = simulate_window(source, feeds, &gen.ou, &gen.noise, &gen.ac, &mut rng)
             .map_err(|e| e.to_string())?;
-        let batch: Vec<(usize, PhasorSample)> = sessions
+        let batch: Vec<(SessionId, PhasorSample)> = sessions
             .iter()
             .enumerate()
             .map(|(i, &sid)| (sid, window.sample(i)))
@@ -370,6 +370,9 @@ fn cmd_serve(
                 StreamEvent::Raised { lines } => {
                     println!("tick {tick:>3} feed {i}: OUTAGE RAISED, lines {lines:?}");
                 }
+                StreamEvent::Relocalized { lines } => {
+                    println!("tick {tick:>3} feed {i}: relocalized to lines {lines:?}");
+                }
                 StreamEvent::Cleared => {
                     println!("tick {tick:>3} feed {i}: event cleared");
                 }
@@ -378,9 +381,15 @@ fn cmd_serve(
     }
     for (i, &sid) in sessions.iter().enumerate() {
         let h = engine.health(sid).expect("session is open");
+        let s = h.snapshot;
         println!(
-            "feed {i}: {} samples, {} missing, {} raised, {} cleared, active={}",
-            h.samples_seen, h.missing_samples, h.events_raised, h.events_cleared, h.active
+            "feed {i}: {} samples, {} missing, {} raised, {} cleared, active={}, mode={}",
+            s.samples_seen,
+            s.missing_samples,
+            s.events_raised,
+            s.events_cleared,
+            s.active,
+            h.mode.label(),
         );
     }
     if pmu_outage::obs::metrics_enabled() {

@@ -71,11 +71,11 @@ pub mod prelude {
     pub use pmu_grid::cluster::partition_clusters;
     pub use pmu_grid::Network;
     pub use pmu_model::{ArtifactStore, ModelBundle};
-    pub use pmu_serve::{Engine, EngineConfig};
+    pub use pmu_serve::{Engine, EngineConfig, FeedMode, ServeError, SessionId};
     pub use pmu_sim::missing::{cluster_mask, outage_endpoints_mask};
     pub use pmu_sim::{
-        generate_dataset, Dataset, GenConfig, Mask, MeasurementKind, MissingPattern,
-        PhasorSample,
+        generate_dataset, Dataset, FaultKind, FaultSchedule, GenConfig, Mask,
+        MeasurementKind, MissingPattern, PhasorSample,
     };
 }
 

@@ -1,0 +1,327 @@
+//! Chaos harness: drive serving engines through scripted fault schedules
+//! (`pmu_sim::faults`) and assert the degradation contract — no panics,
+//! no stuck sessions, events survive PDC blackouts, invalid samples are
+//! refused at ingestion, every injected fault class lands in the obs
+//! metrics, and accuracy decays monotonically with fault severity.
+//!
+//! The metrics registry is process-global, so every test takes `LOCK`
+//! to run sequentially within this binary (other test binaries are
+//! separate processes).
+
+use std::sync::{Mutex, MutexGuard};
+
+use pmu_outage::detect::detector::default_config_for;
+use pmu_outage::detect::stream::StreamEvent;
+use pmu_outage::prelude::*;
+use pmu_outage::serve::{BadSampleReason, FeedMode};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Fast-scale dataset + engine for one named IEEE system.
+fn build(name: &str) -> (Dataset, Engine) {
+    let net = by_name(name).expect("known system").expect("embedded case");
+    let gen = GenConfig { train_len: 16, test_len: 6, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).expect("dataset generation");
+    let det_cfg = default_config_for(&net);
+    let bundle = ModelBundle::train(&data, &gen, &det_cfg, &MlrConfig::default())
+        .expect("training");
+    let engine = Engine::from_bundle(bundle, EngineConfig::default());
+    (data, engine)
+}
+
+/// `len` outage samples from `case_idx`, cycling the test window.
+fn outage_run(data: &Dataset, case_idx: usize, len: usize) -> Vec<PhasorSample> {
+    let case = &data.cases[case_idx];
+    (0..len).map(|t| case.test.sample(t % case.test.len())).collect()
+}
+
+/// `len` normal samples, cycling the test window.
+fn normal_run(data: &Dataset, len: usize) -> Vec<PhasorSample> {
+    (0..len).map(|t| data.normal_test.sample(t % data.normal_test.len())).collect()
+}
+
+/// A confirmed outage rides out a total PDC blackout: the event persists
+/// through the dark window, survives its lift, and clears only on genuine
+/// restoration. The session ends healthy — not stuck.
+#[test]
+fn blackout_during_confirmed_outage_does_not_clear() {
+    let _g = lock();
+    let (data, mut engine) = build("ieee14");
+    let sid = engine.open_session();
+
+    // 20 outage ticks, then 8 restoration ticks.
+    let mut clean = outage_run(&data, 2, 20);
+    clean.extend(normal_run(&data, 8));
+    // Ticks [8, 14): the whole grid goes dark.
+    let injected = FaultSchedule::new(7)
+        .window(8, 14, FaultKind::Blackout { nodes: vec![] })
+        .apply(&clean);
+
+    let mut raises = Vec::new();
+    let mut clears = Vec::new();
+    for (t, inj) in injected.iter().enumerate() {
+        let ev = engine
+            .push_batch(&[(sid, inj.sample.clone())])
+            .pop()
+            .unwrap()
+            .expect("masked samples must not error");
+        match ev {
+            StreamEvent::Raised { .. } => raises.push(t),
+            StreamEvent::Cleared => clears.push(t),
+            _ => {}
+        }
+        if (8..20).contains(&t) {
+            let h = engine.health(sid).unwrap();
+            assert!(
+                h.snapshot.active,
+                "event lost at tick {t} (blackout must not clear it)"
+            );
+        }
+    }
+
+    assert_eq!(raises.len(), 1, "exactly one raise: {raises:?}");
+    assert!(raises[0] < 8, "raised before the blackout");
+    assert_eq!(clears.len(), 1, "exactly one clear: {clears:?}");
+    assert!(clears[0] >= 20, "cleared only during restoration");
+
+    let h = engine.health(sid).unwrap();
+    assert!(!h.snapshot.active);
+    assert_eq!(h.snapshot.events_raised, 1);
+    assert_eq!(h.snapshot.events_cleared, 1);
+    assert_eq!(h.snapshot.missing_samples, 6, "the six blackout ticks");
+    assert_eq!(h.mode, FeedMode::Healthy, "session recovered, not stuck");
+
+    // Not stuck: the session still serves after the chaos.
+    let after = engine.push_batch(&[(sid, data.normal_test.sample(0))]);
+    assert!(after[0].is_ok());
+}
+
+/// An outage that *begins during* a blackout is raised promptly once the
+/// blackout lifts — dark windows delay detection, they do not disable it.
+#[test]
+fn event_raises_after_blackout_lifts() {
+    let _g = lock();
+    let (data, mut engine) = build("ieee14");
+    let sid = engine.open_session();
+
+    // 4 normal ticks, then a sustained outage from tick 4.
+    let mut clean = normal_run(&data, 4);
+    clean.extend(outage_run(&data, 1, 20));
+    // The blackout covers the outage onset: ticks [4, 12).
+    let injected = FaultSchedule::new(11)
+        .window(4, 12, FaultKind::Blackout { nodes: vec![] })
+        .apply(&clean);
+
+    let mut first_raise = None;
+    for (t, inj) in injected.iter().enumerate() {
+        let ev = engine.push_batch(&[(sid, inj.sample.clone())]).pop().unwrap().unwrap();
+        if matches!(ev, StreamEvent::Raised { .. }) && first_raise.is_none() {
+            first_raise = Some(t);
+        }
+        if t < 12 {
+            assert!(
+                !engine.health(sid).unwrap().snapshot.active,
+                "nothing to confirm while dark (tick {t})"
+            );
+        }
+    }
+    let raised_at = first_raise.expect("outage must raise after the blackout lifts");
+    assert!(raised_at >= 12, "raise at {raised_at} needs post-blackout evidence");
+    assert!(
+        raised_at < 12 + engine.stream_config().window,
+        "raise within one voting window of the lift, got {raised_at}"
+    );
+    assert!(engine.health(sid).unwrap().snapshot.active);
+}
+
+/// Every fault class of a mixed schedule is visible in the obs metrics,
+/// and the session's accounting matches the injected ground truth.
+#[test]
+fn every_fault_class_lands_in_metrics() {
+    let _g = lock();
+    let (data, mut engine) = build("ieee14");
+    pmu_obs::set_metrics_enabled(true);
+    pmu_obs::reset_metrics();
+    let sid = engine.open_session();
+
+    let clean = normal_run(&data, 30);
+    let injected = FaultSchedule::new(99)
+        .window(2, 5, FaultKind::Blackout { nodes: vec![] }) // 3 unscorable
+        .window(6, 8, FaultKind::Drop { p: 1.0 }) // 2 unscorable
+        .window(10, 12, FaultKind::NanBurst { nodes: vec![0, 1] }) // 2 rejected
+        .window(14, 16, FaultKind::Truncate { keep: 5 }) // 2 rejected
+        .window(18, 20, FaultKind::Corrupt { nodes: vec![3], scale: 50.0 })
+        .window(21, 22, FaultKind::Duplicate)
+        .window(23, 24, FaultKind::Stale { lag: 3 })
+        .apply(&clean);
+
+    let mut rejected = 0usize;
+    for inj in &injected {
+        let out = engine.push_batch(&[(sid, inj.sample.clone())]).pop().unwrap();
+        match out {
+            Ok(_) => {}
+            Err(ServeError::BadSample(reason)) => {
+                rejected += 1;
+                // Ground-truth tags explain every rejection.
+                let nan_injected = inj
+                    .tags
+                    .iter()
+                    .any(|tag| matches!(tag, pmu_outage::sim::FaultTag::NanInjected { .. }));
+                let truncated = inj
+                    .tags
+                    .iter()
+                    .any(|tag| matches!(tag, pmu_outage::sim::FaultTag::Truncated { .. }));
+                match reason {
+                    BadSampleReason::NonFinite { .. } => assert!(nan_injected),
+                    BadSampleReason::WrongLength { .. } => assert!(truncated),
+                    BadSampleReason::MaskMismatch { .. } => {
+                        panic!("no mask-skew fault was scheduled")
+                    }
+                }
+            }
+            Err(e) => panic!("unexpected serving error: {e}"),
+        }
+    }
+    assert_eq!(rejected, 4, "2 NaN-burst + 2 truncated ticks");
+
+    // Session accounting matches the injected ground truth.
+    let h = engine.health(sid).unwrap();
+    assert_eq!(h.rejected, 4);
+    assert_eq!(h.pushed, 26);
+    assert_eq!(h.snapshot.samples_seen, 26, "rejected samples never reach voting");
+    assert_eq!(h.snapshot.missing_samples, 5, "3 blackout + 2 full-drop ticks");
+    assert_eq!(h.snapshot.events_raised, 0, "corrupt bursts stay below the voter");
+
+    // Metrics: ingestion rejections, per-reason splits, unscorable
+    // samples, degraded-mode transitions, and delivery counters.
+    let c = |name: &'static str| pmu_obs::counter(name).get();
+    assert_eq!(c("serve.samples_rejected"), 4);
+    assert_eq!(c("serve.rejected_non_finite"), 2);
+    assert_eq!(c("serve.rejected_wrong_length"), 2);
+    assert_eq!(c("detect.stream_missing"), 5);
+    assert_eq!(c("detect.stream_samples"), 26);
+    assert_eq!(c("serve.push_samples"), 30);
+    assert!(
+        c("serve.mode_transitions") >= 1,
+        "the fault mix must move the feed out of Healthy"
+    );
+    let summary = pmu_obs::metrics_summary();
+    pmu_obs::set_metrics_enabled(false);
+    for name in ["serve.samples_rejected", "detect.stream_missing", "serve.mode_transitions"] {
+        assert!(summary.contains(name), "{name} missing from summary:\n{summary}");
+    }
+}
+
+/// Detection coverage decays monotonically as Bernoulli drop severity
+/// rises. Deterministic: fixed seeds, and a shared seed makes the drop
+/// masks nested across severities.
+#[test]
+fn accuracy_degrades_monotonically_with_drop_severity() {
+    let _g = lock();
+    let (data, mut engine) = build("ieee14");
+    let clean = outage_run(&data, 0, 18);
+
+    let mut scored = Vec::new();
+    let mut active_ticks = Vec::new();
+    for p in [0.0, 0.35, 0.7] {
+        let sid = engine.open_session();
+        let injected = FaultSchedule::new(1234)
+            .window(0, clean.len(), FaultKind::Drop { p })
+            .apply(&clean);
+        let mut active = 0usize;
+        for inj in &injected {
+            engine.push_batch(&[(sid, inj.sample.clone())]).pop().unwrap().unwrap();
+            if engine.health(sid).unwrap().snapshot.active {
+                active += 1;
+            }
+        }
+        let h = engine.health(sid).unwrap();
+        scored.push(h.snapshot.samples_seen - h.snapshot.missing_samples);
+        active_ticks.push(active);
+        engine.close_session(sid);
+    }
+
+    assert!(
+        scored[0] >= scored[1] && scored[1] >= scored[2],
+        "scorable samples must not increase with severity: {scored:?}"
+    );
+    assert!(
+        active_ticks[0] >= active_ticks[1] && active_ticks[1] >= active_ticks[2],
+        "outage coverage must not increase with severity: {active_ticks:?}"
+    );
+    assert!(
+        active_ticks[0] > 0,
+        "the clean run must detect the outage at all"
+    );
+}
+
+/// Stale session handles (slot closed and reused) are rejected mid-chaos
+/// instead of cross-wiring feeds.
+#[test]
+fn stale_handles_rejected_during_chaos() {
+    let _g = lock();
+    let (data, mut engine) = build("ieee14");
+    let stale = engine.open_session();
+    engine.push_batch(&[(stale, data.normal_test.sample(0))]);
+    assert!(engine.close_session(stale));
+    let fresh = engine.open_session();
+    assert_eq!(fresh.slot(), stale.slot());
+
+    let out = engine.push_batch(&[
+        (stale, data.normal_test.sample(1)),
+        (fresh, data.normal_test.sample(1)),
+    ]);
+    assert_eq!(out[0], Err(ServeError::UnknownSession(stale)));
+    assert!(out[1].is_ok());
+    assert_eq!(engine.health(fresh).unwrap().snapshot.samples_seen, 1);
+    assert!(engine.health(stale).is_none());
+}
+
+/// The blackout contract holds on the larger grids too: ieee30 and
+/// ieee57 engines ride out a mid-outage blackout without clearing,
+/// panicking, or sticking.
+#[test]
+fn larger_grids_survive_blackout_schedules() {
+    let _g = lock();
+    for name in ["ieee30", "ieee57"] {
+        let (data, mut engine) = build(name);
+        let sid = engine.open_session();
+        let mut clean = outage_run(&data, 1, 16);
+        clean.extend(normal_run(&data, 8));
+        let injected = FaultSchedule::new(5)
+            .window(6, 11, FaultKind::Blackout { nodes: vec![] })
+            .apply(&clean);
+
+        let mut raises = 0usize;
+        let mut clears = 0usize;
+        for (t, inj) in injected.iter().enumerate() {
+            let ev = engine
+                .push_batch(&[(sid, inj.sample.clone())])
+                .pop()
+                .unwrap()
+                .unwrap_or_else(|e| panic!("{name} tick {t}: {e}"));
+            match ev {
+                StreamEvent::Raised { .. } => raises += 1,
+                StreamEvent::Cleared => clears += 1,
+                _ => {}
+            }
+            if (6..16).contains(&t) {
+                assert!(
+                    engine.health(sid).unwrap().snapshot.active,
+                    "{name}: event lost at tick {t}"
+                );
+            }
+        }
+        assert_eq!(raises, 1, "{name}: one raise");
+        assert_eq!(clears, 1, "{name}: one clear, after restoration");
+        let h = engine.health(sid).unwrap();
+        assert_eq!(h.snapshot.missing_samples, 5, "{name}: the five dark ticks");
+        assert!(!h.snapshot.active, "{name}: restored");
+        // Not stuck.
+        assert!(engine.push_batch(&[(sid, data.normal_test.sample(0))])[0].is_ok());
+    }
+}

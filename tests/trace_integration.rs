@@ -60,7 +60,7 @@ fn fast_eval_trace_covers_every_layer() {
         match mon.push(&case.test.sample(t % case.test.len())).unwrap() {
             StreamEvent::Raised { .. } => raises += 1,
             StreamEvent::Cleared => clears += 1,
-            StreamEvent::None => {}
+            StreamEvent::None | StreamEvent::Relocalized { .. } => {}
         }
     }
     assert_eq!(raises, 1, "sustained outage raises exactly once");
@@ -69,7 +69,7 @@ fn fast_eval_trace_covers_every_layer() {
         {
             StreamEvent::Raised { .. } => raises += 1,
             StreamEvent::Cleared => clears += 1,
-            StreamEvent::None => {}
+            StreamEvent::None | StreamEvent::Relocalized { .. } => {}
         }
     }
     assert_eq!(clears, 1, "restoration clears exactly once");
