@@ -25,7 +25,12 @@
 //!      the in-memory detections bit for bit),
 //!   8. `Engine::detect_batch` throughput over one sample per outage
 //!      case,
-//!   9. a `chaos` replay per system (ieee118 excluded): a scripted
+//!   9. packed-projector scoring throughput (`detect_throughput`): one
+//!      warm `detect_batch_with_cache` pass vs the retained per-line
+//!      reference scorer over plain + endpoint-masked samples, with a
+//!      bit-parity verification and the shortlist hit-rate from the
+//!      `detect.shortlist_*` counters,
+//!  10. a `chaos` replay per system (ieee118 excluded): a scripted
 //!      PDC-blackout + NaN-burst schedule (`pmu_sim::faults`) driven
 //!      through a serving session, verifying the raised event survives
 //!      the blackout (`reraise_after_blackout`) while timing the
@@ -49,6 +54,7 @@ use std::time::Instant;
 
 use pmu_baseline::MlrConfig;
 use pmu_detect::detector::default_config_for;
+use pmu_detect::{Detector, ScoringCache};
 use pmu_eval::figures::fig5;
 use pmu_eval::runner::{EvalScale, SystemSetup};
 use pmu_flow::{solve_ac, AcConfig, LinearSolver};
@@ -158,6 +164,32 @@ struct EngineBatchTiming {
 }
 
 #[derive(Serialize)]
+struct DetectThroughputTiming {
+    system: String,
+    /// Samples per batch: one plain + one endpoint-masked test sample per
+    /// outage case, so the mask-keyed bank cache is exercised.
+    batch: usize,
+    /// One warm `detect_batch_with_cache` pass through the packed
+    /// projector path (production configuration, shortlist included).
+    packed_ms: f64,
+    packed_samples_per_sec: f64,
+    /// The same batch through the retained per-line reference scorer
+    /// (`detect_reference`) — the pre-packing cost, measured honestly.
+    reference_ms: f64,
+    reference_samples_per_sec: f64,
+    /// reference / packed — > 1.0 means the packed path is faster.
+    speedup: f64,
+    /// Share of shortlisted rankings that were decisive (no exhaustive
+    /// fallback), from the `detect.shortlist_*` counters; 0.0 when the
+    /// shortlist is off for this system.
+    shortlist_hit_rate: f64,
+    /// Packed path bit-identical to the reference with the shortlist
+    /// off, and verdict/lines-identical with the production shortlist.
+    /// Must always be `true`.
+    parity_ok: bool,
+}
+
+#[derive(Serialize)]
 struct ChaosTiming {
     system: String,
     /// Ticks replayed through the fault schedule.
@@ -189,6 +221,7 @@ struct BenchReport {
     system_build: Vec<BuildTiming>,
     bundle_io: Vec<BundleIoTiming>,
     engine_batch: Vec<EngineBatchTiming>,
+    detect_throughput: Vec<DetectThroughputTiming>,
     chaos: Vec<ChaosTiming>,
     fig5_pipeline: PipelineTiming,
     obs_overhead: ObsOverheadTiming,
@@ -314,11 +347,17 @@ fn bench_builds(systems: &[String], scale: EvalScale) -> Vec<BuildTiming> {
 /// One training run feeds all three benches.
 fn bench_model_serving(
     systems: &[String],
-) -> (Vec<BundleIoTiming>, Vec<EngineBatchTiming>, Vec<ChaosTiming>) {
+) -> (
+    Vec<BundleIoTiming>,
+    Vec<EngineBatchTiming>,
+    Vec<DetectThroughputTiming>,
+    Vec<ChaosTiming>,
+) {
     let dir = std::env::temp_dir().join("pmu-perfbench-bundles");
     let _ = std::fs::create_dir_all(&dir);
     let mut bundle_io = Vec::new();
     let mut engine_batch = Vec::new();
+    let mut detect_throughput = Vec::new();
     let mut chaos = Vec::new();
     for name in systems {
         let Some(Ok(net)) = pmu_grid::cases::by_name(name) else { continue };
@@ -376,6 +415,8 @@ fn bench_model_serving(
             parity_ok,
         });
 
+        detect_throughput.push(bench_detect_throughput(name, &bundle.detector, &data));
+
         let mut engine = Engine::from_bundle(bundle, EngineConfig::default());
         let batch_ms = time_median(5, || {
             std::hint::black_box(engine.detect_batch(&batch));
@@ -400,7 +441,92 @@ fn bench_model_serving(
             chaos.push(chaos_replay(name, &mut engine, &data));
         }
     }
-    (bundle_io, engine_batch, chaos)
+    (bundle_io, engine_batch, detect_throughput, chaos)
+}
+
+/// Packed-projector scoring throughput vs the retained per-line
+/// reference scorer, over one plain + one endpoint-masked sample per
+/// outage case. The reference pass doubles as ground truth: the packed
+/// path must reproduce it bit for bit with the shortlist off, and must
+/// agree on verdict and localized lines with the production shortlist.
+/// The shortlist hit-rate comes from a separate metrics-enabled pass so
+/// the timed passes stay probe-free.
+fn bench_detect_throughput(
+    name: &str,
+    detector: &Detector,
+    data: &Dataset,
+) -> DetectThroughputTiming {
+    let n = data.network.n_buses();
+    let mut batch = Vec::with_capacity(data.cases.len() * 2);
+    for case in &data.cases {
+        let plain = case.test.sample(0);
+        batch.push(plain.masked(&outage_endpoints_mask(n, case.endpoints)));
+        batch.push(plain);
+    }
+
+    // First pass warms the mask-keyed bank cache (and is kept for the
+    // parity check); the timed passes measure steady state.
+    let cache = ScoringCache::new();
+    let packed = detector.detect_batch_with_cache(&batch, &cache);
+    let packed_ms = time_median(3, || {
+        std::hint::black_box(detector.detect_batch_with_cache(&batch, &cache));
+    }) * 1e3;
+
+    let t = Instant::now();
+    let reference: Vec<_> =
+        batch.iter().map(|s| detector.detect_reference(s)).collect();
+    let reference_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let off = detector.clone().with_shortlist(0, 1.0);
+    let off_results = off.detect_batch_with_cache(&batch, &ScoringCache::new());
+    let mut parity_ok = true;
+    for ((r, p), o) in reference.iter().zip(&packed).zip(&off_results) {
+        parity_ok &= match (r, o) {
+            (Ok(a), Ok(b)) => a == b,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        parity_ok &= match (r, p) {
+            (Ok(a), Ok(b)) => a.outage == b.outage && a.lines == b.lines,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+    }
+
+    pmu_obs::set_metrics_enabled(true);
+    let hits0 = pmu_obs::counter!("detect.shortlist_hits").get();
+    let falls0 = pmu_obs::counter!("detect.shortlist_fallbacks").get();
+    std::hint::black_box(detector.detect_batch_with_cache(&batch, &cache));
+    let hits = pmu_obs::counter!("detect.shortlist_hits").get() - hits0;
+    let falls = pmu_obs::counter!("detect.shortlist_fallbacks").get() - falls0;
+    let shortlist_hit_rate =
+        if hits + falls == 0 { 0.0 } else { hits as f64 / (hits + falls) as f64 };
+    pmu_obs::gauge!("detect.shortlist_hit_rate").set(shortlist_hit_rate);
+    pmu_obs::set_metrics_enabled(false);
+
+    let timing = DetectThroughputTiming {
+        system: name.to_string(),
+        batch: batch.len(),
+        packed_ms,
+        packed_samples_per_sec: batch.len() as f64 / (packed_ms / 1e3),
+        reference_ms,
+        reference_samples_per_sec: batch.len() as f64 / (reference_ms / 1e3),
+        speedup: reference_ms / packed_ms,
+        shortlist_hit_rate,
+        parity_ok,
+    };
+    pmu_obs::info(&format!(
+        "detect_throughput {name}: packed {:.2} ms ({:.0}/s), reference {:.2} ms \
+         ({:.0}/s), {:.1}x, shortlist hit-rate {:.2}, parity {}",
+        timing.packed_ms,
+        timing.packed_samples_per_sec,
+        timing.reference_ms,
+        timing.reference_samples_per_sec,
+        timing.speedup,
+        timing.shortlist_hit_rate,
+        if timing.parity_ok { "OK" } else { "VIOLATED" }
+    ));
+    timing
 }
 
 /// Drive one serving session through a scripted PDC blackout plus a NaN
@@ -739,7 +865,8 @@ fn main() {
     let nr_solve = bench_nr_solve(&systems);
     let svd = bench_svd();
     let system_build = bench_builds(&systems, scale);
-    let (bundle_io, engine_batch, chaos) = bench_model_serving(&systems);
+    let (bundle_io, engine_batch, detect_throughput, chaos) =
+        bench_model_serving(&systems);
     // The end-to-end pipeline timing stays on the ieee14/30/57 trio: an
     // ieee118 fig5 run times the detector over ~170 outage cases and
     // would dominate the harness without adding signal beyond its
@@ -762,6 +889,7 @@ fn main() {
         system_build,
         bundle_io,
         engine_batch,
+        detect_throughput,
         chaos,
         fig5_pipeline,
         obs_overhead,

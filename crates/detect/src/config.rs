@@ -70,6 +70,16 @@ pub struct DetectorConfig {
     /// normal proximity by this factor (catches mild outages whose `S⁰`
     /// residual stays under the threshold).
     pub decision_ratio: f64,
+    /// Candidate shortlist size for stage-2 node ranking: rank only the
+    /// `shortlist_k` nodes with the best stage-1 case-residual proxies
+    /// (plus capability-guarded nodes), falling back to the exhaustive
+    /// ranking when the shortlist margin is ambiguous. `0` disables the
+    /// shortlist (always exhaustive).
+    pub shortlist_k: usize,
+    /// Decisiveness margin for the shortlist: the worst shortlisted exact
+    /// score must exceed the proximity-rule band limit by this factor,
+    /// otherwise the detector falls back to the exhaustive ranking.
+    pub shortlist_margin: f64,
 }
 
 impl Default for DetectorConfig {
@@ -90,6 +100,8 @@ impl Default for DetectorConfig {
             edge_ratio: 1.3,
             scale_proximities: true,
             decision_ratio: 0.75,
+            shortlist_k: 0,
+            shortlist_margin: 4.0,
         }
     }
 }
@@ -129,6 +141,11 @@ impl DetectorConfig {
         }
         if !(0.0..=1.0).contains(&self.decision_ratio) {
             return Err(DetectError::InvalidConfig("decision_ratio must be in [0, 1]".into()));
+        }
+        if self.shortlist_k > 0 && self.shortlist_margin < 1.0 {
+            return Err(DetectError::InvalidConfig(
+                "shortlist_margin must be >= 1 when the shortlist is on".into(),
+            ));
         }
         if self.min_group_size <= self.subspace_dim {
             return Err(DetectError::InvalidConfig(format!(
@@ -174,6 +191,12 @@ mod tests {
         let bad = DetectorConfig {
             min_group_size: 5,
             subspace_dim: 5,
+            ..DetectorConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = DetectorConfig {
+            shortlist_k: 8,
+            shortlist_margin: 0.5,
             ..DetectorConfig::default()
         };
         assert!(bad.validate().is_err());

@@ -29,18 +29,24 @@ use crate::capability::{fit_node_ellipses, learn_capabilities, CapabilityMatrix}
 use crate::config::DetectorConfig;
 use crate::error::DetectError;
 use crate::groups::{build_groups, DetectionGroups};
-use crate::proximity::proximity;
+use crate::proximity::{proximity, proximity_fast};
+use crate::scoring::{NodeScorer, NodeScorers, RestrictedBank, ScoringCache};
 use crate::subspaces::{learn_subspaces, LearnedSubspaces};
 use crate::Result;
 use pmu_grid::cluster::{partition_clusters, Clustering};
 use pmu_grid::Network;
 use pmu_numerics::stats::quantile;
-use pmu_numerics::{Matrix, Vector};
+use pmu_numerics::{par, Matrix, Vector};
 use pmu_sim::dataset::Dataset;
 use pmu_sim::{PhasorSample, PhasorWindow};
+use std::collections::HashMap;
 
 /// Floor protecting the Eq. (11) division.
 const PROX_EPS: f64 = 1e-18;
+
+/// Ascending node ranking plus the detection group each node was scored
+/// with (indexed by node).
+type NodeRanking = (Vec<(usize, f64)>, Vec<Vec<usize>>);
 
 /// The result of running the detector on one sample.
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -94,6 +100,13 @@ pub struct Detector {
     /// As `ratio_cut`, calibrated against *heavy* masks (a dark PDC
     /// cluster); applied when a large share of the sample is missing.
     ratio_cut_heavy: f64,
+    /// Packed stage-1 scorer for the full-observation mask: every learned
+    /// subspace row-restricted, clamped, and concatenated into one
+    /// projector tensor at training time (ships inside the model bundle).
+    scorer_full: RestrictedBank,
+    /// Capability-ranked detector order per node, precomputed so group
+    /// top-up needs no per-call sort of the capability matrix.
+    capability_order: Vec<Vec<usize>>,
 }
 
 impl Detector {
@@ -166,6 +179,11 @@ impl Detector {
             adjacency[br.to].push(br.from);
         }
 
+        let full: Vec<usize> = (0..n).collect();
+        let scorer_full = RestrictedBank::build(&subspaces, &full)?;
+        let capability_order: Vec<Vec<usize>> =
+            (0..n).map(|i| capabilities.ranked_detectors(i)).collect();
+
         trace_span.record("threshold", threshold);
         Ok(Detector {
             cfg: cfg.clone(),
@@ -182,6 +200,8 @@ impl Detector {
             threshold_soft,
             ratio_cut,
             ratio_cut_heavy,
+            scorer_full,
+            capability_order,
         })
     }
 
@@ -249,7 +269,24 @@ impl Detector {
             .map_err(|e| DetectError::InvalidTrainingData(format!("deserialize: {e}")))
     }
 
+    /// This detector with a different stage-2 shortlist setting.
+    ///
+    /// The shortlist is a pure scoring-time strategy — no trained state
+    /// depends on it — so A/B comparisons (parity suite, benches) derive
+    /// both variants from one training run. `k = 0` disables the
+    /// shortlist (always exhaustive ranking).
+    #[must_use]
+    pub fn with_shortlist(mut self, k: usize, margin: f64) -> Self {
+        self.cfg.shortlist_k = k;
+        self.cfg.shortlist_margin = margin;
+        self
+    }
+
     /// Classify one (possibly incomplete) sample.
+    ///
+    /// Convenience wrapper over [`Detector::detect_with_cache`] with a
+    /// throwaway cache; callers scoring streams or batches should hold a
+    /// [`ScoringCache`] so per-mask restrictions are paid once.
     ///
     /// # Errors
     /// Returns [`DetectError::SampleMismatch`] for a wrong-sized sample,
@@ -257,22 +294,134 @@ impl Detector {
     /// infinite, and [`DetectError::InsufficientData`] when fewer than
     /// `subspace_dim + 2` measurements are observed.
     pub fn detect(&self, sample: &PhasorSample) -> Result<Detection> {
-        if sample.n_nodes() != self.n {
-            return Err(DetectError::SampleMismatch { expected: self.n, got: sample.n_nodes() });
-        }
-        let observed = sample.mask().observed();
-        // The sample contract says missing data is masked, never NaN; a
-        // non-finite *observed* entry is corruption and would poison every
-        // residual downstream, so reject before any proximity math runs.
-        for &node in &observed {
-            if !sample.phasor_unchecked(node).is_finite() {
-                return Err(DetectError::NonFinite { node });
+        self.detect_with_cache(sample, &ScoringCache::new())
+    }
+
+    /// Classify one sample, memoizing mask restrictions in `cache`.
+    ///
+    /// Stage 1 scores the observed sub-vector against every learned
+    /// subspace through the packed projector bank (the precomputed
+    /// full-observation bank when nothing is missing, a cached per-mask
+    /// bank otherwise); stage 2 ranks through the cached per-mask node
+    /// scorers. Output is bit-identical to
+    /// [`Detector::detect_reference`] when the shortlist is off.
+    ///
+    /// # Errors
+    /// As [`Detector::detect`].
+    pub fn detect_with_cache(
+        &self,
+        sample: &PhasorSample,
+        cache: &ScoringCache,
+    ) -> Result<Detection> {
+        let observed = self.guard(sample)?;
+        let x_obs = Vector::from(
+            sample
+                .values_for(&observed, self.cfg.kind)
+                .expect("observed nodes are unmasked"),
+        );
+        let prox = if sample.mask().n_missing() == 0 {
+            self.scorer_full.proximities_one(&x_obs)?
+        } else {
+            let bank =
+                cache.bank_for(&self.subspaces, sample.mask().fingerprint(), &observed)?;
+            bank.proximities_one(&x_obs)?
+        };
+        self.finish(sample, &observed, &prox, cache)
+    }
+
+    /// Classify a batch of samples through the packed stage-1 path.
+    ///
+    /// Samples are grouped by missing-mask fingerprint; each group's
+    /// stage-1 residuals against every learned subspace come from **one**
+    /// cache-blocked matmul over the packed projector bank, and the
+    /// per-sample ranking/localization tail fans out over the worker pool.
+    /// Per-sample results are returned in input order and are bit-identical
+    /// to calling [`Detector::detect_with_cache`] sample by sample.
+    pub fn detect_batch_with_cache(
+        &self,
+        samples: &[PhasorSample],
+        cache: &ScoringCache,
+    ) -> Vec<Result<Detection>> {
+        let mut out: Vec<Option<Result<Detection>>> = samples.iter().map(|_| None).collect();
+        // Group scorable samples by mask fingerprint, input order kept
+        // within each group.
+        let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        for (i, s) in samples.iter().enumerate() {
+            match self.guard(s) {
+                Ok(_) => {
+                    let fp = s.mask().fingerprint();
+                    let slot = groups.entry(fp).or_default();
+                    if slot.is_empty() {
+                        order.push(fp);
+                    }
+                    slot.push(i);
+                }
+                Err(e) => out[i] = Some(Err(e)),
             }
         }
-        let needed = self.cfg.subspace_dim + 2;
-        if observed.len() < needed {
-            return Err(DetectError::InsufficientData { observed: observed.len(), needed });
+        for fp in order {
+            let idxs = &groups[&fp];
+            let observed = samples[idxs[0]].mask().observed();
+            let stage1 = (|| -> Result<Matrix> {
+                let holder;
+                let bank: &RestrictedBank = if samples[idxs[0]].mask().n_missing() == 0 {
+                    &self.scorer_full
+                } else {
+                    holder = cache.bank_for(&self.subspaces, fp, &observed)?;
+                    &holder
+                };
+                let mut x = Matrix::zeros(observed.len(), idxs.len());
+                for (c, &i) in idxs.iter().enumerate() {
+                    let vals = samples[i]
+                        .values_for(&observed, self.cfg.kind)
+                        .expect("observed nodes are unmasked");
+                    for (r, v) in vals.into_iter().enumerate() {
+                        x[(r, c)] = v;
+                    }
+                }
+                bank.proximities(&x)
+            })();
+            match stage1 {
+                Ok(prox) => {
+                    let cols: Vec<(usize, Vec<f64>)> = idxs
+                        .iter()
+                        .enumerate()
+                        .map(|(c, &i)| {
+                            (i, (0..prox.rows()).map(|b| prox[(b, c)]).collect())
+                        })
+                        .collect();
+                    let results = par::par_map(&cols, |(i, col)| {
+                        self.finish(&samples[*i], &observed, col, cache)
+                    });
+                    for ((i, _), r) in cols.iter().zip(results) {
+                        out[*i] = Some(r);
+                    }
+                }
+                // Stage-1 failures past the guard are exotic (numerical
+                // breakdown); re-run those samples through the scalar
+                // entry point so each reports its own error.
+                Err(_) => {
+                    for &i in idxs {
+                        out[i] = Some(self.detect_with_cache(&samples[i], cache));
+                    }
+                }
+            }
         }
+        out.into_iter().map(|r| r.expect("every sample classified")).collect()
+    }
+
+    /// The retained per-line reference scorer: classify one sample with
+    /// fresh row-restriction and re-orthonormalization per proximity call,
+    /// no packing, no caching, no shortlist. Exists as the ground truth
+    /// the packed path is pinned against (parity suite) and for A/B
+    /// benchmarks; production callers should use [`Detector::detect`].
+    ///
+    /// # Errors
+    /// As [`Detector::detect`].
+    pub fn detect_reference(&self, sample: &PhasorSample) -> Result<Detection> {
+        let observed = self.guard(sample)?;
+        let needed = self.cfg.subspace_dim + 2;
 
         // --- 1. Normal / outage decision over all observed data. ---
         let x_obs = Vector::from(
@@ -288,25 +437,10 @@ impl Detector {
                 best_case_residual = r;
             }
         }
-        let over_threshold = normal_residual > self.threshold;
-        // The ratio cuts are calibrated so that *no* held-out normal sample
-        // (complete or masked) fires them, so they need no residual floor.
-        // Heavy missing data gets its own (stricter) cut.
-        let cut = if sample.mask().n_missing() * 6 > self.n {
-            self.ratio_cut_heavy
-        } else {
-            self.ratio_cut
-        };
-        let ratio_hit = best_case_residual < cut * normal_residual;
-        if !(over_threshold || ratio_hit) {
-            return Ok(Detection {
-                outage: false,
-                lines: Vec::new(),
-                node_ranking: Vec::new(),
-                normal_residual,
-                best_case_residual,
-                threshold: self.threshold,
-            });
+        if let Some(d) =
+            self.decide_normal(sample, normal_residual, best_case_residual)
+        {
+            return Ok(d);
         }
 
         // --- 2. Per-node scaled proximities (Eq. 9–11). ---
@@ -323,17 +457,20 @@ impl Detector {
             let x_d = Vector::from(
                 sample.values_for(&d, self.cfg.kind).expect("group members observed"),
             );
-            // prox to S_i^∪ = min over the member case subspaces.
+            // prox to S_i^∪ = min over the member case subspaces. Stage 2
+            // ranks through the shared Gram-solve scorer (both detection
+            // paths use the same formula, so packed parity holds without
+            // forcing the slow QR construction on the hot path).
             let mut ru = f64::INFINITY;
             for &ci in &self.incident_cases[node] {
-                let r = proximity(&self.subspaces.per_case[ci], &d, &x_d)?;
+                let r = proximity_fast(&self.subspaces.per_case[ci], &d, &x_d)?;
                 if r < ru {
                     ru = r;
                 }
             }
             let score = if self.cfg.scale_proximities {
-                let rn = proximity(&self.subspaces.intersection[node], &d, &x_d)?;
-                let r0 = proximity(&self.subspaces.normal, &d, &x_d)?;
+                let rn = proximity_fast(&self.subspaces.intersection[node], &d, &x_d)?;
+                let r0 = proximity_fast(&self.subspaces.normal, &d, &x_d)?;
                 ru * rn / r0.max(PROX_EPS)
             } else {
                 ru
@@ -344,14 +481,305 @@ impl Detector {
         if scored.is_empty() {
             return Err(DetectError::InsufficientData { observed: observed.len(), needed });
         }
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
 
         // --- 3. Proximity rule: connected prefix of the ranking. ---
-        // Line scoring restricted to the union of the top-ranked nodes'
-        // detection groups: group formation (Fig. 4) and the
-        // cluster-aware alternatives (Eq. 10) carry through to
-        // localization quality, while the union keeps enough coordinates
-        // to disambiguate neighbouring lines.
+        let loc_group = self.localization_group(&scored, &groups_used, &observed);
+        let lines = self.localize(&scored, &loc_group, sample)?;
+
+        Ok(Detection {
+            outage: true,
+            lines,
+            node_ranking: scored,
+            normal_residual,
+            best_case_residual,
+            threshold: self.threshold,
+        })
+    }
+
+    /// Structural validation shared by every entry point: size, observed
+    /// finiteness, minimum observability. Returns the observed-node list.
+    fn guard(&self, sample: &PhasorSample) -> Result<Vec<usize>> {
+        if sample.n_nodes() != self.n {
+            return Err(DetectError::SampleMismatch { expected: self.n, got: sample.n_nodes() });
+        }
+        let observed = sample.mask().observed();
+        // The sample contract says missing data is masked, never NaN; a
+        // non-finite *observed* entry is corruption and would poison every
+        // residual downstream, so reject before any proximity math runs.
+        for &node in &observed {
+            if !sample.phasor_unchecked(node).is_finite() {
+                return Err(DetectError::NonFinite { node });
+            }
+        }
+        let needed = self.cfg.subspace_dim + 2;
+        if observed.len() < needed {
+            return Err(DetectError::InsufficientData { observed: observed.len(), needed });
+        }
+        Ok(observed)
+    }
+
+    /// The stage-1 normal/outage decision: `Some(detection)` when the
+    /// sample is classified normal, `None` when stages 2–3 must run.
+    fn decide_normal(
+        &self,
+        sample: &PhasorSample,
+        normal_residual: f64,
+        best_case_residual: f64,
+    ) -> Option<Detection> {
+        let over_threshold = normal_residual > self.threshold;
+        // The ratio cuts are calibrated so that *no* held-out normal sample
+        // (complete or masked) fires them, so they need no residual floor.
+        // Heavy missing data gets its own (stricter) cut.
+        let cut = if sample.mask().n_missing() * 6 > self.n {
+            self.ratio_cut_heavy
+        } else {
+            self.ratio_cut
+        };
+        let ratio_hit = best_case_residual < cut * normal_residual;
+        if over_threshold || ratio_hit {
+            return None;
+        }
+        Some(Detection {
+            outage: false,
+            lines: Vec::new(),
+            node_ranking: Vec::new(),
+            normal_residual,
+            best_case_residual,
+            threshold: self.threshold,
+        })
+    }
+
+    /// Stages 2–3 of the cached path, starting from the stage-1
+    /// proximities (`prox[0]` = `S⁰`, `prox[1 + ci]` = case `ci`,
+    /// `prox[1 + n_cases + i]` = node-`i` intersection).
+    fn finish(
+        &self,
+        sample: &PhasorSample,
+        observed: &[usize],
+        prox: &[f64],
+        cache: &ScoringCache,
+    ) -> Result<Detection> {
+        let n_cases = self.subspaces.per_case.len();
+        let normal_residual = prox[0];
+        let case_prox = &prox[1..=n_cases];
+        let mut best_case_residual = f64::INFINITY;
+        for &r in case_prox {
+            if r < best_case_residual {
+                best_case_residual = r;
+            }
+        }
+        if let Some(d) =
+            self.decide_normal(sample, normal_residual, best_case_residual)
+        {
+            return Ok(d);
+        }
+
+        let (scored, groups_used) = self.rank_nodes(sample, observed, prox, cache)?;
+        if scored.is_empty() {
+            let needed = self.cfg.subspace_dim + 2;
+            return Err(DetectError::InsufficientData { observed: observed.len(), needed });
+        }
+
+        let loc_group = self.localization_group(&scored, &groups_used, observed);
+        let lines = self.localize(&scored, &loc_group, sample)?;
+
+        Ok(Detection {
+            outage: true,
+            lines,
+            node_ranking: scored,
+            normal_residual,
+            best_case_residual,
+            threshold: self.threshold,
+        })
+    }
+
+    /// Stage-2 node ranking through the per-mask node scorers, with the
+    /// optional stage-1 shortlist. Returns the ascending ranking plus each
+    /// node's group.
+    fn rank_nodes(
+        &self,
+        sample: &PhasorSample,
+        observed: &[usize],
+        prox: &[f64],
+        cache: &ScoringCache,
+    ) -> Result<NodeRanking> {
+        let n_cases = self.subspaces.per_case.len();
+        let case_prox = &prox[1..=n_cases];
+        let scorers = cache
+            .node_scorers_for(sample.mask().fingerprint(), || self.build_node_scorers(sample))?;
+        let candidates: Vec<usize> =
+            (0..self.n).filter(|&i| scorers[i].is_some()).collect();
+        let k = self.cfg.shortlist_k;
+        let shortlist_on = k > 0 && k < candidates.len();
+
+        // Gather the sample's observed scalar measurements once: detection
+        // groups overlap heavily across nodes, and the per-entry angle
+        // conversion (atan2) is expensive enough to dominate stage 2 when
+        // repeated for every group.
+        let mut vals = vec![0.0_f64; self.n];
+        for &i in observed {
+            vals[i] = sample.value(i, self.cfg.kind).expect("observed node");
+        }
+
+        // Exact Eq. (9)–(11) score of one node through its pre-factored
+        // scorer — the same floats the reference path computes on the
+        // same group.
+        let score_one = |node: usize| -> Result<f64> {
+            let sc = scorers[node].as_ref().expect("candidate has a scorer");
+            let group = sc.group();
+            let x_d = Vector::from_fn(group.len(), |j| vals[group[j]]);
+            let p = sc.proximities_one(&x_d)?;
+            // prox to S_i^∪ = min over the member case subspaces.
+            let mut ru = f64::INFINITY;
+            for &r in &p[..sc.n_cases()] {
+                if r < ru {
+                    ru = r;
+                }
+            }
+            Ok(if self.cfg.scale_proximities {
+                let rn = p[sc.n_cases()];
+                let r0 = p[sc.n_cases() + 1];
+                ru * rn / r0.max(PROX_EPS)
+            } else {
+                ru
+            })
+        };
+        // Shortlist proxy: the Eq. (11) expression evaluated on the *full
+        // observed set* — every factor is already paid for by the packed
+        // stage-1 bank (cases, intersection, normal blocks). Same units as
+        // the exact group-restricted score, so the decisive-margin test
+        // below compares like with like.
+        let proxy = |node: usize| -> f64 {
+            let mut ru = f64::INFINITY;
+            for &ci in &self.incident_cases[node] {
+                let r = case_prox[ci];
+                if r < ru {
+                    ru = r;
+                }
+            }
+            if self.cfg.scale_proximities {
+                let rn = prox[1 + n_cases + node];
+                ru * rn / prox[0].max(PROX_EPS)
+            } else {
+                ru
+            }
+        };
+
+        let pick: Vec<usize> = if shortlist_on {
+            let mut by_proxy: Vec<(usize, f64)> =
+                candidates.iter().map(|&i| (i, proxy(i))).collect();
+            by_proxy.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let mut pick: Vec<usize> = by_proxy.iter().take(k).map(|&(i, _)| i).collect();
+            // Capability guard: a node no observed sensor can vouch for
+            // (Eq. 5–7) has an untrustworthy proxy — never prune it. The
+            // flag is mask-only state, precomputed with the scorers.
+            for &i in &candidates {
+                if pick.contains(&i) {
+                    continue;
+                }
+                if scorers[i].as_ref().expect("candidate").low_capability() {
+                    pick.push(i);
+                }
+            }
+            pick.sort_unstable();
+            pick
+        } else {
+            candidates.clone()
+        };
+
+        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(pick.len());
+        for &node in &pick {
+            scored.push((node, score_one(node)?));
+        }
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+
+        if shortlist_on {
+            // A pruned node can only matter if it could (a) enter the
+            // proximity-rule band around the best exact score, or (b)
+            // displace the top-3 ranking that seeds the localization
+            // group. Its proxy is in score units, so compare directly —
+            // any candidate whose proxy lands within `shortlist_margin ×`
+            // of either limit gets scored exactly too (partial fallback);
+            // the rest are irrelevant by margin.
+            let limit = match scored.first() {
+                Some(&(_, best)) => {
+                    let band = best.max(PROX_EPS) * self.cfg.prefix_ratio;
+                    let third = scored[scored.len().min(3) - 1].1;
+                    band.max(third) * self.cfg.shortlist_margin
+                }
+                None => f64::INFINITY,
+            };
+            let offenders: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|i| pick.binary_search(i).is_err())
+                .filter(|&i| proxy(i) <= limit)
+                .collect();
+            if offenders.is_empty() {
+                pmu_obs::counter!("detect.shortlist_hits").inc();
+            } else {
+                pmu_obs::counter!("detect.shortlist_fallbacks").inc();
+                for &node in &offenders {
+                    scored.push((node, score_one(node)?));
+                }
+                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            }
+        }
+        // Localization only reads the groups of the top-3 ranked nodes;
+        // materializing every scored node's group is pure allocation churn.
+        let mut groups_used: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for &(node, _) in scored.iter().take(3) {
+            groups_used[node] = scorers[node].as_ref().expect("scored").group().to_vec();
+        }
+        Ok((scored, groups_used))
+    }
+
+    /// Build the per-mask stage-2 scorers: every node's Eq. (10) group and
+    /// packed subspace restrictions. Group selection depends only on the
+    /// mask, so the result is cached per mask fingerprint.
+    fn build_node_scorers(&self, sample: &PhasorSample) -> Result<NodeScorers> {
+        let observed = sample.mask().observed();
+        let mut out: NodeScorers = Vec::with_capacity(self.n);
+        for node in 0..self.n {
+            if self.incident_cases[node].is_empty() {
+                out.push(None); // No learned outage behaviour for this node.
+                continue;
+            }
+            let d = self.group_for(node, sample);
+            if d.len() < 2 {
+                out.push(None);
+                continue;
+            }
+            let best_cap = observed
+                .iter()
+                .map(|&s| self.capabilities.get(node, s))
+                .fold(0.0_f64, f64::max);
+            out.push(Some(NodeScorer::build(
+                &self.subspaces,
+                &self.incident_cases[node],
+                node,
+                d,
+                best_cap < self.cfg.capability_threshold,
+            )?));
+        }
+        Ok(out)
+    }
+
+    /// The stage-3 coordinate set: union of the top-ranked nodes' groups
+    /// plus capability-selected extras.
+    ///
+    /// Line scoring restricted to the union of the top-ranked nodes'
+    /// detection groups: group formation (Fig. 4) and the cluster-aware
+    /// alternatives (Eq. 10) carry through to localization quality, while
+    /// the union keeps enough coordinates to disambiguate neighbouring
+    /// lines.
+    fn localization_group(
+        &self,
+        scored: &[(usize, f64)],
+        groups_used: &[Vec<usize>],
+        observed: &[usize],
+    ) -> Vec<usize> {
         let mut loc_group: Vec<usize> = Vec::new();
         for &(node, _) in scored.iter().take(3) {
             for &k in &groups_used[node] {
@@ -367,7 +795,7 @@ impl Detector {
         // capability knowledge and honestly skips this.
         if self.cfg.capability_fraction > 0.0 {
             let best_node = scored[0].0;
-            for &k in &observed {
+            for &k in observed {
                 if self.capabilities.get(best_node, k) >= self.cfg.capability_threshold
                     && !loc_group.contains(&k)
                 {
@@ -376,16 +804,7 @@ impl Detector {
             }
         }
         loc_group.sort_unstable();
-        let lines = self.localize(&scored, &loc_group, sample)?;
-
-        Ok(Detection {
-            outage: true,
-            lines,
-            node_ranking: scored,
-            normal_residual,
-            best_case_residual,
-            threshold: self.threshold,
-        })
+        loc_group
     }
 
     /// Eq. (10) group selection for `node` given the sample's mask, with
@@ -399,14 +818,17 @@ impl Detector {
             base.iter().copied().filter(|&k| !sample.mask().is_missing(k)).collect();
         if d.len() < self.cfg.min_group_size {
             // Top-up source honours the Fig. 4 ablation: the proposed
-            // scheme (fraction > 0) uses learned capabilities, the naive
-            // scheme falls back to plain node order.
-            let order: Vec<usize> = if self.cfg.capability_fraction > 0.0 {
-                self.capabilities.ranked_detectors(node)
+            // scheme (fraction > 0) uses learned capabilities — ranked
+            // once at training time — the naive scheme falls back to
+            // plain node order.
+            let plain: Vec<usize>;
+            let order: &[usize] = if self.cfg.capability_fraction > 0.0 {
+                &self.capability_order[node]
             } else {
-                (0..self.n).collect()
+                plain = (0..self.n).collect();
+                &plain
             };
-            for &k in &order {
+            for &k in order {
                 if d.len() >= self.cfg.min_group_size {
                     break;
                 }
@@ -421,7 +843,11 @@ impl Detector {
 
     /// Proximity-rule localization: grow a connected prefix from the
     /// best-ranked node, then score each candidate line by its own outage
-    /// subspace and keep those within `edge_ratio` of the best.
+    /// subspace and keep those within `edge_ratio` of the best. Candidate
+    /// scoring runs through the Gram-solve fast path
+    /// ([`proximity_fast`]) — the localization group varies per sample
+    /// (it follows the ranking), so there is nothing to cache; both the
+    /// packed and the reference detection paths share this exact code.
     fn localize(
         &self,
         scored: &[(usize, f64)],
@@ -481,7 +907,7 @@ impl Detector {
         );
         let mut scored_cases: Vec<(usize, f64)> = Vec::with_capacity(cand.len());
         for ci in cand {
-            let r = proximity(&self.subspaces.per_case[ci], best_group, &x_d)?;
+            let r = proximity_fast(&self.subspaces.per_case[ci], best_group, &x_d)?;
             scored_cases.push((ci, r));
         }
         scored_cases.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
@@ -597,11 +1023,15 @@ pub fn train_default(data: &Dataset) -> Result<Detector> {
 }
 
 /// Size-aware default configuration: cluster count and detection-group
-/// size scale gently with the grid.
+/// size scale gently with the grid, and large systems (where stage 2 is
+/// the dominant cost) rank through the stage-1 shortlist — the margin
+/// fallback keeps localization identical to the exhaustive ranking.
 pub fn default_config_for(net: &Network) -> DetectorConfig {
+    let n = net.n_buses();
     DetectorConfig {
         n_clusters: cluster_heuristic(net),
-        min_group_size: (net.n_buses() / 4).max(8),
+        min_group_size: (n / 4).max(8),
+        shortlist_k: if n >= 40 { n / 3 } else { 0 },
         ..DetectorConfig::default()
     }
 }

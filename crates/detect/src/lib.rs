@@ -39,12 +39,14 @@ pub mod explain;
 pub mod groups;
 pub mod proximity;
 pub mod recovery;
+pub mod scoring;
 pub mod stream;
 pub mod subspaces;
 
 pub use config::DetectorConfig;
 pub use detector::{Detection, Detector};
 pub use error::DetectError;
+pub use scoring::{RestrictedBank, ScoringCache};
 
 /// Convenience result alias for detector operations.
 pub type Result<T> = std::result::Result<T, DetectError>;

@@ -31,28 +31,168 @@ use pmu_numerics::{Matrix, Subspace, Svd, Vector};
 /// Returns [`DetectError::InsufficientData`] for fewer than 2 observed
 /// nodes and propagates numerical failures.
 pub fn proximity(s: &Subspace, nodes: &[usize], x_d: &Vector) -> Result<f64> {
-    if nodes.len() < 2 {
-        return Err(DetectError::InsufficientData { observed: nodes.len(), needed: 2 });
-    }
     if x_d.len() != nodes.len() {
         return Err(DetectError::SampleMismatch { expected: nodes.len(), got: x_d.len() });
+    }
+    let (capped, codim) = restricted_capped(s, nodes)?;
+    Ok(capped.residual_sqr(x_d)? / codim)
+}
+
+/// The row-restricted, dimension-clamped subspace behind [`proximity`],
+/// plus the residual co-dimension it normalizes by. Exposed (crate-wide)
+/// so the packed scoring path and the mask caches build *exactly* the
+/// subspace the reference scorer uses — this shared construction is what
+/// makes packed and per-line residuals bit-identical.
+///
+/// # Errors
+/// As [`proximity`]: fewer than 2 nodes, or numerical failures.
+pub(crate) fn restricted_capped(s: &Subspace, nodes: &[usize]) -> Result<(Subspace, f64)> {
+    if nodes.len() < 2 {
+        return Err(DetectError::InsufficientData { observed: nodes.len(), needed: 2 });
     }
     let restricted = s.restrict_rows(nodes)?;
     // Guarantee a meaningful residual co-dimension: a basis that nearly
     // fills the observed coordinates would make every residual noise.
     let max_dim = nodes.len() - (nodes.len() / 3).max(2).min(nodes.len() - 1);
-    let capped = clamp_dim(restricted, max_dim.max(1));
+    let capped = restricted.truncate(max_dim.max(1));
     let codim = (nodes.len() - capped.dim()).max(1);
-    Ok(capped.residual_sqr(x_d)? / codim as f64)
+    Ok((capped, codim as f64))
 }
 
-/// Keep at most `max_dim` basis directions (the leading ones).
-fn clamp_dim(s: Subspace, max_dim: usize) -> Subspace {
-    if s.dim() <= max_dim {
-        return s;
+/// Fast-path equivalent of [`proximity`] for small subspaces: instead of
+/// row-restricting and re-orthonormalizing the basis (a QR per call), it
+/// solves the normal equations of the restricted projection through a
+/// tiny Cholesky of the `k × k` Gram matrix `G = U_Dᵀ U_D`:
+///
+/// `‖x_D − P x_D‖² = ‖x_D‖² − yᵀ G⁻¹ y`,  `y = U_Dᵀ x_D`,
+///
+/// at `O(|D|·k²)` flops rather than `O(|D|·k² + k²·|D|)` QR work with all
+/// its allocations. Falls back to the exact reference construction
+/// whenever the clamp would truncate the basis (`k` exceeds the Eq. (9)
+/// dimension cap) or the Gram matrix is numerically rank-deficient —
+/// exactly the regimes where the reference path's drop/truncate logic
+/// changes the answer.
+///
+/// This is a *shared* scorer: every detection path (packed and reference)
+/// ranks localization candidates through it, so its output never needs to
+/// be bit-identical to [`proximity`] — only deterministic.
+///
+/// # Errors
+/// As [`proximity`].
+pub(crate) fn proximity_fast(s: &Subspace, nodes: &[usize], x_d: &Vector) -> Result<f64> {
+    if x_d.len() != nodes.len() {
+        return Err(DetectError::SampleMismatch { expected: nodes.len(), got: x_d.len() });
     }
-    let idx: Vec<usize> = (0..max_dim).collect();
-    Subspace::from_orthonormal(s.basis().select_columns(&idx))
+    let g = nodes.len();
+    let b = s.basis();
+    let k = b.cols();
+    if g < 2 || k == 0 {
+        return proximity(s, nodes, x_d);
+    }
+    // Same cap as `restricted_capped`: a basis that would be truncated
+    // there must go through the exact construction.
+    let max_dim = (g - (g / 3).max(2).min(g - 1)).max(1);
+    if k > max_dim {
+        return proximity(s, nodes, x_d);
+    }
+
+    // y = U_Dᵀ x_D and G = U_Dᵀ U_D, gathered straight from the full
+    // basis — no row-selected copy.
+    let mut y = vec![0.0_f64; k];
+    let mut gram = vec![0.0_f64; k * k];
+    for (i, &row) in nodes.iter().enumerate() {
+        let br = b.row(row);
+        let xi = x_d[i];
+        for a in 0..k {
+            y[a] += br[a] * xi;
+            for c in a..k {
+                gram[a * k + c] += br[a] * br[c];
+            }
+        }
+    }
+
+    // Cholesky G = L Lᵀ; a small/negative pivot means the restricted
+    // basis lost rank, which the reference path handles by dropping
+    // columns — defer to it.
+    let Some(l) = cholesky_lower(&gram, k) else {
+        return proximity(s, nodes, x_d);
+    };
+    let quad = gram_quad(&l, y, k);
+    // Clamp: for x_D nearly inside the restricted span, cancellation can
+    // drive the residual a few ulps negative.
+    let r2 = (x_d.norm_sqr() - quad).max(0.0);
+    let codim = (g - k) as f64; // k <= max_dim < g, so always >= 1.
+    Ok(r2 / codim)
+}
+
+/// Whether the restriction of `s` to `nodes` is eligible for the Gram
+/// fast path: a non-empty basis the Eq. (9) clamp would keep whole.
+pub(crate) fn gram_eligible(s: &Subspace, nodes: &[usize]) -> bool {
+    let g = nodes.len();
+    let k = s.basis().cols();
+    if g < 2 || k == 0 {
+        return false;
+    }
+    let max_dim = (g - (g / 3).max(2).min(g - 1)).max(1);
+    k <= max_dim
+}
+
+/// Lower Cholesky factor of a `k × k` Gram matrix stored row-major with
+/// its **upper** triangle filled (`gram[a*k + c]` for `a <= c`). Returns
+/// `None` when a pivot falls under the rank tolerance — the caller must
+/// fall back to the exact (QR) construction. Shared by [`proximity_fast`]
+/// and the packed per-node scorers so both make the identical
+/// keep-or-fall-back decision and produce the identical factor.
+pub(crate) fn cholesky_lower(gram: &[f64], k: usize) -> Option<Vec<f64>> {
+    let scale = (0..k).map(|a| gram[a * k + a]).fold(0.0_f64, f64::max);
+    if scale <= 0.0 {
+        return None;
+    }
+    let mut l = vec![0.0_f64; k * k];
+    for a in 0..k {
+        for c in 0..=a {
+            // `gram` holds the upper triangle: G[c][a] for c <= a.
+            let mut sum = gram[c * k + a];
+            for p in 0..c {
+                sum -= l[a * k + p] * l[c * k + p];
+            }
+            if a == c {
+                if sum <= 1e-12 * scale {
+                    return None;
+                }
+                l[a * k + a] = sum.sqrt();
+            } else {
+                l[a * k + c] = sum / l[c * k + c];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// `yᵀ G⁻¹ y` through the Cholesky factor: forward-solve `L z = y` in
+/// place, then `‖z‖²`. Consumes `y` as the solve scratch. Shared by the
+/// fast proximity paths for bit-identical accumulation.
+pub(crate) fn gram_quad(l: &[f64], mut y: Vec<f64>, k: usize) -> f64 {
+    for a in 0..k {
+        let mut sum = y[a];
+        for p in 0..a {
+            sum -= l[a * k + p] * y[p];
+        }
+        y[a] = sum / l[a * k + a];
+    }
+    y.iter().map(|v| v * v).sum()
+}
+
+/// Indices in `0..n` not listed in `observed`, via a boolean mask (one
+/// linear pass instead of an `n × |observed|` membership scan).
+fn complement(n: usize, observed: &[usize]) -> Vec<usize> {
+    let mut present = vec![false; n];
+    for &i in observed {
+        if i < n {
+            present[i] = true;
+        }
+    }
+    (0..n).filter(|&i| !present[i]).collect()
 }
 
 /// The paper's regressor form: given a subspace basis split into observed
@@ -69,7 +209,7 @@ pub fn missing_regressor(s: &Subspace, observed: &[usize]) -> Result<Matrix> {
             "regressor needs a proper observed/unobserved split".into(),
         ));
     }
-    let rest: Vec<usize> = (0..n).filter(|i| !observed.contains(i)).collect();
+    let rest = complement(n, observed);
     let u_d = s.basis().select_rows(observed);
     let u_r = s.basis().select_rows(&rest);
     let pinv = Svd::compute(&u_d)?.pseudo_inverse(1e-10)?;
@@ -90,7 +230,7 @@ pub fn reconstruct_sample(
     let n = s.ambient_dim();
     let phi = missing_regressor(s, observed)?;
     let x_r = phi.matvec(x_d)?;
-    let rest: Vec<usize> = (0..n).filter(|i| !observed.contains(i)).collect();
+    let rest = complement(n, observed);
     let mut full = Vector::zeros(n);
     for (pos, &i) in observed.iter().enumerate() {
         full[i] = x_d[pos];
@@ -182,6 +322,50 @@ mod tests {
         let y = Vector::from(vec![5.0, -3.0]);
         let p = proximity(&s, &[0, 2], &y).unwrap();
         assert!(p.is_finite());
+    }
+
+    #[test]
+    fn fast_proximity_agrees_with_reference() {
+        let s = test_subspace();
+        let y = Vector::from(vec![1.0, -2.0, 0.5, 3.0, 1.0]);
+        for nodes in [vec![0, 1, 2, 3, 4], vec![0, 2, 3, 4], vec![1, 2, 4]] {
+            let x_d = Vector::from_fn(nodes.len(), |k| y[nodes[k]]);
+            let fast = proximity_fast(&s, &nodes, &x_d).unwrap();
+            let exact = proximity(&s, &nodes, &x_d).unwrap();
+            assert!(
+                (fast - exact).abs() <= 1e-10 * (1.0 + exact.abs()),
+                "nodes {nodes:?}: fast {fast} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_proximity_member_is_near_zero() {
+        let s = test_subspace();
+        let x = s.basis().column(0);
+        let nodes = vec![0, 1, 2, 3, 4];
+        let x_d = Vector::from_fn(5, |k| x[nodes[k]]);
+        let p = proximity_fast(&s, &nodes, &x_d).unwrap();
+        assert!(p < 1e-18, "member proximity {p}");
+    }
+
+    #[test]
+    fn fast_proximity_shares_reference_error_contract() {
+        let s = test_subspace();
+        assert!(matches!(
+            proximity_fast(&s, &[0], &Vector::from(vec![1.0])),
+            Err(DetectError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            proximity_fast(&s, &[0, 1], &Vector::zeros(3)),
+            Err(DetectError::SampleMismatch { .. })
+        ));
+        // Tiny groups force the clamp; the fast path must defer to the
+        // reference construction and agree with it exactly there.
+        let y = Vector::from(vec![5.0, -3.0]);
+        let fast = proximity_fast(&s, &[0, 2], &y).unwrap();
+        let exact = proximity(&s, &[0, 2], &y).unwrap();
+        assert_eq!(fast.to_bits(), exact.to_bits());
     }
 
     #[test]

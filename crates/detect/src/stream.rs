@@ -10,6 +10,7 @@
 //! deployment of the paper's per-sample scheme.
 
 use crate::detector::{Detection, Detector};
+use crate::scoring::ScoringCache;
 use crate::Result;
 use pmu_sim::PhasorSample;
 use std::collections::VecDeque;
@@ -94,6 +95,10 @@ pub struct HealthSnapshot {
 pub struct StreamingDetector {
     detector: Detector,
     cfg: StreamConfig,
+    /// Mask-keyed scoring memoization: PMU streams repeat the same
+    /// missing-data masks sample after sample, so each restriction is
+    /// paid once per mask instead of once per push.
+    cache: ScoringCache,
     /// Recent per-sample verdicts (newest at the back); `None` marks a
     /// sample the detector could not score — a vote-neutral window entry.
     history: VecDeque<Option<Detection>>,
@@ -123,6 +128,7 @@ impl StreamingDetector {
         StreamingDetector {
             detector,
             cfg,
+            cache: ScoringCache::new(),
             history: VecDeque::with_capacity(cfg.window),
             state: StreamState::Quiet,
             samples_seen: 0,
@@ -181,7 +187,7 @@ impl StreamingDetector {
     pub fn push(&mut self, sample: &PhasorSample) -> Result<StreamEvent> {
         self.samples_seen += 1;
         pmu_obs::counter!("detect.stream_samples").inc();
-        let verdict = match self.detector.detect(sample) {
+        let verdict = match self.detector.detect_with_cache(sample, &self.cache) {
             Ok(d) => Some(d),
             Err(crate::DetectError::InsufficientData { .. }) => {
                 self.missing_samples += 1;

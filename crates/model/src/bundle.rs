@@ -8,7 +8,7 @@
 //! ```json
 //! {
 //!   "format": "pmu-model-bundle",
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "checksum": "9f86d081884c7d65",
 //!   "bundle": { "system": "ieee14", "detector": { ... }, ... }
 //! }
@@ -44,7 +44,11 @@ use crate::Result;
 
 /// Version of the bundle payload layout. Bump on any incompatible change
 /// to the serialized shape of the bundle or its components.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: 2 — the detector carries a packed full-observation projector
+/// bank and precomputed capability ordering (plus shortlist config
+/// fields); 1 — initial layout.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Magic string identifying bundle files.
 const FORMAT: &str = "pmu-model-bundle";
@@ -105,7 +109,12 @@ impl std::fmt::Display for ModelError {
             ModelError::Io { path, msg } => write!(f, "{}: {msg}", path.display()),
             ModelError::Malformed(m) => write!(f, "malformed bundle: {m}"),
             ModelError::SchemaMismatch { found, expected } => {
-                write!(f, "bundle schema version {found}, this build expects {expected}")
+                write!(
+                    f,
+                    "bundle schema version {found}, this build expects {expected}; \
+                     retrain the bundle (pmu-outage train) — old artifacts are \
+                     never reinterpreted"
+                )
             }
             ModelError::ChecksumMismatch { stored, computed } => {
                 write!(f, "bundle checksum mismatch: file says {stored}, payload hashes to {computed}")
@@ -458,6 +467,26 @@ mod tests {
             Err(ModelError::SchemaMismatch { found: 999, .. }) => {}
             other => panic!("expected schema mismatch, got {other:?}"),
         }
+    }
+
+    /// A pre-packed-scorer artifact (schema 1) must fail with the typed,
+    /// actionable schema error — *before* any payload interpretation —
+    /// never load into a detector missing its projector bank.
+    #[test]
+    fn pre_packed_bundle_rejected_with_actionable_error() {
+        let json = tiny_bundle().to_json().unwrap();
+        let old = json.replace(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            "\"schema_version\":1",
+        );
+        let err = ModelBundle::from_json(&old).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::SchemaMismatch { found: 1, expected: SCHEMA_VERSION }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("schema version 1"), "{msg}");
+        assert!(msg.contains("retrain"), "error must tell the operator what to do: {msg}");
     }
 
     #[test]

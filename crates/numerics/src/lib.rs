@@ -23,6 +23,8 @@
 //! - [`eigen`] — Jacobi eigensolver for symmetric matrices.
 //! - [`subspace`] — orthonormal subspaces: projection, residuals, unions,
 //!   intersections, principal angles.
+//! - [`packed`] — packed projector banks: batched subspace residuals via
+//!   one cache-blocked matmul (the detection hot path).
 //! - [`sparse`] — compressed sparse row matrices, real and complex
 //!   (admittance matrices and NR Jacobians are ~99% zero at scale).
 //! - [`sparse_lu`] — sparse LU with RCM ordering and symbolic pattern
@@ -43,6 +45,7 @@ pub mod error;
 pub mod hash;
 pub mod lu;
 pub mod matrix;
+pub mod packed;
 pub mod par;
 pub mod qr;
 pub mod sparse;
@@ -57,6 +60,7 @@ pub use complex::Complex64;
 pub use error::NumericsError;
 pub use lu::{CluFactors, LuFactors};
 pub use matrix::Matrix;
+pub use packed::ProjectorBank;
 pub use qr::QrFactors;
 pub use sparse::{CsrCMatrix, CsrMatrix};
 pub use sparse_lu::{SparseLu, SymbolicLu};

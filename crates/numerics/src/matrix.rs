@@ -368,6 +368,19 @@ impl Matrix {
         Matrix::from_fn(self.rows, idx.len(), |r, c| self[(r, idx[c])])
     }
 
+    /// The first `k` columns as a new matrix (`k` is clamped to the column
+    /// count). Equivalent to `select_columns(&(0..k).collect::<Vec<_>>())`
+    /// but copies each row prefix contiguously instead of going through an
+    /// index indirection per element.
+    pub fn leading_columns(&self, k: usize) -> Matrix {
+        let k = k.min(self.cols);
+        let mut out = Matrix::zeros(self.rows, k);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[..k]);
+        }
+        out
+    }
+
     /// Horizontally concatenate `[self | rhs]`.
     ///
     /// # Errors

@@ -1,0 +1,228 @@
+//! Packed projector banks: many subspace residuals from one matmul.
+//!
+//! The detection hot path scores every sample against one subspace per
+//! outage case. Done naively that is `O(cases × samples)` independent
+//! projections, each re-walking its basis. A [`ProjectorBank`] instead
+//! concatenates all the (row-restricted, clamped) bases side by side into
+//! one contiguous `d × Σk` tensor, so the coefficient stage for a whole
+//! sample block is a single cache-blocked [`Matrix::tr_matmul`] and the
+//! projection/residual stage streams the packed tensor once per sample.
+//!
+//! ## Bit-compatibility contract
+//!
+//! [`ProjectorBank::block_residuals`] reproduces, bit for bit, what
+//! [`Subspace::residual_sqr`](crate::Subspace::residual_sqr) computes per
+//! block on the same basis:
+//!
+//! - the coefficient stage accumulates over ascending row index, exactly
+//!   like `tr_matvec` (the kernels differ only in which exact-zero factors
+//!   they skip, which can change a coefficient by at most the sign of a
+//!   zero — invisible to the squared residual);
+//! - the projection stage accumulates over ascending basis columns with no
+//!   zero-skip, exactly like `matvec`;
+//! - the residual accumulates `(x_i − p_i)²` over ascending `i`, exactly
+//!   like `Vector::norm_sqr` on the difference.
+//!
+//! The parity suite in the detector crate pins this contract end to end.
+
+use crate::error::NumericsError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// A bank of orthonormal bases packed column-wise into one tensor.
+///
+/// All bases share the same row count `d` (the ambient/observed
+/// dimension); block `b` occupies columns `offsets[b]..offsets[b+1]`.
+/// Zero-dimensional blocks (empty subspaces) are legal and contribute the
+/// plain squared norm of the sample as their residual.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
+pub struct ProjectorBank {
+    /// `d × Σk` concatenation of the block bases.
+    packed: Matrix,
+    /// Column offsets per block; `offsets.len() == n_blocks + 1`.
+    offsets: Vec<usize>,
+}
+
+impl ProjectorBank {
+    /// Pack the given bases (each `d × k_b`, orthonormal columns) into one
+    /// bank. Orthonormality is the caller's contract — the bank does not
+    /// re-verify it.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::InvalidArgument`] for an empty list and
+    /// [`NumericsError::ShapeMismatch`] when row counts differ.
+    pub fn from_bases(bases: &[&Matrix]) -> Result<Self> {
+        let first = bases
+            .first()
+            .ok_or_else(|| NumericsError::invalid("ProjectorBank::from_bases", "no bases"))?;
+        let d = first.rows();
+        let mut offsets = Vec::with_capacity(bases.len() + 1);
+        offsets.push(0usize);
+        for b in bases {
+            if b.rows() != d {
+                return Err(NumericsError::ShapeMismatch {
+                    op: "ProjectorBank::from_bases",
+                    lhs: first.shape(),
+                    rhs: b.shape(),
+                });
+            }
+            offsets.push(offsets.last().unwrap() + b.cols());
+        }
+        let packed = Matrix::hcat_all(bases)?;
+        Ok(ProjectorBank { packed, offsets })
+    }
+
+    /// Shared row count `d` of every block basis.
+    pub fn rows(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Number of packed blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Dimension (column count) of block `b`.
+    pub fn block_dim(&self, b: usize) -> usize {
+        self.offsets[b + 1] - self.offsets[b]
+    }
+
+    /// Squared residuals of every sample column against every block:
+    /// returns an `n_blocks × n_samples` matrix with
+    /// `out[(b, s)] = ||x_s − P_b x_s||²`.
+    ///
+    /// The coefficient stage is one packed `tr_matmul`; the projection and
+    /// residual stages then stream the packed tensor once per sample,
+    /// replicating the accumulation order of the per-subspace scalar path
+    /// (see the module docs for the bit-compatibility contract).
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::ShapeMismatch`] when `x` has a different
+    /// row count than the bank.
+    pub fn block_residuals(&self, x: &Matrix) -> Result<Matrix> {
+        let (d, n_samples) = x.shape();
+        if d != self.packed.rows() {
+            return Err(NumericsError::ShapeMismatch {
+                op: "ProjectorBank::block_residuals",
+                lhs: self.packed.shape(),
+                rhs: x.shape(),
+            });
+        }
+        // Coefficients for every (block, sample) pair in one shot.
+        let coef = self.packed.tr_matmul(x)?; // Σk × n_samples
+        let mut out = Matrix::zeros(self.n_blocks(), n_samples);
+        let mut cbuf: Vec<f64> = Vec::new();
+        for b in 0..self.n_blocks() {
+            let (lo, hi) = (self.offsets[b], self.offsets[b + 1]);
+            let k = hi - lo;
+            cbuf.resize(k, 0.0);
+            for s in 0..n_samples {
+                // Gather this sample's coefficient column for the block so
+                // the inner projection loop reads contiguous memory.
+                for (c, slot) in cbuf.iter_mut().enumerate() {
+                    *slot = coef[(lo + c, s)];
+                }
+                let mut acc = 0.0;
+                for i in 0..d {
+                    let brow = &self.packed.row(i)[lo..hi];
+                    let mut p = 0.0;
+                    for (w, cv) in brow.iter().zip(&cbuf) {
+                        p += w * cv;
+                    }
+                    let diff = x[(i, s)] - p;
+                    acc += diff * diff;
+                }
+                out[(b, s)] = acc;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::orthonormal_columns;
+    use crate::subspace::Subspace;
+    use crate::vector::Vector;
+
+    fn random_like(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn ortho(rows: usize, cols: usize, seed: u64) -> Matrix {
+        orthonormal_columns(&random_like(rows, cols, seed), 1e-10).unwrap()
+    }
+
+    #[test]
+    fn matches_per_subspace_residuals_bitwise() {
+        let d = 17;
+        let bases: Vec<Matrix> = vec![ortho(d, 3, 1), ortho(d, 5, 2), ortho(d, 1, 3)];
+        let refs: Vec<&Matrix> = bases.iter().collect();
+        let bank = ProjectorBank::from_bases(&refs).unwrap();
+        assert_eq!(bank.n_blocks(), 3);
+        assert_eq!(bank.rows(), d);
+        assert_eq!(bank.block_dim(1), 5);
+
+        let x = random_like(d, 6, 42);
+        let out = bank.block_residuals(&x).unwrap();
+        assert_eq!(out.shape(), (3, 6));
+        for (b, basis) in bases.iter().enumerate() {
+            let s = Subspace::from_orthonormal(basis.clone());
+            for t in 0..6 {
+                let col = x.column(t);
+                let want = s.residual_sqr(&col).unwrap();
+                assert_eq!(
+                    out[(b, t)].to_bits(),
+                    want.to_bits(),
+                    "block {b} sample {t}: packed {} vs scalar {want}",
+                    out[(b, t)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dim_blocks_yield_plain_norms() {
+        let d = 8;
+        let empty = Matrix::zeros(d, 0);
+        let full = ortho(d, 2, 9);
+        let bank = ProjectorBank::from_bases(&[&empty, &full]).unwrap();
+        assert_eq!(bank.block_dim(0), 0);
+        let x = random_like(d, 2, 7);
+        let out = bank.block_residuals(&x).unwrap();
+        for t in 0..2 {
+            let col: Vector = x.column(t);
+            assert_eq!(out[(0, t)].to_bits(), col.norm_sqr().to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(ProjectorBank::from_bases(&[]).is_err());
+        let a = ortho(5, 2, 1);
+        let b = ortho(6, 2, 2);
+        assert!(ProjectorBank::from_bases(&[&a, &b]).is_err());
+        let bank = ProjectorBank::from_bases(&[&a]).unwrap();
+        assert!(bank.block_residuals(&Matrix::zeros(6, 1)).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_is_bit_exact() {
+        let a = ortho(7, 3, 4);
+        let bank = ProjectorBank::from_bases(&[&a]).unwrap();
+        let json = serde_json::to_string(&bank).unwrap();
+        let back: ProjectorBank = serde_json::from_str(&json).unwrap();
+        let x = random_like(7, 3, 5);
+        let r1 = bank.block_residuals(&x).unwrap();
+        let r2 = back.block_residuals(&x).unwrap();
+        for s in 0..3 {
+            assert_eq!(r1[(0, s)].to_bits(), r2[(0, s)].to_bits());
+        }
+    }
+}

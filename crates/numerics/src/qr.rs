@@ -31,8 +31,8 @@ impl QrFactors {
         }
         let k = m.min(n);
         let mut r = a.clone();
-        // Accumulate Q by applying the reflectors to the identity.
-        let mut q_full = Matrix::identity(m);
+        // Householder vectors and scalings, kept for the thin-Q pass.
+        let mut vs: Vec<Option<(Vector, f64)>> = Vec::with_capacity(k);
 
         for j in 0..k {
             // Build the Householder vector for column j below the diagonal.
@@ -42,6 +42,7 @@ impl QrFactors {
             }
             let norm = norm.sqrt();
             if norm == 0.0 {
+                vs.push(None);
                 continue; // Column already zero below the diagonal.
             }
             let alpha = if r[(j, j)] >= 0.0 { -norm } else { norm };
@@ -52,6 +53,7 @@ impl QrFactors {
             }
             let vnorm_sqr = v.norm_sqr();
             if vnorm_sqr == 0.0 {
+                vs.push(None);
                 continue;
             }
             let beta = 2.0 / vnorm_sqr;
@@ -67,22 +69,32 @@ impl QrFactors {
                     r[(i, c)] -= f * v[i - j];
                 }
             }
-            // Apply H to Q^T accumulation: q_full = q_full * H (right-multiply
-            // because Q = H_0 H_1 ... H_{k-1}).
-            for row in 0..m {
+            vs.push(Some((v, beta)));
+        }
+
+        // Accumulate the thin Q = H_0 H_1 ... H_{k-1} · I_{m×k} by applying
+        // the reflectors right-to-left to the thin identity: O(k²·m) and an
+        // m×k buffer, where forming the full m×m product would cost
+        // O(k·m²) — the difference dominates the detection hot path, which
+        // orthonormalizes many tall-thin (|group| × subspace_dim) blocks.
+        let mut q = Matrix::zeros(m, k);
+        for j in 0..k {
+            q[(j, j)] = 1.0;
+        }
+        for j in (0..k).rev() {
+            let Some((v, beta)) = &vs[j] else { continue };
+            for c in 0..k {
                 let mut dot = 0.0;
                 for i in j..m {
-                    dot += v[i - j] * q_full[(row, i)];
+                    dot += v[i - j] * q[(i, c)];
                 }
                 let f = beta * dot;
                 for i in j..m {
-                    q_full[(row, i)] -= f * v[i - j];
+                    q[(i, c)] -= f * v[i - j];
                 }
             }
         }
 
-        // Extract thin factors.
-        let q = Matrix::from_fn(m, k, |i, j| q_full[(i, j)]);
         let r_thin = Matrix::from_fn(k, n, |i, j| if i <= j { r[(i, j)] } else { 0.0 });
         Ok(QrFactors { q, r: r_thin })
     }

@@ -127,8 +127,25 @@ impl Subspace {
         if self.dim() == 0 {
             return Ok(Subspace::zero(rows.len()));
         }
+        // Identity fast path: restricting to every row in order is a no-op,
+        // and re-orthonormalizing an already orthonormal basis through QR
+        // would only churn signs. The full-observation mask is the common
+        // case on the detection hot path, so skip the round trip entirely.
+        if rows.len() == self.ambient_dim() && rows.iter().enumerate().all(|(i, &r)| i == r) {
+            return Ok(self.clone());
+        }
         let sub = self.basis.select_rows(rows);
         Subspace::from_span(&sub)
+    }
+
+    /// Keep only the leading `max_dim` basis directions. A column prefix of
+    /// an orthonormal basis is orthonormal by construction, so no
+    /// re-orthonormalization (or verification) round trip is needed.
+    pub fn truncate(&self, max_dim: usize) -> Subspace {
+        if self.dim() <= max_dim {
+            return self.clone();
+        }
+        Subspace { basis: self.basis.leading_columns(max_dim) }
     }
 
     /// Union of subspaces: the smallest subspace containing every input

@@ -30,7 +30,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use pmu_detect::stream::{HealthSnapshot, StreamConfig, StreamEvent, StreamingDetector};
-use pmu_detect::{DetectError, Detection, Detector};
+use pmu_detect::{DetectError, Detection, Detector, ScoringCache};
 use pmu_model::{ModelBundle, ModelError, RetryPolicy};
 use pmu_numerics::par;
 use pmu_sim::PhasorSample;
@@ -350,6 +350,10 @@ pub struct Engine {
     /// Session slot table; slots with `state: None` are free for reuse
     /// under a bumped generation.
     slots: Vec<Slot>,
+    /// Scoring memoization shared by the stateless detect paths: masks
+    /// recur across batches, so per-mask restrictions are paid once per
+    /// engine instead of once per call.
+    cache: ScoringCache,
 }
 
 impl std::fmt::Debug for Engine {
@@ -372,6 +376,7 @@ impl Engine {
             stream_cfg: cfg.stream,
             degrade_cfg: cfg.degrade,
             slots: Vec::new(),
+            cache: ScoringCache::new(),
         }
     }
 
@@ -524,7 +529,8 @@ impl Engine {
     pub fn detect(&self, sample: &PhasorSample) -> Result<Detection, ServeError> {
         self.guard(sample)?;
         let started = Instant::now();
-        let out = self.detector.detect(sample).map_err(ServeError::from);
+        let out =
+            self.detector.detect_with_cache(sample, &self.cache).map_err(ServeError::from);
         pmu_obs::counter!("serve.detect_calls").inc();
         pmu_obs::histogram!("serve.detect_latency_us", LATENCY_US_BOUNDS)
             .observe(started.elapsed().as_secs_f64() * 1e6);
@@ -540,9 +546,12 @@ impl Engine {
         })
     }
 
-    /// Score a batch of independent samples, fanning out on the workspace
-    /// thread pool. Results come back in input order; per-sample failures
-    /// stay per-sample.
+    /// Score a batch of independent samples through the packed stage-1
+    /// path: samples sharing a missing-data mask are scored against every
+    /// learned subspace with one cache-blocked matmul, and the per-sample
+    /// ranking tail fans out on the workspace thread pool inside the
+    /// detector. Results come back in input order; per-sample failures
+    /// stay per-sample and match what [`Engine::detect`] would report.
     pub fn detect_batch(
         &self,
         samples: &[PhasorSample],
@@ -551,16 +560,35 @@ impl Engine {
         pmu_obs::counter!("serve.batch_samples").add(samples.len() as u64);
         let mut sp = pmu_obs::span("serve.detect_batch").with("samples", samples.len());
         let started = Instant::now();
-        let out = par::par_map(samples, |sample| {
-            self.guard(sample)?;
-            let t0 = Instant::now();
-            let verdict = self.detector.detect(sample).map_err(ServeError::from);
+
+        // Ingestion guard first: only validated samples reach the packed
+        // detector path, and their positions are remembered for scatter.
+        let mut out: Vec<Option<Result<Detection, ServeError>>> =
+            samples.iter().map(|_| None).collect();
+        let mut valid: Vec<usize> = Vec::with_capacity(samples.len());
+        for (i, sample) in samples.iter().enumerate() {
+            match self.guard(sample) {
+                Ok(()) => valid.push(i),
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+        let accepted: Vec<PhasorSample> =
+            valid.iter().map(|&i| samples[i].clone()).collect();
+        let verdicts = self.detector.detect_batch_with_cache(&accepted, &self.cache);
+        for (&i, v) in valid.iter().zip(verdicts) {
+            out[i] = Some(v.map_err(ServeError::from));
+        }
+
+        let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+        if !samples.is_empty() {
+            // Individual latencies are not observable inside the packed
+            // batch; record the per-sample average so the histogram keeps
+            // tracking the serving cost per verdict.
             pmu_obs::histogram!("serve.detect_latency_us", LATENCY_US_BOUNDS)
-                .observe(t0.elapsed().as_secs_f64() * 1e6);
-            verdict
-        });
-        sp.record("ms", started.elapsed().as_secs_f64() * 1e3);
-        out
+                .observe(elapsed_us / samples.len() as f64);
+        }
+        sp.record("ms", elapsed_us / 1e3);
+        out.into_iter().map(|o| o.expect("every sample classified")).collect()
     }
 
     /// Advance many feeds by one tick: each `(session, sample)` pair is

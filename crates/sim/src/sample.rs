@@ -76,6 +76,30 @@ impl Mask {
         nodes.iter().any(|&i| self.is_missing(i))
     }
 
+    /// Content fingerprint of the mask (FNV-1a over length and the
+    /// missing bits). Two masks fingerprint equal iff they mark the same
+    /// node set missing over the same node count; used to key the
+    /// per-mask projector caches on the detection hot path.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = pmu_numerics::hash::Fnv1a::new();
+        h.write_usize(self.missing.len());
+        // Pack the bits 64 per word so long masks hash in a few writes.
+        let mut word = 0u64;
+        for (i, &m) in self.missing.iter().enumerate() {
+            if m {
+                word |= 1 << (i % 64);
+            }
+            if i % 64 == 63 {
+                h.write_u64(word);
+                word = 0;
+            }
+        }
+        if !self.missing.len().is_multiple_of(64) {
+            h.write_u64(word);
+        }
+        h.finish()
+    }
+
     /// Union of two masks (missing in either).
     ///
     /// # Panics
@@ -294,6 +318,20 @@ mod tests {
         let b = Mask::with_missing(4, &[2]);
         let u = a.union(&b);
         assert_eq!(u.missing_nodes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn mask_fingerprint_tracks_content() {
+        let a = Mask::with_missing(70, &[0, 65]);
+        let b = Mask::with_missing(70, &[0, 65]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different missing set, node count, or bit position all change it.
+        assert_ne!(a.fingerprint(), Mask::with_missing(70, &[0, 64]).fingerprint());
+        assert_ne!(a.fingerprint(), Mask::with_missing(71, &[0, 65]).fingerprint());
+        assert_ne!(
+            Mask::all_present(14).fingerprint(),
+            Mask::all_present(15).fingerprint()
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release =="
-cargo build --release
+# --workspace: the root package alone does not pull in the perfbench and
+# CLI binaries the later steps execute.
+cargo build --release --workspace
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -56,5 +58,15 @@ if grep -q '"reraise_after_blackout": false' "$trace_dir/BENCH_fast.json"; then
 fi
 grep -q '"reraise_after_blackout": true' "$trace_dir/BENCH_fast.json" \
   || { echo "chaos replay missing from perfbench report"; exit 1; }
+
+echo "== packed scoring smoke: parity + throughput bench present =="
+# detect_throughput pins the packed projector path against the retained
+# per-line reference scorer inside the bench itself; any parity_ok:false
+# (there or in bundle_io's reload check) is a hard failure.
+grep -q '"detect_throughput"' "$trace_dir/BENCH_fast.json" \
+  || { echo "detect_throughput bench missing from perfbench report"; exit 1; }
+if grep -q '"parity_ok": false' "$trace_dir/BENCH_fast.json"; then
+  echo "packed scoring or bundle reload parity violated"; exit 1
+fi
 
 echo "tier1 OK"

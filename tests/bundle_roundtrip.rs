@@ -110,7 +110,9 @@ fn damaged_artifacts_fail_typed() {
     ));
 
     // Version skew → schema error naming both versions.
-    let skewed = json.replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+    let current = format!("\"schema_version\":{}", pmu_outage::model::SCHEMA_VERSION);
+    let skewed = json.replacen(&current, "\"schema_version\":999", 1);
+    assert_ne!(skewed, json, "skew must change the payload");
     match ModelBundle::from_json(&skewed) {
         Err(ModelError::SchemaMismatch { found: 999, expected }) => {
             assert_eq!(expected, pmu_outage::model::SCHEMA_VERSION);

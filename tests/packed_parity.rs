@@ -1,0 +1,143 @@
+//! Packed-projector parity suite: the fast scoring paths introduced with
+//! the packed stage-1 bank are pinned **bit-identical** to the retained
+//! per-line reference scorer ([`Detector::detect_reference`]).
+//!
+//! Three contracts, each checked on ieee14/30/57/118 at fast scale:
+//!
+//! 1. `detect_with_cache` (packed bank + mask-keyed restriction cache)
+//!    equals `detect_reference` on every sample — full observation,
+//!    outage-endpoint masks, random masks, and chaos fault schedules.
+//!    `Detection` is `PartialEq` over all fields including the `f64`
+//!    scores, so equality here is bit-level.
+//! 2. `detect_batch_with_cache` equals per-sample `detect_with_cache`
+//!    in input order, mixed masks and guard failures included.
+//! 3. The stage-2 shortlist never changes the final verdict: outage flag
+//!    and localized line set are identical with the shortlist on and off
+//!    (the ambiguous-margin fallback re-ranks exhaustively).
+//!
+//! ieee118 runs a reduced window so the exhaustive reference stays cheap
+//! in debug builds; release-scale coverage rides in `perfbench`'s
+//! `detect_throughput` bench, which asserts the same parity.
+
+use pmu_outage::detect::detector::default_config_for;
+use pmu_outage::detect::ScoringCache;
+use pmu_outage::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0x9E3779B9;
+
+/// Fast-scale dataset + detector (shortlist forced off so the packed
+/// path is comparable to the exhaustive reference field by field).
+fn build(name: &str, train_len: usize, test_len: usize) -> (Dataset, Detector) {
+    let net = by_name(name).expect("known system").expect("embedded case");
+    let gen = GenConfig { train_len, test_len, seed: SEED, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).expect("dataset generation");
+    let cfg = DetectorConfig { shortlist_k: 0, ..default_config_for(&net) };
+    let det = Detector::train(&data, &cfg).expect("training");
+    (data, det)
+}
+
+/// A mixed bag of samples stressing every mask regime the scorer caches:
+/// full observation, the Fig. 6 outage-endpoint mask, random-k masks,
+/// normal operation, and a chaos schedule (partial blackout + lossy
+/// links) over an outage run.
+fn sample_bag(data: &Dataset, rng: &mut StdRng) -> Vec<PhasorSample> {
+    let n = data.network.n_buses();
+    let mut bag = Vec::new();
+    let stride = (data.cases.len() / 5).max(1);
+    for case in data.cases.iter().step_by(stride) {
+        let plain = case.test.sample(0);
+        bag.push(plain.masked(&outage_endpoints_mask(n, case.endpoints)));
+        let random = MissingPattern::RandomK { k: n / 6, exclude: vec![] };
+        bag.push(plain.masked(&random.draw(n, rng)));
+        bag.push(plain);
+    }
+    for t in 0..2.min(data.normal_test.len()) {
+        bag.push(data.normal_test.sample(t));
+    }
+    let outage_run: Vec<PhasorSample> =
+        (0..10).map(|t| data.cases[0].test.sample(t % data.cases[0].test.len())).collect();
+    let dark: Vec<usize> = (0..n / 3).collect();
+    let injected = FaultSchedule::new(SEED)
+        .window(2, 5, FaultKind::Blackout { nodes: dark })
+        .window(6, 9, FaultKind::Drop { p: 0.3 })
+        .apply(&outage_run);
+    bag.extend(injected.into_iter().map(|inj| inj.sample));
+    bag
+}
+
+/// Contracts 1 and 2 for one system.
+fn assert_parity(name: &str, train_len: usize, test_len: usize) {
+    let (data, det) = build(name, train_len, test_len);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let bag = sample_bag(&data, &mut rng);
+
+    // Packed single-sample path vs the exhaustive reference.
+    let cache = ScoringCache::new();
+    let singles: Vec<_> =
+        bag.iter().map(|s| det.detect_with_cache(s, &cache)).collect();
+    for (i, (s, packed)) in bag.iter().zip(&singles).enumerate() {
+        match (det.detect_reference(s), packed) {
+            (Ok(r), Ok(p)) => {
+                assert_eq!(&r, p, "{name}: packed diverged from reference at sample {i}");
+            }
+            (Err(_), Err(_)) => {}
+            (r, p) => panic!("{name}: outcome diverged at sample {i}: {r:?} vs {p:?}"),
+        }
+    }
+
+    // Batched path vs the single-sample path, fresh cache on each side.
+    let batch = det.detect_batch_with_cache(&bag, &ScoringCache::new());
+    assert_eq!(batch.len(), bag.len());
+    for (i, (b, s)) in batch.iter().zip(&singles).enumerate() {
+        match (b, s) {
+            (Ok(b), Ok(s)) => {
+                assert_eq!(b, s, "{name}: batch diverged from single at sample {i}");
+            }
+            (Err(_), Err(_)) => {}
+            (b, s) => panic!("{name}: batch outcome diverged at sample {i}: {b:?} vs {s:?}"),
+        }
+    }
+
+    // Contract 3: shortlist on vs off — same verdict, same lines.
+    let k = (data.network.n_buses() / 3).max(4);
+    let det_on = det.clone().with_shortlist(k, 4.0);
+    let cache_on = ScoringCache::new();
+    let mut outages = 0usize;
+    for (i, (s, off)) in bag.iter().zip(&singles).enumerate() {
+        let on = det_on.detect_with_cache(s, &cache_on);
+        match (off, on) {
+            (Ok(off), Ok(on)) => {
+                assert_eq!(off.outage, on.outage, "{name}: shortlist flipped verdict {i}");
+                assert_eq!(off.lines, on.lines, "{name}: shortlist moved lines {i}");
+                outages += usize::from(off.outage);
+            }
+            (Err(_), Err(_)) => {}
+            (off, on) => {
+                panic!("{name}: shortlist outcome diverged at sample {i}: {off:?} vs {on:?}")
+            }
+        }
+    }
+    assert!(outages > 0, "{name}: parity bag never exercised the outage path");
+}
+
+#[test]
+fn ieee14_packed_parity() {
+    assert_parity("ieee14", 16, 6);
+}
+
+#[test]
+fn ieee30_packed_parity() {
+    assert_parity("ieee30", 16, 6);
+}
+
+#[test]
+fn ieee57_packed_parity() {
+    assert_parity("ieee57", 12, 4);
+}
+
+#[test]
+fn ieee118_packed_parity() {
+    assert_parity("ieee118", 8, 3);
+}
