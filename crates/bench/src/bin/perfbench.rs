@@ -134,6 +134,23 @@ struct ObsOverheadTiming {
     disabled_overhead_pct: f64,
     /// Full-tracing overhead relative to the disabled workload.
     enabled_overhead_pct: f64,
+    /// ns per flight-recorder ring write (the always-on default).
+    record_ns: f64,
+    /// ns per ring write with the recorder turned off (guard only).
+    record_disabled_ns: f64,
+    /// Record-per-matmul workload with the recorder on (the default).
+    recorder_on_ms: f64,
+    /// Same workload with the recorder off.
+    recorder_off_ms: f64,
+    /// Estimated recorder share of the ieee57 `engine_batch` wall clock
+    /// at the serve push path's rate of one ring write per sample:
+    /// batch × record_ns / batch time. Analytic — derived from the
+    /// per-record cost rather than an on/off wall-clock diff — so
+    /// scheduler noise cannot flap the gate. Must stay under 1.0.
+    recorder_overhead_pct: f64,
+    /// `recorder_overhead_pct < 1.0` — the always-on recorder budget.
+    /// Must always be `true`.
+    recorder_overhead_ok: bool,
 }
 
 #[derive(Serialize)]
@@ -161,6 +178,10 @@ struct EngineBatchTiming {
     /// One `Engine::detect_batch` call over the batch.
     batch_ms: f64,
     samples_per_sec: f64,
+    /// p99 of `serve.detect_latency_us` over one metrics-enabled pass
+    /// (count-weighted per-sample shares — the quantile the `/metrics`
+    /// endpoint exposes and benchdiff gates).
+    detect_latency_p99_us: f64,
 }
 
 #[derive(Serialize)]
@@ -204,6 +225,9 @@ struct ChaosTiming {
     /// tick after the blackout lifted — the dark-window clearing bug
     /// stays fixed. Must always be `true`.
     reraise_after_blackout: bool,
+    /// Incident dumps the replay produced. The blackout turns the feed
+    /// Dark mid-outage, so this must be >= 1.
+    incident_dumps: usize,
 }
 
 #[derive(Serialize)]
@@ -417,13 +441,27 @@ fn bench_model_serving(
 
         detect_throughput.push(bench_detect_throughput(name, &bundle.detector, &data));
 
-        let mut engine = Engine::from_bundle(bundle, EngineConfig::default());
+        let mut engine_cfg = EngineConfig::default();
+        engine_cfg.incident.dir = Some(dir.join(format!("incidents-{name}")));
+        let mut engine = Engine::from_bundle(bundle, engine_cfg);
         let batch_ms = time_median(5, || {
             std::hint::black_box(engine.detect_batch(&batch));
         }) * 1e3;
         let samples_per_sec = batch.len() as f64 / (batch_ms / 1e3);
+
+        // One metrics-enabled pass for the latency quantile benchdiff
+        // gates; the registry is reset first so earlier systems' samples
+        // cannot bleed into this one's p99.
+        pmu_obs::reset_metrics();
+        pmu_obs::set_metrics_enabled(true);
+        std::hint::black_box(engine.detect_batch(&batch));
+        let detect_latency_p99_us =
+            pmu_obs::metrics::histogram("serve.detect_latency_us").quantile(0.99);
+        pmu_obs::set_metrics_enabled(false);
+
         pmu_obs::info(&format!(
-            "engine_batch {name}: {} samples in {batch_ms:.2} ms ({samples_per_sec:.0}/s)",
+            "engine_batch {name}: {} samples in {batch_ms:.2} ms ({samples_per_sec:.0}/s), \
+             p99 {detect_latency_p99_us:.1} us",
             batch.len()
         ));
         engine_batch.push(EngineBatchTiming {
@@ -431,6 +469,7 @@ fn bench_model_serving(
             batch: batch.len(),
             batch_ms,
             samples_per_sec,
+            detect_latency_p99_us,
         });
 
         // The chaos replay exercises the streaming path (session state,
@@ -553,11 +592,16 @@ fn chaos_replay(
         .apply(&clean);
 
     let feed = engine.open_session();
+    let dumps_before = engine.incident_dumps_written();
     let mut rejected = 0usize;
     let mut raised_before_blackout = false;
     let mut standing_after_blackout = true;
     let t0 = Instant::now();
     for (t, inj) in injected.iter().enumerate() {
+        // Tag the injected faults into the global flight-recorder ring,
+        // as a PDC-side ingest shim would, so the incident dumps the
+        // replay triggers carry the ground-truth fault context.
+        inj.record_faults(t);
         let pushed = engine
             .push_batch(&[(feed, inj.sample.clone())])
             .pop()
@@ -576,11 +620,13 @@ fn chaos_replay(
     let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
     let missing =
         engine.health(feed).map_or(0, |h| h.snapshot.missing_samples);
+    let incident_dumps = (engine.incident_dumps_written() - dumps_before) as usize;
     engine.close_session(feed);
     let reraise_after_blackout = raised_before_blackout && standing_after_blackout;
     pmu_obs::info(&format!(
         "chaos {name}: {} ticks in {replay_ms:.2} ms, {rejected} rejected, \
-         {missing} missing, reraise_after_blackout {reraise_after_blackout}",
+         {missing} missing, reraise_after_blackout {reraise_after_blackout}, \
+         {incident_dumps} incident dump(s)",
         injected.len()
     ));
     ChaosTiming {
@@ -590,6 +636,7 @@ fn chaos_replay(
         rejected,
         missing,
         reraise_after_blackout,
+        incident_dumps,
     }
 }
 
@@ -632,13 +679,16 @@ fn bench_pipeline(systems: &[String], scale: EvalScale) -> PipelineTiming {
     }
 }
 
-/// Measure what the instrumentation costs: per-probe, and on a
-/// matmul-heavy workload, with the probes disabled (default) and with
-/// full tracing to an in-memory sink.
+/// Measure what the instrumentation costs: per-probe, per-ring-write,
+/// and on a matmul-heavy workload, with the probes disabled (default)
+/// and with full tracing to an in-memory sink. The flight-recorder
+/// budget (`recorder_overhead_ok`) is checked against the ieee57
+/// `engine_batch` timing when that system was benched, else the slowest
+/// system available.
 ///
 /// Must run after the other benches — it toggles the global obs state
-/// and restores "disabled" on exit.
-fn bench_obs_overhead() -> ObsOverheadTiming {
+/// and restores the defaults on exit.
+fn bench_obs_overhead(engine_batch: &[EngineBatchTiming]) -> ObsOverheadTiming {
     const PROBES: usize = 1_000_000;
     // Per-probe cost, disabled: one relaxed load + branch.
     let disabled_s = time_median(3, || {
@@ -669,6 +719,51 @@ fn bench_obs_overhead() -> ObsOverheadTiming {
     pmu_obs::uninstall_trace();
     pmu_obs::set_metrics_enabled(false);
 
+    // Flight recorder: per-write cost on and off, plus a record-per-matmul
+    // workload (the serve push path's rate of one ring write per sample).
+    let ring = pmu_obs::Recorder::new(4096);
+    let label = pmu_obs::recorder::label_id("bench.record");
+    use pmu_obs::RecKind;
+    let record_s = time_median(3, || {
+        for i in 0..PROBES {
+            ring.record(RecKind::Metric, label, i as u64, 0);
+        }
+    });
+    pmu_obs::set_recorder_enabled(false);
+    let record_disabled_s = time_median(3, || {
+        for i in 0..PROBES {
+            ring.record(RecKind::Metric, label, i as u64, 0);
+        }
+    });
+    pmu_obs::set_recorder_enabled(true);
+    let recorded_workload = |a: &Matrix, b: &Matrix| {
+        for i in 0..50u64 {
+            ring.record(RecKind::Metric, label, i, 0);
+            std::hint::black_box(a.matmul(b).expect("dims agree"));
+        }
+    };
+    let recorder_on_ms = time_median(5, || recorded_workload(&a, &b)) * 1e3;
+    pmu_obs::set_recorder_enabled(false);
+    let recorder_off_ms = time_median(5, || recorded_workload(&a, &b)) * 1e3;
+    pmu_obs::set_recorder_enabled(true);
+
+    let record_ns = record_s / PROBES as f64 * 1e9;
+    let record_disabled_ns = record_disabled_s / PROBES as f64 * 1e9;
+    // Analytic always-on budget at one ring write per sample, against
+    // the ieee57 batch (or the slowest system benched).
+    let gate = engine_batch
+        .iter()
+        .find(|t| t.system == "ieee57")
+        .or_else(|| {
+            engine_batch
+                .iter()
+                .max_by(|x, y| x.batch_ms.partial_cmp(&y.batch_ms).unwrap())
+        });
+    let recorder_overhead_pct = gate.map_or(0.0, |t| {
+        100.0 * (t.batch as f64 * record_ns * 1e-6) / t.batch_ms
+    });
+    let recorder_overhead_ok = recorder_overhead_pct < 1.0;
+
     // The disabled matmul path takes 1 probe per call (the enabled
     // check); bound its share of kernel time from the measured
     // per-probe cost.
@@ -683,6 +778,12 @@ fn bench_obs_overhead() -> ObsOverheadTiming {
         workload_enabled_ms: enabled_ms,
         disabled_overhead_pct,
         enabled_overhead_pct: 100.0 * (enabled_ms - disabled_ms) / disabled_ms,
+        record_ns,
+        record_disabled_ns,
+        recorder_on_ms,
+        recorder_off_ms,
+        recorder_overhead_pct,
+        recorder_overhead_ok,
     };
     pmu_obs::info(&format!(
         "obs overhead: probe {:.2} ns disabled / {:.2} ns enabled; \
@@ -692,6 +793,17 @@ fn bench_obs_overhead() -> ObsOverheadTiming {
         timing.workload_disabled_ms,
         timing.workload_enabled_ms,
         timing.enabled_overhead_pct,
+    ));
+    pmu_obs::info(&format!(
+        "recorder overhead: {:.2} ns/record on / {:.2} ns off; workload \
+         {:.3} ms on / {:.3} ms off; engine_batch share {:.4}% \
+         recorder_overhead_ok={}",
+        timing.record_ns,
+        timing.record_disabled_ns,
+        timing.recorder_on_ms,
+        timing.recorder_off_ms,
+        timing.recorder_overhead_pct,
+        timing.recorder_overhead_ok,
     ));
     timing
 }
@@ -712,22 +824,24 @@ fn git_revision() -> Option<String> {
 // benchdiff
 // ---------------------------------------------------------------------
 
-/// Flatten the time-valued leaves (`*_ms`, `*_seconds`, `seconds`) of a
-/// report into `path -> value` pairs. Arrays index by position; the
-/// benchmark set is fixed per report version, so positions align.
+/// Flatten the time-valued leaves (`*_ms`, `*_us`, `*_seconds`,
+/// `seconds`) of a report into `path -> value` pairs. Arrays index by
+/// position; the benchmark set is fixed per report version, so
+/// positions align.
 fn time_leaves(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
+    let is_time_key = |k: &str| {
+        k.ends_with("_ms") || k.ends_with("_us") || k.ends_with("seconds")
+    };
     match v {
         Value::Obj(pairs) => {
             for (k, val) in pairs {
                 let path =
                     if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
                 match val {
-                    Value::Float(x)
-                        if k.ends_with("_ms") || k.ends_with("seconds") =>
-                    {
+                    Value::Float(x) if is_time_key(k) => {
                         out.push((path, *x));
                     }
-                    Value::Int(x) if k.ends_with("_ms") || k.ends_with("seconds") => {
+                    Value::Int(x) if is_time_key(k) => {
                         out.push((path, *x as f64));
                     }
                     other => time_leaves(&path, other, out),
@@ -874,7 +988,7 @@ fn main() {
     let pipeline_systems: Vec<String> =
         systems.iter().filter(|s| s.as_str() != "ieee118").cloned().collect();
     let fig5_pipeline = bench_pipeline(&pipeline_systems, scale);
-    let obs_overhead = bench_obs_overhead();
+    let obs_overhead = bench_obs_overhead(&engine_batch);
 
     let report = BenchReport {
         generated_by: "perfbench (crates/bench/src/bin/perfbench.rs)".to_string(),

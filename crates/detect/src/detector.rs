@@ -319,6 +319,9 @@ impl Detector {
                 .values_for(&observed, self.cfg.kind)
                 .expect("observed nodes are unmasked"),
         );
+        // Stage timing clocks are only read while metrics are on, so the
+        // disabled path stays one load + branch per stage.
+        let t1 = pmu_obs::metrics_enabled().then(std::time::Instant::now);
         let prox = if sample.mask().n_missing() == 0 {
             self.scorer_full.proximities_one(&x_obs)?
         } else {
@@ -326,6 +329,9 @@ impl Detector {
                 cache.bank_for(&self.subspaces, sample.mask().fingerprint(), &observed)?;
             bank.proximities_one(&x_obs)?
         };
+        if let Some(t) = t1 {
+            pmu_obs::histogram!("detect.stage1_us").observe(t.elapsed().as_secs_f64() * 1e6);
+        }
         self.finish(sample, &observed, &prox, cache)
     }
 
@@ -363,6 +369,7 @@ impl Detector {
         for fp in order {
             let idxs = &groups[&fp];
             let observed = samples[idxs[0]].mask().observed();
+            let t1 = pmu_obs::metrics_enabled().then(std::time::Instant::now);
             let stage1 = (|| -> Result<Matrix> {
                 let holder;
                 let bank: &RestrictedBank = if samples[idxs[0]].mask().n_missing() == 0 {
@@ -382,6 +389,16 @@ impl Detector {
                 }
                 bank.proximities(&x)
             })();
+            if let Some(t) = t1 {
+                // One packed matmul scored the whole group: a
+                // count-weighted observation of the per-sample share
+                // keeps the stage-1 quantiles per-sample like the
+                // scalar path's.
+                pmu_obs::histogram!("detect.stage1_us").observe_n(
+                    t.elapsed().as_secs_f64() * 1e6 / idxs.len() as f64,
+                    idxs.len() as u64,
+                );
+            }
             match stage1 {
                 Ok(prox) => {
                     let cols: Vec<(usize, Vec<f64>)> = idxs
@@ -575,14 +592,22 @@ impl Detector {
             return Ok(d);
         }
 
+        let t2 = pmu_obs::metrics_enabled().then(std::time::Instant::now);
         let (scored, groups_used) = self.rank_nodes(sample, observed, prox, cache)?;
+        if let Some(t) = t2 {
+            pmu_obs::histogram!("detect.stage2_us").observe(t.elapsed().as_secs_f64() * 1e6);
+        }
         if scored.is_empty() {
             let needed = self.cfg.subspace_dim + 2;
             return Err(DetectError::InsufficientData { observed: observed.len(), needed });
         }
 
+        let t3 = pmu_obs::metrics_enabled().then(std::time::Instant::now);
         let loc_group = self.localization_group(&scored, &groups_used, observed);
         let lines = self.localize(&scored, &loc_group, sample)?;
+        if let Some(t) = t3 {
+            pmu_obs::histogram!("detect.stage3_us").observe(t.elapsed().as_secs_f64() * 1e6);
+        }
 
         Ok(Detection {
             outage: true,

@@ -53,9 +53,6 @@ pub const SCHEMA_VERSION: u32 = 2;
 /// Magic string identifying bundle files.
 const FORMAT: &str = "pmu-model-bundle";
 
-/// Millisecond histogram bounds for training time.
-const TRAIN_MS_BOUNDS: &[f64] = &[1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6];
-
 /// Typed failure modes of bundle (de)serialization and reuse.
 ///
 /// Every way an artifact can be wrong maps to a variant — corrupted or
@@ -191,7 +188,7 @@ impl ModelBundle {
             Detector::train(dataset, detector_cfg).map_err(|e| ModelError::Train(e.to_string()))?;
         let mlr = MlrDetector::train(dataset, mlr_cfg);
         let ms = started.elapsed().as_secs_f64() * 1e3;
-        pmu_obs::histogram!("model.train_ms", TRAIN_MS_BOUNDS).observe(ms);
+        pmu_obs::histogram!("model.train_ms").observe(ms);
         sp.record("ms", ms);
         Ok(ModelBundle {
             system: dataset.network.name.clone(),

@@ -20,17 +20,9 @@
 //! | [`BundleSaved`] | `model.bundle_saved` | `model.bundle_saved`, `model.bundle_save_ms`, `model.bundle_bytes` |
 //! | [`BundleLoaded`] | `model.bundle_loaded` | `model.bundle_loaded`, `model.bundle_load_ms` |
 
+use crate::recorder::RecKind;
 use crate::trace::{event, Value};
-use crate::{counter, histogram};
-
-/// Newton iteration-count buckets: warm starts converge in 2–4, flat
-/// starts and stressed cases take more.
-const NR_ITER_BOUNDS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 20.0, 30.0];
-/// Jacobi sweep-count buckets (SVD and symmetric eigen).
-const SWEEP_BOUNDS: &[f64] = &[2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 40.0, 60.0];
-/// Microsecond-scale duration buckets (1 µs – 10 s).
-pub(crate) const US_BOUNDS: &[f64] =
-    &[1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7];
+use crate::{counter, histogram, record};
 
 /// One Newton–Raphson AC power-flow solve completed (or gave up).
 #[derive(Debug, Clone)]
@@ -52,9 +44,8 @@ impl NrSolve {
         if !self.converged {
             counter!("flow.nr_diverged").inc();
         }
-        histogram!("flow.nr_iterations", NR_ITER_BOUNDS).observe(self.iterations as f64);
-        histogram!("flow.nr_mismatch", &[1e-12, 1e-10, 1e-8, 1e-6, 1e-3, 1.0])
-            .observe(self.mismatch);
+        histogram!("flow.nr_iterations").observe(self.iterations as f64);
+        histogram!("flow.nr_mismatch").observe(self.mismatch);
         event(
             "flow.nr_solve",
             &[
@@ -104,9 +95,8 @@ impl SvdComputed {
     /// Record companion metrics.
     pub fn emit(&self) {
         counter!("numerics.svd_calls").inc();
-        histogram!("numerics.svd_sweeps", SWEEP_BOUNDS).observe(self.sweeps as f64);
-        histogram!("numerics.svd_elems", &[64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0])
-            .observe((self.rows * self.cols) as f64);
+        histogram!("numerics.svd_sweeps").observe(self.sweeps as f64);
+        histogram!("numerics.svd_elems").observe((self.rows * self.cols) as f64);
     }
 }
 
@@ -123,7 +113,7 @@ impl EigenComputed {
     /// Record companion metrics.
     pub fn emit(&self) {
         counter!("numerics.eigen_calls").inc();
-        histogram!("numerics.eigen_sweeps", SWEEP_BOUNDS).observe(self.sweeps as f64);
+        histogram!("numerics.eigen_sweeps").observe(self.sweeps as f64);
     }
 }
 
@@ -145,8 +135,8 @@ impl WorkerStats {
     /// Record the trace event and companion metrics.
     pub fn emit(&self) {
         counter!("par.tasks").add(self.tasks as u64);
-        histogram!("par.worker_busy_us", US_BOUNDS).observe(self.busy_us as f64);
-        histogram!("par.worker_idle_us", US_BOUNDS).observe(self.idle_us as f64);
+        histogram!("par.worker_busy_us").observe(self.busy_us as f64);
+        histogram!("par.worker_idle_us").observe(self.idle_us as f64);
         event(
             "par.worker",
             &[
@@ -169,9 +159,11 @@ pub struct StreamRaised {
 }
 
 impl StreamRaised {
-    /// Record the trace event and companion metrics.
+    /// Record the trace event, companion metrics and a flight-recorder
+    /// record (`a` = samples seen, `b` = outaged-line count).
     pub fn emit(&self) {
         counter!("detect.stream_raised").inc();
+        record!(RecKind::Event, "detect.stream_raised", self.samples_seen, self.lines.len());
         event(
             "detect.stream_raised",
             &[
@@ -193,9 +185,16 @@ pub struct StreamRelocalized {
 }
 
 impl StreamRelocalized {
-    /// Record the trace event and companion metrics.
+    /// Record the trace event, companion metrics and a flight-recorder
+    /// record (`a` = samples seen, `b` = outaged-line count).
     pub fn emit(&self) {
         counter!("detect.stream_relocalized").inc();
+        record!(
+            RecKind::Event,
+            "detect.stream_relocalized",
+            self.samples_seen,
+            self.lines.len()
+        );
         event(
             "detect.stream_relocalized",
             &[
@@ -216,14 +215,25 @@ pub struct SampleRejected {
 }
 
 impl SampleRejected {
-    /// Record the trace event and companion metrics.
+    /// Record the trace event, companion metrics and a flight-recorder
+    /// record (`a` = reason code: 0 non_finite, 1 wrong_length, 2 other).
     pub fn emit(&self) {
         counter!("serve.samples_rejected").inc();
-        match self.reason {
-            "non_finite" => counter!("serve.rejected_non_finite").inc(),
-            "wrong_length" => counter!("serve.rejected_wrong_length").inc(),
-            _ => counter!("serve.rejected_other").inc(),
-        }
+        let code = match self.reason {
+            "non_finite" => {
+                counter!("serve.rejected_non_finite").inc();
+                0u64
+            }
+            "wrong_length" => {
+                counter!("serve.rejected_wrong_length").inc();
+                1
+            }
+            _ => {
+                counter!("serve.rejected_other").inc();
+                2
+            }
+        };
+        record!(RecKind::Event, "serve.sample_rejected", code, 0);
         event("serve.sample_rejected", &[("reason", Value::from(self.reason))]);
     }
 }
@@ -242,14 +252,26 @@ pub struct FeedModeChanged {
 }
 
 impl FeedModeChanged {
-    /// Record the trace event and companion metrics.
+    /// Record the trace event, companion metrics and a flight-recorder
+    /// record (`a` = session slot, `b` = mode entered: 0 healthy,
+    /// 1 degraded, 2 dark).
     pub fn emit(&self) {
         counter!("serve.mode_transitions").inc();
-        match self.to {
-            "degraded" => counter!("serve.feeds_degraded").inc(),
-            "dark" => counter!("serve.feeds_dark").inc(),
-            _ => counter!("serve.feeds_recovered").inc(),
-        }
+        let code = match self.to {
+            "degraded" => {
+                counter!("serve.feeds_degraded").inc();
+                1u64
+            }
+            "dark" => {
+                counter!("serve.feeds_dark").inc();
+                2
+            }
+            _ => {
+                counter!("serve.feeds_recovered").inc();
+                0
+            }
+        };
+        record!(RecKind::Event, "serve.feed_mode", self.session, code);
         event(
             "serve.feed_mode",
             &[
@@ -270,16 +292,14 @@ pub struct StreamCleared {
 }
 
 impl StreamCleared {
-    /// Record the trace event and companion metrics.
+    /// Record the trace event, companion metrics and a flight-recorder
+    /// record (`a` = samples seen).
     pub fn emit(&self) {
         counter!("detect.stream_cleared").inc();
+        record!(RecKind::Event, "detect.stream_cleared", self.samples_seen, 0);
         event("detect.stream_cleared", &[("samples_seen", self.samples_seen.into())]);
     }
 }
-
-/// Millisecond-scale duration buckets (0.1 ms – 100 s): bundle I/O and
-/// training both land in this range.
-const MS_BOUNDS: &[f64] = &[0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5];
 
 /// A trained model bundle was serialized to the artifact store (or an
 /// explicit path).
@@ -297,9 +317,8 @@ impl BundleSaved {
     /// Record the trace event and companion metrics.
     pub fn emit(&self) {
         counter!("model.bundle_saved").inc();
-        histogram!("model.bundle_save_ms", MS_BOUNDS).observe(self.ms);
-        histogram!("model.bundle_bytes", &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8])
-            .observe(self.bytes as f64);
+        histogram!("model.bundle_save_ms").observe(self.ms);
+        histogram!("model.bundle_bytes").observe(self.bytes as f64);
         event(
             "model.bundle_saved",
             &[
@@ -333,7 +352,7 @@ impl BundleLoaded {
     /// Record the trace event and companion metrics.
     pub fn emit(&self) {
         counter!("model.bundle_loaded").inc();
-        histogram!("model.bundle_load_ms", MS_BOUNDS).observe(self.ms);
+        histogram!("model.bundle_load_ms").observe(self.ms);
         event(
             "model.bundle_loaded",
             &[

@@ -16,12 +16,18 @@
 //!    [`install_trace_path`] (the `repro --trace PATH` flag) or the
 //!    `PMU_TRACE` environment variable via [`init_from_env`].
 //! 2. **Metrics** ([`counter`], [`gauge`], [`histogram`]) — a global
-//!    registry of atomically-updated counters, gauges and fixed-bucket
-//!    histograms, with a formatted end-of-run summary table
-//!    ([`metrics_summary`]).
+//!    registry of atomically-updated counters, gauges and log-linear
+//!    (HDR-style) quantile histograms, with a formatted end-of-run
+//!    summary table ([`metrics_summary`]) and a Prometheus text
+//!    exposition renderer ([`prometheus_text`]).
 //! 3. **Typed events** ([`events`]) — structured records for domain
 //!    signals (NR solves, reactive-limit pins, SVD sweeps, worker-pool
 //!    stats, streaming raise/clear), so the JSONL schema has one home.
+//! 4. **Flight recorder** ([`recorder`]) — always-on lock-free ring
+//!    buffers of compact timestamped records, snapshotted to JSONL
+//!    "incident dumps" when an anomaly fires. Unlike the other
+//!    facilities it defaults to *on*; [`set_recorder_enabled`] is for
+//!    overhead measurement.
 //!
 //! ## Cost model
 //!
@@ -59,12 +65,15 @@
 
 pub mod events;
 pub mod metrics;
+pub mod recorder;
 pub mod trace;
 
 pub use metrics::{
-    counter, gauge, histogram, metrics_enabled, metrics_summary, reset_metrics,
-    set_metrics_enabled, Counter, Gauge, Histogram,
+    counter, gauge, histogram, histogram_with, metrics_enabled, metrics_summary,
+    prometheus_text, reset_metrics, set_metrics_enabled, Counter, Gauge, Histogram,
+    HistogramSpec,
 };
+pub use recorder::{recorder_enabled, set_recorder_enabled, RecKind, Recorder};
 pub use trace::{
     enabled, event, flush_trace, info, init_from_env, install_trace_path,
     install_trace_writer, span, trace_enabled, uninstall_trace, write_header, Span, Value,

@@ -1,13 +1,26 @@
-//! Global metrics registry: counters, gauges and fixed-bucket
-//! histograms, all updated with relaxed atomics and guarded by a single
-//! enabled flag so disabled runs pay one load and a branch per call.
+//! Global metrics registry: counters, gauges and log-linear
+//! (HDR-style) quantile histograms, all updated with relaxed atomics
+//! and guarded by a single enabled flag so disabled runs pay one load
+//! and a branch per call.
 //!
-//! Handles are `&'static` — registered entries are leaked once per
-//! distinct metric name (bounded by the instrumentation vocabulary) so
-//! hot paths never re-lock the registry; cache the handle in a
-//! `OnceLock` via the [`counter!`](crate::counter!) /
-//! [`gauge!`](crate::gauge!) / [`histogram!`](crate::histogram!)
-//! macros.
+//! Handles are `&'static` — registered entries are **leaked by design**
+//! (one `Box::leak` per distinct metric name, bounded by the
+//! instrumentation vocabulary) so hot paths never re-lock the registry;
+//! cache the handle in a `OnceLock` via the [`counter!`](crate::counter!)
+//! / [`gauge!`](crate::gauge!) / [`histogram!`](crate::histogram!)
+//! macros. Re-registering a name returns the first entry; registering a
+//! histogram name under a *different* [`HistogramSpec`] trips a debug
+//! assertion (first registration wins in release builds).
+//!
+//! ## Histogram layout
+//!
+//! Buckets are log-linear: each power of two (octave) between
+//! `2^min_exp` and `2^(max_exp+1)` is split into `2^subbucket_bits`
+//! linear sub-buckets keyed directly off the `f64` exponent and top
+//! mantissa bits, plus one underflow and one overflow bucket. With the
+//! default 16 sub-buckets per octave, any quantile estimate is within
+//! 1/16 ≈ 6.25% of the true value — accurate enough for p50/p90/p99/
+//! p999 latency tracking without per-call-site bucket tuning.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -114,15 +127,74 @@ fn atomic_f64_update(bits: &AtomicU64, v: f64, op: impl Fn(f64, f64) -> f64) {
     }
 }
 
-/// A fixed-bucket histogram.
+/// Log-linear bucket layout of a [`Histogram`].
 ///
-/// `bounds` are ascending inclusive upper edges; an implicit `+inf`
-/// bucket catches everything above the last edge. Also tracks count,
-/// sum, min and max for the summary table.
+/// Values in `[2^min_exp, 2^(max_exp+1))` land in one of
+/// `2^subbucket_bits` linear sub-buckets per octave; anything below
+/// (including zero and negatives) lands in the underflow bucket and
+/// anything at or above in the overflow bucket. The default covers
+/// `[2^-14, 2^40)` ≈ `[6.1e-5, 1.1e12)` at ≤ 6.25% relative error —
+/// wide enough for sub-microsecond timings through multi-hour counts
+/// with one shared layout, so call sites never pick bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSpec {
+    /// log2 of the linear sub-buckets per octave (4 → 16 sub-buckets,
+    /// ≤ 1/16 relative quantile error). Must be in `1..=8`.
+    pub subbucket_bits: u32,
+    /// Lowest tracked octave: values below `2^min_exp` underflow.
+    /// Must be ≥ -1022 so tracked values are never subnormal.
+    pub min_exp: i32,
+    /// Highest tracked octave: values ≥ `2^(max_exp+1)` overflow.
+    pub max_exp: i32,
+}
+
+impl Default for HistogramSpec {
+    fn default() -> Self {
+        HistogramSpec { subbucket_bits: 4, min_exp: -14, max_exp: 39 }
+    }
+}
+
+impl HistogramSpec {
+    fn validate(&self, name: &str) {
+        assert!(
+            (1..=8).contains(&self.subbucket_bits),
+            "histogram {name}: subbucket_bits must be in 1..=8"
+        );
+        assert!(
+            self.min_exp >= -1022 && self.min_exp <= self.max_exp,
+            "histogram {name}: need -1022 <= min_exp <= max_exp"
+        );
+    }
+
+    /// Linear sub-buckets per octave.
+    pub fn subbuckets(&self) -> usize {
+        1 << self.subbucket_bits
+    }
+
+    /// Tracked octaves (powers of two) between underflow and overflow.
+    pub fn octaves(&self) -> usize {
+        (self.max_exp - self.min_exp + 1) as usize
+    }
+
+    /// Total bucket count including underflow and overflow.
+    pub fn num_buckets(&self) -> usize {
+        self.octaves() * self.subbuckets() + 2
+    }
+}
+
+/// A log-linear quantile histogram (HDR-style).
+///
+/// Tracks per-bucket counts plus exact count, sum, min and max.
+/// Quantile estimates ([`quantile`](Histogram::quantile)) are bucket
+/// upper edges clamped into `[min, max]`, so relative error is bounded
+/// by the sub-bucket width (6.25% at the default layout). NaN
+/// observations are dropped.
 #[derive(Debug)]
 pub struct Histogram {
     name: &'static str,
-    bounds: Vec<f64>,
+    spec: HistogramSpec,
+    /// `2^min_exp`, cached for the underflow test on the hot path.
+    min_value: f64,
     counts: Vec<AtomicU64>,
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
@@ -131,15 +203,13 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(name: &'static str, bounds: &[f64]) -> Self {
-        assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
-            "histogram {name}: bucket bounds must be strictly ascending"
-        );
+    fn new(name: &'static str, spec: HistogramSpec) -> Self {
+        spec.validate(name);
         Histogram {
             name,
-            bounds: bounds.to_vec(),
-            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            spec,
+            min_value: (2.0f64).powi(spec.min_exp),
+            counts: (0..spec.num_buckets()).map(|_| AtomicU64::new(0)).collect(),
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
@@ -152,32 +222,124 @@ impl Histogram {
         self.name
     }
 
+    /// The bucket layout this histogram was registered with.
+    pub fn spec(&self) -> HistogramSpec {
+        self.spec
+    }
+
     /// Record one observation (no-op while metrics are disabled).
+    #[inline]
     pub fn observe(&self, v: f64) {
-        if !metrics_enabled() {
+        self.observe_n(v, 1);
+    }
+
+    /// Record `n` observations of the same value `v` in one update —
+    /// the count-weighted form batch paths use so per-sample quantiles
+    /// stay honest without `n` separate CAS loops. No-op while metrics
+    /// are disabled, when `n == 0`, or when `v` is NaN.
+    pub fn observe_n(&self, v: f64, n: u64) {
+        if !metrics_enabled() || n == 0 || v.is_nan() {
             return;
         }
         let idx = self.bucket_index(v);
-        self.counts[idx].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-        atomic_f64_update(&self.sum_bits, v, |a, b| a + b);
+        self.counts[idx].fetch_add(n, Ordering::Relaxed);
+        self.total.fetch_add(n, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, v * n as f64, |a, b| a + b);
         atomic_f64_update(&self.min_bits, v, f64::min);
         atomic_f64_update(&self.max_bits, v, f64::max);
     }
 
-    /// Index of the bucket `v` falls into (last = overflow).
+    /// Index of the bucket `v` falls into (0 = underflow, last =
+    /// overflow), computed from the `f64` exponent and top mantissa
+    /// bits — no search.
     pub fn bucket_index(&self, v: f64) -> usize {
-        self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len())
+        if v.is_nan() || v < self.min_value {
+            return 0;
+        }
+        if v.is_infinite() {
+            return self.counts.len() - 1;
+        }
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if exp > self.spec.max_exp {
+            return self.counts.len() - 1;
+        }
+        let sb_bits = self.spec.subbucket_bits;
+        let sub = ((bits >> (52 - sb_bits)) & ((1u64 << sb_bits) - 1)) as usize;
+        1 + (exp - self.spec.min_exp) as usize * self.spec.subbuckets() + sub
     }
 
-    /// Upper bucket edges (the overflow bucket is implicit).
-    pub fn bounds(&self) -> &[f64] {
-        &self.bounds
+    /// Inclusive upper edge of bucket `idx` (`+inf` for the overflow
+    /// bucket; the underflow bucket's edge is `2^min_exp`).
+    pub fn bucket_upper(&self, idx: usize) -> f64 {
+        if idx == 0 {
+            return self.min_value;
+        }
+        if idx >= self.counts.len() - 1 {
+            return f64::INFINITY;
+        }
+        let i = idx - 1;
+        let sb = self.spec.subbuckets();
+        let octave = (i / sb) as i32 + self.spec.min_exp;
+        let sub = (i % sb) as f64;
+        (2.0f64).powi(octave) * (1.0 + (sub + 1.0) / sb as f64)
     }
 
-    /// Per-bucket observation counts (`bounds().len() + 1` entries).
-    pub fn bucket_counts(&self) -> Vec<u64> {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    /// Buckets with at least one observation, as `(upper_edge, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (self.bucket_upper(i), n))
+            })
+            .collect()
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`). Returns the upper
+    /// edge of the bucket holding the target rank, clamped into
+    /// `[min, max]`; NaN when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum >= target {
+                return self.bucket_upper(i).clamp(self.min(), self.max());
+            }
+        }
+        // Concurrent updates can leave `total` ahead of the bucket sum.
+        self.max()
+    }
+
+    /// Fold another histogram's observations into this one. Both must
+    /// share the same [`HistogramSpec`] (debug-asserted; mismatched
+    /// merges in release builds fold what aligns).
+    pub fn merge_from(&self, other: &Histogram) {
+        debug_assert_eq!(
+            self.spec, other.spec,
+            "histogram {}: merge_from({}) with mismatched layout",
+            self.name, other.name
+        );
+        for (dst, src) in self.counts.iter().zip(&other.counts) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = other.total.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        self.total.fetch_add(n, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, other.sum(), |a, b| a + b);
+        atomic_f64_update(&self.min_bits, other.min(), f64::min);
+        atomic_f64_update(&self.max_bits, other.max(), f64::max);
     }
 
     /// Number of observations.
@@ -216,6 +378,8 @@ impl Histogram {
         }
         self.total.store(0, Ordering::Relaxed);
         self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        // Min/max reset to their empty sentinels too, so a summary
+        // after reset never reports stale extremes.
         self.min_bits.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
         self.max_bits.store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
     }
@@ -239,8 +403,9 @@ fn registry() -> std::sync::MutexGuard<'static, Registry> {
 
 /// Get or register the counter named `name`.
 ///
-/// Each distinct name is registered (and leaked) once; hot call sites
-/// should cache the handle via the [`counter!`](crate::counter!) macro.
+/// Each distinct name is registered (and intentionally leaked via
+/// `Box::leak`) once; hot call sites should cache the handle via the
+/// [`counter!`](crate::counter!) macro.
 pub fn counter(name: &'static str) -> &'static Counter {
     let mut reg = registry();
     if let Some(c) = reg.counters.iter().find(|c| c.name == name) {
@@ -262,17 +427,49 @@ pub fn gauge(name: &'static str) -> &'static Gauge {
     g
 }
 
-/// Get or register the histogram named `name` with the given bucket
-/// edges. If the name is already registered, the existing histogram is
-/// returned and `bounds` is ignored (first registration wins).
-pub fn histogram(name: &'static str, bounds: &[f64]) -> &'static Histogram {
+/// Get or register the histogram named `name` with the default
+/// log-linear layout. On re-get the existing histogram is returned
+/// whatever its layout.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    get_or_register_histogram(name, HistogramSpec::default(), false)
+}
+
+/// Get or register the histogram named `name` with an explicit layout.
+/// First registration wins; a re-registration under a *different* spec
+/// trips a debug assertion (and is ignored in release builds).
+pub fn histogram_with(name: &'static str, spec: HistogramSpec) -> &'static Histogram {
+    get_or_register_histogram(name, spec, true)
+}
+
+fn get_or_register_histogram(
+    name: &'static str,
+    spec: HistogramSpec,
+    check_spec: bool,
+) -> &'static Histogram {
     let mut reg = registry();
     if let Some(h) = reg.histograms.iter().find(|h| h.name == name) {
+        if check_spec {
+            debug_assert_eq!(
+                h.spec, spec,
+                "histogram {name}: re-registered with a mismatched layout \
+                 (first registration wins)"
+            );
+        }
         return h;
     }
-    let h: &'static Histogram = Box::leak(Box::new(Histogram::new(name, bounds)));
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new(name, spec)));
     reg.histograms.push(h);
     h
+}
+
+/// Run `f` over every registered metric, in registration order. For
+/// renderers (summary table, Prometheus exposition) that need a
+/// consistent snapshot of the registry.
+pub(crate) fn with_registry<R>(
+    f: impl FnOnce(&[&'static Counter], &[&'static Gauge], &[&'static Histogram]) -> R,
+) -> R {
+    let reg = registry();
+    f(&reg.counters, &reg.gauges, &reg.histograms)
 }
 
 /// Cached-handle form of [`counter()`](counter): resolves the registry
@@ -294,18 +491,27 @@ macro_rules! gauge {
     }};
 }
 
-/// Cached-handle form of [`histogram()`](histogram).
+/// Cached-handle form of [`histogram()`](histogram) /
+/// [`histogram_with()`](histogram_with). The one-argument form uses the
+/// default log-linear layout; pass a [`HistogramSpec`] to override.
 #[macro_export]
 macro_rules! histogram {
-    ($name:expr, $bounds:expr) => {{
+    ($name:expr) => {{
         static HANDLE: std::sync::OnceLock<&'static $crate::Histogram> =
             std::sync::OnceLock::new();
-        *HANDLE.get_or_init(|| $crate::histogram($name, $bounds))
+        *HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+    ($name:expr, $spec:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Histogram> =
+            std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::histogram_with($name, $spec))
     }};
 }
 
-/// Zero every registered metric (registrations persist). For tests and
-/// for perfbench runs that measure several configurations in sequence.
+/// Zero every registered metric (registrations persist — they are
+/// leaked by design). Histograms drop their min/max watermarks back to
+/// the empty sentinels as well. For tests and for perfbench runs that
+/// measure several configurations in sequence.
 pub fn reset_metrics() {
     let reg = registry();
     for c in &reg.counters {
@@ -338,13 +544,14 @@ fn fmt_num(v: f64) -> String {
 
 /// The formatted end-of-run metrics summary table.
 ///
-/// Rows are sorted by metric name so output is deterministic. Metrics
-/// with zero activity are omitted; returns a one-line note when nothing
-/// was recorded.
+/// Rows are sorted by metric name so output is deterministic.
+/// Histogram rows carry the p50/p90/p99 quantile estimates next to the
+/// exact min/mean/max. Metrics with zero activity are omitted; returns
+/// a one-line note when nothing was recorded.
 pub fn metrics_summary() -> String {
     let reg = registry();
     let mut out = String::new();
-    let rule = "=".repeat(72);
+    let rule = "=".repeat(100);
     let _ = writeln!(out, "{rule}");
     let _ = writeln!(out, "pmu-obs metrics summary");
     let _ = writeln!(out, "{rule}");
@@ -376,38 +583,93 @@ pub fn metrics_summary() -> String {
     if !histograms.is_empty() {
         let _ = writeln!(
             out,
-            "histograms {:>40} {:>10} {:>10} {:>10}",
-            "count", "min", "mean", "max"
+            "histograms {:>33} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "count", "min", "mean", "p50", "p90", "p99", "max"
         );
         for h in histograms {
             let _ = writeln!(
                 out,
-                "  {:<44} {:>8} {:>10} {:>10} {:>10}",
+                "  {:<42} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
                 h.name(),
                 h.count(),
                 fmt_num(h.min()),
                 fmt_num(h.mean()),
+                fmt_num(h.quantile(0.50)),
+                fmt_num(h.quantile(0.90)),
+                fmt_num(h.quantile(0.99)),
                 fmt_num(h.max())
             );
-            let counts = h.bucket_counts();
-            let mut parts: Vec<String> = Vec::new();
-            for (i, &n) in counts.iter().enumerate() {
-                if n == 0 {
-                    continue;
-                }
-                let label = if i < h.bounds().len() {
-                    format!("<={}", fmt_num(h.bounds()[i]))
-                } else {
-                    "+inf".to_string()
-                };
-                parts.push(format!("{label}:{n}"));
-            }
-            if !parts.is_empty() {
-                let _ = writeln!(out, "      buckets  {}", parts.join("  "));
-            }
         }
     }
     out
+}
+
+/// Sanitize a metric name into the Prometheus identifier charset
+/// (`[a-zA-Z0-9_:]`, non-digit first character).
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+fn prometheus_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render every registered metric in the Prometheus text exposition
+/// format (version 0.0.4). Counters and gauges become single samples;
+/// histograms are rendered as summaries with `quantile` labels
+/// (p50/p90/p99/p999) plus `_sum`, `_count`, `_min` and `_max` series.
+/// Output is sorted by metric name so scrapes are diffable.
+pub fn prometheus_text() -> String {
+    with_registry(|counters, gauges, histograms| {
+        let mut out = String::new();
+        let mut counters: Vec<_> = counters.to_vec();
+        counters.sort_by_key(|c| c.name());
+        for c in counters {
+            let n = prometheus_name(c.name());
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {}", c.get());
+        }
+        let mut gauges: Vec<_> = gauges.to_vec();
+        gauges.sort_by_key(|g| g.name());
+        for g in gauges {
+            let n = prometheus_name(g.name());
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", prometheus_f64(g.get()));
+        }
+        let mut histograms: Vec<_> = histograms.to_vec();
+        histograms.sort_by_key(|h| h.name());
+        for h in histograms {
+            let n = prometheus_name(h.name());
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (label, q) in
+                [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)]
+            {
+                let _ = writeln!(
+                    out,
+                    "{n}{{quantile=\"{label}\"}} {}",
+                    prometheus_f64(h.quantile(q))
+                );
+            }
+            let _ = writeln!(out, "{n}_sum {}", prometheus_f64(h.sum()));
+            let _ = writeln!(out, "{n}_count {}", h.count());
+            let _ = writeln!(out, "{n}_min {}", prometheus_f64(h.min()));
+            let _ = writeln!(out, "{n}_max {}", prometheus_f64(h.max()));
+        }
+        out
+    })
 }
 
 #[cfg(test)]
@@ -419,29 +681,97 @@ mod tests {
     // enabled flag around its own assertions.
 
     #[test]
-    fn histogram_bucketing_edges_and_overflow() {
-        let _guard = crate::testutil::lock();
-        let h = histogram("test.hist_edges", &[1.0, 2.0, 4.0]);
-        // Inclusive upper edges.
-        assert_eq!(h.bucket_index(0.5), 0);
-        assert_eq!(h.bucket_index(1.0), 0);
-        assert_eq!(h.bucket_index(1.0000001), 1);
-        assert_eq!(h.bucket_index(2.0), 1);
-        assert_eq!(h.bucket_index(3.0), 2);
-        assert_eq!(h.bucket_index(4.0), 2);
-        assert_eq!(h.bucket_index(100.0), 3); // overflow bucket
+    fn bucket_index_is_monotone_and_edges_hold() {
+        let h = histogram("test.hist_layout");
+        // Underflow catches zero, negatives and tiny values.
+        assert_eq!(h.bucket_index(0.0), 0);
+        assert_eq!(h.bucket_index(-5.0), 0);
+        assert_eq!(h.bucket_index(1e-9), 0);
+        // Overflow catches huge and infinite values.
+        assert_eq!(h.bucket_index(1e18), h.spec().num_buckets() - 1);
+        assert_eq!(h.bucket_index(f64::INFINITY), h.spec().num_buckets() - 1);
+        // Monotone: a larger value never maps to an earlier bucket.
+        let mut prev = 0usize;
+        let mut v = 1e-4;
+        while v < 1e12 {
+            let idx = h.bucket_index(v);
+            assert!(idx >= prev, "bucket_index not monotone at {v}");
+            prev = idx;
+            v *= 1.37;
+        }
+        // Every value is at or below its bucket's upper edge, and the
+        // edge is within one sub-bucket width (6.25%) of the value.
+        for v in [1.0, 3.5, 17.0, 999.0, 1.25e6] {
+            let idx = h.bucket_index(v);
+            let upper = h.bucket_upper(idx);
+            assert!(v <= upper, "{v} above its bucket edge {upper}");
+            assert!(upper <= v * (1.0 + 1.0 / 16.0) + 1e-12, "{v} edge {upper} too loose");
+        }
+    }
 
+    #[test]
+    fn quantiles_are_within_layout_error() {
+        let _guard = crate::testutil::lock();
+        let h = histogram("test.hist_quantiles");
+        assert!(h.quantile(0.5).is_nan(), "empty histogram must report NaN quantiles");
         set_metrics_enabled(true);
-        for v in [0.5, 1.0, 2.0, 3.0, 9.0, 9.0] {
-            h.observe(v);
+        for i in 1..=1000 {
+            h.observe(i as f64);
         }
         set_metrics_enabled(false);
-        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 2]);
-        assert_eq!(h.count(), 6);
-        assert!((h.sum() - 24.5).abs() < 1e-12);
-        assert!((h.mean() - 24.5 / 6.0).abs() < 1e-12);
-        assert_eq!(h.min(), 0.5);
-        assert_eq!(h.max(), 9.0);
+        for (q, truth) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0), (0.999, 999.0)] {
+            let est = h.quantile(q);
+            let rel = (est - truth).abs() / truth;
+            assert!(rel <= 1.0 / 16.0 + 1e-9, "q={q}: est {est} vs {truth} (rel {rel})");
+        }
+        // Quantile estimates are clamped into the observed range.
+        assert!(h.quantile(0.0) >= 1.0);
+        assert!(h.quantile(1.0) <= 1000.0);
+        assert_eq!(h.count(), 1000);
+        assert!((h.sum() - 500_500.0).abs() < 1e-6);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1000.0);
+        h.reset();
+    }
+
+    #[test]
+    fn observe_n_weights_counts_and_sum() {
+        let _guard = crate::testutil::lock();
+        let h = histogram("test.hist_weighted");
+        set_metrics_enabled(true);
+        h.observe_n(10.0, 99);
+        h.observe_n(1000.0, 1);
+        h.observe_n(5.0, 0); // no-op
+        h.observe_n(f64::NAN, 7); // dropped
+        set_metrics_enabled(false);
+        assert_eq!(h.count(), 100);
+        assert!((h.sum() - (990.0 + 1000.0)).abs() < 1e-9);
+        // With 99 of 100 observations at 10, p50/p90 sit at 10 and p99+
+        // must see the tail value.
+        assert!(h.quantile(0.5) <= 10.0 * (1.0 + 1.0 / 16.0));
+        assert!(h.quantile(0.995) >= 999.0);
+        h.reset();
+    }
+
+    #[test]
+    fn merge_folds_counts_and_extremes() {
+        let _guard = crate::testutil::lock();
+        let a = histogram("test.hist_merge_a");
+        let b = histogram("test.hist_merge_b");
+        set_metrics_enabled(true);
+        for i in 1..=100 {
+            a.observe(i as f64);
+            b.observe((i + 900) as f64);
+        }
+        set_metrics_enabled(false);
+        a.merge_from(b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 1000.0);
+        let p99 = a.quantile(0.99);
+        assert!((p99 - 996.0).abs() / 996.0 <= 1.0 / 16.0 + 1e-9, "merged p99 {p99}");
+        a.reset();
+        b.reset();
     }
 
     #[test]
@@ -449,7 +779,7 @@ mod tests {
         let _guard = crate::testutil::lock();
         set_metrics_enabled(false);
         let c = counter("test.disabled_counter");
-        let h = histogram("test.disabled_hist", &[1.0]);
+        let h = histogram("test.disabled_hist");
         let g = gauge("test.disabled_gauge");
         c.inc();
         c.add(10);
@@ -465,10 +795,28 @@ mod tests {
         let a = counter("test.idem");
         let b = counter("test.idem");
         assert!(std::ptr::eq(a, b));
-        let h1 = histogram("test.idem_h", &[1.0, 2.0]);
-        let h2 = histogram("test.idem_h", &[9.0]); // bounds ignored on re-get
+        let h1 = histogram("test.idem_h");
+        let h2 = histogram("test.idem_h");
         assert!(std::ptr::eq(h1, h2));
-        assert_eq!(h2.bounds(), &[1.0, 2.0]);
+        let spec = HistogramSpec { subbucket_bits: 2, min_exp: 0, max_exp: 10 };
+        let h3 = histogram_with("test.idem_h_spec", spec);
+        let h4 = histogram_with("test.idem_h_spec", spec); // same spec: fine
+        assert!(std::ptr::eq(h3, h4));
+        assert_eq!(h3.spec(), spec);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "mismatched layout")]
+    fn mismatched_respec_trips_debug_assertion() {
+        let _ = histogram_with(
+            "test.respec",
+            HistogramSpec { subbucket_bits: 2, min_exp: 0, max_exp: 10 },
+        );
+        let _ = histogram_with(
+            "test.respec",
+            HistogramSpec { subbucket_bits: 3, min_exp: 0, max_exp: 10 },
+        );
     }
 
     #[test]
@@ -476,8 +824,13 @@ mod tests {
         let a = counter!("test.macro_counter");
         let b = counter!("test.macro_counter");
         assert!(std::ptr::eq(a, b));
-        let h = histogram!("test.macro_hist", &[1.0, 10.0]);
-        assert_eq!(h.bounds().len(), 2);
+        let h = histogram!("test.macro_hist");
+        assert_eq!(h.name(), "test.macro_hist");
+        let h2 = histogram!(
+            "test.macro_hist_spec",
+            HistogramSpec { subbucket_bits: 5, min_exp: -4, max_exp: 20 }
+        );
+        assert_eq!(h2.spec().subbucket_bits, 5);
         let g = gauge!("test.macro_gauge");
         assert_eq!(g.name(), "test.macro_gauge");
     }
@@ -489,7 +842,7 @@ mod tests {
         counter("test.summary_active").add(3);
         let _ = counter("test.summary_inactive");
         gauge("test.summary_gauge").set(2.5);
-        let h = histogram("test.summary_hist", &[10.0, 20.0]);
+        let h = histogram("test.summary_hist");
         h.observe(5.0);
         h.observe(15.0);
         set_metrics_enabled(false);
@@ -501,13 +854,45 @@ mod tests {
         assert!(s.contains("test.summary_gauge"));
         assert!(s.contains("2.5"));
         assert!(s.contains("test.summary_hist"));
-        assert!(s.contains("<=10:1"));
-        assert!(s.contains("<=20:1"));
+        assert!(s.contains("p99"));
 
-        // Reset zeroes values but keeps registrations.
+        // Reset zeroes values AND histogram min/max watermarks, but
+        // keeps registrations.
         reset_metrics();
         assert_eq!(counter("test.summary_active").get(), 0);
-        assert_eq!(histogram("test.summary_hist", &[]).count(), 0);
+        assert_eq!(histogram("test.summary_hist").count(), 0);
+        assert_eq!(histogram("test.summary_hist").min(), f64::INFINITY);
+        assert_eq!(histogram("test.summary_hist").max(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn prometheus_text_renders_quantiles() {
+        let _guard = crate::testutil::lock();
+        set_metrics_enabled(true);
+        counter("test.prom_counter").add(7);
+        gauge("test.prom_gauge").set(1.5);
+        let h = histogram("test.prom.hist_us");
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        set_metrics_enabled(false);
+
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE test_prom_counter counter"));
+        assert!(text.contains("test_prom_counter 7"));
+        assert!(text.contains("# TYPE test_prom_gauge gauge"));
+        assert!(text.contains("test_prom_gauge 1.5"));
+        assert!(text.contains("# TYPE test_prom_hist_us summary"));
+        assert!(text.contains("test_prom_hist_us{quantile=\"0.99\"}"));
+        assert!(text.contains("test_prom_hist_us_count 100"));
+        // The exposition and the summary table must agree on the p99.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("test_prom_hist_us{quantile=\"0.99\"}"))
+            .unwrap();
+        let exposed: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+        assert_eq!(exposed, h.quantile(0.99));
+        reset_metrics();
     }
 
     #[test]
@@ -515,7 +900,7 @@ mod tests {
         let _guard = crate::testutil::lock();
         set_metrics_enabled(true);
         let c = counter("test.concurrent");
-        let h = histogram("test.concurrent_h", &[100.0]);
+        let h = histogram("test.concurrent_h");
         std::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {
@@ -529,11 +914,16 @@ mod tests {
         set_metrics_enabled(false);
         assert_eq!(c.get(), 4000);
         assert_eq!(h.count(), 4000);
+        c.reset();
+        h.reset();
     }
 
     #[test]
-    #[should_panic(expected = "strictly ascending")]
-    fn bad_bounds_panic() {
-        let _ = histogram("test.bad_bounds", &[2.0, 1.0]);
+    #[should_panic(expected = "subbucket_bits")]
+    fn bad_spec_panics() {
+        let _ = histogram_with(
+            "test.bad_spec",
+            HistogramSpec { subbucket_bits: 0, min_exp: 0, max_exp: 1 },
+        );
     }
 }

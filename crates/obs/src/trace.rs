@@ -102,7 +102,7 @@ impl From<&[usize]> for Value {
     }
 }
 
-fn write_json_string(out: &mut String, s: &str) {
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -120,7 +120,7 @@ fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn write_json_value(out: &mut String, v: &Value) {
+pub(crate) fn write_json_value(out: &mut String, v: &Value) {
     match v {
         Value::U64(x) => {
             let _ = write!(out, "{x}");

@@ -26,18 +26,34 @@
 //! feed.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use pmu_detect::stream::{HealthSnapshot, StreamConfig, StreamEvent, StreamingDetector};
 use pmu_detect::{DetectError, Detection, Detector, ScoringCache};
 use pmu_model::{ModelBundle, ModelError, RetryPolicy};
 use pmu_numerics::par;
+use pmu_obs::recorder::{label_id, write_incident_dump, LabelId, RecKind};
+use pmu_obs::{Recorder, Value};
 use pmu_sim::PhasorSample;
 
-/// Microsecond latency buckets: single-sample detection sits well under a
-/// 30 Hz reporting interval (33 ms), so the range centers on 10 µs – 10 ms.
-const LATENCY_US_BOUNDS: &[f64] = &[10.0, 50.0, 100.0, 500.0, 1e3, 5e3, 1e4, 1e5, 1e6];
+/// Capacity of each session's per-feed flight-recorder ring: enough to
+/// hold several degrade windows of push history around an anomaly.
+const FEED_RING_CAPACITY: usize = 128;
+
+/// Interned per-feed ring labels, resolved once per process.
+fn push_labels() -> (LabelId, LabelId, LabelId) {
+    static LABELS: OnceLock<(LabelId, LabelId, LabelId)> = OnceLock::new();
+    *LABELS.get_or_init(|| {
+        (
+            label_id("serve.push_scored"),
+            label_id("serve.push_missing"),
+            label_id("serve.push_rejected"),
+        )
+    })
+}
 
 /// A generation-tagged handle to an open session.
 ///
@@ -190,6 +206,16 @@ impl FeedMode {
             FeedMode::Dark => "dark",
         }
     }
+
+    /// Numeric severity used by the `/metrics` feed-mode gauge and in
+    /// flight-recorder operands: 0 healthy, 1 degraded, 2 dark.
+    pub fn code(&self) -> u64 {
+        match self {
+            FeedMode::Healthy => 0,
+            FeedMode::Degraded { .. } => 1,
+            FeedMode::Dark => 2,
+        }
+    }
 }
 
 /// Thresholds of the per-session degraded-mode state machine.
@@ -212,6 +238,48 @@ impl Default for DegradeConfig {
     }
 }
 
+/// When and where the engine snapshots its flight-recorder rings to
+/// JSONL incident dumps.
+///
+/// Dumps are written only when `dir` is set; the trigger flags choose
+/// which anomalies open an incident. One incident stays open per
+/// session until it returns to [`FeedMode::Healthy`] with no active
+/// stream event, so a sustained anomaly produces exactly one dump, not
+/// one per push.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentConfig {
+    /// Directory incident dumps are written into (created on demand).
+    /// `None` disables dumping entirely.
+    pub dir: Option<PathBuf>,
+    /// Dump when a session's voting window raises a stream event.
+    pub on_raise: bool,
+    /// Dump when a feed turns [`FeedMode::Degraded`].
+    pub on_degraded: bool,
+    /// Dump when a feed turns [`FeedMode::Dark`].
+    pub on_dark: bool,
+    /// Dump when the rejected fraction of a full degrade window reaches
+    /// this ratio (`None` disables the rejection-spike trigger).
+    pub reject_spike_ratio: Option<f64>,
+    /// Dump when one push's detect latency exceeds this many
+    /// microseconds (`None` disables the latency-SLO trigger).
+    pub latency_slo_us: Option<f64>,
+}
+
+impl Default for IncidentConfig {
+    /// Raise, Dark and a 50% rejection spike trigger; no latency SLO.
+    /// Dumping stays off until a directory is configured.
+    fn default() -> Self {
+        IncidentConfig {
+            dir: None,
+            on_raise: true,
+            on_degraded: false,
+            on_dark: true,
+            reject_spike_ratio: Some(0.5),
+            latency_slo_us: None,
+        }
+    }
+}
+
 /// Engine construction knobs.
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
@@ -221,6 +289,8 @@ pub struct EngineConfig {
     pub degrade: DegradeConfig,
     /// Retry policy for transient IO during [`Engine::load`].
     pub retry: RetryPolicy,
+    /// Incident-dump triggers and destination.
+    pub incident: IncidentConfig,
 }
 
 /// Health of one serving session: the detector-level snapshot plus the
@@ -249,7 +319,7 @@ enum Outcome {
 }
 
 /// Per-session mutable state: the voting monitor plus the serving-level
-/// degraded-mode machine.
+/// degraded-mode machine and the per-feed flight-recorder ring.
 #[derive(Debug)]
 struct SessionState {
     monitor: StreamingDetector,
@@ -257,6 +327,13 @@ struct SessionState {
     recent: VecDeque<Outcome>,
     pushed: usize,
     rejected: usize,
+    /// Per-feed flight recorder: one compact record per push outcome,
+    /// snapshotted alongside the global ring into incident dumps.
+    ring: Recorder,
+    /// `true` while an incident dump has been written for the ongoing
+    /// anomaly; cleared when the feed is Healthy with no active event,
+    /// so one anomaly produces one dump.
+    incident_open: bool,
 }
 
 impl SessionState {
@@ -267,7 +344,20 @@ impl SessionState {
             recent: VecDeque::new(),
             pushed: 0,
             rejected: 0,
+            ring: Recorder::new(FEED_RING_CAPACITY),
+            incident_open: false,
         }
+    }
+
+    /// Ratio of guard-rejected pushes over the degrade window, `None`
+    /// before a full window has accumulated.
+    fn rejected_ratio(&self, cfg: &DegradeConfig) -> Option<f64> {
+        if self.recent.len() < cfg.window.max(1) {
+            return None;
+        }
+        let rejected =
+            self.recent.iter().filter(|o| **o == Outcome::Rejected).count() as f64;
+        Some(rejected / self.recent.len() as f64)
     }
 
     /// Record one push outcome and advance the mode machine, emitting a
@@ -347,6 +437,11 @@ pub struct Engine {
     detector: Detector,
     stream_cfg: StreamConfig,
     degrade_cfg: DegradeConfig,
+    incident_cfg: IncidentConfig,
+    /// Monotonic incident-dump sequence number (also the file-name
+    /// prefix, so dump order is reconstructible from a directory
+    /// listing).
+    incident_seq: AtomicU64,
     /// Session slot table; slots with `state: None` are free for reuse
     /// under a bumped generation.
     slots: Vec<Slot>,
@@ -375,6 +470,8 @@ impl Engine {
             detector: bundle.detector,
             stream_cfg: cfg.stream,
             degrade_cfg: cfg.degrade,
+            incident_cfg: cfg.incident,
+            incident_seq: AtomicU64::new(0),
             slots: Vec::new(),
             cache: ScoringCache::new(),
         }
@@ -392,7 +489,7 @@ impl Engine {
     pub fn load(path: &std::path::Path, cfg: EngineConfig) -> Result<Self, ModelError> {
         let started = Instant::now();
         let bundle = ModelBundle::load_with_retry(path, &cfg.retry)?;
-        pmu_obs::histogram!("serve.engine_load_ms", &[1.0, 10.0, 100.0, 1e3, 1e4])
+        pmu_obs::histogram!("serve.engine_load_ms")
             .observe(started.elapsed().as_secs_f64() * 1e3);
         Ok(Self::from_bundle(bundle, cfg))
     }
@@ -531,9 +628,10 @@ impl Engine {
         let started = Instant::now();
         let out =
             self.detector.detect_with_cache(sample, &self.cache).map_err(ServeError::from);
+        let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
         pmu_obs::counter!("serve.detect_calls").inc();
-        pmu_obs::histogram!("serve.detect_latency_us", LATENCY_US_BOUNDS)
-            .observe(started.elapsed().as_secs_f64() * 1e6);
+        pmu_obs::histogram!("serve.detect_latency_us").observe(elapsed_us);
+        pmu_obs::record!(RecKind::Metric, "serve.detect", 1, elapsed_us);
         out
     }
 
@@ -582,11 +680,14 @@ impl Engine {
         let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
         if !samples.is_empty() {
             // Individual latencies are not observable inside the packed
-            // batch; record the per-sample average so the histogram keeps
-            // tracking the serving cost per verdict.
-            pmu_obs::histogram!("serve.detect_latency_us", LATENCY_US_BOUNDS)
-                .observe(elapsed_us / samples.len() as f64);
+            // batch; a *count-weighted* observation of the per-sample
+            // share keeps the histogram's count honest (one observation
+            // per verdict, like the scalar path) so batch traffic can't
+            // flatten the quantiles by under-counting.
+            pmu_obs::histogram!("serve.detect_latency_us")
+                .observe_n(elapsed_us / samples.len() as f64, samples.len() as u64);
         }
+        pmu_obs::record!(RecKind::Metric, "serve.detect_batch", samples.len(), elapsed_us);
         sp.record("ms", elapsed_us / 1e3);
         out.into_iter().map(|o| o.expect("every sample classified")).collect()
     }
@@ -632,28 +733,7 @@ impl Engine {
                 let mut session = slot.lock().unwrap_or_else(|p| p.into_inner());
                 positions
                     .iter()
-                    .map(|&pos| {
-                        let sample = &batch[pos].1;
-                        if let Err(e) = self.guard(sample) {
-                            session.rejected += 1;
-                            session.record(sid.slot(), &self.degrade_cfg, Outcome::Rejected);
-                            return (pos, Err(e));
-                        }
-                        let missing_before = session.monitor.health().missing_samples;
-                        let t0 = Instant::now();
-                        let event = session.monitor.push(sample).map_err(ServeError::from);
-                        pmu_obs::histogram!("serve.detect_latency_us", LATENCY_US_BOUNDS)
-                            .observe(t0.elapsed().as_secs_f64() * 1e6);
-                        session.pushed += 1;
-                        let outcome =
-                            if session.monitor.health().missing_samples > missing_before {
-                                Outcome::Missing
-                            } else {
-                                Outcome::Scored
-                            };
-                        session.record(sid.slot(), &self.degrade_cfg, outcome);
-                        (pos, event)
-                    })
+                    .map(|&pos| (pos, self.push_one(*sid, &mut session, &batch[pos].1)))
                     .collect()
             });
 
@@ -666,6 +746,151 @@ impl Engine {
         }
         sp.record("ms", started.elapsed().as_secs_f64() * 1e3);
         out.into_iter().map(|o| o.expect("every batch position scattered")).collect()
+    }
+
+    /// One feed push: guard, vote, account, record into the per-feed
+    /// ring, and evaluate the incident triggers.
+    fn push_one(
+        &self,
+        sid: SessionId,
+        session: &mut SessionState,
+        sample: &PhasorSample,
+    ) -> Result<StreamEvent, ServeError> {
+        let (scored_l, missing_l, rejected_l) = push_labels();
+        let feed_tick = (session.pushed + session.rejected) as u64;
+        let mode_before = session.mode;
+
+        if let Err(e) = self.guard(sample) {
+            session.rejected += 1;
+            session.ring.record(RecKind::Event, rejected_l, feed_tick, 0);
+            session.record(sid.slot(), &self.degrade_cfg, Outcome::Rejected);
+            self.fire_triggers(sid, session, mode_before, false, None);
+            return Err(e);
+        }
+
+        let missing_before = session.monitor.health().missing_samples;
+        let t0 = Instant::now();
+        let event = session.monitor.push(sample).map_err(ServeError::from);
+        let latency_us = t0.elapsed().as_secs_f64() * 1e6;
+        pmu_obs::histogram!("serve.detect_latency_us").observe(latency_us);
+        session.pushed += 1;
+        let (outcome, label) = if session.monitor.health().missing_samples > missing_before
+        {
+            (Outcome::Missing, missing_l)
+        } else {
+            (Outcome::Scored, scored_l)
+        };
+        session.ring.record(RecKind::Event, label, feed_tick, latency_us as u64);
+        session.record(sid.slot(), &self.degrade_cfg, outcome);
+        let raised = matches!(event, Ok(StreamEvent::Raised { .. }));
+        self.fire_triggers(sid, session, mode_before, raised, Some(latency_us));
+        event
+    }
+
+    /// Evaluate the incident triggers after one push. At most one dump is
+    /// written per ongoing anomaly ([`SessionState::incident_open`]); the
+    /// incident closes once the feed is Healthy again with no active
+    /// stream event and no trigger firing this push.
+    fn fire_triggers(
+        &self,
+        sid: SessionId,
+        session: &mut SessionState,
+        mode_before: FeedMode,
+        raised: bool,
+        latency_us: Option<f64>,
+    ) {
+        let cfg = &self.incident_cfg;
+        let mut trigger: Option<&'static str> = None;
+        if cfg.on_raise && raised {
+            trigger = Some("stream_raised");
+        } else if cfg.on_dark && session.mode.code() == 2 && mode_before.code() != 2 {
+            trigger = Some("feed_dark");
+        } else if cfg.on_degraded && session.mode.code() == 1 && mode_before.code() != 1 {
+            trigger = Some("feed_degraded");
+        }
+        if trigger.is_none() {
+            if let (Some(spike), Some(ratio)) =
+                (cfg.reject_spike_ratio, session.rejected_ratio(&self.degrade_cfg))
+            {
+                if ratio >= spike {
+                    trigger = Some("reject_spike");
+                }
+            }
+        }
+        if trigger.is_none() {
+            if let (Some(slo), Some(us)) = (cfg.latency_slo_us, latency_us) {
+                if us > slo {
+                    trigger = Some("latency_slo");
+                }
+            }
+        }
+
+        match trigger {
+            Some(t) if !session.incident_open => self.write_incident(sid, session, t),
+            Some(_) => {} // anomaly already dumped; stay quiet until it passes
+            None => {
+                if session.incident_open
+                    && session.mode == FeedMode::Healthy
+                    && !session.monitor.health().active
+                {
+                    session.incident_open = false;
+                }
+            }
+        }
+    }
+
+    /// Snapshot the global and per-feed rings into one incident dump and
+    /// mark the session's incident open. Write failures are counted and
+    /// reported but never disturb the serving path; the incident still
+    /// opens so a persistent IO failure cannot cause a dump storm.
+    fn write_incident(&self, sid: SessionId, session: &mut SessionState, trigger: &'static str) {
+        let Some(dir) = self.incident_cfg.dir.as_ref() else { return };
+        session.incident_open = true;
+        let seq = self.incident_seq.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("incident-{seq:04}-{sid}-{trigger}.jsonl"));
+        let health = session.monitor.health();
+        let context: [(&str, Value); 9] = [
+            ("system", Value::from(self.system.as_str())),
+            ("session", Value::from(sid.to_string())),
+            ("mode", Value::from(session.mode.label())),
+            ("pushed", Value::from(session.pushed)),
+            ("rejected", Value::from(session.rejected)),
+            ("samples_seen", Value::from(health.samples_seen)),
+            ("missing_samples", Value::from(health.missing_samples)),
+            ("events_raised", Value::from(health.events_raised)),
+            ("event_active", Value::from(health.active)),
+        ];
+        let rings: [(&str, &Recorder); 2] =
+            [("global", pmu_obs::recorder::global()), ("feed", &session.ring)];
+        match write_incident_dump(&path, trigger, &context, &rings) {
+            Ok(stats) => {
+                pmu_obs::counter!("serve.incident_dumps").inc();
+                pmu_obs::info(&format!(
+                    "incident dump {} ({} records, {} dropped)",
+                    path.display(),
+                    stats.records,
+                    stats.dropped
+                ));
+            }
+            Err(e) => {
+                pmu_obs::counter!("serve.incident_dump_failures").inc();
+                eprintln!("pmu-serve: incident dump {} failed: {e}", path.display());
+            }
+        }
+    }
+
+    /// Health of every open session, ascending by slot — the `/health`
+    /// endpoint's payload.
+    pub fn session_healths(&self) -> Vec<(SessionId, SessionHealth)> {
+        self.session_ids()
+            .into_iter()
+            .filter_map(|id| self.health(id).map(|h| (id, h)))
+            .collect()
+    }
+
+    /// Number of incident dumps this engine has attempted to write.
+    pub fn incident_dumps_written(&self) -> u64 {
+        self.incident_seq.load(Ordering::Relaxed)
     }
 }
 

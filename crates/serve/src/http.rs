@@ -1,0 +1,244 @@
+//! A zero-dependency scrape endpoint for the serving engine.
+//!
+//! [`ObsServer`] binds a `std::net::TcpListener` and answers two routes:
+//!
+//! - `GET /metrics` — the process metrics registry in Prometheus text
+//!   exposition format 0.0.4 ([`pmu_obs::prometheus_text`]), plus one
+//!   `serve_feed_mode{session="sN.gM"}` gauge line per open session
+//!   (0 healthy, 1 degraded, 2 dark).
+//! - `GET /health` — a JSON document with the engine identity, active
+//!   session count, detect-latency and per-stage quantiles, shortlist
+//!   hit/fallback counts, and one entry per session (mode, pushed,
+//!   rejected, missing, events, alarm state).
+//!
+//! The server is deliberately minimal: blocking accept loop on one
+//! thread, one request per connection (`Connection: close`), no
+//! keep-alive, no TLS, HTTP/1.0-style responses. It exists so `serve
+//! --listen` can be scraped by Prometheus or `curl` without pulling a
+//! web framework into a `std`-only workspace; it is not a general web
+//! server and must only be bound to trusted interfaces.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::Engine;
+
+/// Metric names whose quantiles `/health` reports, with the JSON keys
+/// they surface under.
+const HEALTH_QUANTILE_METRICS: &[(&str, &str)] = &[
+    ("serve.detect_latency_us", "detect_latency_us"),
+    ("detect.stage1_us", "stage1_us"),
+    ("detect.stage2_us", "stage2_us"),
+    ("detect.stage3_us", "stage3_us"),
+];
+
+/// A running scrape endpoint. Dropping the handle stops the accept loop
+/// and joins the serving thread.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9464`; port `0` picks a free port)
+    /// and start answering scrapes against `engine` on a background
+    /// thread.
+    ///
+    /// # Errors
+    /// Propagates the bind failure (`EADDRINUSE`, privileged port, …).
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Poll the stop flag between accepts instead of blocking forever:
+        // a short accept timeout keeps shutdown prompt without spinning.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_seen = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("pmu-obs-http".into())
+            .spawn(move || {
+                while !stop_seen.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            pmu_obs::counter!("serve.http_requests").inc();
+                            if let Err(e) = handle_connection(stream, &engine) {
+                                pmu_obs::counter!("serve.http_errors").inc();
+                                pmu_obs::info(&format!("obs endpoint error: {e}"));
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            })?;
+        Ok(ObsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal the accept loop to stop and join the serving thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Read one request, route it, write one response, close.
+fn handle_connection(mut stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 2048];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+
+    let (status, content_type, body) = match path {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", metrics_body(engine)),
+        "/health" => ("200 OK", "application/json", health_body(engine)),
+        _ => ("404 Not Found", "text/plain", String::from("not found\n")),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// The `/metrics` payload: the registry exposition plus per-session
+/// feed-mode gauges (labelled series do not fit the scalar registry).
+fn metrics_body(engine: &Engine) -> String {
+    let mut out = pmu_obs::prometheus_text();
+    let sessions = engine.session_healths();
+    if !sessions.is_empty() {
+        out.push_str("# TYPE serve_feed_mode gauge\n");
+        out.push_str("# HELP serve_feed_mode Per-session degraded-mode state (0 healthy, 1 degraded, 2 dark).\n");
+        for (id, health) in &sessions {
+            out.push_str(&format!(
+                "serve_feed_mode{{session=\"{id}\"}} {}\n",
+                health.mode.code()
+            ));
+        }
+    }
+    out
+}
+
+/// The `/health` payload: hand-written JSON (the workspace has no serde)
+/// via the same escaping helper the trace sink uses.
+fn health_body(engine: &Engine) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    push_str_field(&mut out, "system", engine.system());
+    out.push(',');
+    push_str_field(&mut out, "fingerprint", engine.network_fingerprint());
+    let sessions = engine.session_healths();
+    out.push_str(&format!(",\"sessions_active\":{}", sessions.len()));
+    out.push_str(&format!(
+        ",\"incident_dumps\":{}",
+        engine.incident_dumps_written()
+    ));
+
+    out.push_str(",\"detect\":{");
+    for (i, (metric, key)) in HEALTH_QUANTILE_METRICS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // The `histogram!` macro caches per call site, which would pin
+        // this loop to its first metric — use the registry function.
+        let h = pmu_obs::metrics::histogram(metric);
+        out.push_str(&format!(
+            "\"{key}\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            h.count(),
+            json_f64(h.quantile(0.5)),
+            json_f64(h.quantile(0.9)),
+            json_f64(h.quantile(0.99)),
+        ));
+    }
+    out.push_str(&format!(
+        ",\"shortlist_hits\":{},\"shortlist_fallbacks\":{}",
+        pmu_obs::counter!("detect.shortlist_hits").get(),
+        pmu_obs::counter!("detect.shortlist_fallbacks").get(),
+    ));
+    out.push('}');
+
+    out.push_str(",\"sessions\":[");
+    for (i, (id, h)) in sessions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_str_field(&mut out, "id", &id.to_string());
+        out.push(',');
+        push_str_field(&mut out, "mode", h.mode.label());
+        out.push_str(&format!(
+            ",\"pushed\":{},\"rejected\":{},\"samples_seen\":{},\"missing_samples\":{},\
+             \"events_raised\":{},\"events_cleared\":{},\"alarm_streak\":{},\"active\":{}}}",
+            h.pushed,
+            h.rejected,
+            h.snapshot.samples_seen,
+            h.snapshot.missing_samples,
+            h.snapshot.events_raised,
+            h.snapshot.events_cleared,
+            h.snapshot.alarm_streak,
+            h.snapshot.active,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Append `"key":"escaped value"` to a JSON object under construction.
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    let escaped: String = value
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    out.push('"');
+    out.push_str(&escaped);
+    out.push('"');
+}
+
+/// JSON has no NaN/Infinity literals; an empty histogram reports `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::from("null")
+    }
+}

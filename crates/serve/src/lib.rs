@@ -30,17 +30,23 @@
 //! Everything is observable: `serve.sessions_active`,
 //! `serve.detect_latency_us`, `serve.samples_rejected`,
 //! `serve.feed_mode` transitions, batch counters, and the bundle-load
-//! metrics emitted by `pmu-model`.
+//! metrics emitted by `pmu-model`. On top of the passive registry the
+//! serve path carries production observability: per-feed flight-recorder
+//! rings snapshotted into JSONL incident dumps when an anomaly fires
+//! ([`IncidentConfig`]), and a scrapeable endpoint ([`ObsServer`])
+//! serving Prometheus text at `/metrics` and JSON health at `/health`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod engine;
+pub mod http;
 
 pub use engine::{
     BadSampleReason, DegradeConfig, DegradeReason, Engine, EngineConfig, FeedMode,
-    ServeError, SessionHealth, SessionId,
+    IncidentConfig, ServeError, SessionHealth, SessionId,
 };
+pub use http::ObsServer;
 
 /// Convenience result alias for serving operations.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -122,6 +122,36 @@ pub enum FaultTag {
     },
 }
 
+impl FaultTag {
+    /// Stable machine-readable tag name; doubles as the flight-recorder
+    /// label suffix (`fault.<label>`) in incident dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultTag::Blackout { .. } => "blackout",
+            FaultTag::Dropped { .. } => "dropped",
+            FaultTag::NanInjected { .. } => "nan_injected",
+            FaultTag::Corrupted { .. } => "corrupted",
+            FaultTag::Duplicated => "duplicated",
+            FaultTag::Stale { .. } => "stale",
+            FaultTag::Truncated { .. } => "truncated",
+        }
+    }
+
+    /// A scalar magnitude for compact records: affected-node count,
+    /// staleness lag, kept length — whatever the variant's one number is.
+    pub fn magnitude(&self) -> u64 {
+        match self {
+            FaultTag::Blackout { nodes }
+            | FaultTag::Dropped { nodes }
+            | FaultTag::NanInjected { nodes }
+            | FaultTag::Corrupted { nodes, .. } => nodes.len() as u64,
+            FaultTag::Duplicated => 1,
+            FaultTag::Stale { lag } => *lag as u64,
+            FaultTag::Truncated { kept } => *kept as u64,
+        }
+    }
+}
+
 /// One delivered sample plus the ground truth of how it was produced.
 #[derive(Debug, Clone)]
 pub struct InjectedSample {
@@ -138,6 +168,28 @@ impl InjectedSample {
     /// `true` when no fault touched this sample.
     pub fn is_clean(&self) -> bool {
         self.tags.is_empty()
+    }
+
+    /// Note every fault tag on this sample into the global flight
+    /// recorder as `fault.<label>` records (`a` = delivery tick, `b` =
+    /// the tag's magnitude), so an incident dump taken downstream
+    /// carries the fault window that caused it. Fault injection is a
+    /// cold path, so labels are interned per call rather than per call
+    /// site.
+    pub fn record_faults(&self, tick: usize) {
+        use pmu_obs::recorder::{global, label_id, RecKind};
+        for tag in &self.tags {
+            let label = match tag.label() {
+                "blackout" => "fault.blackout",
+                "dropped" => "fault.dropped",
+                "nan_injected" => "fault.nan_injected",
+                "corrupted" => "fault.corrupted",
+                "duplicated" => "fault.duplicated",
+                "stale" => "fault.stale",
+                _ => "fault.truncated",
+            };
+            global().record(RecKind::Fault, label_id(label), tick as u64, tag.magnitude());
+        }
     }
 }
 

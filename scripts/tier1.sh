@@ -41,6 +41,47 @@ grep -q "reload parity: OK" <<<"$warm_out" || { echo "warm run parity check fail
 ./target/release/pmu-outage detect ieee14 --outage 3 --scale fast --artifacts "$art_dir" \
   | grep -q "OUTAGE DETECTED" || { echo "detect from stored bundle failed"; exit 1; }
 
+echo "== obs endpoint smoke: serve --listen, scrape /metrics + /health =="
+obs_dir="$trace_dir/obs"
+mkdir -p "$obs_dir"
+./target/release/pmu-outage serve ieee14 --scale fast --artifacts "$art_dir" \
+  --feeds 2 --ticks 8 --listen 127.0.0.1:0 --incidents "$obs_dir/incidents" \
+  --hold-secs 15 > "$obs_dir/serve.log" 2>&1 &
+serve_pid=$!
+# Wait for the endpoint line, then scrape over bash /dev/tcp (no curl in
+# the minimal container).
+obs_port=""
+for _ in $(seq 1 100); do
+  obs_port="$(grep -oE 'obs endpoint: http://127\.0\.0\.1:[0-9]+' "$obs_dir/serve.log" \
+    | grep -oE '[0-9]+$' || true)"
+  [ -n "$obs_port" ] && break
+  sleep 0.2
+done
+[ -n "$obs_port" ] || { cat "$obs_dir/serve.log"; echo "serve never bound the obs endpoint"; kill "$serve_pid" 2>/dev/null; exit 1; }
+scrape() { # scrape PATH OUTFILE
+  exec 3<>"/dev/tcp/127.0.0.1/$obs_port"
+  printf 'GET %s HTTP/1.1\r\nHost: tier1\r\n\r\n' "$1" >&3
+  timeout 5 cat <&3 > "$2"
+  exec 3<&-
+}
+# The demo traffic takes a couple of seconds; scrape once it has flowed.
+sleep 4
+scrape /metrics "$obs_dir/metrics.txt"
+scrape /health "$obs_dir/health.json"
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+grep -q 'serve_detect_latency_us{quantile=' "$obs_dir/metrics.txt" \
+  || { echo "/metrics missing detect-latency quantiles"; exit 1; }
+grep -q 'serve_feed_mode{session=' "$obs_dir/metrics.txt" \
+  || { echo "/metrics missing per-session feed_mode gauges"; exit 1; }
+grep -q '"sessions_active":2' "$obs_dir/health.json" \
+  || { echo "/health missing session count"; exit 1; }
+grep -q '"stage1_us"' "$obs_dir/health.json" \
+  || { echo "/health missing per-stage detect timings"; exit 1; }
+ls "$obs_dir/incidents"/incident-*.jsonl >/dev/null 2>&1 \
+  || { echo "serve demo produced no incident dumps"; exit 1; }
+echo "obs endpoint OK (port $obs_port, $(ls "$obs_dir/incidents" | wc -l) incident dump(s))"
+
 echo "== perfbench smoke (fast scale) =="
 ./target/release/perfbench --scale fast --out "$trace_dir/BENCH_fast.json"
 # Fast scale is much lighter than the committed standard-scale baseline,
@@ -58,6 +99,13 @@ if grep -q '"reraise_after_blackout": false' "$trace_dir/BENCH_fast.json"; then
 fi
 grep -q '"reraise_after_blackout": true' "$trace_dir/BENCH_fast.json" \
   || { echo "chaos replay missing from perfbench report"; exit 1; }
+
+echo "== flight-recorder budget: always-on overhead must stay under 1% =="
+grep -q '"recorder_overhead_ok": true' "$trace_dir/BENCH_fast.json" \
+  || { echo "flight recorder exceeds the 1% always-on budget"; exit 1; }
+if grep -q '"incident_dumps": 0' "$trace_dir/BENCH_fast.json"; then
+  echo "a chaos replay produced no incident dump"; exit 1
+fi
 
 echo "== packed scoring smoke: parity + throughput bench present =="
 # detect_throughput pins the packed projector path against the retained

@@ -14,6 +14,8 @@
 //! pmu-outage serve <case> [--artifacts DIR | --model PATH]
 //!                         [--feeds N] [--ticks N] [--outage K]
 //!                         [--scale S] [--seed N]
+//!                         [--listen ADDR] [--incidents DIR]
+//!                         [--hold-secs N]
 //!                                              streaming-engine demo
 //! pmu-outage repro [...]                       full figure reproduction
 //! ```
@@ -23,6 +25,12 @@
 //! (default `fast`); `--seed` defaults to the repro seed, so artifacts
 //! trained here are the same ones `repro --artifacts` reuses. When
 //! `--artifacts` is absent, `PMU_ARTIFACTS` names the store directory.
+//!
+//! `serve --listen ADDR` (or `PMU_OBS_LISTEN=ADDR`) starts the scrape
+//! endpoint — Prometheus text at `/metrics`, JSON health at `/health` —
+//! and implies `PMU_METRICS=1`; `--incidents DIR` enables flight-recorder
+//! incident dumps; `--hold-secs N` keeps the process (and endpoint) alive
+//! after the demo traffic so a scraper can collect the final state.
 
 use pmu_outage::detect::stream::StreamEvent;
 use pmu_outage::eval::EvalScale;
@@ -31,7 +39,7 @@ use pmu_outage::grid::parser::parse_case;
 use pmu_outage::grid::pmu_coverage::{coverage, greedy_placement};
 use pmu_outage::model::{bundle_key, default_store, set_store_policy, ModelBundle, StorePolicy};
 use pmu_outage::prelude::*;
-use pmu_outage::serve::{Engine, EngineConfig, SessionId};
+use pmu_outage::serve::{Engine, EngineConfig, ObsServer, SessionId};
 use pmu_outage::sim::scenario::simulate_window;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -237,7 +245,20 @@ fn run() -> Result<(), String> {
                     .first()
                     .ok_or("case has no valid outage branches")?,
             };
-            cmd_serve(&net, scale, seed, opt("--model").as_deref(), feeds, ticks, branch)
+            let listen = opt("--listen").or_else(|| std::env::var("PMU_OBS_LISTEN").ok());
+            let hold_secs: u64 = match opt("--hold-secs") {
+                Some(v) => v.parse().map_err(|e| format!("bad hold duration: {e}"))?,
+                None => 0,
+            };
+            let serve_opts = ServeOpts {
+                feeds,
+                ticks,
+                branch,
+                listen,
+                incidents: opt("--incidents").map(PathBuf::from),
+                hold_secs,
+            };
+            cmd_serve(&net, scale, seed, opt("--model").as_deref(), &serve_opts)
         }
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
@@ -322,6 +343,19 @@ fn cmd_train(
     Ok(())
 }
 
+/// The `serve` subcommand's option bag (beyond the shared case/scale/seed).
+struct ServeOpts {
+    feeds: usize,
+    ticks: usize,
+    branch: usize,
+    /// Scrape-endpoint bind address (`--listen` / `PMU_OBS_LISTEN`).
+    listen: Option<String>,
+    /// Incident-dump directory (`--incidents`).
+    incidents: Option<PathBuf>,
+    /// Seconds to keep the endpoint alive after the demo traffic.
+    hold_secs: u64,
+}
+
 /// `serve`: drive an [`Engine`] demo — per-feed sessions fed normal
 /// windows, then an injected outage, printing raise/clear events.
 fn cmd_serve(
@@ -329,17 +363,36 @@ fn cmd_serve(
     scale: EvalScale,
     seed: u64,
     model_path: Option<&str>,
-    feeds: usize,
-    ticks: usize,
-    branch: usize,
+    opts: &ServeOpts,
 ) -> Result<(), String> {
+    let ServeOpts { feeds, ticks, branch, .. } = *opts;
     if feeds == 0 || ticks == 0 {
         return Err("serve needs --feeds and --ticks >= 1".into());
     }
+    if opts.listen.is_some() {
+        // A scrape endpoint without metrics would serve an empty page.
+        pmu_outage::obs::set_metrics_enabled(true);
+    }
     let inputs = train_inputs(net, scale, seed);
     let bundle = load_bundle(net, &inputs, model_path)?;
-    let mut engine = Engine::from_bundle(bundle, EngineConfig::default());
+    let mut cfg = EngineConfig::default();
+    cfg.incident.dir = opts.incidents.clone();
+    let mut engine = Engine::from_bundle(bundle, cfg);
     let sessions: Vec<SessionId> = (0..feeds).map(|_| engine.open_session()).collect();
+    // Sessions are open; the engine is immutable from here, so it can be
+    // shared with the endpoint thread.
+    let engine = std::sync::Arc::new(engine);
+    let mut server = match &opts.listen {
+        Some(addr) => {
+            let server =
+                ObsServer::bind(addr, std::sync::Arc::clone(&engine)).map_err(|e| {
+                    format!("cannot bind obs endpoint on {addr}: {e}")
+                })?;
+            println!("obs endpoint: http://{}", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
     println!(
         "engine up: system {}, {} feed sessions, k-of-m {}/{}",
         engine.system(),
@@ -391,6 +444,26 @@ fn cmd_serve(
             s.active,
             h.mode.label(),
         );
+    }
+    if engine.incident_dumps_written() > 0 {
+        println!(
+            "incident dumps: {} written to {}",
+            engine.incident_dumps_written(),
+            opts.incidents.as_deref().unwrap_or(Path::new("?")).display()
+        );
+    }
+    if let Some(server) = &server {
+        if opts.hold_secs > 0 {
+            println!(
+                "holding {}s for scrapes on http://{} (metrics + health)...",
+                opts.hold_secs,
+                server.addr()
+            );
+            std::thread::sleep(std::time::Duration::from_secs(opts.hold_secs));
+        }
+    }
+    if let Some(server) = &mut server {
+        server.shutdown();
     }
     if pmu_outage::obs::metrics_enabled() {
         eprintln!("{}", pmu_outage::obs::metrics_summary());

@@ -281,6 +281,94 @@ fn stale_handles_rejected_during_chaos() {
     assert!(engine.health(stale).is_none());
 }
 
+/// A blackout landing mid-outage produces exactly one incident dump,
+/// and — because the ingest shim tags injected faults into the global
+/// flight-recorder ring — the dump carries the matching ground-truth
+/// `FaultTag` records alongside the serving-side evidence.
+#[test]
+fn blackout_mid_outage_dumps_one_tagged_incident() {
+    let _g = lock();
+    let dir = std::env::temp_dir()
+        .join(format!("pmu-chaos-incidents-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let net = by_name("ieee14").unwrap().unwrap();
+    let gen = GenConfig { train_len: 16, test_len: 6, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).unwrap();
+    let bundle = ModelBundle::train(
+        &data,
+        &gen,
+        &default_config_for(&net),
+        &MlrConfig::default(),
+    )
+    .unwrap();
+    // Only the Dark transition may dump, so the raise that precedes the
+    // blackout cannot open the incident first.
+    let cfg = EngineConfig {
+        incident: pmu_outage::serve::IncidentConfig {
+            dir: Some(dir.clone()),
+            on_raise: false,
+            on_degraded: false,
+            on_dark: true,
+            reject_spike_ratio: None,
+            latency_slo_us: None,
+        },
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::from_bundle(bundle, cfg);
+    let sid = engine.open_session();
+
+    // 20 outage ticks then 8 restoration ticks; the grid goes fully dark
+    // over ticks [8, 14) while the event stands.
+    let mut clean = outage_run(&data, 2, 20);
+    clean.extend(normal_run(&data, 8));
+    let injected = FaultSchedule::new(7)
+        .window(8, 14, FaultKind::Blackout { nodes: vec![] })
+        .apply(&clean);
+    pmu_obs::recorder::global().clear();
+    for (t, inj) in injected.iter().enumerate() {
+        inj.record_faults(t);
+        engine
+            .push_batch(&[(sid, inj.sample.clone())])
+            .pop()
+            .unwrap()
+            .expect("masked samples must not error");
+    }
+
+    let mut dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("incident dir exists")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    dumps.sort();
+    assert_eq!(dumps.len(), 1, "one blackout, one dump: {dumps:?}");
+    let name = dumps[0].file_name().unwrap().to_string_lossy().into_owned();
+    assert!(name.contains("feed_dark"), "dump named after its trigger: {name}");
+    let text = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+    assert!(
+        text.lines().next().unwrap().contains("\"trigger\":\"feed_dark\""),
+        "header carries the trigger"
+    );
+    // The ground-truth fault tags are in the global-ring section of the
+    // dump: six blackout records (ticks 8..14), kind `fault`.
+    let blackout_records = text
+        .lines()
+        .filter(|l| l.contains("\"label\":\"fault.blackout\""))
+        .count();
+    assert_eq!(blackout_records, 6, "one tagged record per dark tick:\n{text}");
+    assert!(
+        text.lines()
+            .filter(|l| l.contains("\"label\":\"fault.blackout\""))
+            .all(|l| l.contains("\"kind\":\"fault\"")),
+        "fault tags carry the fault record kind"
+    );
+    // And the serving-side evidence rides along in the same dump.
+    assert!(
+        text.contains("\"label\":\"detect.stream_raised\""),
+        "the pre-blackout raise is in the ring:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The blackout contract holds on the larger grids too: ieee30 and
 /// ieee57 engines ride out a mid-outage blackout without clearing,
 /// panicking, or sticking.

@@ -1,0 +1,279 @@
+//! Integration tests for the production-observability layer: the
+//! flight-recorder ring under concurrent writers, deterministic
+//! incident-dump content, and the scrape endpoint's agreement with the
+//! in-process metrics registry.
+//!
+//! The recorder, metrics registry and label table are process-global,
+//! so every test takes `LOCK` to run sequentially within this binary
+//! (other test binaries are separate processes).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use pmu_obs::recorder::{global, label_id, RecKind};
+use pmu_obs::Recorder;
+use pmu_outage::detect::detector::default_config_for;
+use pmu_outage::prelude::*;
+use pmu_outage::serve::{ObsServer, SessionId};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Fast-scale dataset + engine with incident dumping into `incidents`.
+fn build(name: &str, incidents: Option<std::path::PathBuf>) -> (Dataset, Engine) {
+    let net = by_name(name).expect("known system").expect("embedded case");
+    let gen = GenConfig { train_len: 16, test_len: 6, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).expect("dataset generation");
+    let det_cfg = default_config_for(&net);
+    let bundle = ModelBundle::train(&data, &gen, &det_cfg, &MlrConfig::default())
+        .expect("training");
+    let mut cfg = EngineConfig::default();
+    cfg.incident.dir = incidents;
+    let engine = Engine::from_bundle(bundle, cfg);
+    (data, engine)
+}
+
+/// A scratch directory under the system temp root, cleaned on creation.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pmu-fr-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Pull `"key":VALUE` (string or number, no nesting) out of a JSON line
+/// without a parser dependency.
+fn json_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        Some(stripped[..stripped.find('"')?].to_string())
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].to_string())
+    }
+}
+
+/// Concurrent writers against one ring while a reader snapshots: every
+/// record that survives the seqlock check must be internally consistent
+/// (payload words written by one writer, never torn), the loss is
+/// bounded and accounted, and a quiescent snapshot retains exactly the
+/// last `capacity` records in order.
+#[test]
+fn concurrent_writers_never_tear_records() {
+    let _g = lock();
+    const MAGIC: u64 = 0xDEAD_BEEF_F00D_CA75;
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 20_000;
+    let ring = Arc::new(Recorder::new(256));
+    let label = label_id("test.torn");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    let a = (w as u64) << 32 | i;
+                    ring.record(RecKind::Metric, label, a, a ^ MAGIC);
+                }
+            })
+        })
+        .collect();
+    let reader = {
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut snapshots = 0usize;
+            let mut dropped_total = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = ring.snapshot();
+                for rec in &snap.records {
+                    assert_eq!(
+                        rec.b,
+                        rec.a ^ MAGIC,
+                        "torn record surfaced at pos {}",
+                        rec.pos
+                    );
+                }
+                dropped_total += snap.dropped;
+                snapshots += 1;
+            }
+            (snapshots, dropped_total)
+        })
+    };
+    for w in writers {
+        w.join().expect("writer");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (snapshots, _dropped) = reader.join().expect("reader");
+    assert!(snapshots > 0, "the reader must have raced the writers");
+
+    // Quiescent: the full tail is readable, in order, nothing dropped.
+    let total = WRITERS as u64 * PER_WRITER;
+    let snap = ring.snapshot();
+    assert_eq!(ring.written(), total);
+    assert_eq!(snap.records.len(), 256, "a full ring retains capacity records");
+    assert_eq!(snap.dropped, 0, "no writer is racing the final snapshot");
+    for (i, rec) in snap.records.iter().enumerate() {
+        assert_eq!(rec.pos, total - 256 + i as u64, "oldest-to-newest order");
+        assert_eq!(rec.b, rec.a ^ MAGIC);
+    }
+}
+
+/// Snapshotting under concurrent writes feeds the `obs.recorder_dropped`
+/// counter instead of surfacing torn data.
+#[test]
+fn dropped_records_are_counted() {
+    let _g = lock();
+    pmu_obs::set_metrics_enabled(true);
+    pmu_obs::reset_metrics();
+    let ring = Arc::new(Recorder::new(64));
+    let label = label_id("test.dropped");
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                ring.record(RecKind::Note, label, i, 0);
+                i += 1;
+            }
+        })
+    };
+    let mut dropped = 0u64;
+    for _ in 0..200 {
+        dropped += ring.snapshot().dropped;
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer");
+    let counted = pmu_obs::counter("obs.recorder_dropped").get();
+    pmu_obs::set_metrics_enabled(false);
+    assert_eq!(counted, dropped, "every dropped record lands in the counter");
+    // A 64-slot ring under a tight writer loop essentially always loses
+    // some tail records to overwrites mid-read; if this ever turns out
+    // flaky on a slow machine the assertion above still carries the test.
+    assert!(dropped <= 200 * 64, "loss is bounded by capacity per snapshot");
+}
+
+/// The same scripted outage replayed twice produces incident dumps with
+/// identical structure — ring/kind/label/operand sequences — differing
+/// only in timestamps and latencies. Single-feed traffic, so the result
+/// must hold at any worker count (`PMU_THREADS=1` in tier1 makes the
+/// interleaving trivially sequential too).
+#[test]
+fn incident_dump_content_is_deterministic() {
+    let _g = lock();
+    let run = |tag: &str| -> Vec<(String, String, String, String)> {
+        let dir = scratch(tag);
+        global().clear();
+        let (data, mut engine) = build("ieee14", Some(dir.clone()));
+        let sid = engine.open_session();
+        let case = &data.cases[2];
+        for t in 0..12 {
+            let s = case.test.sample(t % case.test.len());
+            engine.push_batch(&[(sid, s)]).pop().unwrap().expect("clean samples");
+        }
+        let mut dumps: Vec<_> = std::fs::read_dir(&dir)
+            .expect("incident dir")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        dumps.sort();
+        assert_eq!(dumps.len(), 1, "one sustained outage, one dump: {dumps:?}");
+        let text = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+        let mut shape = Vec::new();
+        for line in text.lines() {
+            match json_field(line, "t").as_deref() {
+                Some("incident") => {
+                    assert_eq!(json_field(line, "trigger").as_deref(), Some("stream_raised"));
+                }
+                Some("rec") => shape.push((
+                    json_field(line, "ring").expect("ring"),
+                    json_field(line, "kind").expect("kind"),
+                    json_field(line, "label").expect("label"),
+                    json_field(line, "a").expect("operand a"),
+                )),
+                Some("incident_end") => {
+                    assert_eq!(json_field(line, "dropped").as_deref(), Some("0"));
+                }
+                other => panic!("unexpected record type {other:?} in {line}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        shape
+    };
+    let first = run("det-a");
+    let second = run("det-b");
+    assert!(!first.is_empty(), "the dump must carry ring records");
+    assert_eq!(first, second, "dump structure must be reproducible");
+}
+
+/// The `/metrics` exposition agrees with the in-process registry, the
+/// per-session feed-mode gauges are present, `/health` reflects the
+/// sessions, and unknown paths 404.
+#[test]
+fn scrape_endpoint_matches_registry() {
+    let _g = lock();
+    pmu_obs::set_metrics_enabled(true);
+    pmu_obs::reset_metrics();
+    let (data, mut engine) = build("ieee14", None);
+    let s0 = engine.open_session();
+    let s1 = engine.open_session();
+    for t in 0..6 {
+        let batch: Vec<(SessionId, PhasorSample)> = [s0, s1]
+            .iter()
+            .map(|&sid| (sid, data.normal_test.sample(t % data.normal_test.len())))
+            .collect();
+        for out in engine.push_batch(&batch) {
+            out.expect("clean samples");
+        }
+    }
+    let engine = Arc::new(engine);
+    let server = ObsServer::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
+    let scrape = |path: &str| -> (String, String) {
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        (head.to_string(), body.to_string())
+    };
+
+    let (head, body) = scrape("/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    // Quantile lines must match the registry the process sees directly.
+    let h = pmu_obs::metrics::histogram("serve.detect_latency_us");
+    for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+        let expect = format!(
+            "serve_detect_latency_us{{quantile=\"{label}\"}} {}",
+            h.quantile(q)
+        );
+        assert!(body.contains(&expect), "missing `{expect}` in:\n{body}");
+    }
+    assert!(body.contains(&format!("serve_detect_latency_us_count {}", h.count())));
+    for sid in [s0, s1] {
+        assert!(body.contains(&format!("serve_feed_mode{{session=\"{sid}\"}} 0")));
+    }
+
+    let (head, body) = scrape("/health");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("application/json"), "{head}");
+    assert!(body.contains("\"sessions_active\":2"), "{body}");
+    assert!(body.contains(&format!("\"id\":\"{s0}\"")), "{body}");
+    assert!(body.contains("\"mode\":\"healthy\""), "{body}");
+    assert!(
+        body.contains(&format!("\"count\":{}", h.count())),
+        "latency count mismatch in:\n{body}"
+    );
+
+    let (head, _) = scrape("/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    pmu_obs::set_metrics_enabled(false);
+}
