@@ -59,6 +59,35 @@ impl Softmax {
         n_classes: usize,
         cfg: &SoftmaxConfig,
     ) -> Softmax {
+        Self::train_from(samples, labels, n_classes, cfg, None)
+    }
+
+    /// [`Softmax::train`] with an optional warm start: when `init` is
+    /// given and its shape matches, the weights start from the previous
+    /// optimum instead of the class-mean seed. With early stopping
+    /// enabled (`tol > 0`) and training data that changed only slightly,
+    /// the loop settles in a handful of epochs instead of re-running the
+    /// full descent. A shape-mismatched `init` is ignored (the caller
+    /// asked for a different classifier, not a continuation).
+    ///
+    /// Without `init`, the weights start from the nearest-class-mean
+    /// (Gaussian-generative) solution `w_c = [μ_c; −½‖μ_c‖²]` rather
+    /// than zero: on features preconditioned to identity second moment
+    /// (the MLR whitens before calling in) this is the LDA decision
+    /// rule, already close to the cross-entropy optimum, and descent
+    /// from it needs a fraction of the epochs that the walk from the
+    /// origin took. A deterministic, one-pass initialization — not a
+    /// change of classifier family.
+    ///
+    /// # Panics
+    /// As [`Softmax::train`].
+    pub fn train_from(
+        samples: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        cfg: &SoftmaxConfig,
+        init: Option<&Softmax>,
+    ) -> Softmax {
         assert!(!samples.is_empty(), "softmax: no training samples");
         assert_eq!(samples.len(), labels.len(), "softmax: label count mismatch");
         let n_features = samples[0].len();
@@ -66,7 +95,12 @@ impl Softmax {
         assert!(labels.iter().all(|&l| l < n_classes), "softmax: label out of range");
 
         let m = samples.len();
-        let mut w = Matrix::zeros(n_classes, n_features + 1);
+        let mut w = match init {
+            Some(prev) if prev.w.rows() == n_classes && prev.n_features == n_features => {
+                prev.w.clone()
+            }
+            _ => class_mean_init(samples, labels, n_classes, n_features),
+        };
         let mut vel = Matrix::zeros(n_classes, n_features + 1);
 
         // The epoch loop is two dense products — logits `X Wᵀ` (m×c)
@@ -162,6 +196,39 @@ impl Softmax {
             .map(|(c, _)| c)
             .unwrap_or(0)
     }
+}
+
+/// Nearest-class-mean initialization: `w_c = [μ_c; −½‖μ_c‖²]`, the
+/// Gaussian-generative (equal identity covariance, equal priors)
+/// decision rule. Classes absent from the labels keep a zero row.
+fn class_mean_init(
+    samples: &[Vec<f64>],
+    labels: &[usize],
+    n_classes: usize,
+    n_features: usize,
+) -> Matrix {
+    let mut w = Matrix::zeros(n_classes, n_features + 1);
+    let mut counts = vec![0usize; n_classes];
+    for (x, &y) in samples.iter().zip(labels) {
+        counts[y] += 1;
+        let row = w.row_mut(y);
+        for (f, &v) in x.iter().enumerate() {
+            row[f] += v;
+        }
+    }
+    for c in 0..n_classes {
+        if counts[c] == 0 {
+            continue;
+        }
+        let row = w.row_mut(c);
+        let mut norm_sqr = 0.0;
+        for f in 0..n_features {
+            row[f] /= counts[c] as f64;
+            norm_sqr += row[f] * row[f];
+        }
+        row[n_features] = -0.5 * norm_sqr;
+    }
+    w
 }
 
 /// Numerically stable softmax of `W [x; 1]` into `out`.

@@ -46,8 +46,10 @@
 //!
 //! ```text
 //! perfbench [--systems a,b,c] [--scale fast|standard|paper] [--out PATH]
-//! perfbench benchdiff OLD.json NEW.json [--tol PCT]
-//!     # flags time regressions beyond PCT% (default 10)
+//! perfbench benchdiff OLD.json NEW.json [--tol PCT] [--floor-ms MS]
+//!     # flags time regressions beyond PCT% (default 10); leaves whose
+//!     # absolute slowdown is under MS milliseconds never count
+//!     # (default 0 — sub-ms smoke timings need a floor to not flake)
 //! ```
 
 use std::time::Instant;
@@ -62,7 +64,7 @@ use pmu_model::{set_store_policy, ModelBundle, StorePolicy};
 use pmu_numerics::{par, Matrix, Svd};
 use pmu_serve::{Engine, EngineConfig};
 use pmu_sim::missing::outage_endpoints_mask;
-use pmu_sim::{generate_dataset, Dataset, FaultKind, FaultSchedule, PhasorSample};
+use pmu_sim::{generate_dataset, Dataset, FaultKind, FaultSchedule, GenConfig, PhasorSample};
 use serde::{Serialize, Value};
 
 /// Seed shared with `repro` so build timings measure the same work.
@@ -102,7 +104,27 @@ struct NrTiming {
 struct SvdTiming {
     m: usize,
     n: usize,
+    /// Full one-sided Jacobi `Svd::compute`.
     compute_ms: f64,
+    /// Truncation rank for the randomized path (0 disables the
+    /// truncated columns on shapes where only the full timing matters).
+    r: usize,
+    /// `rsvd::truncated` at rank `r` — the training hot path.
+    truncated_ms: f64,
+    /// compute / truncated — > 1.0 means the truncated path is faster.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct IncrementalBuildTiming {
+    system: String,
+    /// `ModelBundle::train_incremental` after exactly one outage case's
+    /// training window changed, warm-starting from the stale bundle.
+    seconds: f64,
+    /// Stored per-case bases reused (must be `total - 1` here).
+    reused: usize,
+    /// Outage cases in the dataset.
+    total: usize,
 }
 
 #[derive(Serialize)]
@@ -200,9 +222,11 @@ struct DetectThroughputTiming {
     reference_samples_per_sec: f64,
     /// reference / packed — > 1.0 means the packed path is faster.
     speedup: f64,
-    /// Share of shortlisted rankings that were decisive (no exhaustive
-    /// fallback), from the `detect.shortlist_*` counters; 0.0 when the
-    /// shortlist is off for this system.
+    /// Share of shortlisted rankings that pruned at least part of the
+    /// exact stage-2 scoring (the top-3 guard plus the proximity-band
+    /// component walk left some candidates unscored), from the
+    /// `detect.shortlist_*` counters; 0.0 when the shortlist is off for
+    /// this system.
     shortlist_hit_rate: f64,
     /// Packed path bit-identical to the reference with the shortlist
     /// off, and verdict/lines-identical with the production shortlist.
@@ -243,6 +267,8 @@ struct BenchReport {
     nr_solve: Vec<NrTiming>,
     svd: Vec<SvdTiming>,
     system_build: Vec<BuildTiming>,
+    system_build_warm: Vec<BuildTiming>,
+    system_build_incremental: Vec<IncrementalBuildTiming>,
     bundle_io: Vec<BundleIoTiming>,
     engine_batch: Vec<EngineBatchTiming>,
     detect_throughput: Vec<DetectThroughputTiming>,
@@ -336,17 +362,36 @@ fn bench_nr_solve(systems: &[String]) -> Vec<NrTiming> {
 }
 
 fn bench_svd() -> Vec<SvdTiming> {
-    // Observation-window shapes (n_buses x window) plus a square case.
-    let shapes: &[(usize, usize)] = &[(118, 60), (118, 118), (256, 64)];
+    // Observation-window shapes (n_buses x window) plus a square case,
+    // each timed full vs truncated at the ranks training actually asks
+    // for: 3 (per-case `subspace_dim` default) and 19 (ieee118's normal
+    // subspace, `n/6`).
+    let shapes: &[(usize, usize, usize)] = &[
+        (118, 60, 3),
+        (118, 60, 19),
+        (118, 118, 3),
+        (118, 118, 19),
+        (256, 64, 3),
+        (256, 64, 19),
+    ];
     shapes
         .iter()
-        .map(|&(m, n)| {
+        .map(|&(m, n, r)| {
             let a = fill(m, n, 5);
             let compute_ms = time_median(5, || {
                 std::hint::black_box(Svd::compute(&a).expect("converges"));
             }) * 1e3;
-            pmu_obs::info(&format!("svd {m}x{n}: {compute_ms:.3} ms"));
-            SvdTiming { m, n, compute_ms }
+            let truncated_ms = time_median(5, || {
+                std::hint::black_box(
+                    pmu_numerics::rsvd::truncated(&a, r).expect("converges"),
+                );
+            }) * 1e3;
+            pmu_obs::info(&format!(
+                "svd {m}x{n}: full {compute_ms:.3} ms, truncated r={r} \
+                 {truncated_ms:.3} ms ({:.1}x)",
+                compute_ms / truncated_ms
+            ));
+            SvdTiming { m, n, compute_ms, r, truncated_ms, speedup: compute_ms / truncated_ms }
         })
         .collect()
 }
@@ -363,6 +408,71 @@ fn bench_builds(systems: &[String], scale: EvalScale) -> Vec<BuildTiming> {
             BuildTiming { system: name.clone(), seconds }
         })
         .collect()
+}
+
+/// Warm-path counterparts of `system_build`: a pure artifact-store cache
+/// hit (`system_build_warm` — load + checksum verify, no training) and a
+/// warm-start incremental rebuild after exactly one outage case's
+/// training window changed (`system_build_incremental` — every other
+/// stored per-case basis is reused, only the aggregates retrain).
+fn bench_builds_warm(
+    systems: &[String],
+    scale: EvalScale,
+) -> (Vec<BuildTiming>, Vec<IncrementalBuildTiming>) {
+    let dir = std::env::temp_dir().join("pmu-perfbench-warm-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = pmu_model::ArtifactStore::new(&dir).expect("temp store");
+    let mut warm = Vec::new();
+    let mut incremental = Vec::new();
+    for name in systems {
+        let Some(Ok(net)) = pmu_grid::cases::by_name(name) else { continue };
+        let gen = scale.gen_config(SEED);
+        let data = generate_dataset(&net, &gen).expect("dataset generation");
+        let det_cfg = default_config_for(&net);
+        let mlr_cfg = MlrConfig::default();
+        let (prev, _) = store
+            .load_or_train_outcome(&data, &gen, &det_cfg, &mlr_cfg)
+            .expect("cold train into the store");
+
+        let t = Instant::now();
+        let (_, outcome) = store
+            .load_or_train_outcome(&data, &gen, &det_cfg, &mlr_cfg)
+            .expect("warm lookup");
+        let warm_seconds = t.elapsed().as_secs_f64();
+        assert!(outcome.is_hit(), "{name}: second identical build must be a cache hit");
+        pmu_obs::info(&format!("build_warm {name}: {warm_seconds:.3} s"));
+        warm.push(BuildTiming { system: name.clone(), seconds: warm_seconds });
+
+        // One changed scenario: replace one case's training window with
+        // the same branch's window from an independent realization.
+        let other =
+            generate_dataset(&net, &GenConfig { seed: SEED + 1, ..gen.clone() })
+                .expect("donor dataset");
+        let mut changed = data.clone();
+        let branch = changed.cases[0].branch;
+        changed.cases[0].train = other
+            .case_for_branch(branch)
+            .expect("same topology, same branches")
+            .train
+            .clone();
+        let t = Instant::now();
+        let (_, stats) =
+            ModelBundle::train_incremental(&changed, &gen, &det_cfg, &mlr_cfg, &prev)
+                .expect("incremental rebuild");
+        let seconds = t.elapsed().as_secs_f64();
+        pmu_obs::info(&format!(
+            "build_incremental {name}: {seconds:.3} s (reused {}/{} bases)",
+            stats.reused, stats.total
+        ));
+        incremental.push(IncrementalBuildTiming {
+            system: name.clone(),
+            seconds,
+            reused: stats.reused,
+            total: stats.total,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (warm, incremental)
 }
 
 /// Train one fast-scale bundle per system, then time bundle save/load
@@ -857,9 +967,25 @@ fn time_leaves(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
     }
 }
 
+/// Milliseconds represented by a time leaf, inferred from its key
+/// suffix (`_us`, `_ms`, `seconds`).
+fn leaf_ms(path: &str, value: f64) -> f64 {
+    if path.ends_with("_us") {
+        value / 1000.0
+    } else if path.ends_with("_ms") {
+        value
+    } else {
+        value * 1000.0
+    }
+}
+
 /// Compare two BENCH_*.json reports and flag time regressions beyond
-/// `tol_pct` percent. Returns the number of regressions found.
-fn benchdiff(old_path: &str, new_path: &str, tol_pct: f64) -> usize {
+/// `tol_pct` percent. Leaves whose absolute slowdown is under
+/// `floor_ms` milliseconds are reported but never counted as
+/// regressions: sub-millisecond measurements jitter past any relative
+/// tolerance on a shared machine. Returns the number of regressions
+/// found.
+fn benchdiff(old_path: &str, new_path: &str, tol_pct: f64, floor_ms: f64) -> usize {
     let load = |path: &str| -> Value {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("read {path}: {e}"));
@@ -880,7 +1006,19 @@ fn benchdiff(old_path: &str, new_path: &str, tol_pct: f64) -> usize {
         }
         "?".to_string()
     };
-    for key in ["workers", "scale", "git_revision"] {
+    // Timings scale with the evaluation workload, so diffing reports
+    // from different scales is meaningless — a fast-scale run always
+    // "beats" a standard-scale baseline, which is exactly how the
+    // 41 s → 57.8 s ieee118 `system_build` regression slipped through.
+    let (old_scale, new_scale) = (meta(&old, "scale"), meta(&new, "scale"));
+    if old_scale != new_scale {
+        println!(
+            "error: scale differs ({old_scale} -> {new_scale}); cross-scale timing \
+             comparisons are vacuous — regenerate the baseline at the same scale"
+        );
+        return 1;
+    }
+    for key in ["workers", "git_revision"] {
         let (o, n) = (meta(&old, key), meta(&new, key));
         if o != n {
             println!("note: {key} differs: {o} -> {n}");
@@ -900,9 +1038,12 @@ fn benchdiff(old_path: &str, new_path: &str, tol_pct: f64) -> usize {
             continue;
         };
         let pct = if *old_v > 0.0 { 100.0 * (new_v - old_v) / old_v } else { 0.0 };
-        let flag = if pct > tol_pct {
+        let delta_ms = leaf_ms(path, *new_v) - leaf_ms(path, *old_v);
+        let flag = if pct > tol_pct && delta_ms > floor_ms {
             regressions += 1;
             "  REGRESSION"
+        } else if pct > tol_pct {
+            "  (below floor)"
         } else {
             ""
         };
@@ -921,6 +1062,7 @@ fn main() {
     if args.first().map(String::as_str) == Some("benchdiff") {
         let mut paths: Vec<&String> = Vec::new();
         let mut tol_pct = 10.0;
+        let mut floor_ms = 0.0;
         let mut it = args[1..].iter();
         while let Some(arg) = it.next() {
             if arg == "--tol" {
@@ -928,14 +1070,19 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--tol needs a percentage");
+            } else if arg == "--floor-ms" {
+                floor_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--floor-ms needs a millisecond value");
             } else {
                 paths.push(arg);
             }
         }
         let [old_path, new_path] = paths[..] else {
-            panic!("usage: perfbench benchdiff OLD.json NEW.json [--tol PCT]");
+            panic!("usage: perfbench benchdiff OLD.json NEW.json [--tol PCT] [--floor-ms MS]");
         };
-        let regressions = benchdiff(old_path, new_path, tol_pct);
+        let regressions = benchdiff(old_path, new_path, tol_pct, floor_ms);
         std::process::exit(if regressions == 0 { 0 } else { 1 });
     }
 
@@ -979,6 +1126,8 @@ fn main() {
     let nr_solve = bench_nr_solve(&systems);
     let svd = bench_svd();
     let system_build = bench_builds(&systems, scale);
+    let (system_build_warm, system_build_incremental) =
+        bench_builds_warm(&systems, scale);
     let (bundle_io, engine_batch, detect_throughput, chaos) =
         bench_model_serving(&systems);
     // The end-to-end pipeline timing stays on the ieee14/30/57 trio: an
@@ -1001,6 +1150,8 @@ fn main() {
         nr_solve,
         svd,
         system_build,
+        system_build_warm,
+        system_build_incremental,
         bundle_io,
         engine_batch,
         detect_throughput,

@@ -80,6 +80,11 @@ pub struct DetectorConfig {
     /// score must exceed the proximity-rule band limit by this factor,
     /// otherwise the detector falls back to the exhaustive ranking.
     pub shortlist_margin: f64,
+    /// Force full Jacobi SVDs during training instead of the truncated
+    /// randomized path. The default (`false`) is ~20× faster on large
+    /// systems; the exact path is kept for the rsvd-vs-full parity suite
+    /// and as an escape hatch.
+    pub exact_svd: bool,
 }
 
 impl Default for DetectorConfig {
@@ -102,6 +107,7 @@ impl Default for DetectorConfig {
             decision_ratio: 0.75,
             shortlist_k: 0,
             shortlist_margin: 4.0,
+            exact_svd: false,
         }
     }
 }

@@ -31,7 +31,7 @@ use crate::error::DetectError;
 use crate::groups::{build_groups, DetectionGroups};
 use crate::proximity::{proximity, proximity_fast};
 use crate::scoring::{NodeScorer, NodeScorers, RestrictedBank, ScoringCache};
-use crate::subspaces::{learn_subspaces, LearnedSubspaces};
+use crate::subspaces::{learn_subspaces_reusing, LearnedSubspaces};
 use crate::Result;
 use pmu_grid::cluster::{partition_clusters, Clustering};
 use pmu_grid::Network;
@@ -116,6 +116,26 @@ impl Detector {
     /// Returns configuration and training-data validation errors, and
     /// propagates numerical failures from the learning stages.
     pub fn train(data: &Dataset, cfg: &DetectorConfig) -> Result<Self> {
+        Self::train_reusing(data, cfg, &[])
+    }
+
+    /// [`Detector::train`] with warm-started per-case subspaces:
+    /// `reuse[ci]`, when `Some`, replaces the decomposition of case
+    /// `ci`'s training window. Everything downstream — node
+    /// unions/intersections, ellipses, capabilities, groups, calibration,
+    /// the packed scorer bank — is recomputed from scratch, so provided
+    /// the reused bases are exactly what training would compute (the
+    /// caller's contract; see
+    /// [`learn_subspaces_reusing`](crate::subspaces::learn_subspaces_reusing)),
+    /// the result is bit-identical to a cold [`Detector::train`].
+    ///
+    /// # Errors
+    /// As [`Detector::train`].
+    pub fn train_reusing(
+        data: &Dataset,
+        cfg: &DetectorConfig,
+        reuse: &[Option<&pmu_numerics::Subspace>],
+    ) -> Result<Self> {
         cfg.validate()?;
         let net = &data.network;
         let n = net.n_buses();
@@ -131,7 +151,7 @@ impl Detector {
         let n_clusters = cfg.n_clusters.min(n);
         let clustering = partition_clusters(net, n_clusters)
             .map_err(|e| DetectError::InvalidTrainingData(e.to_string()))?;
-        let mut subspaces = learn_subspaces(data, cfg)?;
+        let mut subspaces = learn_subspaces_reusing(data, cfg, reuse)?;
         // Hold out the tail of the normal window for threshold calibration
         // and refit S⁰ on the head only, so calibration sees honest
         // residuals (the OU load process drifts over the window).
@@ -720,35 +740,83 @@ impl Detector {
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
 
         if shortlist_on {
-            // A pruned node can only matter if it could (a) enter the
-            // proximity-rule band around the best exact score, or (b)
-            // displace the top-3 ranking that seeds the localization
-            // group. Its proxy is in score units, so compare directly —
+            // A pruned node can threaten the *ranking* only by displacing
+            // the top-3 that seeds the localization group and the band
+            // anchor. Its proxy is in score units, so compare directly —
             // any candidate whose proxy lands within `shortlist_margin ×`
-            // of either limit gets scored exactly too (partial fallback);
-            // the rest are irrelevant by margin.
-            let limit = match scored.first() {
-                Some(&(_, best)) => {
-                    let band = best.max(PROX_EPS) * self.cfg.prefix_ratio;
-                    let third = scored[scored.len().min(3) - 1].1;
-                    band.max(third) * self.cfg.shortlist_margin
-                }
-                None => f64::INFINITY,
-            };
+            // of the third-best exact score gets scored exactly too
+            // (partial fallback); the rest cannot plausibly reach the top.
+            let third = scored[scored.len().min(3) - 1].1;
+            let limit = third.max(PROX_EPS) * self.cfg.shortlist_margin;
             let offenders: Vec<usize> = candidates
                 .iter()
                 .copied()
                 .filter(|i| pick.binary_search(i).is_err())
                 .filter(|&i| proxy(i) <= limit)
                 .collect();
-            if offenders.is_empty() {
-                pmu_obs::counter!("detect.shortlist_hits").inc();
-            } else {
-                pmu_obs::counter!("detect.shortlist_fallbacks").inc();
+            if !offenders.is_empty() {
                 for &node in &offenders {
                     scored.push((node, score_one(node)?));
                 }
                 scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            }
+
+            // Localization reads the proximity-band connected component of
+            // the best node (`localize`), so the scored set must contain
+            // exactly the nodes that component can reach. Grow it lazily:
+            // walk the grid from the best node, exact-scoring unscored
+            // neighbours on demand, continuing through any that land
+            // inside the band. A node the walk never reaches cannot enter
+            // the exhaustive component either (every path to it crosses an
+            // out-of-band node), so its score is irrelevant to `localize`.
+            let mut score_of: Vec<Option<f64>> = vec![None; self.n];
+            for &(node, s) in &scored {
+                score_of[node] = Some(s);
+            }
+            let band = scored[0].1.max(PROX_EPS) * self.cfg.prefix_ratio;
+            let mut in_comp = vec![false; self.n];
+            in_comp[scored[0].0] = true;
+            let mut frontier = vec![scored[0].0];
+            while let Some(u) = frontier.pop() {
+                for &v in &self.adjacency[u] {
+                    if in_comp[v] || scorers[v].is_none() {
+                        continue;
+                    }
+                    let s = match score_of[v] {
+                        Some(s) => s,
+                        None => {
+                            let s = score_one(v)?;
+                            score_of[v] = Some(s);
+                            scored.push((v, s));
+                            s
+                        }
+                    };
+                    if s <= band {
+                        in_comp[v] = true;
+                        frontier.push(v);
+                    }
+                }
+            }
+            // `localize` widens to the *full* band when no learned case
+            // has both endpoints inside the component — rare, but it then
+            // needs every node's score, so rescore exhaustively rather
+            // than risk a divergent line set.
+            if !self.case_endpoints.iter().any(|&(a, b)| in_comp[a] && in_comp[b]) {
+                for &node in &candidates {
+                    if score_of[node].is_none() {
+                        scored.push((node, score_one(node)?));
+                    }
+                }
+            }
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            // "Hit" = the shortlist actually pruned exact scoring work;
+            // "fallback" = between the top-3 guard, the component walk and
+            // the empty-candidate rescue, every candidate got scored
+            // anyway (the exhaustive cost, plus the proxy sort).
+            if scored.len() < candidates.len() {
+                pmu_obs::counter!("detect.shortlist_hits").inc();
+            } else {
+                pmu_obs::counter!("detect.shortlist_fallbacks").inc();
             }
         }
         // Localization only reads the groups of the top-3 ranked nodes;

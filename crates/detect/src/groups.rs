@@ -16,7 +16,7 @@ use crate::config::DetectorConfig;
 use crate::error::DetectError;
 use crate::Result;
 use pmu_grid::cluster::Clustering;
-use pmu_numerics::{Matrix, Svd};
+use pmu_numerics::{rsvd, Matrix, Svd};
 
 /// Per-cluster detection groups.
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -171,9 +171,21 @@ pub fn build_groups(
     if clustering.n_clusters() == 0 {
         return Err(DetectError::InvalidTrainingData("empty clustering".into()));
     }
-    // PCA loadings: top singular directions of the training matrix.
-    let svd = Svd::compute(training_matrix)?;
-    let loadings = svd.top_left_vectors(cfg.subspace_dim.min(svd.sigma.len()));
+    // PCA loadings: top singular directions of the training matrix. At
+    // `capability_fraction = 1` (the proposed scheme and the default)
+    // `blend` never reads the orthogonal list, so the decomposition of
+    // the N × ΣT concatenation is dead weight — skip it entirely (it was
+    // over 2 s of the ieee118 build). An empty loading matrix makes
+    // `orthogonal_selection` return no candidates, which `blend` at
+    // alpha = 1 ignores.
+    let loadings = if cfg.capability_fraction >= 1.0 {
+        Matrix::zeros(training_matrix.rows(), 0)
+    } else if cfg.exact_svd {
+        let svd = Svd::compute(training_matrix)?;
+        svd.top_left_vectors(cfg.subspace_dim.min(svd.sigma.len()))
+    } else {
+        rsvd::truncated(training_matrix, cfg.subspace_dim)?.u
+    };
 
     let mut in_cluster = Vec::with_capacity(clustering.n_clusters());
     let mut out_cluster = Vec::with_capacity(clustering.n_clusters());

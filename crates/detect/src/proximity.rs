@@ -15,7 +15,7 @@
 
 use crate::error::DetectError;
 use crate::Result;
-use pmu_numerics::{Matrix, Subspace, Svd, Vector};
+use pmu_numerics::{Matrix, QrFactors, Subspace, Svd, Vector};
 
 /// Proximity of the observed sub-vector `x_d` (aligned with `nodes`) to
 /// subspace `s`, per Eq. (9): squared residual on the row-restricted
@@ -212,8 +212,52 @@ pub fn missing_regressor(s: &Subspace, observed: &[usize]) -> Result<Matrix> {
     let rest = complement(n, observed);
     let u_d = s.basis().select_rows(observed);
     let u_r = s.basis().select_rows(&rest);
-    let pinv = Svd::compute(&u_d)?.pseudo_inverse(1e-10)?;
+    // Fast path: `U_D⁺ = R⁻¹Qᵀ` via Householder QR — O(mk²) against the
+    // full Jacobi SVD's O(mk² · sweeps). The QR route requires a tall
+    // full-rank block; heavy masking can make `U_D` wide or rank-deficient
+    // (dark rows of a low-dimensional basis), and those cases drop to the
+    // rank-revealing SVD pseudo-inverse as before.
+    let pinv = match qr_pinv(&u_d) {
+        Some(p) => p,
+        None => Svd::compute(&u_d)?.pseudo_inverse(1e-10)?,
+    };
     Ok(u_r.matmul(&pinv)?)
+}
+
+/// Pseudo-inverse of a tall, numerically full-rank matrix through thin QR:
+/// back-substitute `R X = Qᵀ`. Returns `None` (caller falls back to the
+/// SVD route) for wide inputs or when any `|r_ii|` drops below `1e-10`
+/// of the largest — the same relative cutoff the SVD path applies to its
+/// singular values, so both paths agree on what "rank-deficient" means.
+fn qr_pinv(a: &Matrix) -> Option<Matrix> {
+    let (m, k) = a.shape();
+    if m < k || k == 0 {
+        return None;
+    }
+    let f = QrFactors::factorize(a).ok()?;
+    let mut dmax = 0.0_f64;
+    for i in 0..k {
+        dmax = dmax.max(f.r[(i, i)].abs());
+    }
+    if dmax == 0.0 {
+        return None;
+    }
+    for i in 0..k {
+        if f.r[(i, i)].abs() < 1e-10 * dmax {
+            return None;
+        }
+    }
+    let mut x = f.q.transpose(); // k×m; becomes R⁻¹Qᵀ in place.
+    for col in 0..m {
+        for i in (0..k).rev() {
+            let mut sum = x[(i, col)];
+            for j in (i + 1)..k {
+                sum -= f.r[(i, j)] * x[(j, col)];
+            }
+            x[(i, col)] = sum / f.r[(i, i)];
+        }
+    }
+    Some(x)
 }
 
 /// Reconstruct the full sample from observed entries, assuming it lies in

@@ -44,15 +44,36 @@ use pmu_numerics::{Matrix, ProjectorBank, Subspace, Vector};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// Banks cached per missing-data mask. PMU deployments cycle through a
-/// handful of masks (all-present, one dark PDC, a few flaky sensors), so
-/// a small cap suffices; overflow clears the map rather than tracking
-/// recency.
-const BANK_CACHE_CAP: usize = 32;
+/// Banks cached per missing-data mask. A deployment cycles through the
+/// recurring masks of its fault surface — all-present, every single-PDC
+/// blackout, the per-case outage-endpoint masks the evaluation sweeps
+/// replay — which at IEEE-118 scale is a few hundred distinct masks, so
+/// the cap must hold the full cycle (32 used to thrash: every overflow
+/// cleared the map wholesale and the next cycle rebuilt every bank,
+/// which made the packed path *slower* than the reference scorer).
+const BANK_CACHE_CAP: usize = 256;
 
 /// Per-mask stage-2 node-scorer sets; same mask-recurrence argument as
 /// the stage-1 banks.
-const NODE_CACHE_CAP: usize = 32;
+const NODE_CACHE_CAP: usize = 256;
+
+/// Evict one pseudo-randomly chosen entry. Random replacement is immune
+/// to the cyclic-scan pathology that defeats LRU here (a batch sweeping
+/// `> cap` masks in a fixed order evicts every entry exactly before its
+/// reuse, degenerating to a 0% hit rate); random keeps an expected
+/// `cap / distinct` fraction of any cycle resident. Which entry goes is
+/// a caching decision only — detection outputs never depend on it (a
+/// re-evicted mask just re-pays one restriction pass).
+fn evict_one<V>(map: &mut HashMap<u64, V>, salt: u64) {
+    let mut x = salt ^ 0x9E37_79B9_7F4A_7C15;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let idx = (x as usize) % map.len().max(1);
+    if let Some(&k) = map.keys().nth(idx) {
+        map.remove(&k);
+    }
+}
 
 /// Divide each packed block residual by its co-dimension, in place.
 fn normalize_rows(out: &mut Matrix, codims: &[f64]) {
@@ -300,9 +321,9 @@ pub(crate) type NodeScorers = Vec<Option<NodeScorer>>;
 /// Runtime scoring caches shared across samples of one stream or batch.
 ///
 /// Interior-mutable (`&self` lookups) so a detector can stay immutable;
-/// both maps are overflow-cleared rather than LRU-tracked — masks recur
-/// heavily in practice, and a rare clear merely re-pays one restriction
-/// pass.
+/// on overflow both maps evict one pseudo-random entry (see
+/// [`evict_one`]) — masks recur heavily in practice, and an eviction
+/// merely re-pays one restriction pass for that mask.
 #[derive(Default)]
 pub struct ScoringCache {
     banks: Mutex<HashMap<u64, Arc<RestrictedBank>>>,
@@ -340,10 +361,12 @@ impl ScoringCache {
         }
         // Build outside the lock: restriction is the expensive part and
         // concurrent callers may be working on different masks.
+        pmu_obs::counter!("detect.bank_cache_miss").inc();
         let built = Arc::new(RestrictedBank::build(subspaces, observed)?);
         let mut map = self.banks.lock().expect("bank cache poisoned");
         if map.len() >= BANK_CACHE_CAP {
-            map.clear();
+            pmu_obs::counter!("detect.bank_cache_evict").inc();
+            evict_one(&mut map, fingerprint);
         }
         let entry = map.entry(fingerprint).or_insert_with(|| Arc::clone(&built));
         Ok(Arc::clone(entry))
@@ -363,10 +386,12 @@ impl ScoringCache {
                 return Ok(Arc::clone(s));
             }
         }
+        pmu_obs::counter!("detect.node_cache_miss").inc();
         let built = Arc::new(build()?);
         let mut map = self.node_scorers.lock().expect("node cache poisoned");
         if map.len() >= NODE_CACHE_CAP {
-            map.clear();
+            pmu_obs::counter!("detect.node_cache_evict").inc();
+            evict_one(&mut map, fingerprint);
         }
         let entry = map.entry(fingerprint).or_insert_with(|| Arc::clone(&built));
         Ok(Arc::clone(entry))

@@ -22,7 +22,7 @@
 use crate::config::DetectorConfig;
 use crate::error::DetectError;
 use crate::Result;
-use pmu_numerics::{par, Matrix, Subspace, Svd};
+use pmu_numerics::{par, rsvd, Matrix, Subspace, Svd};
 use pmu_sim::dataset::Dataset;
 
 /// All learned subspaces for one grid.
@@ -47,12 +47,32 @@ pub struct LearnedSubspaces {
 /// Returns [`DetectError::InvalidTrainingData`] for an empty window and
 /// propagates SVD failures.
 pub fn case_subspace(window: &Matrix, dim: usize) -> Result<Subspace> {
+    case_subspace_with(window, dim, false)
+}
+
+/// [`case_subspace`] with an explicit decomposition choice: `exact` forces
+/// the full Jacobi SVD, otherwise the truncated randomized path is used
+/// (which itself falls back to exact Jacobi for windows too small to
+/// sketch). The two paths span the same subspace to principal angles
+/// below 1e-8 — `tests/rsvd_parity.rs` pins that the resulting detectors
+/// produce identical detections.
+///
+/// # Errors
+/// As [`case_subspace`].
+pub fn case_subspace_with(window: &Matrix, dim: usize, exact: bool) -> Result<Subspace> {
     if window.rows() == 0 || window.cols() == 0 {
         return Err(DetectError::InvalidTrainingData("empty training window".into()));
     }
-    let svd = Svd::compute(window)?;
-    let dim = dim.min(svd.sigma.len());
-    Ok(Subspace::from_orthonormal(svd.top_left_vectors(dim)))
+    if dim == 0 {
+        return Ok(Subspace::zero(window.rows()));
+    }
+    let basis = if exact {
+        let svd = Svd::compute(window)?;
+        svd.top_left_vectors(dim.min(svd.sigma.len()))
+    } else {
+        rsvd::truncated(window, dim)?.u
+    };
+    Ok(Subspace::from_orthonormal(basis))
 }
 
 /// Learn every subspace the detector needs from a dataset.
@@ -61,6 +81,29 @@ pub fn case_subspace(window: &Matrix, dim: usize) -> Result<Subspace> {
 /// Returns [`DetectError::InvalidTrainingData`] when the dataset has no
 /// outage cases.
 pub fn learn_subspaces(data: &Dataset, cfg: &DetectorConfig) -> Result<LearnedSubspaces> {
+    learn_subspaces_reusing(data, cfg, &[])
+}
+
+/// [`learn_subspaces`] with warm-start reuse: `reuse[ci]`, when `Some`,
+/// is taken as case `ci`'s subspace instead of decomposing its window.
+///
+/// The caller owns the correctness contract — each provided basis must be
+/// exactly what this function would compute for that case (the model
+/// crate enforces it by fingerprinting the case training windows and the
+/// detector configuration). Because [`case_subspace_with`] is a
+/// deterministic pure function of the window bits, a fingerprint-verified
+/// reused basis is bit-identical to a recomputed one, so the detector
+/// that comes out of an incremental build equals a cold-trained one bit
+/// for bit. An empty or short slice means "no reuse" for the uncovered
+/// tail.
+///
+/// # Errors
+/// As [`learn_subspaces`].
+pub fn learn_subspaces_reusing(
+    data: &Dataset,
+    cfg: &DetectorConfig,
+    reuse: &[Option<&Subspace>],
+) -> Result<LearnedSubspaces> {
     if data.cases.is_empty() {
         return Err(DetectError::InvalidTrainingData("dataset has no outage cases".into()));
     }
@@ -70,13 +113,20 @@ pub fn learn_subspaces(data: &Dataset, cfg: &DetectorConfig) -> Result<LearnedSu
         .normal_dim
         .unwrap_or_else(|| cfg.subspace_dim.max(n / 6))
         .min((t / 2).max(cfg.subspace_dim));
-    let normal = case_subspace(data.normal_train.matrix(cfg.kind), normal_dim)?;
+    let normal = case_subspace_with(data.normal_train.matrix(cfg.kind), normal_dim, cfg.exact_svd)?;
 
-    // One SVD per outage case, fanned out over the worker pool.
-    let per_case: Vec<Subspace> =
-        par::par_map(&data.cases, |c| case_subspace(c.train.matrix(cfg.kind), cfg.subspace_dim))
-            .into_iter()
-            .collect::<Result<_>>()?;
+    // One truncated SVD per outage case, fanned out over the worker pool;
+    // warm-started cases clone their stored basis instead.
+    let indexed: Vec<usize> = (0..data.cases.len()).collect();
+    let per_case: Vec<Subspace> = par::par_map(&indexed, |&ci| {
+        if let Some(prev) = reuse.get(ci).copied().flatten() {
+            return Ok(prev.clone());
+        }
+        let c = &data.cases[ci];
+        case_subspace_with(c.train.matrix(cfg.kind), cfg.subspace_dim, cfg.exact_svd)
+    })
+    .into_iter()
+    .collect::<Result<_>>()?;
 
     // Group case indices by incident node.
     let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -92,7 +142,10 @@ pub fn learn_subspaces(data: &Dataset, cfg: &DetectorConfig) -> Result<LearnedSu
             return Ok((Subspace::zero(n), Subspace::zero(n)));
         }
         let spaces: Vec<&Subspace> = incident[node].iter().map(|&ci| &per_case[ci]).collect();
-        Ok((Subspace::union(&spaces)?, Subspace::intersection(&spaces)?))
+        // Union and intersection in one pass: the intersection eigenproblem
+        // runs in union coordinates (≤ Σ subspace_dim) instead of the N×N
+        // ambient space — 1.7 s of the ieee118 build before this.
+        Ok(Subspace::union_and_intersection(&spaces)?)
     });
     let mut union = Vec::with_capacity(n);
     let mut intersection = Vec::with_capacity(n);

@@ -131,18 +131,22 @@ impl SystemSetup {
         let dataset = generate_dataset(&network, &gen).expect("dataset generation");
         let detector_cfg = pmu_detect::detector::default_config_for(&network);
         let mlr_cfg = MlrConfig::default();
-        let (bundle, cache_hit) = match default_store() {
+        let (bundle, outcome) = match default_store() {
             Some(store) => store
-                .load_or_train(&dataset, &gen, &detector_cfg, &mlr_cfg)
+                .load_or_train_outcome(&dataset, &gen, &detector_cfg, &mlr_cfg)
                 .expect("artifact store lookup"),
             None => (
                 ModelBundle::train(&dataset, &gen, &detector_cfg, &mlr_cfg)
                     .expect("model training"),
-                false,
+                pmu_model::BuildOutcome::Cold,
             ),
         };
+        let cache_hit = outcome.is_hit();
         trace_span.record("cases", dataset.n_cases());
         trace_span.record("cache_hit", cache_hit);
+        if let pmu_model::BuildOutcome::Incremental(stats) = outcome {
+            trace_span.record("reused_bases", stats.reused);
+        }
         let mut setup = Self::from_bundle(bundle, dataset)
             .expect("bundle trained on this dataset must verify against it");
         if cache_hit {

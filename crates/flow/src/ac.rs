@@ -103,6 +103,15 @@ pub struct AcConfig {
     /// Linear-algebra path for the Newton step. Defaults to
     /// [`default_linear_solver`] (sparse unless overridden).
     pub linear_solver: LinearSolver,
+    /// Reuse the previous converged state of an [`AcSolver`] as the
+    /// initial guess for the next `solve` call. Consecutive solves in a
+    /// simulated window differ only by small load/dispatch increments, so
+    /// warm starting roughly halves the Newton iterations; PV/slack
+    /// setpoints are still refreshed from the network every call, and a
+    /// failed solve always cold-starts the next one. Off by default —
+    /// one-shot `solve_ac` callers and the micro benches measure the
+    /// cold-start cost; scenario generation opts in.
+    pub warm_start: bool,
 }
 
 impl Default for AcConfig {
@@ -113,6 +122,7 @@ impl Default for AcConfig {
             flat_start: false,
             enforce_q_limits: false,
             linear_solver: default_linear_solver(),
+            warm_start: false,
         }
     }
 }
@@ -311,6 +321,9 @@ pub struct AcSolver {
     scratch: Vec<f64>,
     vm: Vec<f64>,
     va: Vec<f64>,
+    /// `vm`/`va` hold a converged state from the previous `solve` call
+    /// (the warm-start precondition; cleared on entry, set on success).
+    warm_ready: bool,
 }
 
 impl AcSolver {
@@ -414,6 +427,7 @@ impl AcSolver {
             scratch: vec![0.0; dim],
             vm: vec![0.0; n],
             va: vec![0.0; n],
+            warm_ready: false,
         }
     }
 
@@ -599,10 +613,28 @@ impl AcSolver {
         }
         let (tol, max_iter, flat_start) =
             (self.cfg.tol, self.cfg.max_iter, self.cfg.flat_start);
+        let warm = self.cfg.warm_start && self.warm_ready;
+        // Cleared up front so a diverged solve can never seed the next
+        // one with a half-stepped state; re-set on convergence below.
+        self.warm_ready = false;
         for (i, b) in net.buses().iter().enumerate() {
-            self.vm[i] =
-                if flat_start && b.bus_type == BusType::Pq { 1.0 } else { b.vm };
-            self.va[i] = if flat_start { 0.0 } else { b.va.to_radians() };
+            if warm {
+                // Keep the previous converged state as the guess, but
+                // re-pin what the network specifies: PV/slack magnitude
+                // setpoints and the slack angle reference.
+                match b.bus_type {
+                    BusType::Pq => {}
+                    BusType::Pv => self.vm[i] = b.vm,
+                    BusType::Slack => {
+                        self.vm[i] = b.vm;
+                        self.va[i] = b.va.to_radians();
+                    }
+                }
+            } else {
+                self.vm[i] =
+                    if flat_start && b.bus_type == BusType::Pq { 1.0 } else { b.vm };
+                self.va[i] = if flat_start { 0.0 } else { b.va.to_radians() };
+            }
         }
         specified_injections_into(net, &mut self.p_spec, &mut self.q_spec);
 
@@ -619,6 +651,7 @@ impl AcSolver {
             }
             mismatch_norm = self.f.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
             if mismatch_norm < tol {
+                self.warm_ready = true;
                 let slack_p = self.p_calc[self.slack];
                 pmu_obs::events::NrSolve {
                     buses: self.n,
@@ -831,6 +864,47 @@ mod tests {
                 assert_eq!(reused.va[b], fresh.va[b]);
             }
         }
+    }
+
+    #[test]
+    fn warm_start_converges_to_the_same_state_in_fewer_iterations() {
+        let base = ieee57().unwrap();
+        let cold_cfg =
+            AcConfig { linear_solver: LinearSolver::Sparse, ..AcConfig::default() };
+        let warm_cfg = AcConfig { warm_start: true, ..cold_cfg.clone() };
+        let mut cold = AcSolver::new(&base, &cold_cfg);
+        let mut warm = AcSolver::new(&base, &warm_cfg);
+        let mut cold_iters = 0usize;
+        let mut warm_iters = 0usize;
+        for step in 0..6 {
+            let mut net = base.clone();
+            let scale = 1.0 + 0.01 * step as f64;
+            net.set_load(7, 40.0 * scale, 10.0 * scale).unwrap();
+            let c = cold.solve(&net).unwrap();
+            let w = warm.solve(&net).unwrap();
+            cold_iters += c.iterations;
+            warm_iters += w.iterations;
+            // Same root to solver tolerance (the iterates differ, so the
+            // states agree to tol, not bit-for-bit).
+            for b in 0..net.n_buses() {
+                assert!((c.vm[b] - w.vm[b]).abs() < 1e-7, "step {step} bus {b}");
+                assert!((c.va[b] - w.va[b]).abs() < 1e-7, "step {step} bus {b}");
+            }
+            assert!(w.max_mismatch < cold_cfg.tol);
+        }
+        assert!(
+            warm_iters < cold_iters,
+            "warm {warm_iters} iters should beat cold {cold_iters}"
+        );
+        // The very first warm solve had no previous state: it must have
+        // cold-started (identical to a fresh solver's first solve).
+        let mut fresh = AcSolver::new(&base, &warm_cfg);
+        let mut net = base.clone();
+        net.set_load(7, 40.0, 10.0).unwrap();
+        let first = fresh.solve(&net).unwrap();
+        let reference = solve_ac(&net, &cold_cfg).unwrap();
+        assert_eq!(first.vm, reference.vm);
+        assert_eq!(first.va, reference.va);
     }
 
     #[test]

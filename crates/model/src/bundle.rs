@@ -45,10 +45,12 @@ use crate::Result;
 /// Version of the bundle payload layout. Bump on any incompatible change
 /// to the serialized shape of the bundle or its components.
 ///
-/// History: 2 — the detector carries a packed full-observation projector
-/// bank and precomputed capability ordering (plus shortlist config
-/// fields); 1 — initial layout.
-pub const SCHEMA_VERSION: u32 = 2;
+/// History: 3 — per-case training-window fingerprint table for
+/// warm-start incremental rebuilds (plus the detector's `exact_svd`
+/// switch and the MLR whitening projection); 2 — the detector carries a
+/// packed full-observation projector bank and precomputed capability
+/// ordering (plus shortlist config fields); 1 — initial layout.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Magic string identifying bundle files.
 const FORMAT: &str = "pmu-model-bundle";
@@ -166,6 +168,23 @@ pub struct ModelBundle {
     pub detector: Detector,
     /// The trained multinomial-logistic-regression baseline.
     pub mlr: MlrDetector,
+    /// Per-case training-window fingerprints
+    /// ([`OutageCase::train_fingerprint`](pmu_sim::dataset::OutageCase::train_fingerprint)
+    /// as hex), aligned with the detector's per-case subspaces. An
+    /// incremental rebuild matches these against the new dataset's cases
+    /// and reuses the stored basis wherever the digest (and the detector
+    /// configuration) is unchanged — bit-identical reuse, since each
+    /// basis is a pure function of its window bits.
+    pub case_fingerprints: Vec<String>,
+}
+
+/// What an incremental rebuild managed to reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Outage cases in the new dataset.
+    pub total: usize,
+    /// Cases whose stored subspace basis was reused verbatim.
+    pub reused: usize,
 }
 
 impl ModelBundle {
@@ -190,7 +209,103 @@ impl ModelBundle {
         let ms = started.elapsed().as_secs_f64() * 1e3;
         pmu_obs::histogram!("model.train_ms").observe(ms);
         sp.record("ms", ms);
-        Ok(ModelBundle {
+        Ok(Self::assemble(dataset, gen, detector_cfg, mlr_cfg, detector, mlr))
+    }
+
+    /// Train incrementally against a previous bundle: per-case subspace
+    /// bases whose training-window fingerprint (and detector
+    /// configuration) is unchanged are reused verbatim; everything else —
+    /// changed case bases, node unions/intersections, ellipses,
+    /// capabilities, groups, calibration, and the packed scorer bank — is
+    /// recomputed. The resulting **detector is bit-identical** to
+    /// [`ModelBundle::train`] on the same inputs (each reused basis is a
+    /// pure function of its unchanged window), just cheaper. The MLR
+    /// baseline is **warm-started** from the previous bundle
+    /// ([`MlrDetector::train_warm`]): same classifier family, converged
+    /// on the new data from the previous optimum, so it is behaviourally
+    /// equivalent to — but not bit-identical with — a cold train. Without
+    /// this the baseline's full gradient descent dominates the rebuild
+    /// and the incremental path saves almost nothing.
+    ///
+    /// # Errors
+    /// [`ModelError::Incompatible`] when `prev` was trained on a
+    /// different topology or with a different detector configuration
+    /// (reuse would not be bit-faithful); [`ModelError::Train`] as in
+    /// [`ModelBundle::train`].
+    pub fn train_incremental(
+        dataset: &Dataset,
+        gen: &GenConfig,
+        detector_cfg: &DetectorConfig,
+        mlr_cfg: &MlrConfig,
+        prev: &ModelBundle,
+    ) -> Result<(Self, ReuseStats)> {
+        let net_fp = fp_hex(dataset.network.fingerprint());
+        if net_fp != prev.network_fingerprint {
+            return Err(ModelError::Incompatible {
+                what: "network",
+                stored: prev.network_fingerprint.clone(),
+                actual: net_fp,
+            });
+        }
+        // The per-case basis depends on the detector configuration
+        // (measurement kind, rank, decomposition path); compare the full
+        // rendered config — the same canonical form the bundle key uses.
+        let cfg_now = serde_json::to_string(detector_cfg)
+            .map_err(|e| ModelError::Malformed(e.to_string()))?;
+        let cfg_prev = serde_json::to_string(&prev.detector_cfg)
+            .map_err(|e| ModelError::Malformed(e.to_string()))?;
+        if cfg_now != cfg_prev {
+            return Err(ModelError::Incompatible {
+                what: "detector_cfg",
+                stored: cfg_prev,
+                actual: cfg_now,
+            });
+        }
+
+        let mut sp = pmu_obs::span("model.train_incremental")
+            .with("system", dataset.network.name.as_str())
+            .with("cases", dataset.n_cases());
+        let started = Instant::now();
+        let prev_cases = &prev.detector.subspaces().per_case;
+        let mut by_fp: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (i, fp) in prev.case_fingerprints.iter().enumerate() {
+            by_fp.entry(fp.as_str()).or_insert(i);
+        }
+        let reuse: Vec<Option<&pmu_numerics::Subspace>> = dataset
+            .cases
+            .iter()
+            .map(|c| {
+                by_fp
+                    .get(fp_hex(c.train_fingerprint()).as_str())
+                    .and_then(|&i| prev_cases.get(i))
+            })
+            .collect();
+        let stats = ReuseStats {
+            total: dataset.n_cases(),
+            reused: reuse.iter().filter(|r| r.is_some()).count(),
+        };
+        let detector = Detector::train_reusing(dataset, detector_cfg, &reuse)
+            .map_err(|e| ModelError::Train(e.to_string()))?;
+        let mlr = MlrDetector::train_warm(dataset, mlr_cfg, &prev.mlr);
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        pmu_obs::histogram!("model.train_incremental_ms").observe(ms);
+        pmu_obs::counter!("model.reused_bases").add(stats.reused as u64);
+        sp.record("reused", stats.reused);
+        sp.record("ms", ms);
+        Ok((Self::assemble(dataset, gen, detector_cfg, mlr_cfg, detector, mlr), stats))
+    }
+
+    /// Package trained models with full provenance (shared by the cold
+    /// and incremental training paths).
+    fn assemble(
+        dataset: &Dataset,
+        gen: &GenConfig,
+        detector_cfg: &DetectorConfig,
+        mlr_cfg: &MlrConfig,
+        detector: Detector,
+        mlr: MlrDetector,
+    ) -> Self {
+        ModelBundle {
             system: dataset.network.name.clone(),
             network_fingerprint: fp_hex(dataset.network.fingerprint()),
             dataset_fingerprint: fp_hex(dataset.fingerprint()),
@@ -200,7 +315,12 @@ impl ModelBundle {
             mlr_cfg: mlr_cfg.clone(),
             detector,
             mlr,
-        })
+            case_fingerprints: dataset
+                .cases
+                .iter()
+                .map(|c| fp_hex(c.train_fingerprint()))
+                .collect(),
+        }
     }
 
     /// The content-addressed artifact-store key for this bundle's training

@@ -34,9 +34,9 @@ pub mod bundle;
 pub mod retry;
 pub mod store;
 
-pub use bundle::{bundle_key, ModelBundle, ModelError, SCHEMA_VERSION};
+pub use bundle::{bundle_key, ModelBundle, ModelError, ReuseStats, SCHEMA_VERSION};
 pub use retry::{with_retry, RetryPolicy};
-pub use store::{default_store, set_store_policy, ArtifactStore, StorePolicy};
+pub use store::{default_store, set_store_policy, ArtifactStore, BuildOutcome, StorePolicy};
 
 /// Convenience result alias for model-bundle operations.
 pub type Result<T> = std::result::Result<T, ModelError>;

@@ -28,8 +28,34 @@ use pmu_baseline::MlrConfig;
 use pmu_detect::DetectorConfig;
 use pmu_sim::{Dataset, GenConfig};
 
-use crate::bundle::{bundle_key, fp_hex, ModelBundle, ModelError};
+use crate::bundle::{bundle_key, fp_hex, ModelBundle, ModelError, ReuseStats};
 use crate::Result;
+
+/// How [`ArtifactStore::load_or_train_outcome`] obtained its bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildOutcome {
+    /// A persisted bundle matched the inputs exactly; training skipped.
+    CacheHit,
+    /// No reusable artifact; trained from scratch.
+    Cold,
+    /// Warm-start incremental rebuild: `reused` of `total` per-case
+    /// subspace bases came from a stored bundle, the rest (and all
+    /// aggregate state) were recomputed. Bit-identical to a cold train.
+    Incremental(ReuseStats),
+}
+
+impl BuildOutcome {
+    /// `true` when training was skipped entirely (a store hit).
+    pub fn is_hit(self) -> bool {
+        matches!(self, BuildOutcome::CacheHit)
+    }
+}
+
+/// Most files a donor scan will probe before giving up. Bundles are a
+/// few MB of JSON; probing is one parse each, so an unbounded scan of a
+/// long-lived store directory could cost more than the training it
+/// saves.
+const DONOR_SCAN_CAP: usize = 64;
 
 /// How process-wide consumers resolve their artifact store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,21 +191,148 @@ impl ArtifactStore {
         detector_cfg: &DetectorConfig,
         mlr_cfg: &MlrConfig,
     ) -> Result<(ModelBundle, bool)> {
+        let (bundle, outcome) =
+            self.load_or_train_outcome(dataset, gen, detector_cfg, mlr_cfg)?;
+        Ok((bundle, outcome.is_hit()))
+    }
+
+    /// [`ArtifactStore::load_or_train`] reporting *how* the bundle was
+    /// obtained, including the warm-start incremental path:
+    ///
+    /// 1. exact key hit + matching fingerprints → [`BuildOutcome::CacheHit`];
+    /// 2. key hit but the dataset bits drifted (simulator revision) →
+    ///    incremental rebuild reusing the stale bundle's per-case bases;
+    /// 3. key miss → scan the store for a *donor* bundle (same topology
+    ///    and detector configuration, overlapping case fingerprints —
+    ///    e.g. the previous scale or an evaluation-side config change)
+    ///    and rebuild incrementally from it;
+    /// 4. otherwise train cold.
+    ///
+    /// Incremental results are bit-identical to a cold train (see
+    /// [`ModelBundle::train_incremental`]) and are persisted under their
+    /// own key like any other bundle.
+    ///
+    /// # Errors
+    /// As [`ArtifactStore::load_or_train`].
+    pub fn load_or_train_outcome(
+        &self,
+        dataset: &Dataset,
+        gen: &GenConfig,
+        detector_cfg: &DetectorConfig,
+        mlr_cfg: &MlrConfig,
+    ) -> Result<(ModelBundle, BuildOutcome)> {
         let key = bundle_key(&dataset.network, gen, detector_cfg, mlr_cfg)?;
+        let mut donor: Option<ModelBundle> = None;
         if let Some(bundle) = self.load(key)? {
             if bundle.verify_against(dataset).is_ok() {
                 pmu_obs::counter!("model.store_hit").inc();
-                return Ok((bundle, true));
+                return Ok((bundle, BuildOutcome::CacheHit));
             }
             // Key collision or fingerprint recipe drift: the artifact is
-            // intact but not trained on these inputs. Retrain over it.
+            // intact but not trained on these inputs. It is still the
+            // best incremental donor candidate — same key means same
+            // topology and configs, so any unchanged case basis is
+            // reusable verbatim.
             pmu_obs::counter!("model.store_stale").inc();
+            donor = Some(bundle);
         }
         pmu_obs::counter!("model.store_miss").inc();
+        if donor.is_none() {
+            donor = self.find_donor(dataset, detector_cfg, key);
+        }
+        if let Some(prev) = donor {
+            match ModelBundle::train_incremental(dataset, gen, detector_cfg, mlr_cfg, &prev) {
+                Ok((bundle, stats)) if stats.reused > 0 => {
+                    pmu_obs::counter!("model.store_incremental").inc();
+                    self.save(&bundle)?;
+                    return Ok((bundle, BuildOutcome::Incremental(stats)));
+                }
+                // No overlap (or an incompatible donor slipped through):
+                // the incremental train *is* a cold train in that case —
+                // keep it rather than paying for training twice.
+                Ok((bundle, _)) => {
+                    self.save(&bundle)?;
+                    return Ok((bundle, BuildOutcome::Cold));
+                }
+                Err(err) => {
+                    pmu_obs::info(&format!(
+                        "artifact store: incremental reuse unavailable ({err}); training cold"
+                    ));
+                }
+            }
+        }
         let bundle = ModelBundle::train(dataset, gen, detector_cfg, mlr_cfg)?;
         self.save(&bundle)?;
-        Ok((bundle, false))
+        Ok((bundle, BuildOutcome::Cold))
     }
+
+    /// Scan the store for the bundle that shares the most per-case
+    /// training-window fingerprints with `dataset` (same topology and
+    /// detector configuration required for bit-faithful reuse). Probes
+    /// each file with a single envelope parse — no full deserialization
+    /// until a best candidate is chosen — and gives up quietly on any
+    /// I/O or parse trouble: a donor is an optimization, never a
+    /// requirement.
+    fn find_donor(
+        &self,
+        dataset: &Dataset,
+        detector_cfg: &DetectorConfig,
+        skip_key: u64,
+    ) -> Option<ModelBundle> {
+        let net_fp = fp_hex(dataset.network.fingerprint());
+        let cfg_now = serde_json::to_string(detector_cfg).ok()?;
+        let case_fps: std::collections::HashSet<String> =
+            dataset.cases.iter().map(|c| fp_hex(c.train_fingerprint())).collect();
+        let mut best: Option<(usize, PathBuf)> = None;
+        let entries = std::fs::read_dir(&self.dir).ok()?;
+        for entry in entries.flatten().take(DONOR_SCAN_CAP) {
+            let path = entry.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !name.starts_with("bundle-") || !name.ends_with(".json") {
+                continue;
+            }
+            if path == self.path_for(skip_key) {
+                continue; // Already probed through the keyed lookup.
+            }
+            let Some(overlap) = probe_overlap(&path, &net_fp, &cfg_now, &case_fps) else {
+                continue;
+            };
+            if overlap > 0 && best.as_ref().is_none_or(|&(b, _)| overlap > b) {
+                best = Some((overlap, path));
+            }
+        }
+        let (_, path) = best?;
+        ModelBundle::load(&path).ok()
+    }
+}
+
+/// Count how many of `case_fps` appear in the bundle file at `path`,
+/// requiring topology and detector-configuration equality. One JSON
+/// parse, no model deserialization; `None` means "not a usable donor"
+/// for any reason.
+fn probe_overlap(
+    path: &Path,
+    net_fp: &str,
+    cfg_now: &str,
+    case_fps: &std::collections::HashSet<String>,
+) -> Option<usize> {
+    let json = std::fs::read_to_string(path).ok()?;
+    let envelope: serde::Value = serde_json::from_str(&json).ok()?;
+    let version: u32 = serde::from_field(&envelope, "schema_version").ok()?;
+    if version != crate::bundle::SCHEMA_VERSION {
+        return None;
+    }
+    let payload = serde::obj_get(&envelope, "bundle").ok()?;
+    let stored_net: String = serde::from_field(payload, "network_fingerprint").ok()?;
+    if stored_net != net_fp {
+        return None;
+    }
+    let stored_cfg = serde_json::to_string(serde::obj_get(payload, "detector_cfg").ok()?).ok()?;
+    if stored_cfg != cfg_now {
+        return None;
+    }
+    let fps: Vec<String> = serde::from_field(payload, "case_fingerprints").ok()?;
+    Some(fps.iter().filter(|fp| case_fps.contains(fp.as_str())).count())
 }
 
 #[cfg(test)]

@@ -20,6 +20,8 @@
 //! - [`lu`] — LU factorization with partial pivoting (real and complex).
 //! - [`qr`] — Householder QR, thin factors, least squares.
 //! - [`svd`] — one-sided Jacobi SVD, pseudo-inverse, numerical rank.
+//! - [`rsvd`] — truncated randomized SVD (deterministic Gaussian range
+//!   finder + power iterations; the rank-limited training fast path).
 //! - [`eigen`] — Jacobi eigensolver for symmetric matrices.
 //! - [`subspace`] — orthonormal subspaces: projection, residuals, unions,
 //!   intersections, principal angles.
@@ -48,6 +50,7 @@ pub mod matrix;
 pub mod packed;
 pub mod par;
 pub mod qr;
+pub mod rsvd;
 pub mod sparse;
 pub mod sparse_lu;
 pub mod stats;
@@ -62,6 +65,7 @@ pub use lu::{CluFactors, LuFactors};
 pub use matrix::Matrix;
 pub use packed::ProjectorBank;
 pub use qr::QrFactors;
+pub use rsvd::RsvdConfig;
 pub use sparse::{CsrCMatrix, CsrMatrix};
 pub use sparse_lu::{SparseLu, SymbolicLu};
 pub use subspace::Subspace;

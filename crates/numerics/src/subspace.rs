@@ -221,6 +221,58 @@ impl Subspace {
         Ok(Subspace::from_orthonormal(basis))
     }
 
+    /// Union and intersection of the same subspace family in one call,
+    /// with the intersection eigenproblem solved *inside the union*: every
+    /// averaged-projector eigenvector with eigenvalue 1 lies in each
+    /// member subspace and therefore in their union, so the n×n ambient
+    /// eigendecomposition of [`Subspace::intersection`] can be replaced by
+    /// a k×k one in union coordinates (`k = dim ∪`, typically ≤ a tenth of
+    /// `n` for the per-node aggregations of Eq. (3)). Exact for every
+    /// retained direction; the two routines agree to the eigensolver
+    /// tolerance.
+    ///
+    /// # Errors
+    /// As [`Subspace::union`] / [`Subspace::intersection`]: empty list or
+    /// ambient-dimension mismatch.
+    pub fn union_and_intersection(spaces: &[&Subspace]) -> Result<(Subspace, Subspace)> {
+        let union = Subspace::union(spaces)?;
+        let n = union.ambient_dim();
+        if spaces.len() == 1 {
+            return Ok((union, spaces[0].clone()));
+        }
+        // Any empty member forces an empty intersection (its projector
+        // contributes nothing, capping the averaged eigenvalues at
+        // (m−1)/m < 1 − tol), as does an empty union.
+        if union.dim() == 0 || spaces.iter().any(|s| s.dim() == 0) {
+            return Ok((union, Subspace::zero(n)));
+        }
+        let k = union.dim();
+        let mut avg = Matrix::zeros(k, k);
+        for s in spaces {
+            // Member basis in union coordinates: C = Uᵀ B (k×k_i). Since
+            // span(B) ⊆ span(U), C has orthonormal columns and C·Cᵀ is the
+            // member's projector restricted to the union.
+            let c = union.basis.tr_matmul(&s.basis)?;
+            let p = c.matmul(&c.transpose())?;
+            avg = &avg + &p;
+        }
+        avg.scale_mut(1.0 / spaces.len() as f64);
+        let eig = sym_eigen(&avg)?;
+        let keep: Vec<usize> = eig
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 1.0 - INTERSECT_EIG_TOL)
+            .map(|(i, _)| i)
+            .collect();
+        if keep.is_empty() {
+            return Ok((union, Subspace::zero(n)));
+        }
+        let basis = union.basis.matmul(&eig.vectors.select_columns(&keep))?;
+        let inter = Subspace::from_orthonormal(basis);
+        Ok((union, inter))
+    }
+
     /// Principal angles (in radians, ascending) between two subspaces,
     /// computed from the singular values of `B_a^T B_b`.
     ///
@@ -342,6 +394,61 @@ mod tests {
         let diag = Vector::from(vec![0.0, 1.0, 1.0, 0.0]);
         let resid = i.residual_sqr(&diag).unwrap();
         assert!(resid < 1e-8, "residual {resid}");
+    }
+
+    #[test]
+    fn union_and_intersection_agrees_with_separate_calls() {
+        // Slanted overlapping planes in R^6, including a 3-member family
+        // and a family containing an empty member.
+        let s1 = Subspace::from_span(
+            &Matrix::from_rows(
+                6,
+                3,
+                vec![
+                    1., 0., 0., 0., 1., 0., 0., 1., 0., 0., 0., 1., 1., 0., 1., 0., 0., 0.,
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let s2 = Subspace::from_span(
+            &Matrix::from_rows(
+                6,
+                3,
+                vec![
+                    0., 1., 0., 0., 1., 0., 1., 1., 0., 0., 0., 1., 0., 0., 1., 1., 0., 0.,
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let s3 = Subspace::from_span(
+            &Matrix::from_rows(
+                6,
+                3,
+                vec![
+                    0., 0., 1., 0., 1., 0., 1., 0., 0., 0., 0., 1., 1., 1., 0., 0., 0., 1.,
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for family in [vec![&s1, &s2], vec![&s1, &s2, &s3], vec![&s2]] {
+            let (u, i) = Subspace::union_and_intersection(&family).unwrap();
+            let u_ref = Subspace::union(&family).unwrap();
+            let i_ref = Subspace::intersection(&family).unwrap();
+            assert!(u.approx_eq(&u_ref, 1e-9), "union mismatch");
+            assert_eq!(i.dim(), i_ref.dim(), "intersection dim mismatch");
+            if i.dim() > 0 {
+                assert!(i.approx_eq(&i_ref, 1e-7), "intersection mismatch");
+            }
+        }
+        // An empty member empties the intersection but not the union.
+        let z = Subspace::zero(6);
+        let (u, i) = Subspace::union_and_intersection(&[&s1, &z]).unwrap();
+        assert!(u.approx_eq(&s1, 1e-9));
+        assert_eq!(i.dim(), 0);
+        assert!(Subspace::union_and_intersection(&[]).is_err());
     }
 
     #[test]

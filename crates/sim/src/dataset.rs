@@ -17,6 +17,23 @@ pub struct OutageCase {
     pub test: PhasorWindow,
 }
 
+impl OutageCase {
+    /// Content fingerprint of everything the case's learned subspace
+    /// depends on: the branch identity and the raw bits of the *training*
+    /// window. The test window is deliberately excluded — it never feeds
+    /// subspace learning, so a bundle whose stored per-case bases are
+    /// keyed on this digest can reuse them across test-side changes
+    /// (longer evaluation windows, fault-schedule tweaks).
+    pub fn train_fingerprint(&self) -> u64 {
+        let mut h = pmu_numerics::hash::Fnv1a::new();
+        h.write_usize(self.branch);
+        h.write_usize(self.endpoints.0);
+        h.write_usize(self.endpoints.1);
+        self.train.hash_into(&mut h);
+        h.finish()
+    }
+}
+
 /// A complete synthetic dataset for one grid: normal-operation windows and
 /// one [`OutageCase`] per valid line outage (the paper's `E` cases).
 #[derive(Debug, Clone)]

@@ -46,7 +46,11 @@ impl Default for GenConfig {
             test_len: 25,
             ou: OuParams::default(),
             noise: NoiseParams::default(),
-            ac: AcConfig::default(),
+            // Consecutive window steps differ only by an OU load
+            // increment, so warm-starting each Newton solve from the
+            // previous tick's converged state roughly halves the
+            // iteration count across a dataset.
+            ac: AcConfig { warm_start: true, ..AcConfig::default() },
             seed: 0xC0FFEE,
         }
     }

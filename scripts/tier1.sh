@@ -84,12 +84,37 @@ echo "obs endpoint OK (port $obs_port, $(ls "$obs_dir/incidents" | wc -l) incide
 
 echo "== perfbench smoke (fast scale) =="
 ./target/release/perfbench --scale fast --out "$trace_dir/BENCH_fast.json"
-# Fast scale is much lighter than the committed standard-scale baseline,
-# so only the scale-independent micro timings (matmul / NR solve / SVD)
-# are comparable; 75% tolerance absorbs shared-runner noise while still
-# catching order-of-magnitude regressions.
-./target/release/perfbench benchdiff BENCH_repro.json "$trace_dir/BENCH_fast.json" --tol 75 \
-  || { echo "perfbench smoke regression (>75% on micro timings)"; exit 1; }
+# Diff against the committed FAST-scale baseline. benchdiff now hard-fails
+# on a scale mismatch (cross-scale comparisons are vacuous: a fast run
+# always "beats" a standard baseline, which is how a 41 s -> 58 s build
+# regression once slipped through), so the baseline must be regenerated
+# with `perfbench --scale fast --out BENCH_fast_baseline.json` whenever
+# the workload changes. 75% tolerance absorbs shared-runner noise while
+# still catching order-of-magnitude regressions; the 100 ms absolute
+# floor keeps small leaves (sub-ms chaos replays, tens-of-ms bundle
+# saves whose disk IO jitters 2-3x between runs) from flaking past any
+# relative tolerance — the signals this smoke exists for (seconds-scale
+# builds, hundreds-of-ms detect throughput) clear the floor by orders
+# of magnitude when they regress 75%.
+./target/release/perfbench benchdiff BENCH_fast_baseline.json "$trace_dir/BENCH_fast.json" \
+  --tol 75 --floor-ms 100 \
+  || { echo "perfbench smoke regression (>75% vs fast-scale baseline)"; exit 1; }
+
+echo "== incremental rebuild smoke: >=90% basis reuse after one-scenario change =="
+# perfbench splices one regenerated scenario into each trained system and
+# rebuilds via the warm-start path; everything untouched must come back
+# verbatim from the stored bundle.
+python3 - "$trace_dir/BENCH_fast.json" <<'PY'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+rows = rep.get("system_build_incremental", [])
+assert rows, "no system_build_incremental entries in fast report"
+for r in rows:
+    assert r["reused"] * 10 >= r["total"] * 9, (
+        f"{r['system']}: incremental rebuild reused only "
+        f"{r['reused']}/{r['total']} stored bases (<90%)")
+    print(f"{r['system']}: reused {r['reused']}/{r['total']} bases in {r['seconds']:.3f} s")
+PY
 
 echo "== chaos smoke: raised events must survive PDC blackouts =="
 # The fast-scale report carries one chaos replay per small system; every

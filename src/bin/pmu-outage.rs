@@ -65,7 +65,12 @@ fn usage() -> String {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let result = run();
+    // The trace sink lives in a process-global static that is never
+    // dropped; without an explicit flush the tail of a PMU_TRACE capture
+    // is silently lost at exit.
+    pmu_outage::obs::flush_trace();
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -289,11 +294,20 @@ fn cmd_train(
     let data = generate_dataset(net, &inputs.gen).map_err(|e| e.to_string())?;
     let (bundle, artifact_path) = match &store {
         Some(store) => {
-            let (bundle, hit) = store
-                .load_or_train(&data, &inputs.gen, &inputs.detector_cfg, &inputs.mlr_cfg)
+            let (bundle, outcome) = store
+                .load_or_train_outcome(&data, &inputs.gen, &inputs.detector_cfg, &inputs.mlr_cfg)
                 .map_err(|e| e.to_string())?;
             let path = store.path_for(bundle.key().map_err(|e| e.to_string())?);
-            let verb = if hit { "reused (cache hit, training skipped)" } else { "trained" };
+            let verb = match outcome {
+                pmu_model::BuildOutcome::CacheHit => {
+                    "reused (cache hit, training skipped)".to_string()
+                }
+                pmu_model::BuildOutcome::Cold => "trained".to_string(),
+                pmu_model::BuildOutcome::Incremental(stats) => format!(
+                    "trained incrementally (reused {}/{} case bases)",
+                    stats.reused, stats.total
+                ),
+            };
             println!("models for {}: {verb} — {}", net.name, path.display());
             (bundle, path)
         }

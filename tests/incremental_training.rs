@@ -1,0 +1,196 @@
+//! Warm-start incremental training guarantees, end to end:
+//!
+//! 1. After a one-scenario change (one outage case's training window
+//!    replaced), `ArtifactStore::load_or_train_outcome` rebuilds
+//!    **incrementally**, reusing every unchanged stored per-case basis
+//!    (≥ 90% of them for a single-case change) — the rebuilt **detector
+//!    is bit-identical** to a cold `ModelBundle::train` on the same
+//!    inputs, down to the serialized JSON, and the warm-started MLR
+//!    baseline agrees with a cold-trained one on the evaluation set.
+//! 2. A baseline-config change (different bundle key, same dataset)
+//!    finds the stored bundle through the donor scan and reuses 100% of
+//!    the case bases.
+//! 3. An incompatible donor (different detector configuration) is
+//!    refused — the store falls back to a cold train rather than risk a
+//!    non-bit-faithful reuse.
+
+use pmu_outage::baseline::{Imputation, MlrConfig};
+use pmu_outage::detect::detector::default_config_for;
+use pmu_outage::model::{ArtifactStore, BuildOutcome, ModelBundle};
+use pmu_outage::prelude::*;
+
+const SEED: u64 = 0xC0FFEE;
+
+fn gen_cfg(seed: u64) -> GenConfig {
+    GenConfig { train_len: 16, test_len: 5, seed, ..GenConfig::default() }
+}
+
+fn tmp_store(tag: &str) -> ArtifactStore {
+    let dir = std::env::temp_dir().join(format!("pmu-incremental-test-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    ArtifactStore::new(&dir).unwrap()
+}
+
+/// Dataset `a` with exactly one case's training window replaced by the
+/// same branch's window from an independent realization — the smallest
+/// honest "one scenario changed" edit.
+fn with_one_changed_case(a: &Dataset, donor_seed: u64) -> Dataset {
+    let other = generate_dataset(&a.network, &gen_cfg(donor_seed)).expect("donor dataset");
+    let mut changed = a.clone();
+    let branch = changed.cases[0].branch;
+    let donor_case = other
+        .case_for_branch(branch)
+        .expect("same topology has the same valid outage branches");
+    changed.cases[0].train = donor_case.train.clone();
+    assert_ne!(
+        changed.cases[0].train_fingerprint(),
+        a.cases[0].train_fingerprint(),
+        "the edit must actually change the case fingerprint"
+    );
+    changed
+}
+
+#[test]
+fn one_scenario_change_rebuilds_incrementally_and_bit_identically() {
+    let net = by_name("ieee14").unwrap().unwrap();
+    let gen = gen_cfg(SEED);
+    let data = generate_dataset(&net, &gen).expect("dataset");
+    let det_cfg = default_config_for(&net);
+    let mlr_cfg = MlrConfig::default();
+    let store = tmp_store("one-scenario");
+
+    let (_, outcome) = store.load_or_train_outcome(&data, &gen, &det_cfg, &mlr_cfg).unwrap();
+    assert_eq!(outcome, BuildOutcome::Cold, "empty store must train cold");
+
+    // Same key (same configs), different dataset bits in one case: the
+    // stale-artifact path must go incremental, not retrain everything.
+    let changed = with_one_changed_case(&data, SEED + 1);
+    let (bundle, outcome) =
+        store.load_or_train_outcome(&changed, &gen, &det_cfg, &mlr_cfg).unwrap();
+    let stats = match outcome {
+        BuildOutcome::Incremental(stats) => stats,
+        other => panic!("expected an incremental rebuild, got {other:?}"),
+    };
+    assert_eq!(stats.total, changed.n_cases());
+    assert_eq!(stats.reused, changed.n_cases() - 1, "only the edited case recomputes");
+    assert!(
+        stats.reused * 10 >= stats.total * 9,
+        "one-scenario change must reuse >= 90% of stored bases ({}/{})",
+        stats.reused,
+        stats.total
+    );
+    println!(
+        "incremental rebuild reused {}/{} stored bases",
+        stats.reused, stats.total
+    );
+
+    // The headline guarantee: the incremental detector == cold detector,
+    // bit for bit (every reused basis is a pure function of its window).
+    let cold = ModelBundle::train(&changed, &gen, &det_cfg, &mlr_cfg).unwrap();
+    assert_eq!(
+        serde_json::to_string(&bundle.detector).unwrap(),
+        serde_json::to_string(&cold.detector).unwrap(),
+        "incremental detector must serialize identically to a cold train"
+    );
+    assert_eq!(bundle.case_fingerprints, cold.case_fingerprints);
+    assert_eq!(bundle.dataset_fingerprint, cold.dataset_fingerprint);
+
+    // The MLR baseline is warm-started (previous preconditioner, softmax
+    // re-converged from the previous optimum), so it is behaviourally —
+    // not bit — equivalent to a cold train: predictions must agree on
+    // nearly all of the evaluation set.
+    // Compare verdicts, not confidences: the two optimizers converge to
+    // nearby — not bitwise-equal — weights.
+    let verdict = |m: &pmu_outage::baseline::MlrDetector, s: &PhasorSample| {
+        let p = m.predict(s);
+        (p.outage, p.line)
+    };
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for case in &changed.cases {
+        for t in 0..case.test.len() {
+            let s = case.test.sample(t);
+            total += 1;
+            if verdict(&bundle.mlr, &s) == verdict(&cold.mlr, &s) {
+                agree += 1;
+            }
+        }
+    }
+    for t in 0..changed.normal_test.len() {
+        let s = changed.normal_test.sample(t);
+        total += 1;
+        if verdict(&bundle.mlr, &s) == verdict(&cold.mlr, &s) {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree * 10 >= total * 9,
+        "warm-started MLR must agree with a cold train on >=90% of eval samples ({agree}/{total})"
+    );
+
+    // And the incremental bundle was filed: the next identical request is
+    // a pure cache hit.
+    let (_, outcome) = store.load_or_train_outcome(&changed, &gen, &det_cfg, &mlr_cfg).unwrap();
+    assert_eq!(outcome, BuildOutcome::CacheHit);
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+#[test]
+fn baseline_config_change_reuses_all_bases_via_donor_scan() {
+    let net = by_name("ieee14").unwrap().unwrap();
+    let gen = gen_cfg(SEED);
+    let data = generate_dataset(&net, &gen).expect("dataset");
+    let det_cfg = default_config_for(&net);
+    let store = tmp_store("donor-scan");
+
+    let (_, outcome) = store
+        .load_or_train_outcome(&data, &gen, &det_cfg, &MlrConfig::default())
+        .unwrap();
+    assert_eq!(outcome, BuildOutcome::Cold);
+
+    // A different imputation policy changes the bundle key but not the
+    // dataset: the donor scan must find the stored bundle and reuse every
+    // case basis while the MLR retrains.
+    let zero_cfg = MlrConfig { imputation: Imputation::Zero, ..MlrConfig::default() };
+    let (bundle, outcome) =
+        store.load_or_train_outcome(&data, &gen, &det_cfg, &zero_cfg).unwrap();
+    match outcome {
+        BuildOutcome::Incremental(stats) => {
+            assert_eq!(stats.reused, stats.total, "unchanged dataset reuses everything");
+            assert_eq!(stats.total, data.n_cases());
+        }
+        other => panic!("expected donor-scan incremental, got {other:?}"),
+    }
+    let cold = ModelBundle::train(&data, &gen, &det_cfg, &zero_cfg).unwrap();
+    assert_eq!(bundle.to_json().unwrap(), cold.to_json().unwrap());
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+#[test]
+fn incompatible_donor_is_refused() {
+    let net = by_name("ieee14").unwrap().unwrap();
+    let gen = gen_cfg(SEED);
+    let data = generate_dataset(&net, &gen).expect("dataset");
+    let det_cfg = default_config_for(&net);
+    let mlr_cfg = MlrConfig::default();
+    let store = tmp_store("incompatible-donor");
+
+    store.load_or_train_outcome(&data, &gen, &det_cfg, &mlr_cfg).unwrap();
+
+    // A different subspace dimension invalidates every stored basis: the
+    // donor scan must skip the bundle and the build must train cold.
+    let other_cfg = DetectorConfig { subspace_dim: 4, min_group_size: 8, ..det_cfg.clone() };
+    let (bundle, outcome) =
+        store.load_or_train_outcome(&data, &gen, &other_cfg, &mlr_cfg).unwrap();
+    assert_eq!(outcome, BuildOutcome::Cold, "mismatched detector cfg must not reuse");
+    let cold = ModelBundle::train(&data, &gen, &other_cfg, &mlr_cfg).unwrap();
+    assert_eq!(bundle.to_json().unwrap(), cold.to_json().unwrap());
+
+    // Direct API: train_incremental refuses the incompatible pair with a
+    // typed error.
+    let prev = ModelBundle::train(&data, &gen, &det_cfg, &mlr_cfg).unwrap();
+    match ModelBundle::train_incremental(&data, &gen, &other_cfg, &mlr_cfg, &prev) {
+        Err(pmu_outage::model::ModelError::Incompatible { what: "detector_cfg", .. }) => {}
+        other => panic!("expected detector_cfg incompatibility, got {other:?}"),
+    }
+}

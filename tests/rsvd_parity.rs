@@ -1,0 +1,106 @@
+//! End-to-end parity between the truncated randomized SVD training path
+//! (the default, `exact_svd: false`) and the full Jacobi SVD path
+//! (`exact_svd: true`): on the Fig. 5 evaluation set — every outage
+//! case's test samples, plain and with the outage-endpoint PMUs masked,
+//! plus normal-operation samples — the two detectors must reach the
+//! **same verdicts**: identical outage flags and identical localized
+//! line sets.
+//!
+//! Residual *magnitudes* are allowed to differ in low-order bits (the
+//! two paths produce bases spanning the same subspace to principal
+//! angles below 1e-8, not bit-identical matrices), so this suite pins
+//! decisions, not floats. The numeric span agreement itself is pinned
+//! by the property tests in `pmu-numerics/src/rsvd.rs`.
+//!
+//! ieee14/ieee30 run at fast scale; ieee57 at the reduced window also
+//! used by `packed_parity.rs` so the debug-build suite stays quick.
+//! ieee118 gets the same check at release scale via `perfbench`'s
+//! truncated-vs-full build benches.
+
+use pmu_outage::detect::detector::default_config_for;
+use pmu_outage::prelude::*;
+use pmu_outage::sim::missing::outage_endpoints_mask;
+
+const SEED: u64 = 0x5EED_F155; // stable, arbitrary
+
+/// Train the rsvd-path and exact-path detectors on one shared dataset.
+fn build_pair(name: &str, train_len: usize, test_len: usize) -> (Dataset, Detector, Detector) {
+    let net = by_name(name).expect("known system").expect("embedded case");
+    let gen = GenConfig { train_len, test_len, seed: SEED, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).expect("dataset generation");
+    let base = default_config_for(&net);
+    let rsvd_cfg = DetectorConfig { exact_svd: false, ..base.clone() };
+    let exact_cfg = DetectorConfig { exact_svd: true, ..base };
+    let rsvd_det = Detector::train(&data, &rsvd_cfg).expect("rsvd-path training");
+    let exact_det = Detector::train(&data, &exact_cfg).expect("exact-path training");
+    (data, rsvd_det, exact_det)
+}
+
+/// Fig. 5-style sweep: every case, first test samples, plain and with
+/// the outage endpoints dark, plus normal-operation samples. Verdict
+/// (outage flag) and localization (line set) must match sample by
+/// sample.
+fn assert_verdict_parity(name: &str, train_len: usize, test_len: usize) {
+    let (data, rsvd_det, exact_det) = build_pair(name, train_len, test_len);
+    let n = data.network.n_buses();
+    let mut checked = 0usize;
+    let mut outages = 0usize;
+
+    for case in &data.cases {
+        for t in 0..2.min(case.test.len()) {
+            let plain = case.test.sample(t);
+            let masked = plain.masked(&outage_endpoints_mask(n, case.endpoints));
+            for sample in [plain, masked] {
+                match (rsvd_det.detect(&sample), exact_det.detect(&sample)) {
+                    (Ok(r), Ok(e)) => {
+                        assert_eq!(
+                            r.outage, e.outage,
+                            "{name}: verdict diverged on case branch {}",
+                            case.branch
+                        );
+                        assert_eq!(
+                            r.lines, e.lines,
+                            "{name}: localized lines diverged on case branch {}",
+                            case.branch
+                        );
+                        outages += usize::from(r.outage);
+                    }
+                    (Err(_), Err(_)) => {}
+                    (r, e) => panic!("{name}: outcome diverged: {r:?} vs {e:?}"),
+                }
+                checked += 1;
+            }
+        }
+    }
+
+    for t in 0..3.min(data.normal_test.len()) {
+        let sample = data.normal_test.sample(t);
+        match (rsvd_det.detect(&sample), exact_det.detect(&sample)) {
+            (Ok(r), Ok(e)) => {
+                assert_eq!(r.outage, e.outage, "{name}: normal-sample verdict diverged");
+                assert_eq!(r.lines, e.lines, "{name}: normal-sample lines diverged");
+            }
+            (Err(_), Err(_)) => {}
+            (r, e) => panic!("{name}: normal outcome diverged: {r:?} vs {e:?}"),
+        }
+        checked += 1;
+    }
+
+    assert!(checked >= 2 * data.n_cases(), "{name}: sweep must cover every case");
+    assert!(outages > 0, "{name}: sweep never exercised the outage path");
+}
+
+#[test]
+fn ieee14_rsvd_parity() {
+    assert_verdict_parity("ieee14", 16, 5);
+}
+
+#[test]
+fn ieee30_rsvd_parity() {
+    assert_verdict_parity("ieee30", 16, 5);
+}
+
+#[test]
+fn ieee57_rsvd_parity() {
+    assert_verdict_parity("ieee57", 12, 4);
+}

@@ -112,10 +112,15 @@ fn fast_eval_trace_covers_every_layer() {
     }
     assert!(header_seen, "trace must start with a header record");
 
-    // One span per instrumented layer: numerics, flow, sim, detect
-    // (training), baseline, eval.
+    // One span per instrumented layer: flow, sim, detect (training),
+    // baseline, eval. The numerics layer has no span here by design:
+    // since training went through the truncated randomized SVD, a
+    // fast-scale ieee14 build never decomposes a matrix large enough to
+    // clear the per-span size gates (`numerics.svd` traces at ≥512
+    // elements, `numerics.rsvd` at ≥4096; everything ieee14-sized falls
+    // back to the small exact path) — the layer's liveness is pinned by
+    // the `numerics.svd_sweeps` metric assertion below instead.
     for expected in [
-        "numerics.svd",
         "flow.solve_ac",
         "sim.generate_dataset",
         "detect.train",
