@@ -34,7 +34,13 @@
 //!      PDC-blackout + NaN-burst schedule (`pmu_sim::faults`) driven
 //!      through a serving session, verifying the raised event survives
 //!      the blackout (`reraise_after_blackout`) while timing the
-//!      replay.
+//!      replay,
+//!  11. a `fleet` soak: 4 grids sharing one process, hundreds of feed
+//!      sessions sharded across the worker pool, several ticks of mixed
+//!      normal/outage traffic — the headline is samples/sec/core, plus
+//!      the worst per-shard p99 push latency and a deliberate-overload
+//!      sub-step whose shed count must match ground truth exactly
+//!      (`shed_ok`).
 //!
 //! The artifact store is disabled for the whole run
 //! (`StorePolicy::Disabled`), so `system_build` always times real
@@ -62,7 +68,7 @@ use pmu_eval::runner::{EvalScale, SystemSetup};
 use pmu_flow::{solve_ac, AcConfig, LinearSolver};
 use pmu_model::{set_store_policy, ModelBundle, StorePolicy};
 use pmu_numerics::{par, Matrix, Svd};
-use pmu_serve::{Engine, EngineConfig};
+use pmu_serve::{Engine, EngineConfig, FeedKey, Fleet, FleetConfig, ServeError};
 use pmu_sim::missing::outage_endpoints_mask;
 use pmu_sim::{generate_dataset, Dataset, FaultKind, FaultSchedule, GenConfig, PhasorSample};
 use serde::{Serialize, Value};
@@ -255,6 +261,34 @@ struct ChaosTiming {
 }
 
 #[derive(Serialize)]
+struct FleetTiming {
+    /// Grids registered in the fleet.
+    grids: usize,
+    /// Total open feed sessions across all grids.
+    feeds: usize,
+    /// Session shards (one per worker thread).
+    shards: usize,
+    /// Ticks of traffic in the timed soak.
+    ticks: usize,
+    /// Wall-clock of the soak (every `push_batch` tick, probes off).
+    seconds: f64,
+    samples_per_sec: f64,
+    /// The headline: soak throughput normalized by worker threads.
+    samples_per_sec_per_core: f64,
+    /// Worst per-shard p99 single-push latency over one metrics-enabled
+    /// tick after the timed soak, microseconds.
+    shard_p99_push_us: f64,
+    /// Samples the deliberate-overload sub-step shed.
+    shed_total: u64,
+    /// Ground truth: burst size minus the overload fleet's queue
+    /// capacity.
+    shed_expected: u64,
+    /// `Err(Overloaded)` results and the per-shard shed counter both
+    /// equal `shed_expected`. Must always be `true`.
+    shed_ok: bool,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     generated_by: String,
     workers: usize,
@@ -273,6 +307,7 @@ struct BenchReport {
     engine_batch: Vec<EngineBatchTiming>,
     detect_throughput: Vec<DetectThroughputTiming>,
     chaos: Vec<ChaosTiming>,
+    fleet: FleetTiming,
     fig5_pipeline: PipelineTiming,
     obs_overhead: ObsOverheadTiming,
 }
@@ -750,6 +785,136 @@ fn chaos_replay(
     }
 }
 
+/// Fleet soak: 4 grids (one fast-trained ieee14 bundle cloned per grid),
+/// hundreds of feeds sharded across the worker pool, several ticks of
+/// mixed normal/outage traffic. Timed with probes off (the production
+/// default); one metrics-enabled tick afterwards surfaces the per-shard
+/// p99 push latency. A second, deliberately tiny fleet is then
+/// overloaded with a burst 4x its ingress budget — the typed
+/// `Overloaded` errors and the per-shard shed counter must both match
+/// the arithmetic ground truth.
+fn bench_fleet(scale: EvalScale) -> FleetTiming {
+    let net = pmu_grid::cases::ieee14().expect("embedded case");
+    let gen = EvalScale::Fast.gen_config(SEED);
+    let data = generate_dataset(&net, &gen).expect("dataset generation");
+    let bundle = ModelBundle::train(
+        &data,
+        &gen,
+        &default_config_for(&net),
+        &MlrConfig::default(),
+    )
+    .expect("bundle training");
+
+    let grids = 4usize;
+    let feeds_per_grid = if matches!(scale, EvalScale::Fast) { 32 } else { 64 };
+    let ticks = 6usize;
+    let mut fleet = Fleet::new(FleetConfig::default());
+    let mut keys = Vec::with_capacity(grids * feeds_per_grid);
+    for g in 0..grids {
+        let gid = fleet
+            .add_grid(&format!("grid{g}"), bundle.clone(), &EngineConfig::default())
+            .expect("unique grid names");
+        for f in 0..feeds_per_grid {
+            let key = FeedKey { grid: gid, feed: f as u64 };
+            fleet.open_feed(key).expect("fresh keys");
+            keys.push(key);
+        }
+    }
+
+    // Every 4th feed rides an outage case; the rest see normal traffic,
+    // so the soak mixes raise/clear event work with steady-state scoring.
+    let batches: Vec<Vec<(FeedKey, PhasorSample)>> = (0..ticks)
+        .map(|t| {
+            keys.iter()
+                .enumerate()
+                .map(|(i, &key)| {
+                    let sample = if i % 4 == 0 {
+                        let case = &data.cases[i % data.cases.len()];
+                        case.test.sample(t % case.test.len())
+                    } else {
+                        data.normal_test.sample((t + i) % data.normal_test.len())
+                    };
+                    (key, sample)
+                })
+                .collect()
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let mut pushed_ok = 0usize;
+    for batch in &batches {
+        let events = fleet.push_batch(batch);
+        pushed_ok += events.iter().filter(|e| e.is_ok()).count();
+        std::hint::black_box(&events);
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        pushed_ok,
+        keys.len() * ticks,
+        "the default ingress budget must admit the whole soak"
+    );
+    let samples_per_sec = pushed_ok as f64 / seconds;
+    let samples_per_sec_per_core = samples_per_sec / par::num_threads() as f64;
+
+    // One metrics-enabled tick populates the per-shard push histograms.
+    pmu_obs::set_metrics_enabled(true);
+    std::hint::black_box(fleet.push_batch(&batches[0]));
+    let shard_p99_push_us =
+        fleet.shard_stats().iter().map(|s| s.push_p99_us).fold(0.0, f64::max);
+    pmu_obs::set_metrics_enabled(false);
+
+    // Deliberate overload: one shard, a tiny ingress budget, a burst 4x
+    // its size. Shedding must be typed and exactly accounted.
+    let capacity = 16usize;
+    let mut small = Fleet::new(FleetConfig { shards: 1, queue_capacity: capacity });
+    let gid = small
+        .add_grid("overload", bundle, &EngineConfig::default())
+        .expect("fresh fleet");
+    let key = FeedKey { grid: gid, feed: 0 };
+    small.open_feed(key).expect("fresh key");
+    let sample = data.normal_test.sample(0);
+    let burst: Vec<_> = (0..capacity * 4).map(|_| (key, sample.clone())).collect();
+    let events = small.push_batch(&burst);
+    let overloaded = events
+        .iter()
+        .filter(|e| matches!(e, Err(ServeError::Overloaded { .. })))
+        .count() as u64;
+    let shed_total = small.shard_stats()[0].shed;
+    let shed_expected = (burst.len() - capacity) as u64;
+    let shed_ok = overloaded == shed_expected && shed_total == shed_expected;
+
+    let timing = FleetTiming {
+        grids,
+        feeds: keys.len(),
+        shards: fleet.shard_count(),
+        ticks,
+        seconds,
+        samples_per_sec,
+        samples_per_sec_per_core,
+        shard_p99_push_us,
+        shed_total,
+        shed_expected,
+        shed_ok,
+    };
+    pmu_obs::info(&format!(
+        "fleet: {} grids x {} feeds on {} shard(s), {} ticks in {:.3} s \
+         ({:.0} samples/s, {:.0}/s/core), shard p99 push {:.1} us, \
+         shed {}/{} shed_ok={}",
+        timing.grids,
+        feeds_per_grid,
+        timing.shards,
+        timing.ticks,
+        timing.seconds,
+        timing.samples_per_sec,
+        timing.samples_per_sec_per_core,
+        timing.shard_p99_push_us,
+        timing.shed_total,
+        timing.shed_expected,
+        timing.shed_ok,
+    ));
+    timing
+}
+
 fn bench_pipeline(systems: &[String], scale: EvalScale) -> PipelineTiming {
     let names: Vec<&str> = systems.iter().map(String::as_str).collect();
     let run = || {
@@ -1130,6 +1295,7 @@ fn main() {
         bench_builds_warm(&systems, scale);
     let (bundle_io, engine_batch, detect_throughput, chaos) =
         bench_model_serving(&systems);
+    let fleet = bench_fleet(scale);
     // The end-to-end pipeline timing stays on the ieee14/30/57 trio: an
     // ieee118 fig5 run times the detector over ~170 outage cases and
     // would dominate the harness without adding signal beyond its
@@ -1156,6 +1322,7 @@ fn main() {
         engine_batch,
         detect_throughput,
         chaos,
+        fleet,
         fig5_pipeline,
         obs_overhead,
     };

@@ -33,6 +33,12 @@ pub enum DetectError {
     },
     /// An underlying numerical routine failed.
     Numerics(String),
+    /// A persisted stream snapshot violates the monitor's invariants
+    /// (impossible voting config, oversized history, inconsistent event
+    /// state). Restoring such a snapshot would resurrect a monitor that
+    /// [`StreamingDetector::new`](crate::stream::StreamingDetector::new)
+    /// could never have produced, so it is refused instead.
+    InvalidSnapshot(String),
 }
 
 impl fmt::Display for DetectError {
@@ -50,6 +56,7 @@ impl fmt::Display for DetectError {
                 write!(f, "observed measurement at node {node} is NaN or infinite")
             }
             DetectError::Numerics(m) => write!(f, "numerics failure: {m}"),
+            DetectError::InvalidSnapshot(m) => write!(f, "invalid stream snapshot: {m}"),
         }
     }
 }
@@ -77,6 +84,7 @@ mod tests {
             .to_string()
             .contains("2"));
         assert!(DetectError::NonFinite { node: 9 }.to_string().contains("node 9"));
+        assert!(DetectError::InvalidSnapshot("bad".into()).to_string().contains("bad"));
         let e: DetectError = pmu_numerics::NumericsError::invalid("op", "m").into();
         assert!(matches!(e, DetectError::Numerics(_)));
     }

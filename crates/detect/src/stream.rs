@@ -90,6 +90,52 @@ pub struct HealthSnapshot {
     pub active: bool,
 }
 
+/// The complete serializable state of a [`StreamingDetector`], minus the
+/// re-derivable parts.
+///
+/// A snapshot captures everything `push` reads or writes — the voting
+/// configuration, the verdict history (flattened from the deque, oldest
+/// first), the event state machine, and the cumulative counters — so a
+/// monitor restored from it produces **bit-identical** [`StreamEvent`]s
+/// to the uninterrupted original on the same tail of samples. Two things
+/// are deliberately excluded:
+///
+/// - the trained [`Detector`] itself (it ships in the model bundle; the
+///   restorer supplies it, and provenance binding happens one layer up,
+///   in `pmu-model`'s session-snapshot envelope), and
+/// - the per-mask [`ScoringCache`] (a pure memoization of the detector —
+///   rebuilding it from an empty cache changes latency, never verdicts).
+///
+/// The flattened shape (named fields only, `Vec` instead of `VecDeque`,
+/// the `Quiet`/`Outage` state as an `active` flag plus a line list) is
+/// what the vendored serde derive can express; it is also the stable
+/// wire layout the session-snapshot schema version covers.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSnapshot {
+    /// Voting window length `m` ([`StreamConfig::window`]).
+    pub window: usize,
+    /// Votes `k` needed to raise or clear ([`StreamConfig::votes`]).
+    pub votes: usize,
+    /// Recent per-sample verdicts, oldest first; `None` marks a
+    /// vote-neutral unscorable sample. At most `window` entries.
+    pub history: Vec<Option<Detection>>,
+    /// Whether an outage event is active ([`StreamState::Outage`]).
+    pub active: bool,
+    /// The active event's majority-voted lines; empty when `!active`.
+    pub lines: Vec<usize>,
+    /// Samples processed so far.
+    pub samples_seen: usize,
+    /// Samples absorbed as vote-neutral because they were unscorable.
+    pub missing_samples: usize,
+    /// Events raised since construction.
+    pub events_raised: usize,
+    /// Events cleared since construction.
+    pub events_cleared: usize,
+    /// Current run of consecutive outage-voting samples.
+    pub alarm_streak: usize,
+}
+
 /// A k-of-m voting wrapper around a trained [`Detector`].
 #[derive(Debug)]
 pub struct StreamingDetector {
@@ -142,6 +188,88 @@ impl StreamingDetector {
     /// The wrapped detector.
     pub fn detector(&self) -> &Detector {
         &self.detector
+    }
+
+    /// Capture the monitor's complete mutable state as a serializable
+    /// [`StreamSnapshot`]. See the snapshot type for what is included
+    /// and what is re-derived on restore.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        let (active, lines) = match &self.state {
+            StreamState::Quiet => (false, Vec::new()),
+            StreamState::Outage { lines } => (true, lines.clone()),
+        };
+        StreamSnapshot {
+            window: self.cfg.window,
+            votes: self.cfg.votes,
+            history: self.history.iter().cloned().collect(),
+            active,
+            lines,
+            samples_seen: self.samples_seen,
+            missing_samples: self.missing_samples,
+            events_raised: self.events_raised,
+            events_cleared: self.events_cleared,
+            alarm_streak: self.alarm_streak,
+        }
+    }
+
+    /// Rebuild a monitor from a [`StreamSnapshot`] and the trained
+    /// detector it was wrapped around. The scoring cache starts empty
+    /// (it is a pure memoization), everything else resumes exactly where
+    /// [`StreamingDetector::snapshot`] left off: the restored monitor
+    /// emits bit-identical [`StreamEvent`]s to an uninterrupted one on
+    /// the same tail of samples.
+    ///
+    /// # Errors
+    /// [`DetectError::InvalidSnapshot`](crate::DetectError::InvalidSnapshot)
+    /// when the snapshot violates the monitor's invariants: a voting
+    /// config [`StreamingDetector::new`] would reject, a history longer
+    /// than the window, a counter mismatch (`missing_samples` or the
+    /// history length exceeding `samples_seen`), or a quiet state that
+    /// still names outaged lines.
+    pub fn restore(detector: Detector, snap: &StreamSnapshot) -> Result<Self> {
+        let fail = |m: String| Err(crate::DetectError::InvalidSnapshot(m));
+        if snap.votes == 0 || snap.votes > snap.window {
+            return fail(format!(
+                "voting config {}-of-{} (need 0 < votes <= window)",
+                snap.votes, snap.window
+            ));
+        }
+        if snap.history.len() > snap.window {
+            return fail(format!(
+                "history holds {} verdicts, window is {}",
+                snap.history.len(),
+                snap.window
+            ));
+        }
+        if snap.history.len() > snap.samples_seen || snap.missing_samples > snap.samples_seen
+        {
+            return fail(format!(
+                "counters disagree: {} in history, {} missing, {} seen",
+                snap.history.len(),
+                snap.missing_samples,
+                snap.samples_seen
+            ));
+        }
+        if !snap.active && !snap.lines.is_empty() {
+            return fail(format!("quiet state carries lines {:?}", snap.lines));
+        }
+        let state = if snap.active {
+            StreamState::Outage { lines: snap.lines.clone() }
+        } else {
+            StreamState::Quiet
+        };
+        Ok(StreamingDetector {
+            detector,
+            cfg: StreamConfig { window: snap.window, votes: snap.votes },
+            cache: ScoringCache::new(),
+            history: snap.history.iter().cloned().collect(),
+            state,
+            samples_seen: snap.samples_seen,
+            missing_samples: snap.missing_samples,
+            events_raised: snap.events_raised,
+            events_cleared: snap.events_cleared,
+            alarm_streak: snap.alarm_streak,
+        })
     }
 
     /// Current monitor state.
@@ -541,6 +669,88 @@ mod tests {
         assert_eq!(h.alarm_streak, 0);
         assert_eq!(h.samples_seen, 12);
         assert!((h.missing_ratio - 2.0 / 12.0).abs() < 1e-12);
+    }
+
+    /// The core fleet-serving guarantee: a monitor snapshotted mid-event
+    /// (with unscorable samples in its window) and restored into a fresh
+    /// instance replays the remaining stream bit-identically.
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        use pmu_sim::Mask;
+        let (data, mut mon) = monitor();
+        let case = &data.cases[2];
+        // Confirm an event, then darken the window so the snapshot point
+        // carries history `None`s, an active event, and a live streak.
+        for t in 0..4 {
+            let _ = mon.push(&case.test.sample(t % case.test.len())).unwrap();
+        }
+        let dark = Mask::with_missing(14, &(0..12).collect::<Vec<_>>());
+        for t in 0..2 {
+            let _ = mon.push(&case.test.sample(t).masked(&dark)).unwrap();
+        }
+        let snap = mon.snapshot();
+        assert!(snap.active, "snapshot taken mid-event");
+        assert!(snap.history.iter().any(Option::is_none), "dark entries captured");
+
+        let mut restored = StreamingDetector::restore(mon.detector().clone(), &snap).unwrap();
+        assert_eq!(restored.snapshot(), snap, "restore is lossless");
+        assert_eq!(restored.health(), mon.health());
+        // Replay the same tail through both: outage tail, then clearing.
+        let mut tail: Vec<_> =
+            (0..3).map(|t| case.test.sample(t % case.test.len())).collect();
+        tail.extend((0..6).map(|t| data.normal_test.sample(t % data.normal_test.len())));
+        for s in &tail {
+            assert_eq!(restored.push(s).unwrap(), mon.push(s).unwrap());
+            assert_eq!(restored.health(), mon.health());
+            assert_eq!(restored.state(), mon.state());
+        }
+        assert_eq!(mon.health().events_cleared, 1, "the tail really cleared the event");
+    }
+
+    /// The snapshot survives the vendored-serde JSON round trip and still
+    /// restores to an equivalent monitor.
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let (data, mut mon) = monitor();
+        for t in 0..5 {
+            let _ = mon.push(&data.cases[1].test.sample(t % data.cases[1].test.len()));
+        }
+        let snap = mon.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        use serde::Deserialize as _;
+        let back =
+            StreamSnapshot::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        let restored = StreamingDetector::restore(mon.detector().clone(), &back).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_refused() {
+        use crate::DetectError;
+        let (data, mut mon) = monitor();
+        for t in 0..3 {
+            let _ = mon.push(&data.normal_test.sample(t));
+        }
+        let good = mon.snapshot();
+        let det = || mon.detector().clone();
+        let invalid = |s: StreamSnapshot| {
+            matches!(
+                StreamingDetector::restore(det(), &s),
+                Err(DetectError::InvalidSnapshot(_))
+            )
+        };
+        assert!(invalid(StreamSnapshot { votes: 0, ..good.clone() }));
+        assert!(invalid(StreamSnapshot { votes: 9, window: 5, ..good.clone() }));
+        let mut long = good.clone();
+        long.history = (0..long.window + 1).map(|_| None).collect();
+        long.samples_seen = long.window + 1;
+        assert!(invalid(long));
+        assert!(invalid(StreamSnapshot { samples_seen: 1, ..good.clone() }));
+        assert!(invalid(StreamSnapshot { missing_samples: 99, ..good.clone() }));
+        assert!(invalid(StreamSnapshot { lines: vec![3], ..good.clone() }));
+        // And the untouched snapshot still restores.
+        assert!(StreamingDetector::restore(det(), &good).is_ok());
     }
 
     #[test]

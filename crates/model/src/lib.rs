@@ -21,6 +21,11 @@
 //!   training inputs (system + scale + seed + configs), so `repro`,
 //!   `perfbench`, the CLI and the examples transparently reuse trained
 //!   models across process runs instead of retraining on every boot.
+//! - [`SessionSnapshot`] persists one *serving session*'s state — the
+//!   streaming detector's voting history and event machine plus the
+//!   serving-level degraded-mode state — behind the same checksummed,
+//!   schema-versioned envelope discipline, so fleet sessions can
+//!   migrate between shards and survive process restart bit-identically.
 //!
 //! Corrupted, truncated, version-skewed or wrong-topology artifacts all
 //! surface as typed [`ModelError`]s — never a panic, and never a silently
@@ -32,10 +37,12 @@
 
 pub mod bundle;
 pub mod retry;
+pub mod snapshot;
 pub mod store;
 
 pub use bundle::{bundle_key, ModelBundle, ModelError, ReuseStats, SCHEMA_VERSION};
 pub use retry::{with_retry, RetryPolicy};
+pub use snapshot::{SessionSnapshot, SESSION_SCHEMA_VERSION};
 pub use store::{default_store, set_store_policy, ArtifactStore, BuildOutcome, StorePolicy};
 
 /// Convenience result alias for model-bundle operations.

@@ -1,0 +1,282 @@
+//! Checksummed, schema-versioned **session snapshots** — the persistence
+//! format that lets a serving session survive process restart and
+//! migrate between fleet shards.
+//!
+//! A [`SessionSnapshot`] is to a live streaming session what a
+//! [`ModelBundle`](crate::ModelBundle) is to a trained detector: a
+//! deterministic, integrity-checked serialization with enough provenance
+//! to make restoring it *safe*. The envelope shape is identical to the
+//! bundle's:
+//!
+//! ```json
+//! {
+//!   "format": "pmu-session-snapshot",
+//!   "schema_version": 1,
+//!   "checksum": "9f86d081884c7d65",
+//!   "session": { "grid": "east", "feed": "000000000000002a", ... }
+//! }
+//! ```
+//!
+//! The checksum is the FNV-1a digest of the `session` payload exactly as
+//! rendered; verification re-renders the reparsed payload (the vendored
+//! `serde_json` formats floats in shortest-roundtrip form, so
+//! parse→render is the identity on its own output). The payload embeds
+//! the detector-level [`StreamSnapshot`] plus the serving-level state
+//! (degraded-mode machine, ingestion counters) and the **network
+//! fingerprint of the bundle the session was running against** — a
+//! snapshot can only be restored into an engine serving the same
+//! topology, so a resurrected voting history can never be replayed
+//! against a stranger's detector.
+//!
+//! What is *not* here: the trained detector (it lives in the bundle) and
+//! any scoring-cache state (a pure memoization, re-derived on restore).
+//! Restoring a snapshot therefore costs one detector clone, not a
+//! retrain.
+
+use std::path::Path;
+
+use pmu_detect::stream::StreamSnapshot;
+use pmu_numerics::hash::fnv1a;
+
+use crate::bundle::{fp_hex, ModelError};
+use crate::Result;
+
+/// Version of the session-snapshot payload layout. Bumped on any
+/// incompatible change to [`SessionSnapshot`] or the embedded
+/// [`StreamSnapshot`]; skewed snapshots are refused, never reinterpreted
+/// (the session simply restarts cold — unlike a model, a lost session is
+/// an inconvenience, not a retrain).
+pub const SESSION_SCHEMA_VERSION: u32 = 1;
+
+/// Magic string identifying session-snapshot files.
+const FORMAT: &str = "pmu-session-snapshot";
+
+/// One serving session's complete persistent state.
+///
+/// All identifiers that are `u64` at runtime (`feed`, fingerprints) are
+/// stored as 16-hex-char strings: the vendored serde's integer model is
+/// `i64`, so values with the top bit set would not survive a numeric
+/// round trip. The serving-level enums (feed mode, recent push outcomes)
+/// are stored as their machine-stable string tags — `pmu-serve` owns the
+/// enum↔tag mapping, keeping this crate free of a dependency cycle.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// System the serving bundle was trained on (e.g. `"ieee14"`).
+    pub system: String,
+    /// Hex network fingerprint of the serving bundle — the restore-time
+    /// compatibility check.
+    pub network_fingerprint: String,
+    /// Fleet grid name the session was hosted under.
+    pub grid: String,
+    /// Feed identifier within the grid, as a 16-hex-char string
+    /// ([`fp_hex`]).
+    pub feed: String,
+    /// Degraded-mode state tag (`"healthy"`, `"degraded_missing"`,
+    /// `"degraded_rejected"`, `"dark"`).
+    pub mode: String,
+    /// Recent push outcomes driving the mode machine, oldest first
+    /// (`"scored"` / `"missing"` / `"rejected"`).
+    pub recent: Vec<String>,
+    /// Samples accepted into the voting window.
+    pub pushed: usize,
+    /// Samples refused by the ingestion guard.
+    pub rejected: usize,
+    /// Whether an incident dump is open for an ongoing anomaly (restored
+    /// so a resumed anomaly does not dump twice).
+    pub incident_open: bool,
+    /// The detector-level voting state.
+    pub stream: StreamSnapshot,
+}
+
+impl SessionSnapshot {
+    /// The feed identifier parsed back from its hex form.
+    ///
+    /// # Errors
+    /// [`ModelError::Malformed`] when the stored string is not 16 hex
+    /// characters.
+    pub fn feed_id(&self) -> Result<u64> {
+        u64::from_str_radix(&self.feed, 16)
+            .map_err(|e| ModelError::Malformed(format!("bad feed id {:?}: {e}", self.feed)))
+    }
+
+    /// Render a feed id into the stored hex form (shared with
+    /// [`fp_hex`] so snapshots and bundles agree on the convention).
+    pub fn feed_hex(feed: u64) -> String {
+        fp_hex(feed)
+    }
+
+    /// Serialize to the checksummed envelope format.
+    ///
+    /// # Errors
+    /// [`ModelError::Malformed`] when a component refuses to serialize.
+    pub fn to_json(&self) -> Result<String> {
+        let payload =
+            serde_json::to_string(self).map_err(|e| ModelError::Malformed(e.to_string()))?;
+        let checksum = fp_hex(fnv1a(payload.as_bytes()));
+        Ok(format!(
+            "{{\"format\":\"{FORMAT}\",\"schema_version\":{SESSION_SCHEMA_VERSION},\
+             \"checksum\":\"{checksum}\",\"session\":{payload}}}"
+        ))
+    }
+
+    /// Parse and verify an envelope produced by
+    /// [`SessionSnapshot::to_json`].
+    ///
+    /// # Errors
+    /// [`ModelError::Malformed`] for unparseable input or a wrong
+    /// `format` marker, [`ModelError::SchemaMismatch`] for version skew,
+    /// [`ModelError::ChecksumMismatch`] when the payload fails integrity
+    /// verification.
+    pub fn from_json(s: &str) -> Result<Self> {
+        let envelope: serde::Value =
+            serde_json::from_str(s).map_err(|e| ModelError::Malformed(e.to_string()))?;
+        match serde::obj_get(&envelope, "format") {
+            Ok(serde::Value::Str(f)) if f == FORMAT => {}
+            Ok(other) => {
+                return Err(ModelError::Malformed(format!("bad format marker: {other:?}")))
+            }
+            Err(e) => return Err(ModelError::Malformed(e.to_string())),
+        }
+        let found: u32 = serde::from_field(&envelope, "schema_version")
+            .map_err(|e| ModelError::Malformed(e.to_string()))?;
+        if found != SESSION_SCHEMA_VERSION {
+            return Err(ModelError::SchemaMismatch {
+                found,
+                expected: SESSION_SCHEMA_VERSION,
+            });
+        }
+        let stored: String = serde::from_field(&envelope, "checksum")
+            .map_err(|e| ModelError::Malformed(e.to_string()))?;
+        let payload = serde::obj_get(&envelope, "session")
+            .map_err(|e| ModelError::Malformed(e.to_string()))?;
+        let rendered =
+            serde_json::to_string(payload).map_err(|e| ModelError::Malformed(e.to_string()))?;
+        let computed = fp_hex(fnv1a(rendered.as_bytes()));
+        if computed != stored {
+            return Err(ModelError::ChecksumMismatch { stored, computed });
+        }
+        use serde::Deserialize as _;
+        SessionSnapshot::from_value(payload).map_err(|e| ModelError::Malformed(e.to_string()))
+    }
+
+    /// Write the snapshot to `path` (envelope format).
+    ///
+    /// # Errors
+    /// [`ModelError::Io`] on filesystem failure; serialization errors as
+    /// in [`SessionSnapshot::to_json`].
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = self.to_json()?;
+        std::fs::write(path, &json)
+            .map_err(|e| ModelError::Io { path: path.to_path_buf(), msg: e.to_string() })?;
+        pmu_obs::counter!("model.session_snapshots_saved").inc();
+        Ok(())
+    }
+
+    /// Read and verify a snapshot from `path`.
+    ///
+    /// # Errors
+    /// [`ModelError::Io`] on filesystem failure; parse/verify errors as
+    /// in [`SessionSnapshot::from_json`].
+    pub fn load(path: &Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| ModelError::Io { path: path.to_path_buf(), msg: e.to_string() })?;
+        let snap = Self::from_json(&json)?;
+        pmu_obs::counter!("model.session_snapshots_loaded").inc();
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> SessionSnapshot {
+        SessionSnapshot {
+            system: "ieee14".into(),
+            network_fingerprint: fp_hex(0xDEAD_BEEF_u64),
+            grid: "east".into(),
+            feed: SessionSnapshot::feed_hex(42),
+            mode: "degraded_missing".into(),
+            recent: vec!["scored".into(), "missing".into(), "rejected".into()],
+            pushed: 11,
+            rejected: 2,
+            incident_open: true,
+            stream: StreamSnapshot {
+                window: 5,
+                votes: 3,
+                history: vec![None, None],
+                active: false,
+                lines: Vec::new(),
+                samples_seen: 13,
+                missing_samples: 4,
+                events_raised: 1,
+                events_cleared: 1,
+                alarm_streak: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrip_is_lossless() {
+        let snap = sample_snapshot();
+        let json = snap.to_json().unwrap();
+        let back = SessionSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json().unwrap(), json, "re-render is bit-identical");
+        assert_eq!(back.feed_id().unwrap(), 42);
+    }
+
+    #[test]
+    fn feed_ids_with_the_top_bit_set_survive() {
+        let mut snap = sample_snapshot();
+        snap.feed = SessionSnapshot::feed_hex(u64::MAX - 1);
+        let back = SessionSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
+        assert_eq!(back.feed_id().unwrap(), u64::MAX - 1);
+        snap.feed = "not-hex".into();
+        assert!(matches!(snap.feed_id(), Err(ModelError::Malformed(_))));
+    }
+
+    #[test]
+    fn tampered_payload_is_a_checksum_error() {
+        let json = sample_snapshot().to_json().unwrap();
+        let bad = json.replace("\"pushed\":11", "\"pushed\":12");
+        match SessionSnapshot::from_json(&bad) {
+            Err(ModelError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_skew_and_alien_files_are_refused() {
+        let json = sample_snapshot().to_json().unwrap();
+        let skewed = json.replace(
+            &format!("\"schema_version\":{SESSION_SCHEMA_VERSION}"),
+            "\"schema_version\":999",
+        );
+        match SessionSnapshot::from_json(&skewed) {
+            Err(ModelError::SchemaMismatch { found: 999, .. }) => {}
+            other => panic!("expected schema mismatch, got {other:?}"),
+        }
+        match SessionSnapshot::from_json("{\"format\":\"pmu-model-bundle\"}") {
+            Err(ModelError::Malformed(_)) => {}
+            other => panic!("expected malformed, got {other:?}"),
+        }
+        match SessionSnapshot::from_json(&json[..json.len() / 2]) {
+            Err(ModelError::Malformed(_)) => {}
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir()
+            .join(format!("pmu-session-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("feed.snap.json");
+        let snap = sample_snapshot();
+        snap.save(&path).unwrap();
+        assert_eq!(SessionSnapshot::load(&path).unwrap(), snap);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,14 +24,22 @@
 //! ([`SessionId`]), so a handle to a closed-and-reused slot fails with
 //! [`ServeError::UnknownSession`] instead of silently reading a stranger's
 //! feed.
+//!
+//! ## Layering
+//!
+//! The bundle-scoped, session-agnostic half of the engine lives in
+//! [`EngineCore`]: the ingestion guard, the stateless detect paths, the
+//! per-push pipeline and the incident machinery. `Engine` composes a core
+//! with one [`SessionTable`](crate::session::SessionTable); the multi-grid
+//! [`Fleet`](crate::Fleet) composes *many* cores with per-shard tables.
+//! Both therefore serve byte-identical semantics per feed.
 
-use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 use std::time::Instant;
 
-use pmu_detect::stream::{HealthSnapshot, StreamConfig, StreamEvent, StreamingDetector};
+use pmu_detect::stream::{StreamConfig, StreamEvent, StreamingDetector};
 use pmu_detect::{DetectError, Detection, Detector, ScoringCache};
 use pmu_model::{ModelBundle, ModelError, RetryPolicy};
 use pmu_numerics::par;
@@ -39,9 +47,8 @@ use pmu_obs::recorder::{label_id, write_incident_dump, LabelId, RecKind};
 use pmu_obs::{Recorder, Value};
 use pmu_sim::PhasorSample;
 
-/// Capacity of each session's per-feed flight-recorder ring: enough to
-/// hold several degrade windows of push history around an anomaly.
-const FEED_RING_CAPACITY: usize = 128;
+use crate::session::{Outcome, SessionState, SessionTable};
+pub use crate::session::{DegradeConfig, DegradeReason, FeedMode, SessionHealth, SessionId};
 
 /// Interned per-feed ring labels, resolved once per process.
 fn push_labels() -> (LabelId, LabelId, LabelId) {
@@ -53,35 +60,6 @@ fn push_labels() -> (LabelId, LabelId, LabelId) {
             label_id("serve.push_rejected"),
         )
     })
-}
-
-/// A generation-tagged handle to an open session.
-///
-/// Slots are reused after [`Engine::close_session`], but each reuse bumps
-/// the slot's generation, so a stale handle held across a close/reopen
-/// can never address the new occupant (the classic ABA hazard).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct SessionId {
-    slot: u32,
-    generation: u32,
-}
-
-impl SessionId {
-    /// The slot-table index (stable across the handle's lifetime).
-    pub fn slot(&self) -> usize {
-        self.slot as usize
-    }
-
-    /// The slot generation this handle was issued under.
-    pub fn generation(&self) -> u32 {
-        self.generation
-    }
-}
-
-impl std::fmt::Display for SessionId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "s{}.g{}", self.slot, self.generation)
-    }
 }
 
 /// Why the ingestion guard refused a sample.
@@ -148,6 +126,25 @@ pub enum ServeError {
     BadSample(BadSampleReason),
     /// The underlying detector rejected the sample.
     Detect(DetectError),
+    /// The fleet has no grid registered under this name.
+    UnknownGrid(String),
+    /// A grid with this name is already registered in the fleet.
+    DuplicateGrid(String),
+    /// The feed key is not open in the fleet (never opened, or closed).
+    UnknownFeed(crate::fleet::FeedKey),
+    /// The feed key is already open in the fleet.
+    DuplicateFeed(crate::fleet::FeedKey),
+    /// The shard's admission controller shed the sample: accepting it
+    /// would exceed the shard's bounded ingress queue. Shed load is
+    /// counted in `serve.shed_total`; the caller decides whether to
+    /// retry, downsample, or drop.
+    Overloaded {
+        /// Index of the saturated shard.
+        shard: usize,
+    },
+    /// A session snapshot is incompatible with this fleet (wrong
+    /// topology fingerprint, unknown state tag, corrupt voting state).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -156,6 +153,16 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
             ServeError::BadSample(reason) => write!(f, "bad sample: {reason}"),
             ServeError::Detect(e) => write!(f, "detect failed: {e}"),
+            ServeError::UnknownGrid(name) => write!(f, "unknown grid {name:?}"),
+            ServeError::DuplicateGrid(name) => {
+                write!(f, "grid {name:?} is already registered")
+            }
+            ServeError::UnknownFeed(key) => write!(f, "unknown feed {key}"),
+            ServeError::DuplicateFeed(key) => write!(f, "feed {key} is already open"),
+            ServeError::Overloaded { shard } => {
+                write!(f, "shard {shard} is overloaded; sample shed")
+            }
+            ServeError::Snapshot(msg) => write!(f, "snapshot rejected: {msg}"),
         }
     }
 }
@@ -165,76 +172,6 @@ impl std::error::Error for ServeError {}
 impl From<DetectError> for ServeError {
     fn from(e: DetectError) -> Self {
         ServeError::Detect(e)
-    }
-}
-
-/// A serving session's degraded-mode state.
-///
-/// Driven by the ratios of unscorable and rejected samples over the last
-/// [`DegradeConfig::window`] pushes. `Dark` means the feed is effectively
-/// blind (almost nothing scorable arrives); `Degraded` means enough data
-/// still flows to detect, but the operator should distrust latency and
-/// localization quality.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FeedMode {
-    /// The feed delivers scorable data at a healthy rate.
-    Healthy,
-    /// A concerning fraction of recent samples was unscorable or rejected.
-    Degraded {
-        /// The dominant cause.
-        reason: DegradeReason,
-    },
-    /// Nearly nothing scorable arrives; detection is effectively blind.
-    Dark,
-}
-
-/// What pushed a feed out of [`FeedMode::Healthy`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DegradeReason {
-    /// The detector could not score enough recent samples (masked data).
-    MissingData,
-    /// The ingestion guard rejected enough recent samples (invalid data).
-    RejectedSamples,
-}
-
-impl FeedMode {
-    /// Mode label used by the `serve.feed_mode` observation.
-    pub fn label(&self) -> &'static str {
-        match self {
-            FeedMode::Healthy => "healthy",
-            FeedMode::Degraded { .. } => "degraded",
-            FeedMode::Dark => "dark",
-        }
-    }
-
-    /// Numeric severity used by the `/metrics` feed-mode gauge and in
-    /// flight-recorder operands: 0 healthy, 1 degraded, 2 dark.
-    pub fn code(&self) -> u64 {
-        match self {
-            FeedMode::Healthy => 0,
-            FeedMode::Degraded { .. } => 1,
-            FeedMode::Dark => 2,
-        }
-    }
-}
-
-/// Thresholds of the per-session degraded-mode state machine.
-#[derive(Debug, Clone, PartialEq)]
-pub struct DegradeConfig {
-    /// How many recent pushes the ratios are computed over. The mode
-    /// never leaves `Healthy` before a full window has accumulated.
-    pub window: usize,
-    /// Bad-sample ratio (unscorable + rejected) at which the feed turns
-    /// [`FeedMode::Degraded`].
-    pub degraded_ratio: f64,
-    /// Bad-sample ratio at which the feed turns [`FeedMode::Dark`].
-    pub dark_ratio: f64,
-}
-
-impl Default for DegradeConfig {
-    /// An 8-push window; a quarter bad degrades, three quarters is dark.
-    fn default() -> Self {
-        DegradeConfig { window: 8, degraded_ratio: 0.25, dark_ratio: 0.75 }
     }
 }
 
@@ -293,242 +230,51 @@ pub struct EngineConfig {
     pub incident: IncidentConfig,
 }
 
-/// Health of one serving session: the detector-level snapshot plus the
-/// serving-level degraded-mode state and ingestion counters.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SessionHealth {
-    /// The wrapped [`StreamingDetector`]'s counters.
-    pub snapshot: HealthSnapshot,
-    /// Current degraded-mode state.
-    pub mode: FeedMode,
-    /// Samples accepted into the voting window.
-    pub pushed: usize,
-    /// Samples refused by the ingestion guard.
-    pub rejected: usize,
-}
-
-/// What one push contributed to the degraded-mode window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Outcome {
-    /// Validated and scored.
-    Scored,
-    /// Validated but unscorable (vote-neutral for the detector).
-    Missing,
-    /// Refused by the ingestion guard.
-    Rejected,
-}
-
-/// Per-session mutable state: the voting monitor plus the serving-level
-/// degraded-mode machine and the per-feed flight-recorder ring.
-#[derive(Debug)]
-struct SessionState {
-    monitor: StreamingDetector,
-    mode: FeedMode,
-    recent: VecDeque<Outcome>,
-    pushed: usize,
-    rejected: usize,
-    /// Per-feed flight recorder: one compact record per push outcome,
-    /// snapshotted alongside the global ring into incident dumps.
-    ring: Recorder,
-    /// `true` while an incident dump has been written for the ongoing
-    /// anomaly; cleared when the feed is Healthy with no active event,
-    /// so one anomaly produces one dump.
-    incident_open: bool,
-}
-
-impl SessionState {
-    fn new(monitor: StreamingDetector) -> Self {
-        SessionState {
-            monitor,
-            mode: FeedMode::Healthy,
-            recent: VecDeque::new(),
-            pushed: 0,
-            rejected: 0,
-            ring: Recorder::new(FEED_RING_CAPACITY),
-            incident_open: false,
-        }
-    }
-
-    /// Ratio of guard-rejected pushes over the degrade window, `None`
-    /// before a full window has accumulated.
-    fn rejected_ratio(&self, cfg: &DegradeConfig) -> Option<f64> {
-        if self.recent.len() < cfg.window.max(1) {
-            return None;
-        }
-        let rejected =
-            self.recent.iter().filter(|o| **o == Outcome::Rejected).count() as f64;
-        Some(rejected / self.recent.len() as f64)
-    }
-
-    /// Record one push outcome and advance the mode machine, emitting a
-    /// [`pmu_obs::events::FeedModeChanged`] observation on transitions.
-    fn record(&mut self, slot: usize, cfg: &DegradeConfig, outcome: Outcome) {
-        if self.recent.len() == cfg.window.max(1) {
-            self.recent.pop_front();
-        }
-        self.recent.push_back(outcome);
-        let next = self.decide(cfg);
-        if next != self.mode {
-            let reason = match next {
-                FeedMode::Healthy => "recovered",
-                FeedMode::Degraded { reason: DegradeReason::MissingData } => "missing_ratio",
-                FeedMode::Degraded { reason: DegradeReason::RejectedSamples } => {
-                    "reject_ratio"
-                }
-                FeedMode::Dark => "blackout",
-            };
-            pmu_obs::events::FeedModeChanged {
-                session: slot,
-                from: self.mode.label(),
-                to: next.label(),
-                reason,
-            }
-            .emit();
-            self.mode = next;
-        }
-    }
-
-    fn decide(&self, cfg: &DegradeConfig) -> FeedMode {
-        if self.recent.len() < cfg.window.max(1) {
-            return FeedMode::Healthy;
-        }
-        let n = self.recent.len() as f64;
-        let missing =
-            self.recent.iter().filter(|o| **o == Outcome::Missing).count() as f64 / n;
-        let rejected =
-            self.recent.iter().filter(|o| **o == Outcome::Rejected).count() as f64 / n;
-        let bad = missing + rejected;
-        if bad >= cfg.dark_ratio {
-            FeedMode::Dark
-        } else if bad >= cfg.degraded_ratio {
-            let reason = if rejected > missing {
-                DegradeReason::RejectedSamples
-            } else {
-                DegradeReason::MissingData
-            };
-            FeedMode::Degraded { reason }
-        } else {
-            FeedMode::Healthy
-        }
-    }
-
-    fn health(&self) -> SessionHealth {
-        SessionHealth {
-            snapshot: self.monitor.health(),
-            mode: self.mode,
-            pushed: self.pushed,
-            rejected: self.rejected,
-        }
-    }
-}
-
-/// One slot of the session table. The generation survives the occupant:
-/// it is bumped on every close, which is what invalidates stale handles.
-#[derive(Debug)]
-struct Slot {
-    generation: u32,
-    state: Option<Mutex<SessionState>>,
-}
-
-/// A loaded bundle serving detection traffic.
-pub struct Engine {
-    system: String,
-    network_fingerprint: String,
-    detector: Detector,
-    stream_cfg: StreamConfig,
-    degrade_cfg: DegradeConfig,
-    incident_cfg: IncidentConfig,
+/// The bundle-scoped, session-agnostic half of a serving engine: the
+/// trained detector, the ingestion guard, the per-push pipeline and the
+/// incident machinery. Owns no session table — [`Engine`] pairs one core
+/// with one table, [`Fleet`](crate::Fleet) pairs many cores with
+/// per-shard tables, and both push through exactly this code.
+pub(crate) struct EngineCore {
+    pub(crate) system: String,
+    pub(crate) network_fingerprint: String,
+    pub(crate) detector: Detector,
+    pub(crate) stream_cfg: StreamConfig,
+    pub(crate) degrade_cfg: DegradeConfig,
+    pub(crate) incident_cfg: IncidentConfig,
     /// Monotonic incident-dump sequence number (also the file-name
     /// prefix, so dump order is reconstructible from a directory
     /// listing).
     incident_seq: AtomicU64,
-    /// Session slot table; slots with `state: None` are free for reuse
-    /// under a bumped generation.
-    slots: Vec<Slot>,
     /// Scoring memoization shared by the stateless detect paths: masks
     /// recur across batches, so per-mask restrictions are paid once per
     /// engine instead of once per call.
     cache: ScoringCache,
 }
 
-impl std::fmt::Debug for Engine {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Engine")
-            .field("system", &self.system)
-            .field("sessions_active", &self.sessions_active())
-            .finish_non_exhaustive()
-    }
-}
-
-impl Engine {
-    /// Stand up an engine from an in-memory bundle.
-    pub fn from_bundle(bundle: ModelBundle, cfg: EngineConfig) -> Self {
+impl EngineCore {
+    pub(crate) fn from_bundle(bundle: ModelBundle, cfg: &EngineConfig) -> Self {
         pmu_obs::counter!("serve.engines_started").inc();
-        Engine {
+        EngineCore {
             system: bundle.system,
             network_fingerprint: bundle.network_fingerprint,
             detector: bundle.detector,
             stream_cfg: cfg.stream,
-            degrade_cfg: cfg.degrade,
-            incident_cfg: cfg.incident,
+            degrade_cfg: cfg.degrade.clone(),
+            incident_cfg: cfg.incident.clone(),
             incident_seq: AtomicU64::new(0),
-            slots: Vec::new(),
             cache: ScoringCache::new(),
         }
     }
 
-    /// Load, verify and stand up an engine from a bundle file, retrying
-    /// transient filesystem failures per the config's [`RetryPolicy`].
-    ///
-    /// # Errors
-    /// Propagates every [`ModelError`] of
-    /// [`ModelBundle::load`](pmu_model::ModelBundle::load) — a serving
-    /// process must refuse to start on a corrupt or version-skewed
-    /// artifact rather than panic mid-traffic. Only
-    /// [`ModelError::Io`] is retried; verification failures are final.
-    pub fn load(path: &std::path::Path, cfg: EngineConfig) -> Result<Self, ModelError> {
-        let started = Instant::now();
-        let bundle = ModelBundle::load_with_retry(path, &cfg.retry)?;
-        pmu_obs::histogram!("serve.engine_load_ms")
-            .observe(started.elapsed().as_secs_f64() * 1e3);
-        Ok(Self::from_bundle(bundle, cfg))
+    /// A fresh session state wrapping a new monitor on this core's
+    /// detector and voting configuration.
+    pub(crate) fn new_session(&self) -> SessionState {
+        SessionState::new(StreamingDetector::new(self.detector.clone(), self.stream_cfg))
     }
 
-    /// System the loaded bundle was trained on (e.g. `"ieee14"`).
-    pub fn system(&self) -> &str {
-        &self.system
-    }
-
-    /// Hex fingerprint of the training topology (provenance display).
-    pub fn network_fingerprint(&self) -> &str {
-        &self.network_fingerprint
-    }
-
-    /// The voting configuration new sessions start with.
-    pub fn stream_config(&self) -> StreamConfig {
-        self.stream_cfg
-    }
-
-    /// The degraded-mode thresholds new sessions start with.
-    pub fn degrade_config(&self) -> &DegradeConfig {
-        &self.degrade_cfg
-    }
-
-    /// Borrow the underlying trained detector.
-    pub fn detector(&self) -> &Detector {
-        &self.detector
-    }
-
-    /// The ingestion guard: check an inbound sample against the serving
-    /// topology without consuming it. [`Engine::push_batch`],
-    /// [`Engine::detect`] and [`Engine::detect_batch`] all apply this
-    /// before any detector math runs.
-    ///
-    /// # Errors
-    /// [`ServeError::BadSample`] naming the violated invariant: wrong
-    /// vector length, mask/vector skew, or a non-finite *observed* value
-    /// (masked entries may hold anything — they are never read).
-    pub fn validate_sample(&self, sample: &PhasorSample) -> Result<(), ServeError> {
+    /// The ingestion guard's pure check (no observation side effects).
+    pub(crate) fn validate_sample(&self, sample: &PhasorSample) -> Result<(), ServeError> {
         let expected = self.detector.n_nodes();
         let got = sample.n_nodes();
         if got != expected {
@@ -551,79 +297,17 @@ impl Engine {
         Ok(())
     }
 
-    /// Open a per-feed streaming session and return its handle. Slots of
-    /// closed sessions are reused, but under a fresh generation — handles
-    /// to previous occupants stay invalid.
-    pub fn open_session(&mut self) -> SessionId {
-        let monitor = StreamingDetector::new(self.detector.clone(), self.stream_cfg);
-        let state = Mutex::new(SessionState::new(monitor));
-        let slot = match self.slots.iter().position(|s| s.state.is_none()) {
-            Some(i) => {
-                self.slots[i].state = Some(state);
-                i
+    /// [`EngineCore::validate_sample`] plus the rejection observation.
+    pub(crate) fn guard(&self, sample: &PhasorSample) -> Result<(), ServeError> {
+        self.validate_sample(sample).inspect_err(|e| {
+            if let ServeError::BadSample(reason) = e {
+                pmu_obs::events::SampleRejected { reason: reason.label() }.emit();
             }
-            None => {
-                self.slots.push(Slot { generation: 0, state: Some(state) });
-                self.slots.len() - 1
-            }
-        };
-        pmu_obs::counter!("serve.sessions_opened").inc();
-        pmu_obs::gauge!("serve.sessions_active").set(self.sessions_active() as f64);
-        SessionId { slot: slot as u32, generation: self.slots[slot].generation }
+        })
     }
 
-    /// Close a session; `false` when the handle is not open (including
-    /// stale handles of an already-reused slot). Closing bumps the slot
-    /// generation, invalidating every outstanding handle to it.
-    pub fn close_session(&mut self, id: SessionId) -> bool {
-        match self.slots.get_mut(id.slot()) {
-            Some(slot) if slot.generation == id.generation && slot.state.is_some() => {
-                slot.state = None;
-                slot.generation = slot.generation.wrapping_add(1);
-                pmu_obs::counter!("serve.sessions_closed").inc();
-                pmu_obs::gauge!("serve.sessions_active").set(self.sessions_active() as f64);
-                true
-            }
-            _ => false,
-        }
-    }
-
-    /// Number of open sessions.
-    pub fn sessions_active(&self) -> usize {
-        self.slots.iter().filter(|s| s.state.is_some()).count()
-    }
-
-    /// Handles of the currently open sessions, ascending by slot.
-    pub fn session_ids(&self) -> Vec<SessionId> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.state.is_some())
-            .map(|(i, s)| SessionId { slot: i as u32, generation: s.generation })
-            .collect()
-    }
-
-    /// Resolve a handle to its live slot, or `None` when closed/stale.
-    fn resolve(&self, id: SessionId) -> Option<&Mutex<SessionState>> {
-        let slot = self.slots.get(id.slot())?;
-        if slot.generation != id.generation {
-            return None;
-        }
-        slot.state.as_ref()
-    }
-
-    /// Health of one session, `None` when the handle is not open.
-    pub fn health(&self, id: SessionId) -> Option<SessionHealth> {
-        self.resolve(id).map(|m| m.lock().unwrap_or_else(|p| p.into_inner()).health())
-    }
-
-    /// Score one sample statelessly against the bundle's detector.
-    ///
-    /// # Errors
-    /// [`ServeError::BadSample`] when the ingestion guard refuses the
-    /// sample; [`ServeError::Detect`] when the detector rejects it (e.g.
-    /// too little observed data to score).
-    pub fn detect(&self, sample: &PhasorSample) -> Result<Detection, ServeError> {
+    /// Stateless one-shot detection (see [`Engine::detect`]).
+    pub(crate) fn detect(&self, sample: &PhasorSample) -> Result<Detection, ServeError> {
         self.guard(sample)?;
         let started = Instant::now();
         let out =
@@ -635,22 +319,8 @@ impl Engine {
         out
     }
 
-    /// [`Engine::validate_sample`] plus the rejection observation.
-    fn guard(&self, sample: &PhasorSample) -> Result<(), ServeError> {
-        self.validate_sample(sample).inspect_err(|e| {
-            if let ServeError::BadSample(reason) = e {
-                pmu_obs::events::SampleRejected { reason: reason.label() }.emit();
-            }
-        })
-    }
-
-    /// Score a batch of independent samples through the packed stage-1
-    /// path: samples sharing a missing-data mask are scored against every
-    /// learned subspace with one cache-blocked matmul, and the per-sample
-    /// ranking tail fans out on the workspace thread pool inside the
-    /// detector. Results come back in input order; per-sample failures
-    /// stay per-sample and match what [`Engine::detect`] would report.
-    pub fn detect_batch(
+    /// Stateless batch detection (see [`Engine::detect_batch`]).
+    pub(crate) fn detect_batch(
         &self,
         samples: &[PhasorSample],
     ) -> Vec<Result<Detection, ServeError>> {
@@ -692,67 +362,15 @@ impl Engine {
         out.into_iter().map(|o| o.expect("every sample classified")).collect()
     }
 
-    /// Advance many feeds by one tick: each `(session, sample)` pair is
-    /// pushed into its session's voting window. Pairs are grouped by
-    /// session and the groups run in parallel (one task per session), so
-    /// samples of one feed apply in their input order while distinct feeds
-    /// proceed concurrently. Results come back in input order.
-    ///
-    /// Unknown or stale session handles fail their own entries with
-    /// [`ServeError::UnknownSession`]; samples the ingestion guard refuses
-    /// fail theirs with [`ServeError::BadSample`] (counted against the
-    /// session's degraded-mode window without reaching its voting
-    /// history). Neither disturbs the rest of the batch.
-    pub fn push_batch(
-        &self,
-        batch: &[(SessionId, PhasorSample)],
-    ) -> Vec<Result<StreamEvent, ServeError>> {
-        pmu_obs::counter!("serve.push_batches").inc();
-        pmu_obs::counter!("serve.push_samples").add(batch.len() as u64);
-        let mut sp = pmu_obs::span("serve.push_batch").with("samples", batch.len());
-        let started = Instant::now();
-
-        // Group batch positions by session id, preserving input order
-        // within each group.
-        let mut groups: Vec<(SessionId, Vec<usize>)> = Vec::new();
-        for (pos, (sid, _)) in batch.iter().enumerate() {
-            match groups.iter_mut().find(|(gsid, _)| gsid == sid) {
-                Some((_, positions)) => positions.push(pos),
-                None => groups.push((*sid, vec![pos])),
-            }
-        }
-
-        let per_group: Vec<Vec<(usize, Result<StreamEvent, ServeError>)>> =
-            par::par_map(&groups, |(sid, positions)| {
-                let Some(slot) = self.resolve(*sid) else {
-                    return positions
-                        .iter()
-                        .map(|&pos| (pos, Err(ServeError::UnknownSession(*sid))))
-                        .collect();
-                };
-                let mut session = slot.lock().unwrap_or_else(|p| p.into_inner());
-                positions
-                    .iter()
-                    .map(|&pos| (pos, self.push_one(*sid, &mut session, &batch[pos].1)))
-                    .collect()
-            });
-
-        // Scatter group results back to input order.
-        let mut out: Vec<Option<Result<StreamEvent, ServeError>>> = vec![None; batch.len()];
-        for group in per_group {
-            for (pos, event) in group {
-                out[pos] = Some(event);
-            }
-        }
-        sp.record("ms", started.elapsed().as_secs_f64() * 1e3);
-        out.into_iter().map(|o| o.expect("every batch position scattered")).collect()
-    }
-
     /// One feed push: guard, vote, account, record into the per-feed
-    /// ring, and evaluate the incident triggers.
-    fn push_one(
+    /// ring, and evaluate the incident triggers. `slot` keys the
+    /// mode-change observation; `who` names the feed in incident dumps
+    /// (a [`SessionId`] for the engine, a grid-qualified feed label for
+    /// the fleet).
+    pub(crate) fn push_one(
         &self,
-        sid: SessionId,
+        slot: usize,
+        who: &dyn std::fmt::Display,
         session: &mut SessionState,
         sample: &PhasorSample,
     ) -> Result<StreamEvent, ServeError> {
@@ -763,8 +381,8 @@ impl Engine {
         if let Err(e) = self.guard(sample) {
             session.rejected += 1;
             session.ring.record(RecKind::Event, rejected_l, feed_tick, 0);
-            session.record(sid.slot(), &self.degrade_cfg, Outcome::Rejected);
-            self.fire_triggers(sid, session, mode_before, false, None);
+            session.record(slot, &self.degrade_cfg, Outcome::Rejected);
+            self.fire_triggers(who, session, mode_before, false, None);
             return Err(e);
         }
 
@@ -781,19 +399,19 @@ impl Engine {
             (Outcome::Scored, scored_l)
         };
         session.ring.record(RecKind::Event, label, feed_tick, latency_us as u64);
-        session.record(sid.slot(), &self.degrade_cfg, outcome);
+        session.record(slot, &self.degrade_cfg, outcome);
         let raised = matches!(event, Ok(StreamEvent::Raised { .. }));
-        self.fire_triggers(sid, session, mode_before, raised, Some(latency_us));
+        self.fire_triggers(who, session, mode_before, raised, Some(latency_us));
         event
     }
 
     /// Evaluate the incident triggers after one push. At most one dump is
-    /// written per ongoing anomaly ([`SessionState::incident_open`]); the
+    /// written per ongoing anomaly (`SessionState::incident_open`); the
     /// incident closes once the feed is Healthy again with no active
     /// stream event and no trigger firing this push.
     fn fire_triggers(
         &self,
-        sid: SessionId,
+        who: &dyn std::fmt::Display,
         session: &mut SessionState,
         mode_before: FeedMode,
         raised: bool,
@@ -826,7 +444,7 @@ impl Engine {
         }
 
         match trigger {
-            Some(t) if !session.incident_open => self.write_incident(sid, session, t),
+            Some(t) if !session.incident_open => self.write_incident(who, session, t),
             Some(_) => {} // anomaly already dumped; stay quiet until it passes
             None => {
                 if session.incident_open
@@ -843,15 +461,20 @@ impl Engine {
     /// mark the session's incident open. Write failures are counted and
     /// reported but never disturb the serving path; the incident still
     /// opens so a persistent IO failure cannot cause a dump storm.
-    fn write_incident(&self, sid: SessionId, session: &mut SessionState, trigger: &'static str) {
+    fn write_incident(
+        &self,
+        who: &dyn std::fmt::Display,
+        session: &mut SessionState,
+        trigger: &'static str,
+    ) {
         let Some(dir) = self.incident_cfg.dir.as_ref() else { return };
         session.incident_open = true;
         let seq = self.incident_seq.fetch_add(1, Ordering::Relaxed);
-        let path = dir.join(format!("incident-{seq:04}-{sid}-{trigger}.jsonl"));
+        let path = dir.join(format!("incident-{seq:04}-{who}-{trigger}.jsonl"));
         let health = session.monitor.health();
         let context: [(&str, Value); 9] = [
             ("system", Value::from(self.system.as_str())),
-            ("session", Value::from(sid.to_string())),
+            ("session", Value::from(who.to_string())),
             ("mode", Value::from(session.mode.label())),
             ("pushed", Value::from(session.pushed)),
             ("rejected", Value::from(session.rejected)),
@@ -879,6 +502,219 @@ impl Engine {
         }
     }
 
+    /// Number of incident dumps this core has attempted to write.
+    pub(crate) fn incident_dumps_written(&self) -> u64 {
+        self.incident_seq.load(Ordering::Relaxed)
+    }
+}
+
+/// A loaded bundle serving detection traffic.
+pub struct Engine {
+    core: EngineCore,
+    /// Session slot table (O(1) open via a free list); closed slots are
+    /// reused under a bumped generation.
+    table: SessionTable<SessionState>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("system", &self.core.system)
+            .field("sessions_active", &self.sessions_active())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Stand up an engine from an in-memory bundle.
+    pub fn from_bundle(bundle: ModelBundle, cfg: EngineConfig) -> Self {
+        Engine { core: EngineCore::from_bundle(bundle, &cfg), table: SessionTable::new() }
+    }
+
+    /// Load, verify and stand up an engine from a bundle file, retrying
+    /// transient filesystem failures per the config's [`RetryPolicy`].
+    ///
+    /// # Errors
+    /// Propagates every [`ModelError`] of
+    /// [`ModelBundle::load`](pmu_model::ModelBundle::load) — a serving
+    /// process must refuse to start on a corrupt or version-skewed
+    /// artifact rather than panic mid-traffic. Only
+    /// [`ModelError::Io`] is retried; verification failures are final.
+    pub fn load(path: &std::path::Path, cfg: EngineConfig) -> Result<Self, ModelError> {
+        let started = Instant::now();
+        let bundle = ModelBundle::load_with_retry(path, &cfg.retry)?;
+        pmu_obs::histogram!("serve.engine_load_ms")
+            .observe(started.elapsed().as_secs_f64() * 1e3);
+        Ok(Self::from_bundle(bundle, cfg))
+    }
+
+    /// System the loaded bundle was trained on (e.g. `"ieee14"`).
+    pub fn system(&self) -> &str {
+        &self.core.system
+    }
+
+    /// Hex fingerprint of the training topology (provenance display).
+    pub fn network_fingerprint(&self) -> &str {
+        &self.core.network_fingerprint
+    }
+
+    /// The voting configuration new sessions start with.
+    pub fn stream_config(&self) -> StreamConfig {
+        self.core.stream_cfg
+    }
+
+    /// The degraded-mode thresholds new sessions start with.
+    pub fn degrade_config(&self) -> &DegradeConfig {
+        &self.core.degrade_cfg
+    }
+
+    /// Borrow the underlying trained detector.
+    pub fn detector(&self) -> &Detector {
+        &self.core.detector
+    }
+
+    /// The ingestion guard: check an inbound sample against the serving
+    /// topology without consuming it. [`Engine::push_batch`],
+    /// [`Engine::detect`] and [`Engine::detect_batch`] all apply this
+    /// before any detector math runs.
+    ///
+    /// # Errors
+    /// [`ServeError::BadSample`] naming the violated invariant: wrong
+    /// vector length, mask/vector skew, or a non-finite *observed* value
+    /// (masked entries may hold anything — they are never read).
+    pub fn validate_sample(&self, sample: &PhasorSample) -> Result<(), ServeError> {
+        self.core.validate_sample(sample)
+    }
+
+    /// Open a per-feed streaming session and return its handle. Slots of
+    /// closed sessions are reused (O(1) via the table's free list), but
+    /// under a fresh generation — handles to previous occupants stay
+    /// invalid.
+    pub fn open_session(&mut self) -> SessionId {
+        let id = self.table.open(self.core.new_session());
+        pmu_obs::counter!("serve.sessions_opened").inc();
+        pmu_obs::gauge!("serve.sessions_active").set(self.table.active() as f64);
+        id
+    }
+
+    /// Close a session; `false` when the handle is not open (including
+    /// stale handles of an already-reused slot). Closing bumps the slot
+    /// generation, invalidating every outstanding handle to it.
+    pub fn close_session(&mut self, id: SessionId) -> bool {
+        let closed = self.table.close(id);
+        if closed {
+            pmu_obs::counter!("serve.sessions_closed").inc();
+            pmu_obs::gauge!("serve.sessions_active").set(self.table.active() as f64);
+        }
+        closed
+    }
+
+    /// Number of open sessions.
+    pub fn sessions_active(&self) -> usize {
+        self.table.active()
+    }
+
+    /// Handles of the currently open sessions, ascending by slot.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.table.ids()
+    }
+
+    /// Health of one session, `None` when the handle is not open.
+    pub fn health(&self, id: SessionId) -> Option<SessionHealth> {
+        self.table
+            .resolve(id)
+            .map(|m| m.lock().unwrap_or_else(|p| p.into_inner()).health())
+    }
+
+    /// Score one sample statelessly against the bundle's detector.
+    ///
+    /// # Errors
+    /// [`ServeError::BadSample`] when the ingestion guard refuses the
+    /// sample; [`ServeError::Detect`] when the detector rejects it (e.g.
+    /// too little observed data to score).
+    pub fn detect(&self, sample: &PhasorSample) -> Result<Detection, ServeError> {
+        self.core.detect(sample)
+    }
+
+    /// Score a batch of independent samples through the packed stage-1
+    /// path: samples sharing a missing-data mask are scored against every
+    /// learned subspace with one cache-blocked matmul, and the per-sample
+    /// ranking tail fans out on the workspace thread pool inside the
+    /// detector. Results come back in input order; per-sample failures
+    /// stay per-sample and match what [`Engine::detect`] would report.
+    pub fn detect_batch(
+        &self,
+        samples: &[PhasorSample],
+    ) -> Vec<Result<Detection, ServeError>> {
+        self.core.detect_batch(samples)
+    }
+
+    /// Advance many feeds by one tick: each `(session, sample)` pair is
+    /// pushed into its session's voting window. Pairs are grouped by
+    /// session and the groups run in parallel (one task per session), so
+    /// samples of one feed apply in their input order while distinct feeds
+    /// proceed concurrently. Results come back in input order.
+    ///
+    /// Unknown or stale session handles fail their own entries with
+    /// [`ServeError::UnknownSession`]; samples the ingestion guard refuses
+    /// fail theirs with [`ServeError::BadSample`] (counted against the
+    /// session's degraded-mode window without reaching its voting
+    /// history). Neither disturbs the rest of the batch.
+    pub fn push_batch(
+        &self,
+        batch: &[(SessionId, PhasorSample)],
+    ) -> Vec<Result<StreamEvent, ServeError>> {
+        pmu_obs::counter!("serve.push_batches").inc();
+        pmu_obs::counter!("serve.push_samples").add(batch.len() as u64);
+        let mut sp = pmu_obs::span("serve.push_batch").with("samples", batch.len());
+        let started = Instant::now();
+
+        // Group batch positions by session id, preserving input order
+        // within each group.
+        let mut groups: Vec<(SessionId, Vec<usize>)> = Vec::new();
+        for (pos, (sid, _)) in batch.iter().enumerate() {
+            match groups.iter_mut().find(|(gsid, _)| gsid == sid) {
+                Some((_, positions)) => positions.push(pos),
+                None => groups.push((*sid, vec![pos])),
+            }
+        }
+
+        let per_group: Vec<Vec<(usize, Result<StreamEvent, ServeError>)>> =
+            par::par_map(&groups, |(sid, positions)| {
+                let Some(slot) = self.table.resolve(*sid) else {
+                    return positions
+                        .iter()
+                        .map(|&pos| (pos, Err(ServeError::UnknownSession(*sid))))
+                        .collect();
+                };
+                let mut session = slot.lock().unwrap_or_else(|p| p.into_inner());
+                positions
+                    .iter()
+                    .map(|&pos| {
+                        (
+                            pos,
+                            self.core.push_one(
+                                sid.slot(),
+                                sid,
+                                &mut session,
+                                &batch[pos].1,
+                            ),
+                        )
+                    })
+                    .collect()
+            });
+
+        // Scatter group results back to input order.
+        let mut out: Vec<Option<Result<StreamEvent, ServeError>>> = vec![None; batch.len()];
+        for group in per_group {
+            for (pos, event) in group {
+                out[pos] = Some(event);
+            }
+        }
+        sp.record("ms", started.elapsed().as_secs_f64() * 1e3);
+        out.into_iter().map(|o| o.expect("every batch position scattered")).collect()
+    }
+
     /// Health of every open session, ascending by slot — the `/health`
     /// endpoint's payload.
     pub fn session_healths(&self) -> Vec<(SessionId, SessionHealth)> {
@@ -890,7 +726,7 @@ impl Engine {
 
     /// Number of incident dumps this engine has attempted to write.
     pub fn incident_dumps_written(&self) -> u64 {
-        self.incident_seq.load(Ordering::Relaxed)
+        self.core.incident_dumps_written()
     }
 }
 
@@ -1190,5 +1026,12 @@ mod tests {
         let e = ServeError::BadSample(BadSampleReason::MaskMismatch { nodes: 5, mask: 4 });
         assert!(e.to_string().contains("mask"));
         assert_eq!(BadSampleReason::NonFinite { node: 0 }.label(), "non_finite");
+        let key = crate::fleet::FeedKey { grid: crate::fleet::GridId(0), feed: 7 };
+        assert!(ServeError::UnknownFeed(key).to_string().contains("g0.f7"));
+        assert!(ServeError::DuplicateFeed(key).to_string().contains("g0.f7"));
+        assert!(ServeError::UnknownGrid("west".into()).to_string().contains("west"));
+        assert!(ServeError::DuplicateGrid("west".into()).to_string().contains("west"));
+        assert!(ServeError::Overloaded { shard: 3 }.to_string().contains("shard 3"));
+        assert!(ServeError::Snapshot("skew".into()).to_string().contains("skew"));
     }
 }

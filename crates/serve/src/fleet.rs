@@ -1,0 +1,919 @@
+//! The **fleet engine**: many grids, many feeds, one process.
+//!
+//! A [`Fleet`] hosts several trained bundles (one [`EngineCore`] per
+//! grid) and shards every open feed session across a fixed set of
+//! worker-aligned shards. Where the single-grid [`Engine`](crate::Engine)
+//! keeps one global slot table, the fleet keeps **one
+//! [`SessionTable`](crate::session::SessionTable) per shard, each behind
+//! its own lock** — a push batch touches only the shards its feeds hash
+//! to, and distinct shards drain fully in parallel with zero lock
+//! contention between them.
+//!
+//! ## Routing
+//!
+//! Feeds are addressed by [`FeedKey`] (grid + 64-bit feed id). A feed's
+//! *home shard* is `fnv1a(grid, feed) % shards` — deterministic, so the
+//! same key always lands on the same shard until an explicit
+//! [`Fleet::migrate_feed`] moves it. The router (one `RwLock` hash map)
+//! resolves keys to `(shard, session)`; the push path takes it read-only.
+//!
+//! ## Backpressure
+//!
+//! Each shard has a bounded ingress budget ([`FleetConfig::queue_capacity`]).
+//! Admission reserves room with a compare-exchange loop, so concurrent
+//! batches can never overshoot the bound; samples that don't fit are
+//! **shed** with [`ServeError::Overloaded`] (newest first — the tail of
+//! the batch), counted in `serve.shed_total` and per shard. Load
+//! shedding is loud and typed, never silent.
+//!
+//! ## Session mobility
+//!
+//! Sessions are serializable: [`Fleet::snapshot_feed`] captures a feed's
+//! complete serving state as a checksummed
+//! [`SessionSnapshot`](pmu_model::SessionSnapshot), and
+//! [`Fleet::restore_feed`] resurrects it — in the same process, a
+//! different shard, or a different process entirely — replaying the
+//! subsequent sample stream **bit-identically**. Restores are
+//! fingerprint-checked: a snapshot taken against one topology can never
+//! be revived against another.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+use pmu_detect::stream::{StreamEvent, StreamingDetector};
+use pmu_model::{ModelBundle, SessionSnapshot};
+use pmu_numerics::hash::Fnv1a;
+use pmu_numerics::par;
+use pmu_obs::metrics::{Gauge, Histogram};
+use pmu_sim::PhasorSample;
+
+use crate::engine::{EngineConfig, EngineCore, ServeError};
+use crate::session::{SessionHealth, SessionId, SessionState, SessionTable};
+
+/// Handle to one grid registered in a [`Fleet`] (index into the fleet's
+/// grid list; issued by [`Fleet::add_grid`], resolvable by name via
+/// [`Fleet::grid`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridId(pub(crate) u32);
+
+impl GridId {
+    /// The grid's index in registration order.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GridId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Fleet-wide feed address: which grid, which feed within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FeedKey {
+    /// The hosting grid.
+    pub grid: GridId,
+    /// Caller-chosen 64-bit feed identifier, unique within the grid
+    /// (a PMU id, a substation hash — the fleet only routes on it).
+    pub feed: u64,
+}
+
+impl std::fmt::Display for FeedKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.f{}", self.grid, self.feed)
+    }
+}
+
+/// Fleet construction knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of session shards. `0` (the default) means one shard per
+    /// worker thread ([`par::num_threads`]), aligning shard parallelism
+    /// with the pool that drains them.
+    pub shards: usize,
+    /// Per-shard bounded ingress budget: the maximum number of samples a
+    /// shard accepts concurrently before the admission controller starts
+    /// shedding with [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+}
+
+impl Default for FleetConfig {
+    /// One shard per worker, 4096-sample ingress budget per shard.
+    fn default() -> Self {
+        FleetConfig { shards: 0, queue_capacity: 4096 }
+    }
+}
+
+/// A point-in-time view of one shard's load counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Sessions currently homed on this shard.
+    pub sessions: usize,
+    /// Samples admitted and not yet drained (instantaneous).
+    pub inflight: usize,
+    /// Total samples drained through this shard.
+    pub drained: u64,
+    /// Total samples shed by this shard's admission controller.
+    pub shed: u64,
+    /// p99 single-push latency on this shard, microseconds (from the
+    /// per-shard HDR histogram; 0 before any push).
+    pub push_p99_us: f64,
+    /// Drain rate of the most recent non-empty drain, samples/second.
+    pub drain_rate: f64,
+}
+
+/// One session shard: its table, its admission counters, and its
+/// pre-resolved per-shard metric handles (names like
+/// `serve.shard3.push_us`, leaked once per process and deduplicated by
+/// the registry).
+struct Shard {
+    table: Mutex<SessionTable<FleetSession>>,
+    /// Samples admitted and not yet drained; bounded by
+    /// [`FleetConfig::queue_capacity`] via compare-exchange admission.
+    inflight: AtomicUsize,
+    drained: AtomicU64,
+    shed: AtomicU64,
+    /// Last non-empty drain's rate, samples/sec (f64 bits).
+    drain_rate_bits: AtomicU64,
+    push_us: &'static Histogram,
+    inflight_gauge: &'static Gauge,
+    drain_rate_gauge: &'static Gauge,
+}
+
+impl Shard {
+    fn new(index: usize) -> Self {
+        // Per-shard metric names are dynamic; the registry interns by
+        // value, so leaking each name once per process is bounded by the
+        // shard count.
+        let leak = |suffix: &str| -> &'static str {
+            Box::leak(format!("serve.shard{index}.{suffix}").into_boxed_str())
+        };
+        Shard {
+            table: Mutex::new(SessionTable::new()),
+            inflight: AtomicUsize::new(0),
+            drained: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            drain_rate_bits: AtomicU64::new(0f64.to_bits()),
+            push_us: pmu_obs::metrics::histogram(leak("push_us")),
+            inflight_gauge: pmu_obs::metrics::gauge(leak("inflight")),
+            drain_rate_gauge: pmu_obs::metrics::gauge(leak("drain_rate")),
+        }
+    }
+
+    fn stats(&self, index: usize) -> ShardStats {
+        ShardStats {
+            shard: index,
+            sessions: self.table.lock().unwrap_or_else(|p| p.into_inner()).active(),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            push_p99_us: if self.push_us.count() == 0 {
+                0.0
+            } else {
+                self.push_us.quantile(0.99)
+            },
+            drain_rate: f64::from_bits(self.drain_rate_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A session homed on a shard, remembering which grid's core pushes it.
+struct FleetSession {
+    grid: u32,
+    state: SessionState,
+}
+
+struct GridEntry {
+    name: String,
+    core: EngineCore,
+}
+
+/// Where the router finds an open feed.
+#[derive(Clone, Copy)]
+struct Route {
+    shard: u32,
+    sid: SessionId,
+}
+
+/// Grid-qualified feed name used in incident dumps and mode-change
+/// observations (e.g. `east.f7` — no `/`, it becomes part of a file
+/// name).
+struct FeedTag<'a>(&'a str, u64);
+
+impl std::fmt::Display for FeedTag<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.f{}", self.0, self.1)
+    }
+}
+
+/// A multi-grid serving fleet. See the [module docs](self).
+///
+/// All serving-path methods take `&self`: the fleet is `Arc`-shareable
+/// with the observability endpoint and with concurrent pushers. Only
+/// [`Fleet::add_grid`] (a boot-time operation) needs `&mut self`.
+pub struct Fleet {
+    grids: Vec<GridEntry>,
+    shards: Vec<Shard>,
+    router: RwLock<HashMap<FeedKey, Route>>,
+    queue_capacity: usize,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("grids", &self.grids.len())
+            .field("shards", &self.shards.len())
+            .field("sessions_active", &self.sessions_active())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    /// Stand up an empty fleet: `cfg.shards` session shards (or one per
+    /// worker thread when 0) and no grids yet.
+    pub fn new(cfg: FleetConfig) -> Self {
+        let n = if cfg.shards == 0 { par::num_threads().max(1) } else { cfg.shards };
+        pmu_obs::gauge!("serve.fleet_shards").set(n as f64);
+        Fleet {
+            grids: Vec::new(),
+            shards: (0..n).map(Shard::new).collect(),
+            router: RwLock::new(HashMap::new()),
+            queue_capacity: cfg.queue_capacity.max(1),
+        }
+    }
+
+    /// Register a grid under `name` and return its handle.
+    ///
+    /// # Errors
+    /// [`ServeError::DuplicateGrid`] when the name is already taken.
+    pub fn add_grid(
+        &mut self,
+        name: &str,
+        bundle: ModelBundle,
+        cfg: &EngineConfig,
+    ) -> Result<GridId, ServeError> {
+        if self.grids.iter().any(|g| g.name == name) {
+            return Err(ServeError::DuplicateGrid(name.to_string()));
+        }
+        self.grids.push(GridEntry {
+            name: name.to_string(),
+            core: EngineCore::from_bundle(bundle, cfg),
+        });
+        pmu_obs::gauge!("serve.fleet_grids").set(self.grids.len() as f64);
+        Ok(GridId(self.grids.len() as u32 - 1))
+    }
+
+    /// Look a grid up by name.
+    pub fn grid(&self, name: &str) -> Option<GridId> {
+        self.grids.iter().position(|g| g.name == name).map(|i| GridId(i as u32))
+    }
+
+    /// Registered grids in registration order, `(handle, name)`.
+    pub fn grids(&self) -> Vec<(GridId, &str)> {
+        self.grids
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GridId(i as u32), g.name.as_str()))
+            .collect()
+    }
+
+    /// A grid's registered name.
+    pub fn grid_name(&self, id: GridId) -> &str {
+        &self.grids[id.index()].name
+    }
+
+    /// System a grid's bundle was trained on (e.g. `"ieee14"`).
+    pub fn grid_system(&self, id: GridId) -> &str {
+        &self.grids[id.index()].core.system
+    }
+
+    /// Hex fingerprint of a grid's training topology.
+    pub fn grid_fingerprint(&self, id: GridId) -> &str {
+        &self.grids[id.index()].core.network_fingerprint
+    }
+
+    /// Node count a grid's detector serves.
+    pub fn grid_nodes(&self, id: GridId) -> usize {
+        self.grids[id.index()].core.detector.n_nodes()
+    }
+
+    /// Number of session shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard bounded ingress budget.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// The deterministic home shard of a feed key.
+    pub fn home_shard(&self, key: FeedKey) -> usize {
+        let mut h = Fnv1a::new();
+        h.write_u64(key.grid.0 as u64);
+        h.write_u64(key.feed);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn core(&self, key: FeedKey) -> Result<&EngineCore, ServeError> {
+        self.grids
+            .get(key.grid.index())
+            .map(|g| &g.core)
+            .ok_or_else(|| ServeError::UnknownGrid(key.grid.to_string()))
+    }
+
+    /// Open a streaming session for `key` on its home shard.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownGrid`] for a foreign grid handle,
+    /// [`ServeError::DuplicateFeed`] when the key is already open.
+    pub fn open_feed(&self, key: FeedKey) -> Result<(), ServeError> {
+        let state = self.core(key)?.new_session();
+        self.install(key, state)
+    }
+
+    /// Route `state` to `key`'s home shard and register it, holding the
+    /// router write lock across the insert so a concurrent open of the
+    /// same key cannot double-register.
+    fn install(&self, key: FeedKey, state: SessionState) -> Result<(), ServeError> {
+        let shard_idx = self.home_shard(key);
+        let mut router = self.router.write().unwrap_or_else(|p| p.into_inner());
+        if router.contains_key(&key) {
+            return Err(ServeError::DuplicateFeed(key));
+        }
+        let sid = {
+            let mut table =
+                self.shards[shard_idx].table.lock().unwrap_or_else(|p| p.into_inner());
+            table.open(FleetSession { grid: key.grid.0, state })
+        };
+        router.insert(key, Route { shard: shard_idx as u32, sid });
+        pmu_obs::counter!("serve.sessions_opened").inc();
+        pmu_obs::gauge!("serve.sessions_active").set(router.len() as f64);
+        Ok(())
+    }
+
+    /// Close a feed; `false` when the key is not open.
+    pub fn close_feed(&self, key: FeedKey) -> bool {
+        let mut router = self.router.write().unwrap_or_else(|p| p.into_inner());
+        let Some(route) = router.remove(&key) else { return false };
+        let closed = {
+            let mut table = self.shards[route.shard as usize]
+                .table
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            table.close(route.sid)
+        };
+        debug_assert!(closed, "router and shard tables must stay consistent");
+        pmu_obs::counter!("serve.sessions_closed").inc();
+        pmu_obs::gauge!("serve.sessions_active").set(router.len() as f64);
+        true
+    }
+
+    /// Number of open feeds across all grids and shards.
+    pub fn sessions_active(&self) -> usize {
+        self.router.read().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Every open feed key, sorted by (grid, feed) for deterministic
+    /// display.
+    pub fn feeds(&self) -> Vec<FeedKey> {
+        let router = self.router.read().unwrap_or_else(|p| p.into_inner());
+        let mut keys: Vec<FeedKey> = router.keys().copied().collect();
+        keys.sort_by_key(|k| (k.grid.0, k.feed));
+        keys
+    }
+
+    /// Human-readable feed label for dashboards: `"<grid name>/f<feed>"`.
+    pub fn feed_label(&self, key: FeedKey) -> String {
+        format!("{}/f{}", self.grid_name(key.grid), key.feed)
+    }
+
+    /// Health of one feed, `None` when the key is not open.
+    pub fn health(&self, key: FeedKey) -> Option<SessionHealth> {
+        let route = {
+            let router = self.router.read().unwrap_or_else(|p| p.into_inner());
+            *router.get(&key)?
+        };
+        let table = self.shards[route.shard as usize]
+            .table
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let session = table.resolve(route.sid)?;
+        let session = session.lock().unwrap_or_else(|p| p.into_inner());
+        Some(session.state.health())
+    }
+
+    /// Health of every open feed, sorted by (grid, feed).
+    pub fn feed_healths(&self) -> Vec<(FeedKey, SessionHealth)> {
+        self.feeds()
+            .into_iter()
+            .filter_map(|key| self.health(key).map(|h| (key, h)))
+            .collect()
+    }
+
+    /// Advance many feeds by one tick. Entries are routed to their home
+    /// shards; each shard admits up to its remaining ingress budget
+    /// (shedding the excess, newest first, with
+    /// [`ServeError::Overloaded`]) and drains sequentially under its own
+    /// lock while distinct shards drain in parallel. Per-feed sample
+    /// order is the input order; results come back in input order.
+    ///
+    /// Unknown keys fail their own entries with
+    /// [`ServeError::UnknownFeed`]; guard rejections with
+    /// [`ServeError::BadSample`] — exactly the single-engine semantics,
+    /// per feed.
+    pub fn push_batch(
+        &self,
+        batch: &[(FeedKey, PhasorSample)],
+    ) -> Vec<Result<StreamEvent, ServeError>> {
+        pmu_obs::counter!("serve.push_batches").inc();
+        pmu_obs::counter!("serve.push_samples").add(batch.len() as u64);
+        let mut sp = pmu_obs::span("serve.fleet_push_batch").with("samples", batch.len());
+        let started = Instant::now();
+
+        let mut out: Vec<Option<Result<StreamEvent, ServeError>>> = vec![None; batch.len()];
+
+        // Resolve routes under one read lock; group positions per shard,
+        // preserving batch order within each group.
+        let mut per_shard: Vec<Vec<(usize, SessionId)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        {
+            let router = self.router.read().unwrap_or_else(|p| p.into_inner());
+            for (pos, (key, _)) in batch.iter().enumerate() {
+                match router.get(key) {
+                    Some(route) => per_shard[route.shard as usize].push((pos, route.sid)),
+                    None => out[pos] = Some(Err(ServeError::UnknownFeed(*key))),
+                }
+            }
+        }
+
+        // Admission: reserve ingress room per shard with a CAS loop (so
+        // concurrent batches cannot overshoot the bound), shed the rest.
+        let mut work: Vec<(usize, Vec<(usize, SessionId)>)> = Vec::new();
+        for (shard_idx, mut group) in per_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[shard_idx];
+            let granted = loop {
+                let cur = shard.inflight.load(Ordering::Relaxed);
+                let room = self.queue_capacity.saturating_sub(cur);
+                let take = group.len().min(room);
+                if take == 0 {
+                    break 0;
+                }
+                if shard
+                    .inflight
+                    .compare_exchange(cur, cur + take, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break take;
+                }
+            };
+            if granted < group.len() {
+                let overflow = group.split_off(granted);
+                shard.shed.fetch_add(overflow.len() as u64, Ordering::Relaxed);
+                pmu_obs::counter!("serve.shed_total").add(overflow.len() as u64);
+                for (pos, _) in overflow {
+                    out[pos] = Some(Err(ServeError::Overloaded { shard: shard_idx }));
+                }
+            }
+            shard.inflight_gauge.set(shard.inflight.load(Ordering::Relaxed) as f64);
+            if !group.is_empty() {
+                work.push((shard_idx, group));
+            }
+        }
+
+        // Drain: one parallel task per shard with admitted work.
+        let per_group: Vec<Vec<(usize, Result<StreamEvent, ServeError>)>> =
+            par::par_map(&work, |(shard_idx, group)| {
+                let shard = &self.shards[*shard_idx];
+                let drain_started = Instant::now();
+                let table = shard.table.lock().unwrap_or_else(|p| p.into_inner());
+                let mut res = Vec::with_capacity(group.len());
+                for &(pos, sid) in group {
+                    let (key, sample) = &batch[pos];
+                    let Some(slot) = table.resolve(sid) else {
+                        // Closed between routing and drain.
+                        res.push((pos, Err(ServeError::UnknownFeed(*key))));
+                        continue;
+                    };
+                    let mut session = slot.lock().unwrap_or_else(|p| p.into_inner());
+                    let core = &self.grids[session.grid as usize].core;
+                    let tag = FeedTag(&self.grids[session.grid as usize].name, key.feed);
+                    let t0 = Instant::now();
+                    let event = core.push_one(sid.slot(), &tag, &mut session.state, sample);
+                    shard.push_us.observe(t0.elapsed().as_secs_f64() * 1e6);
+                    res.push((pos, event));
+                }
+                drop(table);
+                let drained = group.len();
+                shard.inflight.fetch_sub(drained, Ordering::Relaxed);
+                shard.drained.fetch_add(drained as u64, Ordering::Relaxed);
+                let secs = drain_started.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    let rate = drained as f64 / secs;
+                    shard.drain_rate_bits.store(rate.to_bits(), Ordering::Relaxed);
+                    shard.drain_rate_gauge.set(rate);
+                }
+                shard.inflight_gauge.set(shard.inflight.load(Ordering::Relaxed) as f64);
+                res
+            });
+
+        for group in per_group {
+            for (pos, event) in group {
+                out[pos] = Some(event);
+            }
+        }
+        sp.record("ms", started.elapsed().as_secs_f64() * 1e3);
+        out.into_iter().map(|o| o.expect("every batch position classified")).collect()
+    }
+
+    /// Capture one feed's complete serving state as a checksummed,
+    /// schema-versioned [`SessionSnapshot`].
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownFeed`] when the key is not open.
+    pub fn snapshot_feed(&self, key: FeedKey) -> Result<SessionSnapshot, ServeError> {
+        let route = {
+            let router = self.router.read().unwrap_or_else(|p| p.into_inner());
+            router.get(&key).copied().ok_or(ServeError::UnknownFeed(key))?
+        };
+        let core = self.core(key)?;
+        let table = self.shards[route.shard as usize]
+            .table
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let session = table.resolve(route.sid).ok_or(ServeError::UnknownFeed(key))?;
+        let session = session.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(session.state.to_snapshot(
+            &core.system,
+            &core.network_fingerprint,
+            self.grid_name(key.grid),
+            key.feed,
+        ))
+    }
+
+    /// Resurrect a snapshot into this fleet (home-shard placement) and
+    /// return the key it is now serving under. The restored session
+    /// replays subsequent samples bit-identically to the one that was
+    /// snapshotted.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownGrid`] when no grid carries the snapshot's
+    /// grid name; [`ServeError::Snapshot`] when the snapshot's system or
+    /// topology fingerprint disagrees with that grid's bundle, or its
+    /// serialized state is corrupt; [`ServeError::DuplicateFeed`] when
+    /// the key is already open.
+    pub fn restore_feed(&self, snap: &SessionSnapshot) -> Result<FeedKey, ServeError> {
+        let grid = self
+            .grid(&snap.grid)
+            .ok_or_else(|| ServeError::UnknownGrid(snap.grid.clone()))?;
+        let core = &self.grids[grid.index()].core;
+        if snap.system != core.system {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot is for system {:?}, grid {:?} serves {:?}",
+                snap.system, snap.grid, core.system
+            )));
+        }
+        if snap.network_fingerprint != core.network_fingerprint {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot topology fingerprint {} does not match grid {:?} ({})",
+                snap.network_fingerprint, snap.grid, core.network_fingerprint
+            )));
+        }
+        let feed = snap.feed_id().map_err(|e| ServeError::Snapshot(e.to_string()))?;
+        let key = FeedKey { grid, feed };
+        let monitor = StreamingDetector::restore(core.detector.clone(), &snap.stream)
+            .map_err(|e| ServeError::Snapshot(e.to_string()))?;
+        let state = SessionState::from_snapshot(monitor, snap).map_err(ServeError::Snapshot)?;
+        self.install(key, state)?;
+        pmu_obs::counter!("serve.sessions_restored").inc();
+        Ok(key)
+    }
+
+    /// Move a feed's session to another shard without losing a sample of
+    /// state: the session is lifted out of its current table (bumping
+    /// the old slot's generation) and re-homed under `to_shard`, and the
+    /// router is updated atomically with respect to pushes — a batch
+    /// sees the feed on exactly one shard, before or after, never
+    /// neither. Returns the shard it moved from.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownFeed`] when the key is not open.
+    ///
+    /// # Panics
+    /// When `to_shard` is out of range — shard indices are a caller-side
+    /// programming concern, not a runtime input.
+    pub fn migrate_feed(&self, key: FeedKey, to_shard: usize) -> Result<usize, ServeError> {
+        assert!(to_shard < self.shards.len(), "shard {to_shard} out of range");
+        let mut router = self.router.write().unwrap_or_else(|p| p.into_inner());
+        let route = router.get_mut(&key).ok_or(ServeError::UnknownFeed(key))?;
+        let from = route.shard as usize;
+        if from == to_shard {
+            return Ok(from);
+        }
+        // Lock the two tables in index order so concurrent migrations
+        // cannot deadlock.
+        let (lo, hi) = (from.min(to_shard), from.max(to_shard));
+        let mut lo_table = self.shards[lo].table.lock().unwrap_or_else(|p| p.into_inner());
+        let mut hi_table = self.shards[hi].table.lock().unwrap_or_else(|p| p.into_inner());
+        let (src, dst): (&mut SessionTable<_>, &mut SessionTable<_>) = if from == lo {
+            (&mut lo_table, &mut hi_table)
+        } else {
+            (&mut hi_table, &mut lo_table)
+        };
+        let session = src.take(route.sid).ok_or(ServeError::UnknownFeed(key))?;
+        let sid = dst.open(session);
+        route.shard = to_shard as u32;
+        route.sid = sid;
+        pmu_obs::counter!("serve.sessions_migrated").inc();
+        Ok(from)
+    }
+
+    /// Per-shard load counters, ascending by shard index.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().enumerate().map(|(i, s)| s.stats(i)).collect()
+    }
+
+    /// Number of incident dumps attempted across all grids.
+    pub fn incident_dumps_written(&self) -> u64 {
+        self.grids.iter().map(|g| g.core.incident_dumps_written()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu_baseline::MlrConfig;
+    use pmu_detect::detector::default_config_for;
+    use pmu_detect::stream::StreamConfig;
+    use pmu_sim::{generate_dataset, Dataset, GenConfig};
+
+    fn tiny_dataset() -> Dataset {
+        let net = pmu_grid::cases::ieee14().unwrap();
+        let cfg = GenConfig { train_len: 10, test_len: 6, ..GenConfig::default() };
+        generate_dataset(&net, &cfg).unwrap()
+    }
+
+    fn bundle_for(data: &Dataset) -> ModelBundle {
+        let gen = GenConfig { train_len: 10, test_len: 6, ..GenConfig::default() };
+        let det_cfg = default_config_for(&data.network);
+        pmu_model::ModelBundle::train(data, &gen, &det_cfg, &MlrConfig::default()).unwrap()
+    }
+
+    fn two_grid_fleet(data: &Dataset, cfg: FleetConfig) -> (Fleet, GridId, GridId) {
+        let bundle = bundle_for(data);
+        let mut fleet = Fleet::new(cfg);
+        let east = fleet.add_grid("east", bundle.clone(), &EngineConfig::default()).unwrap();
+        let west = fleet.add_grid("west", bundle, &EngineConfig::default()).unwrap();
+        (fleet, east, west)
+    }
+
+    #[test]
+    fn fleet_serves_many_grids_and_matches_a_lone_session() {
+        let data = tiny_dataset();
+        let (fleet, east, west) =
+            two_grid_fleet(&data, FleetConfig { shards: 2, ..FleetConfig::default() });
+        assert_eq!(fleet.grid("east"), Some(east));
+        assert_eq!(fleet.grid("west"), Some(west));
+        assert_eq!(fleet.grid("north"), None);
+        assert_eq!(fleet.grid_name(east), "east");
+        assert_eq!(fleet.grid_system(west), "ieee14");
+        assert!(!fleet.grid_fingerprint(east).is_empty());
+
+        // 3 feeds per grid, deterministically sharded.
+        let keys: Vec<FeedKey> = [east, west]
+            .iter()
+            .flat_map(|&g| (0..3u64).map(move |f| FeedKey { grid: g, feed: f }))
+            .collect();
+        for &k in &keys {
+            fleet.open_feed(k).unwrap();
+        }
+        assert_eq!(fleet.sessions_active(), 6);
+        assert_eq!(fleet.feeds(), keys, "feeds() sorts by (grid, feed)");
+        assert_eq!(fleet.feed_label(keys[0]), "east/f0");
+
+        // Interleave east outage traffic with west normal traffic across
+        // several ticks; east feed 0 must replay exactly like a lone
+        // streaming detector over the same samples.
+        let case = &data.cases[0];
+        let ticks = case.test.len().min(5);
+        let mut east_events = Vec::new();
+        for t in 0..ticks {
+            let mut batch = Vec::new();
+            for &k in &keys {
+                let sample = if k.grid == east {
+                    case.test.sample(t)
+                } else {
+                    data.normal_test.sample(t % data.normal_test.len())
+                };
+                batch.push((k, sample));
+            }
+            let events = fleet.push_batch(&batch);
+            assert_eq!(events.len(), batch.len());
+            east_events.push(events[0].clone().unwrap());
+        }
+
+        let bundle = bundle_for(&data);
+        let mut reference =
+            StreamingDetector::new(bundle.detector, StreamConfig::default());
+        let expected: Vec<StreamEvent> =
+            (0..ticks).map(|t| reference.push(&case.test.sample(t)).unwrap()).collect();
+        assert_eq!(east_events, expected, "sharded feed must replay like a lone session");
+
+        // Health is per feed; shard stats account every drained sample.
+        let healths = fleet.feed_healths();
+        assert_eq!(healths.len(), 6);
+        assert!(healths.iter().all(|(_, h)| h.pushed == ticks));
+        let stats = fleet.shard_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(
+            stats.iter().map(|s| s.drained).sum::<u64>(),
+            (6 * ticks) as u64,
+            "every pushed sample is drained through some shard"
+        );
+        assert_eq!(stats.iter().map(|s| s.sessions).sum::<usize>(), 6);
+        assert!(stats.iter().all(|s| s.inflight == 0), "drains settle to zero inflight");
+    }
+
+    #[test]
+    fn unknown_and_duplicate_keys_are_typed_errors() {
+        let data = tiny_dataset();
+        let (fleet, east, _) = two_grid_fleet(&data, FleetConfig::default());
+        let key = FeedKey { grid: east, feed: 9 };
+        fleet.open_feed(key).unwrap();
+        assert_eq!(fleet.open_feed(key), Err(ServeError::DuplicateFeed(key)));
+
+        let ghost = FeedKey { grid: east, feed: 1000 };
+        let sample = data.normal_test.sample(0);
+        let events = fleet.push_batch(&[(ghost, sample.clone()), (key, sample.clone())]);
+        assert_eq!(events[0], Err(ServeError::UnknownFeed(ghost)));
+        assert!(events[1].is_ok(), "an unknown key fails only its own entry");
+
+        assert!(fleet.close_feed(key));
+        assert!(!fleet.close_feed(key), "double close reports false");
+        let events = fleet.push_batch(&[(key, sample)]);
+        assert_eq!(events[0], Err(ServeError::UnknownFeed(key)));
+        assert!(fleet.health(key).is_none());
+        assert!(matches!(fleet.snapshot_feed(key), Err(ServeError::UnknownFeed(_))));
+
+        let mut fleet = fleet;
+        let err = fleet.add_grid("east", bundle_for(&data), &EngineConfig::default());
+        assert_eq!(err, Err(ServeError::DuplicateGrid("east".into())).map(|_: GridId| east));
+    }
+
+    #[test]
+    fn overload_sheds_the_tail_with_typed_errors() {
+        let data = tiny_dataset();
+        let (fleet, east, _) = two_grid_fleet(
+            &data,
+            FleetConfig { shards: 1, queue_capacity: 4 },
+        );
+        let key = FeedKey { grid: east, feed: 0 };
+        fleet.open_feed(key).unwrap();
+        let sample = data.normal_test.sample(0);
+        let batch: Vec<_> = (0..10).map(|_| (key, sample.clone())).collect();
+        let events = fleet.push_batch(&batch);
+        for ev in &events[..4] {
+            assert!(ev.is_ok(), "admitted prefix drains normally: {ev:?}");
+        }
+        for ev in &events[4..] {
+            assert_eq!(ev, &Err(ServeError::Overloaded { shard: 0 }));
+        }
+        let stats = &fleet.shard_stats()[0];
+        assert_eq!(stats.shed, 6, "shed accounting matches ground truth");
+        assert_eq!(stats.drained, 4);
+        assert_eq!(stats.inflight, 0);
+        assert_eq!(
+            fleet.health(key).unwrap().pushed,
+            4,
+            "shed samples never reach the voting window"
+        );
+
+        // The budget is per call here (no concurrent pushers), so the
+        // next batch is admitted again.
+        let events = fleet.push_batch(&batch[..2]);
+        assert!(events.iter().all(|e| e.is_ok()));
+    }
+
+    #[test]
+    fn snapshot_restore_and_migration_preserve_the_event_stream() {
+        let data = tiny_dataset();
+        let (fleet, east, _) =
+            two_grid_fleet(&data, FleetConfig { shards: 2, ..FleetConfig::default() });
+        let key = FeedKey { grid: east, feed: 7 };
+        fleet.open_feed(key).unwrap();
+
+        // Phase A: drive into an outage so the snapshot carries a
+        // non-trivial voting history and (likely) an active event.
+        let case = &data.cases[0];
+        let split = case.test.len() / 2;
+        for t in 0..split {
+            fleet.push_batch(&[(key, case.test.sample(t))]).remove(0).unwrap();
+        }
+        let snap = fleet.snapshot_feed(key).unwrap();
+        assert_eq!(snap.grid, "east");
+        assert_eq!(snap.feed_id().unwrap(), 7);
+
+        // The envelope round trip is lossless (restart simulation).
+        let revived = SessionSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
+
+        // A second fleet (same bundle, fresh process in spirit) restores
+        // the feed; a third keeps the original session untouched as the
+        // reference for the remaining tail.
+        let (restored, _, _) =
+            two_grid_fleet(&data, FleetConfig { shards: 2, ..FleetConfig::default() });
+        assert_eq!(restored.restore_feed(&revived).unwrap(), key);
+        assert_eq!(
+            restored.restore_feed(&revived),
+            Err(ServeError::DuplicateFeed(key)),
+            "a key can be restored once"
+        );
+
+        // Tail replay: original vs restored, with a mid-tail migration on
+        // the restored fleet — events must stay identical sample for
+        // sample, across the shard move.
+        let home = restored.home_shard(key);
+        for t in split..case.test.len() {
+            if t == split + 1 {
+                let other = (home + 1) % restored.shard_count();
+                assert_eq!(restored.migrate_feed(key, other).unwrap(), home);
+            }
+            let sample = case.test.sample(t);
+            let a = fleet.push_batch(&[(key, sample.clone())]).remove(0).unwrap();
+            let b = restored.push_batch(&[(key, sample)]).remove(0).unwrap();
+            assert_eq!(a, b, "restored+migrated feed diverged at tick {t}");
+        }
+        assert_eq!(
+            fleet.health(key).unwrap(),
+            restored.health(key).unwrap(),
+            "health counters agree after the full tail"
+        );
+
+        // Migrating an unknown key is a typed error; self-migration is a
+        // no-op.
+        let ghost = FeedKey { grid: east, feed: 9999 };
+        assert_eq!(restored.migrate_feed(ghost, 0), Err(ServeError::UnknownFeed(ghost)));
+        let now_home = (home + 1) % restored.shard_count();
+        assert_eq!(restored.migrate_feed(key, now_home).unwrap(), now_home);
+    }
+
+    #[test]
+    fn restores_are_fingerprint_checked() {
+        let data = tiny_dataset();
+        let (fleet, east, _) = two_grid_fleet(&data, FleetConfig::default());
+        let key = FeedKey { grid: east, feed: 1 };
+        fleet.open_feed(key).unwrap();
+        fleet.push_batch(&[(key, data.normal_test.sample(0))]).remove(0).unwrap();
+        let snap = fleet.snapshot_feed(key).unwrap();
+
+        let (other, _, _) = two_grid_fleet(&data, FleetConfig::default());
+
+        // Unknown grid name.
+        let mut alien = snap.clone();
+        alien.grid = "mars".into();
+        assert_eq!(other.restore_feed(&alien), Err(ServeError::UnknownGrid("mars".into())));
+
+        // Topology fingerprint skew.
+        let mut skewed = snap.clone();
+        skewed.network_fingerprint = "0000000000000000".into();
+        assert!(matches!(other.restore_feed(&skewed), Err(ServeError::Snapshot(_))));
+
+        // System skew.
+        let mut wrong_sys = snap.clone();
+        wrong_sys.system = "ieee300".into();
+        assert!(matches!(other.restore_feed(&wrong_sys), Err(ServeError::Snapshot(_))));
+
+        // Corrupt voting state (impossible config) is refused by the
+        // stream-level restore.
+        let mut corrupt = snap.clone();
+        corrupt.stream.votes = corrupt.stream.window + 1;
+        assert!(matches!(other.restore_feed(&corrupt), Err(ServeError::Snapshot(_))));
+
+        // Corrupt serving-level tag.
+        let mut bad_tag = snap;
+        bad_tag.mode = "zombie".into();
+        assert!(matches!(other.restore_feed(&bad_tag), Err(ServeError::Snapshot(_))));
+    }
+
+    #[test]
+    fn display_and_defaults() {
+        let key = FeedKey { grid: GridId(2), feed: 41 };
+        assert_eq!(key.to_string(), "g2.f41");
+        assert_eq!(GridId(2).index(), 2);
+        let cfg = FleetConfig::default();
+        assert_eq!(cfg.shards, 0);
+        assert!(cfg.queue_capacity > 0);
+        let fleet = Fleet::new(FleetConfig { shards: 3, queue_capacity: 0 });
+        assert_eq!(fleet.shard_count(), 3);
+        assert_eq!(fleet.queue_capacity(), 1, "capacity clamps to at least one");
+        let auto = Fleet::new(FleetConfig::default());
+        assert!(auto.shard_count() >= 1);
+    }
+}

@@ -1,22 +1,29 @@
-//! A zero-dependency scrape endpoint for the serving engine.
+//! A zero-dependency scrape endpoint for the serving engine and fleet.
 //!
 //! [`ObsServer`] binds a `std::net::TcpListener` and answers two routes:
 //!
 //! - `GET /metrics` — the process metrics registry in Prometheus text
 //!   exposition format 0.0.4 ([`pmu_obs::prometheus_text`]), plus one
-//!   `serve_feed_mode{session="sN.gM"}` gauge line per open session
-//!   (0 healthy, 1 degraded, 2 dark).
-//! - `GET /health` — a JSON document with the engine identity, active
+//!   `serve_feed_mode{session="..."}` gauge line per open session
+//!   (0 healthy, 1 degraded, 2 dark). Session labels are `sN.gM` when
+//!   serving an [`Engine`], `grid/fN` when serving a [`Fleet`].
+//! - `GET /health` — a JSON document with the serving identity, active
 //!   session count, detect-latency and per-stage quantiles, shortlist
 //!   hit/fallback counts, and one entry per session (mode, pushed,
-//!   rejected, missing, events, alarm state).
+//!   rejected, missing, events, alarm state). The fleet flavour adds
+//!   per-grid provenance and per-shard load counters (inflight, drained,
+//!   shed, p99 push latency, drain rate).
 //!
 //! The server is deliberately minimal: blocking accept loop on one
 //! thread, one request per connection (`Connection: close`), no
 //! keep-alive, no TLS, HTTP/1.0-style responses. It exists so `serve
 //! --listen` can be scraped by Prometheus or `curl` without pulling a
 //! web framework into a `std`-only workspace; it is not a general web
-//! server and must only be bound to trusted interfaces.
+//! server and must only be bound to trusted interfaces. Both directions
+//! of each connection carry timeouts (500 ms read, 2 s write), so a
+//! client that connects and stalls — or reads its response at a crawl —
+//! delays later scrapes by at most that bound instead of wedging the
+//! accept loop forever.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -26,6 +33,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::engine::Engine;
+use crate::fleet::Fleet;
+use crate::session::SessionHealth;
 
 /// Metric names whose quantiles `/health` reports, with the JSON keys
 /// they surface under.
@@ -35,6 +44,30 @@ const HEALTH_QUANTILE_METRICS: &[(&str, &str)] = &[
     ("detect.stage2_us", "stage2_us"),
     ("detect.stage3_us", "stage3_us"),
 ];
+
+/// What the endpoint scrapes: one engine or a whole fleet.
+enum Target {
+    Engine(Arc<Engine>),
+    Fleet(Arc<Fleet>),
+}
+
+impl Target {
+    /// `(label, health)` for every open session, in stable display order.
+    fn session_healths(&self) -> Vec<(String, SessionHealth)> {
+        match self {
+            Target::Engine(engine) => engine
+                .session_healths()
+                .into_iter()
+                .map(|(id, h)| (id.to_string(), h))
+                .collect(),
+            Target::Fleet(fleet) => fleet
+                .feed_healths()
+                .into_iter()
+                .map(|(key, h)| (fleet.feed_label(key), h))
+                .collect(),
+        }
+    }
+}
 
 /// A running scrape endpoint. Dropping the handle stops the accept loop
 /// and joins the serving thread.
@@ -58,6 +91,18 @@ impl ObsServer {
     /// # Errors
     /// Propagates the bind failure (`EADDRINUSE`, privileged port, …).
     pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Self> {
+        Self::bind_target(addr, Target::Engine(engine))
+    }
+
+    /// Bind `addr` and start answering scrapes against a whole fleet.
+    ///
+    /// # Errors
+    /// Propagates the bind failure (`EADDRINUSE`, privileged port, …).
+    pub fn bind_fleet(addr: &str, fleet: Arc<Fleet>) -> std::io::Result<Self> {
+        Self::bind_target(addr, Target::Fleet(fleet))
+    }
+
+    fn bind_target(addr: &str, target: Target) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Poll the stop flag between accepts instead of blocking forever:
@@ -72,7 +117,7 @@ impl ObsServer {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
                             pmu_obs::counter!("serve.http_requests").inc();
-                            if let Err(e) = handle_connection(stream, &engine) {
+                            if let Err(e) = handle_connection(stream, &target) {
                                 pmu_obs::counter!("serve.http_errors").inc();
                                 pmu_obs::info(&format!("obs endpoint error: {e}"));
                             }
@@ -107,8 +152,12 @@ impl Drop for ObsServer {
     }
 }
 
-/// Read one request, route it, write one response, close.
-fn handle_connection(mut stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+/// Read one request, route it, write one response, close. Both
+/// directions are bounded: a stalled sender trips the 500 ms read
+/// timeout, a non-draining receiver the 2 s write timeout — either way
+/// the single accept loop gets its thread back and later scrapes
+/// proceed (pinned by `slow_clients_cannot_block_subsequent_scrapes`).
+fn handle_connection(mut stream: TcpStream, target: &Target) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut buf = [0u8; 2048];
@@ -121,8 +170,8 @@ fn handle_connection(mut stream: TcpStream, engine: &Engine) -> std::io::Result<
         .unwrap_or("/");
 
     let (status, content_type, body) = match path {
-        "/metrics" => ("200 OK", "text/plain; version=0.0.4", metrics_body(engine)),
-        "/health" => ("200 OK", "application/json", health_body(engine)),
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", metrics_body(target)),
+        "/health" => ("200 OK", "application/json", health_body(target)),
         _ => ("404 Not Found", "text/plain", String::from("not found\n")),
     };
     let response = format!(
@@ -135,15 +184,15 @@ fn handle_connection(mut stream: TcpStream, engine: &Engine) -> std::io::Result<
 
 /// The `/metrics` payload: the registry exposition plus per-session
 /// feed-mode gauges (labelled series do not fit the scalar registry).
-fn metrics_body(engine: &Engine) -> String {
+fn metrics_body(target: &Target) -> String {
     let mut out = pmu_obs::prometheus_text();
-    let sessions = engine.session_healths();
+    let sessions = target.session_healths();
     if !sessions.is_empty() {
         out.push_str("# TYPE serve_feed_mode gauge\n");
         out.push_str("# HELP serve_feed_mode Per-session degraded-mode state (0 healthy, 1 degraded, 2 dark).\n");
-        for (id, health) in &sessions {
+        for (label, health) in &sessions {
             out.push_str(&format!(
-                "serve_feed_mode{{session=\"{id}\"}} {}\n",
+                "serve_feed_mode{{session=\"{label}\"}} {}\n",
                 health.mode.code()
             ));
         }
@@ -153,18 +202,60 @@ fn metrics_body(engine: &Engine) -> String {
 
 /// The `/health` payload: hand-written JSON (the workspace has no serde)
 /// via the same escaping helper the trace sink uses.
-fn health_body(engine: &Engine) -> String {
+fn health_body(target: &Target) -> String {
     let mut out = String::with_capacity(1024);
     out.push('{');
-    push_str_field(&mut out, "system", engine.system());
-    out.push(',');
-    push_str_field(&mut out, "fingerprint", engine.network_fingerprint());
-    let sessions = engine.session_healths();
+    match target {
+        Target::Engine(engine) => {
+            push_str_field(&mut out, "system", engine.system());
+            out.push(',');
+            push_str_field(&mut out, "fingerprint", engine.network_fingerprint());
+        }
+        Target::Fleet(fleet) => {
+            let systems: Vec<&str> =
+                fleet.grids().iter().map(|&(id, _)| fleet.grid_system(id)).collect();
+            push_str_field(&mut out, "system", &systems.join(","));
+            out.push_str(",\"grids\":[");
+            for (i, (id, name)) in fleet.grids().into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('{');
+                push_str_field(&mut out, "name", name);
+                out.push(',');
+                push_str_field(&mut out, "system", fleet.grid_system(id));
+                out.push(',');
+                push_str_field(&mut out, "fingerprint", fleet.grid_fingerprint(id));
+                out.push_str(&format!(",\"nodes\":{}}}", fleet.grid_nodes(id)));
+            }
+            out.push(']');
+            out.push_str(",\"shards\":[");
+            for (i, s) in fleet.shard_stats().into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"shard\":{},\"sessions\":{},\"inflight\":{},\"drained\":{},\
+                     \"shed\":{},\"push_p99_us\":{},\"drain_rate\":{}}}",
+                    s.shard,
+                    s.sessions,
+                    s.inflight,
+                    s.drained,
+                    s.shed,
+                    json_f64(s.push_p99_us),
+                    json_f64(s.drain_rate),
+                ));
+            }
+            out.push(']');
+        }
+    }
+    let sessions = target.session_healths();
     out.push_str(&format!(",\"sessions_active\":{}", sessions.len()));
-    out.push_str(&format!(
-        ",\"incident_dumps\":{}",
-        engine.incident_dumps_written()
-    ));
+    let dumps = match target {
+        Target::Engine(engine) => engine.incident_dumps_written(),
+        Target::Fleet(fleet) => fleet.incident_dumps_written(),
+    };
+    out.push_str(&format!(",\"incident_dumps\":{dumps}"));
 
     out.push_str(",\"detect\":{");
     for (i, (metric, key)) in HEALTH_QUANTILE_METRICS.iter().enumerate() {
@@ -190,12 +281,12 @@ fn health_body(engine: &Engine) -> String {
     out.push('}');
 
     out.push_str(",\"sessions\":[");
-    for (i, (id, h)) in sessions.iter().enumerate() {
+    for (i, (label, h)) in sessions.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push('{');
-        push_str_field(&mut out, "id", &id.to_string());
+        push_str_field(&mut out, "id", label);
         out.push(',');
         push_str_field(&mut out, "mode", h.mode.label());
         out.push_str(&format!(
@@ -240,5 +331,102 @@ fn json_f64(v: f64) -> String {
         format!("{v}")
     } else {
         String::from("null")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::fleet::{FeedKey, FleetConfig};
+    use pmu_baseline::MlrConfig;
+    use pmu_detect::detector::default_config_for;
+    use pmu_sim::{generate_dataset, GenConfig};
+    use std::time::Instant;
+
+    fn tiny_bundle() -> pmu_model::ModelBundle {
+        let net = pmu_grid::cases::ieee14().unwrap();
+        let gen = GenConfig { train_len: 10, test_len: 6, ..GenConfig::default() };
+        let data = generate_dataset(&net, &gen).unwrap();
+        pmu_model::ModelBundle::train(&data, &gen, &default_config_for(&data.network), &MlrConfig::default())
+            .unwrap()
+    }
+
+    /// One full scrape: request `path`, drain the response, return it.
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut body = String::new();
+        let _ = stream.read_to_string(&mut body);
+        body
+    }
+
+    /// Satellite regression: the endpoint serves one connection at a
+    /// time, so a client that connects and then stalls (sends nothing)
+    /// used to be able to wedge the accept loop for as long as it
+    /// pleased. The per-connection read/write timeouts bound the damage:
+    /// a well-behaved scrape issued *behind* two misbehaving clients
+    /// must still complete, promptly.
+    #[test]
+    fn slow_clients_cannot_block_subsequent_scrapes() {
+        let engine =
+            Arc::new(Engine::from_bundle(tiny_bundle(), EngineConfig::default()));
+        let server = ObsServer::bind("127.0.0.1:0", engine).unwrap();
+        let addr = server.addr();
+
+        // Client 1 connects and never sends a byte: the 500 ms read
+        // timeout must reclaim the serving thread.
+        let stalled = TcpStream::connect(addr).unwrap();
+        // Client 2 sends a torn request prefix and goes silent.
+        let mut torn = TcpStream::connect(addr).unwrap();
+        torn.write_all(b"GET /met").unwrap();
+
+        // The scrape queued behind both must complete within a couple of
+        // read-timeout budgets, not hang until the rude clients leave.
+        let t0 = Instant::now();
+        let response = scrape(addr, "/metrics");
+        let elapsed = t0.elapsed();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "got: {response:.100?}");
+        assert!(
+            response.contains("serve_http_requests"),
+            "registry exposition missing from body"
+        );
+        assert!(
+            elapsed < Duration::from_secs(4),
+            "scrape behind stalled clients took {elapsed:?}"
+        );
+        drop(stalled);
+        drop(torn);
+    }
+
+    #[test]
+    fn fleet_endpoint_reports_grids_shards_and_feed_modes() {
+        let mut fleet = Fleet::new(FleetConfig { shards: 2, ..FleetConfig::default() });
+        let bundle = tiny_bundle();
+        let east = fleet.add_grid("east", bundle.clone(), &EngineConfig::default()).unwrap();
+        let west = fleet.add_grid("west", bundle, &EngineConfig::default()).unwrap();
+        let fleet = Arc::new(fleet);
+        fleet.open_feed(FeedKey { grid: east, feed: 0 }).unwrap();
+        fleet.open_feed(FeedKey { grid: west, feed: 3 }).unwrap();
+
+        let server = ObsServer::bind_fleet("127.0.0.1:0", Arc::clone(&fleet)).unwrap();
+        let health = scrape(server.addr(), "/health");
+        assert!(health.contains("\"system\":\"ieee14,ieee14\""), "got: {health}");
+        assert!(health.contains("\"name\":\"east\""));
+        assert!(health.contains("\"name\":\"west\""));
+        assert!(health.contains("\"sessions_active\":2"));
+        assert!(health.contains("\"shards\":[{\"shard\":0,"));
+        assert!(health.contains("\"id\":\"east/f0\""));
+        assert!(health.contains("\"id\":\"west/f3\""));
+
+        let metrics = scrape(server.addr(), "/metrics");
+        assert!(metrics.contains("serve_feed_mode{session=\"east/f0\"} 0"));
+        assert!(metrics.contains("serve_feed_mode{session=\"west/f3\"} 0"));
+
+        let miss = scrape(server.addr(), "/nope");
+        assert!(miss.starts_with("HTTP/1.1 404"));
     }
 }

@@ -7,7 +7,7 @@
 //! models learned offline (Sec. IV), at the scale the ROADMAP's
 //! production north star asks for.
 //!
-//! Two serving shapes:
+//! Three serving shapes:
 //!
 //! - **Stateless** — [`Engine::detect`] / [`Engine::detect_batch`] score
 //!   independent samples against the bundle's detector; batches fan out on
@@ -17,6 +17,15 @@
 //!   voting, raise/clear events, health snapshots); [`Engine::push_batch`]
 //!   dispatches one tick of samples for many feeds in parallel while
 //!   preserving per-feed sample order.
+//! - **Fleet** — a [`Fleet`] hosts *many* grids in one process, shards
+//!   feed sessions across worker-aligned per-shard tables ([`FeedKey`]
+//!   routing), applies bounded-ingress admission control (shedding with
+//!   [`ServeError::Overloaded`]), and makes sessions *mobile*:
+//!   [`Fleet::snapshot_feed`] / [`Fleet::restore_feed`] round-trip a
+//!   feed's complete serving state through a checksummed
+//!   [`SessionSnapshot`](pmu_model::SessionSnapshot) bit-identically,
+//!   and [`Fleet::migrate_feed`] re-homes a live session onto another
+//!   shard with no event discontinuity.
 //!
 //! The serving path assumes unreliable telemetry: an ingestion guard
 //! ([`Engine::validate_sample`]) refuses non-finite, truncated or
@@ -40,12 +49,15 @@
 #![deny(unsafe_code)]
 
 pub mod engine;
+pub mod fleet;
 pub mod http;
+pub mod session;
 
 pub use engine::{
     BadSampleReason, DegradeConfig, DegradeReason, Engine, EngineConfig, FeedMode,
     IncidentConfig, ServeError, SessionHealth, SessionId,
 };
+pub use fleet::{FeedKey, Fleet, FleetConfig, GridId, ShardStats};
 pub use http::ObsServer;
 
 /// Convenience result alias for serving operations.

@@ -82,6 +82,17 @@ ls "$obs_dir/incidents"/incident-*.jsonl >/dev/null 2>&1 \
   || { echo "serve demo produced no incident dumps"; exit 1; }
 echo "obs endpoint OK (port $obs_port, $(ls "$obs_dir/incidents" | wc -l) incident dump(s))"
 
+echo "== fleet smoke: two grids, snapshot -> restart -> restore parity =="
+# Two grids off one stored bundle; --snapshot-check snapshots every feed
+# after the demo traffic, round-trips the checksummed envelopes through
+# JSON, restores them into a freshly built fleet, and replays an
+# identical tail through both — events must match bit for bit.
+fleet_out="$(./target/release/pmu-outage serve ieee14 --grid ieee14 --scale fast \
+  --artifacts "$art_dir" --feeds 2 --ticks 6 --snapshot-check)"
+echo "$fleet_out"
+grep -q "fleet up: 2 grid(s)" <<<"$fleet_out" || { echo "fleet smoke did not host two grids"; exit 1; }
+grep -q "snapshot parity: OK" <<<"$fleet_out" || { echo "fleet snapshot/restore parity failed"; exit 1; }
+
 echo "== perfbench smoke (fast scale) =="
 ./target/release/perfbench --scale fast --out "$trace_dir/BENCH_fast.json"
 # Diff against the committed FAST-scale baseline. benchdiff now hard-fails
@@ -131,6 +142,15 @@ grep -q '"recorder_overhead_ok": true' "$trace_dir/BENCH_fast.json" \
 if grep -q '"incident_dumps": 0' "$trace_dir/BENCH_fast.json"; then
   echo "a chaos replay produced no incident dump"; exit 1
 fi
+
+echo "== fleet soak smoke: throughput present + exact shed accounting =="
+# The perfbench fleet soak publishes samples/sec/core and must account
+# its deliberate-overload shedding exactly (typed errors == shed counter
+# == arithmetic ground truth).
+grep -q '"samples_per_sec_per_core"' "$trace_dir/BENCH_fast.json" \
+  || { echo "fleet soak missing from perfbench report"; exit 1; }
+grep -q '"shed_ok": true' "$trace_dir/BENCH_fast.json" \
+  || { echo "fleet overload shed accounting violated"; exit 1; }
 
 echo "== packed scoring smoke: parity + throughput bench present =="
 # detect_throughput pins the packed projector path against the retained

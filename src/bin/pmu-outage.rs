@@ -11,12 +11,14 @@
 //!                          [--artifacts DIR | --model PATH]
 //!                          [--scale S] [--seed N]
 //!                                              detect a simulated outage
-//! pmu-outage serve <case> [--artifacts DIR | --model PATH]
+//! pmu-outage serve [<case>] [--grid SYSTEM]... [--bundle PATH]...
+//!                         [--artifacts DIR | --model PATH]
 //!                         [--feeds N] [--ticks N] [--outage K]
+//!                         [--shards N] [--snapshot-check]
 //!                         [--scale S] [--seed N]
 //!                         [--listen ADDR] [--incidents DIR]
 //!                         [--hold-secs N]
-//!                                              streaming-engine demo
+//!                                              fleet-engine demo
 //! pmu-outage repro [...]                       full figure reproduction
 //! ```
 //!
@@ -26,20 +28,34 @@
 //! trained here are the same ones `repro --artifacts` reuses. When
 //! `--artifacts` is absent, `PMU_ARTIFACTS` names the store directory.
 //!
+//! `serve` stands up a multi-grid [`Fleet`]: every positional case plus
+//! every repeated `--grid SYSTEM` flag loads its bundle from the artifact
+//! store, and every repeated `--bundle PATH` flag loads one straight from
+//! disk — so one process can serve ≥2 grids, each with `--feeds` open
+//! sessions. A per-grid load/provenance table is printed at startup.
+//! `--snapshot-check` snapshots every feed after the demo traffic,
+//! round-trips the checksummed envelopes through JSON, restores them into
+//! a freshly built fleet (a restart in spirit), and replays an identical
+//! tail through both — the events must match bit for bit.
+//!
 //! `serve --listen ADDR` (or `PMU_OBS_LISTEN=ADDR`) starts the scrape
 //! endpoint — Prometheus text at `/metrics`, JSON health at `/health` —
 //! and implies `PMU_METRICS=1`; `--incidents DIR` enables flight-recorder
 //! incident dumps; `--hold-secs N` keeps the process (and endpoint) alive
 //! after the demo traffic so a scraper can collect the final state.
+//!
+//! [`Fleet`]: pmu_outage::serve::Fleet
 
 use pmu_outage::detect::stream::StreamEvent;
 use pmu_outage::eval::EvalScale;
 use pmu_outage::flow::{solve_ac, solve_fdpf, AcConfig, FdpfConfig};
 use pmu_outage::grid::parser::parse_case;
 use pmu_outage::grid::pmu_coverage::{coverage, greedy_placement};
-use pmu_outage::model::{bundle_key, default_store, set_store_policy, ModelBundle, StorePolicy};
+use pmu_outage::model::{
+    bundle_key, default_store, set_store_policy, ModelBundle, SessionSnapshot, StorePolicy,
+};
 use pmu_outage::prelude::*;
-use pmu_outage::serve::{Engine, EngineConfig, ObsServer, SessionId};
+use pmu_outage::serve::{EngineConfig, FeedKey, Fleet, FleetConfig, ObsServer};
 use pmu_outage::sim::scenario::simulate_window;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -140,7 +156,9 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    let case_spec = args.get(1).map(String::as_str).ok_or_else(usage)?;
+    // `serve` takes an optional case positional (it can be driven purely
+    // by `--grid`/`--bundle` flags); every other subcommand requires one.
+    let case_spec = args.get(1).map(String::as_str);
     let flag = |name: &str| args.iter().any(|a| a == name);
     let opt = |name: &str| {
         args.iter()
@@ -162,6 +180,58 @@ fn run() -> Result<(), String> {
     };
     pmu_outage::obs::init_from_env();
 
+    if cmd == "serve" {
+        // Repeatable flags: every occurrence contributes one grid.
+        let opt_all = |name: &str| -> Vec<String> {
+            args.windows(2)
+                .filter(|w| w[0] == name)
+                .map(|w| w[1].clone())
+                .collect()
+        };
+        let mut grids: Vec<GridSource> = Vec::new();
+        if let Some(spec) = case_spec.filter(|s| !s.starts_with('-')) {
+            grids.push(GridSource::Case(spec.to_string()));
+        }
+        grids.extend(opt_all("--grid").into_iter().map(GridSource::Case));
+        grids.extend(
+            opt_all("--bundle").into_iter().map(|p| GridSource::Bundle(PathBuf::from(p))),
+        );
+        let feeds: usize = match opt("--feeds") {
+            Some(v) => v.parse().map_err(|e| format!("bad feed count: {e}"))?,
+            None => 3,
+        };
+        let ticks: usize = match opt("--ticks") {
+            Some(v) => v.parse().map_err(|e| format!("bad tick count: {e}"))?,
+            None => 10,
+        };
+        let outage: Option<usize> = match opt("--outage") {
+            Some(v) => Some(v.parse().map_err(|e| format!("bad branch index: {e}"))?),
+            None => None,
+        };
+        let shards: usize = match opt("--shards") {
+            Some(v) => v.parse().map_err(|e| format!("bad shard count: {e}"))?,
+            None => 0,
+        };
+        let listen = opt("--listen").or_else(|| std::env::var("PMU_OBS_LISTEN").ok());
+        let hold_secs: u64 = match opt("--hold-secs") {
+            Some(v) => v.parse().map_err(|e| format!("bad hold duration: {e}"))?,
+            None => 0,
+        };
+        let serve_opts = ServeOpts {
+            grids,
+            feeds,
+            ticks,
+            outage,
+            shards,
+            listen,
+            incidents: opt("--incidents").map(PathBuf::from),
+            hold_secs,
+            snapshot_check: flag("--snapshot-check"),
+        };
+        return cmd_serve(scale, seed, opt("--model").as_deref(), &serve_opts);
+    }
+
+    let case_spec = case_spec.ok_or_else(usage)?;
     let net = load_network(case_spec)?;
     match cmd {
         "info" => {
@@ -233,37 +303,6 @@ fn run() -> Result<(), String> {
             let explanation = pmu_outage::detect::explain::explain(det, &sample, &verdict);
             print!("{}", pmu_outage::detect::explain::render(&explanation));
             Ok(())
-        }
-        "serve" => {
-            let feeds: usize = match opt("--feeds") {
-                Some(v) => v.parse().map_err(|e| format!("bad feed count: {e}"))?,
-                None => 3,
-            };
-            let ticks: usize = match opt("--ticks") {
-                Some(v) => v.parse().map_err(|e| format!("bad tick count: {e}"))?,
-                None => 10,
-            };
-            let branch: usize = match opt("--outage") {
-                Some(v) => v.parse().map_err(|e| format!("bad branch index: {e}"))?,
-                None => *net
-                    .valid_outage_branches()
-                    .first()
-                    .ok_or("case has no valid outage branches")?,
-            };
-            let listen = opt("--listen").or_else(|| std::env::var("PMU_OBS_LISTEN").ok());
-            let hold_secs: u64 = match opt("--hold-secs") {
-                Some(v) => v.parse().map_err(|e| format!("bad hold duration: {e}"))?,
-                None => 0,
-            };
-            let serve_opts = ServeOpts {
-                feeds,
-                ticks,
-                branch,
-                listen,
-                incidents: opt("--incidents").map(PathBuf::from),
-                hold_secs,
-            };
-            cmd_serve(&net, scale, seed, opt("--model").as_deref(), &serve_opts)
         }
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
@@ -357,100 +396,241 @@ fn cmd_train(
     Ok(())
 }
 
-/// The `serve` subcommand's option bag (beyond the shared case/scale/seed).
+/// Where one fleet grid's bundle comes from.
+enum GridSource {
+    /// A case name/path whose bundle is resolved via `--model` (single
+    /// grid only) or the artifact store.
+    Case(String),
+    /// A bundle file loaded straight from disk; its embedded system name
+    /// picks the network.
+    Bundle(PathBuf),
+}
+
+/// The `serve` subcommand's option bag (beyond the shared scale/seed).
 struct ServeOpts {
+    /// Grids to host, in registration order.
+    grids: Vec<GridSource>,
+    /// Feed sessions opened per grid.
     feeds: usize,
     ticks: usize,
-    branch: usize,
+    /// Outage branch applied to every grid; each grid's first valid
+    /// outage branch when absent.
+    outage: Option<usize>,
+    /// Session shards (`0` = one per worker thread).
+    shards: usize,
     /// Scrape-endpoint bind address (`--listen` / `PMU_OBS_LISTEN`).
     listen: Option<String>,
     /// Incident-dump directory (`--incidents`).
     incidents: Option<PathBuf>,
     /// Seconds to keep the endpoint alive after the demo traffic.
     hold_secs: u64,
+    /// Run the snapshot → restart → restore → replay parity check.
+    snapshot_check: bool,
 }
 
-/// `serve`: drive an [`Engine`] demo — per-feed sessions fed normal
-/// windows, then an injected outage, printing raise/clear events.
+/// One loaded grid: its network, bundle, generator config, and the
+/// outage topology the demo switches to halfway through.
+struct GridLoad {
+    name: String,
+    net: Network,
+    bundle: ModelBundle,
+    gen: GenConfig,
+    branch: usize,
+    out_net: Network,
+    source: String,
+}
+
+/// Load every requested grid, deduplicating display names (`ieee14`,
+/// `ieee14-2`, ...) so two copies of one system can serve side by side.
+fn load_grids(
+    opts: &ServeOpts,
+    scale: EvalScale,
+    seed: u64,
+    model_path: Option<&str>,
+) -> Result<Vec<GridLoad>, String> {
+    let mut loads: Vec<GridLoad> = Vec::new();
+    for src in &opts.grids {
+        let (net, bundle, source) = match src {
+            GridSource::Case(spec) => {
+                let net = load_network(spec)?;
+                let inputs = train_inputs(&net, scale, seed);
+                let bundle = load_bundle(&net, &inputs, model_path)?;
+                let source = match model_path {
+                    Some(path) => path.to_string(),
+                    None => "artifact store".to_string(),
+                };
+                (net, bundle, source)
+            }
+            GridSource::Bundle(path) => {
+                let bundle = ModelBundle::load(path).map_err(|e| e.to_string())?;
+                let net = load_network(&bundle.system).map_err(|e| {
+                    format!("bundle {} names system {:?}: {e}", path.display(), bundle.system)
+                })?;
+                if bundle.detector.n_nodes() != net.n_buses() {
+                    return Err(format!(
+                        "bundle {} covers {} nodes, case {} has {}",
+                        path.display(),
+                        bundle.detector.n_nodes(),
+                        net.name,
+                        net.n_buses()
+                    ));
+                }
+                (net, bundle, path.display().to_string())
+            }
+        };
+        let mut name = net.name.clone();
+        let mut copy = 1usize;
+        while loads.iter().any(|l| l.name == name) {
+            copy += 1;
+            name = format!("{}-{copy}", net.name);
+        }
+        let branch = match opts.outage {
+            Some(b) => b,
+            None => *net
+                .valid_outage_branches()
+                .first()
+                .ok_or_else(|| format!("case {} has no valid outage branches", net.name))?,
+        };
+        let out_net = net.with_branch_outage(branch).map_err(|e| e.to_string())?;
+        let gen = scale.gen_config(seed);
+        loads.push(GridLoad { name, net, bundle, gen, branch, out_net, source });
+    }
+    Ok(loads)
+}
+
+/// Simulate one tick of traffic for every grid and feed: pre-outage
+/// ticks draw from the healthy topology, later ticks from the grid's
+/// outage topology.
+fn fleet_tick_batch(
+    loads: &[GridLoad],
+    keys: &[Vec<FeedKey>],
+    feeds: usize,
+    outage: bool,
+    rng: &mut StdRng,
+) -> Result<Vec<(FeedKey, PhasorSample)>, String> {
+    let mut batch = Vec::with_capacity(loads.len() * feeds);
+    for (gi, load) in loads.iter().enumerate() {
+        let source = if outage { &load.out_net } else { &load.net };
+        let window =
+            simulate_window(source, feeds, &load.gen.ou, &load.gen.noise, &load.gen.ac, rng)
+                .map_err(|e| e.to_string())?;
+        for (f, &key) in keys[gi].iter().enumerate() {
+            batch.push((key, window.sample(f)));
+        }
+    }
+    Ok(batch)
+}
+
+/// `serve`: drive a [`Fleet`] demo — one or more grids, `--feeds`
+/// sessions each, fed normal windows and then per-grid injected outages,
+/// printing raise/clear events, per-feed health, and per-shard load.
 fn cmd_serve(
-    net: &Network,
     scale: EvalScale,
     seed: u64,
     model_path: Option<&str>,
     opts: &ServeOpts,
 ) -> Result<(), String> {
-    let ServeOpts { feeds, ticks, branch, .. } = *opts;
+    let ServeOpts { feeds, ticks, .. } = *opts;
+    if opts.grids.is_empty() {
+        return Err(
+            "serve needs at least one grid: a case positional, --grid SYSTEM, or --bundle PATH"
+                .into(),
+        );
+    }
     if feeds == 0 || ticks == 0 {
         return Err("serve needs --feeds and --ticks >= 1".into());
+    }
+    if model_path.is_some() && opts.grids.len() > 1 {
+        return Err("--model names one bundle; with several grids use --bundle PATH per grid".into());
     }
     if opts.listen.is_some() {
         // A scrape endpoint without metrics would serve an empty page.
         pmu_outage::obs::set_metrics_enabled(true);
     }
-    let inputs = train_inputs(net, scale, seed);
-    let bundle = load_bundle(net, &inputs, model_path)?;
+    let loads = load_grids(opts, scale, seed, model_path)?;
+
     let mut cfg = EngineConfig::default();
     cfg.incident.dir = opts.incidents.clone();
-    let mut engine = Engine::from_bundle(bundle, cfg);
-    let sessions: Vec<SessionId> = (0..feeds).map(|_| engine.open_session()).collect();
-    // Sessions are open; the engine is immutable from here, so it can be
-    // shared with the endpoint thread.
-    let engine = std::sync::Arc::new(engine);
+    let fleet_cfg = FleetConfig { shards: opts.shards, ..FleetConfig::default() };
+    let mut fleet = Fleet::new(fleet_cfg.clone());
+    let mut keys: Vec<Vec<FeedKey>> = Vec::with_capacity(loads.len());
+    for load in &loads {
+        let gid = fleet
+            .add_grid(&load.name, load.bundle.clone(), &cfg)
+            .map_err(|e| e.to_string())?;
+        let grid_keys: Vec<FeedKey> =
+            (0..feeds).map(|f| FeedKey { grid: gid, feed: f as u64 }).collect();
+        for &key in &grid_keys {
+            fleet.open_feed(key).map_err(|e| e.to_string())?;
+        }
+        keys.push(grid_keys);
+    }
+
+    // Feeds are open; the serving path is `&self` from here, so the
+    // fleet can be shared with the endpoint thread.
+    let fleet = std::sync::Arc::new(fleet);
     let mut server = match &opts.listen {
         Some(addr) => {
-            let server =
-                ObsServer::bind(addr, std::sync::Arc::clone(&engine)).map_err(|e| {
-                    format!("cannot bind obs endpoint on {addr}: {e}")
-                })?;
+            let server = ObsServer::bind_fleet(addr, std::sync::Arc::clone(&fleet))
+                .map_err(|e| format!("cannot bind obs endpoint on {addr}: {e}"))?;
             println!("obs endpoint: http://{}", server.addr());
             Some(server)
         }
         None => None,
     };
     println!(
-        "engine up: system {}, {} feed sessions, k-of-m {}/{}",
-        engine.system(),
-        engine.sessions_active(),
-        engine.stream_config().votes,
-        engine.stream_config().window,
+        "fleet up: {} grid(s), {} shard(s), {} feed sessions",
+        loads.len(),
+        fleet.shard_count(),
+        fleet.sessions_active(),
     );
+    println!(
+        "{:<12} {:<8} {:>6} {:>9} {:>7}  {:<16} source",
+        "grid", "system", "buses", "branches", "outage", "fingerprint"
+    );
+    for (gi, load) in loads.iter().enumerate() {
+        let gid = keys[gi][0].grid;
+        println!(
+            "{:<12} {:<8} {:>6} {:>9} {:>7}  {:<16} {}",
+            load.name,
+            fleet.grid_system(gid),
+            load.net.n_buses(),
+            load.net.n_branches(),
+            format!("[{}]", load.branch),
+            fleet.grid_fingerprint(gid),
+            load.source,
+        );
+    }
 
-    let gen = &inputs.gen;
-    let out_net = net.with_branch_outage(branch).map_err(|e| e.to_string())?;
     let outage_from = ticks / 2;
     println!(
-        "feeding {ticks} ticks x {feeds} feeds (outage on line [{branch}] from tick {outage_from})"
+        "feeding {ticks} ticks x {} feeds (per-grid outages from tick {outage_from})",
+        loads.len() * feeds
     );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5E17E);
     for tick in 0..ticks {
-        let source = if tick >= outage_from { &out_net } else { net };
-        let window = simulate_window(source, feeds, &gen.ou, &gen.noise, &gen.ac, &mut rng)
-            .map_err(|e| e.to_string())?;
-        let batch: Vec<(SessionId, PhasorSample)> = sessions
-            .iter()
-            .enumerate()
-            .map(|(i, &sid)| (sid, window.sample(i)))
-            .collect();
-        for (i, event) in engine.push_batch(&batch).into_iter().enumerate() {
+        let batch = fleet_tick_batch(&loads, &keys, feeds, tick >= outage_from, &mut rng)?;
+        for ((key, _), event) in batch.iter().zip(fleet.push_batch(&batch)) {
+            let label = fleet.feed_label(*key);
             match event.map_err(|e| e.to_string())? {
                 StreamEvent::None => {}
                 StreamEvent::Raised { lines } => {
-                    println!("tick {tick:>3} feed {i}: OUTAGE RAISED, lines {lines:?}");
+                    println!("tick {tick:>3} {label}: OUTAGE RAISED, lines {lines:?}");
                 }
                 StreamEvent::Relocalized { lines } => {
-                    println!("tick {tick:>3} feed {i}: relocalized to lines {lines:?}");
+                    println!("tick {tick:>3} {label}: relocalized to lines {lines:?}");
                 }
                 StreamEvent::Cleared => {
-                    println!("tick {tick:>3} feed {i}: event cleared");
+                    println!("tick {tick:>3} {label}: event cleared");
                 }
             }
         }
     }
-    for (i, &sid) in sessions.iter().enumerate() {
-        let h = engine.health(sid).expect("session is open");
+    for (key, h) in fleet.feed_healths() {
         let s = h.snapshot;
         println!(
-            "feed {i}: {} samples, {} missing, {} raised, {} cleared, active={}, mode={}",
+            "feed {}: {} samples, {} missing, {} raised, {} cleared, active={}, mode={}",
+            fleet.feed_label(key),
             s.samples_seen,
             s.missing_samples,
             s.events_raised,
@@ -459,13 +639,25 @@ fn cmd_serve(
             h.mode.label(),
         );
     }
-    if engine.incident_dumps_written() > 0 {
+    println!("{:>5} {:>9} {:>8} {:>6} {:>12} {:>12}", "shard", "sessions", "drained", "shed", "p99_push_us", "drain_rate");
+    for s in fleet.shard_stats() {
+        println!(
+            "{:>5} {:>9} {:>8} {:>6} {:>12.1} {:>12.0}",
+            s.shard, s.sessions, s.drained, s.shed, s.push_p99_us, s.drain_rate
+        );
+    }
+    if fleet.incident_dumps_written() > 0 {
         println!(
             "incident dumps: {} written to {}",
-            engine.incident_dumps_written(),
+            fleet.incident_dumps_written(),
             opts.incidents.as_deref().unwrap_or(Path::new("?")).display()
         );
     }
+
+    if opts.snapshot_check {
+        snapshot_parity_check(&fleet, &loads, &keys, feeds, &cfg, &fleet_cfg, &mut rng)?;
+    }
+
     if let Some(server) = &server {
         if opts.hold_secs > 0 {
             println!(
@@ -482,6 +674,55 @@ fn cmd_serve(
     if pmu_outage::obs::metrics_enabled() {
         eprintln!("{}", pmu_outage::obs::metrics_summary());
     }
+    Ok(())
+}
+
+/// Snapshot every feed, round-trip the checksummed envelopes through
+/// JSON, restore them into a freshly built fleet (same bundles, fresh
+/// process in spirit), and replay an identical tail through both fleets:
+/// every event must match bit for bit.
+fn snapshot_parity_check(
+    fleet: &Fleet,
+    loads: &[GridLoad],
+    keys: &[Vec<FeedKey>],
+    feeds: usize,
+    cfg: &EngineConfig,
+    fleet_cfg: &FleetConfig,
+    rng: &mut StdRng,
+) -> Result<(), String> {
+    let mut revived: Vec<SessionSnapshot> = Vec::new();
+    for &key in fleet.feeds().iter() {
+        let snap = fleet.snapshot_feed(key).map_err(|e| e.to_string())?;
+        let text = snap.to_json().map_err(|e| e.to_string())?;
+        revived.push(SessionSnapshot::from_json(&text).map_err(|e| e.to_string())?);
+    }
+    let mut restarted = Fleet::new(fleet_cfg.clone());
+    for load in loads {
+        restarted
+            .add_grid(&load.name, load.bundle.clone(), cfg)
+            .map_err(|e| e.to_string())?;
+    }
+    for snap in &revived {
+        restarted.restore_feed(snap).map_err(|e| e.to_string())?;
+    }
+
+    let tail_ticks = 4;
+    let mut compared = 0usize;
+    for tick in 0..tail_ticks {
+        let batch = fleet_tick_batch(loads, keys, feeds, true, rng)?;
+        let a = fleet.push_batch(&batch);
+        let b = restarted.push_batch(&batch);
+        for (pos, (x, y)) in a.iter().zip(&b).enumerate() {
+            if x != y {
+                return Err(format!(
+                    "snapshot parity violation at tail tick {tick}, feed {}: {x:?} != {y:?}",
+                    fleet.feed_label(batch[pos].0)
+                ));
+            }
+            compared += 1;
+        }
+    }
+    println!("snapshot parity: OK ({compared} events bit-identical across restart)");
     Ok(())
 }
 

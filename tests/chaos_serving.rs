@@ -13,7 +13,7 @@ use std::sync::{Mutex, MutexGuard};
 use pmu_outage::detect::detector::default_config_for;
 use pmu_outage::detect::stream::StreamEvent;
 use pmu_outage::prelude::*;
-use pmu_outage::serve::{BadSampleReason, FeedMode};
+use pmu_outage::serve::{BadSampleReason, FeedKey, FeedMode, Fleet, FleetConfig, GridId};
 
 static LOCK: Mutex<()> = Mutex::new(());
 
@@ -367,6 +367,165 @@ fn blackout_mid_outage_dumps_one_tagged_incident() {
         "the pre-blackout raise is in the ring:\n{text}"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fast-scale dataset + two-grid fleet for the lifecycle-race tests.
+fn build_fleet(shards: usize) -> (Dataset, Fleet, GridId, GridId) {
+    let net = by_name("ieee14").expect("known system").expect("embedded case");
+    let gen = GenConfig { train_len: 16, test_len: 6, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).expect("dataset generation");
+    let bundle = ModelBundle::train(
+        &data,
+        &gen,
+        &default_config_for(&net),
+        &MlrConfig::default(),
+    )
+    .expect("training");
+    let mut fleet = Fleet::new(FleetConfig { shards, ..FleetConfig::default() });
+    let east = fleet
+        .add_grid("east", bundle.clone(), &EngineConfig::default())
+        .expect("fresh name");
+    let west = fleet.add_grid("west", bundle, &EngineConfig::default()).expect("fresh name");
+    (data, fleet, east, west)
+}
+
+/// Open/close/reopen churn racing `push_batch` across shards: every
+/// successful push lands on exactly the session it addressed (no stale
+/// routes cross-wire feeds), closed keys fail typed, and the
+/// `serve.sessions_*` counters match ground truth exactly at quiescence.
+#[test]
+fn fleet_lifecycle_races_keep_exact_session_accounting() {
+    let _g = lock();
+    pmu_obs::set_metrics_enabled(true);
+    pmu_obs::reset_metrics();
+    let (data, fleet, east, west) = build_fleet(2);
+
+    // Stable feeds live for the whole test; churned keys come and go on
+    // the same shard tables while the pushers are mid-flight.
+    let stable: Vec<FeedKey> = (0..4).map(|f| FeedKey { grid: east, feed: f }).collect();
+    for &k in &stable {
+        fleet.open_feed(k).expect("fresh key");
+    }
+    let fleet = std::sync::Arc::new(fleet);
+    let sample = data.normal_test.sample(0);
+    let rounds = 40usize;
+    let pushers = 2usize;
+    let churners = 2u64;
+
+    std::thread::scope(|s| {
+        for _ in 0..pushers {
+            let fleet = std::sync::Arc::clone(&fleet);
+            let stable = stable.clone();
+            let sample = sample.clone();
+            s.spawn(move || {
+                for _ in 0..rounds {
+                    let batch: Vec<_> =
+                        stable.iter().map(|&k| (k, sample.clone())).collect();
+                    for ev in fleet.push_batch(&batch) {
+                        ev.expect("stable feeds never close, so every push lands");
+                    }
+                }
+            });
+        }
+        for c in 0..churners {
+            let fleet = std::sync::Arc::clone(&fleet);
+            let sample = sample.clone();
+            s.spawn(move || {
+                for r in 0..rounds as u64 {
+                    let key = FeedKey { grid: west, feed: 100 + c * 1000 + r };
+                    fleet.open_feed(key).expect("churned keys are unique");
+                    fleet.push_batch(&[(key, sample.clone())])[0]
+                        .as_ref()
+                        .expect("open feed accepts its own sample");
+                    assert!(fleet.close_feed(key));
+                    // A closed key fails typed — it can never address a
+                    // stranger's slot, however the table reuses it.
+                    assert_eq!(
+                        fleet.push_batch(&[(key, sample.clone())])[0],
+                        Err(ServeError::UnknownFeed(key))
+                    );
+                }
+            });
+        }
+    });
+
+    // Exact counter accounting at quiescence.
+    let churned = (churners as usize) * rounds;
+    assert_eq!(fleet.sessions_active(), stable.len());
+    assert_eq!(
+        pmu_obs::counter("serve.sessions_opened").get(),
+        (stable.len() + churned) as u64
+    );
+    assert_eq!(pmu_obs::counter("serve.sessions_closed").get(), churned as u64);
+    assert_eq!(pmu_obs::gauge("serve.sessions_active").get(), stable.len() as f64);
+
+    // No pushes lost, duplicated, or cross-wired: each stable feed saw
+    // exactly one sample per pusher round, and nothing else survives.
+    let healths = fleet.feed_healths();
+    assert_eq!(healths.len(), stable.len());
+    for (key, h) in &healths {
+        assert_eq!(h.pushed, pushers * rounds, "feed {key} miscounted");
+        assert_eq!(h.rejected, 0);
+    }
+
+    // Shard tables reclaimed every churned slot: only the stable
+    // sessions remain, and all admitted samples fully drained.
+    let stats = fleet.shard_stats();
+    assert_eq!(stats.iter().map(|s| s.sessions).sum::<usize>(), stable.len());
+    assert!(stats.iter().all(|s| s.inflight == 0), "drains settle to zero inflight");
+    // The churners' post-close pushes were refused at routing — never
+    // admitted, so never drained; only the open-feed pushes count.
+    assert_eq!(
+        stats.iter().map(|s| s.drained).sum::<u64>(),
+        (pushers * rounds * stable.len() + churned) as u64,
+        "every admitted sample is drained exactly once"
+    );
+    pmu_obs::set_metrics_enabled(false);
+}
+
+/// Reopening a closed key starts a fresh session (no state leaks through
+/// the recycled slot), and a feed migrated between shards mid-stream
+/// keeps an exact push count with no event discontinuity.
+#[test]
+fn reopened_keys_start_fresh_and_migrations_lose_nothing() {
+    let _g = lock();
+    let (data, fleet, east, _) = build_fleet(2);
+    let key = FeedKey { grid: east, feed: 1 };
+    fleet.open_feed(key).expect("fresh key");
+    for t in 0..6 {
+        fleet.push_batch(&[(key, data.cases[0].test.sample(t % data.cases[0].test.len()))])
+            [0]
+        .as_ref()
+        .expect("outage samples score");
+    }
+    assert_eq!(fleet.health(key).unwrap().snapshot.samples_seen, 6);
+    assert!(fleet.close_feed(key));
+
+    fleet.open_feed(key).expect("closed keys can reopen");
+    let h = fleet.health(key).unwrap();
+    assert_eq!(h.pushed, 0, "a reopened key starts a fresh session");
+    assert_eq!(h.snapshot.samples_seen, 0);
+    assert!(!h.snapshot.active, "no event state leaks through the recycled slot");
+
+    // Walk the session across every shard while pushing a full outage
+    // run: the count stays exact and the raise still happens.
+    let total = 30usize;
+    let mut raised = false;
+    for i in 0..total {
+        if i % 10 == 5 {
+            let to = (fleet.home_shard(key) + i / 10 + 1) % fleet.shard_count();
+            fleet.migrate_feed(key, to).expect("open key migrates");
+        }
+        let sample = data.cases[0].test.sample(i % data.cases[0].test.len());
+        let ev = fleet.push_batch(&[(key, sample)]).remove(0).expect("open feed");
+        if matches!(ev, StreamEvent::Raised { .. }) {
+            raised = true;
+        }
+    }
+    let h = fleet.health(key).unwrap();
+    assert_eq!(h.pushed, total, "no push lost or duplicated across migrations");
+    assert!(raised, "the outage still raises across shard moves");
+    assert!(h.snapshot.active);
 }
 
 /// The blackout contract holds on the larger grids too: ieee30 and
