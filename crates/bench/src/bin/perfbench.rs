@@ -31,11 +31,16 @@
 //!      bit-parity verification and the shortlist hit-rate from the
 //!      `detect.shortlist_*` counters,
 //!  10. a `chaos` replay per system (ieee118 excluded): a scripted
-//!      PDC-blackout + NaN-burst schedule (`pmu_sim::faults`) driven
-//!      through a serving session, verifying the raised event survives
-//!      the blackout (`reraise_after_blackout`) while timing the
-//!      replay,
-//!  11. a `fleet` soak: 4 grids sharing one process, hundreds of feed
+//!      PDC-blackout + NaN-burst + corruption-burst schedule
+//!      (`pmu_sim::faults`) driven through a serving session, verifying
+//!      the raised event survives the blackout
+//!      (`reraise_after_blackout`) and the corruption burst with the
+//!      bad-data screen's excisions bounded by the injected ground
+//!      truth (`corrupt_ok`) while timing the replay,
+//!  11. `robust_overhead`: the ieee57 packed batch timed with the
+//!      bad-data screen on (the default) and off — clean traffic must
+//!      pay under 5% for the defense (`robust_overhead_ok`),
+//!  12. a `fleet` soak: 4 grids sharing one process, hundreds of feed
 //!      sessions sharded across the worker pool, several ticks of mixed
 //!      normal/outage traffic — the headline is samples/sec/core, plus
 //!      the worst per-shard p99 push latency and a deliberate-overload
@@ -255,9 +260,38 @@ struct ChaosTiming {
     /// tick after the blackout lifted — the dark-window clearing bug
     /// stays fixed. Must always be `true`.
     reraise_after_blackout: bool,
+    /// Ticks the schedule tagged `FaultTag::Corrupted` (the mid-outage
+    /// corruption burst) — the ground truth for `bad_data_excised`.
+    corrupt_ticks: usize,
+    /// Samples where the bad-data screen excised a channel, from the
+    /// session's `bad_data_samples` counter.
+    bad_data_excised: usize,
+    /// The event survived the corruption burst and the screen never
+    /// fired on more ticks than the schedule corrupted
+    /// (`bad_data_excised <= corrupt_ticks`). Must always be `true`.
+    corrupt_ok: bool,
     /// Incident dumps the replay produced. The blackout turns the feed
     /// Dark mid-outage, so this must be >= 1.
     incident_dumps: usize,
+}
+
+#[derive(Serialize)]
+struct RobustOverheadTiming {
+    system: String,
+    /// Samples per timed pass (clean plain + endpoint-masked samples,
+    /// replicated to keep the measurement above scheduler noise).
+    batch: usize,
+    /// Warm `detect_batch_with_cache` pass, bad-data screen on (the
+    /// production default).
+    screen_on_ms: f64,
+    /// The same batch with the screen disabled.
+    screen_off_ms: f64,
+    /// (on − off) / off — what clean traffic pays for the screen's
+    /// residual gate. The screen itself only runs on anomalous samples.
+    overhead_pct: f64,
+    /// `overhead_pct < 5.0` — clean traffic must not pay for the
+    /// bad-data defense. Must always be `true`.
+    robust_overhead_ok: bool,
 }
 
 #[derive(Serialize)]
@@ -306,6 +340,7 @@ struct BenchReport {
     bundle_io: Vec<BundleIoTiming>,
     engine_batch: Vec<EngineBatchTiming>,
     detect_throughput: Vec<DetectThroughputTiming>,
+    robust_overhead: Vec<RobustOverheadTiming>,
     chaos: Vec<ChaosTiming>,
     fleet: FleetTiming,
     fig5_pipeline: PipelineTiming,
@@ -514,19 +549,22 @@ fn bench_builds_warm(
 /// (with a reload-parity verification), `Engine::detect_batch`
 /// throughput, and a chaos replay through a scripted fault schedule.
 /// One training run feeds all three benches.
-fn bench_model_serving(
-    systems: &[String],
-) -> (
+/// Everything `bench_model_serving` produces, in report order.
+type ServingBenches = (
     Vec<BundleIoTiming>,
     Vec<EngineBatchTiming>,
     Vec<DetectThroughputTiming>,
+    Vec<RobustOverheadTiming>,
     Vec<ChaosTiming>,
-) {
+);
+
+fn bench_model_serving(systems: &[String]) -> ServingBenches {
     let dir = std::env::temp_dir().join("pmu-perfbench-bundles");
     let _ = std::fs::create_dir_all(&dir);
     let mut bundle_io = Vec::new();
     let mut engine_batch = Vec::new();
     let mut detect_throughput = Vec::new();
+    let mut robust_overhead = Vec::new();
     let mut chaos = Vec::new();
     for name in systems {
         let Some(Ok(net)) = pmu_grid::cases::by_name(name) else { continue };
@@ -585,6 +623,11 @@ fn bench_model_serving(
         });
 
         detect_throughput.push(bench_detect_throughput(name, &bundle.detector, &data));
+        // The bad-data screen budget is gated on ieee57 — the system the
+        // engine_batch trajectory tracks.
+        if name == "ieee57" {
+            robust_overhead.push(bench_robust_overhead(name, &bundle.detector, &data));
+        }
 
         let mut engine_cfg = EngineConfig::default();
         engine_cfg.incident.dir = Some(dir.join(format!("incidents-{name}")));
@@ -625,7 +668,63 @@ fn bench_model_serving(
             chaos.push(chaos_replay(name, &mut engine, &data));
         }
     }
-    (bundle_io, engine_batch, detect_throughput, chaos)
+    (bundle_io, engine_batch, detect_throughput, robust_overhead, chaos)
+}
+
+/// What clean traffic pays for the bad-data screen: the same warm packed
+/// batch timed with the screen on (the production default) and off. On
+/// clean samples the screen reduces to one residual-gate comparison per
+/// sample — the LNR scan and re-score only run on anomalous data — so
+/// the on/off delta must stay under 5%. The batch replicates the
+/// per-case samples so the measurement sits well above scheduler noise.
+fn bench_robust_overhead(
+    name: &str,
+    detector: &Detector,
+    data: &Dataset,
+) -> RobustOverheadTiming {
+    let n = data.network.n_buses();
+    let mut batch = Vec::new();
+    for _ in 0..4 {
+        for case in &data.cases {
+            let plain = case.test.sample(0);
+            batch.push(plain.masked(&outage_endpoints_mask(n, case.endpoints)));
+            batch.push(plain);
+        }
+    }
+
+    let on = detector.clone().with_robust_screen(true);
+    let off = detector.clone().with_robust_screen(false);
+    let cache_on = ScoringCache::new();
+    let cache_off = ScoringCache::new();
+    // Warm both mask-keyed bank caches before timing steady state.
+    std::hint::black_box(on.detect_batch_with_cache(&batch, &cache_on));
+    std::hint::black_box(off.detect_batch_with_cache(&batch, &cache_off));
+    let screen_on_ms = time_median(7, || {
+        std::hint::black_box(on.detect_batch_with_cache(&batch, &cache_on));
+    }) * 1e3;
+    let screen_off_ms = time_median(7, || {
+        std::hint::black_box(off.detect_batch_with_cache(&batch, &cache_off));
+    }) * 1e3;
+
+    let overhead_pct = 100.0 * (screen_on_ms - screen_off_ms) / screen_off_ms;
+    let timing = RobustOverheadTiming {
+        system: name.to_string(),
+        batch: batch.len(),
+        screen_on_ms,
+        screen_off_ms,
+        overhead_pct,
+        robust_overhead_ok: overhead_pct < 5.0,
+    };
+    pmu_obs::info(&format!(
+        "robust_overhead {name}: screen on {:.2} ms / off {:.2} ms over {} samples \
+         ({:+.2}%), robust_overhead_ok={}",
+        timing.screen_on_ms,
+        timing.screen_off_ms,
+        timing.batch,
+        timing.overhead_pct,
+        timing.robust_overhead_ok,
+    ));
+    timing
 }
 
 /// Packed-projector scoring throughput vs the retained per-line
@@ -713,15 +812,23 @@ fn bench_detect_throughput(
     timing
 }
 
-/// Drive one serving session through a scripted PDC blackout plus a NaN
-/// burst mid-outage and verify the raised event survives the dark
-/// window (the dark-window clearing regression), timing the replay.
+/// Drive one serving session through a scripted PDC blackout, a NaN
+/// burst, and a corruption burst mid-outage; verify the raised event
+/// survives the dark window (the dark-window clearing regression) and
+/// the corruption burst (the bad-data screen excises instead of
+/// mislocalizing), timing the replay.
 fn chaos_replay(
     name: &str,
     engine: &mut Engine,
     data: &Dataset,
 ) -> ChaosTiming {
     let case = &data.cases[0];
+    // A corruption victim away from the outage endpoints (and the
+    // reference bus), so the burst cannot mimic the outage signature.
+    let n = data.network.n_buses();
+    let victim = (1..n)
+        .find(|&i| i != case.endpoints.0 && i != case.endpoints.1)
+        .expect("a non-endpoint channel exists");
     // 16 outage ticks followed by 8 normal ticks (restoration).
     let mut clean: Vec<PhasorSample> = (0..16)
         .map(|t| case.test.sample(t % case.test.len()))
@@ -729,12 +836,22 @@ fn chaos_replay(
     clean.extend(
         (16..24).map(|t| data.normal_test.sample(t % data.normal_test.len())),
     );
-    // Total blackout while the outage event is standing, then a one-tick
-    // NaN burst that the ingestion guard must reject.
+    // Total blackout while the outage event is standing, a one-tick NaN
+    // burst that the ingestion guard must reject, then a two-tick
+    // corruption burst the bad-data screen must absorb.
     let injected = FaultSchedule::new(SEED)
         .window(6, 11, FaultKind::Blackout { nodes: Vec::new() })
         .window(12, 13, FaultKind::NanBurst { nodes: vec![0] })
+        .window(13, 15, FaultKind::Corrupt { nodes: vec![victim], scale: 5.0 })
         .apply(&clean);
+    let corrupt_ticks = injected
+        .iter()
+        .filter(|inj| {
+            inj.tags
+                .iter()
+                .any(|tag| matches!(tag, pmu_sim::FaultTag::Corrupted { .. }))
+        })
+        .count();
 
     let feed = engine.open_session();
     let dumps_before = engine.incident_dumps_written();
@@ -763,15 +880,21 @@ fn chaos_replay(
         }
     }
     let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let missing =
-        engine.health(feed).map_or(0, |h| h.snapshot.missing_samples);
+    let (missing, bad_data_excised) = engine
+        .health(feed)
+        .map_or((0, 0), |h| (h.snapshot.missing_samples, h.snapshot.bad_data_samples));
     let incident_dumps = (engine.incident_dumps_written() - dumps_before) as usize;
     engine.close_session(feed);
     let reraise_after_blackout = raised_before_blackout && standing_after_blackout;
+    // The event rode out the corruption burst (covered by the 11..16
+    // standing check above), and the screen never fired on more ticks
+    // than the schedule actually corrupted.
+    let corrupt_ok = standing_after_blackout && bad_data_excised <= corrupt_ticks;
     pmu_obs::info(&format!(
         "chaos {name}: {} ticks in {replay_ms:.2} ms, {rejected} rejected, \
          {missing} missing, reraise_after_blackout {reraise_after_blackout}, \
-         {incident_dumps} incident dump(s)",
+         excised {bad_data_excised}/{corrupt_ticks} corrupt tick(s) \
+         corrupt_ok={corrupt_ok}, {incident_dumps} incident dump(s)",
         injected.len()
     ));
     ChaosTiming {
@@ -781,6 +904,9 @@ fn chaos_replay(
         rejected,
         missing,
         reraise_after_blackout,
+        corrupt_ticks,
+        bad_data_excised,
+        corrupt_ok,
         incident_dumps,
     }
 }
@@ -1293,7 +1419,7 @@ fn main() {
     let system_build = bench_builds(&systems, scale);
     let (system_build_warm, system_build_incremental) =
         bench_builds_warm(&systems, scale);
-    let (bundle_io, engine_batch, detect_throughput, chaos) =
+    let (bundle_io, engine_batch, detect_throughput, robust_overhead, chaos) =
         bench_model_serving(&systems);
     let fleet = bench_fleet(scale);
     // The end-to-end pipeline timing stays on the ieee14/30/57 trio: an
@@ -1321,6 +1447,7 @@ fn main() {
         bundle_io,
         engine_batch,
         detect_throughput,
+        robust_overhead,
         chaos,
         fleet,
         fig5_pipeline,

@@ -85,6 +85,20 @@ pub struct DetectorConfig {
     /// systems; the exact path is kept for the rsvd-vs-full parity suite
     /// and as an escape hatch.
     pub exact_svd: bool,
+    /// Run the bad-data screen on outage verdicts: a largest-normalized-
+    /// residual test against `S⁰` flags suspect observed channels, which
+    /// are then masked out and the sample re-scored (one extra cache-keyed
+    /// matmul group per excision). Clean samples — where no channel fires
+    /// — are bit-identical to the screen-off path.
+    pub robust_screen: bool,
+    /// LNR firing threshold: the best leverage-normalized residual must
+    /// exceed this multiple of the robust scale (RMS of the remaining
+    /// normalized residuals) before the channel is excised. Must be ≥ 1
+    /// when the screen is on; larger is more conservative.
+    pub robust_threshold: f64,
+    /// Maximum number of peel-off iterations (channels excised per
+    /// sample) before the screen gives up and keeps the current verdict.
+    pub robust_budget: usize,
 }
 
 impl Default for DetectorConfig {
@@ -108,6 +122,9 @@ impl Default for DetectorConfig {
             shortlist_k: 0,
             shortlist_margin: 4.0,
             exact_svd: false,
+            robust_screen: true,
+            robust_threshold: 4.0,
+            robust_budget: 3,
         }
     }
 }
@@ -151,6 +168,16 @@ impl DetectorConfig {
         if self.shortlist_k > 0 && self.shortlist_margin < 1.0 {
             return Err(DetectError::InvalidConfig(
                 "shortlist_margin must be >= 1 when the shortlist is on".into(),
+            ));
+        }
+        if self.robust_screen && self.robust_threshold < 1.0 {
+            return Err(DetectError::InvalidConfig(
+                "robust_threshold must be >= 1 when the screen is on".into(),
+            ));
+        }
+        if self.robust_screen && self.robust_budget == 0 {
+            return Err(DetectError::InvalidConfig(
+                "robust_budget must be > 0 when the screen is on".into(),
             ));
         }
         if self.min_group_size <= self.subspace_dim {
@@ -206,6 +233,18 @@ mod tests {
             ..DetectorConfig::default()
         };
         assert!(bad.validate().is_err());
+        let bad = DetectorConfig { robust_threshold: 0.5, ..DetectorConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = DetectorConfig { robust_budget: 0, ..DetectorConfig::default() };
+        assert!(bad.validate().is_err());
+        // Off-screen configs do not police the robust knobs.
+        let off = DetectorConfig {
+            robust_screen: false,
+            robust_threshold: 0.0,
+            robust_budget: 0,
+            ..DetectorConfig::default()
+        };
+        off.validate().unwrap();
     }
 
     #[test]

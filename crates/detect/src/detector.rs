@@ -44,6 +44,12 @@ use std::collections::HashMap;
 /// Floor protecting the Eq. (11) division.
 const PROX_EPS: f64 = 1e-18;
 
+/// Leverage floor for the bad-data screen: a channel whose leverage
+/// `h_i` approaches 1 is (near-)perfectly explained by `S⁰` alone and its
+/// residual carries no information, so `1 - h_i` is clamped here before
+/// normalizing.
+const MIN_LEVERAGE_GAP: f64 = 0.05;
+
 /// Ascending node ranking plus the detection group each node was scored
 /// with (indexed by node).
 type NodeRanking = (Vec<(usize, f64)>, Vec<Vec<usize>>);
@@ -66,6 +72,10 @@ pub struct Detection {
     pub best_case_residual: f64,
     /// The decision threshold the `S⁰` residual was compared against.
     pub threshold: f64,
+    /// Observed channels the bad-data screen flagged and excised (in
+    /// peel-off order); the verdict above was computed with these channels
+    /// masked out. Empty when the screen is off or nothing fired.
+    pub suspect_nodes: Vec<usize>,
 }
 
 /// A trained outage detector.
@@ -302,6 +312,18 @@ impl Detector {
         self
     }
 
+    /// This detector with the bad-data screen toggled.
+    ///
+    /// Like the shortlist, the screen is a pure scoring-time strategy —
+    /// no trained state depends on it — so the overhead bench and the
+    /// corruption-sweep evaluation derive both variants from one
+    /// training run.
+    #[must_use]
+    pub fn with_robust_screen(mut self, on: bool) -> Self {
+        self.cfg.robust_screen = on;
+        self
+    }
+
     /// Classify one (possibly incomplete) sample.
     ///
     /// Convenience wrapper over [`Detector::detect_with_cache`] with a
@@ -333,6 +355,18 @@ impl Detector {
         sample: &PhasorSample,
         cache: &ScoringCache,
     ) -> Result<Detection> {
+        self.detect_budget(sample, cache, self.cfg.robust_budget)
+    }
+
+    /// [`Detector::detect_with_cache`] with an explicit peel-off budget —
+    /// the bad-data screen re-enters here on the excised sample with
+    /// `budget - 1`, so the recursion is bounded by `robust_budget`.
+    fn detect_budget(
+        &self,
+        sample: &PhasorSample,
+        cache: &ScoringCache,
+        budget: usize,
+    ) -> Result<Detection> {
         let observed = self.guard(sample)?;
         let x_obs = Vector::from(
             sample
@@ -352,7 +386,7 @@ impl Detector {
         if let Some(t) = t1 {
             pmu_obs::histogram!("detect.stage1_us").observe(t.elapsed().as_secs_f64() * 1e6);
         }
-        self.finish(sample, &observed, &prox, cache)
+        self.finish_budget(sample, &observed, &prox, cache, budget)
     }
 
     /// Classify a batch of samples through the packed stage-1 path.
@@ -457,6 +491,17 @@ impl Detector {
     /// # Errors
     /// As [`Detector::detect`].
     pub fn detect_reference(&self, sample: &PhasorSample) -> Result<Detection> {
+        self.detect_reference_budget(sample, self.cfg.robust_budget)
+    }
+
+    /// [`Detector::detect_reference`] with an explicit peel-off budget;
+    /// the bad-data screen recurses through the reference machinery so
+    /// packed/reference parity holds with the screen on.
+    fn detect_reference_budget(
+        &self,
+        sample: &PhasorSample,
+        budget: usize,
+    ) -> Result<Detection> {
         let observed = self.guard(sample)?;
         let needed = self.cfg.subspace_dim + 2;
 
@@ -478,6 +523,37 @@ impl Detector {
             self.decide_normal(sample, normal_residual, best_case_residual)
         {
             return Ok(d);
+        }
+
+        // Outage verdict: run the bad-data screen before ranking — an
+        // excision discards the ranking anyway. Fresh restriction here
+        // (the reference path caches nothing by design); same floats as
+        // the cached construction.
+        if self.screen_applies(budget, observed.len(), best_case_residual) {
+            let (capped, _) = crate::proximity::restricted_capped(
+                &self.subspaces.normal,
+                &observed,
+            )?;
+            if let Some(node) = self.lnr_suspect(capped.basis(), &observed, &x_obs) {
+                match self.detect_reference_budget(&self.excised(sample, node), budget - 1)
+                {
+                    // Keep the excision only when it made the sample well
+                    // explained (normal, or inside a learned case
+                    // subspace). A structural anomaly — e.g. an unmodeled
+                    // multi-line outage — stays far from everything no
+                    // matter which channel is removed, and must keep its
+                    // un-excised verdict.
+                    Ok(mut d) if !d.outage || d.best_case_residual <= d.threshold => {
+                        d.suspect_nodes.insert(0, node);
+                        return Ok(d);
+                    }
+                    Ok(_) => {}
+                    // Excision starved the sample: keep the un-excised
+                    // verdict below rather than fail a scorable sample.
+                    Err(DetectError::InsufficientData { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
         }
 
         // --- 2. Per-node scaled proximities (Eq. 9–11). ---
@@ -531,6 +607,7 @@ impl Detector {
             normal_residual,
             best_case_residual,
             threshold: self.threshold,
+            suspect_nodes: Vec::new(),
         })
     }
 
@@ -584,18 +661,120 @@ impl Detector {
             normal_residual,
             best_case_residual,
             threshold: self.threshold,
+            suspect_nodes: Vec::new(),
         })
+    }
+
+    /// Whether the bad-data screen should run: configured on, budget
+    /// left, enough observed channels that excising one still leaves a
+    /// scorable sample (`needed = subspace_dim + 2`, plus one spare so
+    /// the robust scale is estimated from more than noise) — and, the
+    /// discriminating gate, *no learned case subspace explains the data
+    /// either*. A genuine outage lands near its own case subspace
+    /// (residual at noise level, under the calibrated threshold), so the
+    /// screen never touches it and clean detections stay bit-identical;
+    /// a corrupted channel is far from `S⁰` *and* every outage subspace.
+    fn screen_applies(
+        &self,
+        budget: usize,
+        n_observed: usize,
+        best_case_residual: f64,
+    ) -> bool {
+        self.cfg.robust_screen
+            && budget > 0
+            && n_observed > self.cfg.subspace_dim + 3
+            && best_case_residual > self.threshold
+    }
+
+    /// `sample` with `node` additionally masked out — the excision step
+    /// of the peel-off loop.
+    fn excised(&self, sample: &PhasorSample, node: usize) -> PhasorSample {
+        let mut missing = sample.mask().missing_nodes();
+        missing.push(node);
+        missing.sort_unstable();
+        sample.masked(&pmu_sim::Mask::with_missing(self.n, &missing))
+    }
+
+    /// The largest-normalized-residual bad-data test against `S⁰`
+    /// (the classic LNR identification step, transplanted from weighted
+    /// least squares onto the subspace residual): project the observed
+    /// sub-vector onto the capped restricted base `u`, normalize each
+    /// channel's residual by its leverage `sqrt(1 - h_i)`, and flag the
+    /// largest when it dominates the robust scale — the *median* of the
+    /// other normalized residuals, so a second corrupted channel cannot
+    /// mask the first the way an RMS scale would — by `robust_threshold`.
+    /// A genuine outage spreads its `S⁰` residual over the electrical
+    /// neighbourhood (modest ratio); a corrupted channel concentrates it
+    /// in one coordinate (huge ratio). Ties break to the lowest node.
+    /// Pure math — both detection paths call this with identical inputs,
+    /// so parity holds bit for bit.
+    fn lnr_suspect(
+        &self,
+        u: &Matrix,
+        observed: &[usize],
+        x_obs: &Vector,
+    ) -> Option<usize> {
+        let m = observed.len();
+        let k = u.cols();
+        // y = Uᵀ x.
+        let mut y = vec![0.0_f64; k];
+        for i in 0..m {
+            let row = u.row(i);
+            let xi = x_obs[i];
+            for a in 0..k {
+                y[a] += row[a] * xi;
+            }
+        }
+        let mut best_i = 0usize;
+        let mut best_nr = 0.0_f64;
+        let mut nrs = vec![0.0_f64; m];
+        for i in 0..m {
+            let row = u.row(i);
+            let mut proj = 0.0;
+            let mut leverage = 0.0;
+            for a in 0..k {
+                proj += row[a] * y[a];
+                leverage += row[a] * row[a];
+            }
+            let nr =
+                (x_obs[i] - proj).abs() / (1.0 - leverage).max(MIN_LEVERAGE_GAP).sqrt();
+            nrs[i] = nr;
+            if nr > best_nr {
+                best_nr = nr;
+                best_i = i;
+            }
+        }
+        // Robust scale: median of the normalized residuals excluding the
+        // champion (upper median for even counts — deterministic).
+        nrs.swap_remove(best_i);
+        nrs.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+        let scale = nrs[nrs.len() / 2];
+        (best_nr > self.cfg.robust_threshold * scale).then(|| observed[best_i])
     }
 
     /// Stages 2–3 of the cached path, starting from the stage-1
     /// proximities (`prox[0]` = `S⁰`, `prox[1 + ci]` = case `ci`,
-    /// `prox[1 + n_cases + i]` = node-`i` intersection).
+    /// `prox[1 + n_cases + i]` = node-`i` intersection). Entry point for
+    /// the batch path; starts the bad-data screen with a full budget.
     fn finish(
         &self,
         sample: &PhasorSample,
         observed: &[usize],
         prox: &[f64],
         cache: &ScoringCache,
+    ) -> Result<Detection> {
+        self.finish_budget(sample, observed, prox, cache, self.cfg.robust_budget)
+    }
+
+    /// [`Detector::finish`] with the remaining peel-off budget threaded
+    /// through.
+    fn finish_budget(
+        &self,
+        sample: &PhasorSample,
+        observed: &[usize],
+        prox: &[f64],
+        cache: &ScoringCache,
+        budget: usize,
     ) -> Result<Detection> {
         let n_cases = self.subspaces.per_case.len();
         let normal_residual = prox[0];
@@ -610,6 +789,44 @@ impl Detector {
             self.decide_normal(sample, normal_residual, best_case_residual)
         {
             return Ok(d);
+        }
+
+        // Outage verdict: bad-data screen before the (soon-to-be-wasted)
+        // ranking. The capped `S⁰` restriction is cache-keyed on the mask
+        // fingerprint, and the excised re-score below re-enters
+        // `detect_budget` under the reduced mask's own fingerprint — one
+        // extra cache-keyed matmul group per peel-off iteration.
+        if self.screen_applies(budget, observed.len(), best_case_residual) {
+            let x_obs = Vector::from(
+                sample
+                    .values_for(observed, self.cfg.kind)
+                    .expect("observed nodes are unmasked"),
+            );
+            let basis = cache.robust_basis_for(
+                &self.subspaces,
+                sample.mask().fingerprint(),
+                observed,
+            )?;
+            if let Some(node) = self.lnr_suspect(basis.basis(), observed, &x_obs) {
+                match self.detect_budget(&self.excised(sample, node), cache, budget - 1) {
+                    // Keep the excision only when it made the sample well
+                    // explained (normal, or inside a learned case
+                    // subspace). A structural anomaly — e.g. an unmodeled
+                    // multi-line outage — stays far from everything no
+                    // matter which channel is removed, and must keep its
+                    // un-excised verdict.
+                    Ok(mut d) if !d.outage || d.best_case_residual <= d.threshold => {
+                        pmu_obs::counter!("detect.bad_data_excised").inc();
+                        d.suspect_nodes.insert(0, node);
+                        return Ok(d);
+                    }
+                    Ok(_) => {}
+                    // Excision starved the sample: keep the un-excised
+                    // verdict rather than fail a scorable sample.
+                    Err(DetectError::InsufficientData { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
         }
 
         let t2 = pmu_obs::metrics_enabled().then(std::time::Instant::now);
@@ -636,6 +853,7 @@ impl Detector {
             normal_residual,
             best_case_residual,
             threshold: self.threshold,
+            suspect_nodes: Vec::new(),
         })
     }
 
@@ -1282,6 +1500,147 @@ mod tests {
         assert!(!det.groups().in_cluster.is_empty());
         assert!(det.clustering().n_clusters() >= 2);
         assert_eq!(det.subspaces().per_case.len(), data.n_cases());
+    }
+
+    /// `sample` with `node`'s phasor angle rotated by `delta` radians —
+    /// a finite, observed, single-channel corruption.
+    fn corrupt_angle(sample: &PhasorSample, node: usize, delta: f64) -> PhasorSample {
+        use pmu_numerics::Complex64;
+        use pmu_sim::Mask;
+        let phasors: Vec<Complex64> = (0..sample.n_nodes())
+            .map(|i| {
+                let z = sample.phasor_unchecked(i);
+                if i == node {
+                    Complex64::from_polar(z.abs(), z.arg() + delta)
+                } else {
+                    z
+                }
+            })
+            .collect();
+        let missing = sample.mask().missing_nodes();
+        PhasorSample::with_mask(phasors, Mask::with_missing(sample.n_nodes(), &missing))
+    }
+
+    #[test]
+    fn robust_screen_excises_corrupted_channel() {
+        let data = dataset();
+        let det = detector(&data);
+        let det_off = det.clone().with_robust_screen(false);
+        let mut excised = 0usize;
+        let mut recovered = 0usize;
+        let mut baseline_hit = 0usize;
+        for case in &data.cases {
+            let clean = case.test.sample(0);
+            if !det_off.detect(&clean).unwrap().outage {
+                continue;
+            }
+            // Corrupt a channel far from the outage (graph-wise: neither
+            // endpoint nor a neighbour of one).
+            let (a, b) = case.endpoints;
+            let net = ieee14().unwrap();
+            let near: Vec<usize> = {
+                let mut v = vec![a, b];
+                v.extend(net.neighbors(a));
+                v.extend(net.neighbors(b));
+                v
+            };
+            let victim = (0..14).find(|i| !near.contains(i)).unwrap();
+            let bad = corrupt_angle(&clean, victim, 0.8);
+            let d = det.detect(&bad).unwrap();
+            if d.suspect_nodes.contains(&victim) {
+                excised += 1;
+                if d.outage && d.lines.contains(&case.branch) {
+                    recovered += 1;
+                }
+            }
+            if det_off.detect(&clean).unwrap().lines.contains(&case.branch) {
+                baseline_hit += 1;
+            }
+        }
+        assert!(
+            excised * 10 >= data.n_cases() * 7,
+            "screen excised the corrupted channel in only {excised}/{} cases",
+            data.n_cases()
+        );
+        assert!(
+            recovered * 10 >= baseline_hit * 8,
+            "excision recovered localization in only {recovered} cases \
+             (clean baseline {baseline_hit})"
+        );
+    }
+
+    #[test]
+    fn robust_screen_clears_corruption_induced_false_alarm() {
+        // A corrupted channel during *normal* operation trips the outage
+        // decision; the screen must excise it and restore the normal
+        // verdict instead of raising a phantom outage.
+        let data = dataset();
+        let det = detector(&data);
+        let mut cleared = 0usize;
+        let trials = data.normal_test.len();
+        for t in 0..trials {
+            let clean = data.normal_test.sample(t);
+            if det.detect(&clean).unwrap().outage {
+                continue; // already a (rare) clean false alarm; skip
+            }
+            let bad = corrupt_angle(&clean, (t * 3) % 14, 1.0);
+            let d = det.detect(&bad).unwrap();
+            if !d.outage && !d.suspect_nodes.is_empty() {
+                cleared += 1;
+            }
+        }
+        assert!(
+            cleared * 10 >= trials * 7,
+            "screen cleared only {cleared}/{trials} corruption-induced alarms"
+        );
+    }
+
+    #[test]
+    fn robust_screen_is_bit_identical_when_nothing_fires() {
+        // Clean samples (normal and outage) must produce byte-identical
+        // detections with the screen on and off — the screen only runs on
+        // outage verdicts and must not fire on genuine data.
+        let data = dataset();
+        let det = detector(&data);
+        let det_off = det.clone().with_robust_screen(false);
+        for t in 0..data.normal_test.len() {
+            let s = data.normal_test.sample(t);
+            let on = det.detect(&s).unwrap();
+            let off = det_off.detect(&s).unwrap();
+            assert!(on.suspect_nodes.is_empty(), "screen fired on clean normal t={t}");
+            assert_eq!(on, off, "screen-on diverged on clean normal t={t}");
+        }
+        for (ci, case) in data.cases.iter().enumerate() {
+            let s = case.test.sample(0);
+            let on = det.detect(&s).unwrap();
+            let off = det_off.detect(&s).unwrap();
+            assert!(on.suspect_nodes.is_empty(), "screen fired on clean outage {ci}");
+            assert_eq!(on, off, "screen-on diverged on clean outage {ci}");
+        }
+    }
+
+    #[test]
+    fn robust_screen_peels_multiple_channels_within_budget() {
+        let data = dataset();
+        let det = detector(&data);
+        let case = &data.cases[0];
+        let clean = case.test.sample(0);
+        let (a, b) = case.endpoints;
+        let victims: Vec<usize> =
+            (0..14).filter(|&i| i != a && i != b).take(2).collect();
+        let mut bad = clean.clone();
+        for (j, &v) in victims.iter().enumerate() {
+            bad = corrupt_angle(&bad, v, 0.7 + 0.3 * j as f64);
+        }
+        let d = det.detect(&bad).unwrap();
+        for v in &victims {
+            assert!(
+                d.suspect_nodes.contains(v),
+                "victim {v} not excised: suspects {:?}",
+                d.suspect_nodes
+            );
+        }
+        assert!(d.suspect_nodes.len() <= DetectorConfig::default().robust_budget);
     }
 
     #[test]

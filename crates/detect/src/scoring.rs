@@ -328,6 +328,11 @@ pub(crate) type NodeScorers = Vec<Option<NodeScorer>>;
 pub struct ScoringCache {
     banks: Mutex<HashMap<u64, Arc<RestrictedBank>>>,
     node_scorers: Mutex<HashMap<u64, Arc<NodeScorers>>>,
+    /// Capped `S⁰` restrictions for the bad-data screen. Kept separate
+    /// from the banks: the bank packs subspaces into projector form,
+    /// which does not expose the basis rows the leverage computation
+    /// needs.
+    robust: Mutex<HashMap<u64, Arc<Subspace>>>,
 }
 
 impl ScoringCache {
@@ -366,6 +371,33 @@ impl ScoringCache {
         let mut map = self.banks.lock().expect("bank cache poisoned");
         if map.len() >= BANK_CACHE_CAP {
             pmu_obs::counter!("detect.bank_cache_evict").inc();
+            evict_one(&mut map, fingerprint);
+        }
+        let entry = map.entry(fingerprint).or_insert_with(|| Arc::clone(&built));
+        Ok(Arc::clone(entry))
+    }
+
+    /// The capped `S⁰` restriction the bad-data screen tests against,
+    /// cached per mask fingerprint. `restricted_capped` is deterministic,
+    /// so a cached basis is bit-identical to the fresh construction the
+    /// reference path performs.
+    pub(crate) fn robust_basis_for(
+        &self,
+        subspaces: &LearnedSubspaces,
+        fingerprint: u64,
+        observed: &[usize],
+    ) -> Result<Arc<Subspace>> {
+        {
+            let map = self.robust.lock().expect("robust cache poisoned");
+            if let Some(s) = map.get(&fingerprint) {
+                return Ok(Arc::clone(s));
+            }
+        }
+        pmu_obs::counter!("detect.robust_cache_miss").inc();
+        let (capped, _) = restricted_capped(&subspaces.normal, observed)?;
+        let built = Arc::new(capped);
+        let mut map = self.robust.lock().expect("robust cache poisoned");
+        if map.len() >= BANK_CACHE_CAP {
             evict_one(&mut map, fingerprint);
         }
         let entry = map.entry(fingerprint).or_insert_with(|| Arc::clone(&built));

@@ -53,12 +53,19 @@ pub enum StreamEvent {
     Raised {
         /// Majority-voted outaged lines.
         lines: Vec<usize>,
+        /// Channels the bad-data screen excised in the outage-voting
+        /// verdicts of the window (sorted union); the localization above
+        /// was computed with these channels masked out.
+        suspect_nodes: Vec<usize>,
     },
     /// The active event's localization changed as evidence accumulated
     /// (the event itself stays raised).
     Relocalized {
         /// The refreshed majority-voted line set.
         lines: Vec<usize>,
+        /// As in [`StreamEvent::Raised`]: excised channels backing the
+        /// refreshed localization.
+        suspect_nodes: Vec<usize>,
     },
     /// The active event cleared.
     Cleared,
@@ -88,6 +95,10 @@ pub struct HealthSnapshot {
     pub alarm_streak: usize,
     /// Whether an outage event is currently active.
     pub active: bool,
+    /// Samples on which the bad-data screen excised at least one suspect
+    /// channel (cumulative). These samples *were* scored — on their
+    /// surviving channels — so they also count in `samples_seen`.
+    pub bad_data_samples: usize,
 }
 
 /// The complete serializable state of a [`StreamingDetector`], minus the
@@ -134,6 +145,8 @@ pub struct StreamSnapshot {
     pub events_cleared: usize,
     /// Current run of consecutive outage-voting samples.
     pub alarm_streak: usize,
+    /// Samples on which the bad-data screen excised a suspect channel.
+    pub bad_data_samples: usize,
 }
 
 /// A k-of-m voting wrapper around a trained [`Detector`].
@@ -158,6 +171,8 @@ pub struct StreamingDetector {
     events_cleared: usize,
     /// Current run of consecutive outage-voting samples.
     alarm_streak: usize,
+    /// Samples on which the bad-data screen excised a suspect channel.
+    bad_data_samples: usize,
 }
 
 impl StreamingDetector {
@@ -182,6 +197,7 @@ impl StreamingDetector {
             events_raised: 0,
             events_cleared: 0,
             alarm_streak: 0,
+            bad_data_samples: 0,
         }
     }
 
@@ -209,6 +225,7 @@ impl StreamingDetector {
             events_raised: self.events_raised,
             events_cleared: self.events_cleared,
             alarm_streak: self.alarm_streak,
+            bad_data_samples: self.bad_data_samples,
         }
     }
 
@@ -250,6 +267,12 @@ impl StreamingDetector {
                 snap.samples_seen
             ));
         }
+        if snap.bad_data_samples > snap.samples_seen {
+            return fail(format!(
+                "counters disagree: {} bad-data samples, {} seen",
+                snap.bad_data_samples, snap.samples_seen
+            ));
+        }
         if !snap.active && !snap.lines.is_empty() {
             return fail(format!("quiet state carries lines {:?}", snap.lines));
         }
@@ -269,6 +292,7 @@ impl StreamingDetector {
             events_raised: snap.events_raised,
             events_cleared: snap.events_cleared,
             alarm_streak: snap.alarm_streak,
+            bad_data_samples: snap.bad_data_samples,
         })
     }
 
@@ -296,6 +320,7 @@ impl StreamingDetector {
             events_cleared: self.events_cleared,
             alarm_streak: self.alarm_streak,
             active: matches!(self.state, StreamState::Outage { .. }),
+            bad_data_samples: self.bad_data_samples,
         }
     }
 
@@ -316,7 +341,13 @@ impl StreamingDetector {
         self.samples_seen += 1;
         pmu_obs::counter!("detect.stream_samples").inc();
         let verdict = match self.detector.detect_with_cache(sample, &self.cache) {
-            Ok(d) => Some(d),
+            Ok(d) => {
+                if !d.suspect_nodes.is_empty() {
+                    self.bad_data_samples += 1;
+                    pmu_obs::counter!("detect.stream_bad_data").inc();
+                }
+                Some(d)
+            }
             Err(crate::DetectError::InsufficientData { .. }) => {
                 self.missing_samples += 1;
                 pmu_obs::counter!("detect.stream_missing").inc();
@@ -348,7 +379,7 @@ impl StreamingDetector {
                 }
                 .emit();
                 self.state = StreamState::Outage { lines: lines.clone() };
-                Ok(StreamEvent::Raised { lines })
+                Ok(StreamEvent::Raised { lines, suspect_nodes: self.voted_suspects() })
             }
             StreamState::Outage { .. } if quiet_votes >= self.cfg.votes => {
                 self.events_cleared += 1;
@@ -367,7 +398,10 @@ impl StreamingDetector {
                     }
                     .emit();
                     self.state = StreamState::Outage { lines: fresh.clone() };
-                    return Ok(StreamEvent::Relocalized { lines: fresh });
+                    return Ok(StreamEvent::Relocalized {
+                        lines: fresh,
+                        suspect_nodes: self.voted_suspects(),
+                    });
                 }
                 Ok(StreamEvent::None)
             }
@@ -385,6 +419,22 @@ impl StreamingDetector {
             .map(|d| d.lines.as_slice())
             .collect();
         majority_lines(&voters)
+    }
+
+    /// Sorted union of the excised channels across the outage-voting
+    /// verdicts in the window — the provenance trail a raise or
+    /// relocalization carries when the bad-data screen intervened.
+    fn voted_suspects(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .history
+            .iter()
+            .flatten()
+            .filter(|d| d.outage)
+            .flat_map(|d| d.suspect_nodes.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -439,9 +489,10 @@ mod tests {
         let mut raised = 0usize;
         for t in 0..6 {
             match mon.push(&case.test.sample(t % case.test.len())).unwrap() {
-                StreamEvent::Raised { lines } => {
+                StreamEvent::Raised { lines, suspect_nodes } => {
                     raised += 1;
                     assert!(lines.contains(&case.branch), "raised with {lines:?}");
+                    assert!(suspect_nodes.is_empty(), "clean stream flagged {suspect_nodes:?}");
                 }
                 StreamEvent::Cleared => panic!("spurious clear"),
                 StreamEvent::None | StreamEvent::Relocalized { .. } => {}
@@ -577,7 +628,7 @@ mod tests {
         let mut relocalized = None;
         for t in 0..8 {
             match mon.push(&second.test.sample(t % second.test.len())).unwrap() {
-                StreamEvent::Relocalized { lines } => {
+                StreamEvent::Relocalized { lines, .. } => {
                     relocalized = Some(lines);
                 }
                 StreamEvent::Raised { .. } => panic!("event was already active"),
@@ -615,7 +666,7 @@ mod tests {
         let mask = outage_endpoints_mask(14, case.endpoints);
         let mut raised_lines = None;
         for t in 0..6 {
-            if let StreamEvent::Raised { lines } =
+            if let StreamEvent::Raised { lines, .. } =
                 mon.push(&case.test.sample(t % case.test.len()).masked(&mask)).unwrap()
             {
                 raised_lines = Some(lines);
@@ -623,6 +674,53 @@ mod tests {
         }
         let lines = raised_lines.expect("event raised despite dark endpoints");
         assert!(lines.contains(&case.branch));
+    }
+
+    /// A corrupted channel riding along with a genuine outage: the
+    /// bad-data screen excises it per-sample, the raise still localizes
+    /// the true line, and both the event's `suspect_nodes` and the
+    /// `bad_data_samples` counter carry the provenance.
+    #[test]
+    fn corrupted_channel_surfaces_in_raise_and_counters() {
+        let (data, mut mon) = monitor();
+        let case = &data.cases[2];
+        // Victim channel far from the outage endpoints.
+        let victim = (0..14)
+            .find(|v| *v != case.endpoints.0 && *v != case.endpoints.1)
+            .unwrap();
+        let mut raised_suspects = None;
+        for t in 0..6 {
+            let clean = case.test.sample(t % case.test.len());
+            let phasors: Vec<pmu_numerics::Complex64> = (0..clean.n_nodes())
+                .map(|i| {
+                    let z = clean.phasor_unchecked(i);
+                    if i == victim {
+                        pmu_numerics::Complex64::from_polar(z.abs(), z.arg() + 0.9)
+                    } else {
+                        z
+                    }
+                })
+                .collect();
+            let missing = clean.mask().missing_nodes();
+            let sample = pmu_sim::PhasorSample::with_mask(
+                phasors,
+                pmu_sim::Mask::with_missing(clean.n_nodes(), &missing),
+            );
+            if let StreamEvent::Raised { lines, suspect_nodes } = mon.push(&sample).unwrap()
+            {
+                assert!(lines.contains(&case.branch), "localized {lines:?}");
+                raised_suspects = Some(suspect_nodes);
+            }
+        }
+        let suspects = raised_suspects.expect("outage raised despite corruption");
+        assert!(suspects.contains(&victim), "raise carried {suspects:?}");
+        let h = mon.health();
+        assert!(h.bad_data_samples >= 3, "bad_data_samples={}", h.bad_data_samples);
+        assert!(h.bad_data_samples <= h.samples_seen);
+        // Snapshot/restore keeps the counter.
+        let snap = mon.snapshot();
+        let restored = StreamingDetector::restore(mon.detector().clone(), &snap).unwrap();
+        assert_eq!(restored.health().bad_data_samples, h.bad_data_samples);
     }
 
     #[test]
@@ -637,6 +735,7 @@ mod tests {
             events_cleared: 0,
             alarm_streak: 0,
             active: false,
+            bad_data_samples: 0,
         });
         // Two unscorable (near-dark) samples absorbed as quiet votes.
         let dark = Mask::with_missing(14, &(0..12).collect::<Vec<_>>());
@@ -748,6 +847,7 @@ mod tests {
         assert!(invalid(long));
         assert!(invalid(StreamSnapshot { samples_seen: 1, ..good.clone() }));
         assert!(invalid(StreamSnapshot { missing_samples: 99, ..good.clone() }));
+        assert!(invalid(StreamSnapshot { bad_data_samples: 99, ..good.clone() }));
         assert!(invalid(StreamSnapshot { lines: vec![3], ..good.clone() }));
         // And the untouched snapshot still restores.
         assert!(StreamingDetector::restore(det(), &good).is_ok());

@@ -22,6 +22,7 @@ pub mod extensions;
 pub mod figures;
 pub mod metrics;
 pub mod repro;
+pub mod robustness;
 pub mod runner;
 
 pub use metrics::Metrics;

@@ -8,7 +8,7 @@
 //!       [--dense-flow]
 //!
 //! FIGURES     comma-separated subset of fig4,fig5,fig7,fig8,fig9,fig10,
-//!             extensions,ablations (default: the six figures)
+//!             extensions,ablations,robustness (default: the six figures)
 //! --systems   which IEEE systems to run (default: ieee14,ieee30,ieee57,ieee118)
 //! --scale     evaluation effort (default: standard)
 //! --threads   worker threads for generation/training/evaluation
@@ -29,6 +29,7 @@
 use crate::ablations::{ablation_table, run_ablations};
 use crate::extensions::{extension_table, run_extensions};
 use crate::figures::{fig10, fig10_table, fig4, fig4_table, fig5, fig7, fig8, fig9, method_table};
+use crate::robustness::{corruption_matrix, corruption_table};
 use crate::runner::{paper_systems, EvalScale, SetupSource, SystemSetup};
 use pmu_model::{set_store_policy, StorePolicy};
 use pmu_numerics::par;
@@ -45,6 +46,7 @@ struct AllResults {
     fig10: Vec<crate::figures::Fig10Point>,
     extensions: Vec<crate::extensions::ExtensionPoint>,
     ablations: Vec<crate::ablations::AblationPoint>,
+    robustness: Vec<crate::robustness::CorruptionPoint>,
 }
 
 /// Run the full reproduction with CLI-style arguments (program name
@@ -88,7 +90,11 @@ pub fn run(args: Vec<String>) {
             "--dense-flow" => {
                 pmu_flow::set_default_linear_solver(Some(pmu_flow::LinearSolver::Dense));
             }
-            other if other.starts_with("fig") || other.starts_with("abl") || other.starts_with("ext") => {
+            other if other.starts_with("fig")
+                || other.starts_with("abl")
+                || other.starts_with("ext")
+                || other.starts_with("rob") =>
+            {
                 figures.extend(other.split(',').map(|s| s.trim().to_string()));
             }
             other => panic!("unknown argument {other}"),
@@ -181,6 +187,11 @@ pub fn run(args: Vec<String>) {
                 pmu_obs::info("running ablations (Fig. 7 conditions)...");
                 all.ablations = run_ablations(&setups, scale);
                 println!("{}", ablation_table(&all.ablations));
+            }
+            "robustness" => {
+                pmu_obs::info("running bad-data corruption matrix...");
+                all.robustness = corruption_matrix(&setups, scale);
+                println!("{}", corruption_table(&all.robustness));
             }
             other => panic!("unknown figure {other}"),
         }

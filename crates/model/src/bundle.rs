@@ -45,12 +45,14 @@ use crate::Result;
 /// Version of the bundle payload layout. Bump on any incompatible change
 /// to the serialized shape of the bundle or its components.
 ///
-/// History: 3 — per-case training-window fingerprint table for
-/// warm-start incremental rebuilds (plus the detector's `exact_svd`
-/// switch and the MLR whitening projection); 2 — the detector carries a
-/// packed full-observation projector bank and precomputed capability
-/// ordering (plus shortlist config fields); 1 — initial layout.
-pub const SCHEMA_VERSION: u32 = 3;
+/// History: 4 — the detector config carries the bad-data screen knobs
+/// (`robust_screen`, `robust_threshold`, `robust_budget`); 3 — per-case
+/// training-window fingerprint table for warm-start incremental rebuilds
+/// (plus the detector's `exact_svd` switch and the MLR whitening
+/// projection); 2 — the detector carries a packed full-observation
+/// projector bank and precomputed capability ordering (plus shortlist
+/// config fields); 1 — initial layout.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Magic string identifying bundle files.
 const FORMAT: &str = "pmu-model-bundle";

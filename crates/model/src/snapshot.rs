@@ -46,7 +46,11 @@ use crate::Result;
 /// [`StreamSnapshot`]; skewed snapshots are refused, never reinterpreted
 /// (the session simply restarts cold — unlike a model, a lost session is
 /// an inconvenience, not a retrain).
-pub const SESSION_SCHEMA_VERSION: u32 = 1;
+///
+/// History: 2 — the embedded [`StreamSnapshot`] carries the bad-data
+/// counter (`bad_data_samples`) and verdicts carry `suspect_nodes`, and
+/// the `recent` outcome tags gained `"baddata"`; 1 — initial layout.
+pub const SESSION_SCHEMA_VERSION: u32 = 2;
 
 /// Magic string identifying session-snapshot files.
 const FORMAT: &str = "pmu-session-snapshot";
@@ -198,7 +202,12 @@ mod tests {
             grid: "east".into(),
             feed: SessionSnapshot::feed_hex(42),
             mode: "degraded_missing".into(),
-            recent: vec!["scored".into(), "missing".into(), "rejected".into()],
+            recent: vec![
+                "scored".into(),
+                "missing".into(),
+                "rejected".into(),
+                "baddata".into(),
+            ],
             pushed: 11,
             rejected: 2,
             incident_open: true,
@@ -213,6 +222,7 @@ mod tests {
                 events_raised: 1,
                 events_cleared: 1,
                 alarm_streak: 0,
+                bad_data_samples: 2,
             },
         }
     }

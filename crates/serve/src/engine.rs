@@ -51,13 +51,14 @@ use crate::session::{Outcome, SessionState, SessionTable};
 pub use crate::session::{DegradeConfig, DegradeReason, FeedMode, SessionHealth, SessionId};
 
 /// Interned per-feed ring labels, resolved once per process.
-fn push_labels() -> (LabelId, LabelId, LabelId) {
-    static LABELS: OnceLock<(LabelId, LabelId, LabelId)> = OnceLock::new();
+fn push_labels() -> (LabelId, LabelId, LabelId, LabelId) {
+    static LABELS: OnceLock<(LabelId, LabelId, LabelId, LabelId)> = OnceLock::new();
     *LABELS.get_or_init(|| {
         (
             label_id("serve.push_scored"),
             label_id("serve.push_missing"),
             label_id("serve.push_rejected"),
+            label_id("serve.push_baddata"),
         )
     })
 }
@@ -194,6 +195,12 @@ pub struct IncidentConfig {
     pub on_degraded: bool,
     /// Dump when a feed turns [`FeedMode::Dark`].
     pub on_dark: bool,
+    /// Dump when a feed degrades specifically for
+    /// [`DegradeReason::BadData`] — the bad-data screen is excising
+    /// suspect channels faster than plausible for sensor noise, which
+    /// usually means a miscalibrated or compromised PMU worth forensics
+    /// even when `on_degraded` is off.
+    pub on_bad_data: bool,
     /// Dump when the rejected fraction of a full degrade window reaches
     /// this ratio (`None` disables the rejection-spike trigger).
     pub reject_spike_ratio: Option<f64>,
@@ -203,14 +210,15 @@ pub struct IncidentConfig {
 }
 
 impl Default for IncidentConfig {
-    /// Raise, Dark and a 50% rejection spike trigger; no latency SLO.
-    /// Dumping stays off until a directory is configured.
+    /// Raise, Dark, bad-data degrades and a 50% rejection spike trigger;
+    /// no latency SLO. Dumping stays off until a directory is configured.
     fn default() -> Self {
         IncidentConfig {
             dir: None,
             on_raise: true,
             on_degraded: false,
             on_dark: true,
+            on_bad_data: true,
             reject_spike_ratio: Some(0.5),
             latency_slo_us: None,
         }
@@ -374,7 +382,7 @@ impl EngineCore {
         session: &mut SessionState,
         sample: &PhasorSample,
     ) -> Result<StreamEvent, ServeError> {
-        let (scored_l, missing_l, rejected_l) = push_labels();
+        let (scored_l, missing_l, rejected_l, baddata_l) = push_labels();
         let feed_tick = (session.pushed + session.rejected) as u64;
         let mode_before = session.mode;
 
@@ -386,15 +394,17 @@ impl EngineCore {
             return Err(e);
         }
 
-        let missing_before = session.monitor.health().missing_samples;
+        let before = session.monitor.health();
         let t0 = Instant::now();
         let event = session.monitor.push(sample).map_err(ServeError::from);
         let latency_us = t0.elapsed().as_secs_f64() * 1e6;
         pmu_obs::histogram!("serve.detect_latency_us").observe(latency_us);
         session.pushed += 1;
-        let (outcome, label) = if session.monitor.health().missing_samples > missing_before
-        {
+        let after = session.monitor.health();
+        let (outcome, label) = if after.missing_samples > before.missing_samples {
             (Outcome::Missing, missing_l)
+        } else if after.bad_data_samples > before.bad_data_samples {
+            (Outcome::BadData, baddata_l)
         } else {
             (Outcome::Scored, scored_l)
         };
@@ -419,10 +429,16 @@ impl EngineCore {
     ) {
         let cfg = &self.incident_cfg;
         let mut trigger: Option<&'static str> = None;
+        let baddata_mode = FeedMode::Degraded { reason: DegradeReason::BadData };
         if cfg.on_raise && raised {
             trigger = Some("stream_raised");
         } else if cfg.on_dark && session.mode.code() == 2 && mode_before.code() != 2 {
             trigger = Some("feed_dark");
+        } else if cfg.on_bad_data
+            && session.mode == baddata_mode
+            && mode_before != baddata_mode
+        {
+            trigger = Some("feed_baddata");
         } else if cfg.on_degraded && session.mode.code() == 1 && mode_before.code() != 1 {
             trigger = Some("feed_degraded");
         }
@@ -472,7 +488,7 @@ impl EngineCore {
         let seq = self.incident_seq.fetch_add(1, Ordering::Relaxed);
         let path = dir.join(format!("incident-{seq:04}-{who}-{trigger}.jsonl"));
         let health = session.monitor.health();
-        let context: [(&str, Value); 9] = [
+        let context: [(&str, Value); 10] = [
             ("system", Value::from(self.system.as_str())),
             ("session", Value::from(who.to_string())),
             ("mode", Value::from(session.mode.label())),
@@ -480,6 +496,7 @@ impl EngineCore {
             ("rejected", Value::from(session.rejected)),
             ("samples_seen", Value::from(health.samples_seen)),
             ("missing_samples", Value::from(health.missing_samples)),
+            ("bad_data_samples", Value::from(health.bad_data_samples)),
             ("events_raised", Value::from(health.events_raised)),
             ("event_active", Value::from(health.active)),
         ];
@@ -1008,6 +1025,44 @@ mod tests {
             engine.health(sid).unwrap().mode,
             FeedMode::Degraded { reason: DegradeReason::RejectedSamples },
         );
+    }
+
+    /// A plausible-but-corrupted feed: every push carries one channel
+    /// with a rotated angle. The guard passes it (finite values), the
+    /// bad-data screen excises it, and the session degrades with the
+    /// `BadData` reason — not `Dark`, because detection still runs on
+    /// the surviving channels.
+    #[test]
+    fn bad_data_feed_degrades_with_baddata_reason() {
+        let data = tiny_dataset();
+        let mut engine = engine_for(&data);
+        let sid = engine.open_session();
+        let n = data.network.n_buses();
+        let cfg = engine.degrade_config().clone();
+        for t in 0..cfg.window {
+            let clean = data.normal_test.sample(t % data.normal_test.len());
+            let phasors: Vec<Complex64> = (0..n)
+                .map(|i| {
+                    let z = clean.phasor_unchecked(i);
+                    if i == 5 {
+                        Complex64::from_polar(z.abs(), z.arg() + 1.0)
+                    } else {
+                        z
+                    }
+                })
+                .collect();
+            let events = engine.push_batch(&[(sid, PhasorSample::complete(phasors))]);
+            assert!(events[0].is_ok(), "corrupted-but-finite samples pass the guard");
+        }
+        let h = engine.health(sid).unwrap();
+        assert!(
+            h.snapshot.bad_data_samples * 2 >= cfg.window,
+            "screen fired on only {} of {} pushes",
+            h.snapshot.bad_data_samples,
+            cfg.window
+        );
+        assert_eq!(h.mode, FeedMode::Degraded { reason: DegradeReason::BadData });
+        assert_eq!(h.rejected, 0, "bad data is excised, not rejected");
     }
 
     #[test]

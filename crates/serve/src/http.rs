@@ -291,11 +291,13 @@ fn health_body(target: &Target) -> String {
         push_str_field(&mut out, "mode", h.mode.label());
         out.push_str(&format!(
             ",\"pushed\":{},\"rejected\":{},\"samples_seen\":{},\"missing_samples\":{},\
-             \"events_raised\":{},\"events_cleared\":{},\"alarm_streak\":{},\"active\":{}}}",
+             \"bad_data_samples\":{},\"events_raised\":{},\"events_cleared\":{},\
+             \"alarm_streak\":{},\"active\":{}}}",
             h.pushed,
             h.rejected,
             h.snapshot.samples_seen,
             h.snapshot.missing_samples,
+            h.snapshot.bad_data_samples,
             h.snapshot.events_raised,
             h.snapshot.events_cleared,
             h.snapshot.alarm_streak,
@@ -421,6 +423,7 @@ mod tests {
         assert!(health.contains("\"shards\":[{\"shard\":0,"));
         assert!(health.contains("\"id\":\"east/f0\""));
         assert!(health.contains("\"id\":\"west/f3\""));
+        assert!(health.contains("\"bad_data_samples\":0"), "got: {health}");
 
         let metrics = scrape(server.addr(), "/metrics");
         assert!(metrics.contains("serve_feed_mode{session=\"east/f0\"} 0"));

@@ -165,6 +165,11 @@ pub enum DegradeReason {
     MissingData,
     /// The ingestion guard rejected enough recent samples (invalid data).
     RejectedSamples,
+    /// The bad-data screen excised suspect channels from enough recent
+    /// samples: the feed is delivering *plausible but corrupted*
+    /// measurements, so localization quality is suspect even though
+    /// detection keeps running on the surviving channels.
+    BadData,
 }
 
 impl FeedMode {
@@ -197,6 +202,7 @@ impl FeedMode {
             FeedMode::Degraded { reason: DegradeReason::RejectedSamples } => {
                 "degraded_rejected"
             }
+            FeedMode::Degraded { reason: DegradeReason::BadData } => "degraded_baddata",
             FeedMode::Dark => "dark",
         }
     }
@@ -210,6 +216,9 @@ impl FeedMode {
             }
             "degraded_rejected" => {
                 Some(FeedMode::Degraded { reason: DegradeReason::RejectedSamples })
+            }
+            "degraded_baddata" => {
+                Some(FeedMode::Degraded { reason: DegradeReason::BadData })
             }
             "dark" => Some(FeedMode::Dark),
             _ => None,
@@ -260,6 +269,10 @@ pub(crate) enum Outcome {
     Missing,
     /// Refused by the ingestion guard.
     Rejected,
+    /// Scored, but only after the bad-data screen excised at least one
+    /// suspect channel. The verdict stands; the feed's trustworthiness
+    /// does not.
+    BadData,
 }
 
 impl Outcome {
@@ -269,6 +282,7 @@ impl Outcome {
             Outcome::Scored => "scored",
             Outcome::Missing => "missing",
             Outcome::Rejected => "rejected",
+            Outcome::BadData => "baddata",
         }
     }
 
@@ -278,6 +292,7 @@ impl Outcome {
             "scored" => Some(Outcome::Scored),
             "missing" => Some(Outcome::Missing),
             "rejected" => Some(Outcome::Rejected),
+            "baddata" => Some(Outcome::BadData),
             _ => None,
         }
     }
@@ -340,6 +355,7 @@ impl SessionState {
                 FeedMode::Degraded { reason: DegradeReason::RejectedSamples } => {
                     "reject_ratio"
                 }
+                FeedMode::Degraded { reason: DegradeReason::BadData } => "baddata_ratio",
                 FeedMode::Dark => "blackout",
             };
             pmu_obs::events::FeedModeChanged {
@@ -362,15 +378,22 @@ impl SessionState {
             self.recent.iter().filter(|o| **o == Outcome::Missing).count() as f64 / n;
         let rejected =
             self.recent.iter().filter(|o| **o == Outcome::Rejected).count() as f64 / n;
-        let bad = missing + rejected;
-        if bad >= cfg.dark_ratio {
+        let baddata =
+            self.recent.iter().filter(|o| **o == Outcome::BadData).count() as f64 / n;
+        // Bad-data pushes still yield verdicts (on the surviving
+        // channels), so they can degrade a feed but never darken it:
+        // `Dark` is reserved for feeds detection is actually blind on.
+        let unscorable = missing + rejected;
+        if unscorable >= cfg.dark_ratio {
             FeedMode::Dark
-        } else if bad >= cfg.degraded_ratio {
-            let reason = if rejected > missing {
-                DegradeReason::RejectedSamples
+        } else if unscorable + baddata >= cfg.degraded_ratio {
+            let worst = if rejected > missing {
+                (rejected, DegradeReason::RejectedSamples)
             } else {
-                DegradeReason::MissingData
+                (missing, DegradeReason::MissingData)
             };
+            let reason =
+                if baddata > worst.0 { DegradeReason::BadData } else { worst.1 };
             FeedMode::Degraded { reason }
         } else {
             FeedMode::Healthy
@@ -494,12 +517,15 @@ mod tests {
             FeedMode::Healthy,
             FeedMode::Degraded { reason: DegradeReason::MissingData },
             FeedMode::Degraded { reason: DegradeReason::RejectedSamples },
+            FeedMode::Degraded { reason: DegradeReason::BadData },
             FeedMode::Dark,
         ] {
             assert_eq!(FeedMode::from_tag(mode.tag()), Some(mode));
         }
         assert_eq!(FeedMode::from_tag("zombie"), None);
-        for outcome in [Outcome::Scored, Outcome::Missing, Outcome::Rejected] {
+        for outcome in
+            [Outcome::Scored, Outcome::Missing, Outcome::Rejected, Outcome::BadData]
+        {
             assert_eq!(Outcome::from_tag(outcome.tag()), Some(outcome));
         }
         assert_eq!(Outcome::from_tag(""), None);

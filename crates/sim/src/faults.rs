@@ -257,16 +257,25 @@ impl FaultSchedule {
                         tags.push(FaultTag::NanInjected { nodes: nodes.clone() });
                     }
                     FaultKind::Corrupt { nodes, scale } => {
+                        // Scale the magnitude *and* rotate the angle by
+                        // (scale - 1) radians (wrapped). A magnitude-only
+                        // corruption is invisible to an angle-based
+                        // detector; a real gain/conversion bug shifts
+                        // phase too.
                         let s = *scale;
-                        sample = overwrite(&sample, nodes, |z| z.scale(s));
+                        sample = overwrite(&sample, nodes, |z| {
+                            Complex64::from_polar(z.abs() * s, z.arg() + (s - 1.0).sin())
+                        });
                         tags.push(FaultTag::Corrupted { nodes: nodes.clone(), scale: s });
                     }
                     FaultKind::Duplicate => {
+                        // Only tag when a duplication actually happened;
+                        // at t = 0 there is no previous sample to replay.
                         if let Some(prev) = out.last() {
                             sample = prev.sample.clone();
                             source_t = prev.source_t;
+                            tags.push(FaultTag::Duplicated);
                         }
-                        tags.push(FaultTag::Duplicated);
                     }
                     FaultKind::Stale { lag } => {
                         let eff = (*lag).min(t);
@@ -406,9 +415,24 @@ mod tests {
             assert!(z.is_finite());
             let orig = clean[t].phasor_unchecked(1);
             assert!((z.abs() - 100.0 * orig.abs()).abs() < 1e-9);
+            // The corruption must move the *angle* too — that is what an
+            // angle-based detector actually consumes.
+            assert!(
+                (z.arg() - orig.arg()).abs() > 0.1,
+                "corruption left the phase angle untouched: {} vs {}",
+                z.arg(),
+                orig.arg()
+            );
             let untouched = s.sample.phasor_unchecked(0);
             assert!((untouched - clean[t].phasor_unchecked(0)).abs() < 1e-15);
         }
+        // scale = 1 is the identity corruption: neither magnitude nor
+        // angle moves (the angle shift is pinned to (s-1), not absolute).
+        let out = FaultSchedule::new(0)
+            .window(0, 1, FaultKind::Corrupt { nodes: vec![1], scale: 1.0 })
+            .apply(&clean);
+        let (z, orig) = (out[0].sample.phasor_unchecked(1), clean[0].phasor_unchecked(1));
+        assert!((z - orig).abs() < 1e-12);
     }
 
     #[test]
@@ -429,6 +453,24 @@ mod tests {
             .apply(&clean);
         assert_eq!(out[0].source_t, 0);
         assert!(matches!(out[0].tags[0], FaultTag::Stale { lag: 0 }));
+    }
+
+    #[test]
+    fn duplicate_at_stream_start_is_not_tagged() {
+        // With no prior sample to replay, the sample passes through
+        // unchanged — so no `Duplicated` ground-truth tag may be emitted.
+        let clean = clean_stream(2, 3);
+        let out = FaultSchedule::new(0)
+            .window(0, 2, FaultKind::Duplicate)
+            .apply(&clean);
+        assert!(out[0].is_clean(), "t=0 has nothing to duplicate: {:?}", out[0].tags);
+        assert_eq!(out[0].source_t, 0);
+        assert!(
+            (out[0].sample.phasor_unchecked(0) - clean[0].phasor_unchecked(0)).abs() < 1e-15
+        );
+        // t=1 genuinely replays t=0 and is tagged.
+        assert!(matches!(out[1].tags[0], FaultTag::Duplicated));
+        assert_eq!(out[1].source_t, 0);
     }
 
     #[test]

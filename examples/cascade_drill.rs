@@ -84,11 +84,11 @@ fn main() {
     let mut first_alarm: Option<usize> = None;
     for (t, (phase, sample)) in stream.iter().enumerate() {
         match monitor.push(sample).expect("stream push") {
-            StreamEvent::Raised { lines } => {
+            StreamEvent::Raised { lines, .. } => {
                 first_alarm.get_or_insert(t);
                 println!("t={t:>2} [{phase:<13}] >>> ALARM lines {lines:?}");
             }
-            StreamEvent::Relocalized { lines } => {
+            StreamEvent::Relocalized { lines, .. } => {
                 println!("t={t:>2} [{phase:<13}] >>> relocalized to {lines:?}");
             }
             StreamEvent::Cleared => println!("t={t:>2} [{phase:<13}] (cleared)"),

@@ -67,18 +67,18 @@ fn main() {
         let health = engine.health(feed).expect("session is open");
         let state = if health.snapshot.active {
             match &event {
-                StreamEvent::Raised { lines } => format!("OUTAGE {lines:?}"),
+                StreamEvent::Raised { lines, .. } => format!("OUTAGE {lines:?}"),
                 _ => "OUTAGE (active)".to_string(),
             }
         } else {
             "quiet".to_string()
         };
         match event {
-            StreamEvent::Raised { lines } => {
+            StreamEvent::Raised { lines, .. } => {
                 println!("t={t:>2} >>> EVENT RAISED: lines {lines:?} (state: {state})")
             }
             StreamEvent::Cleared => println!("t={t:>2} >>> EVENT CLEARED (state: {state})"),
-            StreamEvent::Relocalized { lines } => {
+            StreamEvent::Relocalized { lines, .. } => {
                 println!("t={t:>2} >>> EVENT RELOCALIZED: lines {lines:?} (state: {state})")
             }
             StreamEvent::None => println!("t={t:>2}     state: {state}"),

@@ -143,6 +143,17 @@ if grep -q '"incident_dumps": 0' "$trace_dir/BENCH_fast.json"; then
   echo "a chaos replay produced no incident dump"; exit 1
 fi
 
+echo "== bad-data screen budget: clean traffic must pay under 5% =="
+grep -q '"robust_overhead_ok": true' "$trace_dir/BENCH_fast.json" \
+  || { echo "bad-data screen exceeds the 5% clean-traffic budget"; exit 1; }
+
+echo "== chaos corrupt burst: event survives, excisions bounded by ground truth =="
+if grep -q '"corrupt_ok": false' "$trace_dir/BENCH_fast.json"; then
+  echo "a chaos replay lost an event to corruption or over-excised"; exit 1
+fi
+grep -q '"corrupt_ok": true' "$trace_dir/BENCH_fast.json" \
+  || { echo "corrupt-burst replay missing from perfbench report"; exit 1; }
+
 echo "== fleet soak smoke: throughput present + exact shed accounting =="
 # The perfbench fleet soak publishes samples/sec/core and must account
 # its deliberate-overload shedding exactly (typed errors == shed counter

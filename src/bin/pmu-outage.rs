@@ -614,10 +614,15 @@ fn cmd_serve(
             let label = fleet.feed_label(*key);
             match event.map_err(|e| e.to_string())? {
                 StreamEvent::None => {}
-                StreamEvent::Raised { lines } => {
-                    println!("tick {tick:>3} {label}: OUTAGE RAISED, lines {lines:?}");
+                StreamEvent::Raised { lines, suspect_nodes } => {
+                    print!("tick {tick:>3} {label}: OUTAGE RAISED, lines {lines:?}");
+                    if suspect_nodes.is_empty() {
+                        println!();
+                    } else {
+                        println!(" (bad-data channels excised: {suspect_nodes:?})");
+                    }
                 }
-                StreamEvent::Relocalized { lines } => {
+                StreamEvent::Relocalized { lines, .. } => {
                     println!("tick {tick:>3} {label}: relocalized to lines {lines:?}");
                 }
                 StreamEvent::Cleared => {

@@ -310,6 +310,7 @@ fn blackout_mid_outage_dumps_one_tagged_incident() {
             on_raise: false,
             on_degraded: false,
             on_dark: true,
+            on_bad_data: false,
             reject_spike_ratio: None,
             latency_slo_us: None,
         },
@@ -571,4 +572,109 @@ fn larger_grids_survive_blackout_schedules() {
         // Not stuck.
         assert!(engine.push_batch(&[(sid, data.normal_test.sample(0))])[0].is_ok());
     }
+}
+
+/// A corruption burst landing on a *confirmed* outage neither clears the
+/// event nor drags localization off the true branch: the bad-data screen
+/// excises the corrupted channels and re-scores, so the voter keeps
+/// seeing the real outage. Accounting is exact against the injected
+/// `FaultTag::Corrupted` ground truth — every channel the detector
+/// flags is one the schedule actually corrupted, and the session's
+/// `bad_data_samples` counter is bounded by the burst length.
+#[test]
+fn corrupt_mid_outage_keeps_localization() {
+    let _g = lock();
+    let net = by_name("ieee14").expect("known system").expect("embedded case");
+    let gen = GenConfig { train_len: 16, test_len: 6, ..GenConfig::default() };
+    let data = generate_dataset(&net, &gen).expect("dataset generation");
+    let bundle = ModelBundle::train(&data, &gen, &default_config_for(&net), &MlrConfig::default())
+        .expect("training");
+    // Keep a standalone detector for per-tick suspect accounting; the
+    // engine consumes the bundle.
+    let detector = bundle.detector.clone();
+    let mut engine = Engine::from_bundle(bundle, EngineConfig::default());
+    let sid = engine.open_session();
+
+    let case = &data.cases[2];
+    // Two victim channels away from the outage endpoints (and the
+    // reference bus), so corruption and outage signature never coincide.
+    let victims: Vec<usize> = (1..net.n_buses())
+        .filter(|&i| i != case.endpoints.0 && i != case.endpoints.1)
+        .take(2)
+        .collect();
+
+    // 24 outage ticks; ticks [10, 16) corrupt both victims at scale 5.
+    let clean = outage_run(&data, 2, 24);
+    let injected = FaultSchedule::new(21)
+        .window(10, 16, FaultKind::Corrupt { nodes: victims.clone(), scale: 5.0 })
+        .apply(&clean);
+
+    let mut raises = Vec::new();
+    for (t, inj) in injected.iter().enumerate() {
+        // Ground truth for this tick, straight from the schedule's tags.
+        let corrupted: Vec<usize> = inj
+            .tags
+            .iter()
+            .find_map(|tag| match tag {
+                pmu_outage::sim::FaultTag::Corrupted { nodes, .. } => Some(nodes.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        if (10..16).contains(&t) {
+            assert_eq!(corrupted, victims, "tick {t} carries the ground-truth tag");
+        } else {
+            assert!(corrupted.is_empty(), "no corruption outside the window");
+        }
+        // Detector-level contract: every channel the screen flags is one
+        // the schedule actually corrupted — never a clean one.
+        if let Ok(d) = detector.detect(&inj.sample) {
+            for s in &d.suspect_nodes {
+                assert!(
+                    corrupted.contains(s),
+                    "tick {t}: flagged clean channel {s} (corrupted: {corrupted:?})"
+                );
+            }
+        }
+
+        let ev = engine
+            .push_batch(&[(sid, inj.sample.clone())])
+            .pop()
+            .unwrap()
+            .expect("finite corrupted samples pass ingestion");
+        match ev {
+            StreamEvent::Raised { lines, .. } => raises.push((t, lines)),
+            StreamEvent::Cleared => {
+                panic!("corruption cleared a standing outage at tick {t}")
+            }
+            StreamEvent::Relocalized { lines, .. } => assert!(
+                lines.contains(&case.branch),
+                "tick {t} relocalized off the true branch: {lines:?}"
+            ),
+            StreamEvent::None => {}
+        }
+        if let Some(&(raised_at, _)) = raises.first() {
+            if t >= raised_at {
+                assert!(
+                    engine.health(sid).unwrap().snapshot.active,
+                    "event lost at tick {t}"
+                );
+            }
+        }
+    }
+
+    assert_eq!(raises.len(), 1, "exactly one raise: {raises:?}");
+    let (raised_at, lines) = &raises[0];
+    assert!(*raised_at < 10, "raised before the corruption burst");
+    assert!(lines.contains(&case.branch), "raise localizes the true branch");
+
+    // Session accounting against the injected ground truth: the screen
+    // fired inside the burst and can never fire more often than it.
+    let h = engine.health(sid).unwrap();
+    assert!(h.snapshot.bad_data_samples >= 1, "the screen never fired during the burst");
+    assert!(
+        h.snapshot.bad_data_samples <= 6,
+        "excised on more ticks ({}) than were corrupted (6)",
+        h.snapshot.bad_data_samples
+    );
+    assert!(h.snapshot.active, "the outage still stands after the burst");
 }
